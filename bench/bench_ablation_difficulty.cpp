@@ -1,0 +1,65 @@
+// A11 — Migration difficulty: do the structural features predict actual
+// program length?  Sweeps random instances, comparing the cheap estimate
+// with the EA planner's achieved |Z| and the bounds.
+#include "common.hpp"
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "core/difficulty.hpp"
+#include "core/planners.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace rfsm::bench {
+namespace {
+
+void printArtifact() {
+  banner("A11", "Migration difficulty features vs achieved |Z|");
+
+  Table table({"|S|", "|Td|", "near-reset", "unreachable", "chainable",
+               "estimate", "EA |Z|", "|error|", "bounds"});
+  double squaredError = 0;
+  int rows = 0;
+  for (const int states : {6, 10, 16}) {
+    for (const int deltas : {3, 6, 10}) {
+      const MigrationContext context = randomInstance(
+          states, 2, deltas,
+          static_cast<std::uint64_t>(states) * 97 + deltas);
+      const DifficultyProfile profile = analyzeDifficulty(context);
+      EvolutionConfig config;
+      Rng rng(7);
+      const int achieved =
+          planEvolutionary(context, config, rng).program.length();
+      const int error = std::abs(profile.estimatedLength() - achieved);
+      squaredError += static_cast<double>(error) * error;
+      ++rows;
+      table.addRow({std::to_string(states), std::to_string(deltas),
+                    std::to_string(profile.sourcesNearReset),
+                    std::to_string(profile.sourcesUnreachable),
+                    std::to_string(profile.chainablePairs),
+                    std::to_string(profile.estimatedLength()),
+                    std::to_string(achieved), std::to_string(error),
+                    "[" + std::to_string(programLowerBound(context)) + ", " +
+                        std::to_string(jsrUpperBound(context)) + "]"});
+    }
+  }
+  std::cout << "\n" << table.toMarkdown();
+  std::cout << "\nRMS estimate error: "
+            << formatFixed(std::sqrt(squaredError / rows), 2)
+            << " cycles.  The estimate costs one BFS; the EA costs\n"
+               "thousands of decoded programs - useful as an admission\n"
+               "filter before committing to a live migration window.\n";
+}
+
+void analyze(benchmark::State& state) {
+  const MigrationContext context = randomInstance(16, 2, 10, 77);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(analyzeDifficulty(context).estimatedLength());
+}
+BENCHMARK(analyze);
+
+}  // namespace
+}  // namespace rfsm::bench
+
+RFSM_BENCH_MAIN(rfsm::bench::printArtifact)

@@ -1,0 +1,85 @@
+// A1 — Ablation: EA design choices.  Crossover/mutation operator matrix and
+// generation-budget sweep on a fixed instance set, plus search-progress
+// accounting (initial random best vs final best).
+#include "common.hpp"
+
+#include "core/planners.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace rfsm::bench {
+namespace {
+
+constexpr int kDeltas = 16;
+constexpr int kTrials = 4;
+
+double meanLength(const EvolutionConfig& config, const DecodeOptions& options,
+                  double* meanInitial = nullptr) {
+  double sum = 0, sumInit = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const MigrationContext context =
+        randomInstance(16, 2, kDeltas, 400 + trial);
+    Rng rng(static_cast<std::uint64_t>(trial) * 13 + 1);
+    const EvolutionaryPlan plan =
+        planEvolutionary(context, config, rng, options);
+    sum += plan.program.length();
+    sumInit += plan.initialBest;
+  }
+  if (meanInitial != nullptr) *meanInitial = sumInit / kTrials;
+  return sum / kTrials;
+}
+
+void printArtifact() {
+  banner("A1", "Ablation - EA operators and budget (|Td| = 16)");
+
+  Table ops({"crossover", "mutation", "mean |Z|", "mean initial best",
+             "improvement"});
+  for (const auto crossover : {CrossoverOp::kOrder, CrossoverOp::kPmx}) {
+    for (const auto mutation :
+         {MutationOp::kSwap, MutationOp::kInsert, MutationOp::kInversion}) {
+      EvolutionConfig config;
+      config.crossover = crossover;
+      config.mutation = mutation;
+      double initial = 0;
+      const double mean = meanLength(config, {}, &initial);
+      ops.addRow({toString(crossover), toString(mutation),
+                  formatFixed(mean, 1), formatFixed(initial, 1),
+                  formatFixed(initial - mean, 1)});
+    }
+  }
+  std::cout << "\noperator matrix:\n" << ops.toMarkdown();
+
+  Table budget({"generations", "mean |Z| (paper decoder)",
+                "mean |Z| (best-of-three decoder)"});
+  for (const int generations : {0, 10, 30, 60, 120, 240}) {
+    EvolutionConfig config;
+    config.generations = generations;
+    DecodeOptions better;
+    better.rule = DecodeRule::kBestOfThree;
+    budget.addRow({std::to_string(generations),
+                   formatFixed(meanLength(config, {}), 1),
+                   formatFixed(meanLength(config, better), 1)});
+  }
+  std::cout << "\ngeneration budget sweep:\n" << budget.toMarkdown();
+  std::cout << "\ngenerations = 0 is the best of the random initial"
+               " population; the gap to\nlater rows is what the evolutionary"
+               " search itself contributes.\n";
+}
+
+void eaGenerationsScaling(benchmark::State& state) {
+  const MigrationContext context = randomInstance(16, 2, kDeltas, 401);
+  EvolutionConfig config;
+  config.generations = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(9);
+    benchmark::DoNotOptimize(
+        planEvolutionary(context, config, rng).program.length());
+  }
+}
+BENCHMARK(eaGenerationsScaling)->Arg(10)->Arg(40)->Arg(160)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rfsm::bench
+
+RFSM_BENCH_MAIN(rfsm::bench::printArtifact)

@@ -1,0 +1,70 @@
+// A3 — Ablation: hardware scaling.  FPGA resource estimates and RTL
+// simulation throughput as the controller grows, reproducing the paper's
+// sizing argument (the Fig. 5 design scales with RAM, not with rewiring).
+#include "common.hpp"
+
+#include <algorithm>
+
+#include "core/jsr.hpp"
+#include "core/sequence.hpp"
+#include "rtl/datapath.hpp"
+#include "rtl/resources.hpp"
+#include "rtl/vhdl.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace rfsm::bench {
+namespace {
+
+void printArtifact() {
+  banner("A3", "Ablation - FPGA resources and RTL throughput vs |S|, |I|");
+
+  Table table({"|S|", "|I|", "F-RAM bits", "G-RAM bits", "BlockRAMs",
+               "LUTs", "FFs", "fits XCV300", "VHDL lines"});
+  for (const auto& [states, inputs] :
+       {std::pair{4, 2}, {16, 2}, {64, 2}, {64, 8}, {256, 4}, {1024, 8}}) {
+    const MigrationContext context = randomInstance(
+        states, inputs, std::min(8, states / 2), 900 + states + inputs);
+    const auto sequence = sequenceFromProgram(planJsr(context));
+    const auto e = rtl::estimateResources(context, sequence);
+    // VHDL volume scales with RAM depth; count generated lines.
+    const std::string vhdl = rtl::generateVhdl(context, sequence);
+    const auto lines =
+        static_cast<long>(std::count(vhdl.begin(), vhdl.end(), '\n'));
+    table.addRow({std::to_string(states), std::to_string(inputs),
+                  std::to_string(e.framBits), std::to_string(e.gramBits),
+                  std::to_string(e.blockRams), std::to_string(e.luts),
+                  std::to_string(e.flipFlops), e.fitsXcv300 ? "yes" : "no",
+                  std::to_string(lines)});
+  }
+  std::cout << "\n" << table.toMarkdown();
+  std::cout << "\nThe reconfiguration machinery (Reconfigurator ROM + "
+               "counter) stays small;\ncapacity is dominated by F-RAM/G-RAM "
+               "depth 2^(|s|+|i|) — the paper's\nreason for placing them in "
+               "embedded memory blocks.\n";
+}
+
+void rtlThroughputByStates(benchmark::State& state) {
+  const MigrationContext context = randomInstance(
+      static_cast<int>(state.range(0)), 2, 4, 31);
+  rtl::ReconfigurableFsmDatapath hw(context);
+  Rng rng(3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(hw.clock(static_cast<SymbolId>(rng.below(2))));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(rtlThroughputByStates)->RangeMultiplier(4)->Range(4, 1024);
+
+void vhdlGeneration(benchmark::State& state) {
+  const MigrationContext context = randomInstance(
+      static_cast<int>(state.range(0)), 2, 4, 37);
+  const auto sequence = sequenceFromProgram(planJsr(context));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(rtl::generateVhdl(context, sequence).size());
+}
+BENCHMARK(vhdlGeneration)->Arg(16)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace rfsm::bench
+
+RFSM_BENCH_MAIN(rfsm::bench::printArtifact)

@@ -1,0 +1,74 @@
+// A5 — Ablation: the cost of reconfigurability.  Sizes a fixed two-level
+// logic implementation of each machine against the paper's RAM-based
+// Fig. 5 implementation.  Logic is cheaper for sparse controllers but is
+// frozen at synthesis time; the RAM design pays area for the ability to
+// rewrite one cell per cycle.
+#include "common.hpp"
+
+#include "core/jsr.hpp"
+#include "core/sequence.hpp"
+#include "gen/families.hpp"
+#include "gen/samples.hpp"
+#include "logic/synthesize.hpp"
+#include "rtl/resources.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace rfsm::bench {
+namespace {
+
+void addRow(Table& table, const std::string& label, const Machine& machine) {
+  const logic::TwoLevelSynthesis synthesis =
+      logic::synthesizeTwoLevel(machine);
+  const MigrationContext identity(machine, machine);
+  const auto ram = rtl::estimateResources(identity, {});
+  table.addRow({label, std::to_string(machine.stateCount()),
+                std::to_string(machine.inputCount()),
+                std::to_string(synthesis.totalCubes()),
+                std::to_string(synthesis.totalLiterals()),
+                std::to_string(synthesis.estimatedLuts()),
+                std::to_string(ram.framBits + ram.gramBits),
+                std::to_string(ram.blockRams)});
+}
+
+void printArtifact() {
+  banner("A5", "Ablation - fixed two-level logic vs reconfigurable RAM");
+
+  Table table({"machine", "|S|", "|I|", "cubes", "literals", "logic LUTs",
+               "RAM bits", "BlockRAMs"});
+  addRow(table, "ones detector (Fig. 3)", onesDetector());
+  for (const auto& name : sampleNames())
+    addRow(table, name, sampleMachine(name));
+  addRow(table, "counter16", counterMachine(16));
+  Rng rng(7);
+  RandomMachineSpec spec;
+  spec.stateCount = 32;
+  spec.inputCount = 4;
+  spec.outputCount = 4;
+  spec.name = "random32x4";
+  addRow(table, "random32x4", randomMachine(spec, rng));
+  std::cout << "\n" << table.toMarkdown();
+  std::cout << "\nThe logic implementation cannot be changed one transition\n"
+               "per cycle - rewriting it means re-synthesis, re-place and\n"
+               "re-route (the technology-dependent flow the paper's RAM\n"
+               "architecture deliberately avoids).\n";
+}
+
+void synthesizeBench(benchmark::State& state) {
+  Rng rng(11);
+  RandomMachineSpec spec;
+  spec.stateCount = static_cast<int>(state.range(0));
+  spec.inputCount = 2;
+  const Machine machine = randomMachine(spec, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        logic::synthesizeTwoLevel(machine).estimatedLuts());
+  state.SetLabel("|S|=" + std::to_string(state.range(0)));
+}
+BENCHMARK(synthesizeBench)->Arg(8)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rfsm::bench
+
+RFSM_BENCH_MAIN(rfsm::bench::printArtifact)

@@ -1,0 +1,82 @@
+// A2 — Ablation: planning strategies.  Greedy vs EA vs exhaustive-exact vs
+// the no-temporary-transition baseline on small instances where the exact
+// optimum (within the decoder family) is computable, plus the optimality
+// gap of each heuristic.
+#include "common.hpp"
+
+#include <algorithm>
+
+#include "core/apply.hpp"
+#include "core/bounds.hpp"
+#include "core/jsr.hpp"
+#include "core/optimal.hpp"
+#include "core/planners.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace rfsm::bench {
+namespace {
+
+void printArtifact() {
+  banner("A2", "Ablation - planner strategies vs exact optimum");
+
+  Table table({"|Td|", "JSR", "greedy", "EA", "no-temporary", "exact-order",
+               "optimal", "EA gap to optimal"});
+  constexpr int kTrials = 4;
+  for (const int deltas : {3, 5, 7}) {
+    double jsr = 0, greedy = 0, ea = 0, noTemp = 0, exact = 0, optimal = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const MigrationContext context = randomInstance(
+          8, 2, deltas, static_cast<std::uint64_t>(deltas) * 31 + trial);
+      jsr += planJsr(context).length();
+      greedy += planGreedy(context).length();
+      EvolutionConfig config;
+      config.generations = 60;
+      Rng rng(trial);
+      ea += planEvolutionary(context, config, rng).program.length();
+      noTemp += planNoTemporary(context).length();
+      const auto exactOrder = planExact(context, 8);
+      exact += exactOrder ? exactOrder->length() : 0;
+      const auto best = planOptimalSearch(context);
+      optimal += best ? best->length() : 0;
+    }
+    table.addRow(
+        {std::to_string(deltas), formatFixed(jsr / kTrials, 1),
+         formatFixed(greedy / kTrials, 1), formatFixed(ea / kTrials, 1),
+         formatFixed(noTemp / kTrials, 1), formatFixed(exact / kTrials, 1),
+         formatFixed(optimal / kTrials, 1),
+         formatFixed((ea - optimal) / kTrials, 2)});
+  }
+  std::cout << "\n" << table.toMarkdown();
+  std::cout << "\n'exact-order' is optimal within the paper's order-decoder\n"
+               "family (the TSP-like search of Sec. 4.6); 'optimal' is the\n"
+               "state-space search over all one-cycle moves, which may\n"
+               "interleave walks and jumps.  The no-temporary baseline\n"
+               "shows what Sec. 4.3's temporary transitions buy.\n";
+}
+
+void exactPlanning(benchmark::State& state) {
+  const int deltas = static_cast<int>(state.range(0));
+  const MigrationContext context = randomInstance(8, 2, deltas, 55);
+  for (auto _ : state) {
+    const auto plan = planExact(context, 8);
+    benchmark::DoNotOptimize(plan.has_value());
+  }
+  state.SetLabel("|Td|=" + std::to_string(deltas));
+}
+BENCHMARK(exactPlanning)->Arg(3)->Arg(5)->Arg(7)
+    ->Unit(benchmark::kMillisecond);
+
+void greedyPlanning(benchmark::State& state) {
+  const int deltas = static_cast<int>(state.range(0));
+  const MigrationContext context = randomInstance(
+      std::max(8, deltas), 2, deltas, 55);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(planGreedy(context).length());
+}
+BENCHMARK(greedyPlanning)->Arg(5)->Arg(15)->Arg(30);
+
+}  // namespace
+}  // namespace rfsm::bench
+
+RFSM_BENCH_MAIN(rfsm::bench::printArtifact)

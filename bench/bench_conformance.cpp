@@ -1,0 +1,82 @@
+// A9 — Post-migration verification cost: W-method conformance suites.
+// After a migration the device can be verified through I/O alone; this
+// bench sizes the suite (tests, total input symbols) across machine sizes
+// and measures the mutation-detection rate on generator mutants.
+#include "common.hpp"
+
+#include "fsm/conformance.hpp"
+#include "fsm/equivalence.hpp"
+#include "fsm/minimize.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace rfsm::bench {
+namespace {
+
+void printArtifact() {
+  banner("A9", "W-method conformance suites - size and mutant detection");
+
+  Table table({"|S| (minimal)", "|I|", "tests", "input symbols",
+               "mutants tried", "verdicts correct"});
+  for (const int states : {3, 5, 8, 12}) {
+    Rng rng(static_cast<std::uint64_t>(states) * 271 + 9);
+    RandomMachineSpec spec;
+    spec.stateCount = states;
+    spec.inputCount = 2;
+    spec.outputCount = 2;
+    const Machine raw = randomMachine(spec, rng);
+    const Machine specMachine = minimize(raw).machine;
+    const ConformanceSuite suite = wMethodSuite(specMachine);
+
+    constexpr int kMutants = 20;
+    int correct = 0;
+    for (int m = 0; m < kMutants; ++m) {
+      MutationSpec mutation;
+      mutation.deltaCount = 1 + static_cast<int>(rng.below(3));
+      const Machine mutant = mutateMachine(specMachine, mutation, rng);
+      const bool equivalent = areEquivalent(specMachine, mutant);
+      const bool pass =
+          runConformanceSuite(specMachine, mutant, suite).pass;
+      if (pass == equivalent) ++correct;
+    }
+    table.addRow({std::to_string(specMachine.stateCount()), "2",
+                  std::to_string(suite.testCount()),
+                  std::to_string(suite.totalInputs()),
+                  std::to_string(kMutants),
+                  std::to_string(correct) + "/" + std::to_string(kMutants)});
+  }
+  std::cout << "\n" << table.toMarkdown();
+  std::cout << "\nThe W-method guarantee: with the implementation's state\n"
+               "count bounded by the spec's, the suite passes exactly the\n"
+               "equivalent implementations - every verdict column must be\n"
+               "N/N.\n";
+}
+
+void buildSuite(benchmark::State& state) {
+  Rng rng(5);
+  RandomMachineSpec spec;
+  spec.stateCount = static_cast<int>(state.range(0));
+  spec.inputCount = 2;
+  const Machine machine = minimize(randomMachine(spec, rng)).machine;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(wMethodSuite(machine).testCount());
+}
+BENCHMARK(buildSuite)->Arg(5)->Arg(10)->Arg(20);
+
+void runSuite(benchmark::State& state) {
+  Rng rng(5);
+  RandomMachineSpec spec;
+  spec.stateCount = 10;
+  spec.inputCount = 2;
+  const Machine machine = minimize(randomMachine(spec, rng)).machine;
+  const ConformanceSuite suite = wMethodSuite(machine);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        runConformanceSuite(machine, machine, suite).pass);
+}
+BENCHMARK(runSuite);
+
+}  // namespace
+}  // namespace rfsm::bench
+
+RFSM_BENCH_MAIN(rfsm::bench::printArtifact)

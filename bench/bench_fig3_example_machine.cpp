@@ -1,0 +1,71 @@
+// E1 — Fig. 3 / Example 2.1: the ones-detector Mealy machine and its
+// implementation.  Prints the state-transition table and graph, checks the
+// VHDL-specified behaviour, and times functional vs. RTL simulation.
+#include "common.hpp"
+
+#include "fsm/serialize.hpp"
+#include "fsm/simulate.hpp"
+#include "gen/families.hpp"
+#include "rtl/datapath.hpp"
+#include "util/table.hpp"
+
+namespace rfsm::bench {
+namespace {
+
+void printArtifact() {
+  banner("E1", "Fig. 3 + Example 2.1 - ones detector and implementation");
+  const Machine m = onesDetector();
+
+  Table table({"cell (i, s)", "F(i, s)", "G(i, s)"});
+  for (const Transition& t : m.transitions())
+    table.addRow({"(" + m.inputs().name(t.input) + ", " +
+                      m.states().name(t.from) + ")",
+                  m.states().name(t.to), m.outputs().name(t.output)});
+  std::cout << "\nstate-transition table of M:\n" << table.toMarkdown();
+
+  std::cout << "\nstate-transition graph (Graphviz):\n" << toDot(m);
+
+  // The VHDL behaviour from Example 2.1: "outputs o = 1 in case two or more
+  // successive ones have been detected ... until a zero occurs".
+  Table behaviour({"input word", "output word (measured)", "paper"});
+  const auto show = [&](const std::vector<std::string>& word,
+                        const std::string& paper) {
+    std::string in, out;
+    for (const auto& w : word) in += w;
+    for (const auto& o : runOnNames(m, word)) out += o;
+    behaviour.addRow({in, out, paper});
+  };
+  show({"1", "1", "1", "0", "1", "1"}, "011001");
+  show({"0", "1", "0", "1", "0"}, "00000");
+  show({"1", "1", "1", "1"}, "0111");
+  std::cout << "\nbehaviour check:\n" << behaviour.toMarkdown();
+}
+
+void simulateModel(benchmark::State& state) {
+  const Machine m = onesDetector();
+  Simulator sim(m);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim.step(static_cast<SymbolId>(rng.below(2))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(simulateModel);
+
+void simulateRtl(benchmark::State& state) {
+  const MigrationContext context(onesDetector(), zerosDetector());
+  rtl::ReconfigurableFsmDatapath hw(context);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hw.clock(static_cast<SymbolId>(rng.below(2))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(simulateRtl);
+
+}  // namespace
+}  // namespace rfsm::bench
+
+RFSM_BENCH_MAIN(rfsm::bench::printArtifact)

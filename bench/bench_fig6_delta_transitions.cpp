@@ -1,0 +1,56 @@
+// E4 — Fig. 6 + Example 4.1: delta transitions of the migration M -> M'.
+// Prints the computed T_d next to the paper's expected set and times delta
+// computation across machine sizes.
+#include "common.hpp"
+
+#include <set>
+
+#include "gen/families.hpp"
+#include "util/table.hpp"
+
+namespace rfsm::bench {
+namespace {
+
+void printArtifact() {
+  banner("E4", "Fig. 6 + Example 4.1 - delta transitions");
+  const MigrationContext context(example41Source(), example41Target());
+
+  const std::set<std::string> paper{"(0, S1, S0, 0)", "(1, S2, S3, 0)",
+                                    "(1, S3, S3, 1)", "(0, S3, S0, 0)"};
+  Table table({"delta transition (measured)", "in paper set"});
+  std::set<std::string> got;
+  for (const Transition& t : context.deltaTransitions()) {
+    const std::string text = "(" + context.inputs().name(t.input) + ", " +
+                             context.states().name(t.from) + ", " +
+                             context.states().name(t.to) + ", " +
+                             context.outputs().name(t.output) + ")";
+    got.insert(text);
+    table.addRow({text, paper.count(text) ? "yes" : "NO"});
+  }
+  std::cout << "\n" << table.toMarkdown();
+  std::cout << "\n|Td| = " << context.deltaCount() << " (paper: 4), sets "
+            << (got == paper ? "MATCH" : "DIFFER") << "\n";
+}
+
+void computeDeltas(benchmark::State& state) {
+  const int states = static_cast<int>(state.range(0));
+  Rng rng(17);
+  RandomMachineSpec spec;
+  spec.stateCount = states;
+  spec.inputCount = 2;
+  const Machine source = randomMachine(spec, rng);
+  MutationSpec mutation;
+  mutation.deltaCount = states / 2;
+  const Machine target = mutateMachine(source, mutation, rng);
+  for (auto _ : state) {
+    MigrationContext context(source, target);
+    benchmark::DoNotOptimize(context.deltaCount());
+  }
+  state.SetComplexityN(states);
+}
+BENCHMARK(computeDeltas)->RangeMultiplier(4)->Range(8, 512)->Complexity();
+
+}  // namespace
+}  // namespace rfsm::bench
+
+RFSM_BENCH_MAIN(rfsm::bench::printArtifact)

@@ -1,0 +1,81 @@
+// E6 — Fig. 9 + Example 4.3: the JSR (jump, set, return) heuristic on the
+// Fig. 6 migration.  Prints the full 15-step program in the paper's Z
+// notation and times planning across instance sizes.
+#include "common.hpp"
+
+#include "core/apply.hpp"
+#include "core/bounds.hpp"
+#include "core/jsr.hpp"
+#include "core/mutable_machine.hpp"
+#include "gen/families.hpp"
+#include "util/table.hpp"
+
+namespace rfsm::bench {
+namespace {
+
+void printArtifact() {
+  banner("E6", "Fig. 9 + Example 4.3 - the JSR heuristic");
+  const MigrationContext context(example41Source(), example41Target());
+  const ReconfigurationProgram z = planJsr(context);
+
+  // Print the program in the paper's transition notation by replaying it.
+  Table table({"z_k", "kind", "transition taken", "cell written"});
+  MutableMachine machine(context);
+  for (std::size_t k = 0; k < z.steps.size(); ++k) {
+    const ReconfigStep& step = z.steps[k];
+    const SymbolId before = machine.state();
+    machine.applyStep(step);
+    std::string kind, taken = "(", cell = "-";
+    switch (step.kind) {
+      case StepKind::kReset:
+        kind = "reset";
+        taken = "rst -> " + context.states().name(machine.state());
+        break;
+      case StepKind::kTraverse:
+        kind = "take";
+        taken = "(" + context.inputs().name(step.input) + ", " +
+                context.states().name(before) + " -> " +
+                context.states().name(machine.state()) + ")";
+        break;
+      case StepKind::kRewrite:
+        kind = step.temporary ? "jump (temporary)" : "set (delta)";
+        taken = "(" + context.inputs().name(step.input) + ", " +
+                context.states().name(before) + ", " +
+                context.states().name(step.nextState) + ", " +
+                context.outputs().name(step.output) + ")";
+        cell = "(" + context.inputs().name(step.input) + ", " +
+               context.states().name(before) + ")";
+        break;
+    }
+    table.addRow({"z" + std::to_string(k), kind, taken, cell});
+  }
+  std::cout << "\n" << table.toMarkdown();
+
+  const ValidationResult verdict = validateProgram(context, z);
+  std::cout << "\n|Z| = " << z.length()
+            << " (paper Example 4.3: 15 = 3 * (|Td| + 1) with |Td| = 4)\n"
+            << "bound 3(|Td|+1) = " << jsrUpperBound(context)
+            << ", valid: " << (verdict.valid ? "yes" : "NO") << "\n";
+}
+
+void planJsrBench(benchmark::State& state) {
+  const MigrationContext context = randomInstance(
+      static_cast<int>(state.range(0)), 2,
+      static_cast<int>(state.range(0)) / 2, 23);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(planJsr(context).length());
+}
+BENCHMARK(planJsrBench)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void validateJsrBench(benchmark::State& state) {
+  const MigrationContext context = randomInstance(32, 2, 16, 29);
+  const ReconfigurationProgram z = planJsr(context);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(validateProgram(context, z).valid);
+}
+BENCHMARK(validateJsrBench);
+
+}  // namespace
+}  // namespace rfsm::bench
+
+RFSM_BENCH_MAIN(rfsm::bench::printArtifact)

@@ -1,0 +1,71 @@
+// A6 — Sample controller migrations: every bundled revision pair planned by
+// every planner, with the partial-reconfiguration special case where it
+// applies.  This is the "realistic workloads" counterpart to the random
+// machines of Table 2.
+#include "common.hpp"
+
+#include "core/apply.hpp"
+#include "core/bounds.hpp"
+#include "core/jsr.hpp"
+#include "core/local_search.hpp"
+#include "core/partial.hpp"
+#include "core/planners.hpp"
+#include "gen/samples.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace rfsm::bench {
+namespace {
+
+void printArtifact() {
+  banner("A6", "Sample controller upgrades - all planners");
+
+  Table table({"upgrade", "|Td|", "lower", "JSR", "greedy", "EA", "2-opt",
+               "anneal", "output-only opt", "all valid"});
+  for (const SampleMigration& pair : sampleMigrations()) {
+    const MigrationContext context(pair.source, pair.target);
+    bool allValid = true;
+    auto lengthOf = [&](const ReconfigurationProgram& z) {
+      allValid = allValid && validateProgram(context, z).valid;
+      return std::to_string(z.length());
+    };
+    EvolutionConfig config;
+    Rng eaRng(5), saRng(6);
+    const std::string jsr = lengthOf(planJsr(context));
+    const std::string greedy = lengthOf(planGreedy(context));
+    const std::string ea =
+        lengthOf(planEvolutionary(context, config, eaRng).program);
+    const std::string twoOpt = lengthOf(planTwoOpt(context).program);
+    const std::string anneal =
+        lengthOf(planAnnealing(context, AnnealingConfig{}, saRng).program);
+    std::string partial = "-";
+    if (isOutputOnlyMigration(context))
+      if (const auto optimal = planOutputOnlyOptimal(context))
+        partial = lengthOf(*optimal);
+    table.addRow({pair.name, std::to_string(context.deltaCount()),
+                  std::to_string(programLowerBound(context)), jsr, greedy,
+                  ea, twoOpt, anneal, partial, allValid ? "yes" : "NO"});
+  }
+  std::cout << "\n" << table.toMarkdown();
+  std::cout << "\nThe parity upgrade is output-only: the static-graph\n"
+               "optimal planner (Held-Karp over walks) applies and no\n"
+               "temporary transitions are needed at all.\n";
+}
+
+void planSampleUpgrades(benchmark::State& state) {
+  const auto pairs = sampleMigrations();
+  for (auto _ : state) {
+    int total = 0;
+    for (const SampleMigration& pair : pairs) {
+      const MigrationContext context(pair.source, pair.target);
+      total += planGreedy(context).length();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(planSampleUpgrades)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rfsm::bench
+
+RFSM_BENCH_MAIN(rfsm::bench::printArtifact)

@@ -1,0 +1,83 @@
+// E2 — Fig. 4 + Table 1: the four-cycle reconfiguration sequence turning
+// the ones detector into the zeros-counting machine.  Prints the Table 1
+// reproduction and the Fig. 4 state trace, validates the migration, and
+// times program replay.
+#include "common.hpp"
+
+#include "core/apply.hpp"
+#include "core/mutable_machine.hpp"
+#include "core/sequence.hpp"
+#include "gen/families.hpp"
+#include "util/table.hpp"
+
+namespace rfsm::bench {
+namespace {
+
+ReconfigurationProgram table1Program(const MigrationContext& c) {
+  const SymbolId in0 = c.inputs().at("0");
+  const SymbolId in1 = c.inputs().at("1");
+  const SymbolId s0 = c.states().at("S0");
+  const SymbolId s1 = c.states().at("S1");
+  const SymbolId o0 = c.outputs().at("0");
+  const SymbolId o1 = c.outputs().at("1");
+  ReconfigurationProgram z;
+  z.steps.push_back(ReconfigStep::rewrite(in1, s1, o0));  // r1
+  z.steps.push_back(ReconfigStep::rewrite(in1, s1, o0));  // r2
+  z.steps.push_back(ReconfigStep::rewrite(in0, s0, o0));  // r3
+  z.steps.push_back(ReconfigStep::rewrite(in0, s0, o1));  // r4
+  return z;
+}
+
+void printArtifact() {
+  banner("E2", "Fig. 4 + Table 1 - reconfiguration sequence ones -> zeros");
+  const MigrationContext context(onesDetector(), zerosDetector());
+  const ReconfigurationProgram z = table1Program(context);
+
+  std::cout << "\nTable 1 (reconfiguration sequence, paper layout):\n"
+            << sequenceToMarkdown(context, sequenceFromProgram(z));
+
+  // Fig. 4: the transitions taken during reconfiguration.
+  Table trace({"cycle", "state before", "state after", "cell written"});
+  MutableMachine machine(context);
+  for (std::size_t k = 0; k < z.steps.size(); ++k) {
+    const SymbolId before = machine.state();
+    machine.applyStep(z.steps[k]);
+    trace.addRow({"r" + std::to_string(k + 1),
+                  context.states().name(before),
+                  context.states().name(machine.state()),
+                  "(" + context.inputs().name(z.steps[k].input) + ", " +
+                      context.states().name(before) + ")"});
+  }
+  std::cout << "\nFig. 4 state trace:\n" << trace.toMarkdown();
+
+  const ValidationResult verdict = validateProgram(context, z);
+  std::cout << "\nlength: " << z.length()
+            << " cycles (paper: four clock cycles)\n"
+            << "validates (M -> M', ends in S0'): "
+            << (verdict.valid ? "yes" : ("NO - " + verdict.reason)) << "\n";
+}
+
+void replayTable1(benchmark::State& state) {
+  const MigrationContext context(onesDetector(), zerosDetector());
+  const ReconfigurationProgram z = table1Program(context);
+  for (auto _ : state) {
+    MutableMachine machine(context);
+    machine.applyProgram(z);
+    benchmark::DoNotOptimize(machine.state());
+  }
+  state.SetItemsProcessed(state.iterations() * z.length());
+}
+BENCHMARK(replayTable1);
+
+void validateTable1(benchmark::State& state) {
+  const MigrationContext context(onesDetector(), zerosDetector());
+  const ReconfigurationProgram z = table1Program(context);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(validateProgram(context, z).valid);
+}
+BENCHMARK(validateTable1);
+
+}  // namespace
+}  // namespace rfsm::bench
+
+RFSM_BENCH_MAIN(rfsm::bench::printArtifact)

@@ -1,0 +1,59 @@
+// Shared helpers for the benchmark harness.
+//
+// Every bench binary first prints its reproduction artifact (the paper
+// table/figure it regenerates, as markdown) and then runs google-benchmark
+// timings.  Keeping the artifact on stdout makes
+// `for b in build/bench/*; do $b; done | tee bench_output.txt` a complete
+// reproduction log.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+#include "core/migration.hpp"
+#include "gen/generator.hpp"
+#include "gen/mutator.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm::bench {
+
+/// Prints the experiment banner (id and title from DESIGN.md).
+inline void banner(const std::string& id, const std::string& title) {
+  std::cout << "\n================================================================\n"
+            << id << ": " << title << "\n"
+            << "================================================================\n";
+}
+
+/// Deterministic random migration instance used across benches: |S| states,
+/// |I| inputs, exactly `deltas` delta transitions.
+inline MigrationContext randomInstance(int states, int inputs, int deltas,
+                                       std::uint64_t seed,
+                                       int newStates = 0) {
+  Rng rng(seed);
+  RandomMachineSpec spec;
+  spec.stateCount = states;
+  spec.inputCount = inputs;
+  spec.outputCount = 2;
+  const Machine source = randomMachine(spec, rng);
+  MutationSpec mutation;
+  mutation.deltaCount = deltas;
+  mutation.newStateCount = newStates;
+  const Machine target = mutateMachine(source, mutation, rng);
+  return MigrationContext(source, target);
+}
+
+/// Standard bench main: print the artifact, then run timings.
+#define RFSM_BENCH_MAIN(printArtifact)                       \
+  int main(int argc, char** argv) {                          \
+    printArtifact();                                         \
+    ::benchmark::Initialize(&argc, argv);                    \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) \
+      return 1;                                              \
+    ::benchmark::RunSpecifiedBenchmarks();                   \
+    ::benchmark::Shutdown();                                 \
+    return 0;                                                \
+  }
+
+}  // namespace rfsm::bench

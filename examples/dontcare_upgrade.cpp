@@ -1,0 +1,70 @@
+// Don't-care-aware upgrades: migrating to a *partial* specification.
+//
+// An upgrade spec usually pins a handful of cells and leaves the rest
+// open.  Completing the spec with the source machine's own values makes
+// the unconstrained cells free (zero deltas); this example contrasts that
+// with naive completions.
+//
+// Run: ./dontcare_upgrade [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/apply.hpp"
+#include "core/dontcare.hpp"
+#include "core/planners.hpp"
+#include "fsm/partial_machine.hpp"
+#include "gen/generator.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rfsm;
+  const std::uint64_t seed =
+      argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 9;
+
+  Rng rng(seed);
+  RandomMachineSpec genSpec;
+  genSpec.stateCount = 10;
+  genSpec.inputCount = 2;
+  genSpec.outputCount = 2;
+  genSpec.name = "deployed";
+  const Machine source = randomMachine(genSpec, rng);
+
+  // The upgrade pins 5 cells to new values; everything else is don't care.
+  PartialMachine spec("upgrade_spec", source.inputs(), source.outputs(),
+                      source.states(), source.resetState());
+  int pinned = 0;
+  while (pinned < 5) {
+    const auto s = static_cast<SymbolId>(rng.below(10));
+    const auto i = static_cast<SymbolId>(rng.below(2));
+    if (spec.isNextSpecified(i, s)) continue;
+    spec.specify(i, s, static_cast<SymbolId>(rng.below(10)),
+                 static_cast<SymbolId>(rng.below(2)));
+    ++pinned;
+  }
+  std::cout << "upgrade spec pins " << pinned << " of "
+            << 10 * 2 << " cells (" << spec.unspecifiedCount()
+            << " left open)\n\n";
+
+  Table table({"completion", "|Td|", "|Z| (greedy)", "honours spec"});
+  const CompletionResult smart = completeForMigration(source, spec);
+  {
+    const MigrationContext context(source, smart.target);
+    table.addRow({"don't-care-aware",
+                  std::to_string(context.deltaCount()),
+                  std::to_string(planGreedy(context).length()),
+                  implementsSpecification(smart.target, spec) ? "yes" : "NO"});
+  }
+  for (int round = 0; round < 3; ++round) {
+    const Machine naive = spec.completeRandomly(rng);
+    const MigrationContext context(source, naive);
+    table.addRow({"random #" + std::to_string(round + 1),
+                  std::to_string(context.deltaCount()),
+                  std::to_string(planGreedy(context).length()),
+                  implementsSpecification(naive, spec) ? "yes" : "NO"});
+  }
+  std::cout << table.toMarkdown();
+  std::cout << "\nEvery completion satisfies the spec, but resolving the\n"
+               "don't-cares from the running machine keeps the delta set —\n"
+               "and therefore the live-migration window — minimal.\n";
+  return 0;
+}

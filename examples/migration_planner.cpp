@@ -1,0 +1,74 @@
+// Planner comparison on user-sized machines.
+//
+// Generates a random machine of the requested size, mutates it to a target
+// with the requested number of delta transitions, and runs every planner,
+// printing lengths against the Thm. 4.2/4.3 bounds.
+//
+// Run: ./migration_planner [states] [inputs] [deltas] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/apply.hpp"
+#include "core/bounds.hpp"
+#include "core/jsr.hpp"
+#include "core/planners.hpp"
+#include "gen/generator.hpp"
+#include "gen/mutator.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rfsm;
+
+  const int states = argc > 1 ? std::atoi(argv[1]) : 16;
+  const int inputs = argc > 2 ? std::atoi(argv[2]) : 2;
+  const int deltas = argc > 3 ? std::atoi(argv[3]) : 10;
+  const std::uint64_t seed =
+      argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 7;
+
+  Rng rng(seed);
+  RandomMachineSpec spec;
+  spec.stateCount = states;
+  spec.inputCount = inputs;
+  const Machine source = randomMachine(spec, rng);
+  MutationSpec mutation;
+  mutation.deltaCount = deltas;
+  const Machine target = mutateMachine(source, mutation, rng);
+  const MigrationContext context(source, target);
+
+  std::cout << "random migration: |S| = " << states << ", |I| = " << inputs
+            << ", |Td| = " << context.deltaCount() << ", seed = " << seed
+            << "\n";
+  std::cout << "bounds: lower " << programLowerBound(context) << " (Thm 4.3),"
+            << " JSR upper " << jsrUpperBound(context) << " (Thm 4.2)\n\n";
+
+  Table table({"planner", "|Z|", "rewrites", "temporaries", "resets",
+               "valid"});
+  auto report = [&](const std::string& name,
+                    const ReconfigurationProgram& z) {
+    const ValidationResult verdict = validateProgram(context, z);
+    table.addRow({name, std::to_string(z.length()),
+                  std::to_string(z.rewriteCount()),
+                  std::to_string(z.temporaryCount()),
+                  std::to_string(z.resetCount()),
+                  verdict.valid ? "yes" : "NO: " + verdict.reason});
+  };
+
+  report("JSR", planJsr(context));
+  report("greedy", planGreedy(context));
+  report("no-temporary", planNoTemporary(context));
+
+  EvolutionConfig config;
+  Rng eaRng(seed + 1);
+  report("EA (paper decoder)", planEvolutionary(context, config, eaRng).program);
+
+  DecodeOptions better;
+  better.rule = DecodeRule::kBestOfThree;
+  Rng eaRng2(seed + 2);
+  report("EA (best-of-three)",
+         planEvolutionary(context, config, eaRng2, better).program);
+
+  if (const auto exact = planExact(context, 8)) report("exact", *exact);
+
+  std::cout << table.toMarkdown();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Domain example: packet-dependent protocol processing (the application
+// domain named in the paper's introduction).
+//
+// A line-rate frame delimiter parses a serial stream for the v1 preamble.
+// Mid-stream, the link announces a protocol upgrade; the parser FSM
+// migrates itself — gradually, one table cell per clock — to the v2
+// preamble without a full context swap, and the example accounts for the
+// exact downtime.
+//
+// Run: ./netproto_switchover [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "apps/netproto/protocol.hpp"
+#include "core/bounds.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rfsm;
+  using namespace rfsm::netproto;
+
+  const std::uint64_t seed =
+      argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 2026;
+  const std::string v1 = "10110";
+  const std::string v2 = "110101";
+
+  std::cout << "frame preamble v1 = " << v1 << ", v2 = " << v2 << "\n\n";
+
+  Table table({"planner", "|Td|", "|Z|", "JSR bound", "downtime bits",
+               "frames pre", "frames post", "valid"});
+  for (const auto& [planner, name] :
+       {std::pair{UpgradePlanner::kJsr, "JSR"},
+        std::pair{UpgradePlanner::kGreedy, "greedy"},
+        std::pair{UpgradePlanner::kEvolutionary, "EA"}}) {
+    Rng rng(seed);
+    ProtocolProcessor processor(v1, v2, planner, seed);
+    const SwitchoverReport report = processor.runSwitchover(
+        /*preFrames=*/20, /*postFrames=*/20, /*payloadBits=*/9, rng);
+    table.addRow({name, std::to_string(report.deltaCount),
+                  std::to_string(report.programLength),
+                  std::to_string(jsrUpperBound(report.deltaCount)),
+                  std::to_string(report.droppedDuringUpgrade),
+                  std::to_string(report.preUpgradeMatches),
+                  std::to_string(report.postUpgradeMatches),
+                  report.programValidated ? "yes" : "NO"});
+  }
+  std::cout << table.toMarkdown();
+  std::cout << "\nThe EA upgrade needs the fewest link bits of downtime; a\n"
+               "full-context swap would instead stall the link for an entire\n"
+               "bitstream reload (milliseconds, i.e. millions of bits).\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "apps/netproto/multiport.hpp"
+
+#include "core/apply.hpp"
+#include "core/jsr.hpp"
+#include "core/planners.hpp"
+#include "util/check.hpp"
+
+namespace rfsm::netproto {
+namespace {
+
+ReconfigurationProgram planPair(const MigrationContext& context,
+                                UpgradePlanner planner, std::uint64_t seed) {
+  switch (planner) {
+    case UpgradePlanner::kJsr:
+      return planJsr(context);
+    case UpgradePlanner::kGreedy:
+      return planGreedy(context);
+    case UpgradePlanner::kEvolutionary: {
+      Rng rng(seed);
+      return planEvolutionary(context, EvolutionConfig{}, rng).program;
+    }
+  }
+  return planJsr(context);
+}
+
+}  // namespace
+
+MultiProtocolPort::MultiProtocolPort(std::vector<std::string> preambles,
+                                     UpgradePlanner planner,
+                                     std::uint64_t seed) {
+  RFSM_CHECK(preambles.size() >= 2, "a port needs at least two versions");
+  for (const std::string& preamble : preambles)
+    parsers_.push_back(preambleParser(preamble));
+
+  // Plan and validate every ordered version pair up front.
+  for (int from = 0; from < versionCount(); ++from) {
+    for (int to = 0; to < versionCount(); ++to) {
+      if (from == to) continue;
+      const MigrationContext context(
+          parsers_[static_cast<std::size_t>(from)],
+          parsers_[static_cast<std::size_t>(to)]);
+      const ReconfigurationProgram program = planPair(
+          context, planner, seed * 100 + static_cast<std::uint64_t>(
+              from * versionCount() + to));
+      const ValidationResult verdict = validateProgram(context, program);
+      RFSM_CHECK(verdict.valid,
+                 "invalid migration program for version switch: " +
+                     verdict.reason);
+      programLengths_[{from, to}] = program.length();
+    }
+  }
+  simulator_ = std::make_unique<Simulator>(parsers_.front());
+}
+
+int MultiProtocolPort::programLength(int from, int to) const {
+  auto it = programLengths_.find({from, to});
+  RFSM_CHECK(it != programLengths_.end(), "unknown version pair");
+  return it->second;
+}
+
+PacketReport MultiProtocolPort::processPacket(int version,
+                                              const std::string& payloadBits) {
+  RFSM_CHECK(version >= 0 && version < versionCount(),
+             "packet announces an unknown version");
+  PacketReport report;
+  report.version = version;
+  if (version != current_) {
+    // The validated program morphs the parser and terminates in S0', so
+    // the behavioural continuation equals a fresh target parser at reset.
+    report.switched = true;
+    report.switchCycles = programLength(current_, version);
+    totalSwitchCycles_ += report.switchCycles;
+    ++switchCount_;
+    current_ = version;
+    simulator_ = std::make_unique<Simulator>(
+        parsers_[static_cast<std::size_t>(current_)]);
+  }
+  const Machine& parser = parsers_[static_cast<std::size_t>(current_)];
+  const SymbolId one = parser.outputs().at("1");
+  const SymbolId in0 = parser.inputs().at("0");
+  const SymbolId in1 = parser.inputs().at("1");
+  for (char bit : payloadBits) {
+    RFSM_CHECK(bit == '0' || bit == '1', "payload must be a bit string");
+    if (simulator_->step(bit == '1' ? in1 : in0) == one)
+      ++report.frameMatches;
+  }
+  return report;
+}
+
+}  // namespace rfsm::netproto

@@ -1,0 +1,127 @@
+#include "apps/netproto/protocol.hpp"
+
+#include "core/apply.hpp"
+#include "core/jsr.hpp"
+#include "core/planners.hpp"
+#include "fsm/simulate.hpp"
+#include "gen/families.hpp"
+
+namespace rfsm::netproto {
+
+Machine preambleParser(const std::string& preamble) {
+  return sequenceDetector(preamble).withName("parse_" + preamble);
+}
+
+std::string renderStream(const std::string& preamble, int frameCount,
+                         int payloadBits, Rng& rng) {
+  std::string stream;
+  stream.reserve(static_cast<std::size_t>(frameCount) *
+                 (preamble.size() + static_cast<std::size_t>(payloadBits)));
+  for (int f = 0; f < frameCount; ++f) {
+    stream += preamble;
+    for (int b = 0; b < payloadBits; ++b)
+      stream += rng.chance(0.5) ? '1' : '0';
+  }
+  return stream;
+}
+
+int countMatches(const Machine& machine, const std::string& bits) {
+  Simulator sim(machine);
+  const SymbolId one = machine.outputs().at("1");
+  const SymbolId in0 = machine.inputs().at("0");
+  const SymbolId in1 = machine.inputs().at("1");
+  int matches = 0;
+  for (char bit : bits)
+    if (sim.step(bit == '1' ? in1 : in0) == one) ++matches;
+  return matches;
+}
+
+namespace {
+
+ReconfigurationProgram planUpgrade(const MigrationContext& context,
+                                   UpgradePlanner planner,
+                                   std::uint64_t seed) {
+  switch (planner) {
+    case UpgradePlanner::kJsr:
+      return planJsr(context);
+    case UpgradePlanner::kGreedy:
+      return planGreedy(context);
+    case UpgradePlanner::kEvolutionary: {
+      Rng rng(seed);
+      EvolutionConfig config;
+      return planEvolutionary(context, config, rng).program;
+    }
+  }
+  return planJsr(context);
+}
+
+}  // namespace
+
+ProtocolProcessor::ProtocolProcessor(const std::string& fromPreamble,
+                                     const std::string& toPreamble,
+                                     UpgradePlanner planner,
+                                     std::uint64_t seed)
+    : fromPreamble_(fromPreamble),
+      toPreamble_(toPreamble),
+      source_(preambleParser(fromPreamble)),
+      target_(preambleParser(toPreamble)),
+      context_(std::make_unique<MigrationContext>(source_, target_)),
+      program_(planUpgrade(*context_, planner, seed)),
+      machine_(std::make_unique<SelfReconfigurableMachine>(*context_)) {}
+
+ProtocolProcessor::~ProtocolProcessor() = default;
+
+int ProtocolProcessor::processBits(const std::string& bits) {
+  const SymbolId one = context_->outputs().at("1");
+  const SymbolId in0 = context_->inputs().at("0");
+  const SymbolId in1 = context_->inputs().at("1");
+  int matches = 0;
+  for (char bit : bits) {
+    if (upgradeRequested_ && !upgradeStarted_) {
+      machine_->enqueueProgram(program_);
+      upgradeStarted_ = true;
+    }
+    const bool reconfigCycle = machine_->reconfiguring();
+    const SymbolId out = machine_->clock(bit == '1' ? in1 : in0);
+    // Outputs produced while the Reconfigurator drives the machine are not
+    // protocol outputs.
+    if (!reconfigCycle && out == one) ++matches;
+  }
+  return matches;
+}
+
+void ProtocolProcessor::requestUpgrade() { upgradeRequested_ = true; }
+
+bool ProtocolProcessor::upgraded() const {
+  return upgradeStarted_ && !machine_->reconfiguring();
+}
+
+int ProtocolProcessor::reconfigurationCycles() const {
+  return machine_->reconfigurationCycles();
+}
+
+SwitchoverReport ProtocolProcessor::runSwitchover(int preFrames,
+                                                  int postFrames,
+                                                  int payloadBits, Rng& rng) {
+  SwitchoverReport report;
+  report.deltaCount = context_->deltaCount();
+  report.programLength = program_.length();
+  report.programValidated = validateProgram(*context_, program_).valid;
+
+  report.preUpgradeMatches =
+      processBits(renderStream(fromPreamble_, preFrames, payloadBits, rng));
+
+  requestUpgrade();
+  // The link keeps carrying idle bits while the parser migrates; they are
+  // consumed but not parsed.
+  while (!upgraded()) {
+    processBits("0");
+    ++report.droppedDuringUpgrade;
+  }
+
+  report.postUpgradeMatches =
+      processBits(renderStream(toPreamble_, postFrames, payloadBits, rng));
+  return report;
+}
+
+}  // namespace rfsm::netproto

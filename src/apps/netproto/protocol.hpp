@@ -1,0 +1,95 @@
+// Packet-dependent protocol processing on self-reconfigurable FSMs.
+//
+// The paper's introduction names "network protocol applications that
+// require packet-dependent processing" as the application domain.  This
+// module models a line-rate frame delimiter: a Mealy machine watches the
+// serial bit stream and raises its output for one cycle whenever a frame
+// preamble has been seen.  A protocol upgrade changes the preamble; instead
+// of stopping the device and swapping the full configuration context, the
+// processor migrates its parser FSM gradually (self-reconfiguration),
+// counting the exact downtime in cycles.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/migration.hpp"
+#include "core/program.hpp"
+#include "core/self_reconfigurable.hpp"
+#include "fsm/machine.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm::netproto {
+
+/// Builds the frame-delimiter Mealy machine for `preamble` (binary string):
+/// output 1 exactly on the cycle the preamble completes.
+Machine preambleParser(const std::string& preamble);
+
+/// Renders a bit stream of `frameCount` frames: each frame is the preamble
+/// followed by `payloadBits` random payload bits that never contain the
+/// preamble's first character run ambiguity is allowed — matches are
+/// counted by the golden simulator, not assumed.
+std::string renderStream(const std::string& preamble, int frameCount,
+                         int payloadBits, Rng& rng);
+
+/// Counts preamble matches `machine` reports on `bits` (golden reference).
+int countMatches(const Machine& machine, const std::string& bits);
+
+/// Which planner produces the migration program.
+enum class UpgradePlanner { kJsr, kGreedy, kEvolutionary };
+
+/// Outcome of a processed stream with one in-band upgrade.
+struct SwitchoverReport {
+  int preUpgradeMatches = 0;     // frames seen before the upgrade request
+  int postUpgradeMatches = 0;    // frames seen after the migration finished
+  int droppedDuringUpgrade = 0;  // bits consumed while reconfiguring
+  int programLength = 0;         // |Z| of the migration program
+  int deltaCount = 0;            // |Td| of the migration
+  bool programValidated = false; // validateProgram() verdict
+};
+
+/// A serial-stream processor whose parser FSM can upgrade itself in-band.
+class ProtocolProcessor {
+ public:
+  /// Prepares a processor parsing `fromPreamble`, with an upgrade path to
+  /// `toPreamble` planned by `planner` (seeded for reproducibility).
+  ProtocolProcessor(const std::string& fromPreamble,
+                    const std::string& toPreamble, UpgradePlanner planner,
+                    std::uint64_t seed = 1);
+  ~ProtocolProcessor();
+
+  ProtocolProcessor(const ProtocolProcessor&) = delete;
+  ProtocolProcessor& operator=(const ProtocolProcessor&) = delete;
+
+  /// Feeds bits ('0'/'1'); returns the number of frame matches reported.
+  int processBits(const std::string& bits);
+
+  /// Requests the in-band upgrade: the parser migrates at the next cycle.
+  void requestUpgrade();
+
+  /// True once the migration program has fully played.
+  bool upgraded() const;
+
+  /// Cycles spent reconfiguring so far.
+  int reconfigurationCycles() const;
+
+  const MigrationContext& context() const { return *context_; }
+  const ReconfigurationProgram& program() const { return program_; }
+
+  /// Runs the canonical experiment: parse `preFrames` frames of the old
+  /// protocol, upgrade in-band, parse `postFrames` frames of the new
+  /// protocol; returns the accounting.
+  SwitchoverReport runSwitchover(int preFrames, int postFrames,
+                                 int payloadBits, Rng& rng);
+
+ private:
+  std::string fromPreamble_, toPreamble_;
+  Machine source_, target_;
+  std::unique_ptr<MigrationContext> context_;
+  ReconfigurationProgram program_;
+  std::unique_ptr<SelfReconfigurableMachine> machine_;
+  bool upgradeRequested_ = false;
+  bool upgradeStarted_ = false;
+};
+
+}  // namespace rfsm::netproto

@@ -1,0 +1,192 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+
+namespace rfsm::bdd {
+namespace {
+
+/// Node indices are packed three-per-uint64 in the tables.
+constexpr std::uint32_t kIndexBits = 21;
+constexpr std::uint32_t kMaxNodes = (1u << kIndexBits) - 1;
+
+std::uint64_t packTriple(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  return (a << (2 * kIndexBits)) | (b << kIndexBits) | c;
+}
+
+}  // namespace
+
+BddManager::BddManager(int variableCount) : variableCount_(variableCount) {
+  RFSM_CHECK(variableCount >= 1 && variableCount < (1 << 10),
+             "variable count must be 1..1023");
+  // Terminals test the pseudo-variable variableCount_ (below all others).
+  nodes_.push_back(NodeData{variableCount_, kFalse, kFalse});  // 0 = false
+  nodes_.push_back(NodeData{variableCount_, kTrue, kTrue});    // 1 = true
+}
+
+Node BddManager::make(int var, Node low, Node high) {
+  if (low == high) return low;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(var) << (2 * kIndexBits + 10)) |
+      packTriple(0, low, high);
+  auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  RFSM_CHECK(nodes_.size() < kMaxNodes, "BDD node store exhausted");
+  RFSM_CHECK(nodes_[low].var > var && nodes_[high].var > var,
+             "BDD order violated");
+  const Node node = static_cast<Node>(nodes_.size());
+  nodes_.push_back(NodeData{var, low, high});
+  unique_.emplace(key, node);
+  return node;
+}
+
+Node BddManager::variable(int index) {
+  RFSM_CHECK(index >= 0 && index < variableCount_, "variable out of range");
+  return make(index, kFalse, kTrue);
+}
+
+Node BddManager::notVariable(int index) {
+  RFSM_CHECK(index >= 0 && index < variableCount_, "variable out of range");
+  return make(index, kTrue, kFalse);
+}
+
+Node BddManager::notOf(Node f) { return ite(f, kFalse, kTrue); }
+Node BddManager::andOf(Node f, Node g) { return ite(f, g, kFalse); }
+Node BddManager::orOf(Node f, Node g) { return ite(f, kTrue, g); }
+Node BddManager::xorOf(Node f, Node g) { return ite(f, notOf(g), g); }
+Node BddManager::xnorOf(Node f, Node g) { return ite(f, g, notOf(g)); }
+
+Node BddManager::ite(Node f, Node g, Node h) {
+  RFSM_CHECK(f < nodes_.size() && g < nodes_.size() && h < nodes_.size(),
+             "node handle out of range");
+  return iteRec(f, g, h);
+}
+
+Node BddManager::iteRec(Node f, Node g, Node h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  const std::uint64_t key = packTriple(f, g, h);
+  auto it = computed_.find(key);
+  if (it != computed_.end()) return it->second;
+
+  const int v = std::min({nodes_[f].var, nodes_[g].var, nodes_[h].var});
+  auto cofactor = [&](Node n, bool positive) {
+    if (nodes_[n].var != v) return n;
+    return positive ? nodes_[n].high : nodes_[n].low;
+  };
+  const Node low = iteRec(cofactor(f, false), cofactor(g, false),
+                          cofactor(h, false));
+  const Node high =
+      iteRec(cofactor(f, true), cofactor(g, true), cofactor(h, true));
+  const Node result = make(v, low, high);
+  computed_.emplace(key, result);
+  return result;
+}
+
+Node BddManager::exists(Node f, const std::vector<int>& variables) {
+  std::vector<bool> quantified(static_cast<std::size_t>(variableCount_),
+                               false);
+  for (const int v : variables) {
+    RFSM_CHECK(v >= 0 && v < variableCount_, "variable out of range");
+    quantified[static_cast<std::size_t>(v)] = true;
+  }
+  std::unordered_map<Node, Node> memo;
+  return existsRec(f, quantified, memo);
+}
+
+Node BddManager::existsRec(Node f, const std::vector<bool>& quantified,
+                           std::unordered_map<Node, Node>& memo) {
+  if (f == kTrue || f == kFalse) return f;
+  auto it = memo.find(f);
+  if (it != memo.end()) return it->second;
+  const NodeData node = nodes_[f];
+  const Node low = existsRec(node.low, quantified, memo);
+  const Node high = existsRec(node.high, quantified, memo);
+  const Node result = quantified[static_cast<std::size_t>(node.var)]
+                          ? orOf(low, high)
+                          : make(node.var, low, high);
+  memo.emplace(f, result);
+  return result;
+}
+
+Node BddManager::rename(Node f, const std::map<int, int>& map) {
+  // Monotonicity on the mapped variables (std::map iterates key-ascending).
+  int lastTarget = -1;
+  for (const auto& [from, to] : map) {
+    RFSM_CHECK(from >= 0 && from < variableCount_ && to >= 0 &&
+                   to < variableCount_,
+               "rename variable out of range");
+    RFSM_CHECK(to > lastTarget, "rename map must be strictly monotone");
+    lastTarget = to;
+  }
+  std::unordered_map<Node, Node> memo;
+  return renameRec(f, map, memo);
+}
+
+Node BddManager::renameRec(Node f, const std::map<int, int>& map,
+                           std::unordered_map<Node, Node>& memo) {
+  if (f == kTrue || f == kFalse) return f;
+  auto it = memo.find(f);
+  if (it != memo.end()) return it->second;
+  const NodeData node = nodes_[f];
+  const Node low = renameRec(node.low, map, memo);
+  const Node high = renameRec(node.high, map, memo);
+  auto mapped = map.find(node.var);
+  const int var = mapped == map.end() ? node.var : mapped->second;
+  const Node result = make(var, low, high);
+  memo.emplace(f, result);
+  return result;
+}
+
+bool BddManager::evaluate(Node f, const std::vector<bool>& assignment) const {
+  RFSM_CHECK(assignment.size() ==
+                 static_cast<std::size_t>(variableCount_),
+             "assignment must cover every variable");
+  Node node = f;
+  while (node != kTrue && node != kFalse) {
+    const NodeData& data = nodes_[node];
+    node = assignment[static_cast<std::size_t>(data.var)] ? data.high
+                                                          : data.low;
+  }
+  return node == kTrue;
+}
+
+std::uint64_t BddManager::satCount(Node f) const {
+  std::unordered_map<Node, std::uint64_t> memo;
+  // rec(n) = models over variables var(n)..variableCount_-1.
+  auto rec = [&](auto&& self, Node n) -> std::uint64_t {
+    if (n == kFalse) return 0;
+    if (n == kTrue) return 1;
+    auto it = memo.find(n);
+    if (it != memo.end()) return it->second;
+    const NodeData& d = nodes_[n];
+    const std::uint64_t low =
+        self(self, d.low)
+        << (nodes_[d.low].var - d.var - 1);
+    const std::uint64_t high =
+        self(self, d.high)
+        << (nodes_[d.high].var - d.var - 1);
+    const std::uint64_t result = low + high;
+    memo.emplace(n, result);
+    return result;
+  };
+  return rec(rec, f) << nodes_[f].var;
+}
+
+Node BddManager::cube(const std::vector<std::pair<int, bool>>& literals) {
+  std::vector<std::pair<int, bool>> sorted = literals;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t k = 1; k < sorted.size(); ++k)
+    RFSM_CHECK(sorted[k].first != sorted[k - 1].first,
+               "cube mentions a variable twice");
+  Node node = kTrue;
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it)
+    node = it->second ? make(it->first, kFalse, node)
+                      : make(it->first, node, kFalse);
+  return node;
+}
+
+}  // namespace rfsm::bdd

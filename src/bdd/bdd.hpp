@@ -1,0 +1,89 @@
+// Reduced Ordered Binary Decision Diagrams (Bryant 1986).
+//
+// A compact BDD package in the classic style: a node store with a unique
+// table (hash-consing guarantees canonicity for a fixed variable order), an
+// ITE-based apply with a computed table, existential quantification,
+// monotone variable renaming (for image computation), evaluation and
+// model counting.  No complement edges and no dynamic reordering — the
+// symbolic FSM analyses in this repository stay small enough not to need
+// them, and the simpler invariants are easier to test exhaustively.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace rfsm::bdd {
+
+/// Handle of a BDD function within one manager.
+using Node = std::uint32_t;
+
+/// A BDD manager over a fixed number of variables (order = index order;
+/// variable 0 is tested first / topmost).
+class BddManager {
+ public:
+  static constexpr Node kFalse = 0;
+  static constexpr Node kTrue = 1;
+
+  explicit BddManager(int variableCount);
+
+  int variableCount() const { return variableCount_; }
+  /// Live nodes in the store (including the two terminals).
+  std::size_t nodeCount() const { return nodes_.size(); }
+
+  /// The function of a single variable.
+  Node variable(int index);
+  /// Its negation.
+  Node notVariable(int index);
+
+  Node notOf(Node f);
+  Node andOf(Node f, Node g);
+  Node orOf(Node f, Node g);
+  Node xorOf(Node f, Node g);
+  Node xnorOf(Node f, Node g);
+  /// If-then-else: f ? g : h (the universal connective).
+  Node ite(Node f, Node g, Node h);
+
+  /// Existential quantification over the given variables.
+  Node exists(Node f, const std::vector<int>& variables);
+
+  /// Renames variables: each f-variable v becomes map.at(v) (variables not
+  /// in the map stay).  The map must be strictly monotone on the variables
+  /// actually present so the order is preserved; checked at runtime.
+  Node rename(Node f, const std::map<int, int>& map);
+
+  /// Evaluates under a full assignment (assignment[v] = value of var v).
+  bool evaluate(Node f, const std::vector<bool>& assignment) const;
+
+  /// Number of satisfying assignments over all variableCount() variables.
+  std::uint64_t satCount(Node f) const;
+
+  /// The cube (AND of literals) for the given values of given variables.
+  Node cube(const std::vector<std::pair<int, bool>>& literals);
+
+ private:
+  struct NodeData {
+    int var;    // variable tested (terminals: variableCount_)
+    Node low;   // cofactor var=0
+    Node high;  // cofactor var=1
+  };
+
+  Node make(int var, Node low, Node high);
+  Node iteRec(Node f, Node g, Node h);
+  Node existsRec(Node f, const std::vector<bool>& quantified,
+                 std::unordered_map<Node, Node>& memo);
+  Node renameRec(Node f, const std::map<int, int>& map,
+                 std::unordered_map<Node, Node>& memo);
+
+  int variableCount_;
+  std::vector<NodeData> nodes_;
+  // Unique table: (var, low, high) -> node.
+  std::unordered_map<std::uint64_t, Node> unique_;
+  // Computed table for ite.
+  std::unordered_map<std::uint64_t, Node> computed_;
+};
+
+}  // namespace rfsm::bdd

@@ -1,0 +1,167 @@
+#include "bdd/symbolic_fsm.hpp"
+
+#include <map>
+#include <vector>
+
+#include "fsm/builder.hpp"
+#include "rtl/kernel.hpp"
+
+namespace rfsm::bdd {
+namespace {
+
+/// Variable layout: product-state bits are interleaved current/next
+/// (current_k = 2k, next_k = 2k+1) so that renaming next->current is
+/// strictly monotone; input bits follow after all state bits.
+struct Layout {
+  int stateBits;
+  int inputBits;
+
+  int current(int k) const { return 2 * k; }
+  int next(int k) const { return 2 * k + 1; }
+  int input(int j) const { return 2 * stateBits + j; }
+  int total() const { return 2 * stateBits + inputBits; }
+};
+
+/// Cube literals for `value` spread over the current-state (or next/input)
+/// variables selected by `varOf`.
+template <typename VarOf>
+void appendBits(std::vector<std::pair<int, bool>>& literals,
+                std::uint64_t value, int bits, VarOf varOf) {
+  for (int k = 0; k < bits; ++k)
+    literals.emplace_back(varOf(k), (value >> k) & 1);
+}
+
+struct ProductEncoding {
+  Layout layout;
+  int bitsA;
+  int bitsB;
+
+  std::uint64_t packState(SymbolId sa, SymbolId sb) const {
+    return static_cast<std::uint64_t>(sa) |
+           (static_cast<std::uint64_t>(sb) << bitsA);
+  }
+};
+
+/// Aligns b's input ids to a's (by name).
+std::vector<SymbolId> alignInputs(const Machine& a, const Machine& b) {
+  if (a.inputCount() != b.inputCount())
+    throw FsmError("machines have different input alphabet sizes");
+  std::vector<SymbolId> map(static_cast<std::size_t>(a.inputCount()));
+  for (SymbolId i = 0; i < a.inputCount(); ++i) {
+    const auto other = b.inputs().find(a.inputs().name(i));
+    if (!other.has_value())
+      throw FsmError("input '" + a.inputs().name(i) +
+                     "' missing from machine '" + b.name() + "'");
+    map[static_cast<std::size_t>(i)] = *other;
+  }
+  return map;
+}
+
+}  // namespace
+
+SymbolicEquivalenceResult checkEquivalenceSymbolic(const Machine& a,
+                                                   const Machine& b) {
+  const std::vector<SymbolId> inputMap = alignInputs(a, b);
+
+  ProductEncoding enc;
+  enc.bitsA = rtl::bitWidthFor(a.stateCount());
+  enc.bitsB = rtl::bitWidthFor(b.stateCount());
+  enc.layout.stateBits = enc.bitsA + enc.bitsB;
+  enc.layout.inputBits = rtl::bitWidthFor(a.inputCount());
+  BddManager manager(enc.layout.total());
+
+  // Per-bit next-state functions and the transition relation.
+  std::vector<Node> nextBit(static_cast<std::size_t>(enc.layout.stateBits),
+                            BddManager::kFalse);
+  Node bad = BddManager::kFalse;
+  for (SymbolId sa = 0; sa < a.stateCount(); ++sa) {
+    for (SymbolId sb = 0; sb < b.stateCount(); ++sb) {
+      bool outputsDiffer = false;
+      for (SymbolId i = 0; i < a.inputCount(); ++i) {
+        const SymbolId ib = inputMap[static_cast<std::size_t>(i)];
+        // Total-state cube: current product state + this input.
+        std::vector<std::pair<int, bool>> literals;
+        appendBits(literals, enc.packState(sa, sb), enc.layout.stateBits,
+                   [&](int k) { return enc.layout.current(k); });
+        appendBits(literals, static_cast<std::uint64_t>(i),
+                   enc.layout.inputBits,
+                   [&](int j) { return enc.layout.input(j); });
+        const Node total = manager.cube(literals);
+        const std::uint64_t nextCode =
+            enc.packState(a.next(i, sa), b.next(ib, sb));
+        for (int k = 0; k < enc.layout.stateBits; ++k)
+          if ((nextCode >> k) & 1)
+            nextBit[static_cast<std::size_t>(k)] = manager.orOf(
+                nextBit[static_cast<std::size_t>(k)], total);
+        if (a.outputs().name(a.output(i, sa)) !=
+            b.outputs().name(b.output(ib, sb)))
+          outputsDiffer = true;
+      }
+      if (outputsDiffer) {
+        std::vector<std::pair<int, bool>> literals;
+        appendBits(literals, enc.packState(sa, sb), enc.layout.stateBits,
+                   [&](int k) { return enc.layout.current(k); });
+        bad = manager.orOf(bad, manager.cube(literals));
+      }
+    }
+  }
+  Node relation = BddManager::kTrue;
+  for (int k = 0; k < enc.layout.stateBits; ++k) {
+    const Node bit = manager.variable(enc.layout.next(k));
+    relation = manager.andOf(
+        relation,
+        manager.xnorOf(bit, nextBit[static_cast<std::size_t>(k)]));
+  }
+
+  // Quantification sets and the next->current renaming.
+  std::vector<int> currentAndInputs;
+  std::map<int, int> nextToCurrent;
+  for (int k = 0; k < enc.layout.stateBits; ++k) {
+    currentAndInputs.push_back(enc.layout.current(k));
+    nextToCurrent[enc.layout.next(k)] = enc.layout.current(k);
+  }
+  for (int j = 0; j < enc.layout.inputBits; ++j)
+    currentAndInputs.push_back(enc.layout.input(j));
+
+  // Reachability fixpoint from the pair of reset states.
+  std::vector<std::pair<int, bool>> initLiterals;
+  appendBits(initLiterals, enc.packState(a.resetState(), b.resetState()),
+             enc.layout.stateBits,
+             [&](int k) { return enc.layout.current(k); });
+  Node reached = manager.cube(initLiterals);
+
+  SymbolicEquivalenceResult result;
+  for (;;) {
+    ++result.iterations;
+    if (manager.andOf(reached, bad) != BddManager::kFalse) {
+      result.equivalent = false;
+      break;
+    }
+    const Node image = manager.rename(
+        manager.exists(manager.andOf(relation, reached), currentAndInputs),
+        nextToCurrent);
+    const Node next = manager.orOf(reached, image);
+    if (next == reached) {
+      result.equivalent = true;
+      break;
+    }
+    reached = next;
+  }
+  // reached depends only on the current-state variables; every other
+  // variable contributes a free factor of 2 to satCount.
+  result.reachablePairs =
+      manager.satCount(reached) >>
+      (enc.layout.stateBits + enc.layout.inputBits);
+  result.bddNodes = manager.nodeCount();
+  return result;
+}
+
+std::uint64_t symbolicReachableStates(const Machine& machine) {
+  const SymbolicEquivalenceResult result =
+      checkEquivalenceSymbolic(machine, machine);
+  // The product of a machine with itself reaches exactly the diagonal of
+  // its reachable set.
+  return result.reachablePairs;
+}
+
+}  // namespace rfsm::bdd

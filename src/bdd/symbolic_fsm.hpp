@@ -1,0 +1,38 @@
+// Symbolic FSM analysis on BDDs.
+//
+// Builds the transition relation of the product of two machines and decides
+// behavioural equivalence by symbolic reachability (image computation with
+// and-exists + renaming), the standard technique of symbolic model
+// checking.  It is cross-validated against the explicit product-BFS checker
+// in fsm/equivalence.hpp — two independent implementations of the same
+// decision problem guarding each other.
+#pragma once
+
+#include <cstdint>
+
+#include "bdd/bdd.hpp"
+#include "fsm/machine.hpp"
+
+namespace rfsm::bdd {
+
+/// Outcome of a symbolic equivalence check, with search statistics.
+struct SymbolicEquivalenceResult {
+  bool equivalent = false;
+  /// Distinct reachable product states (pairs) at the fixpoint.
+  std::uint64_t reachablePairs = 0;
+  /// Image-computation iterations until the fixpoint.
+  int iterations = 0;
+  /// BDD nodes allocated by the analysis.
+  std::size_t bddNodes = 0;
+};
+
+/// Decides behavioural equivalence of two completely specified machines
+/// with the same input alphabet (matched by name; FsmError otherwise).
+SymbolicEquivalenceResult checkEquivalenceSymbolic(const Machine& a,
+                                                   const Machine& b);
+
+/// Counts the reachable states of a single machine symbolically (sanity
+/// tool; equals reachableStates().size() from fsm/analysis.hpp).
+std::uint64_t symbolicReachableStates(const Machine& machine);
+
+}  // namespace rfsm::bdd

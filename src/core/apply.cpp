@@ -1,0 +1,51 @@
+#include "core/apply.hpp"
+
+namespace rfsm {
+
+MutableMachine replayProgram(const MigrationContext& context,
+                             const ReconfigurationProgram& program) {
+  MutableMachine machine(context);
+  machine.applyProgram(program);
+  return machine;
+}
+
+ValidationResult validateProgram(const MigrationContext& context,
+                                 const ReconfigurationProgram& program) {
+  ValidationResult result;
+  MutableMachine machine(context);
+  int executed = 0;
+  try {
+    for (const ReconfigStep& step : program.steps) {
+      machine.applyStep(step);
+      ++executed;
+    }
+  } catch (const MigrationError& error) {
+    result.valid = false;
+    result.reason = "step " + std::to_string(executed) +
+                    " not executable: " + error.what();
+    result.finalState = machine.state();
+    result.cyclesExecuted = executed;
+    return result;
+  }
+  result.cyclesExecuted = executed;
+  result.finalState = machine.state();
+
+  std::string mismatch;
+  if (!machine.matchesTarget(&mismatch)) {
+    result.valid = false;
+    result.reason = "machine does not realize M': " + mismatch;
+    return result;
+  }
+  if (machine.state() != context.targetReset()) {
+    result.valid = false;
+    result.reason = "program terminates in " +
+                    context.states().name(machine.state()) +
+                    " instead of the terminal state " +
+                    context.states().name(context.targetReset());
+    return result;
+  }
+  result.valid = true;
+  return result;
+}
+
+}  // namespace rfsm

@@ -1,0 +1,37 @@
+// Replaying and validating reconfiguration programs.
+//
+// A program is *valid* for a migration M -> M' when (Def. 4.1):
+//  * every step is physically executable (no traversal of unwritten RAM),
+//  * afterwards the machine realizes M' on the whole target domain, and
+//  * the machine ends in the terminal state S0'.
+// Validation replays the program on a MutableMachine, then (optionally)
+// cross-checks behavioural equivalence of the realized machine against M'.
+#pragma once
+
+#include <string>
+
+#include "core/migration.hpp"
+#include "core/mutable_machine.hpp"
+#include "core/program.hpp"
+
+namespace rfsm {
+
+/// Outcome of validating a program.
+struct ValidationResult {
+  bool valid = false;
+  std::string reason;       // empty when valid
+  SymbolId finalState = kNoSymbol;
+  int cyclesExecuted = 0;
+};
+
+/// Replays `program` from scratch and checks the three conditions above.
+ValidationResult validateProgram(const MigrationContext& context,
+                                 const ReconfigurationProgram& program);
+
+/// Replays `program` and returns the machine afterwards (throws
+/// MigrationError if a step is impossible).  Useful for inspecting partial
+/// programs.
+MutableMachine replayProgram(const MigrationContext& context,
+                             const ReconfigurationProgram& program);
+
+}  // namespace rfsm

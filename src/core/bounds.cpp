@@ -1,0 +1,25 @@
+#include "core/bounds.hpp"
+
+#include "util/check.hpp"
+
+namespace rfsm {
+
+int jsrUpperBound(int deltaCount) {
+  RFSM_CHECK(deltaCount >= 0, "delta count must be non-negative");
+  return 3 * (deltaCount + 1);
+}
+
+int jsrUpperBound(const MigrationContext& context) {
+  return jsrUpperBound(context.deltaCount());
+}
+
+int programLowerBound(int deltaCount) {
+  RFSM_CHECK(deltaCount >= 0, "delta count must be non-negative");
+  return deltaCount;
+}
+
+int programLowerBound(const MigrationContext& context) {
+  return programLowerBound(context.deltaCount());
+}
+
+}  // namespace rfsm

@@ -1,0 +1,21 @@
+// Bounds on reconfiguration program length (paper Sec. 4.5).
+//
+//  * Thm. 4.2 (upper): the JSR heuristic needs at most 3 * (|Td| + 1)
+//    transitions (independent of the transition structure of M).
+//  * Thm. 4.3 (lower): no program can be shorter than |Td|, since at most
+//    one transition is reconfigured per cycle.
+#pragma once
+
+#include "core/migration.hpp"
+
+namespace rfsm {
+
+/// Thm. 4.2: upper bound 3 * (|Td| + 1) on the JSR program length.
+int jsrUpperBound(int deltaCount);
+int jsrUpperBound(const MigrationContext& context);
+
+/// Thm. 4.3: strict lower bound |Td| on any program length.
+int programLowerBound(int deltaCount);
+int programLowerBound(const MigrationContext& context);
+
+}  // namespace rfsm

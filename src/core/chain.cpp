@@ -1,0 +1,75 @@
+#include "core/chain.hpp"
+
+#include "core/apply.hpp"
+#include "core/jsr.hpp"
+#include "core/planners.hpp"
+#include "util/check.hpp"
+
+namespace rfsm {
+namespace {
+
+ReconfigurationProgram planHop(const MigrationContext& context,
+                               ChainPlanner planner, std::uint64_t seed) {
+  switch (planner) {
+    case ChainPlanner::kJsr:
+      return planJsr(context);
+    case ChainPlanner::kGreedy:
+      return planGreedy(context);
+    case ChainPlanner::kEvolutionary: {
+      Rng rng(seed);
+      return planEvolutionary(context, EvolutionConfig{}, rng).program;
+    }
+  }
+  return planJsr(context);
+}
+
+}  // namespace
+
+int ChainPlan::totalUpgradeLength() const {
+  int total = 0;
+  for (const ChainStage& stage : stages) total += stage.upgrade.length();
+  return total;
+}
+
+int ChainPlan::totalRollbackLength() const {
+  int total = 0;
+  for (const ChainStage& stage : stages) total += stage.rollback.length();
+  return total;
+}
+
+bool ChainPlan::allValid() const {
+  for (const ChainStage& stage : stages)
+    if (!stage.upgradeValid || !stage.rollbackValid) return false;
+  return true;
+}
+
+ChainPlan planMigrationChain(const std::vector<Machine>& revisions,
+                             ChainPlanner planner, std::uint64_t seed) {
+  RFSM_CHECK(revisions.size() >= 2, "a chain needs at least two revisions");
+  ChainPlan plan;
+  for (std::size_t hop = 0; hop + 1 < revisions.size(); ++hop) {
+    MigrationContext forward(revisions[hop], revisions[hop + 1]);
+    MigrationContext backward(revisions[hop + 1], revisions[hop]);
+    ReconfigurationProgram upgrade =
+        planHop(forward, planner, seed * 1000 + hop);
+    ReconfigurationProgram rollback =
+        planHop(backward, planner, seed * 1000 + 500 + hop);
+    const bool upgradeValid = validateProgram(forward, upgrade).valid;
+    const bool rollbackValid = validateProgram(backward, rollback).valid;
+    plan.stages.push_back(ChainStage{std::move(forward), std::move(backward),
+                                     std::move(upgrade), std::move(rollback),
+                                     upgradeValid, rollbackValid});
+  }
+  return plan;
+}
+
+const char* toString(ChainPlanner planner) {
+  switch (planner) {
+    case ChainPlanner::kJsr: return "JSR";
+    case ChainPlanner::kGreedy: return "greedy";
+    case ChainPlanner::kEvolutionary: return "EA";
+  }
+  return "?";
+}
+
+}  // namespace rfsm

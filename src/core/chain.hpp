@@ -1,0 +1,55 @@
+// Migration chains: release trains M1 -> M2 -> ... -> Mn with rollbacks.
+//
+// A deployed self-reconfigurable controller sees a *sequence* of revisions
+// over its lifetime.  Each hop is planned pairwise; this is sound for the
+// physical device because stage i leaves every cell of M_{i+1}'s domain
+// holding exactly M_{i+1} (that is what validateProgram certifies), which
+// is precisely the initial knowledge stage i+1's planner assumes.  Cells
+// outside that domain may hold stale values, but programs never traverse
+// cells their model considers unspecified.
+//
+// Every hop also gets a rollback program (M_{i+1} -> M_i) so a bad rollout
+// can be reverted gradually too — the same machinery with source and
+// target swapped.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/migration.hpp"
+#include "core/program.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm {
+
+/// Planner used for every hop of a chain.
+enum class ChainPlanner { kJsr, kGreedy, kEvolutionary };
+
+/// One hop of the release train.
+struct ChainStage {
+  MigrationContext context;            // M_i -> M_{i+1}
+  MigrationContext rollbackContext;    // M_{i+1} -> M_i
+  ReconfigurationProgram upgrade;
+  ReconfigurationProgram rollback;
+  bool upgradeValid = false;
+  bool rollbackValid = false;
+};
+
+/// A fully planned chain.
+struct ChainPlan {
+  std::vector<ChainStage> stages;
+
+  int totalUpgradeLength() const;
+  int totalRollbackLength() const;
+  bool allValid() const;
+};
+
+/// Plans every hop of `revisions` (size >= 2) with the given planner.
+/// Deterministic for a given seed.  Every program is validated; the result
+/// records the verdicts rather than throwing, so callers can report.
+ChainPlan planMigrationChain(const std::vector<Machine>& revisions,
+                             ChainPlanner planner, std::uint64_t seed = 1);
+
+const char* toString(ChainPlanner planner);
+
+}  // namespace rfsm

@@ -1,0 +1,49 @@
+// Migration difficulty analysis: predicting program length from structure.
+//
+// The gap between the Thm. 4.3 lower bound |Td| and what planners achieve
+// is governed by how the delta transitions sit in the machine's graph:
+// deltas whose landing state is the next delta's source chain for free,
+// deltas reachable from S0' in one hop need no temporary transition, and
+// sources unreachable without a jump force one.  This module extracts
+// those features and a cheap length estimate; an ablation bench checks the
+// estimate's fidelity against the EA planner's actual results.
+#pragma once
+
+#include <string>
+
+#include "core/migration.hpp"
+
+namespace rfsm {
+
+/// Structural features of a migration instance.
+struct DifficultyProfile {
+  int deltaCount = 0;
+  /// Delta sources reachable from S0' within one existing transition (cheap
+  /// to reach even without temporaries).
+  int sourcesNearReset = 0;
+  /// Delta sources unreachable from S0' in the source machine (a temporary
+  /// jump is the only way in).
+  int sourcesUnreachable = 0;
+  /// Ordered pairs (a, b) of deltas where a's landing state equals b's
+  /// source (free chaining potential).
+  int chainablePairs = 0;
+  /// Deltas whose source lies outside the source machine's state set
+  /// (structural: fresh rows that only temporaries reach).
+  int structuralSources = 0;
+  /// Mean BFS distance from S0' to reachable delta sources.
+  double meanSourceDistance = 0.0;
+
+  /// Cheap program-length estimate: every delta costs its rewrite, plus a
+  /// connection cost of 0 (chained), 1 (near reset) or 2 (reset+temporary),
+  /// plus the JSR-style tail.
+  int estimatedLength() const;
+};
+
+/// Computes the profile on the *source* machine's graph (the graph the
+/// first connections must use).
+DifficultyProfile analyzeDifficulty(const MigrationContext& context);
+
+/// One-line rendering for tables/logs.
+std::string describeDifficulty(const DifficultyProfile& profile);
+
+}  // namespace rfsm

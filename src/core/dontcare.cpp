@@ -1,0 +1,89 @@
+#include "core/dontcare.hpp"
+
+#include "util/check.hpp"
+
+namespace rfsm {
+
+CompletionResult completeForMigration(const Machine& source,
+                                      const PartialMachine& spec) {
+  // Name-based views of the source alphabets within the spec's id space.
+  auto sourceStateOf = [&](SymbolId specState) {
+    return source.states().find(spec.states().name(specState));
+  };
+  auto sourceInputOf = [&](SymbolId specInput) {
+    return source.inputs().find(spec.inputs().name(specInput));
+  };
+
+  const int inputCount = spec.inputs().size();
+  const auto cells = static_cast<std::size_t>(spec.states().size()) *
+                     static_cast<std::size_t>(inputCount);
+  std::vector<SymbolId> next(cells, kNoSymbol);
+  std::vector<SymbolId> out(cells, kNoSymbol);
+  auto cellIndex = [&](SymbolId input, SymbolId state) {
+    return static_cast<std::size_t>(state) *
+               static_cast<std::size_t>(inputCount) +
+           static_cast<std::size_t>(input);
+  };
+
+  CompletionResult result{Machine(source), 0, 0};  // placeholder machine
+  const SymbolId defaultOutput = 0;
+
+  for (SymbolId s = 0; s < spec.states().size(); ++s) {
+    const auto srcState = sourceStateOf(s);
+    for (SymbolId i = 0; i < inputCount; ++i) {
+      const auto srcInput = sourceInputOf(i);
+      const std::size_t c = cellIndex(i, s);
+
+      // Next state: spec value, else inherit from the source when both the
+      // cell and the source's successor are expressible, else self-loop.
+      SymbolId n = spec.next(i, s);
+      if (n == kNoSymbol) {
+        bool inherited = false;
+        if (srcState.has_value() && srcInput.has_value()) {
+          const SymbolId srcNext = source.next(*srcInput, *srcState);
+          const auto mapped =
+              spec.states().find(source.states().name(srcNext));
+          if (mapped.has_value()) {
+            n = *mapped;
+            inherited = true;
+          }
+        }
+        if (!inherited) {
+          n = s;  // self-loop fallback
+          ++result.defaultedCells;
+        } else {
+          ++result.inheritedCells;
+        }
+      }
+      // Output: same policy.
+      SymbolId o = spec.output(i, s);
+      if (o == kNoSymbol) {
+        bool inherited = false;
+        if (srcState.has_value() && srcInput.has_value()) {
+          const SymbolId srcOut = source.output(*srcInput, *srcState);
+          const auto mapped =
+              spec.outputs().find(source.outputs().name(srcOut));
+          if (mapped.has_value()) {
+            o = *mapped;
+            inherited = true;
+          }
+        }
+        if (!inherited) {
+          o = defaultOutput;
+          ++result.defaultedCells;
+        } else {
+          ++result.inheritedCells;
+        }
+      }
+      next[c] = n;
+      out[c] = o;
+    }
+  }
+
+  result.target = Machine(spec.name() + "_completed", spec.inputs(),
+                          spec.outputs(), spec.states(), spec.resetState(),
+                          std::move(next), std::move(out));
+  return result;
+}
+
+}  // namespace rfsm

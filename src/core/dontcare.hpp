@@ -1,0 +1,36 @@
+// Don't-care-aware migration: completing a partial target specification so
+// that the migration from a given source machine is as cheap as possible.
+//
+// Upgrades rarely arrive as fully specified machines; they say what must
+// change and leave the rest open (fsm/partial_machine.hpp).  Every
+// completion of the specification is a legal target — but their delta sets
+// differ wildly.  completeForMigration() resolves each don't-care to the
+// *source's* current table value whenever that value is expressible in the
+// specification's alphabets, so unconstrained cells contribute zero delta
+// transitions; remaining holes become self-loops with a default output.
+// The result provably implements the specification, and a property test
+// checks it never has more deltas than random completions.
+#pragma once
+
+#include "core/migration.hpp"
+#include "fsm/machine.hpp"
+#include "fsm/partial_machine.hpp"
+
+namespace rfsm {
+
+/// Result of a don't-care-aware completion.
+struct CompletionResult {
+  Machine target;
+  /// Cells resolved from the source machine (zero-delta don't-cares).
+  int inheritedCells = 0;
+  /// Cells that had to fall back to self-loop / default output.
+  int defaultedCells = 0;
+};
+
+/// Completes `specification` into a concrete target machine for migrating
+/// from `source`, minimizing delta transitions cell-wise.  Symbols are
+/// matched by name across the two machines' alphabets.
+CompletionResult completeForMigration(const Machine& source,
+                                      const PartialMachine& specification);
+
+}  // namespace rfsm

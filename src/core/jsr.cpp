@@ -1,0 +1,53 @@
+#include "core/jsr.hpp"
+
+#include "util/check.hpp"
+
+namespace rfsm {
+
+ReconfigurationProgram planJsr(const MigrationContext& context,
+                               const JsrOptions& options) {
+  // (2) i0 := any input state of M'.
+  SymbolId i0 = options.tempInput;
+  if (i0 == kNoSymbol) i0 = context.liftTargetInput(0);
+  RFSM_CHECK(context.inTargetInputs(i0),
+             "JSR temporary input must be an input of M'");
+
+  const SymbolId s0 = context.targetReset();
+  ReconfigurationProgram program;
+
+  // (3) Step into the reset state S0' no matter where M currently is.
+  program.steps.push_back(ReconfigStep::reset());
+
+  // The output value written by temporary transitions is irrelevant for
+  // correctness; we use the final M' value of the temporary cell so the
+  // cell's G entry never holds a foreign symbol.
+  const SymbolId tempOutput = context.targetOutput(i0, s0);
+
+  // (4)-(9) Jump, set, return for every delta transition, except the one
+  // living in the temporary cell (i0, S0') itself, which the tail (10)-(11)
+  // reconfigures.
+  for (const Transition& td : context.deltaTransitions()) {
+    if (td.input == i0 && td.from == s0) continue;
+    // (5) Temporary transition (i0, S0', H_out(td), -): jump to the source
+    // state of the delta transition; this turns cell (i0, S0') into a new
+    // delta transition.
+    program.steps.push_back(
+        ReconfigStep::rewrite(i0, td.from, tempOutput, /*temporary=*/true));
+    // (6) Reconfigure the delta transition while traversing it.
+    program.steps.push_back(
+        ReconfigStep::rewrite(td.input, td.to, td.output));
+    // (7) Return to S0' via the reset transition.
+    program.steps.push_back(ReconfigStep::reset());
+  }
+
+  // (10) Reconfigure the temporary cell to its final M' contents
+  // (i0, S0', F'(i0, S0'), G'(i0, S0')).
+  program.steps.push_back(ReconfigStep::rewrite(
+      i0, context.targetNext(i0, s0), context.targetOutput(i0, s0)));
+  // (11) Final reset transition: finish in S0'.
+  program.steps.push_back(ReconfigStep::reset());
+
+  return program;
+}
+
+}  // namespace rfsm

@@ -1,0 +1,31 @@
+// The JSR (Jump, Set, Return) heuristic — paper Sec. 4.4.
+//
+// For every delta transition: jump from the terminal state S0' to the delta
+// source via a temporary transition over a fixed input condition i0, set
+// (rewrite) the delta, return by reset.  Finally the temporary cell
+// (i0, S0') itself is rewritten to its M' value and a last reset ends the
+// program in S0'.  This constructively proves Thm. 4.1 (feasibility) and
+// achieves the Thm. 4.2 upper bound |Z| <= 3(|Td| + 1).
+#pragma once
+
+#include "core/migration.hpp"
+#include "core/program.hpp"
+
+namespace rfsm {
+
+/// Options for planJsr.
+struct JsrOptions {
+  /// The fixed input condition i0 used by every temporary transition; must
+  /// be an input of M' (superset id).  kNoSymbol = the first input of M'.
+  SymbolId tempInput = kNoSymbol;
+};
+
+/// Computes the JSR reconfiguration program.  The result is always valid
+/// (validateProgram accepts it) and has length
+///   3 * |Td| + 3   when the temporary cell (i0, S0') is not itself a delta,
+///   3 * |Td|       when it is (that delta is folded into the repair step);
+/// both respect the Thm. 4.2 bound 3 * (|Td| + 1).
+ReconfigurationProgram planJsr(const MigrationContext& context,
+                               const JsrOptions& options = {});
+
+}  // namespace rfsm

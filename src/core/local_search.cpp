@@ -1,0 +1,95 @@
+#include "core/local_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ea/permutation.hpp"
+#include "util/check.hpp"
+
+namespace rfsm {
+
+LocalSearchPlan planTwoOpt(const MigrationContext& context,
+                           const std::vector<int>& seed,
+                           const DecodeOptions& options,
+                           int maxEvaluations) {
+  const int n = loopDeltaCount(context, options.tempInput);
+  std::vector<int> order = seed;
+  if (order.empty()) {
+    order.resize(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+  }
+  RFSM_CHECK(static_cast<int>(order.size()) == n,
+             "2-opt seed must cover all loop deltas");
+  RFSM_CHECK(isPermutation(order), "2-opt seed must be a permutation");
+
+  LocalSearchPlan plan;
+  plan.program = decodeOrder(context, order, options);
+  ++plan.evaluations;
+
+  bool improved = true;
+  while (improved && plan.evaluations < maxEvaluations) {
+    improved = false;
+    for (std::size_t i = 0;
+         i + 1 < order.size() && !improved && plan.evaluations < maxEvaluations;
+         ++i) {
+      for (std::size_t j = i + 1;
+           j < order.size() && !improved && plan.evaluations < maxEvaluations;
+           ++j) {
+        std::reverse(order.begin() + static_cast<std::ptrdiff_t>(i),
+                     order.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+        ReconfigurationProgram candidate =
+            decodeOrder(context, order, options);
+        ++plan.evaluations;
+        if (candidate.length() < plan.program.length()) {
+          plan.program = std::move(candidate);
+          ++plan.improvements;
+          improved = true;  // first improvement: restart scan
+        } else {
+          std::reverse(order.begin() + static_cast<std::ptrdiff_t>(i),
+                       order.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+        }
+        if (plan.evaluations >= maxEvaluations) break;
+      }
+    }
+  }
+  return plan;
+}
+
+LocalSearchPlan planAnnealing(const MigrationContext& context,
+                              const AnnealingConfig& config, Rng& rng,
+                              const DecodeOptions& options) {
+  const int n = loopDeltaCount(context, options.tempInput);
+  LocalSearchPlan plan;
+  std::vector<int> current = randomPermutation(n, rng);
+  int currentLength = decodeOrder(context, current, options).length();
+  ++plan.evaluations;
+  std::vector<int> best = current;
+  int bestLength = currentLength;
+
+  double temperature = config.initialTemperature;
+  for (int move = 0; move < config.moves && n >= 2; ++move) {
+    std::vector<int> candidate = current;
+    swapMutation(candidate, rng);
+    const int candidateLength =
+        decodeOrder(context, candidate, options).length();
+    ++plan.evaluations;
+    const int delta = candidateLength - currentLength;
+    if (delta <= 0 ||
+        rng.uniform() < std::exp(-static_cast<double>(delta) / temperature)) {
+      current = std::move(candidate);
+      currentLength = candidateLength;
+      if (currentLength < bestLength) {
+        bestLength = currentLength;
+        best = current;
+        ++plan.improvements;
+      }
+    }
+    temperature *= config.coolingRate;
+  }
+  plan.program = decodeOrder(context, best, options);
+  ++plan.evaluations;
+  return plan;
+}
+
+}  // namespace rfsm

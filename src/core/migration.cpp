@@ -1,0 +1,196 @@
+#include "core/migration.hpp"
+
+#include "util/check.hpp"
+
+namespace rfsm {
+namespace {
+
+std::vector<char> membership(int supersetSize,
+                             const std::vector<SymbolId>& liftMap) {
+  std::vector<char> in(static_cast<std::size_t>(supersetSize), 0);
+  for (SymbolId id : liftMap) in[static_cast<std::size_t>(id)] = 1;
+  return in;
+}
+
+}  // namespace
+
+MigrationContext::MigrationContext(const Machine& source,
+                                   const Machine& target)
+    : source_(source), target_(target) {
+  // Superset alphabets: symbols of M first, then the new symbols of M'.
+  MergedSymbols inputs = mergeSymbols(source.inputs(), target.inputs());
+  MergedSymbols outputs = mergeSymbols(source.outputs(), target.outputs());
+  MergedSymbols states = mergeSymbols(source.states(), target.states());
+  inputs_ = std::move(inputs.table);
+  outputs_ = std::move(outputs.table);
+  states_ = std::move(states.table);
+  sourceInputMap_ = std::move(inputs.fromA);
+  targetInputMap_ = std::move(inputs.fromB);
+  sourceOutputMap_ = std::move(outputs.fromA);
+  targetOutputMap_ = std::move(outputs.fromB);
+  sourceStateMap_ = std::move(states.fromA);
+  targetStateMap_ = std::move(states.fromB);
+
+  inSourceInputs_ = membership(inputs_.size(), sourceInputMap_);
+  inSourceOutputs_ = membership(outputs_.size(), sourceOutputMap_);
+  inSourceStates_ = membership(states_.size(), sourceStateMap_);
+  inTargetInputs_ = membership(inputs_.size(), targetInputMap_);
+  inTargetStates_ = membership(states_.size(), targetStateMap_);
+
+  sourceReset_ =
+      sourceStateMap_[static_cast<std::size_t>(source.resetState())];
+  targetReset_ =
+      targetStateMap_[static_cast<std::size_t>(target.resetState())];
+
+  // Re-index both machines' tables by superset (input, state) cells.
+  const auto cells = static_cast<std::size_t>(states_.size()) *
+                     static_cast<std::size_t>(inputs_.size());
+  sourceNext_.assign(cells, kNoSymbol);
+  sourceOut_.assign(cells, kNoSymbol);
+  targetNext_.assign(cells, kNoSymbol);
+  targetOut_.assign(cells, kNoSymbol);
+  auto cellIndex = [&](SymbolId input, SymbolId state) {
+    return static_cast<std::size_t>(state) *
+               static_cast<std::size_t>(inputs_.size()) +
+           static_cast<std::size_t>(input);
+  };
+  for (SymbolId s = 0; s < source.stateCount(); ++s) {
+    for (SymbolId i = 0; i < source.inputCount(); ++i) {
+      const std::size_t c =
+          cellIndex(sourceInputMap_[static_cast<std::size_t>(i)],
+                    sourceStateMap_[static_cast<std::size_t>(s)]);
+      sourceNext_[c] =
+          sourceStateMap_[static_cast<std::size_t>(source.next(i, s))];
+      sourceOut_[c] =
+          sourceOutputMap_[static_cast<std::size_t>(source.output(i, s))];
+    }
+  }
+  for (SymbolId s = 0; s < target.stateCount(); ++s) {
+    for (SymbolId i = 0; i < target.inputCount(); ++i) {
+      const std::size_t c =
+          cellIndex(targetInputMap_[static_cast<std::size_t>(i)],
+                    targetStateMap_[static_cast<std::size_t>(s)]);
+      targetNext_[c] =
+          targetStateMap_[static_cast<std::size_t>(target.next(i, s))];
+      targetOut_[c] =
+          targetOutputMap_[static_cast<std::size_t>(target.output(i, s))];
+    }
+  }
+
+  // T' ordered by (state, input) in *target* table order, then lift.
+  for (SymbolId s = 0; s < target.stateCount(); ++s) {
+    for (SymbolId i = 0; i < target.inputCount(); ++i) {
+      const Transition lifted{
+          targetInputMap_[static_cast<std::size_t>(i)],
+          targetStateMap_[static_cast<std::size_t>(s)],
+          targetStateMap_[static_cast<std::size_t>(target.next(i, s))],
+          targetOutputMap_[static_cast<std::size_t>(target.output(i, s))]};
+      targetTransitions_.push_back(lifted);
+    }
+  }
+
+  // Def. 4.2: t = (i, sx, sy, o) in T' is a delta transition iff
+  //   i not in I, or sx not in S, or sy not in S, or o not in O, or
+  //   sy != F(i, sx)  (when i in I cap I' and sx in S cap S'), or
+  //   o  != G(i, sx)  (same guard).
+  for (const Transition& t : targetTransitions_) {
+    const bool outsideSource =
+        !inSourceInputs(t.input) || !inSourceStates(t.from) ||
+        !inSourceStates(t.to) || !inSourceOutputs(t.output);
+    bool differs = false;
+    if (!outsideSource) {
+      const std::size_t c = cellIndex(t.input, t.from);
+      differs = sourceNext_[c] != t.to || sourceOut_[c] != t.output;
+    }
+    if (outsideSource || differs) deltaTransitions_.push_back(t);
+  }
+}
+
+bool MigrationContext::inSourceInputs(SymbolId i) const {
+  RFSM_CHECK(inputs_.contains(i), "input id out of superset range");
+  return inSourceInputs_[static_cast<std::size_t>(i)] != 0;
+}
+
+bool MigrationContext::inSourceStates(SymbolId s) const {
+  RFSM_CHECK(states_.contains(s), "state id out of superset range");
+  return inSourceStates_[static_cast<std::size_t>(s)] != 0;
+}
+
+bool MigrationContext::inSourceOutputs(SymbolId o) const {
+  RFSM_CHECK(outputs_.contains(o), "output id out of superset range");
+  return inSourceOutputs_[static_cast<std::size_t>(o)] != 0;
+}
+
+bool MigrationContext::inTargetInputs(SymbolId i) const {
+  RFSM_CHECK(inputs_.contains(i), "input id out of superset range");
+  return inTargetInputs_[static_cast<std::size_t>(i)] != 0;
+}
+
+bool MigrationContext::inTargetStates(SymbolId s) const {
+  RFSM_CHECK(states_.contains(s), "state id out of superset range");
+  return inTargetStates_[static_cast<std::size_t>(s)] != 0;
+}
+
+SymbolId MigrationContext::sourceNext(SymbolId input, SymbolId state) const {
+  RFSM_CHECK(inSourceInputs(input) && inSourceStates(state),
+             "sourceNext outside source domain");
+  return sourceNext_[static_cast<std::size_t>(state) *
+                         static_cast<std::size_t>(inputs_.size()) +
+                     static_cast<std::size_t>(input)];
+}
+
+SymbolId MigrationContext::sourceOutput(SymbolId input, SymbolId state) const {
+  RFSM_CHECK(inSourceInputs(input) && inSourceStates(state),
+             "sourceOutput outside source domain");
+  return sourceOut_[static_cast<std::size_t>(state) *
+                        static_cast<std::size_t>(inputs_.size()) +
+                    static_cast<std::size_t>(input)];
+}
+
+SymbolId MigrationContext::targetNext(SymbolId input, SymbolId state) const {
+  RFSM_CHECK(inTargetInputs(input) && inTargetStates(state),
+             "targetNext outside target domain");
+  return targetNext_[static_cast<std::size_t>(state) *
+                         static_cast<std::size_t>(inputs_.size()) +
+                     static_cast<std::size_t>(input)];
+}
+
+SymbolId MigrationContext::targetOutput(SymbolId input, SymbolId state) const {
+  RFSM_CHECK(inTargetInputs(input) && inTargetStates(state),
+             "targetOutput outside target domain");
+  return targetOut_[static_cast<std::size_t>(state) *
+                        static_cast<std::size_t>(inputs_.size()) +
+                    static_cast<std::size_t>(input)];
+}
+
+SymbolId MigrationContext::liftSourceInput(SymbolId i) const {
+  RFSM_CHECK(source_.inputs().contains(i), "source input id out of range");
+  return sourceInputMap_[static_cast<std::size_t>(i)];
+}
+
+SymbolId MigrationContext::liftSourceState(SymbolId s) const {
+  RFSM_CHECK(source_.states().contains(s), "source state id out of range");
+  return sourceStateMap_[static_cast<std::size_t>(s)];
+}
+
+SymbolId MigrationContext::liftTargetInput(SymbolId i) const {
+  RFSM_CHECK(target_.inputs().contains(i), "target input id out of range");
+  return targetInputMap_[static_cast<std::size_t>(i)];
+}
+
+SymbolId MigrationContext::liftTargetState(SymbolId s) const {
+  RFSM_CHECK(target_.states().contains(s), "target state id out of range");
+  return targetStateMap_[static_cast<std::size_t>(s)];
+}
+
+SymbolId MigrationContext::liftTargetOutput(SymbolId o) const {
+  RFSM_CHECK(target_.outputs().contains(o), "target output id out of range");
+  return targetOutputMap_[static_cast<std::size_t>(o)];
+}
+
+std::string MigrationContext::describe(const Transition& t) const {
+  return "(" + inputs_.name(t.input) + ", " + states_.name(t.from) + ", " +
+         states_.name(t.to) + ", " + outputs_.name(t.output) + ")";
+}
+
+}  // namespace rfsm

@@ -1,0 +1,107 @@
+// Migration problems M -> M' over superset alphabets (paper Defs. 4.1/4.2).
+//
+// A MigrationContext merges the alphabets of a given machine M and a target
+// machine M' into the superset alphabets I_super, O_super, S_super of Def.
+// 4.1, lifts both machines' transitions into superset ids, and computes the
+// set of *delta transitions* T_d of Def. 4.2 — the (input, state) cells of
+// M' that a reconfiguration program must write.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fsm/machine.hpp"
+
+namespace rfsm {
+
+/// A migration problem instance.  Lifetimes: the context copies everything
+/// it needs from the two machines; it does not retain references.
+class MigrationContext {
+ public:
+  /// Builds the problem for migrating `source` (M) into `target` (M').
+  /// Throws FsmError when the machines are degenerate (empty alphabets are
+  /// already impossible by Machine's invariants, so in practice this always
+  /// succeeds — Thm. 4.1: migration is always feasible).
+  MigrationContext(const Machine& source, const Machine& target);
+
+  /// Superset alphabets (Def. 4.1).  Ids used by every other accessor are
+  /// ids of these tables.
+  const SymbolTable& inputs() const { return inputs_; }
+  const SymbolTable& outputs() const { return outputs_; }
+  const SymbolTable& states() const { return states_; }
+
+  /// Reset state of M (superset id).
+  SymbolId sourceReset() const { return sourceReset_; }
+  /// Reset state S0' of M' (superset id); the state the hardware reset
+  /// transition forces (footnote 4 of the paper).
+  SymbolId targetReset() const { return targetReset_; }
+
+  /// Membership of a superset symbol in the *source* alphabets.
+  bool inSourceInputs(SymbolId i) const;
+  bool inSourceStates(SymbolId s) const;
+  bool inSourceOutputs(SymbolId o) const;
+
+  /// Membership of a superset symbol in the *target* alphabets.
+  bool inTargetInputs(SymbolId i) const;
+  bool inTargetStates(SymbolId s) const;
+
+  /// F(i, s) / G(i, s) of the source machine, in superset ids; i and s must
+  /// be in the source alphabets.
+  SymbolId sourceNext(SymbolId input, SymbolId state) const;
+  SymbolId sourceOutput(SymbolId input, SymbolId state) const;
+
+  /// F'(i, s) / G'(i, s) of the target machine, in superset ids; i and s
+  /// must be in the target alphabets.
+  SymbolId targetNext(SymbolId input, SymbolId state) const;
+  SymbolId targetOutput(SymbolId input, SymbolId state) const;
+
+  /// The total transition set T' of M' (Def. 4.2) in superset ids, ordered
+  /// by (state, input).
+  const std::vector<Transition>& targetTransitions() const {
+    return targetTransitions_;
+  }
+
+  /// The delta transitions T_d (Def. 4.2) in the same order.
+  const std::vector<Transition>& deltaTransitions() const {
+    return deltaTransitions_;
+  }
+
+  int deltaCount() const {
+    return static_cast<int>(deltaTransitions_.size());
+  }
+
+  /// The source machine as given (original ids).
+  const Machine& sourceMachine() const { return source_; }
+  /// The target machine as given (original ids).
+  const Machine& targetMachine() const { return target_; }
+
+  /// Maps an id of the source machine's table into the superset id.
+  SymbolId liftSourceInput(SymbolId i) const;
+  SymbolId liftSourceState(SymbolId s) const;
+  /// Maps an id of the target machine's table into the superset id.
+  SymbolId liftTargetInput(SymbolId i) const;
+  SymbolId liftTargetState(SymbolId s) const;
+  SymbolId liftTargetOutput(SymbolId o) const;
+
+  /// Human-readable rendering of a superset-id transition.
+  std::string describe(const Transition& t) const;
+
+ private:
+  Machine source_;
+  Machine target_;
+  SymbolTable inputs_, outputs_, states_;
+  std::vector<SymbolId> sourceInputMap_, sourceOutputMap_, sourceStateMap_;
+  std::vector<SymbolId> targetInputMap_, targetOutputMap_, targetStateMap_;
+  std::vector<char> inSourceInputs_, inSourceOutputs_, inSourceStates_;
+  std::vector<char> inTargetInputs_, inTargetStates_;
+  // Source/target tables re-indexed by superset ids (entries for symbols
+  // outside the respective machine's alphabets are kNoSymbol).
+  std::vector<SymbolId> sourceNext_, sourceOut_;
+  std::vector<SymbolId> targetNext_, targetOut_;
+  SymbolId sourceReset_ = kNoSymbol;
+  SymbolId targetReset_ = kNoSymbol;
+  std::vector<Transition> targetTransitions_;
+  std::vector<Transition> deltaTransitions_;
+};
+
+}  // namespace rfsm

@@ -1,0 +1,212 @@
+#include "core/mutable_machine.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace rfsm {
+
+MutableMachine::MutableMachine(const MigrationContext& context)
+    : context_(context), state_(context.sourceReset()) {
+  const auto cells = static_cast<std::size_t>(context.states().size()) *
+                     static_cast<std::size_t>(context.inputs().size());
+  next_.assign(cells, kNoSymbol);
+  out_.assign(cells, kNoSymbol);
+  specified_.assign(cells, 0);
+  for (SymbolId s = 0; s < context.states().size(); ++s) {
+    if (!context.inSourceStates(s)) continue;
+    for (SymbolId i = 0; i < context.inputs().size(); ++i) {
+      if (!context.inSourceInputs(i)) continue;
+      const std::size_t c = cell(i, s);
+      next_[c] = context.sourceNext(i, s);
+      out_[c] = context.sourceOutput(i, s);
+      specified_[c] = 1;
+    }
+  }
+}
+
+std::size_t MutableMachine::cell(SymbolId input, SymbolId state) const {
+  RFSM_CHECK(context_.inputs().contains(input), "input id out of range");
+  RFSM_CHECK(context_.states().contains(state), "state id out of range");
+  return static_cast<std::size_t>(state) *
+             static_cast<std::size_t>(context_.inputs().size()) +
+         static_cast<std::size_t>(input);
+}
+
+bool MutableMachine::isSpecified(SymbolId input, SymbolId state) const {
+  return specified_[cell(input, state)] != 0;
+}
+
+SymbolId MutableMachine::next(SymbolId input, SymbolId state) const {
+  const std::size_t c = cell(input, state);
+  RFSM_CHECK(specified_[c] != 0, "reading an unspecified F cell");
+  return next_[c];
+}
+
+SymbolId MutableMachine::output(SymbolId input, SymbolId state) const {
+  const std::size_t c = cell(input, state);
+  RFSM_CHECK(specified_[c] != 0, "reading an unspecified G cell");
+  return out_[c];
+}
+
+SymbolId MutableMachine::applyStep(const ReconfigStep& step) {
+  switch (step.kind) {
+    case StepKind::kReset:
+      state_ = context_.targetReset();
+      return kNoSymbol;
+    case StepKind::kTraverse: {
+      const std::size_t c = cell(step.input, state_);
+      if (specified_[c] == 0)
+        throw MigrationError(
+            "traverse through unspecified cell (" +
+            context_.inputs().name(step.input) + ", " +
+            context_.states().name(state_) + ")");
+      state_ = next_[c];
+      return out_[c];
+    }
+    case StepKind::kRewrite: {
+      RFSM_CHECK(context_.states().contains(step.nextState),
+                 "rewrite next-state out of range");
+      RFSM_CHECK(context_.outputs().contains(step.output),
+                 "rewrite output out of range");
+      const std::size_t c = cell(step.input, state_);
+      next_[c] = step.nextState;
+      out_[c] = step.output;
+      specified_[c] = 1;
+      // Write-through traversal: the machine takes the new transition in
+      // the same cycle (this is what makes temporary transitions shortcuts).
+      state_ = step.nextState;
+      return step.output;
+    }
+  }
+  throw MigrationError("unknown step kind");
+}
+
+void MutableMachine::applyProgram(const ReconfigurationProgram& program) {
+  for (const ReconfigStep& step : program.steps) applyStep(step);
+}
+
+SymbolId MutableMachine::stepNormal(SymbolId input) {
+  const std::size_t c = cell(input, state_);
+  RFSM_CHECK(specified_[c] != 0, "normal step through unspecified cell");
+  const SymbolId o = out_[c];
+  state_ = next_[c];
+  return o;
+}
+
+void MutableMachine::loadCell(SymbolId input, SymbolId state,
+                              SymbolId nextState, SymbolId output) {
+  RFSM_CHECK(context_.states().contains(nextState),
+             "loadCell next-state out of range");
+  RFSM_CHECK(context_.outputs().contains(output),
+             "loadCell output out of range");
+  const std::size_t c = cell(input, state);
+  next_[c] = nextState;
+  out_[c] = output;
+  specified_[c] = 1;
+}
+
+std::optional<SymbolId> MutableMachine::edgeInput(SymbolId from,
+                                                  SymbolId to) const {
+  for (SymbolId i = 0; i < context_.inputs().size(); ++i) {
+    const std::size_t c = cell(i, from);
+    if (specified_[c] != 0 && next_[c] == to) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<int> MutableMachine::distancesFrom(SymbolId from) const {
+  const auto n = static_cast<std::size_t>(context_.states().size());
+  std::vector<int> dist(n, -1);
+  std::queue<SymbolId> frontier;
+  dist[static_cast<std::size_t>(from)] = 0;
+  frontier.push(from);
+  while (!frontier.empty()) {
+    const SymbolId u = frontier.front();
+    frontier.pop();
+    for (SymbolId i = 0; i < context_.inputs().size(); ++i) {
+      const std::size_t c = cell(i, u);
+      if (specified_[c] == 0) continue;
+      const SymbolId v = next_[c];
+      if (dist[static_cast<std::size_t>(v)] != -1) continue;
+      dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+      frontier.push(v);
+    }
+  }
+  return dist;
+}
+
+std::optional<std::vector<SymbolId>> MutableMachine::pathInputs(
+    SymbolId from, SymbolId to) const {
+  const auto n = static_cast<std::size_t>(context_.states().size());
+  std::vector<int> dist(n, -1);
+  std::vector<SymbolId> prevState(n, kNoSymbol);
+  std::vector<SymbolId> prevInput(n, kNoSymbol);
+  std::queue<SymbolId> frontier;
+  dist[static_cast<std::size_t>(from)] = 0;
+  frontier.push(from);
+  while (!frontier.empty() &&
+         dist[static_cast<std::size_t>(to)] == -1) {
+    const SymbolId u = frontier.front();
+    frontier.pop();
+    for (SymbolId i = 0; i < context_.inputs().size(); ++i) {
+      const std::size_t c = cell(i, u);
+      if (specified_[c] == 0) continue;
+      const SymbolId v = next_[c];
+      if (dist[static_cast<std::size_t>(v)] != -1) continue;
+      dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+      prevState[static_cast<std::size_t>(v)] = u;
+      prevInput[static_cast<std::size_t>(v)] = i;
+      frontier.push(v);
+    }
+  }
+  if (dist[static_cast<std::size_t>(to)] == -1) return std::nullopt;
+  std::vector<SymbolId> inputs;
+  for (SymbolId v = to; v != from;
+       v = prevState[static_cast<std::size_t>(v)])
+    inputs.push_back(prevInput[static_cast<std::size_t>(v)]);
+  std::reverse(inputs.begin(), inputs.end());
+  return inputs;
+}
+
+bool MutableMachine::matchesTarget(std::string* reason) const {
+  const Machine& target = context_.targetMachine();
+  for (SymbolId s = 0; s < target.stateCount(); ++s) {
+    const SymbolId ss = context_.liftTargetState(s);
+    for (SymbolId i = 0; i < target.inputCount(); ++i) {
+      const SymbolId si = context_.liftTargetInput(i);
+      const std::size_t c = cell(si, ss);
+      const SymbolId wantNext =
+          context_.liftTargetState(target.next(i, s));
+      const SymbolId wantOut =
+          context_.liftTargetOutput(target.output(i, s));
+      const bool ok = specified_[c] != 0 && next_[c] == wantNext &&
+                      out_[c] == wantOut;
+      if (!ok) {
+        if (reason != nullptr) {
+          *reason = "cell (" + context_.inputs().name(si) + ", " +
+                    context_.states().name(ss) + ") ";
+          if (specified_[c] == 0) {
+            *reason += "is unspecified";
+          } else {
+            *reason += "holds (" + context_.states().name(next_[c]) + ", " +
+                       context_.outputs().name(out_[c]) + ") but M' wants (" +
+                       context_.states().name(wantNext) + ", " +
+                       context_.outputs().name(wantOut) + ")";
+          }
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Machine MutableMachine::extractTarget() const {
+  std::string reason;
+  RFSM_CHECK(matchesTarget(&reason),
+             "machine does not realize the target: " + reason);
+  // The realized machine equals M' on the target domain by the check above.
+  return context_.targetMachine();
+}
+
+}  // namespace rfsm

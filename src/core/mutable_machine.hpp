@@ -1,0 +1,98 @@
+// The machine-under-reconfiguration: writable F/G tables over superset
+// alphabets plus a current state.
+//
+// This is the software twin of the Fig. 5 datapath: F-RAM / G-RAM contents
+// (with a "specified" bit per cell — freshly added states' cells hold
+// garbage until written, exactly like uninitialized block RAM), the state
+// register, and the three ways a clock cycle can advance it (reset,
+// traverse, rewrite).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/migration.hpp"
+#include "core/program.hpp"
+#include "util/check.hpp"
+
+namespace rfsm {
+
+/// Thrown when a program step is physically impossible (traversing an
+/// unwritten RAM cell, malformed step payloads).
+class MigrationError : public Error {
+ public:
+  explicit MigrationError(const std::string& what) : Error(what) {}
+};
+
+/// Mutable machine over the superset alphabets of a MigrationContext.
+/// Holds a reference to the context; the context must outlive it.
+class MutableMachine {
+ public:
+  /// Starts as a copy of the source machine M, in M's reset state.  Cells
+  /// outside M's (input, state) domain are unspecified.
+  explicit MutableMachine(const MigrationContext& context);
+
+  const MigrationContext& context() const { return context_; }
+
+  /// Current state (superset id).
+  SymbolId state() const { return state_; }
+
+  /// True when RAM cell (input, state) has defined contents.
+  bool isSpecified(SymbolId input, SymbolId state) const;
+
+  /// F(input, state); requires the cell to be specified.
+  SymbolId next(SymbolId input, SymbolId state) const;
+
+  /// G(input, state); requires the cell to be specified.
+  SymbolId output(SymbolId input, SymbolId state) const;
+
+  /// Executes one step (one clock cycle).  Returns the output emitted this
+  /// cycle (kNoSymbol for reset cycles, whose output is unspecified).
+  /// Throws MigrationError when a Traverse hits an unspecified cell.
+  SymbolId applyStep(const ReconfigStep& step);
+
+  /// Runs a whole program.
+  void applyProgram(const ReconfigurationProgram& program);
+
+  /// Normal-mode step (the H_i(i, r0) = i path): consume an external input.
+  SymbolId stepNormal(SymbolId input);
+
+  /// Configuration back door (the FPGA readback/writeback port): writes a
+  /// cell without traversing it and without moving the machine.  Used for
+  /// fault injection and golden-image loading; reconfiguration programs
+  /// must use Rewrite steps instead.
+  void loadCell(SymbolId input, SymbolId state, SymbolId nextState,
+                SymbolId output);
+
+  /// If there is a specified transition state -> `to`, returns one input
+  /// selecting it (lowest id); otherwise nullopt.
+  std::optional<SymbolId> edgeInput(SymbolId from, SymbolId to) const;
+
+  /// BFS distances from `from` to every state over specified cells only.
+  std::vector<int> distancesFrom(SymbolId from) const;
+
+  /// Inputs selecting a shortest specified-cell path from -> to (empty when
+  /// from == to); std::nullopt when `to` is unreachable.
+  std::optional<std::vector<SymbolId>> pathInputs(SymbolId from,
+                                                  SymbolId to) const;
+
+  /// True when the machine now realizes M': every (i', s') cell of the
+  /// target domain is specified and matches F'/G'.  On mismatch, fills
+  /// `reason` (when non-null) with the first offending cell.
+  bool matchesTarget(std::string* reason = nullptr) const;
+
+  /// Extracts the realized target machine (target alphabets, original
+  /// target ids).  Requires matchesTarget().
+  Machine extractTarget() const;
+
+ private:
+  std::size_t cell(SymbolId input, SymbolId state) const;
+
+  const MigrationContext& context_;
+  std::vector<SymbolId> next_, out_;
+  std::vector<char> specified_;
+  SymbolId state_;
+};
+
+}  // namespace rfsm

@@ -1,0 +1,212 @@
+#include "core/optimal.hpp"
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace rfsm {
+namespace {
+
+/// Temp-cell content codes: kOriginal/kTarget, then 2+t = "jump to t".
+constexpr int kOriginal = 0;
+constexpr int kTarget = 1;
+
+/// Packed move record for path reconstruction.
+struct Move {
+  std::uint8_t kind;        // 0 reset, 1 traverse, 2 rewrite
+  std::uint8_t temporary;   // rewrite only
+  std::int16_t input;
+  std::int16_t nextState;
+  std::int16_t output;
+};
+
+}  // namespace
+
+std::optional<ReconfigurationProgram> planOptimalSearch(
+    const MigrationContext& context, const OptimalSearchOptions& options) {
+  const SymbolId i0 = options.tempInput == kNoSymbol
+                          ? context.liftTargetInput(0)
+                          : options.tempInput;
+  RFSM_CHECK(context.inTargetInputs(i0),
+             "temporary input must be an input of M'");
+  const SymbolId s0 = context.targetReset();
+  const int stateCount = context.states().size();
+  const int inputCount = context.inputs().size();
+
+  // Deltas (excluding the temp cell, which the temp-content axis covers).
+  std::vector<Transition> deltas;
+  std::vector<int> deltaAt(
+      static_cast<std::size_t>(stateCount) *
+          static_cast<std::size_t>(inputCount),
+      -1);
+  bool tempCellIsDelta = false;
+  auto cellIndex = [&](SymbolId input, SymbolId state) {
+    return static_cast<std::size_t>(state) *
+               static_cast<std::size_t>(inputCount) +
+           static_cast<std::size_t>(input);
+  };
+  for (const Transition& td : context.deltaTransitions()) {
+    if (td.input == i0 && td.from == s0) {
+      tempCellIsDelta = true;
+      continue;
+    }
+    deltaAt[cellIndex(td.input, td.from)] = static_cast<int>(deltas.size());
+    deltas.push_back(td);
+  }
+  const int n = static_cast<int>(deltas.size());
+  if (n > options.maxDeltas) return std::nullopt;
+
+  const int tempStates = 2 + stateCount;
+  const std::size_t totalNodes = (std::size_t{1} << n) *
+                                 static_cast<std::size_t>(stateCount) *
+                                 static_cast<std::size_t>(tempStates);
+  if (totalNodes > options.maxNodes) return std::nullopt;
+
+  auto nodeId = [&](std::uint32_t mask, SymbolId state, int temp) {
+    return (static_cast<std::size_t>(mask) *
+                static_cast<std::size_t>(stateCount) +
+            static_cast<std::size_t>(state)) *
+               static_cast<std::size_t>(tempStates) +
+           static_cast<std::size_t>(temp);
+  };
+
+  const SymbolId tempTargetNext = context.targetNext(i0, s0);
+  const SymbolId tempTargetOut = context.targetOutput(i0, s0);
+  const bool tempSourceSpecified =
+      context.inSourceInputs(i0) && context.inSourceStates(s0);
+
+  // Resolved (next, out) of cell (u, s) in the configuration (mask, temp);
+  // next = kNoSymbol when unspecified.
+  auto resolve = [&](std::uint32_t mask, int temp, SymbolId u,
+                     SymbolId s) -> std::pair<SymbolId, SymbolId> {
+    if (u == i0 && s == s0) {
+      if (temp == kTarget) return {tempTargetNext, tempTargetOut};
+      if (temp >= 2) return {static_cast<SymbolId>(temp - 2), tempTargetOut};
+      if (tempSourceSpecified)
+        return {context.sourceNext(i0, s0), context.sourceOutput(i0, s0)};
+      return {kNoSymbol, kNoSymbol};
+    }
+    const int d = deltaAt[cellIndex(u, s)];
+    if (d >= 0 && (mask & (1u << d)))
+      return {deltas[static_cast<std::size_t>(d)].to,
+              deltas[static_cast<std::size_t>(d)].output};
+    if (context.inSourceInputs(u) && context.inSourceStates(s))
+      return {context.sourceNext(u, s), context.sourceOutput(u, s)};
+    return {kNoSymbol, kNoSymbol};
+  };
+
+  const std::uint32_t fullMask =
+      n == 32 ? ~std::uint32_t{0} : ((std::uint32_t{1} << n) - 1);
+  auto isGoal = [&](std::uint32_t mask, SymbolId state, int temp) {
+    if (mask != fullMask || state != s0) return false;
+    return temp == kTarget || (!tempCellIsDelta && temp == kOriginal);
+  };
+
+  // The machine may already satisfy the goal (identity migration in S0').
+  if (isGoal(0, context.sourceReset(), kOriginal))
+    return ReconfigurationProgram{};
+
+  std::vector<std::int32_t> parent(totalNodes, -2);  // -2 = unvisited
+  std::vector<Move> via(totalNodes);
+  std::queue<std::size_t> frontier;
+
+  const std::size_t start = nodeId(0, context.sourceReset(), kOriginal);
+  parent[start] = -1;
+  frontier.push(start);
+  std::optional<std::size_t> goal;
+
+  while (!frontier.empty() && !goal.has_value()) {
+    const std::size_t node = frontier.front();
+    frontier.pop();
+    const int temp = static_cast<int>(node % tempStates);
+    const auto rest = node / static_cast<std::size_t>(tempStates);
+    const SymbolId state = static_cast<SymbolId>(
+        rest % static_cast<std::size_t>(stateCount));
+    const auto mask = static_cast<std::uint32_t>(
+        rest / static_cast<std::size_t>(stateCount));
+
+    auto visit = [&](std::size_t next, const Move& move) {
+      if (parent[next] != -2) return;
+      parent[next] = static_cast<std::int32_t>(node);
+      via[next] = move;
+      const int nTemp = static_cast<int>(next % tempStates);
+      const auto nRest = next / static_cast<std::size_t>(tempStates);
+      const SymbolId nState = static_cast<SymbolId>(
+          nRest % static_cast<std::size_t>(stateCount));
+      const auto nMask = static_cast<std::uint32_t>(
+          nRest / static_cast<std::size_t>(stateCount));
+      if (isGoal(nMask, nState, nTemp)) goal = next;
+      frontier.push(next);
+    };
+
+    // 1. Reset.
+    visit(nodeId(mask, s0, temp), Move{0, 0, 0, 0, 0});
+
+    for (SymbolId u = 0; u < inputCount && !goal.has_value(); ++u) {
+      // 2. Traverse an existing transition.
+      const auto [next, out] = resolve(mask, temp, u, state);
+      if (next != kNoSymbol)
+        visit(nodeId(mask, next, temp),
+              Move{1, 0, static_cast<std::int16_t>(u), 0, 0});
+      // 3. Rewrite the unfixed delta cell at (u, state).
+      const int d = deltaAt[cellIndex(u, state)];
+      if (d >= 0 && !(mask & (1u << d))) {
+        const Transition& td = deltas[static_cast<std::size_t>(d)];
+        visit(nodeId(mask | (1u << d), td.to, temp),
+              Move{2, 0, static_cast<std::int16_t>(u),
+                   static_cast<std::int16_t>(td.to),
+                   static_cast<std::int16_t>(td.output)});
+      }
+    }
+
+    // 4. Rewrite the temporary cell (only possible while sitting in S0').
+    if (state == s0 && !goal.has_value()) {
+      // 4a. To its final M' contents.
+      visit(nodeId(mask, tempTargetNext, kTarget),
+            Move{2, 0, static_cast<std::int16_t>(i0),
+                 static_cast<std::int16_t>(tempTargetNext),
+                 static_cast<std::int16_t>(tempTargetOut)});
+      // 4b. To a temporary jump at an unfixed delta source.
+      for (int d = 0; d < n; ++d) {
+        if (mask & (1u << d)) continue;
+        const SymbolId t = deltas[static_cast<std::size_t>(d)].from;
+        visit(nodeId(mask, t, 2 + t),
+              Move{2, 1, static_cast<std::int16_t>(i0),
+                   static_cast<std::int16_t>(t),
+                   static_cast<std::int16_t>(tempTargetOut)});
+      }
+    }
+  }
+
+  if (!goal.has_value())
+    return std::nullopt;  // unreachable in practice: JSR always succeeds
+
+  // Reconstruct the program.
+  std::vector<Move> moves;
+  for (std::size_t node = *goal; parent[node] != -1;
+       node = static_cast<std::size_t>(parent[node]))
+    moves.push_back(via[node]);
+  ReconfigurationProgram program;
+  program.steps.reserve(moves.size());
+  for (auto it = moves.rbegin(); it != moves.rend(); ++it) {
+    switch (it->kind) {
+      case 0:
+        program.steps.push_back(ReconfigStep::reset());
+        break;
+      case 1:
+        program.steps.push_back(
+            ReconfigStep::traverse(static_cast<SymbolId>(it->input)));
+        break;
+      default:
+        program.steps.push_back(ReconfigStep::rewrite(
+            static_cast<SymbolId>(it->input),
+            static_cast<SymbolId>(it->nextState),
+            static_cast<SymbolId>(it->output), it->temporary != 0));
+    }
+  }
+  return program;
+}
+
+}  // namespace rfsm

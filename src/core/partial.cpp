@@ -1,0 +1,229 @@
+#include "core/partial.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "core/mutable_machine.hpp"
+#include "util/check.hpp"
+
+namespace rfsm {
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max() / 4;
+
+/// Emits the cheaper of {walk from the current state, reset + walk from
+/// S0'} to reach `target`; throws MigrationError when neither exists.
+void appendConnect(MutableMachine& machine, ReconfigurationProgram& program,
+                   SymbolId target) {
+  const MigrationContext& context = machine.context();
+  auto emit = [&](const ReconfigStep& step) {
+    program.steps.push_back(step);
+    machine.applyStep(step);
+  };
+  if (machine.state() == target) return;
+
+  const auto fromHere = machine.distancesFrom(machine.state());
+  const int dHere = fromHere[static_cast<std::size_t>(target)];
+  const auto fromReset = machine.distancesFrom(context.targetReset());
+  const int dReset = fromReset[static_cast<std::size_t>(target)];
+  const int costWalk = dHere < 0 ? kInf : dHere;
+  const int costReset = dReset < 0 ? kInf : 1 + dReset;
+  if (costWalk >= kInf && costReset >= kInf)
+    throw MigrationError("output-only planner: state '" +
+                         context.states().name(target) +
+                         "' unreachable without temporary transitions");
+  if (costReset < costWalk) emit(ReconfigStep::reset());
+  const auto inputs = machine.pathInputs(machine.state(), target);
+  RFSM_CHECK(inputs.has_value(), "connect target became unreachable");
+  for (const SymbolId input : *inputs) emit(ReconfigStep::traverse(input));
+}
+
+}  // namespace
+
+DeltaClassification classifyDeltas(const MigrationContext& context) {
+  DeltaClassification result;
+  for (const Transition& t : context.deltaTransitions()) {
+    const bool outsideSource =
+        !context.inSourceInputs(t.input) || !context.inSourceStates(t.from) ||
+        !context.inSourceStates(t.to) || !context.inSourceOutputs(t.output);
+    if (outsideSource) {
+      ++result.structural;
+      continue;
+    }
+    const bool nextDiffers = context.sourceNext(t.input, t.from) != t.to;
+    const bool outDiffers = context.sourceOutput(t.input, t.from) != t.output;
+    if (nextDiffers && outDiffers) {
+      ++result.both;
+    } else if (nextDiffers) {
+      ++result.transitionOnly;
+    } else {
+      ++result.outputOnly;
+    }
+  }
+  return result;
+}
+
+bool isOutputOnlyMigration(const MigrationContext& context) {
+  const DeltaClassification c = classifyDeltas(context);
+  return c.transitionOnly == 0 && c.both == 0 && c.structural == 0;
+}
+
+ReconfigurationProgram planOutputOnlyGreedy(const MigrationContext& context) {
+  if (!isOutputOnlyMigration(context))
+    throw MigrationError(
+        "planOutputOnlyGreedy requires an output-only migration");
+
+  MutableMachine machine(context);
+  ReconfigurationProgram program;
+  auto emit = [&](const ReconfigStep& step) {
+    program.steps.push_back(step);
+    machine.applyStep(step);
+  };
+  emit(ReconfigStep::reset());
+
+  std::vector<Transition> deltas = context.deltaTransitions();
+  std::vector<bool> done(deltas.size(), false);
+  for (std::size_t round = 0; round < deltas.size(); ++round) {
+    // Nearest remaining delta from the current state (reset allowed).
+    const auto fromHere = machine.distancesFrom(machine.state());
+    const auto fromReset = machine.distancesFrom(context.targetReset());
+    int best = -1;
+    int bestCost = kInf + 1;
+    for (std::size_t k = 0; k < deltas.size(); ++k) {
+      if (done[k]) continue;
+      const auto from = static_cast<std::size_t>(deltas[k].from);
+      const int dHere = fromHere[from] < 0 ? kInf : fromHere[from];
+      const int dReset = fromReset[from] < 0 ? kInf : 1 + fromReset[from];
+      const int cost = std::min(dHere, dReset);
+      if (cost < bestCost) {
+        bestCost = cost;
+        best = static_cast<int>(k);
+      }
+    }
+    const Transition& td = deltas[static_cast<std::size_t>(best)];
+    appendConnect(machine, program, td.from);
+    // Output-only rewrite: td.to equals the existing F value, so the graph
+    // is unchanged and the machine simply takes the (relabelled) edge.
+    emit(ReconfigStep::rewrite(td.input, td.to, td.output));
+    done[static_cast<std::size_t>(best)] = true;
+  }
+  if (machine.state() != context.targetReset())
+    emit(ReconfigStep::reset());
+  return program;
+}
+
+std::optional<ReconfigurationProgram> planOutputOnlyOptimal(
+    const MigrationContext& context, int maxDeltas) {
+  if (!isOutputOnlyMigration(context))
+    throw MigrationError(
+        "planOutputOnlyOptimal requires an output-only migration");
+  const std::vector<Transition>& deltas = context.deltaTransitions();
+  const int n = static_cast<int>(deltas.size());
+  if (n > maxDeltas) return std::nullopt;
+  if (n == 0) {
+    ReconfigurationProgram program;
+    program.steps.push_back(ReconfigStep::reset());
+    return program;
+  }
+
+  // Static distances (the graph never changes in output-only migrations).
+  const MutableMachine machine(context);
+  const SymbolId s0 = context.targetReset();
+  const auto fromReset = machine.distancesFrom(s0);
+  auto walkOrReset = [&](const std::vector<int>& fromU, SymbolId v) {
+    const int dWalk = fromU[static_cast<std::size_t>(v)];
+    const int dReset = fromReset[static_cast<std::size_t>(v)];
+    const int costWalk = dWalk < 0 ? kInf : dWalk;
+    const int costReset = dReset < 0 ? kInf : 1 + dReset;
+    return std::min(costWalk, costReset);
+  };
+
+  // cost[a][b]: cycles to move from delta a's landing state to delta b's
+  // source; start[b]: from S0' (after the leading reset) to b's source.
+  std::vector<std::vector<int>> fromLanding(
+      static_cast<std::size_t>(n));
+  for (int a = 0; a < n; ++a)
+    fromLanding[static_cast<std::size_t>(a)] =
+        machine.distancesFrom(deltas[static_cast<std::size_t>(a)].to);
+  std::vector<int> start(static_cast<std::size_t>(n));
+  std::vector<std::vector<int>> cost(
+      static_cast<std::size_t>(n), std::vector<int>(static_cast<std::size_t>(n)));
+  for (int b = 0; b < n; ++b) {
+    start[static_cast<std::size_t>(b)] =
+        walkOrReset(fromReset, deltas[static_cast<std::size_t>(b)].from);
+    for (int a = 0; a < n; ++a)
+      cost[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+          walkOrReset(fromLanding[static_cast<std::size_t>(a)],
+                      deltas[static_cast<std::size_t>(b)].from);
+  }
+
+  // Held-Karp over delta subsets.
+  const std::size_t full = std::size_t{1} << n;
+  std::vector<std::vector<int>> dp(
+      full, std::vector<int>(static_cast<std::size_t>(n), kInf));
+  std::vector<std::vector<int>> parent(
+      full, std::vector<int>(static_cast<std::size_t>(n), -1));
+  for (int b = 0; b < n; ++b)
+    dp[std::size_t{1} << b][static_cast<std::size_t>(b)] =
+        start[static_cast<std::size_t>(b)];
+  for (std::size_t mask = 1; mask < full; ++mask) {
+    for (int last = 0; last < n; ++last) {
+      if (!(mask & (std::size_t{1} << last))) continue;
+      const int base = dp[mask][static_cast<std::size_t>(last)];
+      if (base >= kInf) continue;
+      for (int next = 0; next < n; ++next) {
+        if (mask & (std::size_t{1} << next)) continue;
+        const std::size_t nextMask = mask | (std::size_t{1} << next);
+        const int candidate =
+            base + cost[static_cast<std::size_t>(last)][
+                       static_cast<std::size_t>(next)];
+        if (candidate < dp[nextMask][static_cast<std::size_t>(next)]) {
+          dp[nextMask][static_cast<std::size_t>(next)] = candidate;
+          parent[nextMask][static_cast<std::size_t>(next)] = last;
+        }
+      }
+    }
+  }
+  int bestLast = -1;
+  int bestTotal = kInf;
+  for (int last = 0; last < n; ++last) {
+    const int tail =
+        deltas[static_cast<std::size_t>(last)].to == s0 ? 0 : 1;  // reset
+    const int total = dp[full - 1][static_cast<std::size_t>(last)] + tail;
+    if (total < bestTotal) {
+      bestTotal = total;
+      bestLast = last;
+    }
+  }
+  if (bestLast < 0 || bestTotal >= kInf)
+    throw MigrationError("output-only optimal planner: instance unreachable");
+
+  // Reconstruct the order and emit the program with the shared connector.
+  std::vector<int> order;
+  std::size_t mask = full - 1;
+  for (int last = bestLast; last != -1;) {
+    order.push_back(last);
+    const int prev = parent[mask][static_cast<std::size_t>(last)];
+    mask &= ~(std::size_t{1} << last);
+    last = prev;
+  }
+  std::reverse(order.begin(), order.end());
+
+  MutableMachine replay(context);
+  ReconfigurationProgram program;
+  auto emit = [&](const ReconfigStep& step) {
+    program.steps.push_back(step);
+    replay.applyStep(step);
+  };
+  emit(ReconfigStep::reset());
+  for (const int index : order) {
+    const Transition& td = deltas[static_cast<std::size_t>(index)];
+    appendConnect(replay, program, td.from);
+    emit(ReconfigStep::rewrite(td.input, td.to, td.output));
+  }
+  if (replay.state() != s0) emit(ReconfigStep::reset());
+  return program;
+}
+
+}  // namespace rfsm

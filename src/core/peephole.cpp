@@ -1,0 +1,43 @@
+#include "core/peephole.hpp"
+
+#include "core/mutable_machine.hpp"
+
+namespace rfsm {
+
+PeepholeResult optimizeProgram(const MigrationContext& context,
+                               const ReconfigurationProgram& program) {
+  PeepholeResult result;
+  MutableMachine machine(context);
+  for (const ReconfigStep& step : program.steps) {
+    switch (step.kind) {
+      case StepKind::kReset:
+        if (machine.state() == context.targetReset()) {
+          ++result.removedResets;  // already there: a wasted cycle
+          continue;
+        }
+        break;
+      case StepKind::kRewrite: {
+        const bool identity =
+            machine.isSpecified(step.input, machine.state()) &&
+            machine.next(step.input, machine.state()) == step.nextState &&
+            machine.output(step.input, machine.state()) == step.output;
+        if (identity) {
+          // Same motion without touching the write port.
+          const ReconfigStep traverse = ReconfigStep::traverse(step.input);
+          machine.applyStep(traverse);
+          result.program.steps.push_back(traverse);
+          ++result.demotedRewrites;
+          continue;
+        }
+        break;
+      }
+      case StepKind::kTraverse:
+        break;
+    }
+    machine.applyStep(step);
+    result.program.steps.push_back(step);
+  }
+  return result;
+}
+
+}  // namespace rfsm

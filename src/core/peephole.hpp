@@ -1,0 +1,30 @@
+// Peephole optimization of reconfiguration programs.
+//
+// Planners compose programs from stereotyped blocks, which leaves local
+// slack: resets taken from the reset state itself, and rewrites that write
+// a cell's existing contents (JSR's unconditional tail does this whenever
+// the temporary cell was never dirtied).  The peephole pass replays the
+// program once, dropping no-op resets and demoting identity rewrites to
+// plain traversals (same motion, no write-port activity).  The result is
+// always valid and never longer.
+#pragma once
+
+#include "core/migration.hpp"
+#include "core/program.hpp"
+
+namespace rfsm {
+
+/// Statistics of one optimization pass.
+struct PeepholeResult {
+  ReconfigurationProgram program;
+  int removedResets = 0;
+  int demotedRewrites = 0;  // rewrites turned into traversals
+};
+
+/// Optimizes `program` for the given migration.  Requires the input to be
+/// executable from the initial machine (planners guarantee this); the
+/// output validates whenever the input does.
+PeepholeResult optimizeProgram(const MigrationContext& context,
+                               const ReconfigurationProgram& program);
+
+}  // namespace rfsm

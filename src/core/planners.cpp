@@ -1,0 +1,251 @@
+#include "core/planners.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "core/jsr.hpp"
+#include "core/mutable_machine.hpp"
+#include "ea/permutation.hpp"
+#include "util/check.hpp"
+
+namespace rfsm {
+namespace {
+
+constexpr int kInfinity = std::numeric_limits<int>::max() / 4;
+
+/// Shared machinery of the order-decoding planners: tracks the machine
+/// under reconfiguration, emits steps, connects to delta sources, and
+/// repairs the temporary cell at the end.
+class Decoder {
+ public:
+  Decoder(const MigrationContext& context, const DecodeOptions& options)
+      : context_(context), options_(options), machine_(context) {
+    i0_ = options.tempInput == kNoSymbol ? context.liftTargetInput(0)
+                                         : options.tempInput;
+    RFSM_CHECK(context.inTargetInputs(i0_),
+               "temporary input must be an input of M'");
+    s0_ = context.targetReset();
+    tempOutput_ = context.targetOutput(i0_, s0_);
+    for (const Transition& td : context.deltaTransitions()) {
+      if (td.input == i0_ && td.from == s0_) {
+        tempCellIsDelta_ = true;
+      } else {
+        loopDeltas_.push_back(td);
+      }
+    }
+    // Programs start with a reset transition: the machine may be anywhere
+    // when reconfiguration begins (JSR line (3)).
+    emit(ReconfigStep::reset());
+  }
+
+  const std::vector<Transition>& loopDeltas() const { return loopDeltas_; }
+
+  /// Cycles the next connect() to `td` would cost, without mutating.
+  int connectionCost(const Transition& td) const {
+    const SymbolId here = machine_.state();
+    if (options_.rule == DecodeRule::kPaper) {
+      if (here == td.from) return 0;
+      if (machine_.edgeInput(here, td.from).has_value()) return 1;
+      return here == s0_ ? 1 : 2;  // [reset +] temporary
+    }
+    return bestOfThreeCost(td).first;
+  }
+
+  /// Connects to td.from, then rewrites td while traversing it.
+  void processDelta(const Transition& td) {
+    connect(td);
+    RFSM_CHECK(machine_.state() == td.from,
+               "decoder failed to reach the delta source");
+    emit(ReconfigStep::rewrite(td.input, td.to, td.output));
+  }
+
+  /// Repairs the temporary cell and terminates in S0'.
+  ReconfigurationProgram finish() {
+    if (tempDirty_ || tempCellIsDelta_) {
+      if (machine_.state() != s0_) emit(ReconfigStep::reset());
+      emit(ReconfigStep::rewrite(i0_, context_.targetNext(i0_, s0_),
+                                 context_.targetOutput(i0_, s0_)));
+    }
+    if (machine_.state() != s0_) emit(ReconfigStep::reset());
+    return std::move(program_);
+  }
+
+ private:
+  enum class Connect { kWalk, kResetWalk, kTemporary };
+
+  void emit(const ReconfigStep& step) {
+    program_.steps.push_back(step);
+    machine_.applyStep(step);
+  }
+
+  /// (cost, choice) of the cheapest kBestOfThree connection to td.from.
+  std::pair<int, Connect> bestOfThreeCost(const Transition& td) const {
+    const SymbolId here = machine_.state();
+    const std::vector<int> fromHere = machine_.distancesFrom(here);
+    const int dHere = fromHere[static_cast<std::size_t>(td.from)];
+    const int costWalk = dHere < 0 ? kInfinity : dHere;
+
+    const std::vector<int> fromReset = machine_.distancesFrom(s0_);
+    const int dReset = fromReset[static_cast<std::size_t>(td.from)];
+    const int costResetWalk = dReset < 0 ? kInfinity : 1 + dReset;
+
+    int costTemporary = (here == s0_) ? 1 : 2;
+    if (!options_.allowTemporary &&
+        (costWalk < kInfinity || costResetWalk < kInfinity))
+      costTemporary = kInfinity;
+
+    // Prefer non-mutating connections on ties.
+    if (costWalk <= costResetWalk && costWalk <= costTemporary)
+      return {costWalk, Connect::kWalk};
+    if (costResetWalk <= costTemporary)
+      return {costResetWalk, Connect::kResetWalk};
+    return {costTemporary, Connect::kTemporary};
+  }
+
+  void emitWalk(SymbolId from, SymbolId to) {
+    const auto inputs = machine_.pathInputs(from, to);
+    RFSM_CHECK(inputs.has_value(), "walk target became unreachable");
+    for (const SymbolId input : *inputs)
+      emit(ReconfigStep::traverse(input));
+  }
+
+  void emitTemporary(SymbolId target) {
+    if (machine_.state() != s0_) emit(ReconfigStep::reset());
+    if (machine_.state() == target) return;  // the reset already arrived
+    emit(ReconfigStep::rewrite(i0_, target, tempOutput_, /*temporary=*/true));
+    tempDirty_ = true;
+  }
+
+  void connect(const Transition& td) {
+    const SymbolId here = machine_.state();
+    if (here == td.from) return;
+    if (options_.rule == DecodeRule::kPaper) {
+      // Paper Sec. 4.6: existing path of length <= 1, else reset+temporary.
+      if (const auto input = machine_.edgeInput(here, td.from)) {
+        emit(ReconfigStep::traverse(*input));
+        return;
+      }
+      emitTemporary(td.from);
+      return;
+    }
+    const auto [cost, choice] = bestOfThreeCost(td);
+    switch (choice) {
+      case Connect::kWalk:
+        emitWalk(here, td.from);
+        break;
+      case Connect::kResetWalk:
+        emit(ReconfigStep::reset());
+        emitWalk(s0_, td.from);
+        break;
+      case Connect::kTemporary:
+        emitTemporary(td.from);
+        break;
+    }
+  }
+
+  const MigrationContext& context_;
+  DecodeOptions options_;
+  MutableMachine machine_;
+  ReconfigurationProgram program_;
+  std::vector<Transition> loopDeltas_;
+  SymbolId i0_ = kNoSymbol;
+  SymbolId s0_ = kNoSymbol;
+  SymbolId tempOutput_ = kNoSymbol;
+  bool tempDirty_ = false;
+  bool tempCellIsDelta_ = false;
+};
+
+}  // namespace
+
+int loopDeltaCount(const MigrationContext& context, SymbolId tempInput) {
+  const SymbolId i0 =
+      tempInput == kNoSymbol ? context.liftTargetInput(0) : tempInput;
+  const SymbolId s0 = context.targetReset();
+  int n = 0;
+  for (const Transition& td : context.deltaTransitions())
+    if (!(td.input == i0 && td.from == s0)) ++n;
+  return n;
+}
+
+ReconfigurationProgram decodeOrder(const MigrationContext& context,
+                                   const std::vector<int>& order,
+                                   const DecodeOptions& options) {
+  Decoder decoder(context, options);
+  const auto& deltas = decoder.loopDeltas();
+  RFSM_CHECK(order.size() == deltas.size(),
+             "order must be a permutation of the loop deltas");
+  RFSM_CHECK(isPermutation(order), "order must be a permutation");
+  for (const int index : order)
+    decoder.processDelta(deltas[static_cast<std::size_t>(index)]);
+  return decoder.finish();
+}
+
+ReconfigurationProgram planGreedy(const MigrationContext& context,
+                                  const DecodeOptions& options) {
+  Decoder decoder(context, options);
+  const auto& deltas = decoder.loopDeltas();
+  std::vector<bool> done(deltas.size(), false);
+  for (std::size_t round = 0; round < deltas.size(); ++round) {
+    int best = -1;
+    int bestCost = kInfinity + 1;
+    for (std::size_t k = 0; k < deltas.size(); ++k) {
+      if (done[k]) continue;
+      const int cost = decoder.connectionCost(deltas[k]);
+      if (cost < bestCost) {
+        bestCost = cost;
+        best = static_cast<int>(k);
+      }
+    }
+    done[static_cast<std::size_t>(best)] = true;
+    decoder.processDelta(deltas[static_cast<std::size_t>(best)]);
+  }
+  return decoder.finish();
+}
+
+EvolutionaryPlan planEvolutionary(const MigrationContext& context,
+                                  const EvolutionConfig& config, Rng& rng,
+                                  const DecodeOptions& options) {
+  const int n = loopDeltaCount(context, options.tempInput);
+  const FitnessFn fitness = [&](const Permutation& order) {
+    return static_cast<double>(decodeOrder(context, order, options).length());
+  };
+  const EvolutionResult evo = evolvePermutation(n, fitness, config, rng);
+
+  EvolutionaryPlan plan;
+  plan.program = decodeOrder(context, evo.best, options);
+  plan.evaluations = evo.evaluations;
+  plan.initialBest =
+      evo.history.empty() ? evo.bestFitness : evo.history.front().bestFitness;
+  plan.bestPerGeneration.reserve(evo.history.size());
+  for (const GenerationStats& g : evo.history)
+    plan.bestPerGeneration.push_back(g.bestFitness);
+  return plan;
+}
+
+std::optional<ReconfigurationProgram> planExact(const MigrationContext& context,
+                                                int maxDeltas,
+                                                const DecodeOptions& options) {
+  const int n = loopDeltaCount(context, options.tempInput);
+  if (n > maxDeltas) return std::nullopt;
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::optional<ReconfigurationProgram> best;
+  do {
+    ReconfigurationProgram candidate = decodeOrder(context, order, options);
+    if (!best.has_value() || candidate.length() < best->length())
+      best = std::move(candidate);
+  } while (std::next_permutation(order.begin(), order.end()));
+  return best;
+}
+
+ReconfigurationProgram planNoTemporary(const MigrationContext& context,
+                                       SymbolId tempInput) {
+  DecodeOptions options;
+  options.tempInput = tempInput;
+  options.rule = DecodeRule::kBestOfThree;
+  options.allowTemporary = false;
+  return planGreedy(context, options);
+}
+
+}  // namespace rfsm

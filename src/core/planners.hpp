@@ -1,0 +1,93 @@
+// Reconfiguration-program planners (paper Secs. 4.4 and 4.6).
+//
+// The ordering of delta transitions is a TSP-like problem (Sec. 4.6); every
+// planner here produces a valid program, they differ in how they order the
+// deltas and how they connect consecutive deltas:
+//
+//  * planJsr (core/jsr.hpp)      — the paper's constructive heuristic.
+//  * decodeOrder                 — the paper's EA decoder: given an order,
+//    connect consecutive deltas by an existing path of length <= 1, else by
+//    reset + temporary transition (DecodeRule::kPaper); kBestOfThree is an
+//    improved decoder for the ablation study that also considers longer
+//    walks and reset-then-walk connections.
+//  * planGreedy                  — nearest-neighbour order, paper decoder.
+//  * planEvolutionary            — the paper's EA over delta permutations.
+//  * planExact                   — exhaustive search over orders (small
+//    |Td| only); optimal within the decoder family.
+//  * planNoTemporary             — ablation: path-following only, temporary
+//    transitions used solely when a delta source is otherwise unreachable.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/migration.hpp"
+#include "core/program.hpp"
+#include "ea/evolution.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm {
+
+/// How decodeOrder connects the current state to the next delta source.
+enum class DecodeRule {
+  /// Paper Sec. 4.6: existing path of length <= 1, else reset + temporary.
+  kPaper,
+  /// Min of {walk from here, reset + walk, reset + temporary}; walks may be
+  /// any length.  Strictly better than kPaper, used by the ablation bench.
+  kBestOfThree,
+};
+
+/// Options shared by the order-decoding planners.
+struct DecodeOptions {
+  /// Fixed input condition i0 for temporary transitions (superset id);
+  /// kNoSymbol = first input of M'.
+  SymbolId tempInput = kNoSymbol;
+  DecodeRule rule = DecodeRule::kPaper;
+  /// When false, temporary transitions are only used for otherwise
+  /// unreachable delta sources (ablation A2).
+  bool allowTemporary = true;
+};
+
+/// Decodes a permutation of the (loop-)delta transitions into a program.
+/// `order` must be a permutation of 0..n-1 where n is the number of delta
+/// transitions excluding the one living in the temporary cell (i0, S0') —
+/// see loopDeltaCount().
+ReconfigurationProgram decodeOrder(const MigrationContext& context,
+                                   const std::vector<int>& order,
+                                   const DecodeOptions& options = {});
+
+/// Number of deltas a decode order ranges over (deltas not in the temporary
+/// cell (i0, S0')).
+int loopDeltaCount(const MigrationContext& context,
+                   SymbolId tempInput = kNoSymbol);
+
+/// Nearest-neighbour ordering under the decoder's connection cost.
+ReconfigurationProgram planGreedy(const MigrationContext& context,
+                                  const DecodeOptions& options = {});
+
+/// Result of the EA planner, with search statistics for the ablation bench.
+struct EvolutionaryPlan {
+  ReconfigurationProgram program;
+  double initialBest = 0.0;   // best fitness in the random initial population
+  int evaluations = 0;
+  std::vector<double> bestPerGeneration;
+};
+
+/// The paper's evolutionary heuristic (Sec. 4.6).
+EvolutionaryPlan planEvolutionary(const MigrationContext& context,
+                                  const EvolutionConfig& config, Rng& rng,
+                                  const DecodeOptions& options = {});
+
+/// Exhaustive search over all delta orders; returns the shortest program.
+/// Refuses (returns nullopt) when loopDeltaCount > maxDeltas.
+std::optional<ReconfigurationProgram> planExact(
+    const MigrationContext& context, int maxDeltas = 9,
+    const DecodeOptions& options = {});
+
+/// Ablation: connect deltas by shortest existing walks; temporary
+/// transitions only as a last resort for unreachable sources.
+ReconfigurationProgram planNoTemporary(const MigrationContext& context,
+                                       SymbolId tempInput = kNoSymbol);
+
+}  // namespace rfsm

@@ -1,0 +1,83 @@
+#include "core/program.hpp"
+
+#include <sstream>
+
+#include "core/migration.hpp"
+
+namespace rfsm {
+
+ReconfigStep ReconfigStep::reset() { return ReconfigStep{}; }
+
+ReconfigStep ReconfigStep::traverse(SymbolId input) {
+  ReconfigStep s;
+  s.kind = StepKind::kTraverse;
+  s.input = input;
+  return s;
+}
+
+ReconfigStep ReconfigStep::rewrite(SymbolId input, SymbolId nextState,
+                                   SymbolId output, bool temporary) {
+  ReconfigStep s;
+  s.kind = StepKind::kRewrite;
+  s.input = input;
+  s.nextState = nextState;
+  s.output = output;
+  s.temporary = temporary;
+  return s;
+}
+
+int ReconfigurationProgram::resetCount() const {
+  int n = 0;
+  for (const auto& s : steps)
+    if (s.kind == StepKind::kReset) ++n;
+  return n;
+}
+
+int ReconfigurationProgram::traverseCount() const {
+  int n = 0;
+  for (const auto& s : steps)
+    if (s.kind == StepKind::kTraverse) ++n;
+  return n;
+}
+
+int ReconfigurationProgram::rewriteCount() const {
+  int n = 0;
+  for (const auto& s : steps)
+    if (s.kind == StepKind::kRewrite) ++n;
+  return n;
+}
+
+int ReconfigurationProgram::temporaryCount() const {
+  int n = 0;
+  for (const auto& s : steps)
+    if (s.kind == StepKind::kRewrite && s.temporary) ++n;
+  return n;
+}
+
+std::string describeStep(const MigrationContext& context,
+                         const ReconfigStep& step) {
+  switch (step.kind) {
+    case StepKind::kReset:
+      return "RST -> " + context.states().name(context.targetReset());
+    case StepKind::kTraverse:
+      return "take  i=" + context.inputs().name(step.input);
+    case StepKind::kRewrite: {
+      std::string text = "write i=" + context.inputs().name(step.input) +
+                         " F:=" + context.states().name(step.nextState) +
+                         " G:=" + context.outputs().name(step.output);
+      if (step.temporary) text += " (temporary)";
+      return text;
+    }
+  }
+  return "?";
+}
+
+std::string describeProgram(const MigrationContext& context,
+                            const ReconfigurationProgram& program) {
+  std::ostringstream os;
+  for (std::size_t k = 0; k < program.steps.size(); ++k)
+    os << "z" << k << ": " << describeStep(context, program.steps[k]) << "\n";
+  return os.str();
+}
+
+}  // namespace rfsm

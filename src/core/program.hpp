@@ -1,0 +1,69 @@
+// Reconfiguration programs Z = (z_0, ..., z_n) — paper Sec. 4.2.
+//
+// Each step costs exactly one clock cycle of the Fig. 5 hardware:
+//  * Reset     — the RST-MUX forces the reset state (the paper's
+//                "reset transition", footnote 4).
+//  * Traverse  — a normal transition under a forced internal input ir
+//                (H_i selects ir, no RAM write).
+//  * Rewrite   — the reconfiguration proper: while traversing cell
+//                (ir, s) the Reconfigurator writes F(ir, s) := H_f and
+//                G(ir, s) := H_g, and the machine moves to H_f.  Temporary
+//                transitions (Sec. 4.3) are rewrites flagged `temporary`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fsm/machine.hpp"
+
+namespace rfsm {
+
+class MigrationContext;
+
+/// Kind of a single reconfiguration step.
+enum class StepKind { kReset, kTraverse, kRewrite };
+
+/// One step z_k of a reconfiguration program (one clock cycle).
+struct ReconfigStep {
+  StepKind kind = StepKind::kReset;
+  /// Traverse/Rewrite: the internal input ir = H_i(i, r) (superset id).
+  SymbolId input = kNoSymbol;
+  /// Rewrite only: the new next state H_f(r) (superset id).
+  SymbolId nextState = kNoSymbol;
+  /// Rewrite only: the new output H_g(r) (superset id).
+  SymbolId output = kNoSymbol;
+  /// Rewrite only: true when this writes a *temporary* transition that a
+  /// later step must repair (Sec. 4.3).
+  bool temporary = false;
+
+  bool operator==(const ReconfigStep&) const = default;
+
+  static ReconfigStep reset();
+  static ReconfigStep traverse(SymbolId input);
+  static ReconfigStep rewrite(SymbolId input, SymbolId nextState,
+                              SymbolId output, bool temporary = false);
+};
+
+/// A complete reconfiguration program plus bookkeeping counters.
+struct ReconfigurationProgram {
+  std::vector<ReconfigStep> steps;
+
+  /// |Z|: every step costs one transition/cycle (paper counts reset
+  /// transitions too, cf. proof of Thm. 4.2).
+  int length() const { return static_cast<int>(steps.size()); }
+
+  int resetCount() const;
+  int traverseCount() const;
+  int rewriteCount() const;
+  int temporaryCount() const;
+};
+
+/// Pretty-prints one step using the context's symbol names.
+std::string describeStep(const MigrationContext& context,
+                         const ReconfigStep& step);
+
+/// Pretty-prints a whole program, one step per line.
+std::string describeProgram(const MigrationContext& context,
+                            const ReconfigurationProgram& program);
+
+}  // namespace rfsm

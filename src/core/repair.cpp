@@ -1,0 +1,68 @@
+#include "core/repair.hpp"
+
+#include "util/check.hpp"
+
+namespace rfsm {
+
+std::vector<Transition> remainingDeltas(const MutableMachine& machine) {
+  const MigrationContext& context = machine.context();
+  const Machine& target = context.targetMachine();
+  std::vector<Transition> remaining;
+  for (SymbolId s = 0; s < target.stateCount(); ++s) {
+    const SymbolId ss = context.liftTargetState(s);
+    for (SymbolId i = 0; i < target.inputCount(); ++i) {
+      const SymbolId si = context.liftTargetInput(i);
+      const SymbolId wantNext = context.liftTargetState(target.next(i, s));
+      const SymbolId wantOut = context.liftTargetOutput(target.output(i, s));
+      const bool ok = machine.isSpecified(si, ss) &&
+                      machine.next(si, ss) == wantNext &&
+                      machine.output(si, ss) == wantOut;
+      if (!ok) remaining.push_back(Transition{si, ss, wantNext, wantOut});
+    }
+  }
+  return remaining;
+}
+
+ReconfigurationProgram planRepair(const MutableMachine& machine,
+                                  SymbolId tempInput) {
+  const MigrationContext& context = machine.context();
+  SymbolId i0 = tempInput == kNoSymbol ? context.liftTargetInput(0)
+                                       : tempInput;
+  RFSM_CHECK(context.inTargetInputs(i0),
+             "repair temporary input must be an input of M'");
+  const SymbolId s0 = context.targetReset();
+
+  const std::vector<Transition> remaining = remainingDeltas(machine);
+  ReconfigurationProgram program;
+  if (remaining.empty() && machine.state() == s0) return program;
+
+  // Same jump-set-return shape as planJsr, but over the *remaining* set and
+  // independent of the machine's (possibly corrupted) table contents: only
+  // resets and temporary jumps are used for motion.
+  program.steps.push_back(ReconfigStep::reset());
+  const SymbolId tempOutput = context.targetOutput(i0, s0);
+  for (const Transition& td : remaining) {
+    if (td.input == i0 && td.from == s0) continue;  // folded into the tail
+    program.steps.push_back(
+        ReconfigStep::rewrite(i0, td.from, tempOutput, /*temporary=*/true));
+    program.steps.push_back(ReconfigStep::rewrite(td.input, td.to, td.output));
+    program.steps.push_back(ReconfigStep::reset());
+  }
+  program.steps.push_back(ReconfigStep::rewrite(
+      i0, context.targetNext(i0, s0), context.targetOutput(i0, s0)));
+  program.steps.push_back(ReconfigStep::reset());
+  return program;
+}
+
+Transition injectFault(MutableMachine& machine, SymbolId input,
+                       SymbolId state, SymbolId nextState, SymbolId output) {
+  Transition previous{input, state, kNoSymbol, kNoSymbol};
+  if (machine.isSpecified(input, state)) {
+    previous.to = machine.next(input, state);
+    previous.output = machine.output(input, state);
+  }
+  machine.loadCell(input, state, nextState, output);
+  return previous;
+}
+
+}  // namespace rfsm

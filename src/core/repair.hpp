@@ -1,0 +1,41 @@
+// Repair planning: finishing interrupted or corrupted migrations.
+//
+// A reconfiguration program assumes it starts from the pristine source
+// machine M.  In a live device the process can be cut short (power event,
+// higher-priority traffic) or a RAM cell can be disturbed.  Instead of
+// restarting from a golden image, the remaining work is itself a migration:
+// the cells of the target domain that are still wrong form a delta set, and
+// a JSR-style program reconfigures exactly those from wherever the machine
+// currently is.  This works because the paper's machinery never depends on
+// the *source* table contents beyond reachability — and the repair planner
+// uses only temporary transitions, which need no reachability at all.
+#pragma once
+
+#include <vector>
+
+#include "core/migration.hpp"
+#include "core/mutable_machine.hpp"
+#include "core/program.hpp"
+
+namespace rfsm {
+
+/// The target-domain cells of `machine` that do not yet hold their M'
+/// values (unspecified or mismatched), as target transitions to write.
+/// Empty iff machine.matchesTarget().
+std::vector<Transition> remainingDeltas(const MutableMachine& machine);
+
+/// Plans a program that, applied to `machine` in its *current* state,
+/// completes the migration to M' and terminates in S0'.  JSR-shaped:
+/// reset, then jump/set/return per remaining delta, then temp-cell repair.
+/// Length <= 3 * (|remaining| + 1).
+ReconfigurationProgram planRepair(const MutableMachine& machine,
+                                  SymbolId tempInput = kNoSymbol);
+
+/// Injects a fault: overwrites cell (input, state) with (nextState,
+/// output) through the configuration back door (no traversal, unlike a
+/// Rewrite step).  Returns the transition previously held there (or a
+/// kNoSymbol-filled one when the cell was unspecified).
+Transition injectFault(MutableMachine& machine, SymbolId input,
+                       SymbolId state, SymbolId nextState, SymbolId output);
+
+}  // namespace rfsm

@@ -1,0 +1,33 @@
+#include "core/self_reconfigurable.hpp"
+
+namespace rfsm {
+
+SelfReconfigurableMachine::SelfReconfigurableMachine(
+    const MigrationContext& context)
+    : machine_(context) {}
+
+void SelfReconfigurableMachine::setTrigger(ReconfigurationTrigger trigger) {
+  trigger_ = std::move(trigger);
+}
+
+void SelfReconfigurableMachine::enqueueProgram(
+    ReconfigurationProgram program) {
+  for (ReconfigStep& step : program.steps)
+    pending_.push_back(std::move(step));
+}
+
+SymbolId SelfReconfigurableMachine::clock(SymbolId externalInput) {
+  if (pending_.empty() && trigger_) {
+    if (auto program = trigger_(machine_.state(), externalInput))
+      enqueueProgram(std::move(*program));
+  }
+  if (!pending_.empty()) {
+    const ReconfigStep step = pending_.front();
+    pending_.pop_front();
+    ++reconfigurationCycles_;
+    return machine_.applyStep(step);
+  }
+  return machine_.stepNormal(externalInput);
+}
+
+}  // namespace rfsm

@@ -1,0 +1,67 @@
+// Self-reconfigurable FSMs (paper Sec. 2.2.1, last paragraph of Sec. 2).
+//
+// "An FSM may be called self-reconfigurable if the reconfiguration
+// sequences are generated as part of the system, e.g. in dependence of a
+// reached state or other conditions."  SelfReconfigurableMachine wraps a
+// MutableMachine with a trigger: during normal operation the trigger
+// inspects (state, input) each cycle and may hand back a reconfiguration
+// program, which the machine then plays autonomously — external inputs are
+// ignored while reconfiguring (H_i depends on r only, Def. 2.2).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "core/migration.hpp"
+#include "core/mutable_machine.hpp"
+#include "core/program.hpp"
+
+namespace rfsm {
+
+/// Callback deciding, from the current (state, external input), whether to
+/// start a reconfiguration.  Returning a program switches the machine into
+/// reconfiguration mode *this* cycle (the inspected input is not consumed).
+using ReconfigurationTrigger =
+    std::function<std::optional<ReconfigurationProgram>(SymbolId state,
+                                                        SymbolId input)>;
+
+/// A machine that runs normally until either the environment or its own
+/// trigger enqueues a reconfiguration program.
+class SelfReconfigurableMachine {
+ public:
+  explicit SelfReconfigurableMachine(const MigrationContext& context);
+
+  /// Installs the self-reconfiguration trigger (may be empty).
+  void setTrigger(ReconfigurationTrigger trigger);
+
+  /// Externally requested reconfiguration (the non-"self" mode of Def. 2.2);
+  /// queued behind any program already playing.
+  void enqueueProgram(ReconfigurationProgram program);
+
+  /// One clock cycle.  In normal mode consumes `externalInput` and returns
+  /// the output; in reconfiguration mode ignores it (IN-MUX selects ir) and
+  /// returns the output of the reconfiguration transition (kNoSymbol on
+  /// reset cycles).
+  SymbolId clock(SymbolId externalInput);
+
+  /// True while a program is playing.
+  bool reconfiguring() const { return !pending_.empty(); }
+
+  /// Steps left in the playing + queued programs.
+  int remainingSteps() const { return static_cast<int>(pending_.size()); }
+
+  SymbolId state() const { return machine_.state(); }
+  const MutableMachine& machine() const { return machine_; }
+
+  /// Total cycles spent reconfiguring so far.
+  int reconfigurationCycles() const { return reconfigurationCycles_; }
+
+ private:
+  MutableMachine machine_;
+  ReconfigurationTrigger trigger_;
+  std::deque<ReconfigStep> pending_;
+  int reconfigurationCycles_ = 0;
+};
+
+}  // namespace rfsm

@@ -1,0 +1,62 @@
+#include "core/sequence.hpp"
+
+#include "util/table.hpp"
+
+namespace rfsm {
+
+ReconfigurationSequence sequenceFromProgram(
+    const ReconfigurationProgram& program) {
+  ReconfigurationSequence sequence;
+  sequence.rows.reserve(program.steps.size());
+  for (const ReconfigStep& step : program.steps) {
+    SequenceRow row;
+    switch (step.kind) {
+      case StepKind::kReset:
+        row.reset = true;
+        break;
+      case StepKind::kTraverse:
+        row.ir = step.input;
+        break;
+      case StepKind::kRewrite:
+        row.ir = step.input;
+        row.hf = step.nextState;
+        row.hg = step.output;
+        row.write = true;
+        break;
+    }
+    sequence.rows.push_back(row);
+  }
+  return sequence;
+}
+
+ReconfigurationProgram programFromSequence(
+    const ReconfigurationSequence& sequence) {
+  ReconfigurationProgram program;
+  program.steps.reserve(sequence.rows.size());
+  for (const SequenceRow& row : sequence.rows) {
+    if (row.reset) {
+      program.steps.push_back(ReconfigStep::reset());
+    } else if (row.write) {
+      program.steps.push_back(ReconfigStep::rewrite(row.ir, row.hf, row.hg));
+    } else {
+      program.steps.push_back(ReconfigStep::traverse(row.ir));
+    }
+  }
+  return program;
+}
+
+std::string sequenceToMarkdown(const MigrationContext& context,
+                               const ReconfigurationSequence& sequence) {
+  Table table({"r", "i' = H_i(i,r)", "H_f(r)", "H_g(r)", "write", "reset"});
+  for (std::size_t k = 0; k < sequence.rows.size(); ++k) {
+    const SequenceRow& row = sequence.rows[k];
+    table.addRow({"r" + std::to_string(k + 1),
+                  row.ir == kNoSymbol ? "-" : context.inputs().name(row.ir),
+                  row.hf == kNoSymbol ? "-" : context.states().name(row.hf),
+                  row.hg == kNoSymbol ? "-" : context.outputs().name(row.hg),
+                  row.write ? "1" : "0", row.reset ? "1" : "0"});
+  }
+  return table.toMarkdown();
+}
+
+}  // namespace rfsm

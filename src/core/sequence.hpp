@@ -1,0 +1,60 @@
+// Reconfiguration sequences in the paper's Table 1 form.
+//
+// Def. 2.2 drives reconfiguration through reconfiguration states r in R;
+// each r determines H_i(i, r) (the forced internal input ir), H_f(r) and
+// H_g(r) (the values written into F-RAM / G-RAM).  A ReconfigurationSequence
+// is the tabulated form of a ReconfigurationProgram: one row per clock
+// cycle, exactly what the hardware Reconfigurator block (Fig. 5) plays
+// back.  Sec. 4.2: "From a reconfiguration program, a corresponding
+// reconfiguration sequence according to Table 1 can be easily derived".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/migration.hpp"
+#include "core/program.hpp"
+
+namespace rfsm {
+
+/// One row of Table 1: the control word for one reconfiguration cycle.
+struct SequenceRow {
+  /// H_i value: the internal input ir selecting the RAM column (unused on
+  /// reset rows).
+  SymbolId ir = kNoSymbol;
+  /// H_f value written to F-RAM when `write` is set.
+  SymbolId hf = kNoSymbol;
+  /// H_g value written to G-RAM when `write` is set.
+  SymbolId hg = kNoSymbol;
+  /// Write-enable for F-RAM/G-RAM this cycle (the "set" of jump-set-return).
+  bool write = false;
+  /// Assert the RST-MUX this cycle.
+  bool reset = false;
+
+  bool operator==(const SequenceRow&) const = default;
+};
+
+/// A whole reconfiguration sequence (rows r_1..r_n; r_0 = normal mode is
+/// implicit before and after).
+struct ReconfigurationSequence {
+  std::vector<SequenceRow> rows;
+
+  int length() const { return static_cast<int>(rows.size()); }
+};
+
+/// Tabulates a program into the Table 1 control words.
+ReconfigurationSequence sequenceFromProgram(
+    const ReconfigurationProgram& program);
+
+/// Inverse of sequenceFromProgram (used to round-trip and to lift captured
+/// hardware traces back into programs).  Rows with `write` become Rewrite
+/// steps, rows with `reset` become Resets, others Traverses.
+ReconfigurationProgram programFromSequence(
+    const ReconfigurationSequence& sequence);
+
+/// Renders the sequence like the paper's Table 1 (columns r, H_i, H_f, H_g)
+/// in markdown.
+std::string sequenceToMarkdown(const MigrationContext& context,
+                               const ReconfigurationSequence& sequence);
+
+}  // namespace rfsm

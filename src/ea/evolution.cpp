@@ -1,0 +1,153 @@
+#include "ea/evolution.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace rfsm {
+namespace {
+
+struct Individual {
+  Permutation genome;
+  double fitness = std::numeric_limits<double>::infinity();
+};
+
+Permutation crossover(CrossoverOp op, const Permutation& a,
+                      const Permutation& b, Rng& rng) {
+  switch (op) {
+    case CrossoverOp::kOrder: return orderCrossover(a, b, rng);
+    case CrossoverOp::kPmx: return pmxCrossover(a, b, rng);
+  }
+  return a;
+}
+
+void mutate(MutationOp op, Permutation& p, Rng& rng) {
+  switch (op) {
+    case MutationOp::kSwap: swapMutation(p, rng); break;
+    case MutationOp::kInsert: insertMutation(p, rng); break;
+    case MutationOp::kInversion: inversionMutation(p, rng); break;
+  }
+}
+
+/// Index of the tournament winner (lowest fitness) among `size` random picks.
+std::size_t tournament(const std::vector<Individual>& population, int size,
+                       Rng& rng) {
+  std::size_t best = static_cast<std::size_t>(rng.below(population.size()));
+  for (int round = 1; round < size; ++round) {
+    const std::size_t candidate =
+        static_cast<std::size_t>(rng.below(population.size()));
+    if (population[candidate].fitness < population[best].fitness)
+      best = candidate;
+  }
+  return best;
+}
+
+}  // namespace
+
+EvolutionResult evolvePermutation(int genomeLength, const FitnessFn& fitness,
+                                  const EvolutionConfig& config, Rng& rng) {
+  RFSM_CHECK(genomeLength >= 0, "genome length must be non-negative");
+  RFSM_CHECK(config.populationSize >= 2, "population needs >= 2 individuals");
+  RFSM_CHECK(config.eliteCount >= 0 &&
+                 config.eliteCount < config.populationSize,
+             "elite count must be in [0, populationSize)");
+  RFSM_CHECK(config.tournamentSize >= 1, "tournament size must be >= 1");
+
+  EvolutionResult result;
+  if (genomeLength == 0) {
+    result.best = {};
+    result.bestFitness = fitness(result.best);
+    result.evaluations = 1;
+    return result;
+  }
+
+  std::vector<Individual> population(
+      static_cast<std::size_t>(config.populationSize));
+  for (auto& ind : population) {
+    ind.genome = randomPermutation(genomeLength, rng);
+    ind.fitness = fitness(ind.genome);
+    ++result.evaluations;
+  }
+
+  auto byFitness = [](const Individual& a, const Individual& b) {
+    return a.fitness < b.fitness;
+  };
+  std::sort(population.begin(), population.end(), byFitness);
+  result.best = population.front().genome;
+  result.bestFitness = population.front().fitness;
+  {
+    // Generation 0: the random initial population, so callers can measure
+    // how much the search itself (vs. random sampling) contributes.
+    double sum = 0.0;
+    for (const auto& ind : population) sum += ind.fitness;
+    result.history.push_back(GenerationStats{
+        population.front().fitness,
+        sum / static_cast<double>(population.size())});
+  }
+
+  int stall = 0;
+  for (int gen = 0; gen < config.generations; ++gen) {
+    std::vector<Individual> offspring;
+    offspring.reserve(population.size());
+    // Elitism: carry over the best individuals unchanged.
+    for (int e = 0; e < config.eliteCount; ++e)
+      offspring.push_back(population[static_cast<std::size_t>(e)]);
+
+    while (offspring.size() < population.size()) {
+      const auto& parentA = population[tournament(population,
+                                                  config.tournamentSize, rng)];
+      const auto& parentB = population[tournament(population,
+                                                  config.tournamentSize, rng)];
+      Individual child;
+      if (rng.chance(config.crossoverRate)) {
+        child.genome = crossover(config.crossover, parentA.genome,
+                                 parentB.genome, rng);
+      } else {
+        child.genome = parentA.genome;
+      }
+      if (rng.chance(config.mutationRate))
+        mutate(config.mutation, child.genome, rng);
+      child.fitness = fitness(child.genome);
+      ++result.evaluations;
+      offspring.push_back(std::move(child));
+    }
+
+    population = std::move(offspring);
+    std::sort(population.begin(), population.end(), byFitness);
+
+    double sum = 0.0;
+    for (const auto& ind : population) sum += ind.fitness;
+    result.history.push_back(GenerationStats{
+        population.front().fitness,
+        sum / static_cast<double>(population.size())});
+
+    if (population.front().fitness < result.bestFitness) {
+      result.bestFitness = population.front().fitness;
+      result.best = population.front().genome;
+      stall = 0;
+    } else if (++stall >= config.stallLimit && config.stallLimit > 0) {
+      break;
+    }
+  }
+  return result;
+}
+
+std::string toString(CrossoverOp op) {
+  switch (op) {
+    case CrossoverOp::kOrder: return "OX";
+    case CrossoverOp::kPmx: return "PMX";
+  }
+  return "?";
+}
+
+std::string toString(MutationOp op) {
+  switch (op) {
+    case MutationOp::kSwap: return "swap";
+    case MutationOp::kInsert: return "insert";
+    case MutationOp::kInversion: return "inversion";
+  }
+  return "?";
+}
+
+}  // namespace rfsm

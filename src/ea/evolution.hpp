@@ -1,0 +1,65 @@
+// A generic steady-generation evolutionary algorithm over permutations.
+//
+// The fitness is any callable mapping a permutation to a cost (lower is
+// better); the reconfiguration planner plugs in "length of the decoded
+// reconfiguration program" (Sec. 4.6).  Deterministic given (seed, config).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ea/permutation.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm {
+
+/// Crossover operator selection.
+enum class CrossoverOp { kOrder, kPmx };
+
+/// Mutation operator selection.
+enum class MutationOp { kSwap, kInsert, kInversion };
+
+/// EA hyper-parameters.  Defaults are sized for |Td| up to ~50 and finish in
+/// milliseconds.
+struct EvolutionConfig {
+  int populationSize = 64;
+  int generations = 120;
+  double crossoverRate = 0.9;
+  double mutationRate = 0.35;
+  int tournamentSize = 3;
+  int eliteCount = 2;
+  CrossoverOp crossover = CrossoverOp::kOrder;
+  MutationOp mutation = MutationOp::kSwap;
+  /// Stop early after this many generations without improvement (0 = never).
+  int stallLimit = 0;
+};
+
+/// Per-generation statistics.
+struct GenerationStats {
+  double bestFitness = 0.0;
+  double meanFitness = 0.0;
+};
+
+/// Result of a run.
+struct EvolutionResult {
+  Permutation best;
+  double bestFitness = 0.0;
+  std::vector<GenerationStats> history;
+  int evaluations = 0;
+};
+
+/// Cost function; lower is better.
+using FitnessFn = std::function<double(const Permutation&)>;
+
+/// Runs the EA on permutations of size `genomeLength`.
+/// genomeLength == 0 returns an empty best genome with fitness from the
+/// empty permutation.
+EvolutionResult evolvePermutation(int genomeLength, const FitnessFn& fitness,
+                                  const EvolutionConfig& config, Rng& rng);
+
+/// Human-readable operator names (used by the ablation bench).
+std::string toString(CrossoverOp op);
+std::string toString(MutationOp op);
+
+}  // namespace rfsm

@@ -1,0 +1,120 @@
+#include "ea/permutation.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace rfsm {
+
+bool isPermutation(const Permutation& p) {
+  std::vector<bool> seen(p.size(), false);
+  for (int v : p) {
+    if (v < 0 || v >= static_cast<int>(p.size())) return false;
+    if (seen[static_cast<std::size_t>(v)]) return false;
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  return true;
+}
+
+Permutation randomPermutation(int n, Rng& rng) {
+  RFSM_CHECK(n >= 0, "permutation size must be non-negative");
+  Permutation p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), 0);
+  rng.shuffle(p);
+  return p;
+}
+
+namespace {
+/// Random slice [lo, hi] of a size-n genome, lo <= hi.
+std::pair<std::size_t, std::size_t> randomSlice(std::size_t n, Rng& rng) {
+  std::size_t lo = static_cast<std::size_t>(rng.below(n));
+  std::size_t hi = static_cast<std::size_t>(rng.below(n));
+  if (lo > hi) std::swap(lo, hi);
+  return {lo, hi};
+}
+}  // namespace
+
+Permutation orderCrossover(const Permutation& a, const Permutation& b,
+                           Rng& rng) {
+  RFSM_CHECK(a.size() == b.size(), "parents must have equal length");
+  const std::size_t n = a.size();
+  if (n <= 1) return a;
+  auto [lo, hi] = randomSlice(n, rng);
+
+  Permutation child(n, -1);
+  std::vector<bool> used(n, false);
+  for (std::size_t k = lo; k <= hi; ++k) {
+    child[k] = a[k];
+    used[static_cast<std::size_t>(a[k])] = true;
+  }
+  // Fill the remaining slots in the cyclic order of b starting after hi.
+  std::size_t write = (hi + 1) % n;
+  for (std::size_t off = 0; off < n; ++off) {
+    const int candidate = b[(hi + 1 + off) % n];
+    if (used[static_cast<std::size_t>(candidate)]) continue;
+    child[write] = candidate;
+    used[static_cast<std::size_t>(candidate)] = true;
+    write = (write + 1) % n;
+  }
+  return child;
+}
+
+Permutation pmxCrossover(const Permutation& a, const Permutation& b,
+                         Rng& rng) {
+  RFSM_CHECK(a.size() == b.size(), "parents must have equal length");
+  const std::size_t n = a.size();
+  if (n <= 1) return a;
+  auto [lo, hi] = randomSlice(n, rng);
+
+  Permutation child(n, -1);
+  std::vector<int> positionInChildOf(n, -1);
+  for (std::size_t k = lo; k <= hi; ++k) {
+    child[k] = a[k];
+    positionInChildOf[static_cast<std::size_t>(a[k])] = static_cast<int>(k);
+  }
+  for (std::size_t k = lo; k <= hi; ++k) {
+    int value = b[k];
+    if (positionInChildOf[static_cast<std::size_t>(value)] != -1) continue;
+    // Follow the PMX mapping chain until a free slot is found.
+    std::size_t slot = k;
+    while (child[slot] != -1) {
+      const int displaced = child[slot];
+      // Where does `displaced` sit in b?  That slot is the next candidate.
+      slot = static_cast<std::size_t>(
+          std::find(b.begin(), b.end(), displaced) - b.begin());
+    }
+    child[slot] = value;
+    positionInChildOf[static_cast<std::size_t>(value)] =
+        static_cast<int>(slot);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    if (child[k] == -1) child[k] = b[k];
+  }
+  return child;
+}
+
+void swapMutation(Permutation& p, Rng& rng) {
+  if (p.size() < 2) return;
+  const std::size_t i = static_cast<std::size_t>(rng.below(p.size()));
+  const std::size_t j = static_cast<std::size_t>(rng.below(p.size()));
+  std::swap(p[i], p[j]);
+}
+
+void insertMutation(Permutation& p, Rng& rng) {
+  if (p.size() < 2) return;
+  const std::size_t from = static_cast<std::size_t>(rng.below(p.size()));
+  const std::size_t to = static_cast<std::size_t>(rng.below(p.size()));
+  const int value = p[from];
+  p.erase(p.begin() + static_cast<std::ptrdiff_t>(from));
+  p.insert(p.begin() + static_cast<std::ptrdiff_t>(to), value);
+}
+
+void inversionMutation(Permutation& p, Rng& rng) {
+  if (p.size() < 2) return;
+  auto [lo, hi] = randomSlice(p.size(), rng);
+  std::reverse(p.begin() + static_cast<std::ptrdiff_t>(lo),
+               p.begin() + static_cast<std::ptrdiff_t>(hi) + 1);
+}
+
+}  // namespace rfsm

@@ -1,0 +1,119 @@
+#include "fsm/builder.hpp"
+
+#include <unordered_set>
+
+namespace rfsm {
+
+MachineBuilder::MachineBuilder(std::string name) : name_(std::move(name)) {}
+
+SymbolId MachineBuilder::addInput(std::string_view name) {
+  return inputs_.intern(name);
+}
+
+SymbolId MachineBuilder::addOutput(std::string_view name) {
+  return outputs_.intern(name);
+}
+
+SymbolId MachineBuilder::addState(std::string_view name) {
+  return states_.intern(name);
+}
+
+MachineBuilder& MachineBuilder::setResetState(std::string_view name) {
+  resetState_ = states_.intern(name);
+  return *this;
+}
+
+MachineBuilder& MachineBuilder::addTransition(std::string_view input,
+                                              std::string_view from,
+                                              std::string_view to,
+                                              std::string_view output) {
+  specs_.push_back(Spec{inputs_.intern(input), states_.intern(from),
+                        states_.intern(to), outputs_.intern(output)});
+  return *this;
+}
+
+namespace {
+std::size_t cellIndex(SymbolId input, SymbolId state, int inputCount) {
+  return static_cast<std::size_t>(state) * static_cast<std::size_t>(inputCount) +
+         static_cast<std::size_t>(input);
+}
+}  // namespace
+
+MachineBuilder& MachineBuilder::completeWithSelfLoops(
+    std::string_view defaultOutput) {
+  const SymbolId o = outputs_.intern(defaultOutput);
+  const auto cells = static_cast<std::size_t>(states_.size()) *
+                     static_cast<std::size_t>(inputs_.size());
+  std::vector<bool> specified(cells, false);
+  for (const Spec& spec : specs_)
+    specified[cellIndex(spec.input, spec.from, inputs_.size())] = true;
+  for (SymbolId s = 0; s < states_.size(); ++s)
+    for (SymbolId i = 0; i < inputs_.size(); ++i)
+      if (!specified[cellIndex(i, s, inputs_.size())])
+        specs_.push_back(Spec{i, s, s, o});
+  return *this;
+}
+
+MachineBuilder& MachineBuilder::completeWith(std::string_view state,
+                                             std::string_view output) {
+  const SymbolId target = states_.intern(state);
+  const SymbolId o = outputs_.intern(output);
+  const auto cells = static_cast<std::size_t>(states_.size()) *
+                     static_cast<std::size_t>(inputs_.size());
+  std::vector<bool> specified(cells, false);
+  for (const Spec& spec : specs_)
+    specified[cellIndex(spec.input, spec.from, inputs_.size())] = true;
+  for (SymbolId s = 0; s < states_.size(); ++s)
+    for (SymbolId i = 0; i < inputs_.size(); ++i)
+      if (!specified[cellIndex(i, s, inputs_.size())])
+        specs_.push_back(Spec{i, s, target, o});
+  return *this;
+}
+
+int MachineBuilder::unspecifiedCellCount() const {
+  const auto cells = static_cast<std::size_t>(states_.size()) *
+                     static_cast<std::size_t>(inputs_.size());
+  std::vector<bool> specified(cells, false);
+  for (const Spec& spec : specs_)
+    specified[cellIndex(spec.input, spec.from, inputs_.size())] = true;
+  int missing = 0;
+  for (bool b : specified)
+    if (!b) ++missing;
+  return missing;
+}
+
+Machine MachineBuilder::build() const {
+  if (!resetState_.has_value())
+    throw FsmError("machine '" + name_ + "' has no reset state");
+  if (inputs_.empty())
+    throw FsmError("machine '" + name_ + "' has no input states");
+  if (outputs_.empty())
+    throw FsmError("machine '" + name_ + "' has no output states");
+
+  const auto cells = static_cast<std::size_t>(states_.size()) *
+                     static_cast<std::size_t>(inputs_.size());
+  std::vector<SymbolId> next(cells, kNoSymbol);
+  std::vector<SymbolId> output(cells, kNoSymbol);
+  for (const Spec& spec : specs_) {
+    const std::size_t c = cellIndex(spec.input, spec.from, inputs_.size());
+    const bool conflicting =
+        next[c] != kNoSymbol && (next[c] != spec.to || output[c] != spec.output);
+    if (conflicting)
+      throw FsmError("machine '" + name_ + "' is non-deterministic at cell (" +
+                     inputs_.name(spec.input) + ", " +
+                     states_.name(spec.from) + ")");
+    next[c] = spec.to;
+    output[c] = spec.output;
+  }
+  for (SymbolId s = 0; s < states_.size(); ++s)
+    for (SymbolId i = 0; i < inputs_.size(); ++i)
+      if (next[cellIndex(i, s, inputs_.size())] == kNoSymbol)
+        throw FsmError("machine '" + name_ +
+                       "' is incompletely specified at cell (" +
+                       inputs_.name(i) + ", " + states_.name(s) + ")");
+
+  return Machine(name_, inputs_, outputs_, states_, *resetState_,
+                 std::move(next), std::move(output));
+}
+
+}  // namespace rfsm

@@ -1,0 +1,74 @@
+// Incremental construction and validation of Machines.
+//
+// The builder accepts an incompletely specified, possibly non-deterministic
+// description (matching the general Def. 2.1) and checks on build() that the
+// result is the deterministic, completely specified class the paper works
+// with.  completeWith() fills unspecified cells so incompletely specified
+// sources (e.g. KISS2 benchmarks) can be lifted into that class explicitly.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fsm/machine.hpp"
+#include "util/check.hpp"
+
+namespace rfsm {
+
+/// Thrown when a description fails validation (non-determinism,
+/// incompleteness, unknown symbols).
+class FsmError : public Error {
+ public:
+  explicit FsmError(const std::string& what) : Error(what) {}
+};
+
+/// Builder for deterministic completely-specified Mealy machines.
+class MachineBuilder {
+ public:
+  explicit MachineBuilder(std::string name = "fsm");
+
+  /// Declares symbols.  Re-declaring an existing symbol is a no-op returning
+  /// the existing id.
+  SymbolId addInput(std::string_view name);
+  SymbolId addOutput(std::string_view name);
+  SymbolId addState(std::string_view name);
+
+  /// Declares the reset state S0 (required before build()).
+  MachineBuilder& setResetState(std::string_view name);
+
+  /// Adds the transition (input, from -> to, output); all four symbols are
+  /// interned on the fly.  Specifying a cell (input, from) twice with a
+  /// different target or output is non-determinism and rejected by build().
+  MachineBuilder& addTransition(std::string_view input, std::string_view from,
+                                std::string_view to, std::string_view output);
+
+  /// Fills every unspecified (input, state) cell with a self-loop emitting
+  /// `defaultOutput` (interned if new).  Call before build() to lift an
+  /// incompletely specified description.
+  MachineBuilder& completeWithSelfLoops(std::string_view defaultOutput);
+
+  /// Fills every unspecified cell with a transition to `state` emitting
+  /// `output`.
+  MachineBuilder& completeWith(std::string_view state, std::string_view output);
+
+  /// Number of cells still unspecified.
+  int unspecifiedCellCount() const;
+
+  /// Validates and produces the machine.  Throws FsmError when the
+  /// description is non-deterministic or incomplete or lacks a reset state.
+  Machine build() const;
+
+ private:
+  struct Spec {
+    SymbolId input, from, to, output;
+  };
+
+  std::string name_;
+  SymbolTable inputs_, outputs_, states_;
+  std::optional<SymbolId> resetState_;
+  std::vector<Spec> specs_;
+};
+
+}  // namespace rfsm

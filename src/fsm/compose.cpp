@@ -1,0 +1,100 @@
+#include "fsm/compose.hpp"
+
+#include <map>
+#include <queue>
+
+#include "fsm/builder.hpp"
+
+namespace rfsm {
+namespace {
+
+/// Maps each input id of `a` to the same-named id of `b`.
+std::vector<SymbolId> alignByName(const SymbolTable& from,
+                                  const SymbolTable& to,
+                                  const std::string& what) {
+  std::vector<SymbolId> map(static_cast<std::size_t>(from.size()));
+  for (SymbolId k = 0; k < from.size(); ++k) {
+    const auto mapped = to.find(from.name(k));
+    if (!mapped.has_value())
+      throw FsmError("composition: " + what + " '" + from.name(k) +
+                     "' has no counterpart");
+    map[static_cast<std::size_t>(k)] = *mapped;
+  }
+  return map;
+}
+
+}  // namespace
+
+Machine parallelCompose(const Machine& a, const Machine& b) {
+  if (a.inputCount() != b.inputCount())
+    throw FsmError("composition: input alphabets differ in size");
+  const std::vector<SymbolId> inputMap =
+      alignByName(a.inputs(), b.inputs(), "input");
+
+  MachineBuilder builder(a.name() + "_par_" + b.name());
+  for (const auto& name : a.inputs().names()) builder.addInput(name);
+
+  using Pair = std::pair<SymbolId, SymbolId>;
+  auto nameOf = [&](const Pair& p) {
+    return a.states().name(p.first) + "&" + b.states().name(p.second);
+  };
+  const Pair start{a.resetState(), b.resetState()};
+  builder.setResetState(nameOf(start));
+  std::map<Pair, bool> seen{{start, true}};
+  std::queue<Pair> frontier;
+  frontier.push(start);
+  while (!frontier.empty()) {
+    const Pair here = frontier.front();
+    frontier.pop();
+    for (SymbolId i = 0; i < a.inputCount(); ++i) {
+      const SymbolId ib = inputMap[static_cast<std::size_t>(i)];
+      const Pair next{a.next(i, here.first), b.next(ib, here.second)};
+      const std::string output =
+          a.outputs().name(a.output(i, here.first)) + "|" +
+          b.outputs().name(b.output(ib, here.second));
+      builder.addTransition(a.inputs().name(i), nameOf(here), nameOf(next),
+                            output);
+      if (!seen[next]) {
+        seen[next] = true;
+        frontier.push(next);
+      }
+    }
+  }
+  return builder.build();
+}
+
+Machine cascadeCompose(const Machine& a, const Machine& b) {
+  const std::vector<SymbolId> pipeMap =
+      alignByName(a.outputs(), b.inputs(), "A-output");
+
+  MachineBuilder builder(a.name() + "_to_" + b.name());
+  for (const auto& name : a.inputs().names()) builder.addInput(name);
+
+  using Pair = std::pair<SymbolId, SymbolId>;
+  auto nameOf = [&](const Pair& p) {
+    return a.states().name(p.first) + ">" + b.states().name(p.second);
+  };
+  const Pair start{a.resetState(), b.resetState()};
+  builder.setResetState(nameOf(start));
+  std::map<Pair, bool> seen{{start, true}};
+  std::queue<Pair> frontier;
+  frontier.push(start);
+  while (!frontier.empty()) {
+    const Pair here = frontier.front();
+    frontier.pop();
+    for (SymbolId i = 0; i < a.inputCount(); ++i) {
+      const SymbolId viaB =
+          pipeMap[static_cast<std::size_t>(a.output(i, here.first))];
+      const Pair next{a.next(i, here.first), b.next(viaB, here.second)};
+      builder.addTransition(a.inputs().name(i), nameOf(here), nameOf(next),
+                            b.outputs().name(b.output(viaB, here.second)));
+      if (!seen[next]) {
+        seen[next] = true;
+        frontier.push(next);
+      }
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace rfsm

@@ -1,0 +1,30 @@
+// Machine composition: building larger controllers from smaller ones.
+//
+// Two classic synchronous compositions:
+//  * parallelCompose — both machines consume the same input each cycle;
+//    the composite state is the pair, the composite output the pair of
+//    outputs (named "oa|ob").  This is the product construction underlying
+//    the equivalence checkers, exposed as a first-class build step.
+//  * cascadeCompose — machine A's output symbol is fed to machine B in the
+//    same cycle (Mealy cascade); requires every A output name to be a B
+//    input name.  The composite reads A's inputs and emits B's outputs.
+// Both results are completely specified machines over reachable pair
+// states only, so they plug into every analysis and migration facility.
+#pragma once
+
+#include "fsm/machine.hpp"
+
+namespace rfsm {
+
+/// Synchronous parallel product of two machines with identical input
+/// alphabets (matched by name; FsmError otherwise).  States are named
+/// "a&b"; outputs "oa|ob".  Only pairs reachable from (reset, reset) are
+/// constructed.
+Machine parallelCompose(const Machine& a, const Machine& b);
+
+/// Mealy cascade: B consumes A's output in the same cycle.  Every output
+/// name of A must be an input name of B (FsmError otherwise).  States are
+/// named "a>b"; the composite maps A-inputs to B-outputs.
+Machine cascadeCompose(const Machine& a, const Machine& b);
+
+}  // namespace rfsm

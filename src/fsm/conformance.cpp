@@ -1,0 +1,185 @@
+#include "fsm/conformance.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "fsm/builder.hpp"
+#include "fsm/simulate.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace rfsm {
+namespace {
+
+/// Shortest word distinguishing states a and b (BFS over state pairs), or
+/// nullopt when they are equivalent.
+std::optional<Word> distinguishingWord(const Machine& m, SymbolId a,
+                                       SymbolId b) {
+  struct Info {
+    int parent = -1;
+    SymbolId viaInput = kNoSymbol;
+  };
+  std::vector<std::pair<SymbolId, SymbolId>> pairs;
+  std::vector<Info> info;
+  std::set<std::pair<SymbolId, SymbolId>> seen;
+  auto normalize = [](SymbolId x, SymbolId y) {
+    return x <= y ? std::make_pair(x, y) : std::make_pair(y, x);
+  };
+  std::queue<int> frontier;
+  pairs.push_back(normalize(a, b));
+  info.emplace_back();
+  seen.insert(pairs[0]);
+  frontier.push(0);
+  while (!frontier.empty()) {
+    const int current = frontier.front();
+    frontier.pop();
+    const auto [sa, sb] = pairs[static_cast<std::size_t>(current)];
+    for (SymbolId i = 0; i < m.inputCount(); ++i) {
+      if (m.output(i, sa) != m.output(i, sb)) {
+        Word word{i};
+        for (int p = current; info[static_cast<std::size_t>(p)].parent != -1;
+             p = info[static_cast<std::size_t>(p)].parent)
+          word.push_back(info[static_cast<std::size_t>(p)].viaInput);
+        std::reverse(word.begin(), word.end());
+        return word;
+      }
+      const auto next = normalize(m.next(i, sa), m.next(i, sb));
+      if (next.first == next.second) continue;
+      if (seen.insert(next).second) {
+        pairs.push_back(next);
+        info.push_back(Info{current, i});
+        frontier.push(static_cast<int>(pairs.size()) - 1);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+/// Removes words that are prefixes of other words in the set (a prefix's
+/// verdict is implied by the longer word's prefix outputs).
+std::vector<Word> dropPrefixes(std::set<Word> words) {
+  std::vector<Word> out;
+  for (const Word& w : words) {
+    bool isPrefix = false;
+    for (const Word& other : words) {
+      if (other.size() > w.size() &&
+          std::equal(w.begin(), w.end(), other.begin())) {
+        isPrefix = true;
+        break;
+      }
+    }
+    if (!isPrefix) out.push_back(w);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Word> characterizingSet(const Machine& machine) {
+  std::set<Word> words;
+  for (SymbolId a = 0; a < machine.stateCount(); ++a) {
+    for (SymbolId b = a + 1; b < machine.stateCount(); ++b) {
+      const auto word = distinguishingWord(machine, a, b);
+      if (!word.has_value())
+        throw FsmError("machine '" + machine.name() +
+                       "' is not minimal: states " + machine.states().name(a) +
+                       " and " + machine.states().name(b) +
+                       " are indistinguishable");
+      words.insert(*word);
+    }
+  }
+  if (words.empty()) words.insert(Word{});  // single-state machine
+  return dropPrefixes(std::move(words));
+}
+
+std::vector<Word> transitionCover(const Machine& machine) {
+  // Access words via the BFS tree from reset.
+  const BfsResult bfs = bfsFrom(machine.transitionGraph(),
+                                machine.resetState());
+  std::vector<Word> access(static_cast<std::size_t>(machine.stateCount()));
+  for (SymbolId s = 0; s < machine.stateCount(); ++s) {
+    if (bfs.distance[static_cast<std::size_t>(s)] == kUnreachable) continue;
+    Word word;
+    for (SymbolId v = s; v != machine.resetState();
+         v = bfs.predecessor[static_cast<std::size_t>(v)])
+      word.push_back(static_cast<SymbolId>(
+          bfs.predecessorEdgeTag[static_cast<std::size_t>(v)]));
+    std::reverse(word.begin(), word.end());
+    access[static_cast<std::size_t>(s)] = std::move(word);
+  }
+
+  std::set<Word> cover;
+  cover.insert(Word{});
+  for (SymbolId s = 0; s < machine.stateCount(); ++s) {
+    if (bfs.distance[static_cast<std::size_t>(s)] == kUnreachable) continue;
+    for (SymbolId i = 0; i < machine.inputCount(); ++i) {
+      Word word = access[static_cast<std::size_t>(s)];
+      word.push_back(i);
+      cover.insert(std::move(word));
+    }
+  }
+  return std::vector<Word>(cover.begin(), cover.end());
+}
+
+int ConformanceSuite::totalInputs() const {
+  int total = 0;
+  for (const Word& w : tests) total += static_cast<int>(w.size());
+  return total;
+}
+
+ConformanceSuite wMethodSuite(const Machine& machine) {
+  const std::vector<Word> w = characterizingSet(machine);  // throws if not
+                                                           // minimal
+  const std::vector<Word> p = transitionCover(machine);
+  std::set<Word> tests;
+  for (const Word& prefix : p) {
+    for (const Word& suffix : w) {
+      Word test = prefix;
+      test.insert(test.end(), suffix.begin(), suffix.end());
+      tests.insert(std::move(test));
+    }
+    if (w.empty()) tests.insert(prefix);
+  }
+  ConformanceSuite suite;
+  suite.tests = dropPrefixes(std::move(tests));
+  return suite;
+}
+
+ConformanceResult runConformanceSuite(const Machine& specification,
+                                      const Machine& implementation,
+                                      const ConformanceSuite& suite) {
+  // Align input alphabets by name.
+  std::vector<SymbolId> inputMap(
+      static_cast<std::size_t>(specification.inputCount()));
+  for (SymbolId i = 0; i < specification.inputCount(); ++i) {
+    const auto mapped =
+        implementation.inputs().find(specification.inputs().name(i));
+    if (!mapped.has_value())
+      throw FsmError("implementation is missing input '" +
+                     specification.inputs().name(i) + "'");
+    inputMap[static_cast<std::size_t>(i)] = *mapped;
+  }
+
+  for (const Word& test : suite.tests) {
+    Simulator golden(specification);
+    Simulator dut(implementation);
+    for (std::size_t k = 0; k < test.size(); ++k) {
+      const SymbolId i = test[k];
+      const SymbolId want = golden.step(i);
+      const SymbolId got =
+          dut.step(inputMap[static_cast<std::size_t>(i)]);
+      if (specification.outputs().name(want) !=
+          implementation.outputs().name(got)) {
+        ConformanceResult result;
+        result.pass = false;
+        result.failingTest = test;
+        result.mismatchPosition = static_cast<int>(k);
+        return result;
+      }
+    }
+  }
+  return ConformanceResult{};
+}
+
+}  // namespace rfsm

@@ -1,0 +1,61 @@
+// Conformance testing: does a black-box device implement machine M?
+//
+// After a migration the device is *supposed* to behave as M'.  The RTL
+// model can be checked by RAM readback, but a fielded device often only
+// offers its I/O.  Chow's classic W-method builds a test suite P.W from a
+// transition cover P (reach every transition from reset) and a
+// characterizing set W (input words separating every state pair); applied
+// through a reset-equipped interface it detects *any* faulty implementation
+// with at most as many states as M — e.g. every mutant our workload
+// generator can produce.  Requires M minimized (otherwise no W exists).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fsm/machine.hpp"
+
+namespace rfsm {
+
+/// An input word.
+using Word = std::vector<SymbolId>;
+
+/// Characterizing set W: for every pair of distinct states there is a word
+/// in W on which they produce different output words.  Throws FsmError when
+/// the machine is not minimal (some pair is indistinguishable).
+std::vector<Word> characterizingSet(const Machine& machine);
+
+/// Transition cover P: the empty word, plus for every reachable transition
+/// a word that reaches its source (via a BFS tree) and then takes it.
+std::vector<Word> transitionCover(const Machine& machine);
+
+/// A W-method conformance suite.
+struct ConformanceSuite {
+  std::vector<Word> tests;  // concatenations p.w, deduplicated
+
+  int testCount() const { return static_cast<int>(tests.size()); }
+  int totalInputs() const;
+};
+
+/// Builds the suite P.W for a minimal machine.  Guarantee: an
+/// implementation with at most machine.stateCount() states passes the suite
+/// iff it is behaviourally equivalent to `machine`.
+ConformanceSuite wMethodSuite(const Machine& machine);
+
+/// Result of running a suite.
+struct ConformanceResult {
+  bool pass = true;
+  /// First failing test and the position of the first output mismatch.
+  std::optional<Word> failingTest;
+  int mismatchPosition = -1;
+};
+
+/// Runs the suite against `implementation` (reset applied before each
+/// test); outputs are compared by symbol name.  The implementation must
+/// accept the same input names.
+ConformanceResult runConformanceSuite(const Machine& specification,
+                                      const Machine& implementation,
+                                      const ConformanceSuite& suite);
+
+}  // namespace rfsm

@@ -1,0 +1,93 @@
+#include "fsm/equivalence.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+#include "fsm/builder.hpp"
+
+namespace rfsm {
+namespace {
+
+/// Maps each input id of `a` to the id of the same-named input in `b`;
+/// throws FsmError when the alphabets differ as name sets.
+std::vector<SymbolId> alignInputs(const Machine& a, const Machine& b) {
+  if (a.inputCount() != b.inputCount())
+    throw FsmError("machines '" + a.name() + "' and '" + b.name() +
+                   "' have different input alphabet sizes");
+  std::vector<SymbolId> map(static_cast<std::size_t>(a.inputCount()));
+  for (SymbolId i = 0; i < a.inputCount(); ++i) {
+    const auto other = b.inputs().find(a.inputs().name(i));
+    if (!other.has_value())
+      throw FsmError("input '" + a.inputs().name(i) + "' of machine '" +
+                     a.name() + "' is missing from machine '" + b.name() + "'");
+    map[static_cast<std::size_t>(i)] = *other;
+  }
+  return map;
+}
+
+}  // namespace
+
+EquivalenceResult checkEquivalence(const Machine& a, const Machine& b) {
+  const std::vector<SymbolId> inputMap = alignInputs(a, b);
+
+  struct PairInfo {
+    int parent = -1;      // index into `pairs` of the predecessor pair
+    SymbolId viaInput = kNoSymbol;  // input (id in a) taken from the parent
+  };
+  // Visited product states, indexed densely.
+  std::vector<std::pair<SymbolId, SymbolId>> pairs;
+  std::vector<PairInfo> info;
+  std::unordered_set<long long> seen;
+  auto key = [&](SymbolId sa, SymbolId sb) {
+    return static_cast<long long>(sa) * (b.stateCount() + 1) + sb;
+  };
+
+  std::queue<int> frontier;
+  pairs.emplace_back(a.resetState(), b.resetState());
+  info.emplace_back();
+  seen.insert(key(a.resetState(), b.resetState()));
+  frontier.push(0);
+
+  auto buildWord = [&](int pairIndex, SymbolId lastInput) {
+    std::vector<std::string> word;
+    word.push_back(a.inputs().name(lastInput));
+    for (int p = pairIndex; info[static_cast<std::size_t>(p)].parent != -1;
+         p = info[static_cast<std::size_t>(p)].parent)
+      word.push_back(
+          a.inputs().name(info[static_cast<std::size_t>(p)].viaInput));
+    std::reverse(word.begin(), word.end());
+    return word;
+  };
+
+  while (!frontier.empty()) {
+    const int current = frontier.front();
+    frontier.pop();
+    const auto [sa, sb] = pairs[static_cast<std::size_t>(current)];
+    for (SymbolId i = 0; i < a.inputCount(); ++i) {
+      const SymbolId ib = inputMap[static_cast<std::size_t>(i)];
+      const std::string& outA = a.outputs().name(a.output(i, sa));
+      const std::string& outB = b.outputs().name(b.output(ib, sb));
+      if (outA != outB) {
+        EquivalenceResult result;
+        result.equivalent = false;
+        result.counterexample = buildWord(current, i);
+        return result;
+      }
+      const SymbolId na = a.next(i, sa);
+      const SymbolId nb = b.next(ib, sb);
+      if (seen.insert(key(na, nb)).second) {
+        pairs.emplace_back(na, nb);
+        info.push_back(PairInfo{current, i});
+        frontier.push(static_cast<int>(pairs.size()) - 1);
+      }
+    }
+  }
+  return EquivalenceResult{true, std::nullopt};
+}
+
+bool areEquivalent(const Machine& a, const Machine& b) {
+  return checkEquivalence(a, b).equivalent;
+}
+
+}  // namespace rfsm

@@ -1,0 +1,35 @@
+// Behavioural equivalence of completely specified Mealy machines.
+//
+// Two machines are equivalent when, started in their reset states, they emit
+// the same output word for every input word.  For the completely specified
+// deterministic class this is decidable by a product-machine BFS; a
+// counterexample (shortest distinguishing input word) is produced otherwise.
+//
+// The reconfiguration validator uses this to prove that replaying a
+// reconfiguration program on M really yields the behaviour of M'.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fsm/machine.hpp"
+
+namespace rfsm {
+
+/// Outcome of an equivalence check.
+struct EquivalenceResult {
+  bool equivalent = false;
+  /// Shortest distinguishing input word (as symbol names) when inequivalent.
+  std::optional<std::vector<std::string>> counterexample;
+};
+
+/// Checks behavioural equivalence.  The machines must have the same input
+/// alphabet as a *set of names* (ids may differ); throws FsmError otherwise.
+/// Output symbols are compared by name.
+EquivalenceResult checkEquivalence(const Machine& a, const Machine& b);
+
+/// Convenience wrapper.
+bool areEquivalent(const Machine& a, const Machine& b);
+
+}  // namespace rfsm

@@ -1,0 +1,209 @@
+#include "fsm/kiss.hpp"
+
+#include <sstream>
+
+#include "fsm/builder.hpp"
+#include "util/strings.hpp"
+
+namespace rfsm {
+namespace {
+
+bool isPattern(const std::string& token) {
+  for (char c : token)
+    if (c != '0' && c != '1' && c != '-') return false;
+  return !token.empty();
+}
+
+/// Expands every '-' in `pattern` into both '0' and '1'.
+void expandPattern(const std::string& pattern, std::string& scratch,
+                   std::size_t pos, std::vector<std::string>& out) {
+  if (pos == pattern.size()) {
+    out.push_back(scratch);
+    return;
+  }
+  if (pattern[pos] == '-') {
+    scratch[pos] = '0';
+    expandPattern(pattern, scratch, pos + 1, out);
+    scratch[pos] = '1';
+    expandPattern(pattern, scratch, pos + 1, out);
+  } else {
+    scratch[pos] = pattern[pos];
+    expandPattern(pattern, scratch, pos + 1, out);
+  }
+}
+
+std::vector<std::string> expand(const std::string& pattern) {
+  std::vector<std::string> out;
+  std::string scratch(pattern.size(), '0');
+  expandPattern(pattern, scratch, 0, out);
+  return out;
+}
+
+}  // namespace
+
+Kiss2Document parseKiss2(const std::string& text) {
+  Kiss2Document doc;
+  int declaredRows = -1;
+  int declaredStates = -1;
+  bool ended = false;
+
+  int lineNo = 0;
+  for (const std::string& rawLine : split(text, '\n')) {
+    ++lineNo;
+    std::string line = trim(rawLine);
+    // Strip comments.
+    if (auto hash = line.find('#'); hash != std::string::npos)
+      line = trim(line.substr(0, hash));
+    if (line.empty()) continue;
+    if (ended)
+      throw FsmError("KISS2: content after .e at line " +
+                     std::to_string(lineNo));
+
+    const auto tokens = splitWhitespace(line);
+    auto requireArg = [&](std::size_t count) {
+      if (tokens.size() != count)
+        throw FsmError("KISS2: malformed directive at line " +
+                       std::to_string(lineNo));
+    };
+    auto parseCount = [&](const std::string& token) {
+      try {
+        const long value = std::stol(token);
+        if (value < 0 || value > (1 << 20))
+          throw FsmError("KISS2: count out of range at line " +
+                         std::to_string(lineNo));
+        return static_cast<int>(value);
+      } catch (const std::logic_error&) {  // invalid_argument/out_of_range
+        throw FsmError("KISS2: bad number '" + token + "' at line " +
+                       std::to_string(lineNo));
+      }
+    };
+    if (tokens[0] == ".i") {
+      requireArg(2);
+      doc.inputBits = parseCount(tokens[1]);
+    } else if (tokens[0] == ".o") {
+      requireArg(2);
+      doc.outputBits = parseCount(tokens[1]);
+    } else if (tokens[0] == ".p") {
+      requireArg(2);
+      declaredRows = parseCount(tokens[1]);
+    } else if (tokens[0] == ".s") {
+      requireArg(2);
+      declaredStates = parseCount(tokens[1]);
+    } else if (tokens[0] == ".r") {
+      requireArg(2);
+      doc.resetState = tokens[1];
+    } else if (tokens[0] == ".e") {
+      ended = true;
+    } else if (startsWith(tokens[0], ".")) {
+      throw FsmError("KISS2: unknown directive '" + tokens[0] + "' at line " +
+                     std::to_string(lineNo));
+    } else {
+      requireArg(4);
+      if (!isPattern(tokens[0]) || !isPattern(tokens[3]))
+        throw FsmError("KISS2: bad pattern at line " + std::to_string(lineNo));
+      doc.rows.push_back(Kiss2Row{tokens[0], tokens[1], tokens[2], tokens[3]});
+    }
+  }
+
+  if (doc.inputBits <= 0) throw FsmError("KISS2: missing or invalid .i");
+  if (doc.outputBits <= 0) throw FsmError("KISS2: missing or invalid .o");
+  if (doc.rows.empty()) throw FsmError("KISS2: no transition rows");
+  for (const Kiss2Row& row : doc.rows) {
+    if (static_cast<int>(row.inputPattern.size()) != doc.inputBits)
+      throw FsmError("KISS2: input pattern width mismatch");
+    if (static_cast<int>(row.outputPattern.size()) != doc.outputBits)
+      throw FsmError("KISS2: output pattern width mismatch");
+  }
+  if (declaredRows >= 0 && declaredRows != static_cast<int>(doc.rows.size()))
+    throw FsmError("KISS2: .p row count does not match rows present");
+  if (doc.resetState.empty()) doc.resetState = doc.rows.front().fromState;
+  if (declaredStates >= 0) {
+    SymbolTable states;
+    for (const Kiss2Row& row : doc.rows) {
+      states.intern(row.fromState);
+      states.intern(row.toState);
+    }
+    if (declaredStates != states.size())
+      throw FsmError("KISS2: .s state count does not match states present");
+  }
+  return doc;
+}
+
+std::string writeKiss2(const Kiss2Document& document) {
+  std::ostringstream os;
+  os << ".i " << document.inputBits << "\n";
+  os << ".o " << document.outputBits << "\n";
+  SymbolTable states;
+  for (const Kiss2Row& row : document.rows) {
+    states.intern(row.fromState);
+    states.intern(row.toState);
+  }
+  os << ".p " << document.rows.size() << "\n";
+  os << ".s " << states.size() << "\n";
+  if (!document.resetState.empty()) os << ".r " << document.resetState << "\n";
+  for (const Kiss2Row& row : document.rows)
+    os << row.inputPattern << " " << row.fromState << " " << row.toState << " "
+       << row.outputPattern << "\n";
+  os << ".e\n";
+  return os.str();
+}
+
+Machine machineFromKiss2(const Kiss2Document& document, std::string name,
+                         const Kiss2LiftOptions& options) {
+  if (document.inputBits > 16)
+    throw FsmError("KISS2: refusing to expand more than 16 input bits");
+  MachineBuilder builder(std::move(name));
+
+  // Declare the full binary input alphabet so completion sees every vector.
+  const int vectors = 1 << document.inputBits;
+  for (int v = 0; v < vectors; ++v) {
+    std::string bits(static_cast<std::size_t>(document.inputBits), '0');
+    for (int b = 0; b < document.inputBits; ++b)
+      if (v & (1 << (document.inputBits - 1 - b)))
+        bits[static_cast<std::size_t>(b)] = '1';
+    builder.addInput(bits);
+  }
+
+  for (const Kiss2Row& row : document.rows) {
+    std::string output = row.outputPattern;
+    for (char& c : output)
+      if (c == '-') c = options.outputDontCareFill;
+    for (const std::string& input : expand(row.inputPattern))
+      builder.addTransition(input, row.fromState, row.toState, output);
+  }
+  builder.setResetState(document.resetState);
+  if (options.completeWithSelfLoops && builder.unspecifiedCellCount() > 0) {
+    builder.completeWithSelfLoops(
+        std::string(static_cast<std::size_t>(document.outputBits), '0'));
+  }
+  return builder.build();
+}
+
+Kiss2Document kiss2FromMachine(const Machine& machine) {
+  Kiss2Document doc;
+  const auto& inputNames = machine.inputs().names();
+  doc.inputBits = static_cast<int>(inputNames.front().size());
+  for (const std::string& n : inputNames) {
+    if (static_cast<int>(n.size()) != doc.inputBits || !isPattern(n) ||
+        n.find('-') != std::string::npos)
+      throw FsmError("machine input '" + n +
+                     "' is not a fixed-width binary vector");
+  }
+  const auto& outputNames = machine.outputs().names();
+  doc.outputBits = static_cast<int>(outputNames.front().size());
+  for (const std::string& n : outputNames) {
+    if (static_cast<int>(n.size()) != doc.outputBits || !isPattern(n) ||
+        n.find('-') != std::string::npos)
+      throw FsmError("machine output '" + n +
+                     "' is not a fixed-width binary vector");
+  }
+  doc.resetState = machine.states().name(machine.resetState());
+  for (const Transition& t : machine.transitions())
+    doc.rows.push_back(Kiss2Row{machine.inputs().name(t.input),
+                                machine.states().name(t.from),
+                                machine.states().name(t.to),
+                                machine.outputs().name(t.output)});
+  return doc;
+}
+
+}  // namespace rfsm

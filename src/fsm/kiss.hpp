@@ -1,0 +1,63 @@
+// KISS2 finite-state-machine exchange format (the standard format of the
+// MCNC/LGSynth benchmark suites, consumed by SIS, ABC, and most academic
+// FSM tools).
+//
+// Grammar (one transition per line):
+//   .i <#input bits>   .o <#output bits>   .s <#states>   .p <#rows>
+//   .r <reset state>
+//   <input pattern> <current state> <next state> <output pattern>
+//   .e
+// Input patterns may contain '-' (don't care) which we expand; output
+// don't-cares are resolved to a caller-chosen character when lifting to the
+// completely specified class.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fsm/machine.hpp"
+
+namespace rfsm {
+
+/// One raw KISS2 row, before don't-care expansion.
+struct Kiss2Row {
+  std::string inputPattern;   // e.g. "1-0"
+  std::string fromState;
+  std::string toState;
+  std::string outputPattern;  // e.g. "0-1"
+};
+
+/// A parsed KISS2 file.
+struct Kiss2Document {
+  int inputBits = 0;
+  int outputBits = 0;
+  std::string resetState;  // empty = first row's fromState
+  std::vector<Kiss2Row> rows;
+};
+
+/// Parses KISS2 text.  Throws FsmError on malformed input.
+Kiss2Document parseKiss2(const std::string& text);
+
+/// Renders a document back to KISS2 text.
+std::string writeKiss2(const Kiss2Document& document);
+
+/// Options for lifting a KISS2 document to a completely specified Machine.
+struct Kiss2LiftOptions {
+  /// Character substituted for '-' in output patterns.
+  char outputDontCareFill = '0';
+  /// When true, unspecified (input, state) cells become self-loops emitting
+  /// all-zero outputs; when false, incompleteness raises FsmError.
+  bool completeWithSelfLoops = true;
+};
+
+/// Expands don't-cares and builds a deterministic completely specified
+/// Machine whose input symbols are the 2^inputBits binary vectors.
+Machine machineFromKiss2(const Kiss2Document& document, std::string name,
+                         const Kiss2LiftOptions& options = {});
+
+/// Converts a Machine whose input symbol names are fixed-width binary
+/// vectors back into a (fully specified) KISS2 document.  Throws FsmError
+/// when input names are not uniform-width bitstrings.
+Kiss2Document kiss2FromMachine(const Machine& machine);
+
+}  // namespace rfsm

@@ -1,0 +1,108 @@
+#include "fsm/machine.hpp"
+
+#include "util/check.hpp"
+
+namespace rfsm {
+
+Machine::Machine(std::string name, SymbolTable inputs, SymbolTable outputs,
+                 SymbolTable states, SymbolId resetState,
+                 std::vector<SymbolId> next, std::vector<SymbolId> output)
+    : name_(std::move(name)),
+      inputs_(std::move(inputs)),
+      outputs_(std::move(outputs)),
+      states_(std::move(states)),
+      resetState_(resetState),
+      next_(std::move(next)),
+      output_(std::move(output)) {
+  RFSM_CHECK(inputs_.size() > 0, "machine needs at least one input state");
+  RFSM_CHECK(outputs_.size() > 0, "machine needs at least one output state");
+  RFSM_CHECK(states_.size() > 0, "machine needs at least one state");
+  RFSM_CHECK(states_.contains(resetState_), "reset state out of range");
+  const auto cells =
+      static_cast<std::size_t>(states_.size()) *
+      static_cast<std::size_t>(inputs_.size());
+  RFSM_CHECK(next_.size() == cells, "next-state table has wrong size");
+  RFSM_CHECK(output_.size() == cells, "output table has wrong size");
+  for (const SymbolId s : next_)
+    RFSM_CHECK(states_.contains(s), "next-state entry out of range");
+  for (const SymbolId o : output_)
+    RFSM_CHECK(outputs_.contains(o), "output entry out of range");
+}
+
+std::size_t Machine::cell(SymbolId input, SymbolId state) const {
+  RFSM_CHECK(inputs_.contains(input), "input id out of range");
+  RFSM_CHECK(states_.contains(state), "state id out of range");
+  return static_cast<std::size_t>(state) *
+             static_cast<std::size_t>(inputs_.size()) +
+         static_cast<std::size_t>(input);
+}
+
+SymbolId Machine::next(SymbolId input, SymbolId state) const {
+  return next_[cell(input, state)];
+}
+
+SymbolId Machine::output(SymbolId input, SymbolId state) const {
+  return output_[cell(input, state)];
+}
+
+Transition Machine::transitionAt(SymbolId input, SymbolId state) const {
+  const std::size_t c = cell(input, state);
+  return Transition{input, state, next_[c], output_[c]};
+}
+
+std::vector<Transition> Machine::transitions() const {
+  std::vector<Transition> all;
+  all.reserve(next_.size());
+  for (SymbolId s = 0; s < states_.size(); ++s)
+    for (SymbolId i = 0; i < inputs_.size(); ++i)
+      all.push_back(transitionAt(i, s));
+  return all;
+}
+
+bool Machine::isStableTotalState(SymbolId input, SymbolId state) const {
+  return next(input, state) == state;
+}
+
+bool Machine::isMoore() const {
+  // outputOf[s] = the single output allowed on edges into s, or kNoSymbol if
+  // none seen yet.
+  std::vector<SymbolId> outputOf(static_cast<std::size_t>(states_.size()),
+                                 kNoSymbol);
+  for (const Transition& t : transitions()) {
+    auto& slot = outputOf[static_cast<std::size_t>(t.to)];
+    if (slot == kNoSymbol) {
+      slot = t.output;
+    } else if (slot != t.output) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Digraph Machine::transitionGraph() const {
+  Digraph graph(states_.size());
+  for (SymbolId s = 0; s < states_.size(); ++s)
+    for (SymbolId i = 0; i < inputs_.size(); ++i)
+      graph.addEdge(s, next(i, s), static_cast<std::uint64_t>(i));
+  return graph;
+}
+
+Machine Machine::withName(std::string newName) const {
+  Machine copy = *this;
+  copy.name_ = std::move(newName);
+  return copy;
+}
+
+bool Machine::operator==(const Machine& other) const {
+  return inputs_ == other.inputs_ && outputs_ == other.outputs_ &&
+         states_ == other.states_ && resetState_ == other.resetState_ &&
+         next_ == other.next_ && output_ == other.output_;
+}
+
+std::string describeTransition(const Machine& machine, const Transition& t) {
+  return "(" + machine.inputs().name(t.input) + ", " +
+         machine.states().name(t.from) + " -> " + machine.states().name(t.to) +
+         ", " + machine.outputs().name(t.output) + ")";
+}
+
+}  // namespace rfsm

@@ -1,0 +1,110 @@
+// Deterministic, completely specified Mealy machines (paper Def. 2.1).
+//
+// "A deterministic FSM is completely specified if both F and G are total
+// functions. This is the class of FSMs we will consider throughout this
+// work."  Machine stores exactly that: a 6-tuple (I, O, S, S0, F, G) with F
+// and G as dense (state x input) tables.  Moore machines are the special
+// case where every in-edge of a state carries the same output (footnote 2);
+// isMoore() detects it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fsm/symbols.hpp"
+#include "graph/digraph.hpp"
+
+namespace rfsm {
+
+/// One fully specified transition t = (i, s_x, s_y, o): under input `input`
+/// in state `from`, go to `to` and emit `output`.  Matches the paper's
+/// 4-tuple in Def. 4.2.
+struct Transition {
+  SymbolId input = kNoSymbol;
+  SymbolId from = kNoSymbol;
+  SymbolId to = kNoSymbol;
+  SymbolId output = kNoSymbol;
+
+  bool operator==(const Transition&) const = default;
+};
+
+/// The (input, state) cell a transition occupies; the unit of
+/// reconfiguration (one cell of F and G is rewritten per clock).
+struct TotalState {
+  SymbolId input = kNoSymbol;
+  SymbolId state = kNoSymbol;
+
+  bool operator==(const TotalState&) const = default;
+};
+
+/// Immutable deterministic completely-specified Mealy FSM.
+///
+/// Construct through MachineBuilder (fsm/builder.hpp) which validates
+/// determinism and completeness, or directly from validated tables.
+class Machine {
+ public:
+  /// Direct construction from dense tables.  `next` and `output` are indexed
+  /// by state * inputCount + input.  Throws ContractError when sizes or
+  /// entries are inconsistent.
+  Machine(std::string name, SymbolTable inputs, SymbolTable outputs,
+          SymbolTable states, SymbolId resetState, std::vector<SymbolId> next,
+          std::vector<SymbolId> output);
+
+  const std::string& name() const { return name_; }
+  const SymbolTable& inputs() const { return inputs_; }
+  const SymbolTable& outputs() const { return outputs_; }
+  const SymbolTable& states() const { return states_; }
+
+  int inputCount() const { return inputs_.size(); }
+  int outputCount() const { return outputs_.size(); }
+  int stateCount() const { return states_.size(); }
+
+  /// The single reset state S0 (deterministic machines have |S0| = 1).
+  SymbolId resetState() const { return resetState_; }
+
+  /// F(i, s): next state.  Total by construction.
+  SymbolId next(SymbolId input, SymbolId state) const;
+
+  /// G(i, s): output.  Total by construction.
+  SymbolId output(SymbolId input, SymbolId state) const;
+
+  /// The transition occupying cell (input, state).
+  Transition transitionAt(SymbolId input, SymbolId state) const;
+
+  /// All |S| * |I| transitions, ordered by (state, input).
+  std::vector<Transition> transitions() const;
+
+  /// True when (i, s) is a stable total state, i.e. F(i, s) = s (a self-loop
+  /// in the state transition graph).
+  bool isStableTotalState(SymbolId input, SymbolId state) const;
+
+  /// True when the machine is Moore: for each state, all in-edges carry one
+  /// output label.  States with no in-edges are unconstrained.
+  bool isMoore() const;
+
+  /// State transition graph: node = state, one edge per (state, input) cell,
+  /// edge tag = input id.
+  Digraph transitionGraph() const;
+
+  /// Renames the machine (used when deriving variants).
+  Machine withName(std::string newName) const;
+
+  bool operator==(const Machine& other) const;
+
+ private:
+  std::size_t cell(SymbolId input, SymbolId state) const;
+
+  std::string name_;
+  SymbolTable inputs_;
+  SymbolTable outputs_;
+  SymbolTable states_;
+  SymbolId resetState_;
+  std::vector<SymbolId> next_;
+  std::vector<SymbolId> output_;
+};
+
+/// Human-readable rendering "i/s -> s'/o" of a transition in the context of
+/// a machine's symbol tables.
+std::string describeTransition(const Machine& machine, const Transition& t);
+
+}  // namespace rfsm

@@ -1,0 +1,99 @@
+#include "fsm/minimize.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace rfsm {
+
+MinimizationResult minimize(const Machine& machine) {
+  const int n = machine.stateCount();
+  const int k = machine.inputCount();
+
+  // Initial partition: states with identical output rows share a block.
+  std::vector<int> blockOf(static_cast<std::size_t>(n));
+  {
+    std::map<std::vector<SymbolId>, int> rowToBlock;
+    for (SymbolId s = 0; s < n; ++s) {
+      std::vector<SymbolId> row;
+      row.reserve(static_cast<std::size_t>(k));
+      for (SymbolId i = 0; i < k; ++i) row.push_back(machine.output(i, s));
+      auto [it, inserted] =
+          rowToBlock.emplace(std::move(row), static_cast<int>(rowToBlock.size()));
+      blockOf[static_cast<std::size_t>(s)] = it->second;
+    }
+  }
+
+  // Refine: two states stay together iff their successors lie in the same
+  // blocks for every input.
+  for (;;) {
+    std::map<std::vector<int>, int> signatureToBlock;
+    std::vector<int> nextBlockOf(static_cast<std::size_t>(n));
+    for (SymbolId s = 0; s < n; ++s) {
+      std::vector<int> signature;
+      signature.reserve(static_cast<std::size_t>(k) + 1);
+      signature.push_back(blockOf[static_cast<std::size_t>(s)]);
+      for (SymbolId i = 0; i < k; ++i)
+        signature.push_back(
+            blockOf[static_cast<std::size_t>(machine.next(i, s))]);
+      auto [it, inserted] = signatureToBlock.emplace(
+          std::move(signature), static_cast<int>(signatureToBlock.size()));
+      nextBlockOf[static_cast<std::size_t>(s)] = it->second;
+    }
+    if (nextBlockOf == blockOf) break;
+    blockOf = std::move(nextBlockOf);
+  }
+
+  // Renumber blocks by their lowest-numbered member so output is stable, and
+  // pick that member as representative.
+  const int blockCountRaw =
+      *std::max_element(blockOf.begin(), blockOf.end()) + 1;
+  std::vector<SymbolId> representative(static_cast<std::size_t>(blockCountRaw),
+                                       kNoSymbol);
+  for (SymbolId s = 0; s < n; ++s) {
+    auto& rep = representative[static_cast<std::size_t>(blockOf[
+        static_cast<std::size_t>(s)])];
+    if (rep == kNoSymbol) rep = s;
+  }
+  std::vector<int> order(static_cast<std::size_t>(blockCountRaw));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return representative[static_cast<std::size_t>(a)] <
+           representative[static_cast<std::size_t>(b)];
+  });
+  std::vector<int> renumber(static_cast<std::size_t>(blockCountRaw));
+  for (int pos = 0; pos < blockCountRaw; ++pos)
+    renumber[static_cast<std::size_t>(order[static_cast<std::size_t>(pos)])] =
+        pos;
+  for (auto& b : blockOf) b = renumber[static_cast<std::size_t>(b)];
+
+  SymbolTable newStates;
+  for (int pos = 0; pos < blockCountRaw; ++pos)
+    newStates.intern(machine.states().name(
+        representative[static_cast<std::size_t>(order[
+            static_cast<std::size_t>(pos)])]));
+
+  const auto cells = static_cast<std::size_t>(blockCountRaw) *
+                     static_cast<std::size_t>(k);
+  std::vector<SymbolId> next(cells, kNoSymbol);
+  std::vector<SymbolId> output(cells, kNoSymbol);
+  for (SymbolId s = 0; s < n; ++s) {
+    const auto block = static_cast<std::size_t>(blockOf[
+        static_cast<std::size_t>(s)]);
+    for (SymbolId i = 0; i < k; ++i) {
+      const std::size_t c = block * static_cast<std::size_t>(k) +
+                            static_cast<std::size_t>(i);
+      next[c] = blockOf[static_cast<std::size_t>(machine.next(i, s))];
+      output[c] = machine.output(i, s);
+    }
+  }
+
+  Machine minimized(machine.name() + "_min", machine.inputs(),
+                    machine.outputs(), newStates,
+                    blockOf[static_cast<std::size_t>(machine.resetState())],
+                    std::move(next), std::move(output));
+  std::vector<SymbolId> blocks(blockOf.begin(), blockOf.end());
+  return MinimizationResult{std::move(minimized), std::move(blocks)};
+}
+
+}  // namespace rfsm

@@ -1,0 +1,29 @@
+// State minimization of completely specified Mealy machines.
+//
+// Classic partition refinement: start from the partition induced by the
+// per-state output row G(., s) and refine until successor blocks agree.  The
+// minimized machine is behaviourally equivalent and has the fewest states of
+// any equivalent completely specified machine.  Useful before migration —
+// fewer states means fewer delta transitions.
+#pragma once
+
+#include <vector>
+
+#include "fsm/machine.hpp"
+
+namespace rfsm {
+
+/// Result of minimization.
+struct MinimizationResult {
+  Machine machine;
+  /// blockOf[s] = state id in `machine` representing original state s.
+  std::vector<SymbolId> blockOf;
+};
+
+/// Minimizes `machine`.  Unreachable states are kept (they refine into
+/// blocks like any other); call reachableStates() first to prune if desired.
+/// The representative state name of each block is the name of its
+/// lowest-numbered member.
+MinimizationResult minimize(const Machine& machine);
+
+}  // namespace rfsm

@@ -1,0 +1,69 @@
+#include "fsm/moore.hpp"
+
+#include <map>
+#include <queue>
+
+#include "fsm/builder.hpp"
+
+namespace rfsm {
+
+std::optional<std::vector<SymbolId>> mooreStateOutputs(
+    const Machine& machine) {
+  std::vector<SymbolId> outputOf(
+      static_cast<std::size_t>(machine.stateCount()), kNoSymbol);
+  for (const Transition& t : machine.transitions()) {
+    auto& slot = outputOf[static_cast<std::size_t>(t.to)];
+    if (slot == kNoSymbol) {
+      slot = t.output;
+    } else if (slot != t.output) {
+      return std::nullopt;
+    }
+  }
+  return outputOf;
+}
+
+Machine mooreFromMealy(const Machine& machine) {
+  // Split states on the output of the edge entering them.  Reachable
+  // construction: start from (reset, no-output).
+  using Split = std::pair<SymbolId, SymbolId>;  // (state, entering output)
+  std::map<Split, std::string> names;
+  auto nameOf = [&](const Split& split) {
+    auto it = names.find(split);
+    if (it != names.end()) return it->second;
+    const std::string name =
+        machine.states().name(split.first) + "@" +
+        (split.second == kNoSymbol ? "-"
+                                   : machine.outputs().name(split.second));
+    names.emplace(split, name);
+    return name;
+  };
+
+  MachineBuilder builder(machine.name() + "_moore");
+  for (const auto& n : machine.inputs().names()) builder.addInput(n);
+  for (const auto& n : machine.outputs().names()) builder.addOutput(n);
+
+  const Split start{machine.resetState(), kNoSymbol};
+  builder.setResetState(nameOf(start));
+  std::queue<Split> frontier;
+  std::map<Split, bool> seen;
+  frontier.push(start);
+  seen[start] = true;
+  while (!frontier.empty()) {
+    const Split here = frontier.front();
+    frontier.pop();
+    for (SymbolId i = 0; i < machine.inputCount(); ++i) {
+      const SymbolId to = machine.next(i, here.first);
+      const SymbolId out = machine.output(i, here.first);
+      const Split target{to, out};
+      builder.addTransition(machine.inputs().name(i), nameOf(here),
+                            nameOf(target), machine.outputs().name(out));
+      if (!seen[target]) {
+        seen[target] = true;
+        frontier.push(target);
+      }
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace rfsm

@@ -1,0 +1,32 @@
+// Moore-machine views and conversions.
+//
+// The paper treats Moore machines as the special case of Mealy machines
+// whose in-edges per state carry a single output label (footnote 2 /
+// Def. 2.1).  This module gives that view teeth: extract the per-state
+// output labelling of a Moore-form machine, and convert any Mealy machine
+// into an equivalent Moore-form machine by splitting states on the output
+// of their in-edges (the classic construction; at most |S| * |O| + 1
+// states, behaviourally equivalent cycle for cycle).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fsm/machine.hpp"
+
+namespace rfsm {
+
+/// For a Moore-form machine: output label of every state (the label of its
+/// in-edges).  States with no in-edges get kNoSymbol.  Returns nullopt when
+/// the machine is not Moore-form.
+std::optional<std::vector<SymbolId>> mooreStateOutputs(const Machine& machine);
+
+/// Converts a Mealy machine to an equivalent Moore-form machine by state
+/// splitting.  The result satisfies isMoore() and checkEquivalence() with
+/// the input (outputs coincide on every cycle; there is no one-cycle delay
+/// in this edge-labelled formulation).  State names are "orig@out" for
+/// split states, plus the reset state "orig@-" when no in-edge determines
+/// its label.
+Machine mooreFromMealy(const Machine& machine);
+
+}  // namespace rfsm

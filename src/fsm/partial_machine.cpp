@@ -1,0 +1,144 @@
+#include "fsm/partial_machine.hpp"
+
+#include <queue>
+#include <set>
+
+#include "fsm/builder.hpp"
+
+namespace rfsm {
+
+PartialMachine::PartialMachine(std::string name, SymbolTable inputs,
+                               SymbolTable outputs, SymbolTable states,
+                               SymbolId resetState)
+    : name_(std::move(name)),
+      inputs_(std::move(inputs)),
+      outputs_(std::move(outputs)),
+      states_(std::move(states)),
+      resetState_(resetState) {
+  RFSM_CHECK(states_.contains(resetState_), "reset state out of range");
+  RFSM_CHECK(inputs_.size() > 0 && outputs_.size() > 0,
+             "alphabets must be non-empty");
+  const auto cells = static_cast<std::size_t>(states_.size()) *
+                     static_cast<std::size_t>(inputs_.size());
+  next_.assign(cells, kNoSymbol);
+  out_.assign(cells, kNoSymbol);
+}
+
+PartialMachine::PartialMachine(const Machine& machine)
+    : PartialMachine(machine.name(), machine.inputs(), machine.outputs(),
+                     machine.states(), machine.resetState()) {
+  for (const Transition& t : machine.transitions())
+    specify(t.input, t.from, t.to, t.output);
+}
+
+std::size_t PartialMachine::cell(SymbolId input, SymbolId state) const {
+  RFSM_CHECK(inputs_.contains(input), "input id out of range");
+  RFSM_CHECK(states_.contains(state), "state id out of range");
+  return static_cast<std::size_t>(state) *
+             static_cast<std::size_t>(inputs_.size()) +
+         static_cast<std::size_t>(input);
+}
+
+void PartialMachine::specify(SymbolId input, SymbolId from, SymbolId to,
+                             SymbolId output) {
+  const std::size_t c = cell(input, from);
+  if (to != kNoSymbol) {
+    RFSM_CHECK(states_.contains(to), "next state out of range");
+    if (next_[c] != kNoSymbol && next_[c] != to)
+      throw FsmError("conflicting next state for cell (" +
+                     inputs_.name(input) + ", " + states_.name(from) + ")");
+    next_[c] = to;
+  }
+  if (output != kNoSymbol) {
+    RFSM_CHECK(outputs_.contains(output), "output out of range");
+    if (out_[c] != kNoSymbol && out_[c] != output)
+      throw FsmError("conflicting output for cell (" + inputs_.name(input) +
+                     ", " + states_.name(from) + ")");
+    out_[c] = output;
+  }
+}
+
+SymbolId PartialMachine::next(SymbolId input, SymbolId state) const {
+  return next_[cell(input, state)];
+}
+
+SymbolId PartialMachine::output(SymbolId input, SymbolId state) const {
+  return out_[cell(input, state)];
+}
+
+int PartialMachine::unspecifiedCount() const {
+  int count = 0;
+  for (std::size_t c = 0; c < next_.size(); ++c)
+    if (next_[c] == kNoSymbol || out_[c] == kNoSymbol) ++count;
+  return count;
+}
+
+Machine PartialMachine::completeWithSelfLoops(SymbolId defaultOutput) const {
+  RFSM_CHECK(outputs_.contains(defaultOutput),
+             "default output out of range");
+  std::vector<SymbolId> next = next_;
+  std::vector<SymbolId> out = out_;
+  for (SymbolId s = 0; s < states_.size(); ++s)
+    for (SymbolId i = 0; i < inputs_.size(); ++i) {
+      const std::size_t c = cell(i, s);
+      if (next[c] == kNoSymbol) next[c] = s;
+      if (out[c] == kNoSymbol) out[c] = defaultOutput;
+    }
+  return Machine(name_, inputs_, outputs_, states_, resetState_,
+                 std::move(next), std::move(out));
+}
+
+Machine PartialMachine::completeRandomly(Rng& rng) const {
+  std::vector<SymbolId> next = next_;
+  std::vector<SymbolId> out = out_;
+  for (std::size_t c = 0; c < next.size(); ++c) {
+    if (next[c] == kNoSymbol)
+      next[c] = static_cast<SymbolId>(
+          rng.below(static_cast<std::uint64_t>(states_.size())));
+    if (out[c] == kNoSymbol)
+      out[c] = static_cast<SymbolId>(
+          rng.below(static_cast<std::uint64_t>(outputs_.size())));
+  }
+  return Machine(name_, inputs_, outputs_, states_, resetState_,
+                 std::move(next), std::move(out));
+}
+
+bool implementsSpecification(const Machine& implementation,
+                             const PartialMachine& specification) {
+  // Align alphabets by name.
+  std::vector<SymbolId> inputMap(
+      static_cast<std::size_t>(specification.inputs().size()));
+  for (SymbolId i = 0; i < specification.inputs().size(); ++i) {
+    const auto mapped =
+        implementation.inputs().find(specification.inputs().name(i));
+    if (!mapped.has_value()) return false;
+    inputMap[static_cast<std::size_t>(i)] = *mapped;
+  }
+
+  std::queue<std::pair<SymbolId, SymbolId>> frontier;  // (spec, impl)
+  std::set<std::pair<SymbolId, SymbolId>> seen;
+  frontier.emplace(specification.resetState(), implementation.resetState());
+  seen.insert({specification.resetState(), implementation.resetState()});
+  while (!frontier.empty()) {
+    const auto [specState, implState] = frontier.front();
+    frontier.pop();
+    for (SymbolId i = 0; i < specification.inputs().size(); ++i) {
+      const SymbolId implInput = inputMap[static_cast<std::size_t>(i)];
+      const SymbolId wantOut = specification.output(i, specState);
+      if (wantOut != kNoSymbol) {
+        const std::string& wantName = specification.outputs().name(wantOut);
+        const std::string& gotName = implementation.outputs().name(
+            implementation.output(implInput, implState));
+        if (wantName != gotName) return false;
+      }
+      const SymbolId specNext = specification.next(i, specState);
+      if (specNext == kNoSymbol) continue;  // spec imposes nothing further
+      const SymbolId implNext = implementation.next(implInput, implState);
+      if (seen.insert({specNext, implNext}).second)
+        frontier.emplace(specNext, implNext);
+    }
+  }
+  return true;
+}
+
+}  // namespace rfsm

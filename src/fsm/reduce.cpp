@@ -1,0 +1,197 @@
+#include "fsm/reduce.hpp"
+
+#include <numeric>
+#include <utility>
+
+#include "fsm/builder.hpp"
+
+namespace rfsm {
+
+std::vector<std::vector<bool>> compatibilityMatrix(
+    const PartialMachine& machine) {
+  const int n = machine.states().size();
+  const int k = machine.inputs().size();
+  std::vector<std::vector<bool>> compatible(
+      static_cast<std::size_t>(n),
+      std::vector<bool>(static_cast<std::size_t>(n), true));
+
+  // Seed: direct output conflicts.
+  for (SymbolId s = 0; s < n; ++s) {
+    for (SymbolId t = s + 1; t < n; ++t) {
+      for (SymbolId i = 0; i < k; ++i) {
+        const SymbolId a = machine.output(i, s);
+        const SymbolId b = machine.output(i, t);
+        if (a != kNoSymbol && b != kNoSymbol && a != b) {
+          compatible[static_cast<std::size_t>(s)][static_cast<std::size_t>(t)] =
+              false;
+          compatible[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)] =
+              false;
+          break;
+        }
+      }
+    }
+  }
+
+  // Refine: a pair whose specified successors are incompatible is
+  // incompatible.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (SymbolId s = 0; s < n; ++s) {
+      for (SymbolId t = s + 1; t < n; ++t) {
+        if (!compatible[static_cast<std::size_t>(s)][
+                static_cast<std::size_t>(t)])
+          continue;
+        for (SymbolId i = 0; i < k; ++i) {
+          const SymbolId ns = machine.next(i, s);
+          const SymbolId nt = machine.next(i, t);
+          if (ns == kNoSymbol || nt == kNoSymbol) continue;
+          if (!compatible[static_cast<std::size_t>(ns)][
+                  static_cast<std::size_t>(nt)]) {
+            compatible[static_cast<std::size_t>(s)][
+                static_cast<std::size_t>(t)] = false;
+            compatible[static_cast<std::size_t>(t)][
+                static_cast<std::size_t>(s)] = false;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return compatible;
+}
+
+namespace {
+
+/// Mutable merge state: union-find plus per-class specified cells.
+struct MergeState {
+  std::vector<int> parent;
+  // Per root, per input: the class's specified output / next-state
+  // representative (kNoSymbol = unspecified so far).
+  std::vector<std::vector<SymbolId>> out;
+  std::vector<std::vector<SymbolId>> next;
+
+  int find(int v) {
+    while (parent[static_cast<std::size_t>(v)] != v)
+      v = parent[static_cast<std::size_t>(v)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(v)])];
+    return v;
+  }
+
+  /// Merges the classes of a and b, propagating forced successor merges.
+  /// Returns false on an output conflict (state unchanged semantics are the
+  /// caller's job: call on a copy).
+  bool merge(int a, int b) {
+    std::vector<std::pair<int, int>> worklist{{a, b}};
+    while (!worklist.empty()) {
+      auto [x, y] = worklist.back();
+      worklist.pop_back();
+      int rx = find(x);
+      int ry = find(y);
+      if (rx == ry) continue;
+      const auto k = out[static_cast<std::size_t>(rx)].size();
+      // Check output compatibility of the two classes.
+      for (std::size_t i = 0; i < k; ++i) {
+        const SymbolId ox = out[static_cast<std::size_t>(rx)][i];
+        const SymbolId oy = out[static_cast<std::size_t>(ry)][i];
+        if (ox != kNoSymbol && oy != kNoSymbol && ox != oy) return false;
+      }
+      // Union (rx absorbs ry).
+      parent[static_cast<std::size_t>(ry)] = rx;
+      for (std::size_t i = 0; i < k; ++i) {
+        auto& ox = out[static_cast<std::size_t>(rx)][i];
+        const SymbolId oy = out[static_cast<std::size_t>(ry)][i];
+        if (ox == kNoSymbol) ox = oy;
+        auto& nx = next[static_cast<std::size_t>(rx)][i];
+        const SymbolId ny = next[static_cast<std::size_t>(ry)][i];
+        if (nx == kNoSymbol) {
+          nx = ny;
+        } else if (ny != kNoSymbol && find(nx) != find(ny)) {
+          // Closure: the merged class forces its successors together.
+          worklist.emplace_back(nx, ny);
+        }
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+ReductionResult reducePartialMachine(const PartialMachine& machine) {
+  const int n = machine.states().size();
+  const int k = machine.inputs().size();
+  const auto compatible = compatibilityMatrix(machine);
+
+  MergeState state;
+  state.parent.resize(static_cast<std::size_t>(n));
+  std::iota(state.parent.begin(), state.parent.end(), 0);
+  state.out.assign(static_cast<std::size_t>(n),
+                   std::vector<SymbolId>(static_cast<std::size_t>(k),
+                                         kNoSymbol));
+  state.next = state.out;
+  for (SymbolId s = 0; s < n; ++s)
+    for (SymbolId i = 0; i < k; ++i) {
+      state.out[static_cast<std::size_t>(s)][static_cast<std::size_t>(i)] =
+          machine.output(i, s);
+      state.next[static_cast<std::size_t>(s)][static_cast<std::size_t>(i)] =
+          machine.next(i, s);
+    }
+
+  // Greedy: try every pair once, keeping successful closure merges.
+  for (int s = 0; s < n; ++s) {
+    for (int t = s + 1; t < n; ++t) {
+      if (!compatible[static_cast<std::size_t>(s)][static_cast<std::size_t>(t)])
+        continue;
+      if (state.find(s) == state.find(t)) continue;
+      MergeState attempt = state;  // copy; rollback = discard
+      if (attempt.merge(s, t)) state = std::move(attempt);
+    }
+  }
+
+  // Renumber classes by lowest member and build the reduced machine.
+  std::vector<SymbolId> classOf(static_cast<std::size_t>(n), kNoSymbol);
+  SymbolTable reducedStates;
+  std::vector<int> rootOfClass;
+  for (int s = 0; s < n; ++s) {
+    const int root = state.find(s);
+    // The lowest-numbered member reaches its root first and names the class.
+    bool known = false;
+    for (int c = 0; c < static_cast<int>(rootOfClass.size()); ++c) {
+      if (rootOfClass[static_cast<std::size_t>(c)] == root) {
+        classOf[static_cast<std::size_t>(s)] = c;
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      classOf[static_cast<std::size_t>(s)] =
+          reducedStates.intern(machine.states().name(s));
+      rootOfClass.push_back(root);
+    }
+  }
+
+  PartialMachine reduced(machine.name() + "_reduced", machine.inputs(),
+                         machine.outputs(), std::move(reducedStates),
+                         classOf[static_cast<std::size_t>(
+                             machine.resetState())]);
+  for (int c = 0; c < static_cast<int>(rootOfClass.size()); ++c) {
+    const int root = rootOfClass[static_cast<std::size_t>(c)];
+    for (SymbolId i = 0; i < k; ++i) {
+      const SymbolId classOut =
+          state.out[static_cast<std::size_t>(root)][static_cast<std::size_t>(i)];
+      const SymbolId rep =
+          state.next[static_cast<std::size_t>(root)][static_cast<std::size_t>(i)];
+      const SymbolId classNext =
+          rep == kNoSymbol
+              ? kNoSymbol
+              : classOf[static_cast<std::size_t>(state.find(rep))];
+      if (classOut != kNoSymbol || classNext != kNoSymbol)
+        reduced.specify(i, c, classNext, classOut);
+    }
+  }
+  return ReductionResult{std::move(reduced), std::move(classOf)};
+}
+
+}  // namespace rfsm

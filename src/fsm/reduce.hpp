@@ -1,0 +1,43 @@
+// State reduction of incompletely specified machines.
+//
+// For completely specified machines, state minimization partitions states
+// into equivalence classes (fsm/minimize.hpp).  For incompletely specified
+// ones the right relation is *compatibility*: two states are compatible
+// when no input word drives them to conflicting specified outputs.
+// Compatibility is not transitive, so reduction means covering the states
+// with closed compatible classes — NP-hard in general (Pfleeger 1973).
+//
+// reducePartialMachine implements the classic greedy merge-with-closure
+// heuristic: repeatedly try to merge a compatible state pair, propagating
+// the merges its closure forces, and keep the result when no conflict
+// arises.  On completely specified machines this degenerates to exact
+// minimization (compatibility becomes equivalence), which a property test
+// checks against fsm/minimize.hpp.
+#pragma once
+
+#include <vector>
+
+#include "fsm/partial_machine.hpp"
+
+namespace rfsm {
+
+/// Pairwise compatibility: matrix[s][t] is true when states s and t can be
+/// realized by one state of some implementation (fixpoint of the classic
+/// refinement: an output conflict now, or a specified-successor pair that
+/// is itself incompatible, makes a pair incompatible).
+std::vector<std::vector<bool>> compatibilityMatrix(
+    const PartialMachine& machine);
+
+/// Result of a reduction.
+struct ReductionResult {
+  PartialMachine machine;
+  /// classOf[s] = state id in `machine` realizing original state s.
+  std::vector<SymbolId> classOf;
+};
+
+/// Greedy closure-based state reduction.  The reduced machine has at most
+/// as many states as the input, and *every* completion of it implements the
+/// original specification (property-tested via implementsSpecification).
+ReductionResult reducePartialMachine(const PartialMachine& machine);
+
+}  // namespace rfsm

@@ -1,0 +1,253 @@
+#include "fsm/serialize.hpp"
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <variant>
+
+#include "fsm/builder.hpp"
+
+namespace rfsm {
+namespace {
+
+std::string escapeJson(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// A minimal JSON reader covering the subset emitted by toJson: objects,
+// arrays, strings.  Kept private to this translation unit.
+// ---------------------------------------------------------------------------
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue {
+  std::variant<std::string, JsonArray, JsonObject> data;
+
+  const std::string& asString() const {
+    if (!std::holds_alternative<std::string>(data))
+      throw FsmError("JSON: expected a string value");
+    return std::get<std::string>(data);
+  }
+  const JsonArray& asArray() const {
+    if (!std::holds_alternative<JsonArray>(data))
+      throw FsmError("JSON: expected an array value");
+    return std::get<JsonArray>(data);
+  }
+  const JsonObject& asObject() const {
+    if (!std::holds_alternative<JsonObject>(data))
+      throw FsmError("JSON: expected an object value");
+    return std::get<JsonObject>(data);
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue value = parseValue();
+    skipSpace();
+    if (pos_ != text_.size()) throw FsmError("JSON: trailing characters");
+    return value;
+  }
+
+ private:
+  void skipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    skipSpace();
+    if (pos_ >= text_.size()) throw FsmError("JSON: unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c)
+      throw FsmError(std::string("JSON: expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue parseValue() {
+    switch (peek()) {
+      case '"': return JsonValue{parseString()};
+      case '[': return JsonValue{parseArray()};
+      case '{': return JsonValue{parseObject()};
+      default: throw FsmError("JSON: unsupported value");
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) throw FsmError("JSON: bad escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          default: out += e;
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= text_.size()) throw FsmError("JSON: unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  JsonArray parseArray() {
+    expect('[');
+    JsonArray items;
+    if (peek() == ']') {
+      ++pos_;
+      return items;
+    }
+    for (;;) {
+      items.push_back(parseValue());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return items;
+    }
+  }
+
+  JsonObject parseObject() {
+    expect('{');
+    JsonObject object;
+    if (peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    for (;;) {
+      skipSpace();
+      std::string key = parseString();
+      expect(':');
+      object.emplace(std::move(key), parseValue());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return object;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+const JsonValue& fieldOf(const JsonObject& object, const std::string& key) {
+  auto it = object.find(key);
+  if (it == object.end()) throw FsmError("JSON: missing field '" + key + "'");
+  return it->second;
+}
+
+}  // namespace
+
+std::string toDot(const Machine& machine) {
+  // Collect labels per (from, to) pair so parallel edges merge.
+  std::map<std::pair<SymbolId, SymbolId>, std::vector<std::string>> labels;
+  for (const Transition& t : machine.transitions())
+    labels[{t.from, t.to}].push_back(machine.inputs().name(t.input) + "/" +
+                                     machine.outputs().name(t.output));
+
+  std::ostringstream os;
+  os << "digraph \"" << machine.name() << "\" {\n";
+  os << "  rankdir=LR;\n";
+  os << "  node [shape=circle];\n";
+  os << "  __reset [shape=point];\n";
+  os << "  __reset -> \"" << machine.states().name(machine.resetState())
+     << "\";\n";
+  for (const auto& [pair, names] : labels) {
+    os << "  \"" << machine.states().name(pair.first) << "\" -> \""
+       << machine.states().name(pair.second) << "\" [label=\"";
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << names[i];
+    }
+    os << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string toJson(const Machine& machine) {
+  std::ostringstream os;
+  auto emitNames = [&](const std::vector<std::string>& names) {
+    os << "[";
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << '"' << escapeJson(names[i]) << '"';
+    }
+    os << "]";
+  };
+  os << "{\n  \"name\": \"" << escapeJson(machine.name()) << "\",\n";
+  os << "  \"inputs\": ";
+  emitNames(machine.inputs().names());
+  os << ",\n  \"outputs\": ";
+  emitNames(machine.outputs().names());
+  os << ",\n  \"states\": ";
+  emitNames(machine.states().names());
+  os << ",\n  \"reset\": \""
+     << escapeJson(machine.states().name(machine.resetState())) << "\",\n";
+  os << "  \"transitions\": [\n";
+  const auto all = machine.transitions();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const Transition& t = all[i];
+    os << "    {\"input\": \"" << escapeJson(machine.inputs().name(t.input))
+       << "\", \"from\": \"" << escapeJson(machine.states().name(t.from))
+       << "\", \"to\": \"" << escapeJson(machine.states().name(t.to))
+       << "\", \"output\": \"" << escapeJson(machine.outputs().name(t.output))
+       << "\"}";
+    if (i + 1 < all.size()) os << ",";
+    os << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+Machine machineFromJson(const std::string& json) {
+  const JsonValue root = JsonReader(json).parse();
+  const JsonObject& object = root.asObject();
+
+  MachineBuilder builder(fieldOf(object, "name").asString());
+  for (const auto& v : fieldOf(object, "inputs").asArray())
+    builder.addInput(v.asString());
+  for (const auto& v : fieldOf(object, "outputs").asArray())
+    builder.addOutput(v.asString());
+  for (const auto& v : fieldOf(object, "states").asArray())
+    builder.addState(v.asString());
+  builder.setResetState(fieldOf(object, "reset").asString());
+  for (const auto& v : fieldOf(object, "transitions").asArray()) {
+    const JsonObject& t = v.asObject();
+    builder.addTransition(
+        fieldOf(t, "input").asString(), fieldOf(t, "from").asString(),
+        fieldOf(t, "to").asString(), fieldOf(t, "output").asString());
+  }
+  return builder.build();
+}
+
+}  // namespace rfsm

@@ -1,0 +1,23 @@
+// Textual serializations of Machines: Graphviz DOT and a plain JSON form.
+//
+// DOT renders the state transition graph of Def. 2.1 (vertices = internal
+// states, edges labelled input/output).  JSON round-trips the full 6-tuple.
+#pragma once
+
+#include <string>
+
+#include "fsm/machine.hpp"
+
+namespace rfsm {
+
+/// Graphviz DOT of the state transition graph.  Parallel edges between the
+/// same state pair are merged into one edge with comma-separated labels.
+std::string toDot(const Machine& machine);
+
+/// JSON encoding of the 6-tuple (stable field order, ASCII only).
+std::string toJson(const Machine& machine);
+
+/// Parses the JSON produced by toJson.  Throws FsmError on malformed input.
+Machine machineFromJson(const std::string& json);
+
+}  // namespace rfsm

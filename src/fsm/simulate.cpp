@@ -1,0 +1,38 @@
+#include "fsm/simulate.hpp"
+
+namespace rfsm {
+
+Simulator::Simulator(const Machine& machine)
+    : machine_(machine), state_(machine.resetState()) {}
+
+SymbolId Simulator::step(SymbolId input) {
+  const SymbolId out = machine_.output(input, state_);
+  state_ = machine_.next(input, state_);
+  return out;
+}
+
+void Simulator::reset() { state_ = machine_.resetState(); }
+
+SimulationTrace Simulator::run(const std::vector<SymbolId>& word) {
+  SimulationTrace trace;
+  trace.inputs = word;
+  trace.states.push_back(state_);
+  trace.outputs.reserve(word.size());
+  for (const SymbolId input : word) {
+    trace.outputs.push_back(step(input));
+    trace.states.push_back(state_);
+  }
+  return trace;
+}
+
+std::vector<std::string> runOnNames(const Machine& machine,
+                                    const std::vector<std::string>& word) {
+  Simulator sim(machine);
+  std::vector<std::string> out;
+  out.reserve(word.size());
+  for (const auto& name : word)
+    out.push_back(machine.outputs().name(sim.step(machine.inputs().at(name))));
+  return out;
+}
+
+}  // namespace rfsm

@@ -1,0 +1,51 @@
+// Functional simulation of Machines on input words.
+//
+// This is the golden reference the RTL co-simulation (src/rtl) and the
+// reconfiguration validator (src/core) compare against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fsm/machine.hpp"
+
+namespace rfsm {
+
+/// Everything observed while running a machine on one input word.
+struct SimulationTrace {
+  /// states[k] = state *before* consuming inputs[k]; has one extra final
+  /// entry (the state after the last input).
+  std::vector<SymbolId> states;
+  std::vector<SymbolId> inputs;
+  std::vector<SymbolId> outputs;
+};
+
+/// Stateful simulator; one step per clock.
+class Simulator {
+ public:
+  /// Starts in the machine's reset state.
+  explicit Simulator(const Machine& machine);
+
+  const Machine& machine() const { return machine_; }
+  SymbolId state() const { return state_; }
+
+  /// Consumes one input symbol; returns the emitted output.
+  SymbolId step(SymbolId input);
+
+  /// Forces the reset state (the RST-MUX path of Fig. 5).
+  void reset();
+
+  /// Runs a whole word, collecting the trace.
+  SimulationTrace run(const std::vector<SymbolId>& word);
+
+ private:
+  const Machine& machine_;
+  SymbolId state_;
+};
+
+/// Convenience: run `machine` from reset on `word` (symbol names) and return
+/// the output names.
+std::vector<std::string> runOnNames(const Machine& machine,
+                                    const std::vector<std::string>& word);
+
+}  // namespace rfsm

@@ -1,0 +1,97 @@
+#include "fsm/statistics.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "fsm/analysis.hpp"
+#include "graph/scc.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace rfsm {
+
+MachineStatistics computeStatistics(const Machine& machine) {
+  MachineStatistics stats;
+  stats.states = machine.stateCount();
+  stats.inputs = machine.inputCount();
+  stats.outputs = machine.outputCount();
+  stats.mooreForm = machine.isMoore();
+  stats.stableTotalStates =
+      static_cast<int>(stableTotalStates(machine).size());
+
+  const Digraph graph = machine.transitionGraph();
+  stats.stronglyConnectedComponents =
+      stronglyConnectedComponents(graph).componentCount;
+
+  const auto distances = allPairsDistances(graph);
+  const auto& fromReset =
+      distances[static_cast<std::size_t>(machine.resetState())];
+  stats.reachableStates = 0;
+  stats.eccentricityFromReset = 0;
+  for (const int d : fromReset) {
+    if (d == kUnreachable) {
+      stats.eccentricityFromReset = -1;
+    } else {
+      ++stats.reachableStates;
+      if (stats.eccentricityFromReset >= 0)
+        stats.eccentricityFromReset =
+            std::max(stats.eccentricityFromReset, d);
+    }
+  }
+
+  // Diameter over reachable pairs.
+  stats.diameter = 0;
+  for (SymbolId u = 0; u < machine.stateCount() && stats.diameter >= 0; ++u) {
+    if (fromReset[static_cast<std::size_t>(u)] == kUnreachable) continue;
+    for (SymbolId v = 0; v < machine.stateCount(); ++v) {
+      if (fromReset[static_cast<std::size_t>(v)] == kUnreachable) continue;
+      const int d =
+          distances[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)];
+      if (d == kUnreachable) {
+        stats.diameter = -1;
+        break;
+      }
+      stats.diameter = std::max(stats.diameter, d);
+    }
+  }
+
+  // Out-degree diversity and in-degree zeros.
+  std::vector<int> inDegree(static_cast<std::size_t>(machine.stateCount()),
+                            0);
+  double distinctSum = 0;
+  for (SymbolId s = 0; s < machine.stateCount(); ++s) {
+    std::set<SymbolId> successors;
+    for (SymbolId i = 0; i < machine.inputCount(); ++i) {
+      const SymbolId t = machine.next(i, s);
+      successors.insert(t);
+      ++inDegree[static_cast<std::size_t>(t)];
+    }
+    distinctSum += static_cast<double>(successors.size());
+  }
+  stats.meanDistinctSuccessors =
+      distinctSum / static_cast<double>(machine.stateCount());
+  stats.sourcesOnly = static_cast<int>(
+      std::count(inDegree.begin(), inDegree.end(), 0));
+  return stats;
+}
+
+std::string describeStatistics(const MachineStatistics& s) {
+  std::ostringstream os;
+  os << "states " << s.states << " (" << s.reachableStates
+     << " reachable), inputs " << s.inputs << ", outputs " << s.outputs
+     << "\n";
+  os << "form: " << (s.mooreForm ? "Moore" : "Mealy") << ", SCCs "
+     << s.stronglyConnectedComponents << ", stable total states "
+     << s.stableTotalStates << "\n";
+  os << "eccentricity from reset "
+     << (s.eccentricityFromReset < 0 ? std::string("inf")
+                                     : std::to_string(s.eccentricityFromReset))
+     << ", diameter "
+     << (s.diameter < 0 ? std::string("inf") : std::to_string(s.diameter))
+     << "\n";
+  os << "mean distinct successors " << s.meanDistinctSuccessors
+     << ", never-entered states " << s.sourcesOnly << "\n";
+  return os.str();
+}
+
+}  // namespace rfsm

@@ -1,0 +1,39 @@
+// Structural statistics of a machine — the numbers a designer looks at
+// before planning a migration (connectivity, degree spread, diameter).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fsm/machine.hpp"
+
+namespace rfsm {
+
+/// Structural metrics of one machine.
+struct MachineStatistics {
+  int states = 0;
+  int inputs = 0;
+  int outputs = 0;
+  int reachableStates = 0;
+  int stronglyConnectedComponents = 0;
+  int stableTotalStates = 0;
+  bool mooreForm = false;
+  /// Max over states of the shortest path length from reset (-1 when some
+  /// state is unreachable).
+  int eccentricityFromReset = 0;
+  /// Longest shortest path between reachable state pairs (-1 when the
+  /// reachable part is not strongly connected).
+  int diameter = 0;
+  /// Distinct successor states per state, averaged (out-degree diversity).
+  double meanDistinctSuccessors = 0.0;
+  /// States with no in-edges (cannot be re-entered once left).
+  int sourcesOnly = 0;
+};
+
+/// Computes all metrics.
+MachineStatistics computeStatistics(const Machine& machine);
+
+/// Multi-line human-readable rendering.
+std::string describeStatistics(const MachineStatistics& stats);
+
+}  // namespace rfsm

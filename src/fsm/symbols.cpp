@@ -1,0 +1,49 @@
+#include "fsm/symbols.hpp"
+
+#include "util/check.hpp"
+
+namespace rfsm {
+
+SymbolTable::SymbolTable(const std::vector<std::string>& names) {
+  for (const auto& n : names) {
+    RFSM_CHECK(!containsName(n), "duplicate symbol '" + n + "'");
+    intern(n);
+  }
+}
+
+SymbolId SymbolTable::intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  const SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<SymbolId> SymbolTable::find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+SymbolId SymbolTable::at(std::string_view name) const {
+  auto id = find(name);
+  RFSM_CHECK(id.has_value(), "unknown symbol '" + std::string(name) + "'");
+  return *id;
+}
+
+const std::string& SymbolTable::name(SymbolId id) const {
+  RFSM_CHECK(contains(id), "symbol id out of range");
+  return names_[static_cast<std::size_t>(id)];
+}
+
+MergedSymbols mergeSymbols(const SymbolTable& a, const SymbolTable& b) {
+  MergedSymbols merged;
+  merged.fromA.reserve(static_cast<std::size_t>(a.size()));
+  for (const auto& n : a.names()) merged.fromA.push_back(merged.table.intern(n));
+  merged.fromB.reserve(static_cast<std::size_t>(b.size()));
+  for (const auto& n : b.names()) merged.fromB.push_back(merged.table.intern(n));
+  return merged;
+}
+
+}  // namespace rfsm

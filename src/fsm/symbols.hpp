@@ -1,0 +1,81 @@
+// Symbol interning for FSM alphabets.
+//
+// The paper's alphabets I, O, S are finite sets of *symbolic* states (Def.
+// 2.1); a SymbolTable maps each symbol name to a dense id so the transition
+// and output functions can be stored as flat tables.  Superset alphabets
+// (Def. 4.1: I_super, S_super, O_super) are built by merging two tables.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rfsm {
+
+/// Dense id of an interned symbol; valid ids are 0..size()-1.
+using SymbolId = int;
+
+/// Sentinel for "no symbol".
+inline constexpr SymbolId kNoSymbol = -1;
+
+/// An ordered set of distinct symbol names with O(1) name<->id lookup.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  /// Builds a table from names; throws ContractError on duplicates.
+  explicit SymbolTable(const std::vector<std::string>& names);
+
+  /// Interns `name`, returning its id (existing or fresh).
+  SymbolId intern(std::string_view name);
+
+  /// Id of `name`, or std::nullopt if absent.
+  std::optional<SymbolId> find(std::string_view name) const;
+
+  /// Id of `name`; throws ContractError if absent.
+  SymbolId at(std::string_view name) const;
+
+  /// Name of `id`; throws ContractError if out of range.
+  const std::string& name(SymbolId id) const;
+
+  /// True when `id` is a valid id of this table.
+  bool contains(SymbolId id) const {
+    return id >= 0 && id < static_cast<SymbolId>(names_.size());
+  }
+
+  bool containsName(std::string_view name) const {
+    return find(name).has_value();
+  }
+
+  int size() const { return static_cast<int>(names_.size()); }
+  bool empty() const { return names_.empty(); }
+
+  /// All names in id order.
+  const std::vector<std::string>& names() const { return names_; }
+
+  bool operator==(const SymbolTable& other) const {
+    return names_ == other.names_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, SymbolId> index_;
+};
+
+/// Merged table containing every symbol of `a` followed by the symbols of
+/// `b` not already present, together with the id remappings.  This realizes
+/// the paper's S_super / I_super / O_super construction.
+struct MergedSymbols {
+  SymbolTable table;
+  /// fromA[i] = id in `table` of symbol i of `a` (always i, kept for
+  /// symmetry).
+  std::vector<SymbolId> fromA;
+  /// fromB[i] = id in `table` of symbol i of `b`.
+  std::vector<SymbolId> fromB;
+};
+
+MergedSymbols mergeSymbols(const SymbolTable& a, const SymbolTable& b);
+
+}  // namespace rfsm

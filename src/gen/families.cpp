@@ -1,0 +1,195 @@
+#include "gen/families.hpp"
+
+#include "fsm/builder.hpp"
+#include "util/check.hpp"
+
+namespace rfsm {
+
+Machine onesDetector() {
+  // VHDL of Example 2.1: on in='1', S0 -> S1 emitting 0 and S1 -> S1
+  // emitting 1; on in='0' always back to S0 emitting 0.
+  MachineBuilder b("ones_detector");
+  b.addInput("0");
+  b.addInput("1");
+  b.addOutput("0");
+  b.addOutput("1");
+  b.addState("S0");
+  b.addState("S1");
+  b.setResetState("S0");
+  b.addTransition("1", "S0", "S1", "0");
+  b.addTransition("1", "S1", "S1", "1");
+  b.addTransition("0", "S0", "S0", "0");
+  b.addTransition("0", "S1", "S0", "0");
+  return b.build();
+}
+
+Machine zerosDetector() {
+  // Fig. 4 item 4): the machine the Table 1 sequence produces.  Replaying
+  // the paper's four reconfiguration cycles r1..r4 on onesDetector() yields
+  // exactly these cells: r2 rewrites G(1, S1) to 0 and r4 rewrites
+  // G(0, S0) to 1 (r1 and r3 rewrite cells with their unchanged values,
+  // serving as traversal steps).  S1 now means "saw a one", S0 "saw a
+  // zero"; the output flags runs of zeros instead of runs of ones.
+  MachineBuilder b("zeros_detector");
+  b.addInput("0");
+  b.addInput("1");
+  b.addOutput("0");
+  b.addOutput("1");
+  b.addState("S0");
+  b.addState("S1");
+  b.setResetState("S0");
+  b.addTransition("0", "S0", "S0", "1");
+  b.addTransition("1", "S0", "S1", "0");
+  b.addTransition("0", "S1", "S0", "0");
+  b.addTransition("1", "S1", "S1", "0");
+  return b.build();
+}
+
+Machine example41Source() {
+  // Chosen to produce exactly the paper's delta set against
+  // example41Target(); see families.hpp.
+  MachineBuilder b("example41_M");
+  b.addInput("0");
+  b.addInput("1");
+  b.addOutput("0");
+  b.addOutput("1");
+  b.addState("S0");
+  b.addState("S1");
+  b.addState("S2");
+  b.setResetState("S0");
+  b.addTransition("1", "S0", "S1", "0");
+  b.addTransition("0", "S0", "S0", "0");
+  b.addTransition("1", "S1", "S2", "0");
+  b.addTransition("0", "S1", "S0", "1");  // differs from M' -> delta
+  b.addTransition("1", "S2", "S2", "1");  // differs from M' -> delta
+  b.addTransition("0", "S2", "S0", "0");
+  return b.build();
+}
+
+Machine example41Target() {
+  MachineBuilder b("example41_Mprime");
+  b.addInput("0");
+  b.addInput("1");
+  b.addOutput("0");
+  b.addOutput("1");
+  b.addState("S0");
+  b.addState("S1");
+  b.addState("S2");
+  b.addState("S3");
+  b.setResetState("S0");
+  b.addTransition("1", "S0", "S1", "0");
+  b.addTransition("0", "S0", "S0", "0");
+  b.addTransition("1", "S1", "S2", "0");
+  b.addTransition("0", "S1", "S0", "0");  // delta (output changed)
+  b.addTransition("1", "S2", "S3", "0");  // delta (retargeted to new S3)
+  b.addTransition("0", "S2", "S0", "0");
+  b.addTransition("1", "S3", "S3", "1");  // delta (new state row)
+  b.addTransition("0", "S3", "S0", "0");  // delta (new state row)
+  return b.build();
+}
+
+Machine example42Source() {
+  // Fig. 7: a ring under input 1, self-loops under 0; the (0, S3) cell
+  // carries the 0/1 label and is the only cell that differs from M'.
+  MachineBuilder b("example42_M");
+  b.addInput("0");
+  b.addInput("1");
+  b.addOutput("0");
+  b.addOutput("1");
+  for (const char* s : {"S0", "S1", "S2", "S3"}) b.addState(s);
+  b.setResetState("S0");
+  b.addTransition("1", "S0", "S1", "0");
+  b.addTransition("1", "S1", "S2", "0");
+  b.addTransition("1", "S2", "S3", "0");
+  b.addTransition("1", "S3", "S3", "0");
+  b.addTransition("0", "S0", "S0", "0");
+  b.addTransition("0", "S1", "S1", "0");
+  b.addTransition("0", "S2", "S2", "0");
+  b.addTransition("0", "S3", "S3", "1");  // differs from M' -> delta
+  return b.build();
+}
+
+Machine example42Target() {
+  MachineBuilder b("example42_Mprime");
+  b.addInput("0");
+  b.addInput("1");
+  b.addOutput("0");
+  b.addOutput("1");
+  for (const char* s : {"S0", "S1", "S2", "S3"}) b.addState(s);
+  b.setResetState("S0");
+  b.addTransition("1", "S0", "S1", "0");
+  b.addTransition("1", "S1", "S2", "0");
+  b.addTransition("1", "S2", "S3", "0");
+  b.addTransition("1", "S3", "S3", "0");
+  b.addTransition("0", "S0", "S0", "0");
+  b.addTransition("0", "S1", "S1", "0");
+  b.addTransition("0", "S2", "S2", "0");
+  b.addTransition("0", "S3", "S0", "0");  // the single delta transition
+  return b.build();
+}
+
+Machine counterMachine(int modulus) {
+  RFSM_CHECK(modulus >= 1, "counter modulus must be >= 1");
+  MachineBuilder b("counter" + std::to_string(modulus));
+  b.addInput("up");
+  b.addInput("down");
+  for (int k = 0; k < modulus; ++k) {
+    b.addState("C" + std::to_string(k));
+    b.addOutput("c" + std::to_string(k));
+  }
+  b.setResetState("C0");
+  for (int k = 0; k < modulus; ++k) {
+    const int up = (k + 1) % modulus;
+    const int down = (k - 1 + modulus) % modulus;
+    b.addTransition("up", "C" + std::to_string(k), "C" + std::to_string(up),
+                    "c" + std::to_string(up));
+    b.addTransition("down", "C" + std::to_string(k),
+                    "C" + std::to_string(down), "c" + std::to_string(down));
+  }
+  return b.build();
+}
+
+Machine sequenceDetector(const std::string& pattern) {
+  RFSM_CHECK(!pattern.empty(), "pattern must be non-empty");
+  for (char c : pattern)
+    RFSM_CHECK(c == '0' || c == '1', "pattern must be binary");
+  const int m = static_cast<int>(pattern.size());
+
+  // KMP failure function: fail[k] = length of the longest proper border of
+  // pattern[0..k).
+  std::vector<int> fail(static_cast<std::size_t>(m) + 1, 0);
+  for (int k = 1; k < m; ++k) {
+    int f = fail[static_cast<std::size_t>(k)];
+    while (f > 0 && pattern[static_cast<std::size_t>(k)] !=
+                        pattern[static_cast<std::size_t>(f)])
+      f = fail[static_cast<std::size_t>(f)];
+    if (pattern[static_cast<std::size_t>(k)] ==
+        pattern[static_cast<std::size_t>(f)])
+      ++f;
+    fail[static_cast<std::size_t>(k) + 1] = f;
+  }
+
+  MachineBuilder b("detect_" + pattern);
+  b.addInput("0");
+  b.addInput("1");
+  b.addOutput("0");
+  b.addOutput("1");
+  for (int q = 0; q < m; ++q) b.addState("Q" + std::to_string(q));
+  b.setResetState("Q0");
+  for (int q = 0; q < m; ++q) {
+    for (char c : {'0', '1'}) {
+      // Advance the KMP automaton from match length q on character c.
+      int k = q;
+      while (k > 0 && pattern[static_cast<std::size_t>(k)] != c)
+        k = fail[static_cast<std::size_t>(k)];
+      if (pattern[static_cast<std::size_t>(k)] == c) ++k;
+      const bool matched = (k == m);
+      const int nextState = matched ? fail[static_cast<std::size_t>(m)] : k;
+      b.addTransition(std::string(1, c), "Q" + std::to_string(q),
+                      "Q" + std::to_string(nextState), matched ? "1" : "0");
+    }
+  }
+  return b.build();
+}
+
+}  // namespace rfsm

@@ -1,0 +1,46 @@
+// Named machine families: the paper's running examples plus a few classic
+// controller shapes used by tests, examples, and benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fsm/machine.hpp"
+
+namespace rfsm {
+
+/// Paper Example 2.1 / Fig. 3: the Mealy machine that outputs 1 while two
+/// or more successive ones have been seen (until the next zero).
+/// I = {0, 1}, O = {0, 1}, S = {S0, S1}, reset S0.
+Machine onesDetector();
+
+/// Fig. 4 item 4): the reconfigured counterpart counting zeros instead.
+Machine zerosDetector();
+
+/// Paper Example 4.1 / Fig. 6: machine M (3 states S0..S2).
+/// Constructed so that migrating to example41Target() yields exactly the
+/// paper's delta set {(0,S1,S0,0), (1,S2,S3,0), (1,S3,S3,1), (0,S3,S0,0)}.
+Machine example41Source();
+
+/// Paper Example 4.1 / Fig. 6: machine M' (4 states S0..S3).
+Machine example41Target();
+
+/// Paper Example 4.2 / Fig. 7: machine M — a ring S0 ->1 S1 ->1 S2 ->1 S3
+/// with self-loops under 0 (except S3, whose 0-cell differs from M').
+Machine example42Source();
+
+/// Paper Example 4.2 / Fig. 7: machine M' — as M but (0, S3) -> S0 / 0;
+/// exactly one delta transition.
+Machine example42Target();
+
+/// Modulo-n up/down counter: inputs {up, down}, outputs the current count
+/// c0..c{n-1} (Moore-style: every edge into state k emits ck).  n >= 1.
+Machine counterMachine(int modulus);
+
+/// Detector for a fixed binary pattern over inputs {0, 1}: emits 1 exactly
+/// when the last |pattern| inputs equal `pattern` (overlaps allowed).
+/// Built as the KMP automaton of the pattern.  Pattern must be non-empty
+/// and consist of '0'/'1'.
+Machine sequenceDetector(const std::string& pattern);
+
+}  // namespace rfsm

@@ -1,0 +1,61 @@
+#include "gen/generator.hpp"
+
+#include "util/check.hpp"
+
+namespace rfsm {
+
+Machine randomMachine(const RandomMachineSpec& spec, Rng& rng) {
+  RFSM_CHECK(spec.stateCount >= 1, "need at least one state");
+  RFSM_CHECK(spec.inputCount >= 1, "need at least one input");
+  RFSM_CHECK(spec.outputCount >= 1, "need at least one output");
+
+  SymbolTable states, inputs, outputs;
+  for (int s = 0; s < spec.stateCount; ++s)
+    states.intern("S" + std::to_string(s));
+  for (int i = 0; i < spec.inputCount; ++i)
+    inputs.intern("i" + std::to_string(i));
+  for (int o = 0; o < spec.outputCount; ++o)
+    outputs.intern("o" + std::to_string(o));
+
+  const auto cells = static_cast<std::size_t>(spec.stateCount) *
+                     static_cast<std::size_t>(spec.inputCount);
+  std::vector<SymbolId> next(cells, kNoSymbol);
+  std::vector<SymbolId> out(cells, kNoSymbol);
+  auto cellIndex = [&](SymbolId input, SymbolId state) {
+    return static_cast<std::size_t>(state) *
+               static_cast<std::size_t>(spec.inputCount) +
+           static_cast<std::size_t>(input);
+  };
+
+  if (spec.connectedFromReset) {
+    // Random spanning structure: give every state s >= 1 one in-edge from a
+    // lower-numbered state, each laid on a still-free table cell so later
+    // assignments cannot overwrite it.
+    for (SymbolId s = 1; s < spec.stateCount; ++s) {
+      std::vector<std::pair<SymbolId, SymbolId>> freeCells;  // (input, from)
+      for (SymbolId p = 0; p < s; ++p)
+        for (SymbolId i = 0; i < spec.inputCount; ++i)
+          if (next[cellIndex(i, p)] == kNoSymbol) freeCells.emplace_back(i, p);
+      RFSM_CHECK(!freeCells.empty(), "no free cell for spanning edge");
+      const auto [i, p] = freeCells[rng.pickIndex(freeCells)];
+      next[cellIndex(i, p)] = s;
+      out[cellIndex(i, p)] =
+          static_cast<SymbolId>(rng.below(static_cast<std::uint64_t>(
+              spec.outputCount)));
+    }
+  }
+
+  for (std::size_t c = 0; c < cells; ++c) {
+    if (next[c] == kNoSymbol)
+      next[c] = static_cast<SymbolId>(
+          rng.below(static_cast<std::uint64_t>(spec.stateCount)));
+    if (out[c] == kNoSymbol)
+      out[c] = static_cast<SymbolId>(
+          rng.below(static_cast<std::uint64_t>(spec.outputCount)));
+  }
+
+  return Machine(spec.name, std::move(inputs), std::move(outputs),
+                 std::move(states), 0, std::move(next), std::move(out));
+}
+
+}  // namespace rfsm

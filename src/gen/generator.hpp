@@ -1,0 +1,34 @@
+// Seeded random machine generation.
+//
+// Table 2 of the paper reports reconfiguration program lengths over FSMs
+// with a controlled number of delta transitions; the source benchmarks are
+// not published, so we regenerate the axis with seeded random machines
+// (DESIGN.md, substitution table).  randomMachine guarantees the
+// completely-specified deterministic class and (optionally) that every
+// state is reachable from reset, so delta sources are reachable the way
+// they would be in a real controller.
+#pragma once
+
+#include <string>
+
+#include "fsm/machine.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm {
+
+/// Parameters of a random machine.
+struct RandomMachineSpec {
+  int stateCount = 8;
+  int inputCount = 2;
+  int outputCount = 2;
+  /// Guarantee every state reachable from reset (via a random spanning
+  /// arborescence laid over distinct table cells).
+  bool connectedFromReset = true;
+  std::string name = "random";
+};
+
+/// Generates a random deterministic completely-specified Mealy machine.
+/// States are named S0..S{n-1} (S0 = reset), inputs i0.., outputs o0..
+Machine randomMachine(const RandomMachineSpec& spec, Rng& rng);
+
+}  // namespace rfsm

@@ -1,0 +1,125 @@
+#include "gen/mutator.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rfsm {
+
+Machine mutateMachine(const Machine& source, const MutationSpec& spec,
+                      Rng& rng) {
+  if (spec.deltaCount < 0)
+    throw MutationError("delta count must be non-negative");
+  if (spec.newStateCount < 0)
+    throw MutationError("new state count must be non-negative");
+
+  const int oldStates = source.stateCount();
+  const int inputCount = source.inputCount();
+  const int outputCount = source.outputCount();
+  const int totalStates = oldStates + spec.newStateCount;
+
+  const int newStateDeltas = spec.newStateCount * inputCount;
+  const int inEdgeDeltas = spec.newStateCount;  // one retarget per new state
+  const int modifiedCells = spec.deltaCount - newStateDeltas - inEdgeDeltas;
+  if (modifiedCells < 0)
+    throw MutationError(
+        "delta count " + std::to_string(spec.deltaCount) +
+        " too small: " + std::to_string(spec.newStateCount) +
+        " new states already imply " +
+        std::to_string(newStateDeltas + inEdgeDeltas) + " deltas");
+  if (inEdgeDeltas + modifiedCells > oldStates * inputCount)
+    throw MutationError("delta count exceeds the number of table cells");
+  if (modifiedCells > 0 && oldStates + spec.newStateCount < 2 &&
+      outputCount < 2)
+    throw MutationError(
+        "cannot modify cells: machine has a single state and a single "
+        "output");
+
+  // Extend the state alphabet.
+  SymbolTable states;
+  for (const auto& n : source.states().names()) states.intern(n);
+  std::vector<SymbolId> newStates;
+  for (int k = 0; k < spec.newStateCount; ++k) {
+    // Pick a fresh name (source machines may already use the Nk scheme).
+    int suffix = totalStates + k;
+    for (;;) {
+      const std::string candidate = "N" + std::to_string(suffix);
+      if (!states.containsName(candidate)) {
+        newStates.push_back(states.intern(candidate));
+        break;
+      }
+      ++suffix;
+    }
+  }
+
+  const auto cells = static_cast<std::size_t>(totalStates) *
+                     static_cast<std::size_t>(inputCount);
+  std::vector<SymbolId> next(cells, kNoSymbol);
+  std::vector<SymbolId> out(cells, kNoSymbol);
+  auto cellIndex = [&](SymbolId input, SymbolId state) {
+    return static_cast<std::size_t>(state) *
+               static_cast<std::size_t>(inputCount) +
+           static_cast<std::size_t>(input);
+  };
+  for (SymbolId s = 0; s < oldStates; ++s)
+    for (SymbolId i = 0; i < inputCount; ++i) {
+      next[cellIndex(i, s)] = source.next(i, s);
+      out[cellIndex(i, s)] = source.output(i, s);
+    }
+
+  // Rows of the new states: every cell is a delta by construction; fill
+  // with random targets over the full state set and random outputs.
+  for (const SymbolId s : newStates)
+    for (SymbolId i = 0; i < inputCount; ++i) {
+      next[cellIndex(i, s)] = static_cast<SymbolId>(
+          rng.below(static_cast<std::uint64_t>(totalStates)));
+      out[cellIndex(i, s)] = static_cast<SymbolId>(
+          rng.below(static_cast<std::uint64_t>(outputCount)));
+    }
+
+  // Choose distinct old-state cells to modify: the first `inEdgeDeltas` of
+  // them are retargeted into the new states, the rest changed randomly.
+  std::vector<std::pair<SymbolId, SymbolId>> oldCells;  // (input, state)
+  for (SymbolId s = 0; s < oldStates; ++s)
+    for (SymbolId i = 0; i < inputCount; ++i) oldCells.emplace_back(i, s);
+  rng.shuffle(oldCells);
+
+  std::size_t pick = 0;
+  for (int k = 0; k < inEdgeDeltas; ++k, ++pick) {
+    const auto [i, s] = oldCells[pick];
+    // Retargeting into a brand-new state is a delta regardless of output.
+    next[cellIndex(i, s)] = newStates[static_cast<std::size_t>(k)];
+  }
+  for (int k = 0; k < modifiedCells; ++k, ++pick) {
+    const auto [i, s] = oldCells[pick];
+    const std::size_t c = cellIndex(i, s);
+    // Change the next state and/or the output, ensuring the cell differs.
+    const bool canChangeNext = totalStates >= 2;
+    const bool canChangeOutput = outputCount >= 2;
+    bool changeNext = canChangeNext && (rng.chance(0.7) || !canChangeOutput);
+    const bool changeOutput =
+        canChangeOutput && (rng.chance(0.5) || !changeNext);
+    if (changeNext) {
+      SymbolId target;
+      do {
+        target = static_cast<SymbolId>(
+            rng.below(static_cast<std::uint64_t>(totalStates)));
+      } while (target == next[c]);
+      next[c] = target;
+    }
+    if (changeOutput) {
+      SymbolId value;
+      do {
+        value = static_cast<SymbolId>(
+            rng.below(static_cast<std::uint64_t>(outputCount)));
+      } while (value == out[c]);
+      out[c] = value;
+    }
+  }
+
+  return Machine(spec.name, source.inputs(), source.outputs(),
+                 std::move(states), source.resetState(), std::move(next),
+                 std::move(out));
+}
+
+}  // namespace rfsm

@@ -1,0 +1,42 @@
+// Derives target machines M' from a source M with an exact, controlled
+// number of delta transitions — the independent variable of the paper's
+// Table 2.
+#pragma once
+
+#include <string>
+
+#include "fsm/machine.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm {
+
+/// Mutation request.  The resulting machine M' has *exactly* `deltaCount`
+/// delta transitions w.r.t. M per Def. 4.2 (a property test asserts this).
+///
+/// Accounting: every cell of a newly added state contributes one delta
+/// (its source state is outside S), and every modified cell of an existing
+/// state contributes one.  When newStateCount > 0 we additionally retarget
+/// one existing cell per new state into it (so M' stays connected), which
+/// also counts as a modified cell.  Hence the requirement
+///   deltaCount >= newStateCount * (inputCount + 1).
+struct MutationSpec {
+  int deltaCount = 4;
+  /// States added to M' beyond those of M (S' superset of S).
+  int newStateCount = 0;
+  std::string name = "mutated";
+};
+
+/// Thrown when the requested delta count is infeasible (too large for the
+/// table, or too small to cover the new states).
+class MutationError : public Error {
+ public:
+  explicit MutationError(const std::string& what) : Error(what) {}
+};
+
+/// Builds M' from M per the spec.  Requires at least 2 states or 2 outputs
+/// in M (otherwise no cell of an unchanged-size machine can differ).
+Machine mutateMachine(const Machine& source, const MutationSpec& spec,
+                      Rng& rng);
+
+}  // namespace rfsm

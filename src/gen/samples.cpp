@@ -1,0 +1,175 @@
+#include "gen/samples.hpp"
+
+#include "fsm/builder.hpp"
+#include "fsm/kiss.hpp"
+#include "gen/families.hpp"
+
+namespace rfsm {
+namespace {
+
+/// Fixed-cycle intersection controller: highway green -> highway yellow ->
+/// side green -> side yellow -> ...  Input: side-road car sensor (ignored
+/// in v1).  Output: 2-bit light code 00=GH 01=YH 10=GS 11=YS.
+Machine trafficV1() {
+  MachineBuilder b("traffic_v1");
+  b.addInput("0");
+  b.addInput("1");
+  for (const char* o : {"00", "01", "10", "11"}) b.addOutput(o);
+  for (const char* s : {"GH", "YH", "GS", "YS"}) b.addState(s);
+  b.setResetState("GH");
+  for (const char* i : {"0", "1"}) {
+    b.addTransition(i, "GH", "YH", "01");
+    b.addTransition(i, "YH", "GS", "10");
+    b.addTransition(i, "GS", "YS", "11");
+    b.addTransition(i, "YS", "GH", "00");
+  }
+  return b.build();
+}
+
+/// Sensor-actuated revision: the highway stays green until a car waits on
+/// the side road.
+Machine trafficV2() {
+  MachineBuilder b("traffic_v2");
+  b.addInput("0");
+  b.addInput("1");
+  for (const char* o : {"00", "01", "10", "11"}) b.addOutput(o);
+  for (const char* s : {"GH", "YH", "GS", "YS"}) b.addState(s);
+  b.setResetState("GH");
+  b.addTransition("0", "GH", "GH", "00");  // no car: stay green
+  b.addTransition("1", "GH", "YH", "01");
+  for (const char* i : {"0", "1"}) {
+    b.addTransition(i, "YH", "GS", "10");
+    b.addTransition(i, "GS", "YS", "11");
+    b.addTransition(i, "YS", "GH", "00");
+  }
+  return b.build();
+}
+
+/// 15-cent vending machine.  Input: 00 = idle, 01 = nickel, 10 = dime
+/// (11 = coin jam, treated as idle).  Output 1 = vend.
+Machine vendingV1() {
+  MachineBuilder b("vending_v1");
+  for (const char* i : {"00", "01", "10", "11"}) b.addInput(i);
+  b.addOutput("0");
+  b.addOutput("1");
+  for (const char* s : {"C0", "C5", "C10"}) b.addState(s);
+  b.setResetState("C0");
+  auto idle = [&](const char* s) {
+    b.addTransition("00", s, s, "0");
+    b.addTransition("11", s, s, "0");
+  };
+  idle("C0");
+  b.addTransition("01", "C0", "C5", "0");
+  b.addTransition("10", "C0", "C10", "0");
+  idle("C5");
+  b.addTransition("01", "C5", "C10", "0");
+  b.addTransition("10", "C5", "C0", "1");   // 15 reached: vend
+  idle("C10");
+  b.addTransition("01", "C10", "C0", "1");  // 15 reached: vend
+  b.addTransition("10", "C10", "C0", "1");  // 20: vend (overpay accepted)
+  return b.build();
+}
+
+/// Price raised to 20 cents: one more accumulation state.
+Machine vendingV2() {
+  MachineBuilder b("vending_v2");
+  for (const char* i : {"00", "01", "10", "11"}) b.addInput(i);
+  b.addOutput("0");
+  b.addOutput("1");
+  for (const char* s : {"C0", "C5", "C10", "C15"}) b.addState(s);
+  b.setResetState("C0");
+  auto idle = [&](const char* s) {
+    b.addTransition("00", s, s, "0");
+    b.addTransition("11", s, s, "0");
+  };
+  idle("C0");
+  b.addTransition("01", "C0", "C5", "0");
+  b.addTransition("10", "C0", "C10", "0");
+  idle("C5");
+  b.addTransition("01", "C5", "C10", "0");
+  b.addTransition("10", "C5", "C15", "0");
+  idle("C10");
+  b.addTransition("01", "C10", "C15", "0");
+  b.addTransition("10", "C10", "C0", "1");
+  idle("C15");
+  b.addTransition("01", "C15", "C0", "1");
+  b.addTransition("10", "C15", "C0", "1");
+  return b.build();
+}
+
+/// Even-parity tracker: output 1 while an even number of ones has been
+/// seen.  The odd-parity revision only flips the outputs — an output-only
+/// migration (src/core/partial.hpp).
+Machine parityEven() {
+  MachineBuilder b("parity_even");
+  b.addInput("0");
+  b.addInput("1");
+  b.addOutput("0");
+  b.addOutput("1");
+  b.addState("EVEN");
+  b.addState("ODD");
+  b.setResetState("EVEN");
+  b.addTransition("0", "EVEN", "EVEN", "1");
+  b.addTransition("1", "EVEN", "ODD", "0");
+  b.addTransition("0", "ODD", "ODD", "0");
+  b.addTransition("1", "ODD", "EVEN", "1");
+  return b.build();
+}
+
+Machine parityOdd() {
+  MachineBuilder b("parity_odd");
+  b.addInput("0");
+  b.addInput("1");
+  b.addOutput("0");
+  b.addOutput("1");
+  b.addState("EVEN");
+  b.addState("ODD");
+  b.setResetState("EVEN");
+  b.addTransition("0", "EVEN", "EVEN", "0");
+  b.addTransition("1", "EVEN", "ODD", "1");
+  b.addTransition("0", "ODD", "ODD", "1");
+  b.addTransition("1", "ODD", "EVEN", "0");
+  return b.build();
+}
+
+Machine hdlcV1() {
+  return sequenceDetector("01111110").withName("hdlc_v1");
+}
+
+Machine hdlcV2() {
+  return sequenceDetector("01111010").withName("hdlc_v2");
+}
+
+}  // namespace
+
+std::vector<std::string> sampleNames() {
+  return {"traffic_v1", "traffic_v2", "vending_v1", "vending_v2",
+          "hdlc_v1",    "hdlc_v2",    "parity_even", "parity_odd"};
+}
+
+Machine sampleMachine(const std::string& name) {
+  if (name == "traffic_v1") return trafficV1();
+  if (name == "traffic_v2") return trafficV2();
+  if (name == "vending_v1") return vendingV1();
+  if (name == "vending_v2") return vendingV2();
+  if (name == "hdlc_v1") return hdlcV1();
+  if (name == "hdlc_v2") return hdlcV2();
+  if (name == "parity_even") return parityEven();
+  if (name == "parity_odd") return parityOdd();
+  throw FsmError("unknown sample machine '" + name + "'");
+}
+
+std::string sampleKiss2(const std::string& name) {
+  return writeKiss2(kiss2FromMachine(sampleMachine(name)));
+}
+
+std::vector<SampleMigration> sampleMigrations() {
+  std::vector<SampleMigration> pairs;
+  pairs.push_back({"traffic", trafficV1(), trafficV2()});
+  pairs.push_back({"vending", vendingV1(), vendingV2()});
+  pairs.push_back({"hdlc", hdlcV1(), hdlcV2()});
+  pairs.push_back({"parity", parityEven(), parityOdd()});
+  return pairs;
+}
+
+}  // namespace rfsm

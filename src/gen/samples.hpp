@@ -1,0 +1,41 @@
+// Sample controllers: realistic small FSMs with revision pairs.
+//
+// The paper's evaluation machines are unpublished; these samples provide
+// named, human-auditable controllers for examples, tests and benches.  All
+// alphabets use fixed-width binary-vector symbol names so every sample
+// round-trips through the KISS2 exchange format (sampleKiss2()).
+//
+// Each migration pair is a plausible field upgrade:
+//  * traffic   — fixed-cycle intersection controller -> sensor-actuated
+//  * vending   — 15-cent vending machine -> 20-cent (adds a state)
+//  * hdlc      — HDLC-style flag delimiter 01111110 -> alternate flag
+//  * parity    — even-parity tracker -> odd-parity (output-only migration)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fsm/machine.hpp"
+
+namespace rfsm {
+
+/// A named migration pair (source revision -> target revision).
+struct SampleMigration {
+  std::string name;
+  Machine source;
+  Machine target;
+};
+
+/// Names of all bundled sample machines.
+std::vector<std::string> sampleNames();
+
+/// Loads one sample machine by name; throws FsmError for unknown names.
+Machine sampleMachine(const std::string& name);
+
+/// The sample rendered as KISS2 text.
+std::string sampleKiss2(const std::string& name);
+
+/// All bundled revision pairs.
+std::vector<SampleMigration> sampleMigrations();
+
+}  // namespace rfsm

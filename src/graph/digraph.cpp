@@ -1,0 +1,48 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rfsm {
+
+Digraph::Digraph(int nodeCount) {
+  RFSM_CHECK(nodeCount >= 0, "node count must be non-negative");
+  adjacency_.resize(static_cast<std::size_t>(nodeCount));
+}
+
+int Digraph::addNode() {
+  adjacency_.emplace_back();
+  return nodeCount() - 1;
+}
+
+void Digraph::addEdge(int from, int to, std::uint64_t tag) {
+  RFSM_CHECK(from >= 0 && from < nodeCount(), "edge source out of range");
+  RFSM_CHECK(to >= 0 && to < nodeCount(), "edge target out of range");
+  adjacency_[static_cast<std::size_t>(from)].push_back(Edge{to, tag});
+  ++edgeCount_;
+}
+
+int Digraph::removeEdgesByTag(int from, std::uint64_t tag) {
+  RFSM_CHECK(from >= 0 && from < nodeCount(), "edge source out of range");
+  auto& edges = adjacency_[static_cast<std::size_t>(from)];
+  const auto before = edges.size();
+  edges.erase(std::remove_if(edges.begin(), edges.end(),
+                             [&](const Edge& e) { return e.tag == tag; }),
+              edges.end());
+  const int removed = static_cast<int>(before - edges.size());
+  edgeCount_ -= removed;
+  return removed;
+}
+
+const std::vector<Digraph::Edge>& Digraph::outEdges(int node) const {
+  RFSM_CHECK(node >= 0 && node < nodeCount(), "node out of range");
+  return adjacency_[static_cast<std::size_t>(node)];
+}
+
+void Digraph::clearEdges() {
+  for (auto& edges : adjacency_) edges.clear();
+  edgeCount_ = 0;
+}
+
+}  // namespace rfsm

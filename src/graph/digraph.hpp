@@ -1,0 +1,48 @@
+// A small directed multigraph with integer nodes and user-tagged edges.
+//
+// FSM state-transition graphs map onto this: nodes are states, edges are
+// transitions, and the edge tag carries the (input, output) label index.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rfsm {
+
+/// Directed multigraph over nodes 0..nodeCount()-1.  Edges carry an opaque
+/// 64-bit tag for the caller's use and are kept in insertion order per node.
+class Digraph {
+ public:
+  struct Edge {
+    int to = 0;
+    std::uint64_t tag = 0;
+  };
+
+  Digraph() = default;
+  explicit Digraph(int nodeCount);
+
+  int nodeCount() const { return static_cast<int>(adjacency_.size()); }
+  int edgeCount() const { return edgeCount_; }
+
+  /// Adds a node and returns its id.
+  int addNode();
+
+  /// Adds a directed edge from -> to with an optional tag.
+  void addEdge(int from, int to, std::uint64_t tag = 0);
+
+  /// Removes every edge (from, to) whose tag equals `tag`; returns how many
+  /// edges were removed.
+  int removeEdgesByTag(int from, std::uint64_t tag);
+
+  /// Out-edges of `node` in insertion order.
+  const std::vector<Edge>& outEdges(int node) const;
+
+  /// Drops all edges but keeps the node set.
+  void clearEdges();
+
+ private:
+  std::vector<std::vector<Edge>> adjacency_;
+  int edgeCount_ = 0;
+};
+
+}  // namespace rfsm

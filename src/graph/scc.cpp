@@ -1,0 +1,79 @@
+#include "graph/scc.hpp"
+
+#include <algorithm>
+
+#include "graph/shortest_path.hpp"
+
+namespace rfsm {
+
+SccResult stronglyConnectedComponents(const Digraph& graph) {
+  const int n = graph.nodeCount();
+  SccResult result;
+  result.componentOf.assign(static_cast<std::size_t>(n), -1);
+
+  std::vector<int> index(static_cast<std::size_t>(n), -1);
+  std::vector<int> lowlink(static_cast<std::size_t>(n), 0);
+  std::vector<bool> onStack(static_cast<std::size_t>(n), false);
+  std::vector<int> stack;
+  int nextIndex = 0;
+
+  // Explicit DFS stack: (node, next out-edge position to visit).
+  struct Frame {
+    int node;
+    std::size_t edgePos;
+  };
+  std::vector<Frame> dfs;
+
+  for (int root = 0; root < n; ++root) {
+    if (index[static_cast<std::size_t>(root)] != -1) continue;
+    dfs.push_back({root, 0});
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      const auto u = static_cast<std::size_t>(frame.node);
+      if (frame.edgePos == 0) {
+        index[u] = lowlink[u] = nextIndex++;
+        stack.push_back(frame.node);
+        onStack[u] = true;
+      }
+      const auto& edges = graph.outEdges(frame.node);
+      bool descended = false;
+      while (frame.edgePos < edges.size()) {
+        const auto v = static_cast<std::size_t>(edges[frame.edgePos].to);
+        ++frame.edgePos;
+        if (index[v] == -1) {
+          dfs.push_back({static_cast<int>(v), 0});
+          descended = true;
+          break;
+        }
+        if (onStack[v]) lowlink[u] = std::min(lowlink[u], index[v]);
+      }
+      if (descended) continue;
+      if (lowlink[u] == index[u]) {
+        // u is the root of a component; pop it off the Tarjan stack.
+        for (;;) {
+          const int w = stack.back();
+          stack.pop_back();
+          onStack[static_cast<std::size_t>(w)] = false;
+          result.componentOf[static_cast<std::size_t>(w)] =
+              result.componentCount;
+          if (w == frame.node) break;
+        }
+        ++result.componentCount;
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        const auto parent = static_cast<std::size_t>(dfs.back().node);
+        lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
+      }
+    }
+  }
+  return result;
+}
+
+bool allReachableFrom(const Digraph& graph, int source) {
+  const BfsResult bfs = bfsFrom(graph, source);
+  return std::none_of(bfs.distance.begin(), bfs.distance.end(),
+                      [](int d) { return d == kUnreachable; });
+}
+
+}  // namespace rfsm

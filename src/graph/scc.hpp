@@ -1,0 +1,28 @@
+// Strongly connected components (Tarjan) and derived reachability facts.
+//
+// Used to reason about which states of a machine can reach which delta
+// transition sources without a reset.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace rfsm {
+
+/// Result of an SCC decomposition.
+struct SccResult {
+  /// componentOf[v] = component id of node v; ids are in reverse topological
+  /// order of the condensation (i.e. an edge u->v implies
+  /// componentOf[u] >= componentOf[v]).
+  std::vector<int> componentOf;
+  int componentCount = 0;
+};
+
+/// Tarjan's algorithm, iterative (no recursion-depth limit on big machines).
+SccResult stronglyConnectedComponents(const Digraph& graph);
+
+/// True if every node is reachable from `source`.
+bool allReachableFrom(const Digraph& graph, int source);
+
+}  // namespace rfsm

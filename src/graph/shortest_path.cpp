@@ -1,0 +1,59 @@
+#include "graph/shortest_path.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace rfsm {
+
+BfsResult bfsFrom(const Digraph& graph, int source) {
+  RFSM_CHECK(source >= 0 && source < graph.nodeCount(),
+             "BFS source out of range");
+  const auto n = static_cast<std::size_t>(graph.nodeCount());
+  BfsResult result;
+  result.distance.assign(n, kUnreachable);
+  result.predecessor.assign(n, -1);
+  result.predecessorEdgeTag.assign(n, 0);
+
+  std::queue<int> frontier;
+  result.distance[static_cast<std::size_t>(source)] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const int u = frontier.front();
+    frontier.pop();
+    for (const auto& edge : graph.outEdges(u)) {
+      auto& d = result.distance[static_cast<std::size_t>(edge.to)];
+      if (d != kUnreachable) continue;
+      d = result.distance[static_cast<std::size_t>(u)] + 1;
+      result.predecessor[static_cast<std::size_t>(edge.to)] = u;
+      result.predecessorEdgeTag[static_cast<std::size_t>(edge.to)] = edge.tag;
+      frontier.push(edge.to);
+    }
+  }
+  return result;
+}
+
+std::optional<std::vector<int>> shortestPath(const Digraph& graph, int source,
+                                             int target) {
+  RFSM_CHECK(target >= 0 && target < graph.nodeCount(),
+             "BFS target out of range");
+  const BfsResult bfs = bfsFrom(graph, source);
+  if (bfs.distance[static_cast<std::size_t>(target)] == kUnreachable)
+    return std::nullopt;
+  std::vector<int> path;
+  for (int v = target; v != -1; v = bfs.predecessor[static_cast<std::size_t>(v)])
+    path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<std::vector<int>> allPairsDistances(const Digraph& graph) {
+  std::vector<std::vector<int>> matrix;
+  matrix.reserve(static_cast<std::size_t>(graph.nodeCount()));
+  for (int u = 0; u < graph.nodeCount(); ++u)
+    matrix.push_back(bfsFrom(graph, u).distance);
+  return matrix;
+}
+
+}  // namespace rfsm

@@ -1,0 +1,43 @@
+// Unweighted shortest paths on Digraph (BFS).
+//
+// The reconfiguration planners measure distances in clock cycles; every
+// transition costs exactly one cycle, so BFS distances are exact costs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace rfsm {
+
+/// Distance marker for unreachable nodes.
+inline constexpr int kUnreachable = -1;
+
+/// Result of a single-source BFS.
+struct BfsResult {
+  /// distance[v] = number of edges on a shortest path source->v, or
+  /// kUnreachable.
+  std::vector<int> distance;
+  /// predecessor[v] = node preceding v on one shortest path (-1 for the
+  /// source and unreachable nodes).
+  std::vector<int> predecessor;
+  /// predecessorEdgeTag[v] = tag of the edge predecessor[v] -> v used.
+  std::vector<std::uint64_t> predecessorEdgeTag;
+};
+
+/// Single-source BFS from `source`.
+BfsResult bfsFrom(const Digraph& graph, int source);
+
+/// Shortest path source -> target as a node sequence (inclusive of both
+/// endpoints); std::nullopt when unreachable.  A path from a node to itself
+/// is the singleton {source}.
+std::optional<std::vector<int>> shortestPath(const Digraph& graph, int source,
+                                             int target);
+
+/// All-pairs BFS distance matrix; entry [u][v] is kUnreachable when v cannot
+/// be reached from u.
+std::vector<std::vector<int>> allPairsDistances(const Digraph& graph);
+
+}  // namespace rfsm

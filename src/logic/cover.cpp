@@ -1,0 +1,81 @@
+#include "logic/cover.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rfsm::logic {
+
+Cover::Cover(int width) : width_(width) {
+  RFSM_CHECK(width >= 1 && width <= 64, "cover width must be 1..64");
+}
+
+int Cover::literalCount() const {
+  int total = 0;
+  for (const Cube& cube : cubes_) total += cube.literalCount();
+  return total;
+}
+
+void Cover::addCube(const Cube& cube) {
+  RFSM_CHECK(cube.width() == width_, "cube width must match the cover");
+  cubes_.push_back(cube);
+}
+
+Cover Cover::fromMinterms(const std::vector<std::uint64_t>& minterms,
+                          int width) {
+  Cover cover(width);
+  cover.cubes_.reserve(minterms.size());
+  for (const std::uint64_t m : minterms)
+    cover.cubes_.push_back(Cube::fromMinterm(m, width));
+  return cover;
+}
+
+bool Cover::evaluate(std::uint64_t minterm) const {
+  return std::any_of(cubes_.begin(), cubes_.end(), [&](const Cube& cube) {
+    return cube.containsMinterm(minterm);
+  });
+}
+
+void Cover::simplify() {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Pairwise merging (adjacency or containment).
+    for (std::size_t i = 0; i < cubes_.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < cubes_.size() && !changed; ++j) {
+        if (const auto merged = cubes_[i].mergedWith(cubes_[j])) {
+          cubes_[i] = *merged;
+          cubes_.erase(cubes_.begin() + static_cast<std::ptrdiff_t>(j));
+          changed = true;
+        }
+      }
+    }
+  }
+  // Single-cube containment removal (merging above already handles pairwise
+  // containment, but merges can create new containments across the list).
+  for (std::size_t i = 0; i < cubes_.size();) {
+    bool contained = false;
+    for (std::size_t j = 0; j < cubes_.size(); ++j) {
+      if (i != j && cubes_[j].covers(cubes_[i])) {
+        contained = true;
+        break;
+      }
+    }
+    if (contained) {
+      cubes_.erase(cubes_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+std::string Cover::toString() const {
+  std::string out;
+  for (const Cube& cube : cubes_) {
+    out += cube.toPattern();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace rfsm::logic

@@ -1,0 +1,53 @@
+// Covers: sums of cubes (two-level SOP), with exact simplification.
+//
+// The simplifier is a Quine-McCluskey-style reducer: repeatedly merge
+// adjacent/contained cube pairs and drop single-cube-contained terms.  Both
+// operations preserve the covered set exactly, so simplify() never changes
+// the function — a property test verifies this against the truth table.
+// It is an estimator, not Espresso: good enough to size a logic-based FSM
+// implementation against the paper's RAM-based one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/cube.hpp"
+
+namespace rfsm::logic {
+
+/// A sum of products over a fixed variable count.
+class Cover {
+ public:
+  explicit Cover(int width);
+
+  int width() const { return width_; }
+  const std::vector<Cube>& cubes() const { return cubes_; }
+  bool empty() const { return cubes_.empty(); }
+  int cubeCount() const { return static_cast<int>(cubes_.size()); }
+
+  /// Total bound literals across all cubes.
+  int literalCount() const;
+
+  void addCube(const Cube& cube);
+
+  /// Builds the cover of exactly the given minterms.
+  static Cover fromMinterms(const std::vector<std::uint64_t>& minterms,
+                            int width);
+
+  /// True if the function is 1 on `minterm`.
+  bool evaluate(std::uint64_t minterm) const;
+
+  /// Exact simplification: adjacent-pair merging to fixpoint + containment
+  /// removal.  The covered set is unchanged.
+  void simplify();
+
+  /// One pattern per line, e.g. "1-0\n11-".
+  std::string toString() const;
+
+ private:
+  int width_;
+  std::vector<Cube> cubes_;
+};
+
+}  // namespace rfsm::logic

@@ -1,0 +1,105 @@
+#include "logic/cube.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace rfsm::logic {
+
+Cube::Cube(int width) : width_(width), care_(0), value_(0) {
+  RFSM_CHECK(width >= 1 && width <= 64, "cube width must be 1..64");
+}
+
+Cube::Cube(int width, std::uint64_t care, std::uint64_t value)
+    : width_(width), care_(care), value_(value & care) {}
+
+Cube Cube::fromPattern(const std::string& pattern) {
+  Cube cube(static_cast<int>(pattern.size()));
+  for (std::size_t k = 0; k < pattern.size(); ++k) {
+    // Leftmost character is the most significant variable.
+    const int index = static_cast<int>(pattern.size() - 1 - k);
+    cube.set(index, pattern[k]);
+  }
+  return cube;
+}
+
+Cube Cube::fromMinterm(std::uint64_t minterm, int width) {
+  RFSM_CHECK(width >= 1 && width <= 64, "cube width must be 1..64");
+  const std::uint64_t mask =
+      width == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+  return Cube(width, mask, minterm & mask);
+}
+
+int Cube::literalCount() const { return std::popcount(care_); }
+
+char Cube::at(int index) const {
+  RFSM_CHECK(index >= 0 && index < width_, "cube index out of range");
+  const std::uint64_t bit = std::uint64_t{1} << index;
+  if (!(care_ & bit)) return '-';
+  return (value_ & bit) ? '1' : '0';
+}
+
+void Cube::set(int index, char value) {
+  RFSM_CHECK(index >= 0 && index < width_, "cube index out of range");
+  const std::uint64_t bit = std::uint64_t{1} << index;
+  switch (value) {
+    case '-':
+      care_ &= ~bit;
+      value_ &= ~bit;
+      break;
+    case '0':
+      care_ |= bit;
+      value_ &= ~bit;
+      break;
+    case '1':
+      care_ |= bit;
+      value_ |= bit;
+      break;
+    default:
+      RFSM_CHECK(false, "cube literal must be '0', '1' or '-'");
+  }
+}
+
+bool Cube::containsMinterm(std::uint64_t minterm) const {
+  return ((minterm ^ value_) & care_) == 0;
+}
+
+bool Cube::covers(const Cube& other) const {
+  RFSM_CHECK(width_ == other.width_, "cube widths must match");
+  // This covers other iff this's bound literals are a subset of other's and
+  // agree on them.
+  if ((care_ & other.care_) != care_) return false;
+  return ((value_ ^ other.value_) & care_) == 0;
+}
+
+bool Cube::intersects(const Cube& other) const {
+  RFSM_CHECK(width_ == other.width_, "cube widths must match");
+  const std::uint64_t common = care_ & other.care_;
+  return ((value_ ^ other.value_) & common) == 0;
+}
+
+int Cube::conflictCount(const Cube& other) const {
+  RFSM_CHECK(width_ == other.width_, "cube widths must match");
+  const std::uint64_t common = care_ & other.care_;
+  return std::popcount((value_ ^ other.value_) & common);
+}
+
+std::optional<Cube> Cube::mergedWith(const Cube& other) const {
+  RFSM_CHECK(width_ == other.width_, "cube widths must match");
+  if (covers(other)) return *this;
+  if (other.covers(*this)) return other;
+  // Adjacency: identical care sets, exactly one disagreeing variable.
+  if (care_ != other.care_) return std::nullopt;
+  const std::uint64_t diff = (value_ ^ other.value_) & care_;
+  if (std::popcount(diff) != 1) return std::nullopt;
+  return Cube(width_, care_ & ~diff, value_ & ~diff);
+}
+
+std::string Cube::toPattern() const {
+  std::string pattern(static_cast<std::size_t>(width_), '-');
+  for (int index = 0; index < width_; ++index)
+    pattern[static_cast<std::size_t>(width_ - 1 - index)] = at(index);
+  return pattern;
+}
+
+}  // namespace rfsm::logic

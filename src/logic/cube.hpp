@@ -1,0 +1,69 @@
+// Cubes: products of literals over binary variables.
+//
+// The classic two-level representation (as in Espresso/SIS): a cube over n
+// variables assigns each variable 0, 1, or '-' (don't care).  We store the
+// cube as a (care, value) bitmask pair, limited to 64 variables — far more
+// than any state+input encoding in this repository needs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace rfsm::logic {
+
+/// A product term over `width` binary variables.
+class Cube {
+ public:
+  /// The universal cube (all don't-cares) over `width` variables.
+  explicit Cube(int width);
+
+  /// Cube from a pattern string like "1-0" (index 0 = leftmost character =
+  /// most significant variable).  Throws ContractError on bad characters.
+  static Cube fromPattern(const std::string& pattern);
+
+  /// The single-minterm cube for `minterm` over `width` variables.
+  static Cube fromMinterm(std::uint64_t minterm, int width);
+
+  int width() const { return width_; }
+
+  /// Number of bound literals (care positions).
+  int literalCount() const;
+
+  /// Value at variable `index`: '0', '1' or '-'.
+  char at(int index) const;
+
+  /// Sets variable `index` to '0', '1' or '-'.
+  void set(int index, char value);
+
+  /// True if the minterm (bit i of `minterm` = variable i) is covered.
+  bool containsMinterm(std::uint64_t minterm) const;
+
+  /// True if every minterm of `other` is covered by this cube.
+  bool covers(const Cube& other) const;
+
+  /// True if the two cubes share at least one minterm.
+  bool intersects(const Cube& other) const;
+
+  /// Number of variables where both cubes are bound and disagree.
+  int conflictCount(const Cube& other) const;
+
+  /// Merge of two cubes into one covering exactly their union:
+  /// possible when they have identical care sets and differ in exactly one
+  /// bound variable (adjacency), or when one covers the other.
+  std::optional<Cube> mergedWith(const Cube& other) const;
+
+  /// Pattern rendering, e.g. "1-0".
+  std::string toPattern() const;
+
+  bool operator==(const Cube& other) const = default;
+
+ private:
+  Cube(int width, std::uint64_t care, std::uint64_t value);
+
+  int width_;
+  std::uint64_t care_;   // bit i set = variable i is bound
+  std::uint64_t value_;  // meaningful only where care_ is set
+};
+
+}  // namespace rfsm::logic

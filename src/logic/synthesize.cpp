@@ -1,0 +1,111 @@
+#include "logic/synthesize.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace rfsm::logic {
+
+int TwoLevelSynthesis::totalCubes() const {
+  int total = 0;
+  for (const Cover& c : nextStateBits) total += c.cubeCount();
+  for (const Cover& c : outputBits) total += c.cubeCount();
+  return total;
+}
+
+int TwoLevelSynthesis::totalLiterals() const {
+  int total = 0;
+  for (const Cover& c : nextStateBits) total += c.literalCount();
+  for (const Cover& c : outputBits) total += c.literalCount();
+  return total;
+}
+
+int TwoLevelSynthesis::estimatedLuts() const {
+  int luts = 0;
+  auto coverLuts = [](const Cover& cover) {
+    if (cover.empty()) return 0;
+    int total = 0;
+    for (const Cube& cube : cover.cubes()) {
+      // AND of k literals: one 4-LUT covers up to 4; each further LUT adds
+      // 3 literals (one input continues the chain).
+      const int k = cube.literalCount();
+      if (k >= 2) total += 1 + (k > 4 ? (k - 4 + 2) / 3 : 0);
+    }
+    // OR tree over the cube outputs (4-ary).
+    int fanin = cover.cubeCount();
+    while (fanin > 1) {
+      const int stage = (fanin + 3) / 4;
+      total += stage;
+      fanin = stage;
+    }
+    return total;
+  };
+  for (const Cover& c : nextStateBits) luts += coverLuts(c);
+  for (const Cover& c : outputBits) luts += coverLuts(c);
+  return luts;
+}
+
+std::string TwoLevelSynthesis::describe() const {
+  std::ostringstream os;
+  os << "two-level FSM logic: " << nextStateBits.size()
+     << " next-state bit(s), " << outputBits.size() << " output bit(s), "
+     << totalCubes() << " cubes, " << totalLiterals() << " literals, ~"
+     << estimatedLuts() << " 4-LUTs";
+  return os.str();
+}
+
+TwoLevelSynthesis synthesizeTwoLevel(const Machine& machine) {
+  return synthesizeTwoLevel(
+      machine,
+      rtl::assignStateCodes(machine.stateCount(), rtl::StateEncoding::kBinary));
+}
+
+TwoLevelSynthesis synthesizeTwoLevel(const Machine& machine,
+                                     const rtl::StateCodeMap& codes) {
+  RFSM_CHECK(static_cast<int>(codes.codes.size()) == machine.stateCount(),
+             "code map must cover every state");
+  TwoLevelSynthesis result;
+  result.encoding = rtl::encodingFor(machine);
+  result.encoding.stateWidth = codes.width;
+  const int wi = result.encoding.inputWidth;
+  const int ws = result.encoding.stateWidth;
+  const int width = wi + ws;
+  RFSM_CHECK(width <= 40, "two-level synthesis limited to 40 variables");
+
+  // Minterm layout: input bits low, state-code bits high (matches the RAM
+  // address packing {state, input} of rtl::FsmEncoding).
+  auto mintermOf = [&](SymbolId state, SymbolId input) {
+    return (codes.codeOf(state) << wi) | static_cast<std::uint64_t>(input);
+  };
+
+  std::vector<std::vector<std::uint64_t>> nextOn(
+      static_cast<std::size_t>(ws));
+  std::vector<std::vector<std::uint64_t>> outOn(
+      static_cast<std::size_t>(result.encoding.outputWidth));
+  for (SymbolId s = 0; s < machine.stateCount(); ++s) {
+    for (SymbolId i = 0; i < machine.inputCount(); ++i) {
+      const std::uint64_t m = mintermOf(s, i);
+      const std::uint64_t nextCode = codes.codeOf(machine.next(i, s));
+      const auto outCode = static_cast<std::uint64_t>(machine.output(i, s));
+      for (int b = 0; b < ws; ++b)
+        if (nextCode & (std::uint64_t{1} << b))
+          nextOn[static_cast<std::size_t>(b)].push_back(m);
+      for (int b = 0; b < result.encoding.outputWidth; ++b)
+        if (outCode & (std::uint64_t{1} << b))
+          outOn[static_cast<std::size_t>(b)].push_back(m);
+    }
+  }
+  for (const auto& on : nextOn) {
+    Cover cover = Cover::fromMinterms(on, width);
+    cover.simplify();
+    result.nextStateBits.push_back(std::move(cover));
+  }
+  for (const auto& on : outOn) {
+    Cover cover = Cover::fromMinterms(on, width);
+    cover.simplify();
+    result.outputBits.push_back(std::move(cover));
+  }
+  return result;
+}
+
+}  // namespace rfsm::logic

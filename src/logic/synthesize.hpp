@@ -1,0 +1,53 @@
+// Two-level synthesis of an FSM's next-state and output logic.
+//
+// Sizes the *fixed-logic* alternative to the paper's RAM-based Fig. 5
+// implementation: encode states/inputs/outputs in binary, derive one SOP
+// cover per next-state and output bit over the {state bits, input bits}
+// variables, simplify, and estimate the 4-LUT cost.  A logic FSM is
+// smaller for sparse machines but cannot be reconfigured one cell per
+// cycle — the quantitative side of the paper's architectural choice.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fsm/machine.hpp"
+#include "logic/cover.hpp"
+#include "rtl/encoding.hpp"
+
+namespace rfsm::logic {
+
+/// Result of synthesizing one machine into two-level logic.
+struct TwoLevelSynthesis {
+  rtl::FsmEncoding encoding;
+  /// One cover per next-state bit (LSB first); variables are
+  /// {input bits (low), state bits (high)}.
+  std::vector<Cover> nextStateBits;
+  /// One cover per output bit (LSB first).
+  std::vector<Cover> outputBits;
+
+  int totalCubes() const;
+  int totalLiterals() const;
+
+  /// 4-input LUT estimate: each cover maps to an AND plane (one LUT per
+  /// ceil(literals/4) with a chaining input) plus an OR tree over cubes.
+  int estimatedLuts() const;
+
+  /// Human-readable summary.
+  std::string describe() const;
+};
+
+/// Synthesizes the machine's F and G into two-level covers (exact: a
+/// property test evaluates every cover against the machine's tables).
+/// Uses dense binary state codes.
+TwoLevelSynthesis synthesizeTwoLevel(const Machine& machine);
+
+/// Synthesis under an explicit state-code assignment (binary, Gray or
+/// one-hot — see rtl::assignStateCodes).  Minterms whose state bits do not
+/// form a valid code never occur and are left out of the ON-sets (they act
+/// as implicit OFF-set, not as don't-cares; the estimate is conservative
+/// for one-hot).
+TwoLevelSynthesis synthesizeTwoLevel(const Machine& machine,
+                                     const rtl::StateCodeMap& codes);
+
+}  // namespace rfsm::logic

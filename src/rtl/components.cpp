@@ -1,0 +1,85 @@
+#include "rtl/components.hpp"
+
+namespace rfsm::rtl {
+
+Mux2::Mux2(WireId sel, WireId a, WireId b, WireId out)
+    : sel_(sel), a_(a), b_(b), out_(out) {}
+
+void Mux2::evaluate(Circuit& circuit) {
+  circuit.poke(out_,
+               circuit.peek(sel_) != 0 ? circuit.peek(b_) : circuit.peek(a_));
+}
+
+Or2::Or2(WireId a, WireId b, WireId out) : a_(a), b_(b), out_(out) {}
+
+void Or2::evaluate(Circuit& circuit) {
+  circuit.poke(out_, circuit.peek(a_) | circuit.peek(b_));
+}
+
+And2::And2(WireId a, WireId b, WireId out) : a_(a), b_(b), out_(out) {}
+
+void And2::evaluate(Circuit& circuit) {
+  circuit.poke(out_, circuit.peek(a_) & circuit.peek(b_));
+}
+
+Concat::Concat(WireId hi, WireId lo, int loWidth, WireId out)
+    : hi_(hi), lo_(lo), out_(out), loWidth_(loWidth) {
+  RFSM_CHECK(loWidth >= 1 && loWidth < 64, "concat low width out of range");
+}
+
+void Concat::evaluate(Circuit& circuit) {
+  circuit.poke(out_,
+               (circuit.peek(hi_) << loWidth_) | circuit.peek(lo_));
+}
+
+Register::Register(WireId d, WireId q, WireId enable,
+                   std::uint64_t powerOnValue)
+    : d_(d), q_(q), enable_(enable), state_(powerOnValue) {}
+
+void Register::evaluate(Circuit& circuit) {
+  // Drive q from the stored state every pass (q is stable within a cycle).
+  circuit.poke(q_, state_);
+}
+
+void Register::clockEdge(Circuit& circuit) {
+  if (enable_ == kNoWire || circuit.peek(enable_) != 0)
+    state_ = circuit.peek(d_);
+}
+
+Ram::Ram(int addressWidth, WireId addr, WireId we, WireId wdata, WireId rdata)
+    : addr_(addr), we_(we), wdata_(wdata), rdata_(rdata) {
+  RFSM_CHECK(addressWidth >= 1 && addressWidth <= 24,
+             "RAM address width out of range");
+  storage_.assign(std::size_t{1} << addressWidth, 0);
+}
+
+void Ram::evaluate(Circuit& circuit) {
+  const std::size_t address =
+      static_cast<std::size_t>(circuit.peek(addr_)) % storage_.size();
+  // WRITE_FIRST: a write in flight is visible on the read port this cycle.
+  if (circuit.peek(we_) != 0) {
+    circuit.poke(rdata_, circuit.peek(wdata_));
+  } else {
+    circuit.poke(rdata_, storage_[address]);
+  }
+}
+
+void Ram::clockEdge(Circuit& circuit) {
+  if (circuit.peek(we_) != 0) {
+    const std::size_t address =
+        static_cast<std::size_t>(circuit.peek(addr_)) % storage_.size();
+    storage_[address] = circuit.peek(wdata_);
+  }
+}
+
+void Ram::load(std::size_t address, std::uint64_t value) {
+  RFSM_CHECK(address < storage_.size(), "RAM load address out of range");
+  storage_[address] = value;
+}
+
+std::uint64_t Ram::inspect(std::size_t address) const {
+  RFSM_CHECK(address < storage_.size(), "RAM inspect address out of range");
+  return storage_[address];
+}
+
+}  // namespace rfsm::rtl

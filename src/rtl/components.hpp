@@ -1,0 +1,92 @@
+// Primitive netlist components: mux, gates, register, RAM.
+//
+// The RAM models a Virtex-class embedded block RAM with combinational read
+// and synchronous write; read-during-write returns the new data
+// (WRITE_FIRST), which is what lets the Fig. 5 machine take a transition in
+// the same cycle it rewrites it.
+#pragma once
+
+#include <vector>
+
+#include "rtl/kernel.hpp"
+
+namespace rfsm::rtl {
+
+/// out = sel ? b : a  (2:1 multiplexer; IN-MUX / RST-MUX of Fig. 5).
+class Mux2 : public Component {
+ public:
+  Mux2(WireId sel, WireId a, WireId b, WireId out);
+  void evaluate(Circuit& circuit) override;
+
+ private:
+  WireId sel_, a_, b_, out_;
+};
+
+/// out = a | b.
+class Or2 : public Component {
+ public:
+  Or2(WireId a, WireId b, WireId out);
+  void evaluate(Circuit& circuit) override;
+
+ private:
+  WireId a_, b_, out_;
+};
+
+/// out = a & b.
+class And2 : public Component {
+ public:
+  And2(WireId a, WireId b, WireId out);
+  void evaluate(Circuit& circuit) override;
+
+ private:
+  WireId a_, b_, out_;
+};
+
+/// out = {hi, lo} (bit concatenation; builds RAM addresses).
+class Concat : public Component {
+ public:
+  /// `loWidth` = number of bits `lo` occupies at the bottom of `out`.
+  Concat(WireId hi, WireId lo, int loWidth, WireId out);
+  void evaluate(Circuit& circuit) override;
+
+ private:
+  WireId hi_, lo_, out_;
+  int loWidth_;
+};
+
+/// D flip-flop bank (ST-REG of Fig. 5): q <= d at the rising edge; optional
+/// enable wire (kNoWire = always enabled).
+class Register : public Component {
+ public:
+  Register(WireId d, WireId q, WireId enable = kNoWire,
+           std::uint64_t powerOnValue = 0);
+  void evaluate(Circuit& circuit) override;
+  void clockEdge(Circuit& circuit) override;
+
+ private:
+  WireId d_, q_, enable_;
+  std::uint64_t state_;
+};
+
+/// Single-port RAM: combinational read at `addr`, synchronous write of
+/// `wdata` when `we` is high (WRITE_FIRST read-during-write).
+class Ram : public Component {
+ public:
+  /// `addressWidth` fixes the depth to 2^addressWidth words.
+  Ram(int addressWidth, WireId addr, WireId we, WireId wdata, WireId rdata);
+
+  void evaluate(Circuit& circuit) override;
+  void clockEdge(Circuit& circuit) override;
+
+  /// Back-door access for initialization and verification (the FPGA
+  /// configuration port).
+  void load(std::size_t address, std::uint64_t value);
+  std::uint64_t inspect(std::size_t address) const;
+  std::size_t depth() const { return storage_.size(); }
+
+ private:
+  WireId addr_, we_, wdata_, rdata_;
+  std::vector<std::uint64_t> storage_;
+};
+
+}  // namespace rfsm::rtl

@@ -1,0 +1,30 @@
+#include "rtl/context_swap.hpp"
+
+#include "util/check.hpp"
+
+namespace rfsm::rtl {
+
+std::int64_t ContextSwapModel::downtimeCycles(
+    const MigrationContext& context) const {
+  RFSM_CHECK(wordsPerCycle >= 1, "port must write at least one word/cycle");
+  // The swap must install every cell of M''s domain: an F word and a G word
+  // per (input, state) cell.
+  const std::int64_t cells =
+      static_cast<std::int64_t>(context.targetMachine().stateCount()) *
+      context.targetMachine().inputCount();
+  const std::int64_t words = 2 * cells;
+  return (words + wordsPerCycle - 1) / wordsPerCycle + 1;  // + reset
+}
+
+DowntimeComparison compareDowntime(const MigrationContext& context,
+                                   const ReconfigurationProgram& program,
+                                   const ContextSwapModel& swap,
+                                   const BitstreamReloadModel& bitstream) {
+  DowntimeComparison result;
+  result.gradualCycles = program.length();
+  result.contextSwapCycles = swap.downtimeCycles(context);
+  result.bitstreamCycles = bitstream.downtimeCycles();
+  return result;
+}
+
+}  // namespace rfsm::rtl

@@ -1,0 +1,62 @@
+// Downtime models for the alternatives the paper argues against.
+//
+// "Contrary to context-swapping, a FSM implementation may be reconfigured
+// stepwise" (Conclusions).  This module quantifies the comparison:
+//
+//  * Gradual (this paper): downtime = |Z| cycles; the machine is a valid
+//    automaton at every intermediate step.
+//  * Context swap (multi-context FPGAs [8,13] / RAM reload [4,14]): stop
+//    the machine, rewrite the whole F-RAM/G-RAM image through the
+//    configuration port, reset.  Downtime ~ table cells / port width.
+//  * Full bitstream reconfiguration: reload the device configuration
+//    (XCV300 SelectMAP: ~1.75 Mbit at one byte per cycle).
+#pragma once
+
+#include <cstdint>
+
+#include "core/migration.hpp"
+#include "core/program.hpp"
+#include "rtl/encoding.hpp"
+
+namespace rfsm::rtl {
+
+/// RAM-reload context swap through a configuration port.
+struct ContextSwapModel {
+  /// RAM words (one F + one G entry count as two words) written per cycle.
+  int wordsPerCycle = 1;
+
+  /// Cycles to rewrite every cell of the target machine's domain, plus one
+  /// reset cycle.
+  std::int64_t downtimeCycles(const MigrationContext& context) const;
+};
+
+/// Full-device reconfiguration (Virtex XCV300, DS003: 1,751,808
+/// configuration bits; SelectMAP loads 8 bits per CCLK).
+struct BitstreamReloadModel {
+  std::int64_t bitstreamBits = 1751808;
+  int portBitsPerCycle = 8;
+
+  std::int64_t downtimeCycles() const {
+    return (bitstreamBits + portBitsPerCycle - 1) / portBitsPerCycle;
+  }
+};
+
+/// Side-by-side downtime of the three approaches for one migration.
+struct DowntimeComparison {
+  std::int64_t gradualCycles = 0;      // |Z|
+  std::int64_t contextSwapCycles = 0;  // RAM image reload
+  std::int64_t bitstreamCycles = 0;    // full device reload
+  /// Gradual reconfiguration additionally keeps the machine *live*
+  /// between programs; context swaps do not.
+  double gradualVsSwap() const {
+    return static_cast<double>(contextSwapCycles) /
+           static_cast<double>(gradualCycles);
+  }
+};
+
+DowntimeComparison compareDowntime(const MigrationContext& context,
+                                   const ReconfigurationProgram& program,
+                                   const ContextSwapModel& swap = {},
+                                   const BitstreamReloadModel& bitstream = {});
+
+}  // namespace rfsm::rtl

@@ -1,0 +1,191 @@
+#include "rtl/datapath.hpp"
+
+namespace rfsm::rtl {
+
+Reconfigurator::Reconfigurator(WireId start, WireId stateQ,
+                               WireId externalInput, WireId active, WireId ir,
+                               WireId hf, WireId hg, WireId write,
+                               WireId recReset)
+    : start_(start),
+      stateQ_(stateQ),
+      externalInput_(externalInput),
+      active_(active),
+      ir_(ir),
+      hf_(hf),
+      hg_(hg),
+      write_(write),
+      recReset_(recReset) {}
+
+void Reconfigurator::setRows(std::vector<EncodedRow> rows) {
+  RFSM_CHECK(step_ == 0, "cannot load rows while a sequence is playing");
+  rows_ = std::move(rows);
+}
+
+void Reconfigurator::setAutoTrigger(std::uint64_t stateValue,
+                                    std::uint64_t inputValue) {
+  autoTrigger_ = {stateValue, inputValue};
+}
+
+void Reconfigurator::evaluate(Circuit& circuit) {
+  if (step_ == 0) {
+    circuit.poke(active_, 0);
+    circuit.poke(ir_, 0);
+    circuit.poke(hf_, 0);
+    circuit.poke(hg_, 0);
+    circuit.poke(write_, 0);
+    circuit.poke(recReset_, 0);
+    return;
+  }
+  const EncodedRow& row = rows_[step_ - 1];
+  circuit.poke(active_, 1);
+  circuit.poke(ir_, row.ir);
+  circuit.poke(hf_, row.hf);
+  circuit.poke(hg_, row.hg);
+  circuit.poke(write_, row.write ? 1 : 0);
+  circuit.poke(recReset_, row.reset ? 1 : 0);
+}
+
+void Reconfigurator::clockEdge(Circuit& circuit) {
+  if (step_ > 0) {
+    step_ = step_ < rows_.size() ? step_ + 1 : 0;
+    return;
+  }
+  if (rows_.empty()) return;
+  if (circuit.peek(start_) != 0) {
+    step_ = 1;
+    return;
+  }
+  if (autoTrigger_.has_value() &&
+      circuit.peek(stateQ_) == autoTrigger_->first &&
+      circuit.peek(externalInput_) == autoTrigger_->second) {
+    step_ = 1;
+    autoTrigger_.reset();  // one-shot
+  }
+}
+
+ReconfigurableFsmDatapath::ReconfigurableFsmDatapath(
+    const MigrationContext& context)
+    : context_(context), encoding_(encodingFor(context)) {
+  const int wi = encoding_.inputWidth;
+  const int ws = encoding_.stateWidth;
+  const int wo = encoding_.outputWidth;
+
+  // Top-level ports.
+  extInput_ = circuit_.addWire(wi, "i");
+  reset_ = circuit_.addWire(1, "rst");
+  start_ = circuit_.addWire(1, "start");
+
+  // Reconfigurator nets.
+  const WireId recActive = circuit_.addWire(1, "rec_active");
+  const WireId ir = circuit_.addWire(wi, "ir");
+  const WireId hf = circuit_.addWire(ws, "hf");
+  const WireId hg = circuit_.addWire(wo, "hg");
+  const WireId recWrite = circuit_.addWire(1, "rec_write");
+  const WireId recReset = circuit_.addWire(1, "rec_reset");
+
+  // Datapath nets.
+  const WireId inMuxOut = circuit_.addWire(wi, "i_int");
+  stateQ_ = circuit_.addWire(ws, "s");
+  const WireId addr = circuit_.addWire(encoding_.addressWidth(), "addr");
+  const WireId fData = circuit_.addWire(ws, "s_next_ram");
+  output_ = circuit_.addWire(wo, "o");
+  const WireId we = circuit_.addWire(1, "we");
+  const WireId forceReset = circuit_.addWire(1, "force_reset");
+  const WireId resetVector = circuit_.addWire(ws, "reset_vector");
+  const WireId nextState = circuit_.addWire(ws, "s_next");
+
+  // The hardwired reset vector is the terminal state S0' (footnote 4).
+  circuit_.poke(resetVector,
+                static_cast<std::uint64_t>(context.targetReset()));
+
+  reconfigurator_ = circuit_.add<Reconfigurator>(
+      start_, stateQ_, extInput_, recActive, ir, hf, hg, recWrite, recReset);
+  // IN-MUX: normal mode selects the external input, reconfiguration mode
+  // the Reconfigurator's ir (H_i).
+  circuit_.add<Mux2>(recActive, extInput_, ir, inMuxOut);
+  // RAM address = {s, i'} (Fig. 5: addresses depend on i/ir and s).
+  circuit_.add<Concat>(stateQ_, inMuxOut, wi, addr);
+  circuit_.add<And2>(recActive, recWrite, we);
+  fram_ = circuit_.add<Ram>(encoding_.addressWidth(), addr, we, hf, fData);
+  gram_ = circuit_.add<Ram>(encoding_.addressWidth(), addr, we, hg, output_);
+  // RST-MUX: external reset or a reconfiguration reset row forces S0'.
+  circuit_.add<Or2>(reset_, recReset, forceReset);
+  circuit_.add<Mux2>(forceReset, fData, resetVector, nextState);
+  // ST-REG: powers on in M's reset state.
+  circuit_.add<Register>(nextState, stateQ_, kNoWire,
+                         static_cast<std::uint64_t>(context.sourceReset()));
+
+  // Initialize F-RAM/G-RAM with the source machine M.
+  const MutableMachine initial(context);
+  for (SymbolId s = 0; s < context.states().size(); ++s) {
+    for (SymbolId i = 0; i < context.inputs().size(); ++i) {
+      if (!initial.isSpecified(i, s)) continue;
+      const auto address =
+          static_cast<std::size_t>(encoding_.packAddress(s, i));
+      fram_->load(address, static_cast<std::uint64_t>(initial.next(i, s)));
+      gram_->load(address, static_cast<std::uint64_t>(initial.output(i, s)));
+    }
+  }
+  circuit_.settle();
+}
+
+void ReconfigurableFsmDatapath::loadSequence(
+    const ReconfigurationSequence& sequence) {
+  std::vector<Reconfigurator::EncodedRow> rows;
+  rows.reserve(sequence.rows.size());
+  for (const SequenceRow& row : sequence.rows) {
+    Reconfigurator::EncodedRow encoded;
+    encoded.ir = row.ir == kNoSymbol ? 0 : static_cast<std::uint64_t>(row.ir);
+    encoded.hf = row.hf == kNoSymbol ? 0 : static_cast<std::uint64_t>(row.hf);
+    encoded.hg = row.hg == kNoSymbol ? 0 : static_cast<std::uint64_t>(row.hg);
+    encoded.write = row.write;
+    encoded.reset = row.reset;
+    rows.push_back(encoded);
+  }
+  reconfigurator_->setRows(std::move(rows));
+}
+
+void ReconfigurableFsmDatapath::startReconfiguration() {
+  circuit_.poke(start_, 1);
+}
+
+void ReconfigurableFsmDatapath::armSelfTrigger(SymbolId state,
+                                               SymbolId input) {
+  reconfigurator_->setAutoTrigger(static_cast<std::uint64_t>(state),
+                                  static_cast<std::uint64_t>(input));
+}
+
+std::uint64_t ReconfigurableFsmDatapath::clock(SymbolId externalInput,
+                                               bool externalReset) {
+  RFSM_CHECK(context_.inputs().contains(externalInput),
+             "external input out of range");
+  circuit_.poke(extInput_, static_cast<std::uint64_t>(externalInput));
+  circuit_.poke(reset_, externalReset ? 1 : 0);
+  circuit_.settle();
+  const std::uint64_t out = circuit_.peek(output_);
+  circuit_.step();
+  circuit_.poke(start_, 0);  // start is a single-cycle pulse
+  return out;
+}
+
+SymbolId ReconfigurableFsmDatapath::currentState() const {
+  return static_cast<SymbolId>(circuit_.peek(stateQ_));
+}
+
+SymbolId ReconfigurableFsmDatapath::outputSymbol(std::uint64_t raw) const {
+  return static_cast<SymbolId>(raw);
+}
+
+SymbolId ReconfigurableFsmDatapath::framEntry(SymbolId input,
+                                              SymbolId state) const {
+  return static_cast<SymbolId>(fram_->inspect(
+      static_cast<std::size_t>(encoding_.packAddress(state, input))));
+}
+
+SymbolId ReconfigurableFsmDatapath::gramEntry(SymbolId input,
+                                              SymbolId state) const {
+  return static_cast<SymbolId>(gram_->inspect(
+      static_cast<std::size_t>(encoding_.packAddress(state, input))));
+}
+
+}  // namespace rfsm::rtl

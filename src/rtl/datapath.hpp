@@ -1,0 +1,117 @@
+// The Fig. 5 hardware implementation of a (self-)reconfigurable FSM.
+//
+//        +--------------+   ir,Hf,Hg,write,rec  +--------+
+//   r -> | Reconfigurator|---------------------->|        |
+//        +--------------+                        |        |
+//   i -> IN-MUX -> {s,i'} addr -> F-RAM -> RST-MUX -> ST-REG -> s
+//                          addr -> G-RAM -> o
+//
+// The Reconfigurator block realizes H_i, H_f, H_g of Def. 2.2 and the two
+// extra signals (write enable and reconfiguration-reset) of the paper.  The
+// datapath is technology independent: the reconfiguration sequence operates
+// on symbol encodings, never on placement/routing-level bitstreams — the
+// advantage the paper claims over bitstream-generating approaches.
+#pragma once
+
+#include <optional>
+
+#include "core/migration.hpp"
+#include "core/mutable_machine.hpp"
+#include "core/sequence.hpp"
+#include "rtl/components.hpp"
+#include "rtl/encoding.hpp"
+#include "rtl/kernel.hpp"
+
+namespace rfsm::rtl {
+
+/// The Reconfigurator block: plays a loaded reconfiguration sequence, one
+/// row per cycle, when started (externally or by the self-trigger).
+class Reconfigurator : public Component {
+ public:
+  struct EncodedRow {
+    std::uint64_t ir = 0;
+    std::uint64_t hf = 0;
+    std::uint64_t hg = 0;
+    bool write = false;
+    bool reset = false;
+  };
+
+  Reconfigurator(WireId start, WireId stateQ, WireId externalInput,
+                 WireId active, WireId ir, WireId hf, WireId hg, WireId write,
+                 WireId recReset);
+
+  void setRows(std::vector<EncodedRow> rows);
+
+  /// Arms self-reconfiguration: when idle and the observed state/input
+  /// match, the sequence starts autonomously (one-shot).
+  void setAutoTrigger(std::uint64_t stateValue, std::uint64_t inputValue);
+
+  bool active() const { return step_ > 0; }
+
+  void evaluate(Circuit& circuit) override;
+  void clockEdge(Circuit& circuit) override;
+
+ private:
+  WireId start_, stateQ_, externalInput_;
+  WireId active_, ir_, hf_, hg_, write_, recReset_;
+  std::vector<EncodedRow> rows_;
+  std::size_t step_ = 0;  // 0 = idle, k>0 = playing row k-1
+  std::optional<std::pair<std::uint64_t, std::uint64_t>> autoTrigger_;
+};
+
+/// The complete Fig. 5 datapath for one migration context.
+class ReconfigurableFsmDatapath {
+ public:
+  /// Builds the netlist, sizes F-RAM/G-RAM for the superset alphabets, and
+  /// initializes them with the source machine M (unwritten cells hold 0,
+  /// like uninitialized block RAM).  Powers on in M's reset state.
+  explicit ReconfigurableFsmDatapath(const MigrationContext& context);
+
+  const FsmEncoding& encoding() const { return encoding_; }
+
+  /// Loads a reconfiguration sequence into the Reconfigurator.
+  void loadSequence(const ReconfigurationSequence& sequence);
+
+  /// Requests the sequence to start at the next clock edge.
+  void startReconfiguration();
+
+  /// Arms the hardware self-trigger on (state, external input).
+  void armSelfTrigger(SymbolId state, SymbolId input);
+
+  /// One clock cycle with the given external input (and optional external
+  /// reset).  Returns the value on the output port o (decode with
+  /// outputSymbol()).
+  std::uint64_t clock(SymbolId externalInput, bool externalReset = false);
+
+  /// True while the Reconfigurator is playing a sequence.
+  bool reconfiguring() const { return reconfigurator_->active(); }
+
+  /// Current state register value as a symbol id.
+  SymbolId currentState() const;
+
+  /// Decodes the output port value of the last clock() call.
+  SymbolId outputSymbol(std::uint64_t raw) const;
+
+  /// Back-door RAM inspection (superset ids).
+  SymbolId framEntry(SymbolId input, SymbolId state) const;
+  SymbolId gramEntry(SymbolId input, SymbolId state) const;
+
+  std::int64_t cycleCount() const { return circuit_.cycleCount(); }
+
+  /// Read access to the underlying netlist (e.g. to attach a VcdRecorder).
+  const Circuit& circuit() const { return circuit_; }
+
+ private:
+  const MigrationContext& context_;
+  FsmEncoding encoding_;
+  Circuit circuit_;
+  // Top-level ports.
+  WireId extInput_, reset_, start_;
+  // Internal nets (kept for inspection).
+  WireId stateQ_, output_;
+  Ram* fram_ = nullptr;
+  Ram* gram_ = nullptr;
+  Reconfigurator* reconfigurator_ = nullptr;
+};
+
+}  // namespace rfsm::rtl

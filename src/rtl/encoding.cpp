@@ -1,0 +1,58 @@
+#include "rtl/encoding.hpp"
+
+#include "rtl/kernel.hpp"
+
+namespace rfsm::rtl {
+
+FsmEncoding encodingFor(const MigrationContext& context) {
+  FsmEncoding e;
+  e.stateWidth = bitWidthFor(context.states().size());
+  e.inputWidth = bitWidthFor(context.inputs().size());
+  e.outputWidth = bitWidthFor(context.outputs().size());
+  return e;
+}
+
+FsmEncoding encodingFor(const Machine& machine) {
+  FsmEncoding e;
+  e.stateWidth = bitWidthFor(machine.stateCount());
+  e.inputWidth = bitWidthFor(machine.inputCount());
+  e.outputWidth = bitWidthFor(machine.outputCount());
+  return e;
+}
+
+StateCodeMap assignStateCodes(int stateCount, StateEncoding strategy) {
+  RFSM_CHECK(stateCount >= 1, "need at least one state");
+  StateCodeMap map;
+  map.strategy = strategy;
+  switch (strategy) {
+    case StateEncoding::kBinary:
+      map.width = bitWidthFor(stateCount);
+      for (int s = 0; s < stateCount; ++s)
+        map.codes.push_back(static_cast<std::uint64_t>(s));
+      break;
+    case StateEncoding::kGray:
+      map.width = bitWidthFor(stateCount);
+      for (int s = 0; s < stateCount; ++s)
+        map.codes.push_back(static_cast<std::uint64_t>(s) ^
+                            (static_cast<std::uint64_t>(s) >> 1));
+      break;
+    case StateEncoding::kOneHot:
+      RFSM_CHECK(stateCount <= 64, "one-hot limited to 64 states");
+      map.width = stateCount;
+      for (int s = 0; s < stateCount; ++s)
+        map.codes.push_back(std::uint64_t{1} << s);
+      break;
+  }
+  return map;
+}
+
+const char* toString(StateEncoding strategy) {
+  switch (strategy) {
+    case StateEncoding::kBinary: return "binary";
+    case StateEncoding::kGray: return "gray";
+    case StateEncoding::kOneHot: return "one-hot";
+  }
+  return "?";
+}
+
+}  // namespace rfsm::rtl

@@ -1,0 +1,65 @@
+// Binary encodings of FSM alphabets for the hardware datapath.
+//
+// Symbol ids are encoded as unsigned binary vectors; the F-RAM/G-RAM
+// address is the concatenation {state, input} exactly as in Fig. 5 (the
+// address of the memory blocks depends on the input i/ir and the current
+// state s).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/migration.hpp"
+#include "fsm/machine.hpp"
+
+namespace rfsm::rtl {
+
+/// Bit widths and address packing for one (reconfigurable) FSM.
+struct FsmEncoding {
+  int stateWidth = 1;
+  int inputWidth = 1;
+  int outputWidth = 1;
+
+  /// Address width of F-RAM and G-RAM.
+  int addressWidth() const { return stateWidth + inputWidth; }
+
+  /// {state, input} -> RAM address.
+  std::uint64_t packAddress(SymbolId state, SymbolId input) const {
+    return (static_cast<std::uint64_t>(state) << inputWidth) |
+           static_cast<std::uint64_t>(input);
+  }
+};
+
+/// Encoding sized for the superset alphabets of a migration (both M and M'
+/// must fit in the same RAMs for gradual reconfiguration to work).
+FsmEncoding encodingFor(const MigrationContext& context);
+
+/// Encoding sized for a single machine.
+FsmEncoding encodingFor(const Machine& machine);
+
+/// State-code assignment strategy.  The RAM-based Fig. 5 design wants the
+/// densest code (binary) because the state feeds the RAM *address*; logic
+/// implementations often prefer one-hot (simpler next-state terms).
+enum class StateEncoding { kBinary, kGray, kOneHot };
+
+/// A concrete code assignment: codes[stateId] = encoded register value.
+struct StateCodeMap {
+  StateEncoding strategy = StateEncoding::kBinary;
+  int width = 1;
+  std::vector<std::uint64_t> codes;
+
+  std::uint64_t codeOf(SymbolId state) const {
+    return codes[static_cast<std::size_t>(state)];
+  }
+};
+
+/// Assigns codes to `stateCount` states:
+///   binary — code i = i (width ceil(log2 n));
+///   gray   — code i = i ^ (i >> 1) (same width, adjacent ids differ in one
+///            bit, minimizing register toggles on counter-like machines);
+///   one-hot— code i = 1 << i (width n).
+StateCodeMap assignStateCodes(int stateCount, StateEncoding strategy);
+
+const char* toString(StateEncoding strategy);
+
+}  // namespace rfsm::rtl

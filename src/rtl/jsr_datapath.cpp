@@ -1,0 +1,85 @@
+#include "rtl/jsr_datapath.hpp"
+
+namespace rfsm::rtl {
+
+JsrDatapath::JsrDatapath(const MigrationContext& context)
+    : context_(context), encoding_(encodingFor(context)) {
+  const int wi = encoding_.inputWidth;
+  const int ws = encoding_.stateWidth;
+  const int wo = encoding_.outputWidth;
+
+  extInput_ = circuit_.addWire(wi, "i");
+  reset_ = circuit_.addWire(1, "rst");
+  start_ = circuit_.addWire(1, "start");
+  const WireId recActive = circuit_.addWire(1, "rec_active");
+  const WireId ir = circuit_.addWire(wi, "ir");
+  const WireId hf = circuit_.addWire(ws, "hf");
+  const WireId hg = circuit_.addWire(wo, "hg");
+  const WireId recWrite = circuit_.addWire(1, "rec_write");
+  const WireId recReset = circuit_.addWire(1, "rec_reset");
+  const WireId inMuxOut = circuit_.addWire(wi, "i_int");
+  stateQ_ = circuit_.addWire(ws, "s");
+  const WireId addr = circuit_.addWire(encoding_.addressWidth(), "addr");
+  const WireId fData = circuit_.addWire(ws, "s_next_ram");
+  output_ = circuit_.addWire(wo, "o");
+  const WireId we = circuit_.addWire(1, "we");
+  const WireId forceReset = circuit_.addWire(1, "force_reset");
+  const WireId resetVector = circuit_.addWire(ws, "reset_vector");
+  const WireId nextState = circuit_.addWire(ws, "s_next");
+
+  const SymbolId i0 = context.liftTargetInput(0);
+  const SymbolId s0 = context.targetReset();
+  circuit_.poke(resetVector, static_cast<std::uint64_t>(s0));
+
+  sequencer_ = circuit_.add<JsrSequencer>(
+      start_, recActive, ir, hf, hg, recWrite, recReset,
+      static_cast<std::uint64_t>(i0),
+      static_cast<std::uint64_t>(context.targetNext(i0, s0)),
+      static_cast<std::uint64_t>(context.targetOutput(i0, s0)));
+  sequencer_->setDeltas(deltaListFor(context, i0));
+
+  circuit_.add<Mux2>(recActive, extInput_, ir, inMuxOut);
+  circuit_.add<Concat>(stateQ_, inMuxOut, wi, addr);
+  circuit_.add<And2>(recActive, recWrite, we);
+  fram_ = circuit_.add<Ram>(encoding_.addressWidth(), addr, we, hf, fData);
+  gram_ = circuit_.add<Ram>(encoding_.addressWidth(), addr, we, hg, output_);
+  circuit_.add<Or2>(reset_, recReset, forceReset);
+  circuit_.add<Mux2>(forceReset, fData, resetVector, nextState);
+  circuit_.add<Register>(nextState, stateQ_, kNoWire,
+                         static_cast<std::uint64_t>(context.sourceReset()));
+
+  const MutableMachine initial(context);
+  for (SymbolId s = 0; s < context.states().size(); ++s)
+    for (SymbolId i = 0; i < context.inputs().size(); ++i) {
+      if (!initial.isSpecified(i, s)) continue;
+      const auto address =
+          static_cast<std::size_t>(encoding_.packAddress(s, i));
+      fram_->load(address, static_cast<std::uint64_t>(initial.next(i, s)));
+      gram_->load(address, static_cast<std::uint64_t>(initial.output(i, s)));
+    }
+  circuit_.settle();
+}
+
+std::uint64_t JsrDatapath::clock(SymbolId externalInput, bool externalReset) {
+  RFSM_CHECK(context_.inputs().contains(externalInput),
+             "external input out of range");
+  circuit_.poke(extInput_, static_cast<std::uint64_t>(externalInput));
+  circuit_.poke(reset_, externalReset ? 1 : 0);
+  circuit_.settle();
+  const std::uint64_t out = circuit_.peek(output_);
+  circuit_.step();
+  circuit_.poke(start_, 0);
+  return out;
+}
+
+SymbolId JsrDatapath::framEntry(SymbolId input, SymbolId state) const {
+  return static_cast<SymbolId>(fram_->inspect(
+      static_cast<std::size_t>(encoding_.packAddress(state, input))));
+}
+
+SymbolId JsrDatapath::gramEntry(SymbolId input, SymbolId state) const {
+  return static_cast<SymbolId>(gram_->inspect(
+      static_cast<std::size_t>(encoding_.packAddress(state, input))));
+}
+
+}  // namespace rfsm::rtl

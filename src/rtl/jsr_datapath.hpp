@@ -1,0 +1,55 @@
+// Fig. 5 datapath driven by the on-chip JSR sequencer.
+//
+// Identical to ReconfigurableFsmDatapath except the Reconfigurator block:
+// instead of playing a precomputed sequence ROM it holds the compact delta
+// list and generates the jump/set/return control words itself — the device
+// needs only |Td| table entries from the outside world to morph into M'.
+#pragma once
+
+#include "core/migration.hpp"
+#include "core/mutable_machine.hpp"
+#include "rtl/components.hpp"
+#include "rtl/encoding.hpp"
+#include "rtl/jsr_sequencer.hpp"
+#include "rtl/kernel.hpp"
+
+namespace rfsm::rtl {
+
+/// The self-sequencing variant of the Fig. 5 implementation.
+class JsrDatapath {
+ public:
+  /// Builds the netlist, initializes F-RAM/G-RAM with M, and loads the
+  /// delta list of the migration into the sequencer.
+  explicit JsrDatapath(const MigrationContext& context);
+
+  const FsmEncoding& encoding() const { return encoding_; }
+
+  /// Requests the JSR run to start at the next clock edge.
+  void startReconfiguration() { circuit_.poke(start_, 1); }
+
+  /// One clock cycle with the given external input; returns the output
+  /// port value.
+  std::uint64_t clock(SymbolId externalInput, bool externalReset = false);
+
+  bool reconfiguring() const { return sequencer_->active(); }
+
+  /// Total cycles one full JSR run takes (1 + 3|deltas| + 2).
+  int sequenceLength() const { return sequencer_->sequenceLength(); }
+
+  SymbolId currentState() const {
+    return static_cast<SymbolId>(circuit_.peek(stateQ_));
+  }
+  SymbolId framEntry(SymbolId input, SymbolId state) const;
+  SymbolId gramEntry(SymbolId input, SymbolId state) const;
+
+ private:
+  const MigrationContext& context_;
+  FsmEncoding encoding_;
+  Circuit circuit_;
+  WireId extInput_, reset_, start_, stateQ_, output_;
+  Ram* fram_ = nullptr;
+  Ram* gram_ = nullptr;
+  JsrSequencer* sequencer_ = nullptr;
+};
+
+}  // namespace rfsm::rtl

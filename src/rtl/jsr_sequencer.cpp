@@ -1,0 +1,116 @@
+#include "rtl/jsr_sequencer.hpp"
+
+namespace rfsm::rtl {
+
+JsrSequencer::JsrSequencer(WireId start, WireId active, WireId ir, WireId hf,
+                           WireId hg, WireId write, WireId recReset,
+                           std::uint64_t tempInput,
+                           std::uint64_t tempTargetHf,
+                           std::uint64_t tempTargetHg)
+    : start_(start),
+      active_(active),
+      ir_(ir),
+      hf_(hf),
+      hg_(hg),
+      write_(write),
+      recReset_(recReset),
+      tempInput_(tempInput),
+      tempTargetHf_(tempTargetHf),
+      tempTargetHg_(tempTargetHg) {}
+
+void JsrSequencer::setDeltas(std::vector<DeltaEntry> deltas) {
+  RFSM_CHECK(phase_ == Phase::kIdle,
+             "cannot load deltas while a run is active");
+  deltas_ = std::move(deltas);
+}
+
+void JsrSequencer::evaluate(Circuit& circuit) {
+  // Defaults: inactive.
+  std::uint64_t active = phase_ != Phase::kIdle;
+  std::uint64_t ir = 0, hf = 0, hg = 0, write = 0, reset = 0;
+  switch (phase_) {
+    case Phase::kIdle:
+      break;
+    case Phase::kLeadReset:
+    case Phase::kReturn:
+    case Phase::kTailReset:
+      reset = 1;
+      break;
+    case Phase::kJump:
+      // Temporary transition (i0, S0') -> delta source.
+      ir = tempInput_;
+      hf = deltas_[index_].source;
+      hg = tempTargetHg_;  // output value is a don't care
+      write = 1;
+      break;
+    case Phase::kSet:
+      ir = deltas_[index_].ir;
+      hf = deltas_[index_].hf;
+      hg = deltas_[index_].hg;
+      write = 1;
+      break;
+    case Phase::kTail:
+      // Repair the temporary cell to its final M' contents.
+      ir = tempInput_;
+      hf = tempTargetHf_;
+      hg = tempTargetHg_;
+      write = 1;
+      break;
+  }
+  circuit.poke(active_, active);
+  circuit.poke(ir_, ir);
+  circuit.poke(hf_, hf);
+  circuit.poke(hg_, hg);
+  circuit.poke(write_, write);
+  circuit.poke(recReset_, reset);
+}
+
+void JsrSequencer::clockEdge(Circuit& circuit) {
+  switch (phase_) {
+    case Phase::kIdle:
+      if (circuit.peek(start_) != 0) {
+        index_ = 0;
+        phase_ = Phase::kLeadReset;
+      }
+      break;
+    case Phase::kLeadReset:
+      phase_ = deltas_.empty() ? Phase::kTail : Phase::kJump;
+      break;
+    case Phase::kJump:
+      phase_ = Phase::kSet;
+      break;
+    case Phase::kSet:
+      phase_ = Phase::kReturn;
+      break;
+    case Phase::kReturn:
+      ++index_;
+      phase_ = index_ < deltas_.size() ? Phase::kJump : Phase::kTail;
+      break;
+    case Phase::kTail:
+      phase_ = Phase::kTailReset;
+      break;
+    case Phase::kTailReset:
+      phase_ = Phase::kIdle;
+      break;
+  }
+}
+
+std::vector<DeltaEntry> deltaListFor(const MigrationContext& context,
+                                     SymbolId tempInput) {
+  const SymbolId i0 = tempInput == kNoSymbol ? context.liftTargetInput(0)
+                                             : tempInput;
+  RFSM_CHECK(context.inTargetInputs(i0),
+             "temporary input must be an input of M'");
+  const SymbolId s0 = context.targetReset();
+  std::vector<DeltaEntry> list;
+  for (const Transition& td : context.deltaTransitions()) {
+    if (td.input == i0 && td.from == s0) continue;  // fixed by the tail
+    list.push_back(DeltaEntry{static_cast<std::uint64_t>(td.input),
+                              static_cast<std::uint64_t>(td.to),
+                              static_cast<std::uint64_t>(td.output),
+                              static_cast<std::uint64_t>(td.from)});
+  }
+  return list;
+}
+
+}  // namespace rfsm::rtl

@@ -1,0 +1,67 @@
+// On-chip JSR sequencing: self-reconfiguration without a precomputed
+// sequence ROM.
+//
+// The basic Fig. 5 Reconfigurator plays back a sequence computed off-chip.
+// Because the JSR heuristic (Sec. 4.4) is so regular — reset, jump, set,
+// return, repeated per delta, plus a fixed tail — it also fits in a few
+// gates: this component stores only the compact *delta list*
+// (ir, hf, hg per delta transition) and generates the jump/set/return
+// control words with a two-bit phase FSM.  The chip thereby computes its
+// own reconfiguration sequence from 3 words per delta instead of 3 rows
+// per cycle: the strongest form of "self"-reconfiguration the paper's
+// architecture admits.
+#pragma once
+
+#include <vector>
+
+#include "core/migration.hpp"
+#include "rtl/kernel.hpp"
+
+namespace rfsm::rtl {
+
+/// One entry of the on-chip delta list.
+struct DeltaEntry {
+  std::uint64_t ir;  // input of the delta cell (H_i during the SET phase)
+  std::uint64_t hf;  // new next state (H_f)
+  std::uint64_t hg;  // new output (H_g)
+  std::uint64_t source;  // delta source state (jump target of the TEMP phase)
+};
+
+/// Hardware JSR sequencer; drop-in replacement for the sequence-ROM
+/// Reconfigurator (same output wires).
+class JsrSequencer : public Component {
+ public:
+  JsrSequencer(WireId start, WireId active, WireId ir, WireId hf, WireId hg,
+               WireId write, WireId recReset, std::uint64_t tempInput,
+               std::uint64_t tempTargetHf, std::uint64_t tempTargetHg);
+
+  /// Loads the delta list (idle only).
+  void setDeltas(std::vector<DeltaEntry> deltas);
+
+  bool active() const { return phase_ != Phase::kIdle; }
+
+  /// Cycles a full run takes: 1 (lead reset) + 3 per delta + 2 (tail).
+  int sequenceLength() const {
+    return 1 + 3 * static_cast<int>(deltas_.size()) + 2;
+  }
+
+  void evaluate(Circuit& circuit) override;
+  void clockEdge(Circuit& circuit) override;
+
+ private:
+  enum class Phase { kIdle, kLeadReset, kJump, kSet, kReturn, kTail,
+                     kTailReset };
+
+  WireId start_, active_, ir_, hf_, hg_, write_, recReset_;
+  std::uint64_t tempInput_, tempTargetHf_, tempTargetHg_;
+  std::vector<DeltaEntry> deltas_;
+  Phase phase_ = Phase::kIdle;
+  std::size_t index_ = 0;
+};
+
+/// Builds the delta list for a migration (the JSR loop deltas, i.e. all of
+/// T_d except the one living in the temporary cell, which the tail fixes).
+std::vector<DeltaEntry> deltaListFor(const MigrationContext& context,
+                                     SymbolId tempInput = kNoSymbol);
+
+}  // namespace rfsm::rtl

@@ -1,0 +1,75 @@
+#include "rtl/kernel.hpp"
+
+namespace rfsm::rtl {
+
+void Component::clockEdge(Circuit&) {}
+
+WireId Circuit::addWire(int width, std::string name) {
+  RFSM_CHECK(width >= 1 && width <= 64, "wire width must be 1..64");
+  wires_.push_back(WireInfo{width, 0, std::move(name)});
+  return static_cast<WireId>(wires_.size()) - 1;
+}
+
+int Circuit::wireWidth(WireId wire) const {
+  RFSM_CHECK(wire >= 0 && wire < static_cast<WireId>(wires_.size()),
+             "wire id out of range");
+  return wires_[static_cast<std::size_t>(wire)].width;
+}
+
+const std::string& Circuit::wireName(WireId wire) const {
+  RFSM_CHECK(wire >= 0 && wire < static_cast<WireId>(wires_.size()),
+             "wire id out of range");
+  return wires_[static_cast<std::size_t>(wire)].name;
+}
+
+std::uint64_t Circuit::mask(WireId wire) const {
+  const int width = wireWidth(wire);
+  return width == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+}
+
+void Circuit::poke(WireId wire, std::uint64_t value) {
+  wires_[static_cast<std::size_t>(wire)].value = value & mask(wire);
+}
+
+std::uint64_t Circuit::peek(WireId wire) const {
+  RFSM_CHECK(wire >= 0 && wire < static_cast<WireId>(wires_.size()),
+             "wire id out of range");
+  return wires_[static_cast<std::size_t>(wire)].value;
+}
+
+void Circuit::settle() {
+  // A pass count of #components + 2 is enough for any acyclic netlist;
+  // exceeding it means a combinational loop.
+  const std::size_t maxPasses = components_.size() + 2;
+  for (std::size_t pass = 0; pass < maxPasses; ++pass) {
+    std::vector<std::uint64_t> before;
+    before.reserve(wires_.size());
+    for (const WireInfo& w : wires_) before.push_back(w.value);
+    for (auto& component : components_) component->evaluate(*this);
+    bool changed = false;
+    for (std::size_t w = 0; w < wires_.size(); ++w) {
+      if (wires_[w].value != before[w]) {
+        changed = true;
+        break;
+      }
+    }
+    if (!changed) return;
+  }
+  throw RtlError("circuit does not settle: combinational loop");
+}
+
+void Circuit::step() {
+  settle();
+  for (auto& component : components_) component->clockEdge(*this);
+  settle();
+  ++cycles_;
+}
+
+int bitWidthFor(int count) {
+  RFSM_CHECK(count >= 1, "cannot encode an empty value set");
+  int width = 1;
+  while ((std::int64_t{1} << width) < count) ++width;
+  return width;
+}
+
+}  // namespace rfsm::rtl

@@ -1,0 +1,103 @@
+// A small cycle-accurate RTL simulation kernel.
+//
+// The paper's implementation section (Fig. 5) is an architecture, not an
+// algorithm, so we reproduce it as a bit-true, cycle-true netlist simulation
+// (DESIGN.md substitution table: simulator in place of the Virtex XCV300).
+//
+// Model: a Circuit owns wires (width-masked 64-bit values) and components.
+// Each clock cycle is settle (combinational evaluation to fixpoint) ->
+// clockEdge (sequential state capture) -> settle.  Combinational loops are
+// detected and rejected.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace rfsm::rtl {
+
+/// Dense handle of a wire within a Circuit.
+using WireId = int;
+
+/// Sentinel for optional wires.
+inline constexpr WireId kNoWire = -1;
+
+class Circuit;
+
+/// Base class of all netlist components.
+class Component {
+ public:
+  virtual ~Component() = default;
+  /// Combinational behaviour: read input wires, drive output wires.  Called
+  /// repeatedly until the circuit settles; must be idempotent.
+  virtual void evaluate(Circuit& circuit) = 0;
+  /// Sequential behaviour at the rising clock edge (default: none).
+  virtual void clockEdge(Circuit& circuit);
+};
+
+/// Thrown when the netlist cannot settle (combinational loop).
+class RtlError : public Error {
+ public:
+  explicit RtlError(const std::string& what) : Error(what) {}
+};
+
+/// A flat netlist with an implicit single clock.
+class Circuit {
+ public:
+  Circuit() = default;
+  Circuit(const Circuit&) = delete;
+  Circuit& operator=(const Circuit&) = delete;
+
+  /// Adds a wire of `width` bits (1..64); initial value 0.
+  WireId addWire(int width, std::string name);
+
+  int wireWidth(WireId wire) const;
+  const std::string& wireName(WireId wire) const;
+  int wireCount() const { return static_cast<int>(wires_.size()); }
+
+  /// Drives a wire from outside the netlist (top-level input).
+  void poke(WireId wire, std::uint64_t value);
+
+  /// Reads a wire's current value.
+  std::uint64_t peek(WireId wire) const;
+
+  /// Adds and owns a component; returns a non-owning pointer.
+  template <typename T, typename... Args>
+  T* add(Args&&... args) {
+    auto component = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = component.get();
+    components_.push_back(std::move(component));
+    return raw;
+  }
+
+  /// Combinational settle: evaluates all components until no wire changes.
+  /// Throws RtlError after too many passes (combinational loop).
+  void settle();
+
+  /// One full clock cycle: settle, rising edge, settle.
+  void step();
+
+  /// Number of step() calls so far.
+  std::int64_t cycleCount() const { return cycles_; }
+
+ private:
+  struct WireInfo {
+    int width = 1;
+    std::uint64_t value = 0;
+    std::string name;
+  };
+
+  std::uint64_t mask(WireId wire) const;
+
+  std::vector<WireInfo> wires_;
+  std::vector<std::unique_ptr<Component>> components_;
+  std::int64_t cycles_ = 0;
+};
+
+/// Width (bits) needed to encode `count` distinct values; at least 1.
+int bitWidthFor(int count);
+
+}  // namespace rfsm::rtl

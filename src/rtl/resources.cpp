@@ -1,0 +1,63 @@
+#include "rtl/resources.hpp"
+
+#include <sstream>
+
+#include "rtl/kernel.hpp"
+
+namespace rfsm::rtl {
+
+ResourceEstimate estimateResources(const MigrationContext& context,
+                                   const ReconfigurationSequence& sequence) {
+  ResourceEstimate e;
+  e.encoding = encodingFor(context);
+
+  const std::int64_t words = std::int64_t{1} << e.encoding.addressWidth();
+  e.framBits = words * e.encoding.stateWidth;
+  e.gramBits = words * e.encoding.outputWidth;
+  auto blocksFor = [](std::int64_t bits) {
+    return static_cast<int>((bits + Xcv300::kBlockRamBits - 1) /
+                            Xcv300::kBlockRamBits);
+  };
+  e.blockRams = blocksFor(e.framBits) + blocksFor(e.gramBits);
+
+  const int rowWidth = e.encoding.inputWidth + e.encoding.stateWidth +
+                       e.encoding.outputWidth + 2;  // + write + reset
+  e.sequenceRomBits = static_cast<std::int64_t>(sequence.length()) * rowWidth;
+
+  // LUT model: the sequence ROM maps to 16x1 distributed RAMs (one 4-LUT
+  // per 16 bits); the step counter needs ~1 LUT/bit for increment+wrap; the
+  // IN-MUX and RST-MUX need one LUT per routed bit; write gating one LUT.
+  const int stepBits = bitWidthFor(sequence.length() + 1);
+  const int romLuts =
+      static_cast<int>((e.sequenceRomBits + 15) / 16);
+  const int counterLuts = stepBits;
+  const int muxLuts = e.encoding.inputWidth + e.encoding.stateWidth;
+  e.luts = romLuts + counterLuts + muxLuts + 1;
+
+  e.flipFlops = e.encoding.stateWidth + stepBits;
+  const int sliceByLut =
+      (e.luts + Xcv300::kLutsPerSlice - 1) / Xcv300::kLutsPerSlice;
+  const int sliceByFf =
+      (e.flipFlops + Xcv300::kFlipFlopsPerSlice - 1) /
+      Xcv300::kFlipFlopsPerSlice;
+  e.slices = sliceByLut > sliceByFf ? sliceByLut : sliceByFf;
+
+  e.fitsXcv300 =
+      e.blockRams <= Xcv300::kBlockRams && e.slices <= Xcv300::kSlices;
+  return e;
+}
+
+std::string describeEstimate(const ResourceEstimate& e) {
+  std::ostringstream os;
+  os << "encoding: state " << e.encoding.stateWidth << "b, input "
+     << e.encoding.inputWidth << "b, output " << e.encoding.outputWidth
+     << "b\n";
+  os << "F-RAM " << e.framBits << " bits, G-RAM " << e.gramBits
+     << " bits -> " << e.blockRams << " BlockRAM(s)\n";
+  os << "sequence ROM " << e.sequenceRomBits << " bits, " << e.luts
+     << " LUTs, " << e.flipFlops << " FFs -> " << e.slices << " slice(s)\n";
+  os << "fits XCV300: " << (e.fitsXcv300 ? "yes" : "no") << "\n";
+  return os.str();
+}
+
+}  // namespace rfsm::rtl

@@ -1,0 +1,61 @@
+// FPGA resource model for the Fig. 5 implementation.
+//
+// The paper realized the design on a Xilinx Virtex XCV300: the
+// Reconfigurator in logic blocks (CLB LUTs/FFs), F-RAM and G-RAM in
+// embedded block RAM.  We reproduce the sizing argument with the public
+// Virtex numbers: an XCV300 has 16 BlockRAMs of 4096 bits each and
+// 3072 CLB slices (2 4-input LUTs + 2 FFs per slice).
+//
+// The estimate is deliberately simple and documented per term — it is a
+// feasibility model, not a synthesis result.
+#pragma once
+
+#include <string>
+
+#include "core/migration.hpp"
+#include "core/sequence.hpp"
+#include "rtl/encoding.hpp"
+
+namespace rfsm::rtl {
+
+/// Virtex XCV300 capacity (Xilinx DS003 v2.5).
+struct Xcv300 {
+  static constexpr int kBlockRams = 16;
+  static constexpr int kBlockRamBits = 4096;
+  static constexpr int kSlices = 3072;
+  static constexpr int kLutsPerSlice = 2;
+  static constexpr int kFlipFlopsPerSlice = 2;
+};
+
+/// Resource estimate for one reconfigurable-FSM instance.
+struct ResourceEstimate {
+  FsmEncoding encoding;
+
+  /// F-RAM: 2^(stateWidth+inputWidth) words of stateWidth bits.
+  std::int64_t framBits = 0;
+  /// G-RAM: 2^(stateWidth+inputWidth) words of outputWidth bits.
+  std::int64_t gramBits = 0;
+  /// Block RAMs consumed (4 Kbit granules).
+  int blockRams = 0;
+
+  /// Reconfigurator sequence ROM: rows x (ir + hf + hg + write + reset).
+  std::int64_t sequenceRomBits = 0;
+  /// 4-input LUT estimate: ROM (as 16x1 distributed RAM per LUT) + step
+  /// counter/next-step logic + IN-MUX + RST-MUX + write gating.
+  int luts = 0;
+  /// Flip-flops: ST-REG + reconfiguration step counter.
+  int flipFlops = 0;
+  int slices = 0;
+
+  bool fitsXcv300 = false;
+};
+
+/// Estimates resources for hosting the migration's superset machine and the
+/// given reconfiguration sequence.
+ResourceEstimate estimateResources(const MigrationContext& context,
+                                   const ReconfigurationSequence& sequence);
+
+/// Renders the estimate as a short multi-line report.
+std::string describeEstimate(const ResourceEstimate& estimate);
+
+}  // namespace rfsm::rtl

@@ -1,0 +1,104 @@
+#include "rtl/testbench.hpp"
+
+#include <sstream>
+
+#include "fsm/simulate.hpp"
+#include "rtl/encoding.hpp"
+#include "util/check.hpp"
+
+namespace rfsm::rtl {
+namespace {
+
+std::string binaryLiteral(std::uint64_t value, int width) {
+  std::string bits(static_cast<std::size_t>(width), '0');
+  for (int b = 0; b < width; ++b)
+    if (value & (std::uint64_t{1} << b))
+      bits[static_cast<std::size_t>(width - 1 - b)] = '1';
+  return "\"" + bits + "\"";
+}
+
+}  // namespace
+
+std::string generateTestbench(const MigrationContext& context,
+                              const ReconfigurationSequence& sequence,
+                              const std::vector<SymbolId>& postWord,
+                              const TestbenchOptions& options) {
+  const FsmEncoding enc = encodingFor(context);
+  const Machine& target = context.targetMachine();
+
+  // Compute expected outputs with the golden model, starting from the
+  // terminal state S0' the migration guarantees.
+  Simulator golden(target);
+  std::vector<SymbolId> expected;
+  std::vector<SymbolId> targetInputs;
+  for (const SymbolId input : postWord) {
+    RFSM_CHECK(context.inputs().contains(input), "post-word input invalid");
+    RFSM_CHECK(context.inTargetInputs(input),
+               "post-word input must be an input of M'");
+    const SymbolId targetInput =
+        target.inputs().at(context.inputs().name(input));
+    targetInputs.push_back(targetInput);
+    expected.push_back(golden.step(targetInput));
+  }
+
+  std::ostringstream os;
+  os << "-- Self-checking testbench for " << options.entityName << "\n";
+  os << "LIBRARY ieee;\n";
+  os << "USE ieee.std_logic_1164.ALL;\n\n";
+  os << "ENTITY " << options.testbenchName << " IS\nEND "
+     << options.testbenchName << ";\n\n";
+  os << "ARCHITECTURE sim OF " << options.testbenchName << " IS\n";
+  os << "  SIGNAL clk   : std_logic := '0';\n";
+  os << "  SIGNAL rst   : std_logic := '0';\n";
+  os << "  SIGNAL start : std_logic := '0';\n";
+  os << "  SIGNAL i     : std_logic_vector(" << enc.inputWidth - 1
+     << " DOWNTO 0) := (OTHERS => '0');\n";
+  os << "  SIGNAL o     : std_logic_vector(" << enc.outputWidth - 1
+     << " DOWNTO 0);\n";
+  os << "  SIGNAL rec   : std_logic;\n";
+  os << "BEGIN\n";
+  os << "  dut : ENTITY work." << options.entityName << "\n";
+  os << "    PORT MAP (clk => clk, rst => rst, start => start, i => i, "
+        "o => o, rec => rec);\n\n";
+  os << "  clk <= NOT clk AFTER " << options.clockPeriodNs / 2 << " ns;\n\n";
+  os << "  stimulus : PROCESS\n";
+  os << "  BEGIN\n";
+  os << "    -- external reset pulse\n";
+  os << "    rst <= '1';\n";
+  os << "    WAIT UNTIL rising_edge(clk);\n";
+  os << "    rst <= '0';\n";
+  os << "    -- launch the reconfiguration sequence\n";
+  os << "    start <= '1';\n";
+  os << "    WAIT UNTIL rising_edge(clk);\n";
+  os << "    start <= '0';\n";
+  os << "    -- ride out the " << sequence.length()
+     << " reconfiguration cycles (row k is applied at the k-th edge)\n";
+  os << "    FOR k IN 1 TO " << sequence.length() << " LOOP\n";
+  os << "      WAIT UNTIL rising_edge(clk);\n";
+  os << "    END LOOP;\n";
+  os << "    ASSERT rec = '0' REPORT \"reconfiguration still active\" "
+        "SEVERITY failure;\n";
+  for (std::size_t k = 0; k < postWord.size(); ++k) {
+    os << "    -- word symbol " << k << ": input "
+       << context.inputs().name(postWord[k]) << ", expect output "
+       << target.outputs().name(expected[k]) << "\n";
+    os << "    i <= " << binaryLiteral(
+        static_cast<std::uint64_t>(postWord[k]), enc.inputWidth) << ";\n";
+    // Mealy output: sample mid-cycle (combinational, settled), then clock
+    // the transition in.
+    os << "    WAIT UNTIL falling_edge(clk);\n";
+    const SymbolId supersetOutput = context.liftTargetOutput(expected[k]);
+    os << "    ASSERT o = " << binaryLiteral(
+        static_cast<std::uint64_t>(supersetOutput), enc.outputWidth)
+       << " REPORT \"output mismatch at symbol " << k
+       << "\" SEVERITY failure;\n";
+    os << "    WAIT UNTIL rising_edge(clk);\n";
+  }
+  os << "    REPORT \"testbench passed\" SEVERITY note;\n";
+  os << "    WAIT;\n";
+  os << "  END PROCESS stimulus;\n";
+  os << "END sim;\n";
+  return os.str();
+}
+
+}  // namespace rfsm::rtl

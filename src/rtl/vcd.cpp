@@ -1,0 +1,83 @@
+#include "rtl/vcd.hpp"
+
+#include <sstream>
+
+namespace rfsm::rtl {
+
+std::string vcdIdentifier(std::size_t index) {
+  // Base-94 over the printable ASCII range '!'..'~'.
+  std::string id;
+  do {
+    id += static_cast<char>('!' + index % 94);
+    index /= 94;
+  } while (index > 0);
+  return id;
+}
+
+std::string vcdBinary(std::uint64_t value, int width) {
+  std::string bits;
+  for (int b = width - 1; b >= 0; --b)
+    bits += (value & (std::uint64_t{1} << b)) ? '1' : '0';
+  return "b" + bits;
+}
+
+VcdRecorder::VcdRecorder(const Circuit& circuit, std::vector<WireId> wires)
+    : circuit_(circuit), wires_(std::move(wires)) {
+  if (wires_.empty()) {
+    // Record everything present at construction time.
+    for (WireId w = 0; w < circuit_.wireCount(); ++w) wires_.push_back(w);
+  }
+  lastValue_.assign(wires_.size(), 0);
+  everSampled_.assign(wires_.size(), false);
+}
+
+void VcdRecorder::sample(std::uint64_t time) {
+  RFSM_CHECK(samples_ == 0 || time >= lastTime_,
+             "VCD sample times must be non-decreasing");
+  for (std::size_t k = 0; k < wires_.size(); ++k) {
+    const std::uint64_t value = circuit_.peek(wires_[k]);
+    if (!everSampled_[k] || value != lastValue_[k]) {
+      changes_.push_back(Change{time, k, value});
+      lastValue_[k] = value;
+      everSampled_[k] = true;
+    }
+  }
+  lastTime_ = time;
+  ++samples_;
+}
+
+std::string VcdRecorder::toString() const {
+  std::ostringstream os;
+  os << "$date rfsm $end\n";
+  os << "$version rfsm rtl kernel $end\n";
+  os << "$timescale 1ns $end\n";
+  os << "$scope module rfsm $end\n";
+  for (std::size_t k = 0; k < wires_.size(); ++k) {
+    const int width = circuit_.wireWidth(wires_[k]);
+    std::string name = circuit_.wireName(wires_[k]);
+    if (name.empty()) name = "w" + std::to_string(wires_[k]);
+    os << "$var wire " << width << " " << vcdIdentifier(k) << " " << name
+       << " $end\n";
+  }
+  os << "$upscope $end\n";
+  os << "$enddefinitions $end\n";
+
+  std::uint64_t currentTime = ~std::uint64_t{0};
+  for (const Change& change : changes_) {
+    if (change.time != currentTime) {
+      os << "#" << change.time << "\n";
+      currentTime = change.time;
+    }
+    const int width = circuit_.wireWidth(wires_[change.wireIndex]);
+    if (width == 1) {
+      os << (change.value ? "1" : "0") << vcdIdentifier(change.wireIndex)
+         << "\n";
+    } else {
+      os << vcdBinary(change.value, width) << " "
+         << vcdIdentifier(change.wireIndex) << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace rfsm::rtl

@@ -1,0 +1,59 @@
+// VCD (Value Change Dump, IEEE 1364) waveform recording for the RTL kernel.
+//
+// Attach a VcdRecorder to a Circuit, sample once per clock cycle, and dump
+// the trace for any standard waveform viewer (GTKWave etc.).  The recorder
+// stores changes in memory; toString() renders the file.  Used by the
+// hardware example to make the Fig. 5 reconfiguration visible cycle by
+// cycle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/kernel.hpp"
+
+namespace rfsm::rtl {
+
+/// Records selected wires of a Circuit into VCD.
+class VcdRecorder {
+ public:
+  /// Records the given wires (empty = every wire of the circuit at the
+  /// time of construction).
+  VcdRecorder(const Circuit& circuit, std::vector<WireId> wires);
+
+  /// Samples the current wire values at time `time` (typically the cycle
+  /// count); only changes since the previous sample are stored.  Times must
+  /// be non-decreasing.
+  void sample(std::uint64_t time);
+
+  /// Number of samples taken.
+  int sampleCount() const { return samples_; }
+
+  /// Renders the complete VCD file (header + value changes).
+  std::string toString() const;
+
+ private:
+  struct Change {
+    std::uint64_t time;
+    std::size_t wireIndex;  // into wires_
+    std::uint64_t value;
+  };
+
+  const Circuit& circuit_;
+  std::vector<WireId> wires_;
+  std::vector<std::uint64_t> lastValue_;
+  std::vector<bool> everSampled_;
+  std::vector<Change> changes_;
+  std::uint64_t lastTime_ = 0;
+  int samples_ = 0;
+};
+
+/// VCD identifier code for the n-th variable ("!", "\"", ..., printable
+/// ASCII run-length encoding per the spec).
+std::string vcdIdentifier(std::size_t index);
+
+/// Binary VCD literal for a value of the given width, e.g. "b101".
+std::string vcdBinary(std::uint64_t value, int width);
+
+}  // namespace rfsm::rtl

@@ -1,0 +1,207 @@
+#include "rtl/vhdl.hpp"
+
+#include <sstream>
+
+#include "core/mutable_machine.hpp"
+#include "rtl/encoding.hpp"
+#include "rtl/kernel.hpp"
+
+namespace rfsm::rtl {
+namespace {
+
+/// `value` as a VHDL binary literal of `width` bits, e.g. "010".
+std::string binaryLiteral(std::uint64_t value, int width) {
+  std::string bits(static_cast<std::size_t>(width), '0');
+  for (int b = 0; b < width; ++b)
+    if (value & (std::uint64_t{1} << b))
+      bits[static_cast<std::size_t>(width - 1 - b)] = '1';
+  return "\"" + bits + "\"";
+}
+
+}  // namespace
+
+std::string generateVhdl(const MigrationContext& context,
+                         const ReconfigurationSequence& sequence,
+                         const VhdlOptions& options) {
+  const FsmEncoding enc = encodingFor(context);
+  const int wi = enc.inputWidth;
+  const int ws = enc.stateWidth;
+  const int wo = enc.outputWidth;
+  const int wa = enc.addressWidth();
+  const int depth = 1 << wa;
+  const int steps = sequence.length();
+  const int wstep = bitWidthFor(steps + 1);
+
+  std::ostringstream os;
+  if (options.emitEncodingComments) {
+    os << "-- Generated reconfigurable FSM (Koester/Teich DATE'02, Fig. 5)\n";
+    os << "-- migration: " << context.sourceMachine().name() << " -> "
+       << context.targetMachine().name() << "\n";
+    os << "-- state encoding:";
+    for (SymbolId s = 0; s < context.states().size(); ++s)
+      os << " " << context.states().name(s) << "=" << s;
+    os << "\n-- input encoding:";
+    for (SymbolId i = 0; i < context.inputs().size(); ++i)
+      os << " " << context.inputs().name(i) << "=" << i;
+    os << "\n-- output encoding:";
+    for (SymbolId o = 0; o < context.outputs().size(); ++o)
+      os << " " << context.outputs().name(o) << "=" << o;
+    os << "\n";
+  }
+  os << "LIBRARY ieee;\n";
+  os << "USE ieee.std_logic_1164.ALL;\n";
+  os << "USE ieee.numeric_std.ALL;\n\n";
+
+  os << "ENTITY " << options.entityName << " IS\n";
+  os << "  PORT (\n";
+  os << "    clk   : IN  std_logic;\n";
+  os << "    rst   : IN  std_logic;\n";
+  os << "    start : IN  std_logic;\n";
+  os << "    i     : IN  std_logic_vector(" << wi - 1 << " DOWNTO 0);\n";
+  os << "    o     : OUT std_logic_vector(" << wo - 1 << " DOWNTO 0);\n";
+  os << "    rec   : OUT std_logic\n";
+  os << "  );\n";
+  os << "END " << options.entityName << ";\n\n";
+
+  os << "ARCHITECTURE rtl OF " << options.entityName << " IS\n";
+  os << "  TYPE f_ram_t IS ARRAY (0 TO " << depth - 1
+     << ") OF std_logic_vector(" << ws - 1 << " DOWNTO 0);\n";
+  os << "  TYPE g_ram_t IS ARRAY (0 TO " << depth - 1
+     << ") OF std_logic_vector(" << wo - 1 << " DOWNTO 0);\n";
+
+  // Initial RAM images: the source machine M (unspecified cells 0).
+  const MutableMachine initial(context);
+  os << "  SIGNAL f_ram : f_ram_t := (\n";
+  for (int a = 0; a < depth; ++a) {
+    const SymbolId s = static_cast<SymbolId>(a >> wi);
+    const SymbolId in = static_cast<SymbolId>(a & ((1 << wi) - 1));
+    std::uint64_t value = 0;
+    if (context.states().contains(s) && context.inputs().contains(in) &&
+        initial.isSpecified(in, s))
+      value = static_cast<std::uint64_t>(initial.next(in, s));
+    os << "    " << a << " => " << binaryLiteral(value, ws)
+       << (a + 1 < depth ? "," : "") << "\n";
+  }
+  os << "  );\n";
+  os << "  SIGNAL g_ram : g_ram_t := (\n";
+  for (int a = 0; a < depth; ++a) {
+    const SymbolId s = static_cast<SymbolId>(a >> wi);
+    const SymbolId in = static_cast<SymbolId>(a & ((1 << wi) - 1));
+    std::uint64_t value = 0;
+    if (context.states().contains(s) && context.inputs().contains(in) &&
+        initial.isSpecified(in, s))
+      value = static_cast<std::uint64_t>(initial.output(in, s));
+    os << "    " << a << " => " << binaryLiteral(value, wo)
+       << (a + 1 < depth ? "," : "") << "\n";
+  }
+  os << "  );\n\n";
+
+  // Reconfigurator ROM: ir & hf & hg & write & reset per row.
+  const int rowWidth = wi + ws + wo + 2;
+  os << "  TYPE seq_rom_t IS ARRAY (0 TO " << (steps > 0 ? steps - 1 : 0)
+     << ") OF std_logic_vector(" << rowWidth - 1 << " DOWNTO 0);\n";
+  os << "  CONSTANT seq_rom : seq_rom_t := (\n";
+  if (steps == 0) {
+    os << "    0 => (OTHERS => '0')\n";
+  } else {
+    for (int k = 0; k < steps; ++k) {
+      const SequenceRow& row = sequence.rows[static_cast<std::size_t>(k)];
+      std::uint64_t word = 0;
+      word |= static_cast<std::uint64_t>(row.reset ? 1 : 0);
+      word |= static_cast<std::uint64_t>(row.write ? 1 : 0) << 1;
+      word |= (row.hg == kNoSymbol ? 0u
+                                   : static_cast<std::uint64_t>(row.hg))
+              << 2;
+      word |= (row.hf == kNoSymbol ? 0u
+                                   : static_cast<std::uint64_t>(row.hf))
+              << (2 + wo);
+      word |= (row.ir == kNoSymbol ? 0u
+                                   : static_cast<std::uint64_t>(row.ir))
+              << (2 + wo + ws);
+      os << "    " << k << " => " << binaryLiteral(word, rowWidth)
+         << (k + 1 < steps ? "," : "") << "\n";
+    }
+  }
+  os << "  );\n\n";
+
+  os << "  SIGNAL state_q   : std_logic_vector(" << ws - 1
+     << " DOWNTO 0) := "
+     << binaryLiteral(static_cast<std::uint64_t>(context.sourceReset()), ws)
+     << ";\n";
+  os << "  SIGNAL step_q    : unsigned(" << wstep - 1
+     << " DOWNTO 0) := (OTHERS => '0');\n";
+  os << "  SIGNAL row       : std_logic_vector(" << rowWidth - 1
+     << " DOWNTO 0);\n";
+  os << "  SIGNAL rec_active: std_logic;\n";
+  os << "  SIGNAL ir        : std_logic_vector(" << wi - 1
+     << " DOWNTO 0);\n";
+  os << "  SIGNAL hf        : std_logic_vector(" << ws - 1
+     << " DOWNTO 0);\n";
+  os << "  SIGNAL hg        : std_logic_vector(" << wo - 1
+     << " DOWNTO 0);\n";
+  os << "  SIGNAL row_write : std_logic;\n";
+  os << "  SIGNAL row_reset : std_logic;\n";
+  os << "  SIGNAL i_int     : std_logic_vector(" << wi - 1
+     << " DOWNTO 0);\n";
+  os << "  SIGNAL addr      : unsigned(" << wa - 1 << " DOWNTO 0);\n";
+  os << "  SIGNAL f_data    : std_logic_vector(" << ws - 1
+     << " DOWNTO 0);\n";
+  os << "  SIGNAL we        : std_logic;\n";
+  os << "  SIGNAL force_rst : std_logic;\n";
+  os << "  CONSTANT reset_vector : std_logic_vector(" << ws - 1
+     << " DOWNTO 0) := "
+     << binaryLiteral(static_cast<std::uint64_t>(context.targetReset()), ws)
+     << ";\n";
+  os << "BEGIN\n";
+  os << "  rec_active <= '1' WHEN step_q /= 0 ELSE '0';\n";
+  os << "  row <= seq_rom(to_integer(step_q - 1)) WHEN rec_active = '1' "
+        "ELSE (OTHERS => '0');\n";
+  os << "  ir        <= row(" << rowWidth - 1 << " DOWNTO " << 2 + wo + ws
+     << ");\n";
+  os << "  hf        <= row(" << 2 + wo + ws - 1 << " DOWNTO " << 2 + wo
+     << ");\n";
+  os << "  hg        <= row(" << 2 + wo - 1 << " DOWNTO 2);\n";
+  os << "  row_write <= row(1);\n";
+  os << "  row_reset <= row(0);\n";
+  os << "  -- IN-MUX (H_i): external input in normal mode, ir during "
+        "reconfiguration\n";
+  os << "  i_int <= ir WHEN rec_active = '1' ELSE i;\n";
+  os << "  addr  <= unsigned(state_q & i_int);\n";
+  os << "  we    <= rec_active AND row_write;\n";
+  os << "  -- WRITE_FIRST read-during-write: the machine takes the "
+        "transition it writes\n";
+  os << "  f_data <= hf WHEN we = '1' ELSE f_ram(to_integer(addr));\n";
+  os << "  o      <= hg WHEN we = '1' ELSE g_ram(to_integer(addr));\n";
+  os << "  force_rst <= rst OR (rec_active AND row_reset);\n";
+  os << "  rec <= rec_active;\n\n";
+  os << "  seq : PROCESS (clk)\n";
+  os << "  BEGIN\n";
+  os << "    IF rising_edge(clk) THEN\n";
+  os << "      -- F-RAM / G-RAM synchronous write ports\n";
+  os << "      IF we = '1' THEN\n";
+  os << "        f_ram(to_integer(addr)) <= hf;\n";
+  os << "        g_ram(to_integer(addr)) <= hg;\n";
+  os << "      END IF;\n";
+  os << "      -- ST-REG behind the RST-MUX\n";
+  os << "      IF force_rst = '1' THEN\n";
+  os << "        state_q <= reset_vector;\n";
+  os << "      ELSE\n";
+  os << "        state_q <= f_data;\n";
+  os << "      END IF;\n";
+  os << "      -- Reconfigurator step counter\n";
+  os << "      IF rec_active = '1' THEN\n";
+  os << "        IF step_q = " << steps << " THEN\n";
+  os << "          step_q <= (OTHERS => '0');\n";
+  os << "        ELSE\n";
+  os << "          step_q <= step_q + 1;\n";
+  os << "        END IF;\n";
+  os << "      ELSIF start = '1' THEN\n";
+  os << "        step_q <= to_unsigned(1, " << wstep << ");\n";
+  os << "      END IF;\n";
+  os << "    END IF;\n";
+  os << "  END PROCESS seq;\n";
+  os << "END rtl;\n";
+  return os.str();
+}
+
+}  // namespace rfsm::rtl

@@ -1,0 +1,30 @@
+// VHDL generation for the Fig. 5 datapath.
+//
+// Emits one self-contained synthesizable entity: F-RAM/G-RAM as inferred
+// block RAM with initialized contents (the source machine M), the
+// Reconfigurator as a sequence ROM plus step counter, and the IN-MUX /
+// RST-MUX / ST-REG structure.  The paper points to [7] for the automated
+// mapping; this emitter is our realization of that flow's output stage.
+#pragma once
+
+#include <string>
+
+#include "core/migration.hpp"
+#include "core/sequence.hpp"
+
+namespace rfsm::rtl {
+
+/// Options for the emitter.
+struct VhdlOptions {
+  std::string entityName = "reconfigurable_fsm";
+  /// Emit a comment header with alphabets and the symbol encoding map.
+  bool emitEncodingComments = true;
+};
+
+/// Generates the VHDL source for the migration's datapath with `sequence`
+/// preloaded in the Reconfigurator ROM.
+std::string generateVhdl(const MigrationContext& context,
+                         const ReconfigurationSequence& sequence,
+                         const VhdlOptions& options = {});
+
+}  // namespace rfsm::rtl

@@ -1,0 +1,339 @@
+#include "tools/cli.hpp"
+
+#include <fstream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "bdd/symbolic_fsm.hpp"
+#include "core/apply.hpp"
+#include "core/bounds.hpp"
+#include "core/chain.hpp"
+#include "core/jsr.hpp"
+#include "core/local_search.hpp"
+#include "core/optimal.hpp"
+#include "core/peephole.hpp"
+#include "core/planners.hpp"
+#include "core/sequence.hpp"
+#include "fsm/analysis.hpp"
+#include "fsm/equivalence.hpp"
+#include "fsm/kiss.hpp"
+#include "fsm/statistics.hpp"
+#include "fsm/serialize.hpp"
+#include "gen/samples.hpp"
+#include "logic/synthesize.hpp"
+#include "rtl/resources.hpp"
+#include "rtl/testbench.hpp"
+#include "rtl/vhdl.hpp"
+#include "tools/report.hpp"
+#include "util/table.hpp"
+#include "util/strings.hpp"
+
+namespace rfsm::cli {
+namespace {
+
+/// Thrown for user-facing CLI errors (bad usage, unreadable files).
+class CliError : public Error {
+ public:
+  explicit CliError(const std::string& what) : Error(what) {}
+};
+
+std::string readFile(const std::string& path) {
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream) throw CliError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  return buffer.str();
+}
+
+/// Resolves a machine argument: `sample:<name>`, *.json, or *.kiss2.
+Machine loadMachine(const std::string& spec) {
+  if (startsWith(spec, "sample:")) return sampleMachine(spec.substr(7));
+  const std::string text = readFile(spec);
+  if (spec.size() >= 5 && spec.substr(spec.size() - 5) == ".json")
+    return machineFromJson(text);
+  if (spec.size() >= 6 && spec.substr(spec.size() - 6) == ".kiss2")
+    return machineFromKiss2(parseKiss2(text), spec);
+  throw CliError("unsupported machine format for '" + spec +
+                 "' (expected .json, .kiss2 or sample:<name>)");
+}
+
+/// Option lookup: returns the value following `--name`, if present.
+std::optional<std::string> option(const std::vector<std::string>& args,
+                                  const std::string& name) {
+  for (std::size_t k = 0; k + 1 < args.size(); ++k)
+    if (args[k] == name) return args[k + 1];
+  return std::nullopt;
+}
+
+bool flag(const std::vector<std::string>& args, const std::string& name) {
+  for (const auto& a : args)
+    if (a == name) return true;
+  return false;
+}
+
+int cmdInfo(const std::vector<std::string>& args, std::ostream& out) {
+  if (args.empty()) throw CliError("usage: rfsmc info <machine>");
+  const Machine m = loadMachine(args[0]);
+  out << "name:        " << m.name() << "\n";
+  out << "states:      " << m.stateCount() << " (reset "
+      << m.states().name(m.resetState()) << ")\n";
+  out << "inputs:      " << m.inputCount() << "\n";
+  out << "outputs:     " << m.outputCount() << "\n";
+  out << "transitions: " << m.stateCount() * m.inputCount() << "\n";
+  out << "moore form:  " << (m.isMoore() ? "yes" : "no") << "\n";
+  out << "connected:   " << (isConnectedFromReset(m) ? "yes" : "no") << "\n";
+  out << "stable total states: " << stableTotalStates(m).size() << "\n";
+  if (flag(args, "--stats"))
+    out << "\n" << describeStatistics(computeStatistics(m));
+  return 0;
+}
+
+int cmdReport(const std::vector<std::string>& args, std::ostream& out) {
+  if (args.size() < 2) throw CliError("usage: rfsmc report <from> <to>");
+  const Machine source = loadMachine(args[0]);
+  const Machine target = loadMachine(args[1]);
+  const MigrationContext context(source, target);
+  ReportOptions options;
+  options.seed = static_cast<std::uint64_t>(
+      std::stoll(option(args, "--seed").value_or("1")));
+  out << buildMigrationReport(context, options);
+  return 0;
+}
+
+int cmdDot(const std::vector<std::string>& args, std::ostream& out) {
+  if (args.empty()) throw CliError("usage: rfsmc dot <machine>");
+  out << toDot(loadMachine(args[0]));
+  return 0;
+}
+
+int cmdConvert(const std::vector<std::string>& args, std::ostream& out) {
+  if (args.empty())
+    throw CliError("usage: rfsmc convert <machine> --to json|kiss2");
+  const Machine m = loadMachine(args[0]);
+  const std::string to = option(args, "--to").value_or("json");
+  if (to == "json") {
+    out << toJson(m);
+  } else if (to == "kiss2") {
+    out << writeKiss2(kiss2FromMachine(m));
+  } else {
+    throw CliError("unknown target format '" + to + "'");
+  }
+  return 0;
+}
+
+ReconfigurationProgram planWith(const std::string& planner,
+                                const MigrationContext& context,
+                                std::uint64_t seed) {
+  if (planner == "jsr") return planJsr(context);
+  if (planner == "greedy") return planGreedy(context);
+  if (planner == "ea") {
+    Rng rng(seed);
+    return planEvolutionary(context, EvolutionConfig{}, rng).program;
+  }
+  if (planner == "exact") {
+    const auto program = planExact(context);
+    if (!program.has_value())
+      throw CliError("instance too large for the exact planner");
+    return *program;
+  }
+  if (planner == "2opt") return planTwoOpt(context).program;
+  if (planner == "optimal") {
+    const auto program = planOptimalSearch(context);
+    if (!program.has_value())
+      throw CliError("instance too large for the optimal search");
+    return *program;
+  }
+  if (planner == "anneal") {
+    Rng rng(seed);
+    return planAnnealing(context, AnnealingConfig{}, rng).program;
+  }
+  throw CliError("unknown planner '" + planner +
+                 "' (jsr|greedy|ea|exact|2opt|anneal|optimal)");
+}
+
+int cmdMigrate(const std::vector<std::string>& args, std::ostream& out) {
+  if (args.size() < 2)
+    throw CliError("usage: rfsmc migrate <from> <to> [--planner P] "
+                   "[--seed N] [--table]");
+  const Machine source = loadMachine(args[0]);
+  const Machine target = loadMachine(args[1]);
+  const MigrationContext context(source, target);
+  const std::string planner = option(args, "--planner").value_or("ea");
+  const std::uint64_t seed = static_cast<std::uint64_t>(
+      std::stoll(option(args, "--seed").value_or("1")));
+
+  ReconfigurationProgram z = planWith(planner, context, seed);
+  if (flag(args, "--optimize")) z = optimizeProgram(context, z).program;
+  const ValidationResult verdict = validateProgram(context, z);
+
+  out << "migration " << source.name() << " -> " << target.name() << "\n";
+  out << "|Td| = " << context.deltaCount() << ", bounds [" << programLowerBound(context)
+      << ", " << jsrUpperBound(context) << "]\n";
+  out << "planner " << planner << ": |Z| = " << z.length() << " ("
+      << z.rewriteCount() << " rewrites, " << z.temporaryCount()
+      << " temporary, " << z.resetCount() << " resets)\n";
+  out << "valid: " << (verdict.valid ? "yes" : "NO - " + verdict.reason)
+      << "\n";
+  if (flag(args, "--table"))
+    out << "\n" << sequenceToMarkdown(context, sequenceFromProgram(z));
+  else
+    out << "\n" << describeProgram(context, z);
+  return verdict.valid ? 0 : 2;
+}
+
+int cmdVhdl(const std::vector<std::string>& args, std::ostream& out) {
+  if (args.size() < 2) throw CliError("usage: rfsmc vhdl <from> <to>");
+  const Machine source = loadMachine(args[0]);
+  const Machine target = loadMachine(args[1]);
+  const MigrationContext context(source, target);
+  const auto sequence = sequenceFromProgram(planJsr(context));
+  rtl::VhdlOptions options;
+  options.entityName = option(args, "--entity").value_or("reconfigurable_fsm");
+  out << rtl::generateVhdl(context, sequence, options);
+  return 0;
+}
+
+int cmdSynth(const std::vector<std::string>& args, std::ostream& out) {
+  if (args.empty()) throw CliError("usage: rfsmc synth <machine>");
+  const Machine m = loadMachine(args[0]);
+  const logic::TwoLevelSynthesis synthesis = logic::synthesizeTwoLevel(m);
+  out << synthesis.describe() << "\n";
+  const MigrationContext identity(m, m);
+  const auto ram = rtl::estimateResources(identity, {});
+  out << "RAM-based alternative: " << ram.framBits + ram.gramBits
+      << " RAM bits in " << ram.blockRams << " BlockRAM(s)\n";
+  return 0;
+}
+
+int cmdEquiv(const std::vector<std::string>& args, std::ostream& out) {
+  if (args.size() < 2)
+    throw CliError("usage: rfsmc equiv <a> <b> [--symbolic]");
+  const Machine a = loadMachine(args[0]);
+  const Machine b = loadMachine(args[1]);
+  if (flag(args, "--symbolic")) {
+    const auto result = bdd::checkEquivalenceSymbolic(a, b);
+    out << "equivalent: " << (result.equivalent ? "yes" : "no")
+        << " (symbolic: " << result.reachablePairs << " reachable pairs, "
+        << result.iterations << " image iterations, " << result.bddNodes
+        << " BDD nodes)\n";
+    return result.equivalent ? 0 : 2;
+  }
+  const EquivalenceResult result = checkEquivalence(a, b);
+  out << "equivalent: " << (result.equivalent ? "yes" : "no") << "\n";
+  if (result.counterexample.has_value()) {
+    out << "counterexample input word:";
+    for (const auto& name : *result.counterexample) out << " " << name;
+    out << "\n";
+  }
+  return result.equivalent ? 0 : 2;
+}
+
+int cmdChain(const std::vector<std::string>& args, std::ostream& out) {
+  std::vector<Machine> revisions;
+  for (const auto& arg : args) {
+    if (startsWith(arg, "--")) break;
+    revisions.push_back(loadMachine(arg));
+  }
+  if (revisions.size() < 2)
+    throw CliError("usage: rfsmc chain <m1> <m2> [<m3> ...] [--planner P]");
+  const std::string plannerName = option(args, "--planner").value_or("ea");
+  ChainPlanner planner = ChainPlanner::kEvolutionary;
+  if (plannerName == "jsr") planner = ChainPlanner::kJsr;
+  else if (plannerName == "greedy") planner = ChainPlanner::kGreedy;
+  else if (plannerName != "ea")
+    throw CliError("unknown chain planner '" + plannerName +
+                   "' (jsr|greedy|ea)");
+
+  const ChainPlan plan = planMigrationChain(revisions, planner);
+  Table table({"hop", "|Td|", "upgrade |Z|", "rollback |Z|", "valid"});
+  for (const ChainStage& stage : plan.stages)
+    table.addRow({stage.context.sourceMachine().name() + " -> " +
+                      stage.context.targetMachine().name(),
+                  std::to_string(stage.context.deltaCount()),
+                  std::to_string(stage.upgrade.length()),
+                  std::to_string(stage.rollback.length()),
+                  stage.upgradeValid && stage.rollbackValid ? "yes" : "NO"});
+  out << table.toMarkdown();
+  out << "total upgrade " << plan.totalUpgradeLength()
+      << " cycles, total rollback " << plan.totalRollbackLength()
+      << " cycles\n";
+  return plan.allValid() ? 0 : 2;
+}
+
+int cmdTestbench(const std::vector<std::string>& args, std::ostream& out) {
+  if (args.size() < 2) throw CliError("usage: rfsmc testbench <from> <to>");
+  const Machine source = loadMachine(args[0]);
+  const Machine target = loadMachine(args[1]);
+  const MigrationContext context(source, target);
+  const auto sequence = sequenceFromProgram(planJsr(context));
+  rtl::TestbenchOptions options;
+  options.entityName = option(args, "--entity").value_or("reconfigurable_fsm");
+  options.testbenchName = options.entityName + "_tb";
+  // Exercise each target input once, twice around.
+  std::vector<SymbolId> word;
+  for (int round = 0; round < 2; ++round)
+    for (SymbolId i = 0; i < target.inputCount(); ++i)
+      word.push_back(context.liftTargetInput(i));
+  out << rtl::generateTestbench(context, sequence, word, options);
+  return 0;
+}
+
+int cmdSamples(const std::vector<std::string>& args, std::ostream& out) {
+  if (args.empty()) {
+    for (const auto& name : sampleNames()) out << name << "\n";
+    return 0;
+  }
+  out << sampleKiss2(args[0]);
+  return 0;
+}
+
+int cmdHelp(std::ostream& out) {
+  out << "rfsmc - (self-)reconfigurable FSM toolkit\n"
+         "usage: rfsmc <command> [args]\n\n"
+         "commands:\n"
+         "  info <machine>                machine statistics\n"
+         "  dot <machine>                 Graphviz graph\n"
+         "  convert <machine> --to FMT    json|kiss2\n"
+         "  migrate <from> <to>           plan + validate a migration\n"
+         "          [--planner jsr|greedy|ea|exact|2opt|anneal|optimal]\n"
+         "          [--seed N] [--table] [--optimize]\n"
+         "  vhdl <from> <to>              emit the Fig. 5 VHDL entity\n"
+         "  testbench <from> <to>         emit a self-checking testbench\n"
+         "  synth <machine>               two-level logic estimate\n"
+         "  chain <m1> <m2> [...]         plan a release train + rollbacks\n"
+         "  equiv <a> <b> [--symbolic]    behavioural equivalence check\n"
+         "  report <from> <to>            one-page migration report\n"
+         "  samples [name]                list / dump bundled samples\n\n"
+         "machines: path.json | path.kiss2 | sample:<name>\n";
+  return 0;
+}
+
+}  // namespace
+
+int runCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help")
+    return cmdHelp(out);
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  try {
+    if (args[0] == "info") return cmdInfo(rest, out);
+    if (args[0] == "dot") return cmdDot(rest, out);
+    if (args[0] == "convert") return cmdConvert(rest, out);
+    if (args[0] == "migrate") return cmdMigrate(rest, out);
+    if (args[0] == "vhdl") return cmdVhdl(rest, out);
+    if (args[0] == "testbench") return cmdTestbench(rest, out);
+    if (args[0] == "synth") return cmdSynth(rest, out);
+    if (args[0] == "chain") return cmdChain(rest, out);
+    if (args[0] == "equiv") return cmdEquiv(rest, out);
+    if (args[0] == "report") return cmdReport(rest, out);
+    if (args[0] == "samples") return cmdSamples(rest, out);
+    err << "rfsmc: unknown command '" << args[0] << "' (try rfsmc help)\n";
+    return 64;
+  } catch (const Error& error) {
+    err << "rfsmc: " << error.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace rfsm::cli

@@ -1,0 +1,31 @@
+// The rfsmc command-line front end, as a testable library.
+//
+// Subcommands:
+//   info <machine>                     machine statistics
+//   dot <machine>                      Graphviz state-transition graph
+//   convert <machine> --to json|kiss2  format conversion
+//   migrate <from> <to> [--planner jsr|greedy|ea|exact|2opt|anneal]
+//           [--seed N] [--table]       plan + validate a migration
+//   vhdl <from> <to>                   emit the Fig. 5 VHDL entity
+//   testbench <from> <to>              emit a self-checking VHDL testbench
+//   synth <machine>                    two-level logic estimate
+//   chain <m1> <m2> [...]              plan a release train with rollbacks
+//   samples [name]                     list bundled samples / dump one
+//
+// Machine arguments are file paths (.json / .kiss2) or `sample:<name>`
+// pseudo-paths resolving to the bundled sample set; the latter keeps the
+// CLI unit-testable without filesystem fixtures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rfsm::cli {
+
+/// Runs one CLI invocation (args excludes argv[0]).  Writes results to
+/// `out`, diagnostics to `err`; returns the process exit code.
+int runCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace rfsm::cli

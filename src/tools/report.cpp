@@ -1,0 +1,76 @@
+#include "tools/report.hpp"
+
+#include <sstream>
+
+#include "core/apply.hpp"
+#include "core/bounds.hpp"
+#include "core/jsr.hpp"
+#include "core/optimal.hpp"
+#include "core/partial.hpp"
+#include "core/peephole.hpp"
+#include "core/planners.hpp"
+#include "core/sequence.hpp"
+#include "rtl/context_swap.hpp"
+#include "rtl/resources.hpp"
+#include "util/table.hpp"
+
+namespace rfsm {
+
+std::string buildMigrationReport(const MigrationContext& context,
+                                 const ReportOptions& options) {
+  std::ostringstream os;
+  os << "# Migration report: " << context.sourceMachine().name() << " -> "
+     << context.targetMachine().name() << "\n\n";
+  os << "superset alphabets: |S| = " << context.states().size()
+     << ", |I| = " << context.inputs().size()
+     << ", |O| = " << context.outputs().size() << "\n";
+
+  const DeltaClassification classes = classifyDeltas(context);
+  os << "delta transitions: " << context.deltaCount() << " ("
+     << classes.outputOnly << " output-only, " << classes.transitionOnly
+     << " transition-only, " << classes.both << " both, "
+     << classes.structural << " structural)\n";
+  os << "bounds: lower " << programLowerBound(context) << " (Thm. 4.3), JSR "
+     << jsrUpperBound(context) << " (Thm. 4.2)\n\n";
+
+  Table table({"planner", "|Z|", "rewrites", "temporaries", "resets",
+               "valid"});
+  auto addRow = [&](const std::string& name,
+                    const ReconfigurationProgram& z) {
+    const ValidationResult verdict = validateProgram(context, z);
+    table.addRow({name, std::to_string(z.length()),
+                  std::to_string(z.rewriteCount()),
+                  std::to_string(z.temporaryCount()),
+                  std::to_string(z.resetCount()),
+                  verdict.valid ? "yes" : "NO"});
+  };
+  const ReconfigurationProgram jsr = planJsr(context);
+  addRow("JSR", jsr);
+  addRow("JSR + peephole", optimizeProgram(context, jsr).program);
+  addRow("greedy", planGreedy(context));
+  if (options.runEvolutionary) {
+    Rng rng(options.seed);
+    addRow("EA", planEvolutionary(context, EvolutionConfig{}, rng).program);
+  }
+  if (isOutputOnlyMigration(context))
+    if (const auto partial = planOutputOnlyOptimal(context))
+      addRow("output-only optimal", *partial);
+  if (options.runOptimal)
+    if (const auto best = planOptimalSearch(context))
+      addRow("optimal (search)", *best);
+  os << table.toMarkdown() << "\n";
+
+  const auto sequence = sequenceFromProgram(jsr);
+  const auto downtime = rtl::compareDowntime(context, jsr);
+  os << "downtime: gradual (JSR) " << downtime.gradualCycles
+     << " cycles vs context swap " << downtime.contextSwapCycles
+     << " vs full bitstream " << downtime.bitstreamCycles << "\n";
+  const auto estimate = rtl::estimateResources(context, sequence);
+  os << "resources: " << estimate.blockRams << " BlockRAM(s), "
+     << estimate.luts << " LUTs, " << estimate.flipFlops
+     << " FFs; fits XCV300: " << (estimate.fitsXcv300 ? "yes" : "no")
+     << "\n";
+  return os.str();
+}
+
+}  // namespace rfsm

@@ -1,0 +1,26 @@
+// Migration reports: everything an engineer wants to know about M -> M'
+// on one page — delta classification, bounds, planner comparison, downtime
+// models, resource fit.
+#pragma once
+
+#include <string>
+
+#include "core/migration.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm {
+
+/// Options for buildMigrationReport.
+struct ReportOptions {
+  /// Run the EA planner (slower but usually shortest heuristic).
+  bool runEvolutionary = true;
+  /// Run the exact search when the instance is small enough.
+  bool runOptimal = true;
+  std::uint64_t seed = 1;
+};
+
+/// Renders the full markdown report (deterministic for a given seed).
+std::string buildMigrationReport(const MigrationContext& context,
+                                 const ReportOptions& options = {});
+
+}  // namespace rfsm

@@ -1,0 +1,13 @@
+// rfsmc: command-line front end (see cli.hpp for the command set).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int k = 1; k < argc; ++k) args.emplace_back(argv[k]);
+  return rfsm::cli::runCli(args, std::cout, std::cerr);
+}

@@ -1,0 +1,15 @@
+#include "util/check.hpp"
+
+#include <sstream>
+
+namespace rfsm::detail {
+
+void failCheck(const char* expr, const char* file, int line,
+               const std::string& message) {
+  std::ostringstream os;
+  os << "contract violated: " << message << " [" << expr << " at " << file
+     << ":" << line << "]";
+  throw ContractError(os.str());
+}
+
+}  // namespace rfsm::detail

@@ -1,0 +1,45 @@
+// Error handling primitives shared by every rfsm library.
+//
+// Two kinds of failure are distinguished:
+//  * Contract violations (broken invariants, misuse of an API) abort the
+//    operation by throwing `rfsm::ContractError` via RFSM_CHECK.  These are
+//    programming errors; callers should not catch them in normal control
+//    flow, but tests do, to assert that misuse is detected.
+//  * Domain errors (unparsable input files, infeasible requests) throw the
+//    more specific exceptions defined next to the code that raises them, all
+//    deriving from `rfsm::Error`.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rfsm {
+
+/// Root of all exceptions thrown by the rfsm libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown by RFSM_CHECK when an API contract or internal invariant is broken.
+class ContractError : public Error {
+ public:
+  explicit ContractError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void failCheck(const char* expr, const char* file, int line,
+                            const std::string& message);
+}  // namespace detail
+
+}  // namespace rfsm
+
+/// Verifies a contract; throws rfsm::ContractError with location info when
+/// `expr` is false.  Always enabled (these guards are cheap relative to the
+/// algorithms they protect and turn silent corruption into loud failures).
+#define RFSM_CHECK(expr, message)                                         \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::rfsm::detail::failCheck(#expr, __FILE__, __LINE__, (message));    \
+    }                                                                     \
+  } while (false)

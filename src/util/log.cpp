@@ -1,0 +1,33 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace rfsm {
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO";
+    case LogLevel::kWarn:  return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level.store(level); }
+
+LogLevel logLevel() { return g_level.load(); }
+
+namespace detail {
+void emitLog(LogLevel level, const std::string& message) {
+  if (level < g_level.load() || level == LogLevel::kOff) return;
+  std::cerr << "[" << levelName(level) << "] " << message << "\n";
+}
+}  // namespace detail
+
+}  // namespace rfsm

@@ -1,0 +1,46 @@
+// Minimal leveled logging to stderr.
+//
+// The libraries themselves are silent by default; examples and benches raise
+// the level to Info to narrate what they do.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rfsm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void setLogLevel(LogLevel level);
+
+/// Current global threshold.
+LogLevel logLevel();
+
+namespace detail {
+void emitLog(LogLevel level, const std::string& message);
+}  // namespace detail
+
+/// Streams a single log record at `level`; usage: rfsm::log(LogLevel::kInfo)
+/// << "text";  The record is emitted when the returned object dies.
+class LogRecord {
+ public:
+  explicit LogRecord(LogLevel level) : level_(level) {}
+  LogRecord(const LogRecord&) = delete;
+  LogRecord& operator=(const LogRecord&) = delete;
+  ~LogRecord() { detail::emitLog(level_, stream_.str()); }
+
+  template <typename T>
+  LogRecord& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+inline LogRecord log(LogLevel level) { return LogRecord(level); }
+
+}  // namespace rfsm

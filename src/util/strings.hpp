@@ -1,0 +1,28 @@
+// Small string helpers used across parsers, serializers and reports.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rfsm {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Splits on runs of ASCII whitespace, dropping empty fields.
+std::vector<std::string> splitWhitespace(std::string_view text);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string trim(std::string_view text);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `text` begins with `prefix`.
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/// Renders `value` in fixed notation with `digits` decimals.
+std::string formatFixed(double value, int digits);
+
+}  // namespace rfsm

@@ -1,0 +1,51 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace rfsm {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  RFSM_CHECK(!header_.empty(), "a table needs at least one column");
+}
+
+void Table::addRow(std::vector<std::string> row) {
+  RFSM_CHECK(row.size() == header_.size(),
+             "row width must match the header");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::toMarkdown() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto renderRow = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(width[c] - row[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string out = renderRow(header_);
+  out += "|";
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    out += std::string(width[c] + 2, '-') + "|";
+  out += "\n";
+  for (const auto& row : rows_) out += renderRow(row);
+  return out;
+}
+
+std::string Table::toCsv() const {
+  std::string out = join(header_, ",") + "\n";
+  for (const auto& row : rows_) out += join(row, ",") + "\n";
+  return out;
+}
+
+}  // namespace rfsm

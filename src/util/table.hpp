@@ -1,0 +1,35 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every bench binary reproduces a paper table/figure by printing a table in
+// GitHub-flavoured markdown (readable in a terminal and paste-able into
+// EXPERIMENTS.md) before running its timing benchmarks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rfsm {
+
+/// Column-aligned table with a header row; renders to markdown or CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have as many cells as the header.
+  void addRow(std::vector<std::string> row);
+
+  /// Number of data rows added so far.
+  std::size_t rowCount() const { return rows_.size(); }
+
+  /// Renders as a column-aligned GitHub markdown table.
+  std::string toMarkdown() const;
+
+  /// Renders as RFC-4180-ish CSV (no quoting: cells must not contain commas).
+  std::string toCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rfsm

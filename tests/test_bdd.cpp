@@ -1,0 +1,171 @@
+// Tests for the BDD package: canonicity, boolean algebra (verified
+// exhaustively against truth tables), quantification, renaming, counting —
+// and the symbolic equivalence checker cross-validated against the
+// explicit one.
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+#include "bdd/symbolic_fsm.hpp"
+#include "fsm/analysis.hpp"
+#include "fsm/builder.hpp"
+#include "fsm/equivalence.hpp"
+#include "gen/families.hpp"
+#include "gen/generator.hpp"
+#include "gen/mutator.hpp"
+#include "gen/samples.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm::bdd {
+namespace {
+
+TEST(Bdd, TerminalsAndVariables) {
+  BddManager m(3);
+  EXPECT_EQ(m.variable(0), m.variable(0));  // hash-consed
+  EXPECT_NE(m.variable(0), m.variable(1));
+  EXPECT_TRUE(m.evaluate(BddManager::kTrue, {false, false, false}));
+  EXPECT_FALSE(m.evaluate(BddManager::kFalse, {true, true, true}));
+  EXPECT_TRUE(m.evaluate(m.variable(1), {false, true, false}));
+  EXPECT_FALSE(m.evaluate(m.notVariable(1), {false, true, false}));
+}
+
+TEST(Bdd, CanonicityMakesEqualityStructural) {
+  BddManager m(3);
+  const Node a = m.variable(0);
+  const Node b = m.variable(1);
+  // (a & b) == !(!a | !b)  (De Morgan) as node handles.
+  EXPECT_EQ(m.andOf(a, b), m.notOf(m.orOf(m.notOf(a), m.notOf(b))));
+  // a ^ b == (a | b) & !(a & b).
+  EXPECT_EQ(m.xorOf(a, b),
+            m.andOf(m.orOf(a, b), m.notOf(m.andOf(a, b))));
+}
+
+TEST(Bdd, OperatorsMatchTruthTablesExhaustively) {
+  constexpr int kVars = 4;
+  BddManager m(kVars);
+  Rng rng(7);
+  // Build a few random functions as ORs of random cubes and verify every
+  // operator pointwise over all 2^4 assignments.
+  auto randomFunction = [&]() {
+    Node f = BddManager::kFalse;
+    for (int c = 0; c < 3; ++c) {
+      std::vector<std::pair<int, bool>> literals;
+      for (int v = 0; v < kVars; ++v)
+        if (rng.chance(0.6)) literals.emplace_back(v, rng.chance(0.5));
+      f = m.orOf(f, m.cube(literals));
+    }
+    return f;
+  };
+  for (int round = 0; round < 10; ++round) {
+    const Node f = randomFunction();
+    const Node g = randomFunction();
+    for (int bits = 0; bits < (1 << kVars); ++bits) {
+      std::vector<bool> assignment(kVars);
+      for (int v = 0; v < kVars; ++v) assignment[v] = (bits >> v) & 1;
+      const bool fv = m.evaluate(f, assignment);
+      const bool gv = m.evaluate(g, assignment);
+      ASSERT_EQ(m.evaluate(m.andOf(f, g), assignment), fv && gv);
+      ASSERT_EQ(m.evaluate(m.orOf(f, g), assignment), fv || gv);
+      ASSERT_EQ(m.evaluate(m.xorOf(f, g), assignment), fv != gv);
+      ASSERT_EQ(m.evaluate(m.xnorOf(f, g), assignment), fv == gv);
+      ASSERT_EQ(m.evaluate(m.notOf(f), assignment), !fv);
+    }
+  }
+}
+
+TEST(Bdd, SatCount) {
+  BddManager m(4);
+  EXPECT_EQ(m.satCount(BddManager::kTrue), 16u);
+  EXPECT_EQ(m.satCount(BddManager::kFalse), 0u);
+  EXPECT_EQ(m.satCount(m.variable(2)), 8u);
+  EXPECT_EQ(m.satCount(m.andOf(m.variable(0), m.variable(3))), 4u);
+  EXPECT_EQ(m.satCount(m.xorOf(m.variable(0), m.variable(1))), 8u);
+}
+
+TEST(Bdd, ExistsQuantifiesCorrectly) {
+  BddManager m(3);
+  const Node f = m.andOf(m.variable(0), m.variable(1));
+  // Exists x1: x0 & x1  ==  x0.
+  EXPECT_EQ(m.exists(f, {1}), m.variable(0));
+  // Exists x0, x1: x0 & x1  ==  true.
+  EXPECT_EQ(m.exists(f, {0, 1}), BddManager::kTrue);
+  // Quantifying an absent variable is the identity.
+  EXPECT_EQ(m.exists(f, {2}), f);
+}
+
+TEST(Bdd, RenameShiftsVariables) {
+  BddManager m(4);
+  const Node f = m.andOf(m.variable(1), m.variable(3));
+  const Node g = m.rename(f, {{1, 0}, {3, 2}});
+  EXPECT_EQ(g, m.andOf(m.variable(0), m.variable(2)));
+  // Non-monotone maps are rejected.
+  EXPECT_THROW(m.rename(f, {{1, 2}, {3, 0}}), ContractError);
+}
+
+TEST(Bdd, CubeBuildsConjunction) {
+  BddManager m(3);
+  const Node c = m.cube({{0, true}, {2, false}});
+  EXPECT_TRUE(m.evaluate(c, {true, false, false}));
+  EXPECT_TRUE(m.evaluate(c, {true, true, false}));
+  EXPECT_FALSE(m.evaluate(c, {true, false, true}));
+  EXPECT_FALSE(m.evaluate(c, {false, false, false}));
+  EXPECT_THROW(m.cube({{0, true}, {0, false}}), ContractError);
+  EXPECT_EQ(m.cube({}), BddManager::kTrue);
+}
+
+// ---------------------------------------------------------------------------
+// Symbolic FSM analyses.
+// ---------------------------------------------------------------------------
+
+TEST(SymbolicFsm, PaperMachinesEquivalence) {
+  const auto same =
+      checkEquivalenceSymbolic(onesDetector(), onesDetector());
+  EXPECT_TRUE(same.equivalent);
+  EXPECT_GT(same.iterations, 0);
+  const auto different =
+      checkEquivalenceSymbolic(onesDetector(), zerosDetector());
+  EXPECT_FALSE(different.equivalent);
+}
+
+TEST(SymbolicFsm, ReachablePairsOfSelfProductIsReachableSet) {
+  const Machine m = counterMachine(5);
+  EXPECT_EQ(symbolicReachableStates(m), reachableStates(m).size());
+  const Machine hdlc = sampleMachine("hdlc_v1");
+  EXPECT_EQ(symbolicReachableStates(hdlc), reachableStates(hdlc).size());
+}
+
+TEST(SymbolicFsm, MismatchedAlphabetsRejected) {
+  EXPECT_THROW(checkEquivalenceSymbolic(onesDetector(), counterMachine(2)),
+               FsmError);
+}
+
+/// Cross-validation sweep: the symbolic checker and the explicit product
+/// BFS agree on random machine pairs (equivalent and mutated).
+class SymbolicPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SymbolicPropertyTest, AgreesWithExplicitChecker) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 607 + 13);
+  RandomMachineSpec spec;
+  spec.stateCount = 2 + static_cast<int>(rng.below(8));
+  spec.inputCount = 1 + static_cast<int>(rng.below(3));
+  spec.outputCount = 2;
+  const Machine a = randomMachine(spec, rng);
+
+  // Identical copy: must be equivalent.
+  EXPECT_TRUE(checkEquivalenceSymbolic(a, a.withName("copy")).equivalent);
+
+  // Mutants: verdicts must agree with the explicit checker.
+  for (int round = 0; round < 4; ++round) {
+    MutationSpec mutation;
+    mutation.deltaCount = 1 + static_cast<int>(rng.below(3));
+    const Machine b = mutateMachine(a, mutation, rng);
+    const bool explicitVerdict = areEquivalent(a, b);
+    const auto symbolic = checkEquivalenceSymbolic(a, b);
+    EXPECT_EQ(symbolic.equivalent, explicitVerdict) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SymbolicPropertyTest,
+                         ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace rfsm::bdd

@@ -1,0 +1,190 @@
+// Tests for the rfsmc command-line front end (via the cli library).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tools/cli.hpp"
+
+namespace rfsm::cli {
+namespace {
+
+struct CliRun {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliRun run(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  const int code = runCli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(Cli, HelpListsCommands) {
+  const CliRun r = run({"help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("migrate"), std::string::npos);
+  EXPECT_NE(r.out.find("vhdl"), std::string::npos);
+  // No args behaves like help.
+  EXPECT_EQ(run({}).code, 0);
+}
+
+TEST(Cli, UnknownCommandFailsWithUsageCode) {
+  const CliRun r = run({"frobnicate"});
+  EXPECT_EQ(r.code, 64);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, InfoOnSample) {
+  const CliRun r = run({"info", "sample:traffic_v1"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("states:      4"), std::string::npos);
+  EXPECT_NE(r.out.find("connected:   yes"), std::string::npos);
+}
+
+TEST(Cli, InfoUnknownSampleFails) {
+  const CliRun r = run({"info", "sample:missing"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown sample"), std::string::npos);
+}
+
+TEST(Cli, InfoUnreadableFileFails) {
+  const CliRun r = run({"info", "/nonexistent/machine.json"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+TEST(Cli, BadExtensionRejected) {
+  const CliRun r = run({"info", "/etc/hostname"});
+  EXPECT_EQ(r.code, 1);
+}
+
+TEST(Cli, DotEmitsGraph) {
+  const CliRun r = run({"dot", "sample:parity_even"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("digraph"), std::string::npos);
+  EXPECT_NE(r.out.find("EVEN"), std::string::npos);
+}
+
+TEST(Cli, ConvertToJsonAndKiss2) {
+  const CliRun json = run({"convert", "sample:vending_v1", "--to", "json"});
+  EXPECT_EQ(json.code, 0);
+  EXPECT_NE(json.out.find("\"transitions\""), std::string::npos);
+  const CliRun kiss = run({"convert", "sample:vending_v1", "--to", "kiss2"});
+  EXPECT_EQ(kiss.code, 0);
+  EXPECT_NE(kiss.out.find(".i 2"), std::string::npos);
+  const CliRun bad = run({"convert", "sample:vending_v1", "--to", "xml"});
+  EXPECT_EQ(bad.code, 1);
+}
+
+TEST(Cli, MigratePlansEveryPlanner) {
+  for (const char* planner :
+       {"jsr", "greedy", "ea", "exact", "2opt", "anneal", "optimal"}) {
+    const CliRun r = run({"migrate", "sample:parity_even",
+                          "sample:parity_odd", "--planner", planner});
+    EXPECT_EQ(r.code, 0) << planner << ": " << r.err;
+    EXPECT_NE(r.out.find("valid: yes"), std::string::npos) << planner;
+  }
+}
+
+TEST(Cli, MigrateTableMode) {
+  const CliRun r = run({"migrate", "sample:traffic_v1", "sample:traffic_v2",
+                        "--planner", "jsr", "--table"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("H_f(r)"), std::string::npos);
+}
+
+TEST(Cli, MigrateUnknownPlannerFails) {
+  const CliRun r = run({"migrate", "sample:parity_even",
+                        "sample:parity_odd", "--planner", "magic"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown planner"), std::string::npos);
+}
+
+TEST(Cli, VhdlEmitsEntity) {
+  const CliRun r = run({"vhdl", "sample:parity_even", "sample:parity_odd",
+                        "--entity", "parity_flip"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("ENTITY parity_flip IS"), std::string::npos);
+  EXPECT_NE(r.out.find("END rtl;"), std::string::npos);
+}
+
+TEST(Cli, SynthReportsBothImplementations) {
+  const CliRun r = run({"synth", "sample:hdlc_v1"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("4-LUTs"), std::string::npos);
+  EXPECT_NE(r.out.find("BlockRAM"), std::string::npos);
+}
+
+TEST(Cli, SamplesListAndDump) {
+  const CliRun list = run({"samples"});
+  EXPECT_EQ(list.code, 0);
+  EXPECT_NE(list.out.find("traffic_v1"), std::string::npos);
+  const CliRun dump = run({"samples", "vending_v2"});
+  EXPECT_EQ(dump.code, 0);
+  EXPECT_NE(dump.out.find(".r C0"), std::string::npos);
+}
+
+TEST(Cli, ChainPlansReleaseTrain) {
+  const CliRun r = run({"chain", "sample:traffic_v1", "sample:traffic_v2",
+                        "--planner", "greedy"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("traffic_v1 -> traffic_v2"), std::string::npos);
+  EXPECT_NE(r.out.find("total upgrade"), std::string::npos);
+  // One machine is not a chain.
+  EXPECT_EQ(run({"chain", "sample:traffic_v1"}).code, 1);
+  EXPECT_EQ(run({"chain", "sample:traffic_v1", "sample:traffic_v2",
+                 "--planner", "magic"})
+                .code,
+            1);
+}
+
+TEST(Cli, TestbenchEmitsSelfCheckingBench) {
+  const CliRun r = run({"testbench", "sample:parity_even",
+                        "sample:parity_odd", "--entity", "parity"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("ENTITY parity_tb IS"), std::string::npos);
+  EXPECT_NE(r.out.find("ENTITY work.parity"), std::string::npos);
+  EXPECT_NE(r.out.find("ASSERT"), std::string::npos);
+  EXPECT_NE(r.out.find("testbench passed"), std::string::npos);
+}
+
+TEST(Cli, ReportProducesOnePager) {
+  const CliRun r = run({"report", "sample:vending_v1", "sample:vending_v2"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("# Migration report"), std::string::npos);
+  EXPECT_NE(r.out.find("| JSR"), std::string::npos);
+  EXPECT_NE(r.out.find("downtime:"), std::string::npos);
+  EXPECT_EQ(run({"report", "sample:vending_v1"}).code, 1);
+}
+
+TEST(Cli, InfoStatsFlag) {
+  const CliRun r = run({"info", "sample:hdlc_v1", "--stats"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("diameter"), std::string::npos);
+  EXPECT_NE(r.out.find("mean distinct successors"), std::string::npos);
+}
+
+TEST(Cli, EquivBothEngines) {
+  const CliRun same = run({"equiv", "sample:parity_even",
+                           "sample:parity_even"});
+  EXPECT_EQ(same.code, 0);
+  EXPECT_NE(same.out.find("equivalent: yes"), std::string::npos);
+  const CliRun diff = run({"equiv", "sample:parity_even",
+                           "sample:parity_odd"});
+  EXPECT_EQ(diff.code, 2);
+  EXPECT_NE(diff.out.find("counterexample"), std::string::npos);
+  const CliRun sym = run({"equiv", "sample:parity_even",
+                          "sample:parity_odd", "--symbolic"});
+  EXPECT_EQ(sym.code, 2);
+  EXPECT_NE(sym.out.find("BDD nodes"), std::string::npos);
+}
+
+TEST(Cli, MissingArgumentsReportUsage) {
+  EXPECT_EQ(run({"info"}).code, 1);
+  EXPECT_EQ(run({"migrate", "sample:parity_even"}).code, 1);
+  EXPECT_EQ(run({"vhdl", "sample:parity_even"}).code, 1);
+}
+
+}  // namespace
+}  // namespace rfsm::cli

@@ -1,0 +1,125 @@
+// Tests for parallel and cascade machine composition.
+#include <gtest/gtest.h>
+
+#include "core/apply.hpp"
+#include "core/migration.hpp"
+#include "core/planners.hpp"
+#include "fsm/builder.hpp"
+#include "fsm/compose.hpp"
+#include "fsm/equivalence.hpp"
+#include "fsm/minimize.hpp"
+#include "fsm/simulate.hpp"
+#include "gen/families.hpp"
+#include "gen/generator.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm {
+namespace {
+
+TEST(ParallelCompose, PairwiseBehaviour) {
+  const Machine ones = onesDetector();
+  const Machine zeros = zerosDetector();
+  const Machine both = parallelCompose(ones, zeros);
+  // Composite output is "a|b" of the individual outputs on every word.
+  Simulator simA(ones), simB(zeros), simC(both);
+  Rng rng(3);
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    const int bit = rng.chance(0.5) ? 1 : 0;
+    const std::string in = bit ? "1" : "0";
+    const std::string outA =
+        ones.outputs().name(simA.step(ones.inputs().at(in)));
+    const std::string outB =
+        zeros.outputs().name(simB.step(zeros.inputs().at(in)));
+    const std::string outC =
+        both.outputs().name(simC.step(both.inputs().at(in)));
+    ASSERT_EQ(outC, outA + "|" + outB) << "cycle " << cycle;
+  }
+}
+
+TEST(ParallelCompose, OnlyReachablePairs) {
+  const Machine both = parallelCompose(onesDetector(), zerosDetector());
+  // Ones/zeros detectors track the same last bit: only the correlated
+  // pairs are reachable, not all 4.
+  EXPECT_LE(both.stateCount(), 4);
+  EXPECT_TRUE(both.states().containsName("S0&S0"));
+}
+
+TEST(ParallelCompose, MismatchedInputsRejected) {
+  EXPECT_THROW(parallelCompose(onesDetector(), counterMachine(2)), FsmError);
+}
+
+TEST(CascadeCompose, PipesOutputsIntoInputs) {
+  // A = ones detector (outputs 0/1), B = zeros detector (inputs 0/1):
+  // B sees A's output stream in the same cycle.
+  const Machine a = onesDetector();
+  const Machine b = zerosDetector();
+  const Machine cascade = cascadeCompose(a, b);
+  Simulator simA(a), simB(b), simC(cascade);
+  Rng rng(7);
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    const int bit = rng.chance(0.5) ? 1 : 0;
+    const std::string in = bit ? "1" : "0";
+    const std::string mid = a.outputs().name(simA.step(a.inputs().at(in)));
+    const std::string expect =
+        b.outputs().name(simB.step(b.inputs().at(mid)));
+    const std::string got =
+        cascade.outputs().name(simC.step(cascade.inputs().at(in)));
+    ASSERT_EQ(got, expect) << "cycle " << cycle;
+  }
+}
+
+TEST(CascadeCompose, IncompatibleAlphabetsRejected) {
+  // counter outputs c0..c3, which are not inputs of the ones detector.
+  EXPECT_THROW(cascadeCompose(counterMachine(4), onesDetector()), FsmError);
+}
+
+TEST(Compose, CompositesPlugIntoMigration) {
+  // Compose, then migrate the composite like any other machine.
+  const Machine before = parallelCompose(onesDetector(), onesDetector());
+  const Machine after = parallelCompose(onesDetector(), zerosDetector());
+  const MigrationContext context(before, after);
+  EXPECT_GT(context.deltaCount(), 0);
+  const ReconfigurationProgram z = planGreedy(context);
+  EXPECT_TRUE(validateProgram(context, z).valid);
+}
+
+/// Property: composing with a single-state pass-through machine changes
+/// nothing behaviourally (identity element of the cascade).
+class ComposePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ComposePropertyTest, CascadeWithIdentityIsIdentity) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1201 + 3);
+  RandomMachineSpec spec;
+  spec.stateCount = 2 + static_cast<int>(rng.below(6));
+  spec.inputCount = 2;
+  spec.outputCount = 2;
+  const Machine m = randomMachine(spec, rng);
+  // Identity repeater over m's output alphabet.
+  MachineBuilder id("wire");
+  id.addState("W");
+  id.setResetState("W");
+  for (const auto& name : m.outputs().names()) {
+    id.addInput(name);
+    id.addTransition(name, "W", "W", name);
+  }
+  const Machine cascade = cascadeCompose(m, id.build());
+  EXPECT_TRUE(areEquivalent(cascade, m));
+}
+
+TEST_P(ComposePropertyTest, ParallelSelfProductMinimizesBackToSelf) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1301 + 9);
+  RandomMachineSpec spec;
+  spec.stateCount = 2 + static_cast<int>(rng.below(5));
+  spec.inputCount = 2;
+  const Machine m = randomMachine(spec, rng);
+  const Machine squared = parallelCompose(m, m);
+  // The diagonal product has exactly the reachable states of m, and its
+  // minimized form has at most minimized(m) states.
+  EXPECT_LE(minimize(squared).machine.stateCount(),
+            minimize(m).machine.stateCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ComposePropertyTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace rfsm

@@ -1,0 +1,72 @@
+// Tests for the context-swap / bitstream downtime models.
+#include <gtest/gtest.h>
+
+#include "core/jsr.hpp"
+#include "core/planners.hpp"
+#include "gen/families.hpp"
+#include "gen/generator.hpp"
+#include "gen/mutator.hpp"
+#include "rtl/context_swap.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm::rtl {
+namespace {
+
+TEST(ContextSwap, DowntimeCountsBothRams) {
+  const MigrationContext context(onesDetector(), zerosDetector());
+  ContextSwapModel swap;
+  // 2 states x 2 inputs x 2 RAMs = 8 words + 1 reset.
+  EXPECT_EQ(swap.downtimeCycles(context), 9);
+  swap.wordsPerCycle = 4;
+  EXPECT_EQ(swap.downtimeCycles(context), 3);
+}
+
+TEST(ContextSwap, BitstreamModelMatchesXcv300) {
+  const BitstreamReloadModel model;
+  EXPECT_EQ(model.downtimeCycles(), 1751808 / 8);
+}
+
+TEST(ContextSwap, GradualWinsOnSmallDeltaSets) {
+  Rng rng(9);
+  RandomMachineSpec spec;
+  spec.stateCount = 32;
+  spec.inputCount = 4;
+  const Machine source = randomMachine(spec, rng);
+  MutationSpec mutation;
+  mutation.deltaCount = 4;  // small change to a big machine
+  const Machine target = mutateMachine(source, mutation, rng);
+  const MigrationContext context(source, target);
+
+  const auto comparison = compareDowntime(context, planJsr(context));
+  EXPECT_LT(comparison.gradualCycles, comparison.contextSwapCycles);
+  EXPECT_LT(comparison.contextSwapCycles, comparison.bitstreamCycles);
+  EXPECT_GT(comparison.gradualVsSwap(), 1.0);
+}
+
+TEST(ContextSwap, SwapCanWinWhenEverythingChanges) {
+  // When nearly every cell differs, 3 cycles/cell gradual reconfiguration
+  // loses to a 1 word/cycle full reload — the models capture the crossover.
+  Rng rng(11);
+  RandomMachineSpec spec;
+  spec.stateCount = 6;
+  spec.inputCount = 2;
+  const Machine source = randomMachine(spec, rng);
+  MutationSpec mutation;
+  mutation.deltaCount = 12;  // all cells
+  const Machine target = mutateMachine(source, mutation, rng);
+  const MigrationContext context(source, target);
+  ASSERT_EQ(context.deltaCount(), 12);
+
+  const auto jsr = compareDowntime(context, planJsr(context));
+  EXPECT_GT(jsr.gradualCycles, jsr.contextSwapCycles);
+}
+
+TEST(ContextSwap, RejectsZeroWidthPort) {
+  const MigrationContext context(onesDetector(), zerosDetector());
+  ContextSwapModel swap;
+  swap.wordsPerCycle = 0;
+  EXPECT_THROW(swap.downtimeCycles(context), ContractError);
+}
+
+}  // namespace
+}  // namespace rfsm::rtl

@@ -1,0 +1,111 @@
+// Tests for migration chains (release trains) and rollbacks.
+#include <gtest/gtest.h>
+
+#include "core/apply.hpp"
+#include "core/chain.hpp"
+#include "gen/families.hpp"
+#include "gen/generator.hpp"
+#include "gen/mutator.hpp"
+#include "gen/samples.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm {
+namespace {
+
+std::vector<Machine> detectorTrain() {
+  return {sequenceDetector("01").withName("r1"),
+          sequenceDetector("011").withName("r2"),
+          sequenceDetector("0111").withName("r3")};
+}
+
+TEST(Chain, PlansEveryHopBothWays) {
+  const ChainPlan plan =
+      planMigrationChain(detectorTrain(), ChainPlanner::kGreedy);
+  ASSERT_EQ(plan.stages.size(), 2u);
+  EXPECT_TRUE(plan.allValid());
+  for (const ChainStage& stage : plan.stages) {
+    EXPECT_GT(stage.upgrade.length(), 0);
+    EXPECT_GT(stage.rollback.length(), 0);
+    EXPECT_TRUE(stage.upgradeValid);
+    EXPECT_TRUE(stage.rollbackValid);
+  }
+  EXPECT_EQ(plan.totalUpgradeLength(),
+            plan.stages[0].upgrade.length() + plan.stages[1].upgrade.length());
+}
+
+TEST(Chain, AllPlannersProduceValidChains) {
+  for (const auto planner : {ChainPlanner::kJsr, ChainPlanner::kGreedy,
+                             ChainPlanner::kEvolutionary}) {
+    const ChainPlan plan = planMigrationChain(detectorTrain(), planner, 7);
+    EXPECT_TRUE(plan.allValid()) << toString(planner);
+  }
+}
+
+TEST(Chain, RollbackContextIsReversed) {
+  const ChainPlan plan =
+      planMigrationChain(detectorTrain(), ChainPlanner::kJsr);
+  const ChainStage& stage = plan.stages[0];
+  EXPECT_EQ(stage.context.sourceMachine().name(), "r1");
+  EXPECT_EQ(stage.context.targetMachine().name(), "r2");
+  EXPECT_EQ(stage.rollbackContext.sourceMachine().name(), "r2");
+  EXPECT_EQ(stage.rollbackContext.targetMachine().name(), "r1");
+}
+
+TEST(Chain, UpgradeThenRollbackRestoresBehaviour) {
+  const ChainPlan plan =
+      planMigrationChain(detectorTrain(), ChainPlanner::kGreedy);
+  const ChainStage& stage = plan.stages[0];
+  // Apply the upgrade, extract, apply the rollback, extract: back to r1.
+  MutableMachine up(stage.context);
+  up.applyProgram(stage.upgrade);
+  ASSERT_TRUE(up.matchesTarget());
+  MutableMachine down(stage.rollbackContext);
+  down.applyProgram(stage.rollback);
+  ASSERT_TRUE(down.matchesTarget());
+  EXPECT_EQ(down.extractTarget().name(), "r1");
+}
+
+TEST(Chain, RejectsTooShortTrains) {
+  EXPECT_THROW(planMigrationChain({sequenceDetector("01")},
+                                  ChainPlanner::kJsr),
+               ContractError);
+}
+
+TEST(Chain, SampleRevisionsChain) {
+  const std::vector<Machine> train = {sampleMachine("vending_v1"),
+                                      sampleMachine("vending_v2")};
+  const ChainPlan plan =
+      planMigrationChain(train, ChainPlanner::kEvolutionary, 11);
+  EXPECT_TRUE(plan.allValid());
+  // The rollback removes the C15 state's behaviour: its delta set covers
+  // the cells that C15 made reachable.
+  EXPECT_GT(plan.stages[0].rollbackContext.deltaCount(), 0);
+}
+
+/// Property sweep: random revision trains plan valid chains end to end.
+class ChainPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainPropertyTest, RandomTrainsAreValidBothWays) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 307 + 17);
+  RandomMachineSpec spec;
+  spec.stateCount = 5 + static_cast<int>(rng.below(6));
+  spec.inputCount = 2;
+  std::vector<Machine> train;
+  train.push_back(randomMachine(spec, rng));
+  for (int hop = 0; hop < 3; ++hop) {
+    MutationSpec mutation;
+    mutation.deltaCount = 2 + static_cast<int>(rng.below(4));
+    mutation.name = "rev" + std::to_string(hop + 2);
+    train.push_back(mutateMachine(train.back(), mutation, rng));
+  }
+  const ChainPlan plan =
+      planMigrationChain(train, ChainPlanner::kGreedy,
+                         static_cast<std::uint64_t>(GetParam()));
+  EXPECT_TRUE(plan.allValid());
+  EXPECT_EQ(plan.stages.size(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ChainPropertyTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace rfsm

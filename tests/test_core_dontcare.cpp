@@ -1,0 +1,109 @@
+// Tests for don't-care-aware target completion.
+#include <gtest/gtest.h>
+
+#include "core/apply.hpp"
+#include "core/dontcare.hpp"
+#include "core/jsr.hpp"
+#include "core/planners.hpp"
+#include "gen/families.hpp"
+#include "gen/generator.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm {
+namespace {
+
+/// A partial upgrade spec over the ones detector: only one cell is pinned.
+PartialMachine onePinnedCell() {
+  const Machine m = onesDetector();
+  PartialMachine spec("upgrade", m.inputs(), m.outputs(), m.states(),
+                      m.resetState());
+  // Require: on (1, S1) the output becomes 0 (instead of 1).
+  spec.specify(m.inputs().at("1"), m.states().at("S1"), m.states().at("S1"),
+               m.outputs().at("0"));
+  return spec;
+}
+
+TEST(DontCare, InheritsEverythingUnconstrained) {
+  const Machine source = onesDetector();
+  const CompletionResult completion =
+      completeForMigration(source, onePinnedCell());
+  // Only the pinned cell differs from the source.
+  const MigrationContext context(source, completion.target);
+  EXPECT_EQ(context.deltaCount(), 1);
+  EXPECT_EQ(completion.defaultedCells, 0);
+  EXPECT_GT(completion.inheritedCells, 0);
+  // And the completion honours the spec.
+  EXPECT_TRUE(implementsSpecification(completion.target, onePinnedCell()));
+}
+
+TEST(DontCare, MigrationOfCompletionValidates) {
+  const Machine source = onesDetector();
+  const CompletionResult completion =
+      completeForMigration(source, onePinnedCell());
+  const MigrationContext context(source, completion.target);
+  EXPECT_TRUE(validateProgram(context, planJsr(context)).valid);
+  EXPECT_TRUE(validateProgram(context, planGreedy(context)).valid);
+}
+
+TEST(DontCare, NewStatesFallBackToDefaults) {
+  const Machine source = onesDetector();
+  SymbolTable states({"S0", "S1", "S2"});  // S2 is new
+  PartialMachine spec("grow", source.inputs(), source.outputs(), states, 0);
+  spec.specify(source.inputs().at("1"), 1, 2, source.outputs().at("0"));
+  const CompletionResult completion = completeForMigration(source, spec);
+  EXPECT_EQ(completion.target.stateCount(), 3);
+  // S2's cells cannot inherit from the source: self-loops + default output.
+  const SymbolId s2 = completion.target.states().at("S2");
+  for (SymbolId i = 0; i < completion.target.inputCount(); ++i)
+    EXPECT_EQ(completion.target.next(i, s2), s2);
+  EXPECT_GT(completion.defaultedCells, 0);
+  EXPECT_TRUE(implementsSpecification(completion.target, spec));
+}
+
+/// Property sweep: the smart completion never has more deltas than random
+/// completions of the same spec, and always implements it.
+class DontCarePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DontCarePropertyTest, BeatsRandomCompletions) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 709 + 11);
+  RandomMachineSpec genSpec;
+  genSpec.stateCount = 3 + static_cast<int>(rng.below(6));
+  genSpec.inputCount = 2;
+  genSpec.outputCount = 2;
+  const Machine source = randomMachine(genSpec, rng);
+
+  // Sparse upgrade spec over the same alphabets: pin ~30% of the cells to
+  // random values.
+  PartialMachine spec("sparse", source.inputs(), source.outputs(),
+                      source.states(), source.resetState());
+  for (SymbolId s = 0; s < source.stateCount(); ++s)
+    for (SymbolId i = 0; i < source.inputCount(); ++i)
+      if (rng.chance(0.3))
+        spec.specify(
+            i, s,
+            static_cast<SymbolId>(rng.below(
+                static_cast<std::uint64_t>(source.stateCount()))),
+            static_cast<SymbolId>(rng.below(
+                static_cast<std::uint64_t>(source.outputCount()))));
+
+  const CompletionResult smart = completeForMigration(source, spec);
+  EXPECT_TRUE(implementsSpecification(smart.target, spec));
+  const int smartDeltas =
+      MigrationContext(source, smart.target).deltaCount();
+
+  for (int round = 0; round < 5; ++round) {
+    const Machine random = spec.completeRandomly(rng);
+    const int randomDeltas = MigrationContext(source, random).deltaCount();
+    EXPECT_LE(smartDeltas, randomDeltas) << "round " << round;
+  }
+
+  // And the resulting migration is plannable.
+  const MigrationContext context(source, smart.target);
+  EXPECT_TRUE(validateProgram(context, planGreedy(context)).valid);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DontCarePropertyTest,
+                         ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace rfsm

@@ -1,0 +1,119 @@
+// Tests for the local-search planners (2-opt, simulated annealing) and
+// their relationship to the EA and the bounds.
+#include <gtest/gtest.h>
+
+#include "core/apply.hpp"
+#include "core/bounds.hpp"
+#include "core/jsr.hpp"
+#include "core/local_search.hpp"
+#include "core/planners.hpp"
+#include "gen/families.hpp"
+#include "gen/generator.hpp"
+#include "gen/mutator.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm {
+namespace {
+
+MigrationContext instance(int states, int deltas, std::uint64_t seed) {
+  Rng rng(seed);
+  RandomMachineSpec spec;
+  spec.stateCount = states;
+  spec.inputCount = 2;
+  const Machine source = randomMachine(spec, rng);
+  MutationSpec mutation;
+  mutation.deltaCount = deltas;
+  const Machine target = mutateMachine(source, mutation, rng);
+  return MigrationContext(source, target);
+}
+
+TEST(TwoOpt, ValidAndNoWorseThanSeed) {
+  const MigrationContext context = instance(10, 8, 5);
+  std::vector<int> identity(static_cast<std::size_t>(loopDeltaCount(context)));
+  for (std::size_t k = 0; k < identity.size(); ++k)
+    identity[k] = static_cast<int>(k);
+  const int seedLength = decodeOrder(context, identity).length();
+
+  const LocalSearchPlan plan = planTwoOpt(context, identity);
+  EXPECT_TRUE(validateProgram(context, plan.program).valid);
+  EXPECT_LE(plan.program.length(), seedLength);
+  EXPECT_GE(plan.program.length(), programLowerBound(context));
+  EXPECT_GT(plan.evaluations, 0);
+}
+
+TEST(TwoOpt, EmptySeedUsesIdentity) {
+  const MigrationContext context = instance(8, 5, 6);
+  const LocalSearchPlan plan = planTwoOpt(context);
+  EXPECT_TRUE(validateProgram(context, plan.program).valid);
+}
+
+TEST(TwoOpt, RejectsBadSeeds) {
+  const MigrationContext context = instance(8, 5, 7);
+  EXPECT_THROW(planTwoOpt(context, {0, 0, 1, 2, 3}), ContractError);
+  EXPECT_THROW(planTwoOpt(context, {0}), ContractError);
+}
+
+TEST(TwoOpt, EvaluationBudgetRespected) {
+  const MigrationContext context = instance(12, 10, 8);
+  const LocalSearchPlan plan = planTwoOpt(context, {}, {}, 10);
+  EXPECT_LE(plan.evaluations, 10 + 1);
+  EXPECT_TRUE(validateProgram(context, plan.program).valid);
+}
+
+TEST(Annealing, ValidAndWithinBounds) {
+  const MigrationContext context = instance(10, 8, 9);
+  AnnealingConfig config;
+  Rng rng(3);
+  const LocalSearchPlan plan = planAnnealing(context, config, rng);
+  EXPECT_TRUE(validateProgram(context, plan.program).valid);
+  EXPECT_GE(plan.program.length(), programLowerBound(context));
+  EXPECT_LE(plan.program.length(), jsrUpperBound(context));
+}
+
+TEST(Annealing, DeterministicForSeed) {
+  const MigrationContext context = instance(10, 8, 10);
+  AnnealingConfig config;
+  config.moves = 500;
+  Rng a(7), b(7);
+  EXPECT_EQ(planAnnealing(context, config, a).program.length(),
+            planAnnealing(context, config, b).program.length());
+}
+
+TEST(Annealing, SingleDeltaInstance) {
+  const MigrationContext context(example42Source(), example42Target());
+  AnnealingConfig config;
+  config.moves = 10;
+  Rng rng(1);
+  const LocalSearchPlan plan = planAnnealing(context, config, rng);
+  EXPECT_TRUE(validateProgram(context, plan.program).valid);
+}
+
+/// Property sweep: local search always beats or ties JSR and stays valid.
+class LocalSearchPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LocalSearchPropertyTest, TwoOptStaysWithinTheJsrBound) {
+  const MigrationContext context =
+      instance(6 + GetParam() % 6, 4 + GetParam() % 5,
+               static_cast<std::uint64_t>(GetParam()) * 19 + 11);
+  const LocalSearchPlan plan = planTwoOpt(context);
+  EXPECT_TRUE(validateProgram(context, plan.program).valid);
+  EXPECT_LE(plan.program.length(), jsrUpperBound(context));
+  EXPECT_GE(plan.program.length(), programLowerBound(context));
+}
+
+TEST_P(LocalSearchPropertyTest, AnnealingValidates) {
+  const MigrationContext context =
+      instance(6 + GetParam() % 6, 4 + GetParam() % 5,
+               static_cast<std::uint64_t>(GetParam()) * 23 + 7);
+  AnnealingConfig config;
+  config.moves = 800;
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const LocalSearchPlan plan = planAnnealing(context, config, rng);
+  EXPECT_TRUE(validateProgram(context, plan.program).valid);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LocalSearchPropertyTest,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace rfsm

@@ -1,0 +1,224 @@
+// Tests for the planners: JSR (Sec. 4.4, Example 4.3), temporary
+// transitions (Sec. 4.3, Example 4.2), bounds (Sec. 4.5), the decoder, the
+// greedy / evolutionary / exact planners (Sec. 4.6).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/apply.hpp"
+#include "core/bounds.hpp"
+#include "core/jsr.hpp"
+#include "core/planners.hpp"
+#include "gen/families.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm {
+namespace {
+
+TEST(Bounds, Formulas) {
+  EXPECT_EQ(jsrUpperBound(0), 3);
+  EXPECT_EQ(jsrUpperBound(4), 15);
+  EXPECT_EQ(programLowerBound(7), 7);
+  EXPECT_THROW(jsrUpperBound(-1), ContractError);
+}
+
+TEST(Jsr, Example43ProgramLengthIs15) {
+  // Example 4.3 lists a 15-step program: 3 * (|Td| + 1) with |Td| = 4.
+  const MigrationContext context(example41Source(), example41Target());
+  const ReconfigurationProgram z = planJsr(context);
+  EXPECT_EQ(z.length(), 15);
+  EXPECT_EQ(z.length(), jsrUpperBound(context));
+  const ValidationResult result = validateProgram(context, z);
+  EXPECT_TRUE(result.valid) << result.reason;
+}
+
+TEST(Jsr, Example43ProgramStructure) {
+  // Paper structure: reset, then (temp, delta, reset) per loop delta, then
+  // the final temporary-cell rewrite and reset.
+  const MigrationContext context(example41Source(), example41Target());
+  const ReconfigurationProgram z = planJsr(context);
+  ASSERT_EQ(z.steps.size(), 15u);
+  EXPECT_EQ(z.steps[0].kind, StepKind::kReset);
+  for (int d = 0; d < 4; ++d) {
+    EXPECT_EQ(z.steps[static_cast<std::size_t>(1 + 3 * d)].kind,
+              StepKind::kRewrite);
+    EXPECT_TRUE(z.steps[static_cast<std::size_t>(1 + 3 * d)].temporary);
+    EXPECT_EQ(z.steps[static_cast<std::size_t>(2 + 3 * d)].kind,
+              StepKind::kRewrite);
+    EXPECT_FALSE(z.steps[static_cast<std::size_t>(2 + 3 * d)].temporary);
+    EXPECT_EQ(z.steps[static_cast<std::size_t>(3 + 3 * d)].kind,
+              StepKind::kReset);
+  }
+  EXPECT_EQ(z.steps[13].kind, StepKind::kRewrite);  // repair temp cell
+  EXPECT_EQ(z.steps[14].kind, StepKind::kReset);
+  EXPECT_EQ(z.resetCount(), 6);
+  EXPECT_EQ(z.temporaryCount(), 4);
+}
+
+TEST(Jsr, NoDeltasStillThreeSteps) {
+  // Even with Td empty, JSR emits reset + temp-cell rewrite + reset = 3,
+  // its 3*(0+1) bound.
+  const MigrationContext context(onesDetector(), onesDetector());
+  const ReconfigurationProgram z = planJsr(context);
+  EXPECT_EQ(z.length(), 3);
+  EXPECT_TRUE(validateProgram(context, z).valid);
+}
+
+TEST(Jsr, CustomTemporaryInput) {
+  const MigrationContext context(example41Source(), example41Target());
+  JsrOptions options;
+  options.tempInput = context.inputs().at("1");
+  const ReconfigurationProgram z = planJsr(context, options);
+  EXPECT_TRUE(validateProgram(context, z).valid);
+  EXPECT_LE(z.length(), jsrUpperBound(context));
+}
+
+TEST(Jsr, TempCellDeltaFoldedIntoTail) {
+  // Ones -> zeros: with i0 = "0", the cell (0, S0) is itself a delta; JSR
+  // folds it into the tail and the program shortens to 3 * |Td|.
+  const MigrationContext context(onesDetector(), zerosDetector());
+  JsrOptions options;
+  options.tempInput = context.inputs().at("0");
+  const ReconfigurationProgram z = planJsr(context, options);
+  EXPECT_EQ(context.deltaCount(), 2);
+  EXPECT_EQ(z.length(), 3 * 2);
+  EXPECT_TRUE(validateProgram(context, z).valid);
+}
+
+// ---------------------------------------------------------------------------
+// Example 4.2: temporary transitions shorten the program from 4 to 3.
+// ---------------------------------------------------------------------------
+
+TEST(TemporaryTransitions, PathProgramTakesFourCycles) {
+  const MigrationContext c(example42Source(), example42Target());
+  const SymbolId in0 = c.inputs().at("0");
+  const SymbolId in1 = c.inputs().at("1");
+  // Z = ((1,S0,S1,0), (1,S1,S2,0), (1,S2,S3,0), (0,S3,S0,0)).
+  ReconfigurationProgram z;
+  z.steps.push_back(ReconfigStep::traverse(in1));
+  z.steps.push_back(ReconfigStep::traverse(in1));
+  z.steps.push_back(ReconfigStep::traverse(in1));
+  z.steps.push_back(ReconfigStep::rewrite(in0, c.states().at("S0"),
+                                          c.outputs().at("0")));
+  EXPECT_EQ(z.length(), 4);
+  EXPECT_TRUE(validateProgram(c, z).valid);
+}
+
+TEST(TemporaryTransitions, TemporaryProgramTakesThreeCycles) {
+  const MigrationContext c(example42Source(), example42Target());
+  const SymbolId in0 = c.inputs().at("0");
+  // Z = ((0,S0,S3,0), (0,S3,S0,0), (0,S0,S0,0)).
+  ReconfigurationProgram z;
+  z.steps.push_back(ReconfigStep::rewrite(in0, c.states().at("S3"),
+                                          c.outputs().at("0"), true));
+  z.steps.push_back(ReconfigStep::rewrite(in0, c.states().at("S0"),
+                                          c.outputs().at("0")));
+  z.steps.push_back(ReconfigStep::rewrite(in0, c.states().at("S0"),
+                                          c.outputs().at("0")));
+  EXPECT_EQ(z.length(), 3);
+  const ValidationResult result = validateProgram(c, z);
+  EXPECT_TRUE(result.valid) << result.reason;
+}
+
+// ---------------------------------------------------------------------------
+// Decoder and planners.
+// ---------------------------------------------------------------------------
+
+TEST(Decoder, IdentityOrderIsValidOnExample41) {
+  const MigrationContext context(example41Source(), example41Target());
+  const int n = loopDeltaCount(context);
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  const ReconfigurationProgram z = decodeOrder(context, order);
+  const ValidationResult result = validateProgram(context, z);
+  EXPECT_TRUE(result.valid) << result.reason;
+  EXPECT_GE(z.length(), programLowerBound(context));
+}
+
+TEST(Decoder, RejectsNonPermutations) {
+  const MigrationContext context(example41Source(), example41Target());
+  EXPECT_THROW(decodeOrder(context, {0, 0, 1, 2}), ContractError);
+  EXPECT_THROW(decodeOrder(context, {0}), ContractError);
+}
+
+TEST(Decoder, BestOfThreeNeverWorseThanPaperRule) {
+  const MigrationContext context(example41Source(), example41Target());
+  const int n = loopDeltaCount(context);
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  DecodeOptions paper;
+  DecodeOptions better;
+  better.rule = DecodeRule::kBestOfThree;
+  EXPECT_LE(decodeOrder(context, order, better).length(),
+            decodeOrder(context, order, paper).length());
+}
+
+TEST(Planners, GreedyValidAndWithinBounds) {
+  const MigrationContext context(example41Source(), example41Target());
+  const ReconfigurationProgram z = planGreedy(context);
+  EXPECT_TRUE(validateProgram(context, z).valid);
+  EXPECT_GE(z.length(), programLowerBound(context));
+  EXPECT_LE(z.length(), jsrUpperBound(context));
+}
+
+TEST(Planners, EvolutionaryBeatsOrMatchesJsrOnExample41) {
+  const MigrationContext context(example41Source(), example41Target());
+  Rng rng(7);
+  EvolutionConfig config;
+  config.generations = 40;
+  const EvolutionaryPlan plan = planEvolutionary(context, config, rng);
+  EXPECT_TRUE(validateProgram(context, plan.program).valid);
+  EXPECT_LE(plan.program.length(), planJsr(context).length());
+  EXPECT_GE(plan.program.length(), programLowerBound(context));
+  EXPECT_GT(plan.evaluations, 0);
+  EXPECT_FALSE(plan.bestPerGeneration.empty());
+}
+
+TEST(Planners, ExactIsNoWorseThanAnyOtherPlanner) {
+  const MigrationContext context(example41Source(), example41Target());
+  const auto exact = planExact(context);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_TRUE(validateProgram(context, *exact).valid);
+  EXPECT_LE(exact->length(), planGreedy(context).length());
+  EXPECT_LE(exact->length(), planJsr(context).length());
+  Rng rng(3);
+  EvolutionConfig config;
+  EXPECT_LE(exact->length(),
+            planEvolutionary(context, config, rng).program.length());
+}
+
+TEST(Planners, ExactRefusesLargeInstances) {
+  const MigrationContext context(example41Source(), example41Target());
+  EXPECT_FALSE(planExact(context, /*maxDeltas=*/2).has_value());
+}
+
+TEST(Planners, NoTemporaryIsValid) {
+  const MigrationContext context(example41Source(), example41Target());
+  const ReconfigurationProgram z = planNoTemporary(context);
+  EXPECT_TRUE(validateProgram(context, z).valid);
+}
+
+TEST(Planners, SingleDeltaInstanceAllPlannersAgreeItIsCheap) {
+  const MigrationContext context(example42Source(), example42Target());
+  // |Td| = 1: every planner should finish in a handful of cycles.
+  EXPECT_LE(planJsr(context).length(), 6);
+  EXPECT_LE(planGreedy(context).length(), 6);
+  const auto exact = planExact(context);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_LE(exact->length(), 4);
+  EXPECT_TRUE(validateProgram(context, *exact).valid);
+}
+
+TEST(Planners, EvolutionaryDeterministicForSeed) {
+  const MigrationContext context(example41Source(), example41Target());
+  EvolutionConfig config;
+  config.generations = 20;
+  Rng a(99), b(99);
+  const auto planA = planEvolutionary(context, config, a);
+  const auto planB = planEvolutionary(context, config, b);
+  EXPECT_EQ(planA.program.length(), planB.program.length());
+  EXPECT_EQ(planA.evaluations, planB.evaluations);
+}
+
+}  // namespace
+}  // namespace rfsm

@@ -1,0 +1,186 @@
+// Property tests over randomly generated migration instances: every planner
+// must produce a validating program; lengths must respect the Thm. 4.2/4.3
+// bounds; JSR must hit its formula exactly; the EA must never lose to its
+// own initial population.
+#include <gtest/gtest.h>
+
+#include "core/apply.hpp"
+#include "core/bounds.hpp"
+#include "core/jsr.hpp"
+#include "core/planners.hpp"
+#include "core/sequence.hpp"
+#include "gen/generator.hpp"
+#include "gen/mutator.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm {
+namespace {
+
+struct InstanceSpec {
+  int states;
+  int inputs;
+  int deltas;
+  int newStates;
+};
+
+/// Builds a random migration instance from a sweep parameter.
+MigrationContext makeInstance(const InstanceSpec& spec, std::uint64_t seed) {
+  Rng rng(seed);
+  RandomMachineSpec machineSpec;
+  machineSpec.stateCount = spec.states;
+  machineSpec.inputCount = spec.inputs;
+  machineSpec.outputCount = 2;
+  const Machine source = randomMachine(machineSpec, rng);
+  MutationSpec mutation;
+  mutation.deltaCount = spec.deltas;
+  mutation.newStateCount = spec.newStates;
+  const Machine target = mutateMachine(source, mutation, rng);
+  return MigrationContext(source, target);
+}
+
+class MigrationPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  MigrationContext instance() const {
+    const auto [variant, seed] = GetParam();
+    // Four instance shapes: small/large, with/without new states.
+    static const InstanceSpec specs[] = {
+        {4, 2, 3, 0},
+        {8, 2, 6, 0},
+        {6, 3, 8, 1},
+        {12, 2, 10, 2},
+    };
+    return makeInstance(specs[static_cast<std::size_t>(variant)],
+                        static_cast<std::uint64_t>(seed) * 7919 + 17);
+  }
+};
+
+TEST_P(MigrationPropertyTest, MutatorProducesExactDeltaCount) {
+  const auto [variant, seed] = GetParam();
+  static const int expected[] = {3, 6, 8, 10};
+  const MigrationContext context = instance();
+  EXPECT_EQ(context.deltaCount(),
+            expected[static_cast<std::size_t>(variant)]);
+}
+
+TEST_P(MigrationPropertyTest, JsrHitsItsFormulaAndValidates) {
+  const MigrationContext context = instance();
+  const ReconfigurationProgram z = planJsr(context);
+  const ValidationResult result = validateProgram(context, z);
+  EXPECT_TRUE(result.valid) << result.reason;
+  // Exact length: 3*|Td|+3 normally, 3*|Td| when the temp cell is a delta.
+  const SymbolId i0 = context.liftTargetInput(0);
+  bool tempCellIsDelta = false;
+  for (const Transition& td : context.deltaTransitions())
+    if (td.input == i0 && td.from == context.targetReset())
+      tempCellIsDelta = true;
+  const int expected =
+      tempCellIsDelta ? 3 * context.deltaCount()
+                      : 3 * context.deltaCount() + 3;
+  EXPECT_EQ(z.length(), expected);
+  EXPECT_LE(z.length(), jsrUpperBound(context));  // Thm. 4.2
+}
+
+TEST_P(MigrationPropertyTest, GreedyValidatesAndRespectsBounds) {
+  const MigrationContext context = instance();
+  const ReconfigurationProgram z = planGreedy(context);
+  const ValidationResult result = validateProgram(context, z);
+  EXPECT_TRUE(result.valid) << result.reason;
+  EXPECT_GE(z.length(), programLowerBound(context));  // Thm. 4.3
+  EXPECT_LE(z.length(), jsrUpperBound(context));
+}
+
+TEST_P(MigrationPropertyTest, EvolutionaryValidatesAndBeatsItsSeedPopulation) {
+  const auto [variant, seed] = GetParam();
+  const MigrationContext context = instance();
+  Rng rng(static_cast<std::uint64_t>(seed) * 31 + 7);
+  EvolutionConfig config;
+  config.populationSize = 24;
+  config.generations = 30;
+  const EvolutionaryPlan plan = planEvolutionary(context, config, rng);
+  const ValidationResult result = validateProgram(context, plan.program);
+  EXPECT_TRUE(result.valid) << result.reason;
+  EXPECT_LE(plan.program.length(), static_cast<int>(plan.initialBest));
+  EXPECT_GE(plan.program.length(), programLowerBound(context));
+  EXPECT_LE(plan.program.length(), jsrUpperBound(context));
+}
+
+TEST_P(MigrationPropertyTest, BestOfThreeDecoderValidates) {
+  const auto [variant, seed] = GetParam();
+  const MigrationContext context = instance();
+  Rng rng(static_cast<std::uint64_t>(seed) * 131 + 3);
+  DecodeOptions options;
+  options.rule = DecodeRule::kBestOfThree;
+  EvolutionConfig config;
+  config.populationSize = 16;
+  config.generations = 15;
+  const EvolutionaryPlan plan =
+      planEvolutionary(context, config, rng, options);
+  const ValidationResult result = validateProgram(context, plan.program);
+  EXPECT_TRUE(result.valid) << result.reason;
+}
+
+TEST_P(MigrationPropertyTest, NoTemporaryPlannerValidates) {
+  const MigrationContext context = instance();
+  const ReconfigurationProgram z = planNoTemporary(context);
+  const ValidationResult result = validateProgram(context, z);
+  EXPECT_TRUE(result.valid) << result.reason;
+}
+
+TEST_P(MigrationPropertyTest, SequenceRoundTripPreservesPrograms) {
+  const MigrationContext context = instance();
+  const ReconfigurationProgram z = planGreedy(context);
+  const ReconfigurationProgram back =
+      programFromSequence(sequenceFromProgram(z));
+  ASSERT_EQ(back.length(), z.length());
+  // Replaying the round-tripped program must still validate (the
+  // `temporary` flag is presentation-only and may be dropped).
+  EXPECT_TRUE(validateProgram(context, back).valid);
+}
+
+INSTANTIATE_TEST_SUITE_P(Instances, MigrationPropertyTest,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Range(0, 8)));
+
+TEST(MutatorEdgeCases, ZeroDeltasIsIdentityMigration) {
+  Rng rng(5);
+  RandomMachineSpec spec;
+  const Machine m = randomMachine(spec, rng);
+  MutationSpec mutation;
+  mutation.deltaCount = 0;
+  const Machine same = mutateMachine(m, mutation, rng);
+  const MigrationContext context(m, same);
+  EXPECT_EQ(context.deltaCount(), 0);
+}
+
+TEST(MutatorEdgeCases, InfeasibleRequestsRejected) {
+  Rng rng(6);
+  RandomMachineSpec spec;
+  spec.stateCount = 3;
+  spec.inputCount = 2;
+  const Machine m = randomMachine(spec, rng);
+  MutationSpec mutation;
+  mutation.deltaCount = 100;  // more than 3*2 old cells
+  EXPECT_THROW(mutateMachine(m, mutation, rng), MutationError);
+  mutation.deltaCount = 1;
+  mutation.newStateCount = 1;  // needs >= inputCount+1 = 3 deltas
+  EXPECT_THROW(mutateMachine(m, mutation, rng), MutationError);
+}
+
+TEST(MutatorEdgeCases, NewStatesAppearInTargetAlphabet) {
+  Rng rng(7);
+  RandomMachineSpec spec;
+  spec.stateCount = 4;
+  spec.inputCount = 2;
+  const Machine m = randomMachine(spec, rng);
+  MutationSpec mutation;
+  mutation.newStateCount = 2;
+  mutation.deltaCount = 2 * (2 + 1) + 1;
+  const Machine target = mutateMachine(m, mutation, rng);
+  EXPECT_EQ(target.stateCount(), 6);
+  const MigrationContext context(m, target);
+  EXPECT_EQ(context.deltaCount(), mutation.deltaCount);
+}
+
+}  // namespace
+}  // namespace rfsm

@@ -1,0 +1,147 @@
+// Tests for repair planning: interrupted migrations, fault injection, and
+// the property that repair converges from any intermediate state.
+#include <gtest/gtest.h>
+
+#include "core/apply.hpp"
+#include "core/jsr.hpp"
+#include "core/planners.hpp"
+#include "core/repair.hpp"
+#include "gen/families.hpp"
+#include "gen/generator.hpp"
+#include "gen/mutator.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm {
+namespace {
+
+/// Applies `program` to a copy of `machine` and checks it completes the
+/// migration (realizes M', terminates in S0').
+bool repairWorks(const MutableMachine& machine,
+                 const ReconfigurationProgram& program) {
+  MutableMachine copy = machine;
+  copy.applyProgram(program);
+  return copy.matchesTarget() && copy.state() == machine.context().targetReset();
+}
+
+TEST(Repair, FreshMachineRepairEqualsFullMigration) {
+  const MigrationContext context(example41Source(), example41Target());
+  const MutableMachine machine(context);
+  const auto remaining = remainingDeltas(machine);
+  // Before any step, the remaining set is exactly the delta set.
+  EXPECT_EQ(static_cast<int>(remaining.size()), context.deltaCount());
+  const ReconfigurationProgram repair = planRepair(machine);
+  EXPECT_TRUE(repairWorks(machine, repair));
+}
+
+TEST(Repair, CompletedMachineNeedsNoSteps) {
+  const MigrationContext context(example41Source(), example41Target());
+  MutableMachine machine(context);
+  machine.applyProgram(planJsr(context));
+  ASSERT_TRUE(machine.matchesTarget());
+  EXPECT_TRUE(remainingDeltas(machine).empty());
+  const ReconfigurationProgram repair = planRepair(machine);
+  EXPECT_EQ(repair.length(), 0);
+}
+
+TEST(Repair, InterruptedMigrationIsCompleted) {
+  const MigrationContext context(example41Source(), example41Target());
+  const ReconfigurationProgram z = planJsr(context);
+  // Cut the program at every prefix and repair from there.
+  for (int cut = 0; cut <= z.length(); ++cut) {
+    MutableMachine machine(context);
+    for (int k = 0; k < cut; ++k)
+      machine.applyStep(z.steps[static_cast<std::size_t>(k)]);
+    const ReconfigurationProgram repair = planRepair(machine);
+    EXPECT_TRUE(repairWorks(machine, repair)) << "cut at " << cut;
+    EXPECT_LE(repair.length(),
+              3 * (static_cast<int>(remainingDeltas(machine).size()) + 1));
+  }
+}
+
+TEST(Repair, FaultInjectionIsDetectedAndRepaired) {
+  const MigrationContext context(onesDetector(), zerosDetector());
+  MutableMachine machine(context);
+  machine.applyProgram(planJsr(context));
+  ASSERT_TRUE(machine.matchesTarget());
+
+  // A radiation-style upset flips the (1, S1) cell.
+  const Transition before = injectFault(
+      machine, context.inputs().at("1"), context.states().at("S1"),
+      context.states().at("S0"), context.outputs().at("1"));
+  EXPECT_EQ(before.to, context.states().at("S1"));  // previous contents
+  EXPECT_FALSE(machine.matchesTarget());
+  EXPECT_EQ(remainingDeltas(machine).size(), 1u);
+
+  const ReconfigurationProgram repair = planRepair(machine);
+  EXPECT_LE(repair.length(), 3 * 2);
+  EXPECT_TRUE(repairWorks(machine, repair));
+}
+
+TEST(Repair, FaultOnUnspecifiedCellReportsNoSymbol) {
+  const MigrationContext context(example41Source(), example41Target());
+  MutableMachine machine(context);
+  const Transition before = injectFault(
+      machine, context.inputs().at("0"), context.states().at("S3"),
+      context.states().at("S0"), context.outputs().at("0"));
+  EXPECT_EQ(before.to, kNoSymbol);
+  EXPECT_EQ(before.output, kNoSymbol);
+  EXPECT_TRUE(machine.isSpecified(context.inputs().at("0"),
+                                  context.states().at("S3")));
+}
+
+/// Property sweep: random interruption points and random faults always
+/// repair to a valid M'.
+class RepairPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RepairPropertyTest, RandomInterruptionsRepair) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 101 + 13);
+  RandomMachineSpec spec;
+  spec.stateCount = 4 + static_cast<int>(rng.below(8));
+  spec.inputCount = 2;
+  const Machine source = randomMachine(spec, rng);
+  MutationSpec mutation;
+  mutation.deltaCount = 3 + static_cast<int>(rng.below(6));
+  const Machine target = mutateMachine(source, mutation, rng);
+  const MigrationContext context(source, target);
+
+  const ReconfigurationProgram z = planGreedy(context);
+  const int cut = static_cast<int>(rng.below(
+      static_cast<std::uint64_t>(z.length()) + 1));
+  MutableMachine machine(context);
+  for (int k = 0; k < cut; ++k)
+    machine.applyStep(z.steps[static_cast<std::size_t>(k)]);
+  EXPECT_TRUE(repairWorks(machine, planRepair(machine)));
+}
+
+TEST_P(RepairPropertyTest, RandomFaultsRepair) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 211 + 3);
+  RandomMachineSpec spec;
+  spec.stateCount = 4 + static_cast<int>(rng.below(8));
+  const Machine source = randomMachine(spec, rng);
+  MutationSpec mutation;
+  mutation.deltaCount = 4;
+  const Machine target = mutateMachine(source, mutation, rng);
+  const MigrationContext context(source, target);
+
+  MutableMachine machine(context);
+  machine.applyProgram(planJsr(context));
+  ASSERT_TRUE(machine.matchesTarget());
+  // Three random upsets.
+  for (int f = 0; f < 3; ++f) {
+    injectFault(machine,
+                static_cast<SymbolId>(rng.below(
+                    static_cast<std::uint64_t>(context.inputs().size()))),
+                static_cast<SymbolId>(rng.below(
+                    static_cast<std::uint64_t>(context.states().size()))),
+                static_cast<SymbolId>(rng.below(
+                    static_cast<std::uint64_t>(context.states().size()))),
+                static_cast<SymbolId>(rng.below(
+                    static_cast<std::uint64_t>(context.outputs().size()))));
+  }
+  EXPECT_TRUE(repairWorks(machine, planRepair(machine)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RepairPropertyTest, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace rfsm

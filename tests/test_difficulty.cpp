@@ -1,0 +1,79 @@
+// Tests for the migration difficulty analyzer.
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/difficulty.hpp"
+#include "core/planners.hpp"
+#include "gen/families.hpp"
+#include "gen/generator.hpp"
+#include "gen/mutator.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm {
+namespace {
+
+TEST(Difficulty, Example41Profile) {
+  const MigrationContext context(example41Source(), example41Target());
+  const DifficultyProfile p = analyzeDifficulty(context);
+  EXPECT_EQ(p.deltaCount, 4);
+  // The two S3-row deltas are structural (S3 is not a source-machine
+  // state); (1, S2, S3, 0) itself starts at S2, which exists in M.
+  EXPECT_EQ(p.structuralSources, 2);
+  EXPECT_EQ(p.sourcesUnreachable, 2);
+  // (0,S1,S0,0)'s source S1 is one hop from S0.
+  EXPECT_EQ(p.sourcesNearReset, 1);
+  // Chains: (1,S2,S3).to = S3 = source of the two S3 deltas, and
+  // (1,S3,S3).to = S3 likewise.
+  EXPECT_GT(p.chainablePairs, 0);
+}
+
+TEST(Difficulty, IdentityMigrationIsTrivial) {
+  const MigrationContext context(onesDetector(), onesDetector());
+  const DifficultyProfile p = analyzeDifficulty(context);
+  EXPECT_EQ(p.deltaCount, 0);
+  EXPECT_EQ(p.estimatedLength(), 0);
+}
+
+TEST(Difficulty, Example42SingleDelta) {
+  const MigrationContext context(example42Source(), example42Target());
+  const DifficultyProfile p = analyzeDifficulty(context);
+  EXPECT_EQ(p.deltaCount, 1);
+  EXPECT_EQ(p.sourcesUnreachable, 0);
+  // S3 is three hops away from S0.
+  EXPECT_DOUBLE_EQ(p.meanSourceDistance, 3.0);
+  EXPECT_EQ(p.sourcesNearReset, 0);
+}
+
+TEST(Difficulty, DescribeMentionsEstimate) {
+  const MigrationContext context(example41Source(), example41Target());
+  const std::string text = describeDifficulty(analyzeDifficulty(context));
+  EXPECT_NE(text.find("|Td| 4"), std::string::npos);
+  EXPECT_NE(text.find("estimate"), std::string::npos);
+}
+
+/// Property: the estimate lies within the theorem bounds (it models a
+/// JSR-or-better plan) for random instances.
+class DifficultyPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifficultyPropertyTest, EstimateRespectsBounds) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 911 + 3);
+  RandomMachineSpec spec;
+  spec.stateCount = 4 + static_cast<int>(rng.below(10));
+  spec.inputCount = 2;
+  const Machine source = randomMachine(spec, rng);
+  MutationSpec mutation;
+  mutation.deltaCount = 2 + static_cast<int>(rng.below(6));
+  const Machine target = mutateMachine(source, mutation, rng);
+  const MigrationContext context(source, target);
+
+  const DifficultyProfile p = analyzeDifficulty(context);
+  EXPECT_EQ(p.deltaCount, context.deltaCount());
+  EXPECT_GE(p.estimatedLength(), programLowerBound(context));
+  EXPECT_LE(p.estimatedLength(), jsrUpperBound(context));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DifficultyPropertyTest,
+                         ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace rfsm

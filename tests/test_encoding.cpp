@@ -1,0 +1,124 @@
+// Tests for state-code assignment strategies and code-aware synthesis.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+
+#include "gen/families.hpp"
+#include "gen/generator.hpp"
+#include "logic/synthesize.hpp"
+#include "rtl/encoding.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm::rtl {
+namespace {
+
+TEST(StateCodes, BinaryIsIdentity) {
+  const StateCodeMap map = assignStateCodes(6, StateEncoding::kBinary);
+  EXPECT_EQ(map.width, 3);
+  for (int s = 0; s < 6; ++s)
+    EXPECT_EQ(map.codeOf(s), static_cast<std::uint64_t>(s));
+}
+
+TEST(StateCodes, GrayNeighboursDifferInOneBit) {
+  const StateCodeMap map = assignStateCodes(16, StateEncoding::kGray);
+  EXPECT_EQ(map.width, 4);
+  for (int s = 0; s + 1 < 16; ++s) {
+    const std::uint64_t diff = map.codeOf(s) ^ map.codeOf(s + 1);
+    EXPECT_EQ(std::popcount(diff), 1) << s;
+  }
+}
+
+TEST(StateCodes, OneHotHasSingleBitCodes) {
+  const StateCodeMap map = assignStateCodes(5, StateEncoding::kOneHot);
+  EXPECT_EQ(map.width, 5);
+  for (int s = 0; s < 5; ++s)
+    EXPECT_EQ(std::popcount(map.codeOf(s)), 1) << s;
+}
+
+TEST(StateCodes, CodesAreDistinct) {
+  for (const auto strategy : {StateEncoding::kBinary, StateEncoding::kGray,
+                              StateEncoding::kOneHot}) {
+    const StateCodeMap map = assignStateCodes(12, strategy);
+    std::set<std::uint64_t> seen(map.codes.begin(), map.codes.end());
+    EXPECT_EQ(seen.size(), 12u) << toString(strategy);
+  }
+}
+
+TEST(StateCodes, OneHotLimitedTo64) {
+  EXPECT_THROW(assignStateCodes(65, StateEncoding::kOneHot), ContractError);
+  EXPECT_NO_THROW(assignStateCodes(64, StateEncoding::kOneHot));
+}
+
+/// Evaluates code-aware synthesis against the machine's tables on the
+/// valid-code minterms.
+void expectCodeSynthesisExact(const Machine& machine,
+                              StateEncoding strategy) {
+  const StateCodeMap codes =
+      assignStateCodes(machine.stateCount(), strategy);
+  const auto synthesis = logic::synthesizeTwoLevel(machine, codes);
+  const int wi = synthesis.encoding.inputWidth;
+  for (SymbolId s = 0; s < machine.stateCount(); ++s) {
+    for (SymbolId i = 0; i < machine.inputCount(); ++i) {
+      const std::uint64_t m =
+          (codes.codeOf(s) << wi) | static_cast<std::uint64_t>(i);
+      const std::uint64_t nextCode = codes.codeOf(machine.next(i, s));
+      const auto outCode = static_cast<std::uint64_t>(machine.output(i, s));
+      for (std::size_t b = 0; b < synthesis.nextStateBits.size(); ++b)
+        ASSERT_EQ(synthesis.nextStateBits[b].evaluate(m),
+                  ((nextCode >> b) & 1) != 0)
+            << toString(strategy) << " next bit " << b;
+      for (std::size_t b = 0; b < synthesis.outputBits.size(); ++b)
+        ASSERT_EQ(synthesis.outputBits[b].evaluate(m),
+                  ((outCode >> b) & 1) != 0)
+            << toString(strategy) << " out bit " << b;
+    }
+  }
+}
+
+TEST(CodeSynthesis, ExactForEveryStrategyOnFamilies) {
+  for (const auto strategy : {StateEncoding::kBinary, StateEncoding::kGray,
+                              StateEncoding::kOneHot}) {
+    expectCodeSynthesisExact(onesDetector(), strategy);
+    expectCodeSynthesisExact(counterMachine(6), strategy);
+    expectCodeSynthesisExact(example41Target(), strategy);
+  }
+}
+
+TEST(CodeSynthesis, BinaryOverloadMatchesDefault) {
+  const Machine m = counterMachine(5);
+  const auto a = logic::synthesizeTwoLevel(m);
+  const auto b = logic::synthesizeTwoLevel(
+      m, assignStateCodes(m.stateCount(), StateEncoding::kBinary));
+  EXPECT_EQ(a.totalCubes(), b.totalCubes());
+  EXPECT_EQ(a.totalLiterals(), b.totalLiterals());
+}
+
+TEST(CodeSynthesis, RejectsWrongSizedCodeMap) {
+  const Machine m = counterMachine(4);
+  const StateCodeMap wrong = assignStateCodes(3, StateEncoding::kBinary);
+  EXPECT_THROW(logic::synthesizeTwoLevel(m, wrong), ContractError);
+}
+
+class CodeSynthesisPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CodeSynthesisPropertyTest, ExactOnRandomMachines) {
+  const auto [strategyIndex, seed] = GetParam();
+  const StateEncoding strategy =
+      static_cast<StateEncoding>(strategyIndex);
+  Rng rng(static_cast<std::uint64_t>(seed) * 401 + 3);
+  RandomMachineSpec spec;
+  spec.stateCount = 2 + static_cast<int>(rng.below(10));
+  spec.inputCount = 1 + static_cast<int>(rng.below(3));
+  spec.outputCount = 1 + static_cast<int>(rng.below(3));
+  expectCodeSynthesisExact(randomMachine(spec, rng), strategy);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CodeSynthesisPropertyTest,
+                         ::testing::Combine(::testing::Range(0, 3),
+                                            ::testing::Range(0, 6)));
+
+}  // namespace
+}  // namespace rfsm::rtl

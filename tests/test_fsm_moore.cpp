@@ -1,0 +1,88 @@
+// Tests for Moore-machine views and the Mealy -> Moore conversion.
+#include <gtest/gtest.h>
+
+#include "fsm/builder.hpp"
+#include "fsm/equivalence.hpp"
+#include "fsm/moore.hpp"
+#include "gen/families.hpp"
+#include "gen/generator.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm {
+namespace {
+
+TEST(MooreView, CounterHasStateOutputs) {
+  const Machine m = counterMachine(4);
+  const auto outputs = mooreStateOutputs(m);
+  ASSERT_TRUE(outputs.has_value());
+  for (SymbolId s = 0; s < m.stateCount(); ++s) {
+    // State Ck is labelled ck.
+    EXPECT_EQ(m.outputs().name((*outputs)[static_cast<std::size_t>(s)]),
+              "c" + m.states().name(s).substr(1));
+  }
+}
+
+TEST(MooreView, MealyMachineHasNone) {
+  EXPECT_FALSE(mooreStateOutputs(onesDetector()).has_value());
+}
+
+TEST(MooreView, UnenteredStateGetsNoSymbol) {
+  MachineBuilder b("island");
+  b.addInput("0");
+  b.addOutput("x");
+  b.addState("A");
+  b.addState("B");
+  b.setResetState("A");
+  b.addTransition("0", "A", "A", "x");
+  b.addTransition("0", "B", "A", "x");
+  const Machine m = b.build();
+  const auto outputs = mooreStateOutputs(m);
+  ASSERT_TRUE(outputs.has_value());
+  EXPECT_EQ((*outputs)[static_cast<std::size_t>(m.states().at("B"))],
+            kNoSymbol);
+}
+
+TEST(MooreFromMealy, OnesDetectorConverts) {
+  const Machine mealy = onesDetector();
+  const Machine moore = mooreFromMealy(mealy);
+  EXPECT_TRUE(moore.isMoore());
+  EXPECT_TRUE(areEquivalent(mealy, moore));
+  // Split bound: |S| * |O| + 1 fresh reset state.
+  EXPECT_LE(moore.stateCount(), mealy.stateCount() * mealy.outputCount() + 1);
+}
+
+TEST(MooreFromMealy, MooreInputIsAlreadyMooreAndStaysEquivalent) {
+  const Machine counter = counterMachine(3);
+  const Machine converted = mooreFromMealy(counter);
+  EXPECT_TRUE(converted.isMoore());
+  EXPECT_TRUE(areEquivalent(counter, converted));
+}
+
+TEST(MooreFromMealy, SplitStateNamesAreReadable) {
+  const Machine moore = mooreFromMealy(onesDetector());
+  EXPECT_TRUE(moore.states().containsName("S0@-"));  // fresh reset
+  EXPECT_TRUE(moore.states().containsName("S1@0") ||
+              moore.states().containsName("S1@1"));
+}
+
+/// Property sweep: conversion always yields an equivalent Moore machine.
+class MoorePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MoorePropertyTest, ConversionIsEquivalentAndMoore) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 67 + 29);
+  RandomMachineSpec spec;
+  spec.stateCount = 2 + static_cast<int>(rng.below(8));
+  spec.inputCount = 1 + static_cast<int>(rng.below(3));
+  spec.outputCount = 1 + static_cast<int>(rng.below(4));
+  const Machine mealy = randomMachine(spec, rng);
+  const Machine moore = mooreFromMealy(mealy);
+  EXPECT_TRUE(moore.isMoore());
+  EXPECT_TRUE(areEquivalent(mealy, moore));
+  EXPECT_LE(moore.stateCount(),
+            mealy.stateCount() * mealy.outputCount() + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MoorePropertyTest, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace rfsm

@@ -1,0 +1,200 @@
+// Tests for incompletely specified machines: specification bookkeeping,
+// completion, the containment relation, and state reduction with closure.
+#include <gtest/gtest.h>
+
+#include "fsm/builder.hpp"
+#include "fsm/equivalence.hpp"
+#include "fsm/minimize.hpp"
+#include "fsm/partial_machine.hpp"
+#include "fsm/reduce.hpp"
+#include "gen/families.hpp"
+#include "gen/generator.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm {
+namespace {
+
+/// A small 4-state ISFSM that reduces: states B and C are compatible (their
+/// specifications never conflict), A and D are not.
+PartialMachine sampleSpec() {
+  SymbolTable inputs({"0", "1"});
+  SymbolTable outputs({"x", "y"});
+  SymbolTable states({"A", "B", "C", "D"});
+  PartialMachine spec("spec", inputs, outputs, states, states.at("A"));
+  const SymbolId i0 = 0, i1 = 1, x = 0, y = 1;
+  const SymbolId A = 0, B = 1, C = 2, D = 3;
+  spec.specify(i0, A, B, x);
+  spec.specify(i1, A, C, x);
+  spec.specify(i0, B, D, y);
+  // (i1, B) fully unspecified.
+  spec.specify(i0, C, D, kNoSymbol);  // next specified, output don't care
+  spec.specify(i1, C, kNoSymbol, y);  // output specified, next don't care
+  spec.specify(i0, D, A, x);
+  spec.specify(i1, D, A, y);
+  return spec;
+}
+
+TEST(PartialMachine, SpecifyAndQuery) {
+  const PartialMachine spec = sampleSpec();
+  EXPECT_EQ(spec.next(0, 0), 1);                 // (0, A) -> B
+  EXPECT_EQ(spec.output(0, 2), kNoSymbol);       // (0, C) output open
+  EXPECT_EQ(spec.next(1, 2), kNoSymbol);         // (1, C) next open
+  EXPECT_FALSE(spec.isComplete());
+  EXPECT_GT(spec.unspecifiedCount(), 0);
+}
+
+TEST(PartialMachine, ConflictingSpecifyThrows) {
+  PartialMachine spec = sampleSpec();
+  EXPECT_THROW(spec.specify(0, 0, 2, kNoSymbol), FsmError);  // B vs C
+  EXPECT_THROW(spec.specify(0, 1, kNoSymbol, 0), FsmError);  // y vs x
+  // Respecifying identical values is fine.
+  EXPECT_NO_THROW(spec.specify(0, 0, 1, 0));
+}
+
+TEST(PartialMachine, FromCompleteMachineIsComplete) {
+  const PartialMachine spec(onesDetector());
+  EXPECT_TRUE(spec.isComplete());
+  EXPECT_EQ(spec.unspecifiedCount(), 0);
+}
+
+TEST(PartialMachine, CompletionsAreCompleteAndHonourSpec) {
+  const PartialMachine spec = sampleSpec();
+  const Machine selfLoops = spec.completeWithSelfLoops(0);
+  EXPECT_TRUE(implementsSpecification(selfLoops, spec));
+  Rng rng(5);
+  for (int round = 0; round < 10; ++round) {
+    const Machine random = spec.completeRandomly(rng);
+    EXPECT_TRUE(implementsSpecification(random, spec)) << round;
+  }
+}
+
+TEST(PartialMachine, ContainmentDetectsViolations) {
+  const PartialMachine spec = sampleSpec();
+  // A machine that emits the wrong output at (0, A).
+  MachineBuilder b("bad");
+  b.addInput("0");
+  b.addInput("1");
+  b.addOutput("x");
+  b.addOutput("y");
+  b.addState("Z");
+  b.setResetState("Z");
+  b.addTransition("0", "Z", "Z", "y");  // spec wants x at the reset state
+  b.addTransition("1", "Z", "Z", "x");
+  EXPECT_FALSE(implementsSpecification(b.build(), spec));
+}
+
+TEST(Compatibility, MatrixSeparatesConflicts) {
+  const PartialMachine spec = sampleSpec();
+  const auto compatible = compatibilityMatrix(spec);
+  // B emits y at input 0, A emits x there -> incompatible.
+  EXPECT_FALSE(compatible[0][1]);
+  // B and C never conflict.
+  EXPECT_TRUE(compatible[1][2]);
+  // Diagonal is compatible, matrix symmetric.
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_TRUE(compatible[s][s]);
+    for (std::size_t t = 0; t < 4; ++t)
+      EXPECT_EQ(compatible[s][t], compatible[t][s]);
+  }
+}
+
+TEST(Compatibility, SuccessorConflictPropagates) {
+  // P -0-> A, Q -0-> B where A/B have an output conflict; P/Q have none
+  // directly but become incompatible through their successors.
+  SymbolTable inputs({"0"});
+  SymbolTable outputs({"x", "y"});
+  SymbolTable states({"P", "Q", "A", "B"});
+  PartialMachine spec("prop", inputs, outputs, states, 0);
+  spec.specify(0, 0, 2, kNoSymbol);  // P -> A
+  spec.specify(0, 1, 3, kNoSymbol);  // Q -> B
+  spec.specify(0, 2, 2, 0);          // A emits x
+  spec.specify(0, 3, 3, 1);          // B emits y
+  const auto compatible = compatibilityMatrix(spec);
+  EXPECT_FALSE(compatible[2][3]);
+  EXPECT_FALSE(compatible[0][1]);
+}
+
+TEST(Reduce, MergesCompatibleStates) {
+  const PartialMachine spec = sampleSpec();
+  const ReductionResult result = reducePartialMachine(spec);
+  EXPECT_LT(result.machine.states().size(), spec.states().size());
+  // B and C fall into one class.
+  EXPECT_EQ(result.classOf[1], result.classOf[2]);
+  // Every completion of the reduced machine implements the original spec.
+  Rng rng(7);
+  for (int round = 0; round < 10; ++round) {
+    const Machine impl = result.machine.completeRandomly(rng);
+    EXPECT_TRUE(implementsSpecification(impl, spec)) << round;
+  }
+}
+
+TEST(Reduce, CompleteMachineReductionMatchesMinimization) {
+  // On completely specified machines, compatibility = equivalence, so the
+  // greedy closure reduction finds exactly the minimization classes.
+  MachineBuilder b("dup");
+  b.addInput("0");
+  b.addInput("1");
+  b.setResetState("S0");
+  b.addTransition("1", "S0", "S1a", "0");
+  b.addTransition("1", "S1a", "S1b", "1");
+  b.addTransition("1", "S1b", "S1a", "1");
+  b.addTransition("0", "S0", "S0", "0");
+  b.addTransition("0", "S1a", "S0", "0");
+  b.addTransition("0", "S1b", "S0", "0");
+  const Machine machine = b.build();
+  const ReductionResult reduced = reducePartialMachine(PartialMachine(machine));
+  const MinimizationResult minimized = minimize(machine);
+  EXPECT_EQ(reduced.machine.states().size(),
+            minimized.machine.stateCount());
+}
+
+/// Property sweep: reduction of complete random machines matches Hopcroft
+/// minimization, and reductions of sparsified machines stay containment-
+/// correct.
+class ReducePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReducePropertyTest, CompleteMachinesMatchMinimize) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 137 + 19);
+  RandomMachineSpec spec;
+  spec.stateCount = 2 + static_cast<int>(rng.below(8));
+  spec.inputCount = 1 + static_cast<int>(rng.below(3));
+  spec.outputCount = 1 + static_cast<int>(rng.below(3));
+  const Machine machine = randomMachine(spec, rng);
+  const ReductionResult reduced =
+      reducePartialMachine(PartialMachine(machine));
+  const MinimizationResult minimized = minimize(machine);
+  EXPECT_EQ(reduced.machine.states().size(), minimized.machine.stateCount());
+  // And the reduced machine (complete by construction from a complete
+  // input) is equivalent to the original.
+  ASSERT_TRUE(reduced.machine.isComplete());
+  const Machine lifted = reduced.machine.completeWithSelfLoops(0);
+  EXPECT_TRUE(areEquivalent(lifted, machine));
+}
+
+TEST_P(ReducePropertyTest, SparsifiedMachinesReduceSoundly) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 149 + 23);
+  RandomMachineSpec genSpec;
+  genSpec.stateCount = 3 + static_cast<int>(rng.below(7));
+  genSpec.inputCount = 2;
+  genSpec.outputCount = 2;
+  const Machine machine = randomMachine(genSpec, rng);
+  // Sparsify: drop ~40% of cells from the specification.
+  PartialMachine spec("sparse", machine.inputs(), machine.outputs(),
+                      machine.states(), machine.resetState());
+  for (const Transition& t : machine.transitions()) {
+    if (rng.chance(0.6))
+      spec.specify(t.input, t.from, t.to, t.output);
+    else if (rng.chance(0.5))
+      spec.specify(t.input, t.from, t.to, kNoSymbol);
+  }
+  const ReductionResult reduced = reducePartialMachine(spec);
+  EXPECT_LE(reduced.machine.states().size(), spec.states().size());
+  Rng completeRng(static_cast<std::uint64_t>(GetParam()));
+  const Machine impl = reduced.machine.completeRandomly(completeRng);
+  EXPECT_TRUE(implementsSpecification(impl, spec));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ReducePropertyTest, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace rfsm

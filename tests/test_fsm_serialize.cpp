@@ -1,0 +1,173 @@
+// Tests for DOT/JSON serialization and the KISS2 format.
+#include <gtest/gtest.h>
+
+#include "fsm/builder.hpp"
+#include "fsm/equivalence.hpp"
+#include "fsm/kiss.hpp"
+#include "fsm/serialize.hpp"
+#include "gen/families.hpp"
+#include "gen/generator.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm {
+namespace {
+
+TEST(Dot, ContainsStatesEdgesAndResetMarker) {
+  const std::string dot = toDot(onesDetector());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"S0\""), std::string::npos);
+  EXPECT_NE(dot.find("__reset -> \"S0\""), std::string::npos);
+  // Parallel-edge labels are merged with commas (S0->S0 under 0).
+  EXPECT_NE(dot.find("label="), std::string::npos);
+}
+
+TEST(Json, RoundTripsPaperMachine) {
+  const Machine m = onesDetector();
+  const Machine back = machineFromJson(toJson(m));
+  EXPECT_TRUE(m == back);
+  EXPECT_EQ(back.name(), m.name());
+}
+
+TEST(Json, RoundTripsRandomMachines) {
+  Rng rng(123);
+  for (int round = 0; round < 10; ++round) {
+    RandomMachineSpec spec;
+    spec.stateCount = 2 + static_cast<int>(rng.below(12));
+    spec.inputCount = 1 + static_cast<int>(rng.below(4));
+    spec.outputCount = 1 + static_cast<int>(rng.below(4));
+    const Machine m = randomMachine(spec, rng);
+    EXPECT_TRUE(m == machineFromJson(toJson(m)));
+  }
+}
+
+TEST(Json, EscapesSpecialCharacters) {
+  MachineBuilder b("quo\"te");
+  b.addTransition("0", "A", "A", "x");
+  b.setResetState("A");
+  const Machine m = b.build();
+  const Machine back = machineFromJson(toJson(m));
+  EXPECT_EQ(back.name(), "quo\"te");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(machineFromJson("{"), FsmError);
+  EXPECT_THROW(machineFromJson("[]"), FsmError);
+  EXPECT_THROW(machineFromJson("{\"name\": \"x\"}"), FsmError);
+}
+
+TEST(Kiss2, ParsesMinimalDocument) {
+  const std::string text =
+      ".i 1\n"
+      ".o 1\n"
+      ".s 2\n"
+      ".p 4\n"
+      ".r S0\n"
+      "1 S0 S1 0\n"
+      "1 S1 S1 1\n"
+      "0 S0 S0 0\n"
+      "0 S1 S0 0\n"
+      ".e\n";
+  const Kiss2Document doc = parseKiss2(text);
+  EXPECT_EQ(doc.inputBits, 1);
+  EXPECT_EQ(doc.outputBits, 1);
+  EXPECT_EQ(doc.resetState, "S0");
+  EXPECT_EQ(doc.rows.size(), 4u);
+}
+
+TEST(Kiss2, LiftedMachineMatchesOnesDetector) {
+  const std::string text =
+      ".i 1\n.o 1\n.r S0\n"
+      "1 S0 S1 0\n"
+      "1 S1 S1 1\n"
+      "0 S0 S0 0\n"
+      "0 S1 S0 0\n"
+      ".e\n";
+  const Machine m = machineFromKiss2(parseKiss2(text), "k");
+  EXPECT_TRUE(areEquivalent(m, onesDetector()));
+}
+
+TEST(Kiss2, ExpandsInputDontCares) {
+  const std::string text =
+      ".i 2\n.o 1\n.r A\n"
+      "-- A B 1\n"
+      "-- B A 0\n"
+      ".e\n";
+  const Machine m = machineFromKiss2(parseKiss2(text), "dc");
+  EXPECT_EQ(m.inputCount(), 4);  // 00, 01, 10, 11
+  for (SymbolId i = 0; i < 4; ++i)
+    EXPECT_EQ(m.next(i, m.states().at("A")), m.states().at("B"));
+}
+
+TEST(Kiss2, OutputDontCareFill) {
+  const std::string text =
+      ".i 1\n.o 2\n.r A\n"
+      "1 A A 1-\n"
+      "0 A A 00\n"
+      ".e\n";
+  Kiss2LiftOptions options;
+  options.outputDontCareFill = '1';
+  const Machine m = machineFromKiss2(parseKiss2(text), "f", options);
+  EXPECT_EQ(m.outputs().name(m.output(m.inputs().at("1"), 0)), "11");
+}
+
+TEST(Kiss2, IncompleteWithoutCompletionThrows) {
+  const std::string text =
+      ".i 1\n.o 1\n.r A\n"
+      "1 A A 1\n"
+      ".e\n";
+  Kiss2LiftOptions options;
+  options.completeWithSelfLoops = false;
+  EXPECT_THROW(machineFromKiss2(parseKiss2(text), "x", options), FsmError);
+  // With completion (default), the 0-cell becomes a self-loop.
+  const Machine m = machineFromKiss2(parseKiss2(text), "x");
+  EXPECT_EQ(m.next(m.inputs().at("0"), 0), 0);
+}
+
+TEST(Kiss2, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# header comment\n"
+      ".i 1\n.o 1\n\n"
+      "1 A A 1  # trailing comment\n"
+      "0 A A 0\n"
+      ".e\n";
+  EXPECT_EQ(parseKiss2(text).rows.size(), 2u);
+}
+
+TEST(Kiss2, MalformedDocumentsRejected) {
+  EXPECT_THROW(parseKiss2(""), FsmError);
+  EXPECT_THROW(parseKiss2(".i 1\n.o 1\n.e\n"), FsmError);          // no rows
+  EXPECT_THROW(parseKiss2(".o 1\n1 A A 1\n.e\n"), FsmError);       // no .i
+  EXPECT_THROW(parseKiss2(".i 1\n.o 1\n11 A A 1\n.e\n"), FsmError);  // width
+  EXPECT_THROW(parseKiss2(".i 1\n.o 1\n.p 5\n1 A A 1\n.e\n"),
+               FsmError);  // .p mismatch
+  EXPECT_THROW(parseKiss2(".i 1\n.o 1\n.q 3\n1 A A 1\n.e\n"),
+               FsmError);  // unknown directive
+  EXPECT_THROW(parseKiss2(".i 1\n.o 1\n1 A A 1\n.e\njunk\n"),
+               FsmError);  // content after .e
+}
+
+TEST(Kiss2, WriteParseRoundTrip) {
+  Rng rng(5);
+  RandomMachineSpec spec;
+  spec.stateCount = 5;
+  spec.inputCount = 4;  // names i0..i3 are not bitstrings; go via document
+  const Machine m = randomMachine(spec, rng);
+  // Build a document by hand from a bit-named machine instead.
+  const std::string text =
+      ".i 2\n.o 1\n.r S0\n"
+      "00 S0 S1 0\n01 S0 S0 1\n10 S0 S1 1\n11 S0 S0 0\n"
+      "00 S1 S0 0\n01 S1 S1 1\n10 S1 S0 1\n11 S1 S1 0\n"
+      ".e\n";
+  const Kiss2Document doc = parseKiss2(text);
+  const Machine lifted = machineFromKiss2(doc, "rt");
+  const Kiss2Document back = kiss2FromMachine(lifted);
+  const Machine again = machineFromKiss2(back, "rt2");
+  EXPECT_TRUE(lifted == again);
+}
+
+TEST(Kiss2, FromMachineRejectsSymbolicInputs) {
+  EXPECT_THROW(kiss2FromMachine(counterMachine(3)), FsmError);
+}
+
+}  // namespace
+}  // namespace rfsm

@@ -1,0 +1,113 @@
+// Fuzz-style robustness tests: the KISS2 and JSON parsers must never crash
+// or corrupt state on malformed input — every failure is a typed FsmError.
+#include <gtest/gtest.h>
+
+#include "fsm/builder.hpp"
+#include "fsm/kiss.hpp"
+#include "fsm/serialize.hpp"
+#include "gen/generator.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm {
+namespace {
+
+/// Random printable garbage.
+std::string garbage(Rng& rng, int maxLength) {
+  const int length = static_cast<int>(rng.below(
+      static_cast<std::uint64_t>(maxLength) + 1));
+  std::string text;
+  for (int k = 0; k < length; ++k)
+    text += static_cast<char>(32 + rng.below(95));
+  return text;
+}
+
+/// Mutates a valid document: deletes, duplicates or flips random bytes.
+std::string corrupt(const std::string& valid, Rng& rng) {
+  std::string text = valid;
+  const int edits = 1 + static_cast<int>(rng.below(5));
+  for (int e = 0; e < edits && !text.empty(); ++e) {
+    const std::size_t pos =
+        static_cast<std::size_t>(rng.below(text.size()));
+    switch (rng.below(3)) {
+      case 0:
+        text.erase(pos, 1);
+        break;
+      case 1:
+        text.insert(pos, 1, static_cast<char>(32 + rng.below(95)));
+        break;
+      default:
+        text[pos] = static_cast<char>(32 + rng.below(95));
+    }
+  }
+  return text;
+}
+
+class ParserFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzzTest, Kiss2NeverCrashesOnGarbage) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1009 + 1);
+  for (int round = 0; round < 50; ++round) {
+    const std::string text = garbage(rng, 200);
+    try {
+      const Kiss2Document doc = parseKiss2(text);
+      // If it parsed, lifting must also either work or throw FsmError.
+      try {
+        (void)machineFromKiss2(doc, "fuzz");
+      } catch (const FsmError&) {
+      }
+    } catch (const FsmError&) {
+      // expected for malformed input
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, Kiss2SurvivesCorruptedValidDocuments) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2003 + 7);
+  const std::string valid =
+      ".i 2\n.o 1\n.r S0\n"
+      "00 S0 S1 0\n01 S0 S0 1\n1- S0 S1 1\n"
+      "-- S1 S0 0\n.e\n";
+  // Sanity: the uncorrupted document parses.
+  EXPECT_NO_THROW(parseKiss2(valid));
+  for (int round = 0; round < 50; ++round) {
+    const std::string text = corrupt(valid, rng);
+    try {
+      (void)machineFromKiss2(parseKiss2(text), "fuzz");
+    } catch (const FsmError&) {
+    } catch (const ContractError&) {
+      FAIL() << "internal contract violated on corrupted input";
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, JsonNeverCrashesOnGarbage) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 3001 + 3);
+  for (int round = 0; round < 50; ++round) {
+    const std::string text = garbage(rng, 200);
+    try {
+      (void)machineFromJson(text);
+    } catch (const FsmError&) {
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, JsonSurvivesCorruptedValidDocuments) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 4001 + 9);
+  RandomMachineSpec spec;
+  spec.stateCount = 4;
+  const std::string valid = toJson(randomMachine(spec, rng));
+  for (int round = 0; round < 50; ++round) {
+    const std::string text = corrupt(valid, rng);
+    try {
+      (void)machineFromJson(text);
+    } catch (const FsmError&) {
+    } catch (const ContractError&) {
+      FAIL() << "internal contract violated on corrupted input";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace rfsm

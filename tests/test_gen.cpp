@@ -1,0 +1,163 @@
+// Tests for the workload generator and the named machine families.
+#include <gtest/gtest.h>
+
+#include "fsm/analysis.hpp"
+#include "fsm/equivalence.hpp"
+#include "fsm/simulate.hpp"
+#include "gen/families.hpp"
+#include "gen/generator.hpp"
+#include "gen/mutator.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm {
+namespace {
+
+TEST(Generator, RespectsSpecSizes) {
+  Rng rng(1);
+  RandomMachineSpec spec;
+  spec.stateCount = 9;
+  spec.inputCount = 3;
+  spec.outputCount = 4;
+  spec.name = "g";
+  const Machine m = randomMachine(spec, rng);
+  EXPECT_EQ(m.stateCount(), 9);
+  EXPECT_EQ(m.inputCount(), 3);
+  EXPECT_EQ(m.outputCount(), 4);
+  EXPECT_EQ(m.name(), "g");
+  EXPECT_EQ(m.states().name(m.resetState()), "S0");
+}
+
+TEST(Generator, ConnectedFromResetWhenRequested) {
+  Rng rng(2);
+  for (int round = 0; round < 20; ++round) {
+    RandomMachineSpec spec;
+    spec.stateCount = 3 + static_cast<int>(rng.below(15));
+    spec.inputCount = 1 + static_cast<int>(rng.below(3));
+    const Machine m = randomMachine(spec, rng);
+    EXPECT_TRUE(isConnectedFromReset(m)) << "round " << round;
+  }
+}
+
+TEST(Generator, DeterministicForSeed) {
+  RandomMachineSpec spec;
+  Rng a(42), b(42);
+  EXPECT_TRUE(randomMachine(spec, a) == randomMachine(spec, b));
+}
+
+TEST(Generator, SingleStateMachineWorks) {
+  Rng rng(3);
+  RandomMachineSpec spec;
+  spec.stateCount = 1;
+  const Machine m = randomMachine(spec, rng);
+  EXPECT_EQ(m.stateCount(), 1);
+  EXPECT_TRUE(isConnectedFromReset(m));
+}
+
+TEST(Generator, RejectsDegenerateSpecs) {
+  Rng rng(4);
+  RandomMachineSpec spec;
+  spec.stateCount = 0;
+  EXPECT_THROW(randomMachine(spec, rng), ContractError);
+}
+
+TEST(Families, OnesDetectorMatchesVhdlSpec) {
+  // Example 2.1: output 1 while two or more successive ones.
+  const Machine m = onesDetector();
+  EXPECT_EQ(runOnNames(m, {"1"}), std::vector<std::string>{"0"});
+  EXPECT_EQ(runOnNames(m, {"1", "1"}),
+            (std::vector<std::string>{"0", "1"}));
+  EXPECT_EQ(runOnNames(m, {"1", "1", "0", "1", "1", "1"}),
+            (std::vector<std::string>{"0", "1", "0", "0", "1", "1"}));
+}
+
+TEST(Families, ZerosDetectorMatchesTable1Result) {
+  // The Table 1 reconfiguration result: output 1 on a zero in S0.
+  const Machine m = zerosDetector();
+  EXPECT_EQ(runOnNames(m, {"0", "0"}),
+            (std::vector<std::string>{"1", "1"}));
+  EXPECT_EQ(runOnNames(m, {"1", "0", "0"}),
+            (std::vector<std::string>{"0", "0", "1"}));
+}
+
+TEST(Families, Example41PairIsConsistent) {
+  const Machine m = example41Source();
+  const Machine t = example41Target();
+  EXPECT_EQ(m.stateCount(), 3);
+  EXPECT_EQ(t.stateCount(), 4);
+  EXPECT_TRUE(isConnectedFromReset(m));
+  EXPECT_TRUE(isConnectedFromReset(t));
+}
+
+TEST(Families, Example42RingShape) {
+  const Machine m = example42Source();
+  // S0 -1-> S1 -1-> S2 -1-> S3, self-loop under 0 everywhere.
+  const SymbolId in1 = m.inputs().at("1");
+  EXPECT_EQ(m.states().name(m.next(in1, m.states().at("S0"))), "S1");
+  EXPECT_EQ(m.states().name(m.next(in1, m.states().at("S2"))), "S3");
+  const SymbolId in0 = m.inputs().at("0");
+  EXPECT_TRUE(m.isStableTotalState(in0, m.states().at("S1")));
+}
+
+TEST(Families, CounterCountsModulo) {
+  const Machine m = counterMachine(4);
+  EXPECT_TRUE(m.isMoore());
+  EXPECT_EQ(runOnNames(m, {"up", "up", "up", "up", "up"}),
+            (std::vector<std::string>{"c1", "c2", "c3", "c0", "c1"}));
+  EXPECT_EQ(runOnNames(m, {"down"}), std::vector<std::string>{"c3"});
+}
+
+TEST(Families, SequenceDetectorFindsOverlappingMatches) {
+  const Machine m = sequenceDetector("101");
+  EXPECT_EQ(runOnNames(m, {"1", "0", "1", "0", "1"}),
+            (std::vector<std::string>{"0", "0", "1", "0", "1"}));
+}
+
+TEST(Families, SequenceDetectorSingleCharacter) {
+  const Machine m = sequenceDetector("1");
+  EXPECT_EQ(runOnNames(m, {"1", "1", "0"}),
+            (std::vector<std::string>{"1", "1", "0"}));
+}
+
+TEST(Families, SequenceDetectorRunPattern) {
+  const Machine m = sequenceDetector("111");
+  EXPECT_EQ(runOnNames(m, {"1", "1", "1", "1"}),
+            (std::vector<std::string>{"0", "0", "1", "1"}));
+}
+
+TEST(Families, SequenceDetectorRejectsBadPatterns) {
+  EXPECT_THROW(sequenceDetector(""), ContractError);
+  EXPECT_THROW(sequenceDetector("10x"), ContractError);
+}
+
+TEST(Mutator, KeepsAlphabetsAndReset) {
+  Rng rng(11);
+  RandomMachineSpec spec;
+  const Machine m = randomMachine(spec, rng);
+  MutationSpec mutation;
+  mutation.deltaCount = 4;
+  const Machine t = mutateMachine(m, mutation, rng);
+  EXPECT_EQ(t.inputCount(), m.inputCount());
+  EXPECT_EQ(t.outputCount(), m.outputCount());
+  EXPECT_EQ(t.resetState(), m.resetState());
+  EXPECT_EQ(t.stateCount(), m.stateCount());
+  EXPECT_EQ(t.name(), "mutated");
+}
+
+TEST(Mutator, NewStateNamesAreFresh) {
+  Rng rng(13);
+  RandomMachineSpec spec;
+  spec.stateCount = 3;
+  spec.inputCount = 1;
+  const Machine m = randomMachine(spec, rng);
+  MutationSpec mutation;
+  mutation.newStateCount = 2;
+  mutation.deltaCount = 2 * (1 + 1);
+  const Machine t = mutateMachine(m, mutation, rng);
+  EXPECT_EQ(t.stateCount(), 5);
+  // All old names survive; new names are distinct from them.
+  for (const auto& n : m.states().names())
+    EXPECT_TRUE(t.states().containsName(n));
+}
+
+}  // namespace
+}  // namespace rfsm

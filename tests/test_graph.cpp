@@ -1,0 +1,201 @@
+// Unit and property tests for src/graph: digraph bookkeeping, BFS shortest
+// paths, SCC decomposition, reachability.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/digraph.hpp"
+#include "graph/scc.hpp"
+#include "graph/shortest_path.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm {
+namespace {
+
+Digraph ringGraph(int n) {
+  Digraph g(n);
+  for (int v = 0; v < n; ++v) g.addEdge(v, (v + 1) % n);
+  return g;
+}
+
+TEST(Digraph, NodeAndEdgeCounts) {
+  Digraph g(3);
+  EXPECT_EQ(g.nodeCount(), 3);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2, 7);
+  EXPECT_EQ(g.edgeCount(), 2);
+  EXPECT_EQ(g.addNode(), 3);
+  EXPECT_EQ(g.nodeCount(), 4);
+}
+
+TEST(Digraph, OutEdgesKeepInsertionOrderAndTags) {
+  Digraph g(2);
+  g.addEdge(0, 1, 5);
+  g.addEdge(0, 0, 9);
+  const auto& edges = g.outEdges(0);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].to, 1);
+  EXPECT_EQ(edges[0].tag, 5u);
+  EXPECT_EQ(edges[1].to, 0);
+  EXPECT_EQ(edges[1].tag, 9u);
+}
+
+TEST(Digraph, RemoveEdgesByTag) {
+  Digraph g(2);
+  g.addEdge(0, 1, 5);
+  g.addEdge(0, 1, 6);
+  EXPECT_EQ(g.removeEdgesByTag(0, 5), 1);
+  EXPECT_EQ(g.edgeCount(), 1);
+  EXPECT_EQ(g.outEdges(0)[0].tag, 6u);
+}
+
+TEST(Digraph, RejectsOutOfRangeEdges) {
+  Digraph g(2);
+  EXPECT_THROW(g.addEdge(0, 2), ContractError);
+  EXPECT_THROW(g.addEdge(-1, 0), ContractError);
+}
+
+TEST(Digraph, ClearEdges) {
+  Digraph g = ringGraph(4);
+  g.clearEdges();
+  EXPECT_EQ(g.edgeCount(), 0);
+  EXPECT_EQ(g.nodeCount(), 4);
+}
+
+TEST(Bfs, DistancesOnRing) {
+  const Digraph g = ringGraph(5);
+  const BfsResult bfs = bfsFrom(g, 0);
+  EXPECT_EQ(bfs.distance[0], 0);
+  EXPECT_EQ(bfs.distance[1], 1);
+  EXPECT_EQ(bfs.distance[4], 4);
+}
+
+TEST(Bfs, UnreachableMarked) {
+  Digraph g(3);
+  g.addEdge(0, 1);
+  const BfsResult bfs = bfsFrom(g, 0);
+  EXPECT_EQ(bfs.distance[2], kUnreachable);
+  EXPECT_EQ(bfs.predecessor[2], -1);
+}
+
+TEST(Bfs, PredecessorsReconstructPath) {
+  Digraph g(4);
+  g.addEdge(0, 1, 10);
+  g.addEdge(1, 2, 11);
+  g.addEdge(0, 3, 12);
+  const auto path = shortestPath(g, 0, 2);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Bfs, SelfPathIsSingleton) {
+  const Digraph g = ringGraph(3);
+  const auto path = shortestPath(g, 1, 1);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, std::vector<int>{1});
+}
+
+TEST(Bfs, NoPathReturnsNullopt) {
+  Digraph g(2);
+  g.addEdge(1, 0);
+  EXPECT_FALSE(shortestPath(g, 0, 1).has_value());
+}
+
+TEST(Bfs, AllPairsMatchesSingleSource) {
+  Rng rng(3);
+  Digraph g(8);
+  for (int e = 0; e < 16; ++e)
+    g.addEdge(static_cast<int>(rng.below(8)), static_cast<int>(rng.below(8)));
+  const auto matrix = allPairsDistances(g);
+  for (int u = 0; u < 8; ++u)
+    EXPECT_EQ(matrix[static_cast<std::size_t>(u)], bfsFrom(g, u).distance);
+}
+
+TEST(Scc, RingIsOneComponent) {
+  const SccResult scc = stronglyConnectedComponents(ringGraph(6));
+  EXPECT_EQ(scc.componentCount, 1);
+}
+
+TEST(Scc, ChainIsAllSingletons) {
+  Digraph g(4);
+  for (int v = 0; v + 1 < 4; ++v) g.addEdge(v, v + 1);
+  const SccResult scc = stronglyConnectedComponents(g);
+  EXPECT_EQ(scc.componentCount, 4);
+}
+
+TEST(Scc, TwoCyclesBridged) {
+  // 0<->1 -> 2<->3 : two components; Tarjan ids are reverse topological.
+  Digraph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(1, 0);
+  g.addEdge(1, 2);
+  g.addEdge(2, 3);
+  g.addEdge(3, 2);
+  const SccResult scc = stronglyConnectedComponents(g);
+  EXPECT_EQ(scc.componentCount, 2);
+  EXPECT_EQ(scc.componentOf[0], scc.componentOf[1]);
+  EXPECT_EQ(scc.componentOf[2], scc.componentOf[3]);
+  EXPECT_GE(scc.componentOf[0], scc.componentOf[2]);
+}
+
+TEST(Scc, AllReachableFrom) {
+  EXPECT_TRUE(allReachableFrom(ringGraph(4), 2));
+  Digraph g(3);
+  g.addEdge(0, 1);
+  EXPECT_FALSE(allReachableFrom(g, 0));
+}
+
+/// Property sweep over random graphs.
+class GraphPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GraphPropertyTest, SccAgreesWithMutualReachability) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = 3 + static_cast<int>(rng.below(10));
+  Digraph g(n);
+  const int edges =
+      static_cast<int>(rng.below(static_cast<std::uint64_t>(3 * n))) + n / 2;
+  for (int e = 0; e < edges; ++e)
+    g.addEdge(static_cast<int>(rng.below(static_cast<std::uint64_t>(n))),
+              static_cast<int>(rng.below(static_cast<std::uint64_t>(n))));
+
+  const SccResult scc = stronglyConnectedComponents(g);
+  const auto dist = allPairsDistances(g);
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      const bool mutual =
+          dist[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)] !=
+              kUnreachable &&
+          dist[static_cast<std::size_t>(v)][static_cast<std::size_t>(u)] !=
+              kUnreachable;
+      const bool sameComponent =
+          scc.componentOf[static_cast<std::size_t>(u)] ==
+          scc.componentOf[static_cast<std::size_t>(v)];
+      EXPECT_EQ(mutual, sameComponent) << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+TEST_P(GraphPropertyTest, BfsDistancesAreEdgeConsistent) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 5);
+  const int n = 3 + static_cast<int>(rng.below(10));
+  Digraph g(n);
+  for (int e = 0; e < 2 * n; ++e)
+    g.addEdge(static_cast<int>(rng.below(static_cast<std::uint64_t>(n))),
+              static_cast<int>(rng.below(static_cast<std::uint64_t>(n))));
+  const BfsResult bfs = bfsFrom(g, 0);
+  for (int u = 0; u < n; ++u) {
+    if (bfs.distance[static_cast<std::size_t>(u)] == kUnreachable) continue;
+    for (const auto& edge : g.outEdges(u)) {
+      ASSERT_NE(bfs.distance[static_cast<std::size_t>(edge.to)], kUnreachable);
+      EXPECT_LE(bfs.distance[static_cast<std::size_t>(edge.to)],
+                bfs.distance[static_cast<std::size_t>(u)] + 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, GraphPropertyTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace rfsm

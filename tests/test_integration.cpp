@@ -1,0 +1,189 @@
+// Cross-module integration tests: full pipelines from machine construction
+// (builder / KISS2 / generator) through planning, validation, hardware
+// replay and behavioural equivalence.
+#include <gtest/gtest.h>
+
+#include "apps/netproto/protocol.hpp"
+#include "core/apply.hpp"
+#include "core/bounds.hpp"
+#include "core/jsr.hpp"
+#include "core/planners.hpp"
+#include "core/self_reconfigurable.hpp"
+#include "core/sequence.hpp"
+#include "fsm/builder.hpp"
+#include "fsm/equivalence.hpp"
+#include "fsm/kiss.hpp"
+#include "fsm/minimize.hpp"
+#include "fsm/serialize.hpp"
+#include "fsm/simulate.hpp"
+#include "gen/families.hpp"
+#include "gen/generator.hpp"
+#include "gen/mutator.hpp"
+#include "rtl/datapath.hpp"
+#include "rtl/resources.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm {
+namespace {
+
+TEST(Integration, Kiss2MachinesCanMigrate) {
+  // Two revisions of a controller exchanged as KISS2 text.
+  const std::string v1 =
+      ".i 1\n.o 1\n.r A\n"
+      "1 A B 0\n1 B B 1\n0 A A 0\n0 B A 0\n.e\n";
+  const std::string v2 =
+      ".i 1\n.o 1\n.r A\n"
+      "1 A B 0\n1 B C 0\n1 C C 1\n0 A A 0\n0 B A 0\n0 C A 0\n.e\n";
+  const Machine source = machineFromKiss2(parseKiss2(v1), "v1");
+  const Machine target = machineFromKiss2(parseKiss2(v2), "v2");
+  const MigrationContext context(source, target);
+  EXPECT_GT(context.deltaCount(), 0);
+  const ReconfigurationProgram z = planGreedy(context);
+  const ValidationResult result = validateProgram(context, z);
+  EXPECT_TRUE(result.valid) << result.reason;
+}
+
+TEST(Integration, MinimizeBeforeMigrationReducesDeltas) {
+  // A bloated source with duplicated states costs more deltas than its
+  // minimized form when migrating to the same target.
+  MachineBuilder b("bloated");
+  b.addInput("0");
+  b.addInput("1");
+  b.setResetState("S0");
+  b.addTransition("1", "S0", "S1a", "0");
+  b.addTransition("1", "S1a", "S1b", "1");
+  b.addTransition("1", "S1b", "S1a", "1");
+  b.addTransition("0", "S0", "S0", "0");
+  b.addTransition("0", "S1a", "S0", "0");
+  b.addTransition("0", "S1b", "S0", "0");
+  const Machine bloated = b.build();
+  const Machine slim = minimize(bloated).machine;
+  ASSERT_TRUE(areEquivalent(bloated, slim));
+
+  const Machine target = zerosDetector();
+  // The minimized machine has the states of the target (S0 + one more), so
+  // fewer superset cells need rewriting.
+  const MigrationContext fat(bloated, target);
+  const MigrationContext thin(slim, target);
+  EXPECT_LE(thin.deltaCount(), fat.deltaCount());
+}
+
+TEST(Integration, JsonRoundTripThenMigrationPipeline) {
+  Rng rng(21);
+  RandomMachineSpec spec;
+  spec.stateCount = 6;
+  const Machine source = randomMachine(spec, rng);
+  MutationSpec mutation;
+  mutation.deltaCount = 5;
+  const Machine target = mutateMachine(source, mutation, rng);
+
+  // Serialize both, re-load, and migrate the re-loaded pair.
+  const Machine source2 = machineFromJson(toJson(source));
+  const Machine target2 = machineFromJson(toJson(target));
+  const MigrationContext context(source2, target2);
+  EXPECT_EQ(context.deltaCount(), 5);
+  const ReconfigurationProgram z = planJsr(context);
+  EXPECT_TRUE(validateProgram(context, z).valid);
+}
+
+TEST(Integration, SelfReconfigurableMachineTriggersOnCondition) {
+  const MigrationContext context(onesDetector(), zerosDetector());
+  const ReconfigurationProgram z = planJsr(context);
+  SelfReconfigurableMachine machine(context);
+
+  // Trigger: when the machine reports two successive ones (state S1 under
+  // input 1), migrate to the zeros detector.
+  bool fired = false;
+  machine.setTrigger([&](SymbolId state, SymbolId input)
+                         -> std::optional<ReconfigurationProgram> {
+    if (fired) return std::nullopt;
+    if (state == context.states().at("S1") &&
+        input == context.inputs().at("1")) {
+      fired = true;
+      return z;
+    }
+    return std::nullopt;
+  });
+
+  const SymbolId in1 = context.inputs().at("1");
+  machine.clock(in1);  // S0 -> S1, no trigger (state was S0)
+  EXPECT_FALSE(machine.reconfiguring());
+  machine.clock(in1);  // trigger fires; first program step plays
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(machine.reconfiguring());
+  for (int k = 1; k < z.length(); ++k) machine.clock(in1);
+  EXPECT_FALSE(machine.reconfiguring());
+  EXPECT_EQ(machine.reconfigurationCycles(), z.length());
+  EXPECT_TRUE(machine.machine().matchesTarget());
+  EXPECT_EQ(machine.state(), context.targetReset());
+}
+
+TEST(Integration, ChainedMigrationsAcrossThreeMachines) {
+  // ones -> zeros -> ones: migrate, extract, migrate again.
+  const MigrationContext first(onesDetector(), zerosDetector());
+  MutableMachine m1 = replayProgram(first, planJsr(first));
+  ASSERT_TRUE(m1.matchesTarget());
+  const Machine intermediate = m1.extractTarget();
+  EXPECT_TRUE(areEquivalent(intermediate, zerosDetector()));
+
+  const MigrationContext second(intermediate, onesDetector());
+  MutableMachine m2 = replayProgram(second, planJsr(second));
+  ASSERT_TRUE(m2.matchesTarget());
+  EXPECT_TRUE(areEquivalent(m2.extractTarget(), onesDetector()));
+}
+
+TEST(Integration, FullPipelineModelAndHardwareAgree) {
+  Rng rng(33);
+  RandomMachineSpec spec;
+  spec.stateCount = 5;
+  spec.inputCount = 2;
+  const Machine source = randomMachine(spec, rng);
+  MutationSpec mutation;
+  mutation.deltaCount = 6;
+  mutation.newStateCount = 1;
+  const Machine target = mutateMachine(source, mutation, rng);
+  const MigrationContext context(source, target);
+
+  EvolutionConfig config;
+  config.generations = 25;
+  Rng eaRng(44);
+  const EvolutionaryPlan plan = planEvolutionary(context, config, eaRng);
+  ASSERT_TRUE(validateProgram(context, plan.program).valid);
+  EXPECT_GE(plan.program.length(), programLowerBound(context));
+  EXPECT_LE(plan.program.length(), jsrUpperBound(context));
+
+  rtl::ReconfigurableFsmDatapath hw(context);
+  hw.loadSequence(sequenceFromProgram(plan.program));
+  hw.startReconfiguration();
+  hw.clock(0);
+  while (hw.reconfiguring()) hw.clock(0);
+
+  // Hardware now implements M': check behaviour over random words against
+  // a golden simulator of the target machine.
+  hw.clock(0, /*externalReset=*/true);
+  Simulator golden(target);
+  for (int cycle = 0; cycle < 300; ++cycle) {
+    const SymbolId i =
+        static_cast<SymbolId>(rng.below(static_cast<std::uint64_t>(
+            target.inputCount())));
+    const SymbolId superInput = context.liftTargetInput(i);
+    const std::uint64_t out = hw.clock(superInput);
+    const SymbolId ref = golden.step(i);
+    EXPECT_EQ(context.outputs().name(hw.outputSymbol(out)),
+              target.outputs().name(ref));
+    EXPECT_EQ(hw.currentState(), context.liftTargetState(golden.state()));
+  }
+}
+
+TEST(Integration, NetprotoUpgradeOnHardwareSizedMachines) {
+  // The netproto example parsers also fit the XCV300 resource model.
+  netproto::ProtocolProcessor processor("1011", "11010",
+                                        netproto::UpgradePlanner::kJsr);
+  const auto sequence = sequenceFromProgram(processor.program());
+  const auto estimate =
+      rtl::estimateResources(processor.context(), sequence);
+  EXPECT_TRUE(estimate.fitsXcv300);
+}
+
+}  // namespace
+}  // namespace rfsm

@@ -1,0 +1,126 @@
+// Tests for the on-chip JSR sequencer: the hardware generates its own
+// jump/set/return sequence from a compact delta list, and the resulting
+// RAM state matches both the software JSR program and the target machine.
+#include <gtest/gtest.h>
+
+#include "core/apply.hpp"
+#include "core/jsr.hpp"
+#include "fsm/simulate.hpp"
+#include "gen/families.hpp"
+#include "gen/generator.hpp"
+#include "gen/mutator.hpp"
+#include "gen/samples.hpp"
+#include "rtl/jsr_datapath.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm::rtl {
+namespace {
+
+/// Runs the self-sequencing datapath through a full JSR pass.
+void migrateOnChip(JsrDatapath& hw) {
+  hw.startReconfiguration();
+  hw.clock(0);  // start-pulse cycle (still normal mode)
+  int guard = hw.sequenceLength() + 2;
+  while (hw.reconfiguring()) {
+    hw.clock(0);
+    RFSM_CHECK(--guard >= 0, "sequencer did not terminate");
+  }
+}
+
+void expectRealizesTarget(const JsrDatapath& hw,
+                          const MigrationContext& context) {
+  const Machine& target = context.targetMachine();
+  for (SymbolId s = 0; s < target.stateCount(); ++s) {
+    const SymbolId ss = context.liftTargetState(s);
+    for (SymbolId i = 0; i < target.inputCount(); ++i) {
+      const SymbolId si = context.liftTargetInput(i);
+      EXPECT_EQ(hw.framEntry(si, ss),
+                context.liftTargetState(target.next(i, s)));
+      EXPECT_EQ(hw.gramEntry(si, ss),
+                context.liftTargetOutput(target.output(i, s)));
+    }
+  }
+}
+
+TEST(JsrHardware, SequenceLengthMatchesSoftwareJsr) {
+  const MigrationContext context(example41Source(), example41Target());
+  const JsrDatapath hw(context);
+  EXPECT_EQ(hw.sequenceLength(), planJsr(context).length());
+}
+
+TEST(JsrHardware, MigratesExample41OnChip) {
+  const MigrationContext context(example41Source(), example41Target());
+  JsrDatapath hw(context);
+  migrateOnChip(hw);
+  EXPECT_EQ(hw.currentState(), context.targetReset());
+  expectRealizesTarget(hw, context);
+}
+
+TEST(JsrHardware, MigratesPaperOnesToZeros) {
+  const MigrationContext context(onesDetector(), zerosDetector());
+  JsrDatapath hw(context);
+  migrateOnChip(hw);
+  expectRealizesTarget(hw, context);
+}
+
+TEST(JsrHardware, DeltaListIsCompact) {
+  const MigrationContext context(example41Source(), example41Target());
+  const auto list = deltaListFor(context);
+  // All four deltas (the temp cell (i0, S0') is not among them here).
+  EXPECT_EQ(list.size(), 4u);
+}
+
+TEST(JsrHardware, PostMigrationBehaviourMatchesTarget) {
+  const MigrationContext context(sampleMachine("hdlc_v1"),
+                                 sampleMachine("hdlc_v2"));
+  JsrDatapath hw(context);
+  migrateOnChip(hw);
+  hw.clock(0, /*externalReset=*/true);
+  const Machine target = sampleMachine("hdlc_v2");
+  Simulator golden(target);
+  Rng rng(3);
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    const int bit = rng.chance(0.5) ? 1 : 0;
+    const SymbolId i = context.inputs().at(bit ? "1" : "0");
+    const std::uint64_t out = hw.clock(i);
+    const SymbolId ref = golden.step(target.inputs().at(bit ? "1" : "0"));
+    EXPECT_EQ(context.outputs().name(static_cast<SymbolId>(out)),
+              target.outputs().name(ref));
+  }
+}
+
+/// Property sweep: on-chip JSR equals the software model on random
+/// migrations.
+class JsrHardwarePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JsrHardwarePropertyTest, OnChipEqualsSoftwareJsr) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 811 + 5);
+  RandomMachineSpec spec;
+  spec.stateCount = 3 + static_cast<int>(rng.below(6));
+  spec.inputCount = 2;
+  const Machine source = randomMachine(spec, rng);
+  MutationSpec mutation;
+  mutation.deltaCount = 2 + static_cast<int>(rng.below(5));
+  mutation.newStateCount = rng.chance(0.3) ? 1 : 0;
+  if (mutation.newStateCount == 1)
+    mutation.deltaCount += spec.inputCount + 1;
+  const Machine target = mutateMachine(source, mutation, rng);
+  const MigrationContext context(source, target);
+
+  JsrDatapath hw(context);
+  migrateOnChip(hw);
+  const MutableMachine model = replayProgram(context, planJsr(context));
+  EXPECT_EQ(hw.currentState(), model.state());
+  for (SymbolId s = 0; s < context.states().size(); ++s)
+    for (SymbolId i = 0; i < context.inputs().size(); ++i)
+      if (model.isSpecified(i, s)) {
+        EXPECT_EQ(hw.framEntry(i, s), model.next(i, s));
+        EXPECT_EQ(hw.gramEntry(i, s), model.output(i, s));
+      }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, JsrHardwarePropertyTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace rfsm::rtl

@@ -1,0 +1,175 @@
+// Tests for the two-level logic substrate: cube algebra, cover
+// simplification exactness, and FSM synthesis correctness.
+#include <gtest/gtest.h>
+
+#include "fsm/builder.hpp"
+#include "gen/families.hpp"
+#include "gen/generator.hpp"
+#include "logic/cover.hpp"
+#include "logic/cube.hpp"
+#include "logic/synthesize.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm::logic {
+namespace {
+
+TEST(Cube, PatternRoundTrip) {
+  const Cube cube = Cube::fromPattern("1-0");
+  EXPECT_EQ(cube.toPattern(), "1-0");
+  EXPECT_EQ(cube.width(), 3);
+  EXPECT_EQ(cube.literalCount(), 2);
+  EXPECT_EQ(cube.at(2), '1');  // leftmost char = most significant variable
+  EXPECT_EQ(cube.at(1), '-');
+  EXPECT_EQ(cube.at(0), '0');
+}
+
+TEST(Cube, MintermMembership) {
+  const Cube cube = Cube::fromPattern("1-0");
+  EXPECT_TRUE(cube.containsMinterm(0b100));
+  EXPECT_TRUE(cube.containsMinterm(0b110));
+  EXPECT_FALSE(cube.containsMinterm(0b101));
+  EXPECT_FALSE(cube.containsMinterm(0b000));
+}
+
+TEST(Cube, UniversalCubeCoversEverything) {
+  const Cube all(4);
+  for (std::uint64_t m = 0; m < 16; ++m)
+    EXPECT_TRUE(all.containsMinterm(m));
+  EXPECT_EQ(all.literalCount(), 0);
+}
+
+TEST(Cube, CoversAndIntersects) {
+  const Cube broad = Cube::fromPattern("1--");
+  const Cube narrow = Cube::fromPattern("1-0");
+  const Cube disjoint = Cube::fromPattern("0--");
+  EXPECT_TRUE(broad.covers(narrow));
+  EXPECT_FALSE(narrow.covers(broad));
+  EXPECT_TRUE(broad.intersects(narrow));
+  EXPECT_FALSE(broad.intersects(disjoint));
+  EXPECT_EQ(broad.conflictCount(disjoint), 1);
+}
+
+TEST(Cube, AdjacentMerge) {
+  const Cube a = Cube::fromPattern("10-");
+  const Cube b = Cube::fromPattern("11-");
+  const auto merged = a.mergedWith(b);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->toPattern(), "1--");
+}
+
+TEST(Cube, ContainmentMerge) {
+  const Cube broad = Cube::fromPattern("1--");
+  const Cube narrow = Cube::fromPattern("110");
+  const auto merged = broad.mergedWith(narrow);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->toPattern(), "1--");
+}
+
+TEST(Cube, NonAdjacentDoNotMerge) {
+  EXPECT_FALSE(Cube::fromPattern("10-")
+                   .mergedWith(Cube::fromPattern("01-"))
+                   .has_value());
+  EXPECT_FALSE(Cube::fromPattern("1-0")
+                   .mergedWith(Cube::fromPattern("11-"))
+                   .has_value());
+}
+
+TEST(Cube, SetRejectsBadLiterals) {
+  Cube cube(2);
+  EXPECT_THROW(cube.set(0, 'x'), ContractError);
+  EXPECT_THROW(cube.set(5, '1'), ContractError);
+}
+
+TEST(Cover, FullSquareCollapsesToUniversalCube) {
+  std::vector<std::uint64_t> all;
+  for (std::uint64_t m = 0; m < 8; ++m) all.push_back(m);
+  Cover cover = Cover::fromMinterms(all, 3);
+  cover.simplify();
+  EXPECT_EQ(cover.cubeCount(), 1);
+  EXPECT_EQ(cover.cubes()[0].literalCount(), 0);
+}
+
+TEST(Cover, XorDoesNotSimplify) {
+  // x ^ y has no 2-minterm cube cover: stays at 2 cubes, 4 literals.
+  Cover cover = Cover::fromMinterms({0b01, 0b10}, 2);
+  cover.simplify();
+  EXPECT_EQ(cover.cubeCount(), 2);
+  EXPECT_EQ(cover.literalCount(), 4);
+}
+
+TEST(Cover, SimplifyPreservesFunctionExhaustively) {
+  Rng rng(3);
+  for (int round = 0; round < 20; ++round) {
+    const int width = 3 + static_cast<int>(rng.below(6));
+    std::vector<std::uint64_t> on;
+    for (std::uint64_t m = 0; m < (std::uint64_t{1} << width); ++m)
+      if (rng.chance(0.4)) on.push_back(m);
+    Cover cover = Cover::fromMinterms(on, width);
+    const Cover original = cover;
+    cover.simplify();
+    EXPECT_LE(cover.cubeCount(), original.cubeCount());
+    for (std::uint64_t m = 0; m < (std::uint64_t{1} << width); ++m)
+      ASSERT_EQ(cover.evaluate(m), original.evaluate(m))
+          << "round " << round << " minterm " << m;
+  }
+}
+
+TEST(Cover, ToStringListsPatterns) {
+  Cover cover(2);
+  cover.addCube(Cube::fromPattern("1-"));
+  EXPECT_EQ(cover.toString(), "1-\n");
+}
+
+/// Evaluates a synthesis against the machine's truth tables.
+void expectSynthesisExact(const Machine& machine) {
+  const TwoLevelSynthesis synthesis = synthesizeTwoLevel(machine);
+  const int wi = synthesis.encoding.inputWidth;
+  for (SymbolId s = 0; s < machine.stateCount(); ++s) {
+    for (SymbolId i = 0; i < machine.inputCount(); ++i) {
+      const std::uint64_t m = (static_cast<std::uint64_t>(s) << wi) |
+                              static_cast<std::uint64_t>(i);
+      const auto next = static_cast<std::uint64_t>(machine.next(i, s));
+      const auto out = static_cast<std::uint64_t>(machine.output(i, s));
+      for (std::size_t b = 0; b < synthesis.nextStateBits.size(); ++b)
+        ASSERT_EQ(synthesis.nextStateBits[b].evaluate(m),
+                  ((next >> b) & 1) != 0)
+            << "next bit " << b << " at (" << i << "," << s << ")";
+      for (std::size_t b = 0; b < synthesis.outputBits.size(); ++b)
+        ASSERT_EQ(synthesis.outputBits[b].evaluate(m), ((out >> b) & 1) != 0)
+            << "out bit " << b << " at (" << i << "," << s << ")";
+    }
+  }
+}
+
+TEST(Synthesize, ExactOnPaperMachines) {
+  expectSynthesisExact(onesDetector());
+  expectSynthesisExact(zerosDetector());
+  expectSynthesisExact(example41Target());
+  expectSynthesisExact(counterMachine(5));
+}
+
+TEST(Synthesize, DescribeAndLutEstimate) {
+  const TwoLevelSynthesis synthesis = synthesizeTwoLevel(counterMachine(8));
+  EXPECT_GT(synthesis.totalCubes(), 0);
+  EXPECT_GT(synthesis.totalLiterals(), 0);
+  EXPECT_GT(synthesis.estimatedLuts(), 0);
+  EXPECT_NE(synthesis.describe().find("4-LUTs"), std::string::npos);
+}
+
+/// Property sweep: synthesis is exact on random machines.
+class SynthesisPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SynthesisPropertyTest, ExactOnRandomMachines) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 173 + 41);
+  RandomMachineSpec spec;
+  spec.stateCount = 2 + static_cast<int>(rng.below(12));
+  spec.inputCount = 1 + static_cast<int>(rng.below(4));
+  spec.outputCount = 1 + static_cast<int>(rng.below(4));
+  expectSynthesisExact(randomMachine(spec, rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SynthesisPropertyTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace rfsm::logic

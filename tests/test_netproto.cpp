@@ -1,0 +1,156 @@
+// Tests for the packet-dependent protocol-processing application.
+#include <gtest/gtest.h>
+
+#include "apps/netproto/multiport.hpp"
+#include "apps/netproto/protocol.hpp"
+#include "core/apply.hpp"
+#include "fsm/equivalence.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm::netproto {
+namespace {
+
+TEST(Protocol, PreambleParserDetectsFrames) {
+  const Machine parser = preambleParser("1011");
+  EXPECT_EQ(countMatches(parser, "10111011"), 2);
+  EXPECT_EQ(countMatches(parser, "0000"), 0);
+  // Overlap: "1011011" ends with a second occurrence reusing the suffix.
+  EXPECT_EQ(countMatches(parser, "1011011"), 2);
+  EXPECT_EQ(countMatches(parser, "101101"), 1);
+}
+
+TEST(Protocol, RenderStreamContainsRequestedFrames) {
+  Rng rng(5);
+  const std::string stream = renderStream("1100", 7, 8, rng);
+  EXPECT_EQ(stream.size(), 7u * (4 + 8));
+  const Machine parser = preambleParser("1100");
+  // Every frame boundary is a match; payload may add accidental ones, so
+  // at least 7 matches must be present.
+  EXPECT_GE(countMatches(parser, stream), 7);
+}
+
+TEST(Protocol, ProcessorParsesWithoutUpgrade) {
+  Rng rng(7);
+  ProtocolProcessor processor("101", "1101", UpgradePlanner::kJsr);
+  const std::string stream = renderStream("101", 5, 6, rng);
+  const int matches = processor.processBits(stream);
+  EXPECT_EQ(matches, countMatches(preambleParser("101"), stream));
+  EXPECT_FALSE(processor.upgraded());
+  EXPECT_EQ(processor.reconfigurationCycles(), 0);
+}
+
+TEST(Protocol, UpgradeMigratesParserInBand) {
+  Rng rng(11);
+  ProtocolProcessor processor("101", "1101", UpgradePlanner::kJsr);
+  const SwitchoverReport report = processor.runSwitchover(4, 4, 6, rng);
+  EXPECT_TRUE(report.programValidated);
+  EXPECT_GT(report.deltaCount, 0);
+  EXPECT_GE(report.preUpgradeMatches, 4);
+  EXPECT_GE(report.postUpgradeMatches, 4);
+  EXPECT_GT(report.droppedDuringUpgrade, 0);
+  EXPECT_TRUE(processor.upgraded());
+  EXPECT_EQ(processor.reconfigurationCycles(), report.programLength);
+}
+
+TEST(Protocol, PostUpgradeBehaviourMatchesTargetParser) {
+  Rng rng(13);
+  ProtocolProcessor processor("10", "110", UpgradePlanner::kGreedy);
+  processor.runSwitchover(2, 0, 4, rng);
+  ASSERT_TRUE(processor.upgraded());
+  // After the upgrade the processor must count exactly like a fresh target
+  // parser started from reset (the program terminates in S0').
+  Rng streamRng(17);
+  const std::string post = renderStream("110", 6, 5, streamRng);
+  const int processorMatches = processor.processBits(post);
+  EXPECT_EQ(processorMatches, countMatches(preambleParser("110"), post));
+}
+
+TEST(Protocol, AllPlannersProduceValidUpgrades) {
+  for (const auto planner : {UpgradePlanner::kJsr, UpgradePlanner::kGreedy,
+                             UpgradePlanner::kEvolutionary}) {
+    ProtocolProcessor processor("1010", "1001", planner, /*seed=*/3);
+    const ValidationResult result =
+        validateProgram(processor.context(), processor.program());
+    EXPECT_TRUE(result.valid) << result.reason;
+  }
+}
+
+TEST(Protocol, EvolutionaryUpgradeNoLongerThanJsr) {
+  ProtocolProcessor jsr("10110", "11010", UpgradePlanner::kJsr);
+  ProtocolProcessor ea("10110", "11010", UpgradePlanner::kEvolutionary, 5);
+  EXPECT_LE(ea.program().length(), jsr.program().length());
+}
+
+TEST(Protocol, DowntimeEqualsProgramLength) {
+  Rng rng(19);
+  ProtocolProcessor processor("101", "111", UpgradePlanner::kGreedy);
+  const SwitchoverReport report = processor.runSwitchover(1, 1, 4, rng);
+  // Every reconfiguration cycle consumes exactly one link bit.
+  EXPECT_EQ(report.droppedDuringUpgrade, report.programLength);
+}
+
+TEST(MultiPort, StaysPutForSameVersionPackets) {
+  MultiProtocolPort port({"101", "1101", "1001"}, UpgradePlanner::kGreedy);
+  EXPECT_EQ(port.versionCount(), 3);
+  EXPECT_EQ(port.currentVersion(), 0);
+  const PacketReport a = port.processPacket(0, "10101");
+  EXPECT_FALSE(a.switched);
+  EXPECT_EQ(a.switchCycles, 0);
+  EXPECT_EQ(port.switchCount(), 0);
+  EXPECT_EQ(a.frameMatches, 2);  // "101" at offsets 0 and 2
+}
+
+TEST(MultiPort, SwitchesOnVersionChange) {
+  MultiProtocolPort port({"101", "1101"}, UpgradePlanner::kGreedy);
+  const PacketReport a = port.processPacket(1, "1101");
+  EXPECT_TRUE(a.switched);
+  EXPECT_GT(a.switchCycles, 0);
+  EXPECT_EQ(a.frameMatches, 1);
+  EXPECT_EQ(port.currentVersion(), 1);
+  // Back again: the reverse program exists too.
+  const PacketReport b = port.processPacket(0, "101");
+  EXPECT_TRUE(b.switched);
+  EXPECT_EQ(b.frameMatches, 1);
+  EXPECT_EQ(port.switchCount(), 2);
+  EXPECT_EQ(port.totalSwitchCycles(), a.switchCycles + b.switchCycles);
+}
+
+TEST(MultiPort, ParserStatePersistsWithinAVersion) {
+  // A preamble split across two packets of the same version still matches
+  // (the parser FSM is not reset between packets).
+  MultiProtocolPort port({"1101", "10"}, UpgradePlanner::kJsr);
+  const PacketReport a = port.processPacket(0, "11");
+  EXPECT_EQ(a.frameMatches, 0);
+  const PacketReport b = port.processPacket(0, "01");
+  EXPECT_EQ(b.frameMatches, 1);
+}
+
+TEST(MultiPort, MatchesCountLikeAFreshParserAfterSwitch) {
+  Rng rng(3);
+  MultiProtocolPort port({"101", "1100"}, UpgradePlanner::kEvolutionary, 7);
+  const std::string stream = renderStream("1100", 5, 6, rng);
+  const PacketReport report = port.processPacket(1, stream);
+  EXPECT_EQ(report.frameMatches,
+            countMatches(preambleParser("1100"), stream));
+}
+
+TEST(MultiPort, ProgramLengthsAreSymmetricallyAvailable) {
+  MultiProtocolPort port({"10", "110", "0110"}, UpgradePlanner::kGreedy);
+  for (int from = 0; from < 3; ++from)
+    for (int to = 0; to < 3; ++to)
+      if (from != to) {
+        EXPECT_GT(port.programLength(from, to), 0);
+      }
+}
+
+TEST(MultiPort, RejectsBadUsage) {
+  EXPECT_THROW(MultiProtocolPort({"10"}, UpgradePlanner::kJsr),
+               ContractError);
+  MultiProtocolPort port({"10", "110"}, UpgradePlanner::kJsr);
+  EXPECT_THROW(port.processPacket(5, "0"), ContractError);
+  EXPECT_THROW(port.processPacket(0, "01x"), ContractError);
+}
+
+}  // namespace
+}  // namespace rfsm::netproto

@@ -1,0 +1,96 @@
+// Tests for the program peephole optimizer.
+#include <gtest/gtest.h>
+
+#include "core/apply.hpp"
+#include "core/jsr.hpp"
+#include "core/peephole.hpp"
+#include "core/planners.hpp"
+#include "gen/families.hpp"
+#include "gen/generator.hpp"
+#include "gen/mutator.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm {
+namespace {
+
+TEST(Peephole, DropsNoOpResets) {
+  const MigrationContext context(example41Source(), example41Target());
+  ReconfigurationProgram z = planJsr(context);
+  // Double every reset: the duplicates are no-ops.
+  ReconfigurationProgram padded;
+  for (const ReconfigStep& step : z.steps) {
+    padded.steps.push_back(step);
+    if (step.kind == StepKind::kReset)
+      padded.steps.push_back(ReconfigStep::reset());
+  }
+  ASSERT_TRUE(validateProgram(context, padded).valid);
+  const PeepholeResult optimized = optimizeProgram(context, padded);
+  // At least the injected duplicates go; JSR's own resets after deltas that
+  // land in S0' are no-ops too, so strictly more can disappear.
+  EXPECT_GE(optimized.removedResets, padded.resetCount() - z.resetCount());
+  EXPECT_LE(optimized.program.length(), z.length());
+  EXPECT_TRUE(validateProgram(context, optimized.program).valid);
+}
+
+TEST(Peephole, DemotesIdentityRewrites) {
+  // Identity migration: JSR still rewrites the temporary cell with its
+  // existing contents — the optimizer turns that into a traversal.
+  const MigrationContext context(onesDetector(), onesDetector());
+  const ReconfigurationProgram z = planJsr(context);
+  ASSERT_EQ(z.rewriteCount(), 1);
+  const PeepholeResult optimized = optimizeProgram(context, z);
+  EXPECT_EQ(optimized.demotedRewrites, 1);
+  EXPECT_EQ(optimized.program.rewriteCount(), 0);
+  EXPECT_TRUE(validateProgram(context, optimized.program).valid);
+}
+
+TEST(Peephole, LeavesTightProgramsAlone) {
+  const MigrationContext context(example42Source(), example42Target());
+  // The paper's 3-cycle temporary program has no slack.
+  ReconfigurationProgram z;
+  const SymbolId in0 = context.inputs().at("0");
+  z.steps.push_back(ReconfigStep::rewrite(in0, context.states().at("S3"),
+                                          context.outputs().at("0"), true));
+  z.steps.push_back(ReconfigStep::rewrite(in0, context.states().at("S0"),
+                                          context.outputs().at("0")));
+  z.steps.push_back(ReconfigStep::rewrite(in0, context.states().at("S0"),
+                                          context.outputs().at("0")));
+  const PeepholeResult optimized = optimizeProgram(context, z);
+  EXPECT_EQ(optimized.program.length(), 3);
+  EXPECT_EQ(optimized.removedResets, 0);
+  // The final repair writes (S0, 0) over the temporary (S3, 0): a real
+  // write; the middle one writes over the stale (S3,...) cell: real too.
+  EXPECT_EQ(optimized.demotedRewrites, 0);
+}
+
+/// Property sweep: optimization preserves validity and never lengthens.
+class PeepholePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PeepholePropertyTest, ValidAndNeverLonger) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1013 + 7);
+  RandomMachineSpec spec;
+  spec.stateCount = 4 + static_cast<int>(rng.below(8));
+  spec.inputCount = 2;
+  const Machine source = randomMachine(spec, rng);
+  MutationSpec mutation;
+  mutation.deltaCount = 2 + static_cast<int>(rng.below(5));
+  const Machine target = mutateMachine(source, mutation, rng);
+  const MigrationContext context(source, target);
+
+  for (const ReconfigurationProgram& z :
+       {planJsr(context), planGreedy(context)}) {
+    ASSERT_TRUE(validateProgram(context, z).valid);
+    const PeepholeResult optimized = optimizeProgram(context, z);
+    EXPECT_LE(optimized.program.length(), z.length());
+    EXPECT_LE(optimized.program.rewriteCount(), z.rewriteCount());
+    const ValidationResult verdict =
+        validateProgram(context, optimized.program);
+    EXPECT_TRUE(verdict.valid) << verdict.reason;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PeepholePropertyTest,
+                         ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace rfsm

@@ -1,0 +1,472 @@
+// Tests for the RTL substrate: kernel semantics, primitive components, the
+// Fig. 5 datapath (including cycle-accurate replay of the paper's Table 1
+// sequence), hardware self-triggering, resource estimation and the VHDL
+// emitter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/apply.hpp"
+#include "core/jsr.hpp"
+#include "core/planners.hpp"
+#include "core/sequence.hpp"
+#include "fsm/simulate.hpp"
+#include "gen/families.hpp"
+#include "gen/generator.hpp"
+#include "gen/mutator.hpp"
+#include "gen/samples.hpp"
+#include "rtl/components.hpp"
+#include "rtl/testbench.hpp"
+#include "rtl/datapath.hpp"
+#include "rtl/encoding.hpp"
+#include "rtl/kernel.hpp"
+#include "rtl/resources.hpp"
+#include "rtl/vhdl.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm::rtl {
+namespace {
+
+TEST(Kernel, BitWidthFor) {
+  EXPECT_EQ(bitWidthFor(1), 1);
+  EXPECT_EQ(bitWidthFor(2), 1);
+  EXPECT_EQ(bitWidthFor(3), 2);
+  EXPECT_EQ(bitWidthFor(4), 2);
+  EXPECT_EQ(bitWidthFor(5), 3);
+  EXPECT_EQ(bitWidthFor(1 << 10), 10);
+}
+
+TEST(Kernel, WiresMaskToWidth) {
+  Circuit c;
+  const WireId w = c.addWire(3, "w");
+  c.poke(w, 0xFF);
+  EXPECT_EQ(c.peek(w), 7u);
+  EXPECT_EQ(c.wireWidth(w), 3);
+  EXPECT_EQ(c.wireName(w), "w");
+}
+
+TEST(Kernel, MuxSelects) {
+  Circuit c;
+  const WireId sel = c.addWire(1, "sel");
+  const WireId a = c.addWire(4, "a");
+  const WireId b = c.addWire(4, "b");
+  const WireId out = c.addWire(4, "out");
+  c.add<Mux2>(sel, a, b, out);
+  c.poke(a, 3);
+  c.poke(b, 12);
+  c.poke(sel, 0);
+  c.settle();
+  EXPECT_EQ(c.peek(out), 3u);
+  c.poke(sel, 1);
+  c.settle();
+  EXPECT_EQ(c.peek(out), 12u);
+}
+
+TEST(Kernel, GatesAndConcat) {
+  Circuit c;
+  const WireId a = c.addWire(1, "a");
+  const WireId b = c.addWire(1, "b");
+  const WireId o = c.addWire(1, "o");
+  const WireId n = c.addWire(1, "n");
+  const WireId hi = c.addWire(2, "hi");
+  const WireId lo = c.addWire(3, "lo");
+  const WireId cat = c.addWire(5, "cat");
+  c.add<Or2>(a, b, o);
+  c.add<And2>(a, b, n);
+  c.add<Concat>(hi, lo, 3, cat);
+  c.poke(a, 1);
+  c.poke(b, 0);
+  c.poke(hi, 2);
+  c.poke(lo, 5);
+  c.settle();
+  EXPECT_EQ(c.peek(o), 1u);
+  EXPECT_EQ(c.peek(n), 0u);
+  EXPECT_EQ(c.peek(cat), (2u << 3) | 5u);
+}
+
+TEST(Kernel, RegisterCapturesOnEdge) {
+  Circuit c;
+  const WireId d = c.addWire(4, "d");
+  const WireId q = c.addWire(4, "q");
+  c.add<Register>(d, q, kNoWire, 9);
+  c.settle();
+  EXPECT_EQ(c.peek(q), 9u);  // power-on value
+  c.poke(d, 5);
+  c.step();
+  EXPECT_EQ(c.peek(q), 5u);
+  EXPECT_EQ(c.cycleCount(), 1);
+}
+
+TEST(Kernel, RegisterEnableGates) {
+  Circuit c;
+  const WireId d = c.addWire(4, "d");
+  const WireId q = c.addWire(4, "q");
+  const WireId en = c.addWire(1, "en");
+  c.add<Register>(d, q, en, 0);
+  c.poke(d, 7);
+  c.poke(en, 0);
+  c.step();
+  EXPECT_EQ(c.peek(q), 0u);
+  c.poke(en, 1);
+  c.step();
+  EXPECT_EQ(c.peek(q), 7u);
+}
+
+TEST(Kernel, CombinationalLoopDetected) {
+  Circuit c;
+  const WireId a = c.addWire(1, "a");
+  // A self-inverting wire (ring oscillator) has no combinational fixpoint.
+  struct Not : Component {
+    WireId in, out;
+    Not(WireId i, WireId o) : in(i), out(o) {}
+    void evaluate(Circuit& circuit) override {
+      circuit.poke(out, circuit.peek(in) ^ 1);
+    }
+  };
+  c.add<Not>(a, a);
+  EXPECT_THROW(c.settle(), RtlError);
+}
+
+TEST(Kernel, RamReadWriteAndWriteFirst) {
+  Circuit c;
+  const WireId addr = c.addWire(3, "addr");
+  const WireId we = c.addWire(1, "we");
+  const WireId wdata = c.addWire(8, "wdata");
+  const WireId rdata = c.addWire(8, "rdata");
+  Ram* ram = c.add<Ram>(3, addr, we, wdata, rdata);
+  ram->load(5, 42);
+  c.poke(addr, 5);
+  c.poke(we, 0);
+  c.settle();
+  EXPECT_EQ(c.peek(rdata), 42u);
+  // WRITE_FIRST: during the write cycle the read port shows the new data.
+  c.poke(we, 1);
+  c.poke(wdata, 99);
+  c.settle();
+  EXPECT_EQ(c.peek(rdata), 99u);
+  c.step();
+  c.poke(we, 0);
+  c.settle();
+  EXPECT_EQ(c.peek(rdata), 99u);
+  EXPECT_EQ(ram->inspect(5), 99u);
+  EXPECT_EQ(ram->depth(), 8u);
+}
+
+TEST(Encoding, PackAddress) {
+  FsmEncoding e;
+  e.stateWidth = 3;
+  e.inputWidth = 2;
+  EXPECT_EQ(e.addressWidth(), 5);
+  EXPECT_EQ(e.packAddress(5, 2), (5u << 2) | 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Datapath.
+// ---------------------------------------------------------------------------
+
+TEST(Datapath, NormalOperationMatchesGoldenSimulator) {
+  const MigrationContext context(onesDetector(), zerosDetector());
+  ReconfigurableFsmDatapath hw(context);
+  Simulator golden(onesDetector());
+  Rng rng(3);
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    const int bit = rng.chance(0.5) ? 1 : 0;
+    const SymbolId input = context.inputs().at(bit ? "1" : "0");
+    const std::uint64_t out = hw.clock(input);
+    const SymbolId ref = golden.step(
+        onesDetector().inputs().at(bit ? "1" : "0"));
+    EXPECT_EQ(hw.outputSymbol(out),
+              context.outputs().at(onesDetector().outputs().name(ref)));
+    EXPECT_EQ(hw.currentState(), golden.state());  // same ids: M is prefix
+  }
+}
+
+TEST(Datapath, ExternalResetForcesResetVector) {
+  const MigrationContext context(onesDetector(), zerosDetector());
+  ReconfigurableFsmDatapath hw(context);
+  hw.clock(context.inputs().at("1"));
+  EXPECT_EQ(context.states().name(hw.currentState()), "S1");
+  hw.clock(context.inputs().at("1"), /*externalReset=*/true);
+  EXPECT_EQ(hw.currentState(), context.targetReset());
+}
+
+/// Replays the paper's Table 1 on the datapath and checks the RAM contents
+/// and subsequent behaviour equal the zeros detector.
+TEST(Datapath, Table1SequenceReconfiguresHardware) {
+  const MigrationContext context(onesDetector(), zerosDetector());
+  ReconfigurationProgram z;
+  const SymbolId in0 = context.inputs().at("0");
+  const SymbolId in1 = context.inputs().at("1");
+  const SymbolId s0 = context.states().at("S0");
+  const SymbolId s1 = context.states().at("S1");
+  const SymbolId o0 = context.outputs().at("0");
+  const SymbolId o1 = context.outputs().at("1");
+  z.steps.push_back(ReconfigStep::rewrite(in1, s1, o0));
+  z.steps.push_back(ReconfigStep::rewrite(in1, s1, o0));
+  z.steps.push_back(ReconfigStep::rewrite(in0, s0, o0));
+  z.steps.push_back(ReconfigStep::rewrite(in0, s0, o1));
+
+  ReconfigurableFsmDatapath hw(context);
+  hw.loadSequence(sequenceFromProgram(z));
+  hw.startReconfiguration();
+  hw.clock(in0);  // start pulse consumed; machine does one normal cycle
+  ASSERT_TRUE(hw.reconfiguring());
+  for (int k = 0; k < 4; ++k) hw.clock(in0);
+  EXPECT_FALSE(hw.reconfiguring());
+
+  // RAM contents now equal the model after applying the program.
+  MutableMachine model = replayProgram(context, z);
+  for (SymbolId s = 0; s < context.states().size(); ++s)
+    for (SymbolId i = 0; i < context.inputs().size(); ++i) {
+      ASSERT_TRUE(model.isSpecified(i, s));
+      EXPECT_EQ(hw.framEntry(i, s), model.next(i, s));
+      EXPECT_EQ(hw.gramEntry(i, s), model.output(i, s));
+    }
+
+  // Behaviour check: drive the hardware against the zeros detector.
+  hw.clock(in0, /*externalReset=*/true);
+  Simulator golden(zerosDetector());
+  Rng rng(9);
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    const int bit = rng.chance(0.5) ? 1 : 0;
+    const std::uint64_t out = hw.clock(context.inputs().at(bit ? "1" : "0"));
+    const SymbolId ref =
+        golden.step(zerosDetector().inputs().at(bit ? "1" : "0"));
+    EXPECT_EQ(context.outputs().name(hw.outputSymbol(out)),
+              zerosDetector().outputs().name(ref));
+  }
+}
+
+TEST(Datapath, SelfTriggerStartsSequenceAutonomously) {
+  const MigrationContext context(onesDetector(), zerosDetector());
+  ReconfigurableFsmDatapath hw(context);
+  const ReconfigurationProgram z = planJsr(context);
+  hw.loadSequence(sequenceFromProgram(z));
+  // Arm: reconfigure when the machine sits in S1 and sees a 0.
+  hw.armSelfTrigger(context.states().at("S1"), context.inputs().at("0"));
+  const SymbolId in0 = context.inputs().at("0");
+  const SymbolId in1 = context.inputs().at("1");
+  hw.clock(in1);  // -> S1
+  EXPECT_FALSE(hw.reconfiguring());
+  hw.clock(in0);  // trigger observed at this edge
+  ASSERT_TRUE(hw.reconfiguring());
+  for (int k = 0; k < z.length(); ++k) hw.clock(in0);
+  EXPECT_FALSE(hw.reconfiguring());
+  // Migration completed: hardware realizes the zeros detector.
+  MutableMachine model = replayProgram(context, z);
+  for (SymbolId s = 0; s < context.states().size(); ++s)
+    for (SymbolId i = 0; i < context.inputs().size(); ++i)
+      if (model.isSpecified(i, s)) {
+        EXPECT_EQ(hw.framEntry(i, s), model.next(i, s));
+      }
+}
+
+/// Co-simulation sweep: random migrations, planner programs, cycle-accurate
+/// agreement between the datapath and the MutableMachine model.
+class CosimTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CosimTest, HardwareMatchesModelAfterMigration) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 613 + 11);
+  RandomMachineSpec spec;
+  spec.stateCount = 3 + static_cast<int>(rng.below(6));
+  spec.inputCount = 2;
+  spec.outputCount = 2;
+  const Machine source = randomMachine(spec, rng);
+  MutationSpec mutation;
+  mutation.deltaCount = 2 + static_cast<int>(rng.below(5));
+  const Machine target = mutateMachine(source, mutation, rng);
+  const MigrationContext context(source, target);
+  const ReconfigurationProgram z = planGreedy(context);
+  ASSERT_TRUE(validateProgram(context, z).valid);
+
+  ReconfigurableFsmDatapath hw(context);
+  hw.loadSequence(sequenceFromProgram(z));
+  hw.startReconfiguration();
+  hw.clock(0);  // normal cycle that consumes the start pulse
+  for (int k = 0; k < z.length(); ++k) {
+    ASSERT_TRUE(hw.reconfiguring());
+    hw.clock(0);
+  }
+  ASSERT_FALSE(hw.reconfiguring());
+
+  const MutableMachine model = replayProgram(context, z);
+  EXPECT_EQ(hw.currentState(), model.state());
+  for (SymbolId s = 0; s < context.states().size(); ++s)
+    for (SymbolId i = 0; i < context.inputs().size(); ++i)
+      if (model.isSpecified(i, s)) {
+        EXPECT_EQ(hw.framEntry(i, s), model.next(i, s));
+        EXPECT_EQ(hw.gramEntry(i, s), model.output(i, s));
+      }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMigrations, CosimTest, ::testing::Range(0, 12));
+
+/// Stronger property: cycle-by-cycle lockstep between datapath and model
+/// through normal traffic, the whole reconfiguration, and more traffic.
+class LockstepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LockstepTest, HardwareAndModelAgreeEveryCycle) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 733 + 29);
+  RandomMachineSpec spec;
+  spec.stateCount = 3 + static_cast<int>(rng.below(5));
+  spec.inputCount = 2;
+  const Machine source = randomMachine(spec, rng);
+  MutationSpec mutation;
+  mutation.deltaCount = 2 + static_cast<int>(rng.below(4));
+  const Machine target = mutateMachine(source, mutation, rng);
+  const MigrationContext context(source, target);
+  const ReconfigurationProgram z = planGreedy(context);
+  ASSERT_TRUE(validateProgram(context, z).valid);
+
+  ReconfigurableFsmDatapath hw(context);
+  hw.loadSequence(sequenceFromProgram(z));
+  MutableMachine model(context);
+
+  auto randomInput = [&]() {
+    // Stay on cells the model has specified (the hardware would read RAM
+    // garbage on others, which the abstract model rejects by design).
+    for (;;) {
+      const auto i = static_cast<SymbolId>(rng.below(
+          static_cast<std::uint64_t>(context.inputs().size())));
+      if (model.isSpecified(i, model.state())) return i;
+    }
+  };
+
+  // Phase 1: normal traffic in lockstep.
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    const SymbolId input = randomInput();
+    const std::uint64_t hwOut = hw.clock(input);
+    const SymbolId modelOut = model.stepNormal(input);
+    ASSERT_EQ(hw.outputSymbol(hwOut), modelOut) << "cycle " << cycle;
+    ASSERT_EQ(hw.currentState(), model.state()) << "cycle " << cycle;
+  }
+
+  // Phase 2: reconfiguration in lockstep.  The start-pulse cycle is still
+  // a normal cycle on both sides.
+  hw.startReconfiguration();
+  {
+    const SymbolId input = randomInput();
+    const std::uint64_t hwOut = hw.clock(input);
+    ASSERT_EQ(hw.outputSymbol(hwOut), model.stepNormal(input));
+  }
+  for (std::size_t k = 0; k < z.steps.size(); ++k) {
+    ASSERT_TRUE(hw.reconfiguring()) << "step " << k;
+    const std::uint64_t hwOut = hw.clock(0);
+    const SymbolId modelOut = model.applyStep(z.steps[k]);
+    if (z.steps[k].kind != StepKind::kReset) {
+      ASSERT_EQ(hw.outputSymbol(hwOut), modelOut) << "step " << k;
+    }
+    ASSERT_EQ(hw.currentState(), model.state()) << "step " << k;
+  }
+  ASSERT_FALSE(hw.reconfiguring());
+  ASSERT_TRUE(model.matchesTarget());
+
+  // Phase 3: post-migration traffic in lockstep.
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    const SymbolId input = randomInput();
+    const std::uint64_t hwOut = hw.clock(input);
+    ASSERT_EQ(hw.outputSymbol(hwOut), model.stepNormal(input));
+    ASSERT_EQ(hw.currentState(), model.state());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTraffic, LockstepTest, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// Resources and VHDL.
+// ---------------------------------------------------------------------------
+
+TEST(Resources, SmallMachineFitsXcv300) {
+  const MigrationContext context(onesDetector(), zerosDetector());
+  const auto seq = sequenceFromProgram(planJsr(context));
+  const ResourceEstimate e = estimateResources(context, seq);
+  EXPECT_TRUE(e.fitsXcv300);
+  EXPECT_GE(e.blockRams, 2);  // one each for F-RAM and G-RAM at minimum
+  EXPECT_GT(e.luts, 0);
+  EXPECT_GT(e.flipFlops, 0);
+  const std::string report = describeEstimate(e);
+  EXPECT_NE(report.find("fits XCV300: yes"), std::string::npos);
+}
+
+TEST(Resources, GrowWithMachineSize) {
+  Rng rng(5);
+  RandomMachineSpec small;
+  small.stateCount = 4;
+  RandomMachineSpec large;
+  large.stateCount = 200;
+  large.inputCount = 8;
+  const Machine ms = randomMachine(small, rng);
+  const Machine ml = randomMachine(large, rng);
+  const MigrationContext cs(ms, ms);
+  const MigrationContext cl(ml, ml);
+  const ReconfigurationSequence empty;
+  EXPECT_LT(estimateResources(cs, empty).framBits,
+            estimateResources(cl, empty).framBits);
+}
+
+TEST(Vhdl, EmitsWellFormedEntity) {
+  const MigrationContext context(onesDetector(), zerosDetector());
+  const auto seq = sequenceFromProgram(planJsr(context));
+  VhdlOptions options;
+  options.entityName = "ones_to_zeros";
+  const std::string vhdl = generateVhdl(context, seq, options);
+  EXPECT_NE(vhdl.find("ENTITY ones_to_zeros IS"), std::string::npos);
+  EXPECT_NE(vhdl.find("ARCHITECTURE rtl OF ones_to_zeros IS"),
+            std::string::npos);
+  EXPECT_NE(vhdl.find("f_ram"), std::string::npos);
+  EXPECT_NE(vhdl.find("g_ram"), std::string::npos);
+  EXPECT_NE(vhdl.find("seq_rom"), std::string::npos);
+  EXPECT_NE(vhdl.find("rising_edge(clk)"), std::string::npos);
+  EXPECT_NE(vhdl.find("END rtl;"), std::string::npos);
+  // One ROM row per sequence step.
+  EXPECT_NE(vhdl.find("ARRAY (0 TO " + std::to_string(seq.length() - 1) +
+                      ")"),
+            std::string::npos);
+  // Balanced PROCESS block.
+  EXPECT_NE(vhdl.find("PROCESS (clk)"), std::string::npos);
+  EXPECT_NE(vhdl.find("END PROCESS"), std::string::npos);
+}
+
+TEST(Vhdl, EncodingCommentsOptional) {
+  const MigrationContext context(onesDetector(), zerosDetector());
+  const auto seq = sequenceFromProgram(planJsr(context));
+  VhdlOptions options;
+  options.emitEncodingComments = false;
+  const std::string vhdl = generateVhdl(context, seq, options);
+  EXPECT_EQ(vhdl.find("-- state encoding"), std::string::npos);
+  EXPECT_EQ(vhdl.rfind("LIBRARY ieee;", 0), 0u);  // starts at the library
+}
+
+TEST(Vhdl, GeneratesForEverySampleMigration) {
+  // Broad smoke: entity + testbench generation succeed for all bundled
+  // revision pairs and contain the structural anchors.
+  for (const SampleMigration& pair : sampleMigrations()) {
+    const MigrationContext context(pair.source, pair.target);
+    const auto sequence = sequenceFromProgram(planJsr(context));
+    VhdlOptions options;
+    options.entityName = pair.name + "_rfsm";
+    const std::string vhdl = generateVhdl(context, sequence, options);
+    EXPECT_NE(vhdl.find("ENTITY " + pair.name + "_rfsm IS"),
+              std::string::npos)
+        << pair.name;
+    EXPECT_NE(vhdl.find("END rtl;"), std::string::npos) << pair.name;
+    TestbenchOptions tbOptions;
+    tbOptions.entityName = pair.name + "_rfsm";
+    tbOptions.testbenchName = pair.name + "_tb";
+    const std::string tb = generateTestbench(
+        context, sequence, {context.liftTargetInput(0)}, tbOptions);
+    EXPECT_NE(tb.find("ENTITY " + pair.name + "_tb IS"), std::string::npos)
+        << pair.name;
+  }
+}
+
+TEST(Vhdl, RamInitializationReflectsSourceMachine) {
+  const MigrationContext context(onesDetector(), zerosDetector());
+  const auto seq = sequenceFromProgram(planJsr(context));
+  const std::string vhdl = generateVhdl(context, seq);
+  // Cell (i=1, s=S0) holds next state S1 (encoded 1): address 0b01 = 1.
+  EXPECT_NE(vhdl.find("1 => \"1\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rfsm::rtl

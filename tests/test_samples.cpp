@@ -1,0 +1,125 @@
+// Tests for the bundled sample controllers and their migration pairs.
+#include <gtest/gtest.h>
+
+#include "core/apply.hpp"
+#include "core/bounds.hpp"
+#include "core/jsr.hpp"
+#include "core/partial.hpp"
+#include "core/planners.hpp"
+#include "fsm/analysis.hpp"
+#include "fsm/builder.hpp"
+#include "fsm/equivalence.hpp"
+#include "fsm/kiss.hpp"
+#include "fsm/simulate.hpp"
+#include "gen/samples.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm {
+namespace {
+
+TEST(Samples, AllNamesLoadAndAreConnected) {
+  for (const auto& name : sampleNames()) {
+    const Machine m = sampleMachine(name);
+    EXPECT_EQ(m.name(), name);
+    EXPECT_TRUE(isConnectedFromReset(m)) << name;
+  }
+}
+
+TEST(Samples, UnknownNameThrows) {
+  EXPECT_THROW(sampleMachine("nope"), FsmError);
+}
+
+TEST(Samples, Kiss2RoundTripsEverySample) {
+  for (const auto& name : sampleNames()) {
+    const Machine m = sampleMachine(name);
+    const Machine back =
+        machineFromKiss2(parseKiss2(sampleKiss2(name)), name);
+    EXPECT_TRUE(areEquivalent(m, back)) << name;
+  }
+}
+
+TEST(Samples, TrafficV1CyclesRegardlessOfSensor) {
+  const Machine m = sampleMachine("traffic_v1");
+  EXPECT_EQ(runOnNames(m, {"0", "0", "0", "0"}),
+            (std::vector<std::string>{"01", "10", "11", "00"}));
+  EXPECT_EQ(runOnNames(m, {"1", "1", "1", "1"}),
+            (std::vector<std::string>{"01", "10", "11", "00"}));
+}
+
+TEST(Samples, TrafficV2WaitsForSensor) {
+  const Machine m = sampleMachine("traffic_v2");
+  // No car: highway stays green forever.
+  EXPECT_EQ(runOnNames(m, {"0", "0", "0"}),
+            (std::vector<std::string>{"00", "00", "00"}));
+  // Car arrives: the cycle starts.
+  EXPECT_EQ(runOnNames(m, {"0", "1", "0", "0"}),
+            (std::vector<std::string>{"00", "01", "10", "11"}));
+}
+
+TEST(Samples, VendingV1VendsAtFifteen) {
+  const Machine m = sampleMachine("vending_v1");
+  // nickel + dime = 15 -> vend.
+  EXPECT_EQ(runOnNames(m, {"01", "10"}),
+            (std::vector<std::string>{"0", "1"}));
+  // dime + nickel = 15 -> vend.
+  EXPECT_EQ(runOnNames(m, {"10", "01"}),
+            (std::vector<std::string>{"0", "1"}));
+  // three nickels = 15 -> vend.
+  EXPECT_EQ(runOnNames(m, {"01", "01", "01"}),
+            (std::vector<std::string>{"0", "0", "1"}));
+}
+
+TEST(Samples, VendingV2NeedsTwenty) {
+  const Machine m = sampleMachine("vending_v2");
+  // nickel + dime = 15: no vend yet; another nickel vends.
+  EXPECT_EQ(runOnNames(m, {"01", "10", "01"}),
+            (std::vector<std::string>{"0", "0", "1"}));
+  // two dimes = 20 -> vend.
+  EXPECT_EQ(runOnNames(m, {"10", "10"}),
+            (std::vector<std::string>{"0", "1"}));
+}
+
+TEST(Samples, HdlcDetectsFlag) {
+  const Machine m = sampleMachine("hdlc_v1");
+  const std::string flag = "01111110";
+  std::vector<std::string> word;
+  for (char c : flag) word.emplace_back(1, c);
+  const auto out = runOnNames(m, word);
+  EXPECT_EQ(out.back(), "1");
+  for (std::size_t k = 0; k + 1 < out.size(); ++k) EXPECT_EQ(out[k], "0");
+}
+
+TEST(Samples, ParityPairIsOutputOnly) {
+  const MigrationContext context(sampleMachine("parity_even"),
+                                 sampleMachine("parity_odd"));
+  EXPECT_TRUE(isOutputOnlyMigration(context));
+}
+
+TEST(Samples, AllMigrationPairsPlanAndValidate) {
+  for (const SampleMigration& pair : sampleMigrations()) {
+    const MigrationContext context(pair.source, pair.target);
+    EXPECT_GT(context.deltaCount(), 0) << pair.name;
+
+    const ReconfigurationProgram jsr = planJsr(context);
+    EXPECT_TRUE(validateProgram(context, jsr).valid) << pair.name;
+
+    EvolutionConfig config;
+    config.generations = 40;
+    Rng rng(5);
+    const ReconfigurationProgram ea =
+        planEvolutionary(context, config, rng).program;
+    EXPECT_TRUE(validateProgram(context, ea).valid) << pair.name;
+    EXPECT_LE(ea.length(), jsrUpperBound(context)) << pair.name;
+    EXPECT_GE(ea.length(), programLowerBound(context)) << pair.name;
+  }
+}
+
+TEST(Samples, VendingUpgradeAddsStructuralDeltas) {
+  const MigrationContext context(sampleMachine("vending_v1"),
+                                 sampleMachine("vending_v2"));
+  const DeltaClassification c = classifyDeltas(context);
+  EXPECT_GT(c.structural, 0);  // the new C15 state's row
+}
+
+}  // namespace
+}  // namespace rfsm

@@ -1,0 +1,92 @@
+// Tests for machine statistics and migration reports.
+#include <gtest/gtest.h>
+
+#include "core/migration.hpp"
+#include "fsm/builder.hpp"
+#include "fsm/statistics.hpp"
+#include "gen/families.hpp"
+#include "gen/samples.hpp"
+#include "tools/report.hpp"
+
+namespace rfsm {
+namespace {
+
+TEST(Statistics, CounterMetrics) {
+  const MachineStatistics s = computeStatistics(counterMachine(6));
+  EXPECT_EQ(s.states, 6);
+  EXPECT_EQ(s.reachableStates, 6);
+  EXPECT_EQ(s.stronglyConnectedComponents, 1);
+  EXPECT_TRUE(s.mooreForm);
+  // Modulo-6 ring with up/down: farthest state is 3 steps away.
+  EXPECT_EQ(s.eccentricityFromReset, 3);
+  EXPECT_EQ(s.diameter, 3);
+  EXPECT_EQ(s.sourcesOnly, 0);
+  EXPECT_DOUBLE_EQ(s.meanDistinctSuccessors, 2.0);
+  EXPECT_EQ(s.stableTotalStates, 0);
+}
+
+TEST(Statistics, OnesDetectorMetrics) {
+  const MachineStatistics s = computeStatistics(onesDetector());
+  EXPECT_EQ(s.states, 2);
+  EXPECT_FALSE(s.mooreForm);
+  EXPECT_EQ(s.stableTotalStates, 2);
+  EXPECT_EQ(s.eccentricityFromReset, 1);
+}
+
+TEST(Statistics, UnreachableStateShowsAsInfiniteEccentricity) {
+  MachineBuilder b("island");
+  b.addInput("0");
+  b.addTransition("0", "A", "A", "x");
+  b.addTransition("0", "B", "A", "x");
+  b.setResetState("A");
+  const MachineStatistics s = computeStatistics(b.build());
+  EXPECT_EQ(s.reachableStates, 1);
+  EXPECT_EQ(s.eccentricityFromReset, -1);
+  EXPECT_EQ(s.sourcesOnly, 1);  // B is never entered
+}
+
+TEST(Statistics, DescribeMentionsKeyNumbers) {
+  const std::string text =
+      describeStatistics(computeStatistics(counterMachine(4)));
+  EXPECT_NE(text.find("states 4"), std::string::npos);
+  EXPECT_NE(text.find("Moore"), std::string::npos);
+  EXPECT_NE(text.find("diameter 2"), std::string::npos);
+}
+
+TEST(Report, ContainsAllSections) {
+  const MigrationContext context(sampleMachine("parity_even"),
+                                 sampleMachine("parity_odd"));
+  const std::string report = buildMigrationReport(context);
+  EXPECT_NE(report.find("# Migration report"), std::string::npos);
+  EXPECT_NE(report.find("delta transitions: 4"), std::string::npos);
+  EXPECT_NE(report.find("4 output-only"), std::string::npos);
+  EXPECT_NE(report.find("| JSR"), std::string::npos);
+  EXPECT_NE(report.find("| greedy"), std::string::npos);
+  EXPECT_NE(report.find("| EA"), std::string::npos);
+  EXPECT_NE(report.find("output-only optimal"), std::string::npos);
+  EXPECT_NE(report.find("optimal (search)"), std::string::npos);
+  EXPECT_NE(report.find("downtime:"), std::string::npos);
+  EXPECT_NE(report.find("fits XCV300"), std::string::npos);
+  // All planners valid.
+  EXPECT_EQ(report.find("| NO"), std::string::npos);
+}
+
+TEST(Report, OptionalSectionsCanBeSkipped) {
+  const MigrationContext context(onesDetector(), zerosDetector());
+  ReportOptions options;
+  options.runEvolutionary = false;
+  options.runOptimal = false;
+  const std::string report = buildMigrationReport(context, options);
+  EXPECT_EQ(report.find("| EA "), std::string::npos);
+  EXPECT_EQ(report.find("optimal (search)"), std::string::npos);
+  EXPECT_NE(report.find("| JSR"), std::string::npos);
+}
+
+TEST(Report, DeterministicForSeed) {
+  const MigrationContext context(sampleMachine("hdlc_v1"),
+                                 sampleMachine("hdlc_v2"));
+  EXPECT_EQ(buildMigrationReport(context), buildMigrationReport(context));
+}
+
+}  // namespace
+}  // namespace rfsm

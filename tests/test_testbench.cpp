@@ -1,0 +1,76 @@
+// Tests for the VHDL testbench generator.
+#include <gtest/gtest.h>
+
+#include "core/jsr.hpp"
+#include "core/sequence.hpp"
+#include "fsm/simulate.hpp"
+#include "gen/families.hpp"
+#include "rtl/testbench.hpp"
+#include "util/check.hpp"
+
+namespace rfsm::rtl {
+namespace {
+
+MigrationContext paperContext() {
+  return MigrationContext(onesDetector(), zerosDetector());
+}
+
+TEST(Testbench, StructureAndClocking) {
+  const MigrationContext context = paperContext();
+  const auto sequence = sequenceFromProgram(planJsr(context));
+  TestbenchOptions options;
+  options.entityName = "dut";
+  options.testbenchName = "dut_tb";
+  options.clockPeriodNs = 20;
+  const std::vector<SymbolId> word{context.inputs().at("0"),
+                                   context.inputs().at("0"),
+                                   context.inputs().at("1")};
+  const std::string tb = generateTestbench(context, sequence, word, options);
+  EXPECT_NE(tb.find("ENTITY dut_tb IS"), std::string::npos);
+  EXPECT_NE(tb.find("ENTITY work.dut"), std::string::npos);
+  EXPECT_NE(tb.find("AFTER 10 ns"), std::string::npos);  // half period
+  EXPECT_NE(tb.find("FOR k IN 1 TO " + std::to_string(sequence.length())),
+            std::string::npos);
+  EXPECT_NE(tb.find("ASSERT rec = '0'"), std::string::npos);
+  EXPECT_NE(tb.find("END sim;"), std::string::npos);
+}
+
+TEST(Testbench, ExpectedOutputsComeFromGoldenModel) {
+  const MigrationContext context = paperContext();
+  const auto sequence = sequenceFromProgram(planJsr(context));
+  // The zeros machine from S0 outputs 1 under input 0 and 0 under input 1.
+  const std::vector<SymbolId> word{context.inputs().at("0"),
+                                   context.inputs().at("1")};
+  const std::string tb = generateTestbench(context, sequence, word);
+  EXPECT_NE(tb.find("input 0, expect output 1"), std::string::npos);
+  EXPECT_NE(tb.find("input 1, expect output 0"), std::string::npos);
+  // One ASSERT per word symbol (plus the rec check).
+  std::size_t asserts = 0;
+  for (std::size_t pos = tb.find("ASSERT"); pos != std::string::npos;
+       pos = tb.find("ASSERT", pos + 1))
+    ++asserts;
+  EXPECT_EQ(asserts, word.size() + 1);
+}
+
+TEST(Testbench, RejectsInvalidWordSymbols) {
+  const MigrationContext context = paperContext();
+  const auto sequence = sequenceFromProgram(planJsr(context));
+  EXPECT_THROW(generateTestbench(context, sequence, {99}), ContractError);
+}
+
+TEST(Testbench, MealyOutputsSampledBeforeTheEdge) {
+  const MigrationContext context = paperContext();
+  const auto sequence = sequenceFromProgram(planJsr(context));
+  const std::string tb = generateTestbench(
+      context, sequence, {context.inputs().at("0")});
+  // The falling-edge sample must precede the rising-edge transition.
+  const auto fall = tb.find("WAIT UNTIL falling_edge(clk);");
+  ASSERT_NE(fall, std::string::npos);
+  const auto assertPos = tb.find("ASSERT o =", fall);
+  ASSERT_NE(assertPos, std::string::npos);
+  const auto rise = tb.find("WAIT UNTIL rising_edge(clk);", assertPos);
+  EXPECT_NE(rise, std::string::npos);
+}
+
+}  // namespace
+}  // namespace rfsm::rtl

@@ -1,0 +1,178 @@
+// Unit tests for src/util: RNG determinism and distribution sanity, string
+// helpers, table rendering, contract checks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace rfsm {
+namespace {
+
+TEST(Check, ThrowsContractErrorWithContext) {
+  try {
+    RFSM_CHECK(1 == 2, "numbers disagree");
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& error) {
+    EXPECT_NE(std::string(error.what()).find("numbers disagree"),
+              std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Check, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(RFSM_CHECK(true, "fine"));
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int k = 0; k < 100; ++k) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int k = 0; k < 64; ++k)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int k = 0; k < 1000; ++k) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int k = 0; k < 500; ++k) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BelowRejectsZeroBound) {
+  Rng rng(3);
+  EXPECT_THROW(rng.below(0), ContractError);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(5);
+  bool sawLo = false, sawHi = false;
+  for (int k = 0; k < 2000; ++k) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    sawLo |= (v == -3);
+    sawHi |= (v == 3);
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int k = 0; k < 10000; ++k) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int k = 0; k < 50; ++k) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(21);
+  Rng child = a.split();
+  // The child stream should not track the parent.
+  int same = 0;
+  for (int k = 0; k < 64; ++k)
+    if (a() == child()) ++same;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWhitespaceDropsEmpties) {
+  const auto parts = splitWhitespace("  one\t two \n three  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "one");
+  EXPECT_EQ(parts[2], "three");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  x y \t"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, JoinWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(startsWith("kiss2", "kiss"));
+  EXPECT_FALSE(startsWith("ki", "kiss"));
+}
+
+TEST(Strings, FormatFixed) {
+  EXPECT_EQ(formatFixed(1.23456, 2), "1.23");
+  EXPECT_EQ(formatFixed(2.0, 1), "2.0");
+}
+
+TEST(Table, MarkdownHasHeaderSeparatorAndRows) {
+  Table t({"a", "bb"});
+  t.addRow({"1", "2"});
+  t.addRow({"333", "4"});
+  const std::string md = t.toMarkdown();
+  EXPECT_NE(md.find("| a "), std::string::npos);
+  EXPECT_NE(md.find("|---"), std::string::npos);
+  EXPECT_NE(md.find("| 333 "), std::string::npos);
+  EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, CsvRendering) {
+  Table t({"x", "y"});
+  t.addRow({"1", "2"});
+  EXPECT_EQ(t.toCsv(), "x,y\n1,2\n");
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  Table t({"only"});
+  EXPECT_THROW(t.addRow({"a", "b"}), ContractError);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), ContractError);
+}
+
+}  // namespace
+}  // namespace rfsm

@@ -1,0 +1,98 @@
+// Tests for the VCD waveform recorder.
+#include <gtest/gtest.h>
+
+#include "core/jsr.hpp"
+#include "core/sequence.hpp"
+#include "gen/families.hpp"
+#include "rtl/components.hpp"
+#include "rtl/datapath.hpp"
+#include "rtl/vcd.hpp"
+
+namespace rfsm::rtl {
+namespace {
+
+TEST(Vcd, IdentifierEncoding) {
+  EXPECT_EQ(vcdIdentifier(0), "!");
+  EXPECT_EQ(vcdIdentifier(1), "\"");
+  EXPECT_EQ(vcdIdentifier(93), "~");
+  EXPECT_EQ(vcdIdentifier(94), "!\"");  // two-character rollover
+}
+
+TEST(Vcd, BinaryLiteral) {
+  EXPECT_EQ(vcdBinary(5, 3), "b101");
+  EXPECT_EQ(vcdBinary(0, 2), "b00");
+  EXPECT_EQ(vcdBinary(1, 1), "b1");
+}
+
+TEST(Vcd, RecordsOnlyChanges) {
+  Circuit c;
+  const WireId a = c.addWire(1, "a");
+  const WireId b = c.addWire(4, "bus");
+  VcdRecorder recorder(c, {a, b});
+  c.poke(a, 0);
+  c.poke(b, 3);
+  recorder.sample(0);
+  recorder.sample(1);  // nothing changed: no new change records
+  c.poke(a, 1);
+  recorder.sample(2);
+  EXPECT_EQ(recorder.sampleCount(), 3);
+
+  const std::string vcd = recorder.toString();
+  EXPECT_NE(vcd.find("$var wire 1 ! a $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 4 \" bus $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(vcd.find("#0"), std::string::npos);
+  EXPECT_NE(vcd.find("#2"), std::string::npos);
+  // Time 1 produced no changes, so no "#1" section.
+  EXPECT_EQ(vcd.find("#1\n"), std::string::npos);
+  // Scalar change uses the short form "1!".
+  EXPECT_NE(vcd.find("\n1!"), std::string::npos);
+  // Vector change uses the b-form with a space.
+  EXPECT_NE(vcd.find("b0011 \""), std::string::npos);
+}
+
+TEST(Vcd, DefaultRecordsAllWires) {
+  Circuit c;
+  c.addWire(1, "x");
+  c.addWire(2, "y");
+  VcdRecorder recorder(c, {});
+  recorder.sample(0);
+  const std::string vcd = recorder.toString();
+  EXPECT_NE(vcd.find(" x $end"), std::string::npos);
+  EXPECT_NE(vcd.find(" y $end"), std::string::npos);
+}
+
+TEST(Vcd, RejectsTimeTravel) {
+  Circuit c;
+  c.addWire(1, "x");
+  VcdRecorder recorder(c, {});
+  recorder.sample(5);
+  EXPECT_THROW(recorder.sample(4), ContractError);
+}
+
+TEST(Vcd, CapturesDatapathReconfiguration) {
+  const MigrationContext context(onesDetector(), zerosDetector());
+  const ReconfigurationProgram z = planJsr(context);
+  ReconfigurableFsmDatapath hw(context);
+  hw.loadSequence(sequenceFromProgram(z));
+  VcdRecorder recorder(hw.circuit(), {});
+
+  hw.startReconfiguration();
+  std::uint64_t time = 0;
+  hw.clock(0);
+  recorder.sample(time++);
+  while (hw.reconfiguring()) {
+    hw.clock(0);
+    recorder.sample(time++);
+  }
+  const std::string vcd = recorder.toString();
+  // The named Fig. 5 signals appear in the header and toggle in the body.
+  EXPECT_NE(vcd.find(" rec_active $end"), std::string::npos);
+  EXPECT_NE(vcd.find(" s $end"), std::string::npos);
+  EXPECT_NE(vcd.find(" we $end"), std::string::npos);
+  EXPECT_NE(vcd.find("#1"), std::string::npos);
+  EXPECT_EQ(recorder.sampleCount(), z.length() + 1);
+}
+
+}  // namespace
+}  // namespace rfsm::rtl
