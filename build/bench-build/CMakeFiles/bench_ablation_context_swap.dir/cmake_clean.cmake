@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_context_swap"
+  "../bench/bench_ablation_context_swap.pdb"
+  "CMakeFiles/bench_ablation_context_swap.dir/bench_ablation_context_swap.cpp.o"
+  "CMakeFiles/bench_ablation_context_swap.dir/bench_ablation_context_swap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_context_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_difficulty"
+  "../bench/bench_ablation_difficulty.pdb"
+  "CMakeFiles/bench_ablation_difficulty.dir/bench_ablation_difficulty.cpp.o"
+  "CMakeFiles/bench_ablation_difficulty.dir/bench_ablation_difficulty.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_difficulty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

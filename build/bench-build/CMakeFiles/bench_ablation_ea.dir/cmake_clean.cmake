@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_ea"
+  "../bench/bench_ablation_ea.pdb"
+  "CMakeFiles/bench_ablation_ea.dir/bench_ablation_ea.cpp.o"
+  "CMakeFiles/bench_ablation_ea.dir/bench_ablation_ea.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

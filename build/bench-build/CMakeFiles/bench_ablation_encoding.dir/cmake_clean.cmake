@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_encoding"
+  "../bench/bench_ablation_encoding.pdb"
+  "CMakeFiles/bench_ablation_encoding.dir/bench_ablation_encoding.cpp.o"
+  "CMakeFiles/bench_ablation_encoding.dir/bench_ablation_encoding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_logic_vs_ram"
+  "../bench/bench_ablation_logic_vs_ram.pdb"
+  "CMakeFiles/bench_ablation_logic_vs_ram.dir/bench_ablation_logic_vs_ram.cpp.o"
+  "CMakeFiles/bench_ablation_logic_vs_ram.dir/bench_ablation_logic_vs_ram.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_logic_vs_ram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

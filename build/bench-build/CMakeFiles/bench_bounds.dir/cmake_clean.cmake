@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bounds"
+  "../bench/bench_bounds.pdb"
+  "CMakeFiles/bench_bounds.dir/bench_bounds.cpp.o"
+  "CMakeFiles/bench_bounds.dir/bench_bounds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

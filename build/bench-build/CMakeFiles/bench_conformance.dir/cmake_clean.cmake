@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_conformance"
+  "../bench/bench_conformance.pdb"
+  "CMakeFiles/bench_conformance.dir/bench_conformance.cpp.o"
+  "CMakeFiles/bench_conformance.dir/bench_conformance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conformance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_example_machine"
+  "../bench/bench_fig3_example_machine.pdb"
+  "CMakeFiles/bench_fig3_example_machine.dir/bench_fig3_example_machine.cpp.o"
+  "CMakeFiles/bench_fig3_example_machine.dir/bench_fig3_example_machine.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_example_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_hardware"
+  "../bench/bench_fig5_hardware.pdb"
+  "CMakeFiles/bench_fig5_hardware.dir/bench_fig5_hardware.cpp.o"
+  "CMakeFiles/bench_fig5_hardware.dir/bench_fig5_hardware.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_delta_transitions"
+  "../bench/bench_fig6_delta_transitions.pdb"
+  "CMakeFiles/bench_fig6_delta_transitions.dir/bench_fig6_delta_transitions.cpp.o"
+  "CMakeFiles/bench_fig6_delta_transitions.dir/bench_fig6_delta_transitions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_delta_transitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig78_temporary_transitions"
+  "../bench/bench_fig78_temporary_transitions.pdb"
+  "CMakeFiles/bench_fig78_temporary_transitions.dir/bench_fig78_temporary_transitions.cpp.o"
+  "CMakeFiles/bench_fig78_temporary_transitions.dir/bench_fig78_temporary_transitions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig78_temporary_transitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig78_temporary_transitions.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_jsr"
+  "../bench/bench_fig9_jsr.pdb"
+  "CMakeFiles/bench_fig9_jsr.dir/bench_fig9_jsr.cpp.o"
+  "CMakeFiles/bench_fig9_jsr.dir/bench_fig9_jsr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_jsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_netproto"
+  "../bench/bench_netproto.pdb"
+  "CMakeFiles/bench_netproto.dir/bench_netproto.cpp.o"
+  "CMakeFiles/bench_netproto.dir/bench_netproto.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_netproto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

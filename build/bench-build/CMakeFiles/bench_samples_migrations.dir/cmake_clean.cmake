@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_samples_migrations"
+  "../bench/bench_samples_migrations.pdb"
+  "CMakeFiles/bench_samples_migrations.dir/bench_samples_migrations.cpp.o"
+  "CMakeFiles/bench_samples_migrations.dir/bench_samples_migrations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_samples_migrations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_symbolic_equivalence"
+  "../bench/bench_symbolic_equivalence.pdb"
+  "CMakeFiles/bench_symbolic_equivalence.dir/bench_symbolic_equivalence.cpp.o"
+  "CMakeFiles/bench_symbolic_equivalence.dir/bench_symbolic_equivalence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_symbolic_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_reconfiguration_sequence"
+  "../bench/bench_table1_reconfiguration_sequence.pdb"
+  "CMakeFiles/bench_table1_reconfiguration_sequence.dir/bench_table1_reconfiguration_sequence.cpp.o"
+  "CMakeFiles/bench_table1_reconfiguration_sequence.dir/bench_table1_reconfiguration_sequence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_reconfiguration_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_ea_vs_jsr"
+  "../bench/bench_table2_ea_vs_jsr.pdb"
+  "CMakeFiles/bench_table2_ea_vs_jsr.dir/bench_table2_ea_vs_jsr.cpp.o"
+  "CMakeFiles/bench_table2_ea_vs_jsr.dir/bench_table2_ea_vs_jsr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_ea_vs_jsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

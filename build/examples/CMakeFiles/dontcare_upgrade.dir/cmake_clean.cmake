@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dontcare_upgrade.dir/dontcare_upgrade.cpp.o"
+  "CMakeFiles/dontcare_upgrade.dir/dontcare_upgrade.cpp.o.d"
+  "dontcare_upgrade"
+  "dontcare_upgrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dontcare_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardware_cosim.dir/hardware_cosim.cpp.o"
+  "CMakeFiles/hardware_cosim.dir/hardware_cosim.cpp.o.d"
+  "hardware_cosim"
+  "hardware_cosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardware_cosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hardware_cosim.
+# This may be replaced when dependencies are built.

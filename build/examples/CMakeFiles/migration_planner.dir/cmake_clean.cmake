@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_planner.dir/migration_planner.cpp.o"
+  "CMakeFiles/migration_planner.dir/migration_planner.cpp.o.d"
+  "migration_planner"
+  "migration_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

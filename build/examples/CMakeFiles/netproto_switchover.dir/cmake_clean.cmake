@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netproto_switchover.dir/netproto_switchover.cpp.o"
+  "CMakeFiles/netproto_switchover.dir/netproto_switchover.cpp.o.d"
+  "netproto_switchover"
+  "netproto_switchover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netproto_switchover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

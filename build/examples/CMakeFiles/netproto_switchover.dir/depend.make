@@ -1,0 +1,2 @@
+# Empty dependencies file for netproto_switchover.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/release_train.dir/release_train.cpp.o"
+  "CMakeFiles/release_train.dir/release_train.cpp.o.d"
+  "release_train"
+  "release_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/release_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

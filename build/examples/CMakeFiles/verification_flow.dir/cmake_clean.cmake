@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verification_flow.dir/verification_flow.cpp.o"
+  "CMakeFiles/verification_flow.dir/verification_flow.cpp.o.d"
+  "verification_flow"
+  "verification_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verification_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

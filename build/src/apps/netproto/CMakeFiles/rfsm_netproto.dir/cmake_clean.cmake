@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfsm_netproto.dir/multiport.cpp.o"
+  "CMakeFiles/rfsm_netproto.dir/multiport.cpp.o.d"
+  "CMakeFiles/rfsm_netproto.dir/protocol.cpp.o"
+  "CMakeFiles/rfsm_netproto.dir/protocol.cpp.o.d"
+  "librfsm_netproto.a"
+  "librfsm_netproto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfsm_netproto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

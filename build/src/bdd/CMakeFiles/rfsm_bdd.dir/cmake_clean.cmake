@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfsm_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/rfsm_bdd.dir/bdd.cpp.o.d"
+  "CMakeFiles/rfsm_bdd.dir/symbolic_fsm.cpp.o"
+  "CMakeFiles/rfsm_bdd.dir/symbolic_fsm.cpp.o.d"
+  "librfsm_bdd.a"
+  "librfsm_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfsm_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

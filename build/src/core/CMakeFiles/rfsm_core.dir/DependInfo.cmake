@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/apply.cpp" "src/core/CMakeFiles/rfsm_core.dir/apply.cpp.o" "gcc" "src/core/CMakeFiles/rfsm_core.dir/apply.cpp.o.d"
+  "/root/repo/src/core/bounds.cpp" "src/core/CMakeFiles/rfsm_core.dir/bounds.cpp.o" "gcc" "src/core/CMakeFiles/rfsm_core.dir/bounds.cpp.o.d"
+  "/root/repo/src/core/chain.cpp" "src/core/CMakeFiles/rfsm_core.dir/chain.cpp.o" "gcc" "src/core/CMakeFiles/rfsm_core.dir/chain.cpp.o.d"
+  "/root/repo/src/core/difficulty.cpp" "src/core/CMakeFiles/rfsm_core.dir/difficulty.cpp.o" "gcc" "src/core/CMakeFiles/rfsm_core.dir/difficulty.cpp.o.d"
+  "/root/repo/src/core/dontcare.cpp" "src/core/CMakeFiles/rfsm_core.dir/dontcare.cpp.o" "gcc" "src/core/CMakeFiles/rfsm_core.dir/dontcare.cpp.o.d"
+  "/root/repo/src/core/jsr.cpp" "src/core/CMakeFiles/rfsm_core.dir/jsr.cpp.o" "gcc" "src/core/CMakeFiles/rfsm_core.dir/jsr.cpp.o.d"
+  "/root/repo/src/core/local_search.cpp" "src/core/CMakeFiles/rfsm_core.dir/local_search.cpp.o" "gcc" "src/core/CMakeFiles/rfsm_core.dir/local_search.cpp.o.d"
+  "/root/repo/src/core/migration.cpp" "src/core/CMakeFiles/rfsm_core.dir/migration.cpp.o" "gcc" "src/core/CMakeFiles/rfsm_core.dir/migration.cpp.o.d"
+  "/root/repo/src/core/mutable_machine.cpp" "src/core/CMakeFiles/rfsm_core.dir/mutable_machine.cpp.o" "gcc" "src/core/CMakeFiles/rfsm_core.dir/mutable_machine.cpp.o.d"
+  "/root/repo/src/core/optimal.cpp" "src/core/CMakeFiles/rfsm_core.dir/optimal.cpp.o" "gcc" "src/core/CMakeFiles/rfsm_core.dir/optimal.cpp.o.d"
+  "/root/repo/src/core/partial.cpp" "src/core/CMakeFiles/rfsm_core.dir/partial.cpp.o" "gcc" "src/core/CMakeFiles/rfsm_core.dir/partial.cpp.o.d"
+  "/root/repo/src/core/peephole.cpp" "src/core/CMakeFiles/rfsm_core.dir/peephole.cpp.o" "gcc" "src/core/CMakeFiles/rfsm_core.dir/peephole.cpp.o.d"
+  "/root/repo/src/core/planners.cpp" "src/core/CMakeFiles/rfsm_core.dir/planners.cpp.o" "gcc" "src/core/CMakeFiles/rfsm_core.dir/planners.cpp.o.d"
+  "/root/repo/src/core/program.cpp" "src/core/CMakeFiles/rfsm_core.dir/program.cpp.o" "gcc" "src/core/CMakeFiles/rfsm_core.dir/program.cpp.o.d"
+  "/root/repo/src/core/repair.cpp" "src/core/CMakeFiles/rfsm_core.dir/repair.cpp.o" "gcc" "src/core/CMakeFiles/rfsm_core.dir/repair.cpp.o.d"
+  "/root/repo/src/core/self_reconfigurable.cpp" "src/core/CMakeFiles/rfsm_core.dir/self_reconfigurable.cpp.o" "gcc" "src/core/CMakeFiles/rfsm_core.dir/self_reconfigurable.cpp.o.d"
+  "/root/repo/src/core/sequence.cpp" "src/core/CMakeFiles/rfsm_core.dir/sequence.cpp.o" "gcc" "src/core/CMakeFiles/rfsm_core.dir/sequence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsm/CMakeFiles/rfsm_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ea/CMakeFiles/rfsm_ea.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rfsm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rfsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfsm_ea.dir/evolution.cpp.o"
+  "CMakeFiles/rfsm_ea.dir/evolution.cpp.o.d"
+  "CMakeFiles/rfsm_ea.dir/permutation.cpp.o"
+  "CMakeFiles/rfsm_ea.dir/permutation.cpp.o.d"
+  "librfsm_ea.a"
+  "librfsm_ea.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfsm_ea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsm/analysis.cpp" "src/fsm/CMakeFiles/rfsm_fsm.dir/analysis.cpp.o" "gcc" "src/fsm/CMakeFiles/rfsm_fsm.dir/analysis.cpp.o.d"
+  "/root/repo/src/fsm/builder.cpp" "src/fsm/CMakeFiles/rfsm_fsm.dir/builder.cpp.o" "gcc" "src/fsm/CMakeFiles/rfsm_fsm.dir/builder.cpp.o.d"
+  "/root/repo/src/fsm/compose.cpp" "src/fsm/CMakeFiles/rfsm_fsm.dir/compose.cpp.o" "gcc" "src/fsm/CMakeFiles/rfsm_fsm.dir/compose.cpp.o.d"
+  "/root/repo/src/fsm/conformance.cpp" "src/fsm/CMakeFiles/rfsm_fsm.dir/conformance.cpp.o" "gcc" "src/fsm/CMakeFiles/rfsm_fsm.dir/conformance.cpp.o.d"
+  "/root/repo/src/fsm/equivalence.cpp" "src/fsm/CMakeFiles/rfsm_fsm.dir/equivalence.cpp.o" "gcc" "src/fsm/CMakeFiles/rfsm_fsm.dir/equivalence.cpp.o.d"
+  "/root/repo/src/fsm/kiss.cpp" "src/fsm/CMakeFiles/rfsm_fsm.dir/kiss.cpp.o" "gcc" "src/fsm/CMakeFiles/rfsm_fsm.dir/kiss.cpp.o.d"
+  "/root/repo/src/fsm/machine.cpp" "src/fsm/CMakeFiles/rfsm_fsm.dir/machine.cpp.o" "gcc" "src/fsm/CMakeFiles/rfsm_fsm.dir/machine.cpp.o.d"
+  "/root/repo/src/fsm/minimize.cpp" "src/fsm/CMakeFiles/rfsm_fsm.dir/minimize.cpp.o" "gcc" "src/fsm/CMakeFiles/rfsm_fsm.dir/minimize.cpp.o.d"
+  "/root/repo/src/fsm/moore.cpp" "src/fsm/CMakeFiles/rfsm_fsm.dir/moore.cpp.o" "gcc" "src/fsm/CMakeFiles/rfsm_fsm.dir/moore.cpp.o.d"
+  "/root/repo/src/fsm/partial_machine.cpp" "src/fsm/CMakeFiles/rfsm_fsm.dir/partial_machine.cpp.o" "gcc" "src/fsm/CMakeFiles/rfsm_fsm.dir/partial_machine.cpp.o.d"
+  "/root/repo/src/fsm/reduce.cpp" "src/fsm/CMakeFiles/rfsm_fsm.dir/reduce.cpp.o" "gcc" "src/fsm/CMakeFiles/rfsm_fsm.dir/reduce.cpp.o.d"
+  "/root/repo/src/fsm/serialize.cpp" "src/fsm/CMakeFiles/rfsm_fsm.dir/serialize.cpp.o" "gcc" "src/fsm/CMakeFiles/rfsm_fsm.dir/serialize.cpp.o.d"
+  "/root/repo/src/fsm/simulate.cpp" "src/fsm/CMakeFiles/rfsm_fsm.dir/simulate.cpp.o" "gcc" "src/fsm/CMakeFiles/rfsm_fsm.dir/simulate.cpp.o.d"
+  "/root/repo/src/fsm/statistics.cpp" "src/fsm/CMakeFiles/rfsm_fsm.dir/statistics.cpp.o" "gcc" "src/fsm/CMakeFiles/rfsm_fsm.dir/statistics.cpp.o.d"
+  "/root/repo/src/fsm/symbols.cpp" "src/fsm/CMakeFiles/rfsm_fsm.dir/symbols.cpp.o" "gcc" "src/fsm/CMakeFiles/rfsm_fsm.dir/symbols.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rfsm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rfsm_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfsm_fsm.dir/analysis.cpp.o"
+  "CMakeFiles/rfsm_fsm.dir/analysis.cpp.o.d"
+  "CMakeFiles/rfsm_fsm.dir/builder.cpp.o"
+  "CMakeFiles/rfsm_fsm.dir/builder.cpp.o.d"
+  "CMakeFiles/rfsm_fsm.dir/compose.cpp.o"
+  "CMakeFiles/rfsm_fsm.dir/compose.cpp.o.d"
+  "CMakeFiles/rfsm_fsm.dir/conformance.cpp.o"
+  "CMakeFiles/rfsm_fsm.dir/conformance.cpp.o.d"
+  "CMakeFiles/rfsm_fsm.dir/equivalence.cpp.o"
+  "CMakeFiles/rfsm_fsm.dir/equivalence.cpp.o.d"
+  "CMakeFiles/rfsm_fsm.dir/kiss.cpp.o"
+  "CMakeFiles/rfsm_fsm.dir/kiss.cpp.o.d"
+  "CMakeFiles/rfsm_fsm.dir/machine.cpp.o"
+  "CMakeFiles/rfsm_fsm.dir/machine.cpp.o.d"
+  "CMakeFiles/rfsm_fsm.dir/minimize.cpp.o"
+  "CMakeFiles/rfsm_fsm.dir/minimize.cpp.o.d"
+  "CMakeFiles/rfsm_fsm.dir/moore.cpp.o"
+  "CMakeFiles/rfsm_fsm.dir/moore.cpp.o.d"
+  "CMakeFiles/rfsm_fsm.dir/partial_machine.cpp.o"
+  "CMakeFiles/rfsm_fsm.dir/partial_machine.cpp.o.d"
+  "CMakeFiles/rfsm_fsm.dir/reduce.cpp.o"
+  "CMakeFiles/rfsm_fsm.dir/reduce.cpp.o.d"
+  "CMakeFiles/rfsm_fsm.dir/serialize.cpp.o"
+  "CMakeFiles/rfsm_fsm.dir/serialize.cpp.o.d"
+  "CMakeFiles/rfsm_fsm.dir/simulate.cpp.o"
+  "CMakeFiles/rfsm_fsm.dir/simulate.cpp.o.d"
+  "CMakeFiles/rfsm_fsm.dir/statistics.cpp.o"
+  "CMakeFiles/rfsm_fsm.dir/statistics.cpp.o.d"
+  "CMakeFiles/rfsm_fsm.dir/symbols.cpp.o"
+  "CMakeFiles/rfsm_fsm.dir/symbols.cpp.o.d"
+  "librfsm_fsm.a"
+  "librfsm_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfsm_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/families.cpp" "src/gen/CMakeFiles/rfsm_gen.dir/families.cpp.o" "gcc" "src/gen/CMakeFiles/rfsm_gen.dir/families.cpp.o.d"
+  "/root/repo/src/gen/generator.cpp" "src/gen/CMakeFiles/rfsm_gen.dir/generator.cpp.o" "gcc" "src/gen/CMakeFiles/rfsm_gen.dir/generator.cpp.o.d"
+  "/root/repo/src/gen/mutator.cpp" "src/gen/CMakeFiles/rfsm_gen.dir/mutator.cpp.o" "gcc" "src/gen/CMakeFiles/rfsm_gen.dir/mutator.cpp.o.d"
+  "/root/repo/src/gen/samples.cpp" "src/gen/CMakeFiles/rfsm_gen.dir/samples.cpp.o" "gcc" "src/gen/CMakeFiles/rfsm_gen.dir/samples.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsm/CMakeFiles/rfsm_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rfsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rfsm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rfsm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ea/CMakeFiles/rfsm_ea.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfsm_gen.dir/families.cpp.o"
+  "CMakeFiles/rfsm_gen.dir/families.cpp.o.d"
+  "CMakeFiles/rfsm_gen.dir/generator.cpp.o"
+  "CMakeFiles/rfsm_gen.dir/generator.cpp.o.d"
+  "CMakeFiles/rfsm_gen.dir/mutator.cpp.o"
+  "CMakeFiles/rfsm_gen.dir/mutator.cpp.o.d"
+  "CMakeFiles/rfsm_gen.dir/samples.cpp.o"
+  "CMakeFiles/rfsm_gen.dir/samples.cpp.o.d"
+  "librfsm_gen.a"
+  "librfsm_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfsm_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librfsm_gen.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfsm_graph.dir/digraph.cpp.o"
+  "CMakeFiles/rfsm_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/rfsm_graph.dir/scc.cpp.o"
+  "CMakeFiles/rfsm_graph.dir/scc.cpp.o.d"
+  "CMakeFiles/rfsm_graph.dir/shortest_path.cpp.o"
+  "CMakeFiles/rfsm_graph.dir/shortest_path.cpp.o.d"
+  "librfsm_graph.a"
+  "librfsm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfsm_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/cover.cpp" "src/logic/CMakeFiles/rfsm_logic.dir/cover.cpp.o" "gcc" "src/logic/CMakeFiles/rfsm_logic.dir/cover.cpp.o.d"
+  "/root/repo/src/logic/cube.cpp" "src/logic/CMakeFiles/rfsm_logic.dir/cube.cpp.o" "gcc" "src/logic/CMakeFiles/rfsm_logic.dir/cube.cpp.o.d"
+  "/root/repo/src/logic/synthesize.cpp" "src/logic/CMakeFiles/rfsm_logic.dir/synthesize.cpp.o" "gcc" "src/logic/CMakeFiles/rfsm_logic.dir/synthesize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsm/CMakeFiles/rfsm_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/rfsm_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rfsm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rfsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rfsm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ea/CMakeFiles/rfsm_ea.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfsm_logic.dir/cover.cpp.o"
+  "CMakeFiles/rfsm_logic.dir/cover.cpp.o.d"
+  "CMakeFiles/rfsm_logic.dir/cube.cpp.o"
+  "CMakeFiles/rfsm_logic.dir/cube.cpp.o.d"
+  "CMakeFiles/rfsm_logic.dir/synthesize.cpp.o"
+  "CMakeFiles/rfsm_logic.dir/synthesize.cpp.o.d"
+  "librfsm_logic.a"
+  "librfsm_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfsm_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

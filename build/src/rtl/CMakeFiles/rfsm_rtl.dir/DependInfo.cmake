@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/components.cpp" "src/rtl/CMakeFiles/rfsm_rtl.dir/components.cpp.o" "gcc" "src/rtl/CMakeFiles/rfsm_rtl.dir/components.cpp.o.d"
+  "/root/repo/src/rtl/context_swap.cpp" "src/rtl/CMakeFiles/rfsm_rtl.dir/context_swap.cpp.o" "gcc" "src/rtl/CMakeFiles/rfsm_rtl.dir/context_swap.cpp.o.d"
+  "/root/repo/src/rtl/datapath.cpp" "src/rtl/CMakeFiles/rfsm_rtl.dir/datapath.cpp.o" "gcc" "src/rtl/CMakeFiles/rfsm_rtl.dir/datapath.cpp.o.d"
+  "/root/repo/src/rtl/encoding.cpp" "src/rtl/CMakeFiles/rfsm_rtl.dir/encoding.cpp.o" "gcc" "src/rtl/CMakeFiles/rfsm_rtl.dir/encoding.cpp.o.d"
+  "/root/repo/src/rtl/jsr_datapath.cpp" "src/rtl/CMakeFiles/rfsm_rtl.dir/jsr_datapath.cpp.o" "gcc" "src/rtl/CMakeFiles/rfsm_rtl.dir/jsr_datapath.cpp.o.d"
+  "/root/repo/src/rtl/jsr_sequencer.cpp" "src/rtl/CMakeFiles/rfsm_rtl.dir/jsr_sequencer.cpp.o" "gcc" "src/rtl/CMakeFiles/rfsm_rtl.dir/jsr_sequencer.cpp.o.d"
+  "/root/repo/src/rtl/kernel.cpp" "src/rtl/CMakeFiles/rfsm_rtl.dir/kernel.cpp.o" "gcc" "src/rtl/CMakeFiles/rfsm_rtl.dir/kernel.cpp.o.d"
+  "/root/repo/src/rtl/resources.cpp" "src/rtl/CMakeFiles/rfsm_rtl.dir/resources.cpp.o" "gcc" "src/rtl/CMakeFiles/rfsm_rtl.dir/resources.cpp.o.d"
+  "/root/repo/src/rtl/testbench.cpp" "src/rtl/CMakeFiles/rfsm_rtl.dir/testbench.cpp.o" "gcc" "src/rtl/CMakeFiles/rfsm_rtl.dir/testbench.cpp.o.d"
+  "/root/repo/src/rtl/vcd.cpp" "src/rtl/CMakeFiles/rfsm_rtl.dir/vcd.cpp.o" "gcc" "src/rtl/CMakeFiles/rfsm_rtl.dir/vcd.cpp.o.d"
+  "/root/repo/src/rtl/vhdl.cpp" "src/rtl/CMakeFiles/rfsm_rtl.dir/vhdl.cpp.o" "gcc" "src/rtl/CMakeFiles/rfsm_rtl.dir/vhdl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rfsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/rfsm_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rfsm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ea/CMakeFiles/rfsm_ea.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rfsm_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

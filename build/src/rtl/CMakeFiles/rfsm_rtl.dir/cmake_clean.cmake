@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfsm_rtl.dir/components.cpp.o"
+  "CMakeFiles/rfsm_rtl.dir/components.cpp.o.d"
+  "CMakeFiles/rfsm_rtl.dir/context_swap.cpp.o"
+  "CMakeFiles/rfsm_rtl.dir/context_swap.cpp.o.d"
+  "CMakeFiles/rfsm_rtl.dir/datapath.cpp.o"
+  "CMakeFiles/rfsm_rtl.dir/datapath.cpp.o.d"
+  "CMakeFiles/rfsm_rtl.dir/encoding.cpp.o"
+  "CMakeFiles/rfsm_rtl.dir/encoding.cpp.o.d"
+  "CMakeFiles/rfsm_rtl.dir/jsr_datapath.cpp.o"
+  "CMakeFiles/rfsm_rtl.dir/jsr_datapath.cpp.o.d"
+  "CMakeFiles/rfsm_rtl.dir/jsr_sequencer.cpp.o"
+  "CMakeFiles/rfsm_rtl.dir/jsr_sequencer.cpp.o.d"
+  "CMakeFiles/rfsm_rtl.dir/kernel.cpp.o"
+  "CMakeFiles/rfsm_rtl.dir/kernel.cpp.o.d"
+  "CMakeFiles/rfsm_rtl.dir/resources.cpp.o"
+  "CMakeFiles/rfsm_rtl.dir/resources.cpp.o.d"
+  "CMakeFiles/rfsm_rtl.dir/testbench.cpp.o"
+  "CMakeFiles/rfsm_rtl.dir/testbench.cpp.o.d"
+  "CMakeFiles/rfsm_rtl.dir/vcd.cpp.o"
+  "CMakeFiles/rfsm_rtl.dir/vcd.cpp.o.d"
+  "CMakeFiles/rfsm_rtl.dir/vhdl.cpp.o"
+  "CMakeFiles/rfsm_rtl.dir/vhdl.cpp.o.d"
+  "librfsm_rtl.a"
+  "librfsm_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfsm_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfsm_cli.dir/cli.cpp.o"
+  "CMakeFiles/rfsm_cli.dir/cli.cpp.o.d"
+  "CMakeFiles/rfsm_cli.dir/report.cpp.o"
+  "CMakeFiles/rfsm_cli.dir/report.cpp.o.d"
+  "librfsm_cli.a"
+  "librfsm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfsm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfsmc.dir/rfsmc.cpp.o"
+  "CMakeFiles/rfsmc.dir/rfsmc.cpp.o.d"
+  "rfsmc"
+  "rfsmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfsmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

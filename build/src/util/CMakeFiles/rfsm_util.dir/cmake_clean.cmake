@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfsm_util.dir/check.cpp.o"
+  "CMakeFiles/rfsm_util.dir/check.cpp.o.d"
+  "CMakeFiles/rfsm_util.dir/log.cpp.o"
+  "CMakeFiles/rfsm_util.dir/log.cpp.o.d"
+  "CMakeFiles/rfsm_util.dir/rng.cpp.o"
+  "CMakeFiles/rfsm_util.dir/rng.cpp.o.d"
+  "CMakeFiles/rfsm_util.dir/strings.cpp.o"
+  "CMakeFiles/rfsm_util.dir/strings.cpp.o.d"
+  "CMakeFiles/rfsm_util.dir/table.cpp.o"
+  "CMakeFiles/rfsm_util.dir/table.cpp.o.d"
+  "librfsm_util.a"
+  "librfsm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfsm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

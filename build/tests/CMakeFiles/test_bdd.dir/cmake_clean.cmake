@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bdd.dir/test_bdd.cpp.o"
+  "CMakeFiles/test_bdd.dir/test_bdd.cpp.o.d"
+  "test_bdd"
+  "test_bdd.pdb"
+  "test_bdd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

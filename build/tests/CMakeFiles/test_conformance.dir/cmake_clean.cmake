@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conformance.dir/test_conformance.cpp.o"
+  "CMakeFiles/test_conformance.dir/test_conformance.cpp.o.d"
+  "test_conformance"
+  "test_conformance.pdb"
+  "test_conformance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conformance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

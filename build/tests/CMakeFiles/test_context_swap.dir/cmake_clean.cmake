@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_context_swap.dir/test_context_swap.cpp.o"
+  "CMakeFiles/test_context_swap.dir/test_context_swap.cpp.o.d"
+  "test_context_swap"
+  "test_context_swap.pdb"
+  "test_context_swap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_context_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

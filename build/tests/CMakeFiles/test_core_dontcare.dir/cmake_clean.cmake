@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_dontcare.dir/test_core_dontcare.cpp.o"
+  "CMakeFiles/test_core_dontcare.dir/test_core_dontcare.cpp.o.d"
+  "test_core_dontcare"
+  "test_core_dontcare.pdb"
+  "test_core_dontcare[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_dontcare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

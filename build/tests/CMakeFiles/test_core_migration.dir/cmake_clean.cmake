@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_migration.dir/test_core_migration.cpp.o"
+  "CMakeFiles/test_core_migration.dir/test_core_migration.cpp.o.d"
+  "test_core_migration"
+  "test_core_migration.pdb"
+  "test_core_migration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

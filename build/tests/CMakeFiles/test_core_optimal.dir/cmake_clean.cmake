@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_optimal.dir/test_core_optimal.cpp.o"
+  "CMakeFiles/test_core_optimal.dir/test_core_optimal.cpp.o.d"
+  "test_core_optimal"
+  "test_core_optimal.pdb"
+  "test_core_optimal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_partial.dir/test_core_partial.cpp.o"
+  "CMakeFiles/test_core_partial.dir/test_core_partial.cpp.o.d"
+  "test_core_partial"
+  "test_core_partial.pdb"
+  "test_core_partial[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_partial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

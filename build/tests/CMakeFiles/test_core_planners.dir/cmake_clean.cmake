@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_planners.dir/test_core_planners.cpp.o"
+  "CMakeFiles/test_core_planners.dir/test_core_planners.cpp.o.d"
+  "test_core_planners"
+  "test_core_planners.pdb"
+  "test_core_planners[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_planners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_repair.dir/test_core_repair.cpp.o"
+  "CMakeFiles/test_core_repair.dir/test_core_repair.cpp.o.d"
+  "test_core_repair"
+  "test_core_repair.pdb"
+  "test_core_repair[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

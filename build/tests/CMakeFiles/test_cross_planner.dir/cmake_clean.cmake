@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_planner.dir/test_cross_planner.cpp.o"
+  "CMakeFiles/test_cross_planner.dir/test_cross_planner.cpp.o.d"
+  "test_cross_planner"
+  "test_cross_planner.pdb"
+  "test_cross_planner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_difficulty.dir/test_difficulty.cpp.o"
+  "CMakeFiles/test_difficulty.dir/test_difficulty.cpp.o.d"
+  "test_difficulty"
+  "test_difficulty.pdb"
+  "test_difficulty[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_difficulty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_difficulty.
+# This may be replaced when dependencies are built.

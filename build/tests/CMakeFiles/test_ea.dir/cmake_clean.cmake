@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ea.dir/test_ea.cpp.o"
+  "CMakeFiles/test_ea.dir/test_ea.cpp.o.d"
+  "test_ea"
+  "test_ea.pdb"
+  "test_ea[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

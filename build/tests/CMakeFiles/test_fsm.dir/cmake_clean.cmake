@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fsm.dir/test_fsm.cpp.o"
+  "CMakeFiles/test_fsm.dir/test_fsm.cpp.o.d"
+  "test_fsm"
+  "test_fsm.pdb"
+  "test_fsm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fsm_moore.dir/test_fsm_moore.cpp.o"
+  "CMakeFiles/test_fsm_moore.dir/test_fsm_moore.cpp.o.d"
+  "test_fsm_moore"
+  "test_fsm_moore.pdb"
+  "test_fsm_moore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fsm_moore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

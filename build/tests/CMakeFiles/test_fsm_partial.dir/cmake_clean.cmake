@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fsm_partial.dir/test_fsm_partial.cpp.o"
+  "CMakeFiles/test_fsm_partial.dir/test_fsm_partial.cpp.o.d"
+  "test_fsm_partial"
+  "test_fsm_partial.pdb"
+  "test_fsm_partial[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fsm_partial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

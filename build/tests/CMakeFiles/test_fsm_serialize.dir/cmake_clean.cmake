@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fsm_serialize.dir/test_fsm_serialize.cpp.o"
+  "CMakeFiles/test_fsm_serialize.dir/test_fsm_serialize.cpp.o.d"
+  "test_fsm_serialize"
+  "test_fsm_serialize.pdb"
+  "test_fsm_serialize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fsm_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_parsers.dir/test_fuzz_parsers.cpp.o"
+  "CMakeFiles/test_fuzz_parsers.dir/test_fuzz_parsers.cpp.o.d"
+  "test_fuzz_parsers"
+  "test_fuzz_parsers.pdb"
+  "test_fuzz_parsers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_parsers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

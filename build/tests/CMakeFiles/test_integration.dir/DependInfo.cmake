@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rfsm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rfsm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/rfsm_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ea/CMakeFiles/rfsm_ea.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rfsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/rfsm_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/rfsm_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/rfsm_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/rfsm_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/netproto/CMakeFiles/rfsm_netproto.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/rfsm_cli.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

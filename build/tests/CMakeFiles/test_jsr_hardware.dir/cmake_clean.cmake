@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jsr_hardware.dir/test_jsr_hardware.cpp.o"
+  "CMakeFiles/test_jsr_hardware.dir/test_jsr_hardware.cpp.o.d"
+  "test_jsr_hardware"
+  "test_jsr_hardware.pdb"
+  "test_jsr_hardware[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jsr_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netproto.dir/test_netproto.cpp.o"
+  "CMakeFiles/test_netproto.dir/test_netproto.cpp.o.d"
+  "test_netproto"
+  "test_netproto.pdb"
+  "test_netproto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netproto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_peephole.dir/test_peephole.cpp.o"
+  "CMakeFiles/test_peephole.dir/test_peephole.cpp.o.d"
+  "test_peephole"
+  "test_peephole.pdb"
+  "test_peephole[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_peephole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_samples.dir/test_samples.cpp.o"
+  "CMakeFiles/test_samples.dir/test_samples.cpp.o.d"
+  "test_samples"
+  "test_samples.pdb"
+  "test_samples[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_samples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

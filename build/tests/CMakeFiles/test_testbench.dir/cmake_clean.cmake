@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_testbench.dir/test_testbench.cpp.o"
+  "CMakeFiles/test_testbench.dir/test_testbench.cpp.o.d"
+  "test_testbench"
+  "test_testbench.pdb"
+  "test_testbench[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_testbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
