@@ -1,7 +1,13 @@
 // A1 — Ablation: EA design choices.  Crossover/mutation operator matrix and
 // generation-budget sweep on a fixed instance set, plus search-progress
 // accounting (initial random best vs final best).
+//
+// Every configuration is evaluated over the shared instance set through
+// planEvolutionaryBatch (jobs-way parallel, RFSM_JOBS to override); the
+// results are bit-identical for every job count.
 #include "common.hpp"
+
+#include <vector>
 
 #include "core/planners.hpp"
 #include "util/strings.hpp"
@@ -13,15 +19,24 @@ namespace {
 constexpr int kDeltas = 16;
 constexpr int kTrials = 4;
 
-double meanLength(const EvolutionConfig& config, const DecodeOptions& options,
+std::vector<MigrationContext> trialInstances() {
+  std::vector<MigrationContext> instances;
+  instances.reserve(kTrials);
+  for (int trial = 0; trial < kTrials; ++trial)
+    instances.push_back(randomInstance(16, 2, kDeltas, 400 + trial));
+  return instances;
+}
+
+double meanLength(const std::vector<MigrationContext>& instances, int jobs,
+                  const EvolutionConfig& config, const DecodeOptions& options,
                   double* meanInitial = nullptr) {
+  BatchOptions batch;
+  batch.jobs = jobs;
+  batch.seed = 13;
+  const std::vector<EvolutionaryPlan> plans =
+      planEvolutionaryBatch(instances, config, batch, options);
   double sum = 0, sumInit = 0;
-  for (int trial = 0; trial < kTrials; ++trial) {
-    const MigrationContext context =
-        randomInstance(16, 2, kDeltas, 400 + trial);
-    Rng rng(static_cast<std::uint64_t>(trial) * 13 + 1);
-    const EvolutionaryPlan plan =
-        planEvolutionary(context, config, rng, options);
+  for (const EvolutionaryPlan& plan : plans) {
     sum += plan.program.length();
     sumInit += plan.initialBest;
   }
@@ -31,6 +46,8 @@ double meanLength(const EvolutionConfig& config, const DecodeOptions& options,
 
 void printArtifact() {
   banner("A1", "Ablation - EA operators and budget (|Td| = 16)");
+  const int jobs = artifactJobs();
+  const std::vector<MigrationContext> instances = trialInstances();
 
   Table ops({"crossover", "mutation", "mean |Z|", "mean initial best",
              "improvement"});
@@ -41,7 +58,7 @@ void printArtifact() {
       config.crossover = crossover;
       config.mutation = mutation;
       double initial = 0;
-      const double mean = meanLength(config, {}, &initial);
+      const double mean = meanLength(instances, jobs, config, {}, &initial);
       ops.addRow({toString(crossover), toString(mutation),
                   formatFixed(mean, 1), formatFixed(initial, 1),
                   formatFixed(initial - mean, 1)});
@@ -57,13 +74,15 @@ void printArtifact() {
     DecodeOptions better;
     better.rule = DecodeRule::kBestOfThree;
     budget.addRow({std::to_string(generations),
-                   formatFixed(meanLength(config, {}), 1),
-                   formatFixed(meanLength(config, better), 1)});
+                   formatFixed(meanLength(instances, jobs, config, {}), 1),
+                   formatFixed(meanLength(instances, jobs, config, better),
+                               1)});
   }
   std::cout << "\ngeneration budget sweep:\n" << budget.toMarkdown();
   std::cout << "\ngenerations = 0 is the best of the random initial"
                " population; the gap to\nlater rows is what the evolutionary"
                " search itself contributes.\n";
+  printTelemetry(jobs);
 }
 
 void eaGenerationsScaling(benchmark::State& state) {

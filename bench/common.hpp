@@ -9,13 +9,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "core/migration.hpp"
 #include "gen/generator.hpp"
 #include "gen/mutator.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rfsm::bench {
 
@@ -42,6 +45,27 @@ inline MigrationContext randomInstance(int states, int inputs, int deltas,
   mutation.newStateCount = newStates;
   const Machine target = mutateMachine(source, mutation, rng);
   return MigrationContext(source, target);
+}
+
+/// Parallelism of the batch-planning artifacts: one job per hardware
+/// thread, overridable with RFSM_JOBS (RFSM_JOBS=1 reproduces the serial
+/// run; planner output is bit-identical either way).
+inline int artifactJobs() {
+  if (const char* env = std::getenv("RFSM_JOBS")) {
+    const int jobs = std::atoi(env);
+    if (jobs > 0) return jobs;
+  }
+  return ThreadPool::hardwareJobs();
+}
+
+/// Prints the telemetry gathered since the last reset and clears it, so a
+/// bench's timing loops start from a clean slate.
+inline void printTelemetry(int jobs) {
+  const metrics::Snapshot snap = metrics::snapshot();
+  if (!snap.empty())
+    std::cout << "\nplanner telemetry (jobs = " << jobs << "):\n"
+              << metrics::toMarkdown(snap);
+  metrics::resetAll();
 }
 
 /// Standard bench main: print the artifact, then run timings.

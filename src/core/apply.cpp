@@ -1,5 +1,7 @@
 #include "core/apply.hpp"
 
+#include "util/metrics.hpp"
+
 namespace rfsm {
 
 MutableMachine replayProgram(const MigrationContext& context,
@@ -11,6 +13,9 @@ MutableMachine replayProgram(const MigrationContext& context,
 
 ValidationResult validateProgram(const MigrationContext& context,
                                  const ReconfigurationProgram& program) {
+  static metrics::Counter& validated =
+      metrics::counter(metrics::kProgramsValidated);
+  validated.add();
   ValidationResult result;
   MutableMachine machine(context);
   int executed = 0;

@@ -1,11 +1,13 @@
 #include "core/jsr.hpp"
 
 #include "util/check.hpp"
+#include "util/metrics.hpp"
 
 namespace rfsm {
 
 ReconfigurationProgram planJsr(const MigrationContext& context,
                                const JsrOptions& options) {
+  metrics::ScopedTimer timing(metrics::timer("planner.jsr"));
   // (2) i0 := any input state of M'.
   SymbolId i0 = options.tempInput;
   if (i0 == kNoSymbol) i0 = context.liftTargetInput(0);

@@ -6,6 +6,7 @@
 
 #include "ea/permutation.hpp"
 #include "util/check.hpp"
+#include "util/metrics.hpp"
 
 namespace rfsm {
 
@@ -13,6 +14,7 @@ LocalSearchPlan planTwoOpt(const MigrationContext& context,
                            const std::vector<int>& seed,
                            const DecodeOptions& options,
                            int maxEvaluations) {
+  metrics::ScopedTimer timing(metrics::timer("planner.2opt"));
   const int n = loopDeltaCount(context, options.tempInput);
   std::vector<int> order = seed;
   if (order.empty()) {
@@ -59,6 +61,7 @@ LocalSearchPlan planTwoOpt(const MigrationContext& context,
 LocalSearchPlan planAnnealing(const MigrationContext& context,
                               const AnnealingConfig& config, Rng& rng,
                               const DecodeOptions& options) {
+  metrics::ScopedTimer timing(metrics::timer("planner.anneal"));
   const int n = loopDeltaCount(context, options.tempInput);
   LocalSearchPlan plan;
   std::vector<int> current = randomPermutation(n, rng);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "util/metrics.hpp"
+
 namespace rfsm {
 
 MutableMachine::MutableMachine(const MigrationContext& context)
@@ -72,6 +74,7 @@ SymbolId MutableMachine::applyStep(const ReconfigStep& step) {
       next_[c] = step.nextState;
       out_[c] = step.output;
       specified_[c] = 1;
+      ++tableVersion_;  // the transition graph changed; BFS caches are stale
       // Write-through traversal: the machine takes the new transition in
       // the same cycle (this is what makes temporary transitions shortcuts).
       state_ = step.nextState;
@@ -103,6 +106,7 @@ void MutableMachine::loadCell(SymbolId input, SymbolId state,
   next_[c] = nextState;
   out_[c] = output;
   specified_[c] = 1;
+  ++tableVersion_;
 }
 
 std::optional<SymbolId> MutableMachine::edgeInput(SymbolId from,
@@ -114,11 +118,26 @@ std::optional<SymbolId> MutableMachine::edgeInput(SymbolId from,
   return std::nullopt;
 }
 
-std::vector<int> MutableMachine::distancesFrom(SymbolId from) const {
+const MutableMachine::BfsEntry& MutableMachine::bfsFrom(SymbolId from) const {
+  static metrics::Counter& hits = metrics::counter(metrics::kBfsCacheHits);
+  static metrics::Counter& misses =
+      metrics::counter(metrics::kBfsCacheMisses);
+  RFSM_CHECK(context_.states().contains(from), "BFS source out of range");
+  if (bfsCache_.empty())
+    bfsCache_.resize(static_cast<std::size_t>(context_.states().size()));
+  BfsEntry& entry = bfsCache_[static_cast<std::size_t>(from)];
+  if (entry.version == tableVersion_) {
+    hits.add();
+    return entry;
+  }
+  misses.add();
+
   const auto n = static_cast<std::size_t>(context_.states().size());
-  std::vector<int> dist(n, -1);
+  entry.dist.assign(n, -1);
+  entry.prevState.assign(n, kNoSymbol);
+  entry.prevInput.assign(n, kNoSymbol);
   std::queue<SymbolId> frontier;
-  dist[static_cast<std::size_t>(from)] = 0;
+  entry.dist[static_cast<std::size_t>(from)] = 0;
   frontier.push(from);
   while (!frontier.empty()) {
     const SymbolId u = frontier.front();
@@ -127,43 +146,30 @@ std::vector<int> MutableMachine::distancesFrom(SymbolId from) const {
       const std::size_t c = cell(i, u);
       if (specified_[c] == 0) continue;
       const SymbolId v = next_[c];
-      if (dist[static_cast<std::size_t>(v)] != -1) continue;
-      dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+      if (entry.dist[static_cast<std::size_t>(v)] != -1) continue;
+      entry.dist[static_cast<std::size_t>(v)] =
+          entry.dist[static_cast<std::size_t>(u)] + 1;
+      entry.prevState[static_cast<std::size_t>(v)] = u;
+      entry.prevInput[static_cast<std::size_t>(v)] = i;
       frontier.push(v);
     }
   }
-  return dist;
+  entry.version = tableVersion_;
+  return entry;
+}
+
+const std::vector<int>& MutableMachine::distancesFrom(SymbolId from) const {
+  return bfsFrom(from).dist;
 }
 
 std::optional<std::vector<SymbolId>> MutableMachine::pathInputs(
     SymbolId from, SymbolId to) const {
-  const auto n = static_cast<std::size_t>(context_.states().size());
-  std::vector<int> dist(n, -1);
-  std::vector<SymbolId> prevState(n, kNoSymbol);
-  std::vector<SymbolId> prevInput(n, kNoSymbol);
-  std::queue<SymbolId> frontier;
-  dist[static_cast<std::size_t>(from)] = 0;
-  frontier.push(from);
-  while (!frontier.empty() &&
-         dist[static_cast<std::size_t>(to)] == -1) {
-    const SymbolId u = frontier.front();
-    frontier.pop();
-    for (SymbolId i = 0; i < context_.inputs().size(); ++i) {
-      const std::size_t c = cell(i, u);
-      if (specified_[c] == 0) continue;
-      const SymbolId v = next_[c];
-      if (dist[static_cast<std::size_t>(v)] != -1) continue;
-      dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
-      prevState[static_cast<std::size_t>(v)] = u;
-      prevInput[static_cast<std::size_t>(v)] = i;
-      frontier.push(v);
-    }
-  }
-  if (dist[static_cast<std::size_t>(to)] == -1) return std::nullopt;
+  const BfsEntry& bfs = bfsFrom(from);
+  if (bfs.dist[static_cast<std::size_t>(to)] == -1) return std::nullopt;
   std::vector<SymbolId> inputs;
   for (SymbolId v = to; v != from;
-       v = prevState[static_cast<std::size_t>(v)])
-    inputs.push_back(prevInput[static_cast<std::size_t>(v)]);
+       v = bfs.prevState[static_cast<std::size_t>(v)])
+    inputs.push_back(bfs.prevInput[static_cast<std::size_t>(v)]);
   std::reverse(inputs.begin(), inputs.end());
   return inputs;
 }

@@ -8,6 +8,7 @@
 // traverse, rewrite).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -70,7 +71,11 @@ class MutableMachine {
   std::optional<SymbolId> edgeInput(SymbolId from, SymbolId to) const;
 
   /// BFS distances from `from` to every state over specified cells only.
-  std::vector<int> distancesFrom(SymbolId from) const;
+  /// Served from a per-source cache that is invalidated whenever a RAM cell
+  /// is written (rewrite steps, loadCell); the reference stays valid until
+  /// the next write.  The machine is not thread-safe — give each thread its
+  /// own MutableMachine.
+  const std::vector<int>& distancesFrom(SymbolId from) const;
 
   /// Inputs selecting a shortest specified-cell path from -> to (empty when
   /// from == to); std::nullopt when `to` is unreachable.
@@ -87,12 +92,27 @@ class MutableMachine {
   Machine extractTarget() const;
 
  private:
+  /// Cached single-source BFS over the specified cells: distances plus the
+  /// predecessor (state, input) of one shortest-path tree.  Tagged with the
+  /// table version it was computed against.
+  struct BfsEntry {
+    std::uint64_t version = 0;
+    std::vector<int> dist;
+    std::vector<SymbolId> prevState;
+    std::vector<SymbolId> prevInput;
+  };
+
   std::size_t cell(SymbolId input, SymbolId state) const;
+  /// The cached BFS tree rooted at `from` (recomputed on version mismatch).
+  const BfsEntry& bfsFrom(SymbolId from) const;
 
   const MigrationContext& context_;
   std::vector<SymbolId> next_, out_;
   std::vector<char> specified_;
   SymbolId state_;
+  /// Bumped on every table write; 0 marks a BfsEntry as never computed.
+  std::uint64_t tableVersion_ = 1;
+  mutable std::vector<BfsEntry> bfsCache_;  // indexed by source state
 };
 
 }  // namespace rfsm

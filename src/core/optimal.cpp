@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/metrics.hpp"
 
 namespace rfsm {
 namespace {
@@ -26,6 +27,7 @@ struct Move {
 
 std::optional<ReconfigurationProgram> planOptimalSearch(
     const MigrationContext& context, const OptimalSearchOptions& options) {
+  metrics::ScopedTimer timing(metrics::timer("planner.optimal"));
   const SymbolId i0 = options.tempInput == kNoSymbol
                           ? context.liftTargetInput(0)
                           : options.tempInput;

@@ -8,6 +8,7 @@
 #include "core/mutable_machine.hpp"
 #include "ea/permutation.hpp"
 #include "util/check.hpp"
+#include "util/metrics.hpp"
 
 namespace rfsm {
 namespace {
@@ -80,14 +81,16 @@ class Decoder {
   }
 
   /// (cost, choice) of the cheapest kBestOfThree connection to td.from.
+  /// Distances come from the machine's version-tagged BFS cache, so the
+  /// greedy planner's O(n^2) cost scan re-walks nothing between rewrites.
   std::pair<int, Connect> bestOfThreeCost(const Transition& td) const {
     const SymbolId here = machine_.state();
-    const std::vector<int> fromHere = machine_.distancesFrom(here);
-    const int dHere = fromHere[static_cast<std::size_t>(td.from)];
+    const int dHere =
+        machine_.distancesFrom(here)[static_cast<std::size_t>(td.from)];
     const int costWalk = dHere < 0 ? kInfinity : dHere;
 
-    const std::vector<int> fromReset = machine_.distancesFrom(s0_);
-    const int dReset = fromReset[static_cast<std::size_t>(td.from)];
+    const int dReset =
+        machine_.distancesFrom(s0_)[static_cast<std::size_t>(td.from)];
     const int costResetWalk = dReset < 0 ? kInfinity : 1 + dReset;
 
     int costTemporary = (here == s0_) ? 1 : 2;
@@ -171,6 +174,9 @@ int loopDeltaCount(const MigrationContext& context, SymbolId tempInput) {
 ReconfigurationProgram decodeOrder(const MigrationContext& context,
                                    const std::vector<int>& order,
                                    const DecodeOptions& options) {
+  static metrics::Counter& decodeCalls =
+      metrics::counter(metrics::kDecodeCalls);
+  decodeCalls.add();
   Decoder decoder(context, options);
   const auto& deltas = decoder.loopDeltas();
   RFSM_CHECK(order.size() == deltas.size(),
@@ -183,6 +189,7 @@ ReconfigurationProgram decodeOrder(const MigrationContext& context,
 
 ReconfigurationProgram planGreedy(const MigrationContext& context,
                                   const DecodeOptions& options) {
+  metrics::ScopedTimer timing(metrics::timer("planner.greedy"));
   Decoder decoder(context, options);
   const auto& deltas = decoder.loopDeltas();
   std::vector<bool> done(deltas.size(), false);
@@ -205,12 +212,14 @@ ReconfigurationProgram planGreedy(const MigrationContext& context,
 
 EvolutionaryPlan planEvolutionary(const MigrationContext& context,
                                   const EvolutionConfig& config, Rng& rng,
-                                  const DecodeOptions& options) {
+                                  const DecodeOptions& options,
+                                  ThreadPool* pool) {
+  metrics::ScopedTimer timing(metrics::timer("planner.ea"));
   const int n = loopDeltaCount(context, options.tempInput);
   const FitnessFn fitness = [&](const Permutation& order) {
     return static_cast<double>(decodeOrder(context, order, options).length());
   };
-  const EvolutionResult evo = evolvePermutation(n, fitness, config, rng);
+  const EvolutionResult evo = evolvePermutation(n, fitness, config, rng, pool);
 
   EvolutionaryPlan plan;
   plan.program = decodeOrder(context, evo.best, options);
@@ -226,6 +235,7 @@ EvolutionaryPlan planEvolutionary(const MigrationContext& context,
 std::optional<ReconfigurationProgram> planExact(const MigrationContext& context,
                                                 int maxDeltas,
                                                 const DecodeOptions& options) {
+  metrics::ScopedTimer timing(metrics::timer("planner.exact"));
   const int n = loopDeltaCount(context, options.tempInput);
   if (n > maxDeltas) return std::nullopt;
   std::vector<int> order(static_cast<std::size_t>(n));
@@ -246,6 +256,37 @@ ReconfigurationProgram planNoTemporary(const MigrationContext& context,
   options.rule = DecodeRule::kBestOfThree;
   options.allowTemporary = false;
   return planGreedy(context, options);
+}
+
+std::vector<ReconfigurationProgram> planAll(
+    const std::vector<MigrationContext>& instances, const BatchPlanFn& plan,
+    const BatchOptions& options) {
+  metrics::ScopedTimer timing(metrics::timer("batch.plan_all"));
+  std::vector<ReconfigurationProgram> programs(instances.size());
+  const Rng base(options.seed);
+  ThreadPool pool(options.jobs);
+  pool.parallelFor(instances.size(), [&](std::size_t k) {
+    Rng rng = base.substream(k);
+    programs[k] = plan(instances[k], rng);
+  });
+  return programs;
+}
+
+std::vector<EvolutionaryPlan> planEvolutionaryBatch(
+    const std::vector<MigrationContext>& instances,
+    const EvolutionConfig& config, const BatchOptions& options,
+    const DecodeOptions& decode) {
+  metrics::ScopedTimer timing(metrics::timer("batch.plan_evolutionary"));
+  std::vector<EvolutionaryPlan> plans(instances.size());
+  const Rng base(options.seed);
+  ThreadPool pool(options.jobs);
+  pool.parallelFor(instances.size(), [&](std::size_t k) {
+    Rng rng = base.substream(k);
+    // Parallelism is across instances here; each EA runs its fitness
+    // serially (nested parallelFor would be inline anyway).
+    plans[k] = planEvolutionary(instances[k], config, rng, decode);
+  });
+  return plans;
 }
 
 }  // namespace rfsm

@@ -18,6 +18,7 @@
 //    transitions used solely when a delta source is otherwise unreachable.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -26,6 +27,7 @@
 #include "core/program.hpp"
 #include "ea/evolution.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rfsm {
 
@@ -74,10 +76,13 @@ struct EvolutionaryPlan {
   std::vector<double> bestPerGeneration;
 };
 
-/// The paper's evolutionary heuristic (Sec. 4.6).
+/// The paper's evolutionary heuristic (Sec. 4.6).  A non-null `pool`
+/// parallelizes the fitness evaluations; the result is bit-identical for
+/// every job count (see evolvePermutation).
 EvolutionaryPlan planEvolutionary(const MigrationContext& context,
                                   const EvolutionConfig& config, Rng& rng,
-                                  const DecodeOptions& options = {});
+                                  const DecodeOptions& options = {},
+                                  ThreadPool* pool = nullptr);
 
 /// Exhaustive search over all delta orders; returns the shortest program.
 /// Refuses (returns nullopt) when loopDeltaCount > maxDeltas.
@@ -89,5 +94,39 @@ std::optional<ReconfigurationProgram> planExact(
 /// transitions only as a last resort for unreachable sources.
 ReconfigurationProgram planNoTemporary(const MigrationContext& context,
                                        SymbolId tempInput = kNoSymbol);
+
+// --- Batch planning front end -------------------------------------------
+//
+// planAll runs one planner over many independent migration instances,
+// `jobs`-way parallel.  Instance k draws from the independent rng stream
+// (seed, k), so the output is bit-identical for every job count — the
+// contract every bench and the CLI rely on.
+
+/// Plans one instance; must be deterministic given (context, rng) and
+/// thread-safe (planners that share nothing but the const context are).
+using BatchPlanFn =
+    std::function<ReconfigurationProgram(const MigrationContext&, Rng&)>;
+
+/// Options of a batch planning call.
+struct BatchOptions {
+  /// Total parallelism (including the calling thread); <= 0 selects one
+  /// job per hardware thread.
+  int jobs = 1;
+  /// Base seed; instance k plans with Rng(seed).substream(k).
+  std::uint64_t seed = 1;
+};
+
+/// Plans every instance with `plan`.  Results arrive in instance order.
+std::vector<ReconfigurationProgram> planAll(
+    const std::vector<MigrationContext>& instances, const BatchPlanFn& plan,
+    const BatchOptions& options = {});
+
+/// EA over every instance, with full per-instance search statistics (the
+/// Table 2 / ablation benches need more than the programs).  Same
+/// determinism contract as planAll.
+std::vector<EvolutionaryPlan> planEvolutionaryBatch(
+    const std::vector<MigrationContext>& instances,
+    const EvolutionConfig& config, const BatchOptions& options = {},
+    const DecodeOptions& decode = {});
 
 }  // namespace rfsm

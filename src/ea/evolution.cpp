@@ -46,7 +46,8 @@ std::size_t tournament(const std::vector<Individual>& population, int size,
 }  // namespace
 
 EvolutionResult evolvePermutation(int genomeLength, const FitnessFn& fitness,
-                                  const EvolutionConfig& config, Rng& rng) {
+                                  const EvolutionConfig& config, Rng& rng,
+                                  ThreadPool* pool) {
   RFSM_CHECK(genomeLength >= 0, "genome length must be non-negative");
   RFSM_CHECK(config.populationSize >= 2, "population needs >= 2 individuals");
   RFSM_CHECK(config.eliteCount >= 0 &&
@@ -62,13 +63,22 @@ EvolutionResult evolvePermutation(int genomeLength, const FitnessFn& fitness,
     return result;
   }
 
+  // Evaluates individuals [first, population.size()) in parallel.  Genomes
+  // are fixed before this is called, so the rng sequence — and with it the
+  // whole run — is independent of the job count.
+  auto evaluateFrom = [&](std::vector<Individual>& group, std::size_t first) {
+    parallelFor(pool, group.size() - first, [&](std::size_t k) {
+      Individual& ind = group[first + k];
+      ind.fitness = fitness(ind.genome);
+    });
+    result.evaluations += static_cast<int>(group.size() - first);
+  };
+
   std::vector<Individual> population(
       static_cast<std::size_t>(config.populationSize));
-  for (auto& ind : population) {
+  for (auto& ind : population)
     ind.genome = randomPermutation(genomeLength, rng);
-    ind.fitness = fitness(ind.genome);
-    ++result.evaluations;
-  }
+  evaluateFrom(population, 0);
 
   auto byFitness = [](const Individual& a, const Individual& b) {
     return a.fitness < b.fitness;
@@ -86,14 +96,16 @@ EvolutionResult evolvePermutation(int genomeLength, const FitnessFn& fitness,
         sum / static_cast<double>(population.size())});
   }
 
-  int stall = 0;
+  int stall = 0;  // generations since the last *strict* improvement
   for (int gen = 0; gen < config.generations; ++gen) {
     std::vector<Individual> offspring;
     offspring.reserve(population.size());
-    // Elitism: carry over the best individuals unchanged.
+    // Elitism: carry over the best individuals unchanged, with their cached
+    // fitness — they are not re-evaluated and do not count as evaluations.
     for (int e = 0; e < config.eliteCount; ++e)
       offspring.push_back(population[static_cast<std::size_t>(e)]);
 
+    // Phase 1 (serial): all stochastic choices of this generation.
     while (offspring.size() < population.size()) {
       const auto& parentA = population[tournament(population,
                                                   config.tournamentSize, rng)];
@@ -108,10 +120,10 @@ EvolutionResult evolvePermutation(int genomeLength, const FitnessFn& fitness,
       }
       if (rng.chance(config.mutationRate))
         mutate(config.mutation, child.genome, rng);
-      child.fitness = fitness(child.genome);
-      ++result.evaluations;
       offspring.push_back(std::move(child));
     }
+    // Phase 2 (parallel): pure fitness evaluation of the new children.
+    evaluateFrom(offspring, static_cast<std::size_t>(config.eliteCount));
 
     population = std::move(offspring);
     std::sort(population.begin(), population.end(), byFitness);

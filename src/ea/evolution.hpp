@@ -11,6 +11,7 @@
 
 #include "ea/permutation.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rfsm {
 
@@ -46,6 +47,9 @@ struct EvolutionResult {
   Permutation best;
   double bestFitness = 0.0;
   std::vector<GenerationStats> history;
+  /// Exact number of fitness-function invocations: the initial population
+  /// plus, per generation, every non-elite offspring.  Elites keep their
+  /// cached fitness and are never re-evaluated (or re-counted).
   int evaluations = 0;
 };
 
@@ -55,8 +59,15 @@ using FitnessFn = std::function<double(const Permutation&)>;
 /// Runs the EA on permutations of size `genomeLength`.
 /// genomeLength == 0 returns an empty best genome with fitness from the
 /// empty permutation.
+///
+/// When `pool` is non-null, fitness evaluations run `pool->jobs()`-way
+/// parallel.  All stochastic choices (selection, crossover, mutation) are
+/// made serially on the caller's rng before any fitness call of that
+/// generation, so the result is bit-identical for every job count —
+/// `fitness` must be thread-safe and a pure function of its argument.
 EvolutionResult evolvePermutation(int genomeLength, const FitnessFn& fitness,
-                                  const EvolutionConfig& config, Rng& rng);
+                                  const EvolutionConfig& config, Rng& rng,
+                                  ThreadPool* pool = nullptr);
 
 /// Human-readable operator names (used by the ablation bench).
 std::string toString(CrossoverOp op);

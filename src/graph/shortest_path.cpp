@@ -48,11 +48,32 @@ std::optional<std::vector<int>> shortestPath(const Digraph& graph, int source,
   return path;
 }
 
+std::vector<int> bfsDistances(const Digraph& graph, int source) {
+  RFSM_CHECK(source >= 0 && source < graph.nodeCount(),
+             "BFS source out of range");
+  const auto n = static_cast<std::size_t>(graph.nodeCount());
+  std::vector<int> distance(n, kUnreachable);
+  std::queue<int> frontier;
+  distance[static_cast<std::size_t>(source)] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const int u = frontier.front();
+    frontier.pop();
+    for (const auto& edge : graph.outEdges(u)) {
+      auto& d = distance[static_cast<std::size_t>(edge.to)];
+      if (d != kUnreachable) continue;
+      d = distance[static_cast<std::size_t>(u)] + 1;
+      frontier.push(edge.to);
+    }
+  }
+  return distance;
+}
+
 std::vector<std::vector<int>> allPairsDistances(const Digraph& graph) {
   std::vector<std::vector<int>> matrix;
   matrix.reserve(static_cast<std::size_t>(graph.nodeCount()));
   for (int u = 0; u < graph.nodeCount(); ++u)
-    matrix.push_back(bfsFrom(graph, u).distance);
+    matrix.push_back(bfsDistances(graph, u));
   return matrix;
 }
 

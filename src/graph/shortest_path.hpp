@@ -30,6 +30,11 @@ struct BfsResult {
 /// Single-source BFS from `source`.
 BfsResult bfsFrom(const Digraph& graph, int source);
 
+/// Distances-only single-source BFS: no predecessor bookkeeping, so
+/// all-pairs sweeps don't allocate and discard two predecessor arrays per
+/// source.
+std::vector<int> bfsDistances(const Digraph& graph, int source);
+
 /// Shortest path source -> target as a node sequence (inclusive of both
 /// endpoints); std::nullopt when unreachable.  A path from a node to itself
 /// is the singleton {source}.

@@ -90,13 +90,16 @@ int cmdInfo(const std::vector<std::string>& args, std::ostream& out) {
 }
 
 int cmdReport(const std::vector<std::string>& args, std::ostream& out) {
-  if (args.size() < 2) throw CliError("usage: rfsmc report <from> <to>");
+  if (args.size() < 2)
+    throw CliError("usage: rfsmc report <from> <to> [--seed N] [--jobs N]");
   const Machine source = loadMachine(args[0]);
   const Machine target = loadMachine(args[1]);
   const MigrationContext context(source, target);
   ReportOptions options;
   options.seed = static_cast<std::uint64_t>(
       std::stoll(option(args, "--seed").value_or("1")));
+  options.jobs = std::stoi(option(args, "--jobs").value_or("1"));
+  options.includeTimings = true;  // interactive use; determinism not needed
   out << buildMigrationReport(context, options);
   return 0;
 }
@@ -124,12 +127,14 @@ int cmdConvert(const std::vector<std::string>& args, std::ostream& out) {
 
 ReconfigurationProgram planWith(const std::string& planner,
                                 const MigrationContext& context,
-                                std::uint64_t seed) {
+                                std::uint64_t seed, int jobs) {
   if (planner == "jsr") return planJsr(context);
   if (planner == "greedy") return planGreedy(context);
   if (planner == "ea") {
     Rng rng(seed);
-    return planEvolutionary(context, EvolutionConfig{}, rng).program;
+    ThreadPool pool(jobs);
+    return planEvolutionary(context, EvolutionConfig{}, rng, {}, &pool)
+        .program;
   }
   if (planner == "exact") {
     const auto program = planExact(context);
@@ -155,15 +160,16 @@ ReconfigurationProgram planWith(const std::string& planner,
 int cmdMigrate(const std::vector<std::string>& args, std::ostream& out) {
   if (args.size() < 2)
     throw CliError("usage: rfsmc migrate <from> <to> [--planner P] "
-                   "[--seed N] [--table]");
+                   "[--seed N] [--jobs N] [--table]");
   const Machine source = loadMachine(args[0]);
   const Machine target = loadMachine(args[1]);
   const MigrationContext context(source, target);
   const std::string planner = option(args, "--planner").value_or("ea");
   const std::uint64_t seed = static_cast<std::uint64_t>(
       std::stoll(option(args, "--seed").value_or("1")));
+  const int jobs = std::stoi(option(args, "--jobs").value_or("1"));
 
-  ReconfigurationProgram z = planWith(planner, context, seed);
+  ReconfigurationProgram z = planWith(planner, context, seed, jobs);
   if (flag(args, "--optimize")) z = optimizeProgram(context, z).program;
   const ValidationResult verdict = validateProgram(context, z);
 
@@ -297,7 +303,7 @@ int cmdHelp(std::ostream& out) {
          "  convert <machine> --to FMT    json|kiss2\n"
          "  migrate <from> <to>           plan + validate a migration\n"
          "          [--planner jsr|greedy|ea|exact|2opt|anneal|optimal]\n"
-         "          [--seed N] [--table] [--optimize]\n"
+         "          [--seed N] [--jobs N] [--table] [--optimize]\n"
          "  vhdl <from> <to>              emit the Fig. 5 VHDL entity\n"
          "  testbench <from> <to>         emit a self-checking testbench\n"
          "  synth <machine>               two-level logic estimate\n"
@@ -332,6 +338,11 @@ int runCli(const std::vector<std::string>& args, std::ostream& out,
     return 64;
   } catch (const Error& error) {
     err << "rfsmc: " << error.what() << "\n";
+    return 1;
+  } catch (const std::exception& error) {
+    // E.g. std::stoi on a non-numeric --seed/--jobs value; a malformed
+    // argument must not abort the process.
+    err << "rfsmc: invalid argument (" << error.what() << ")\n";
     return 1;
   }
 }

@@ -12,12 +12,16 @@
 #include "core/sequence.hpp"
 #include "rtl/context_swap.hpp"
 #include "rtl/resources.hpp"
+#include "util/metrics.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rfsm {
 
 std::string buildMigrationReport(const MigrationContext& context,
                                  const ReportOptions& options) {
+  // The telemetry section at the bottom covers exactly this report's work.
+  metrics::resetAll();
   std::ostringstream os;
   os << "# Migration report: " << context.sourceMachine().name() << " -> "
      << context.targetMachine().name() << "\n\n";
@@ -50,7 +54,9 @@ std::string buildMigrationReport(const MigrationContext& context,
   addRow("greedy", planGreedy(context));
   if (options.runEvolutionary) {
     Rng rng(options.seed);
-    addRow("EA", planEvolutionary(context, EvolutionConfig{}, rng).program);
+    ThreadPool pool(options.jobs);
+    addRow("EA", planEvolutionary(context, EvolutionConfig{}, rng, {}, &pool)
+                     .program);
   }
   if (isOutputOnlyMigration(context))
     if (const auto partial = planOutputOnlyOptimal(context))
@@ -70,6 +76,14 @@ std::string buildMigrationReport(const MigrationContext& context,
      << estimate.luts << " LUTs, " << estimate.flipFlops
      << " FFs; fits XCV300: " << (estimate.fitsXcv300 ? "yes" : "no")
      << "\n";
+
+  const int jobs =
+      options.jobs <= 0 ? ThreadPool::hardwareJobs() : options.jobs;
+  metrics::Snapshot telemetry = metrics::snapshot();
+  if (!options.includeTimings) telemetry.timers.clear();
+  if (!telemetry.empty())
+    os << "\n## Planner telemetry (jobs = " << jobs << ")\n\n"
+       << metrics::toMarkdown(telemetry);
   return os.str();
 }
 

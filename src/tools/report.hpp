@@ -17,6 +17,13 @@ struct ReportOptions {
   /// Run the exact search when the instance is small enough.
   bool runOptimal = true;
   std::uint64_t seed = 1;
+  /// Parallelism of the EA fitness evaluation (<= 0: one job per hardware
+  /// thread).  The planned programs are identical for every job count.
+  int jobs = 1;
+  /// Include per-planner wall-clock timings in the telemetry section.  Off
+  /// by default: timings are the one nondeterministic part of a report
+  /// (counters are reproducible for a given seed).
+  bool includeTimings = false;
 };
 
 /// Renders the full markdown report (deterministic for a given seed).

@@ -1,0 +1,151 @@
+#include "util/metrics.hpp"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace rfsm::metrics {
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  // std::map: node addresses are stable, so returned references outlive
+  // later insertions.
+  std::map<std::string, Counter> counters;
+  std::map<std::string, Timer> timers;
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+std::atomic_ref<std::uint64_t> atomicRef(std::uint64_t& value) {
+  return std::atomic_ref<std::uint64_t>(value);
+}
+
+}  // namespace
+
+void Counter::add(std::uint64_t n) {
+  atomicRef(value_).fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const {
+  return atomicRef(const_cast<std::uint64_t&>(value_))
+      .load(std::memory_order_relaxed);
+}
+
+void Counter::reset() {
+  atomicRef(value_).store(0, std::memory_order_relaxed);
+}
+
+void Timer::record(std::chrono::nanoseconds elapsed) {
+  atomicRef(count_).fetch_add(1, std::memory_order_relaxed);
+  atomicRef(totalNs_).fetch_add(
+      static_cast<std::uint64_t>(elapsed.count() < 0 ? 0 : elapsed.count()),
+      std::memory_order_relaxed);
+}
+
+std::uint64_t Timer::count() const {
+  return atomicRef(const_cast<std::uint64_t&>(count_))
+      .load(std::memory_order_relaxed);
+}
+
+std::chrono::nanoseconds Timer::total() const {
+  return std::chrono::nanoseconds(
+      atomicRef(const_cast<std::uint64_t&>(totalNs_))
+          .load(std::memory_order_relaxed));
+}
+
+void Timer::reset() {
+  atomicRef(count_).store(0, std::memory_order_relaxed);
+  atomicRef(totalNs_).store(0, std::memory_order_relaxed);
+}
+
+ScopedTimer::ScopedTimer(Timer& timer)
+    : timer_(timer), start_(std::chrono::steady_clock::now()) {}
+
+ScopedTimer::~ScopedTimer() {
+  timer_.record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::steady_clock::now() - start_));
+}
+
+Counter& counter(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.counters[name];
+}
+
+Timer& timer(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.timers[name];
+}
+
+Snapshot snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  Snapshot snap;
+  for (const auto& [name, c] : r.counters)
+    if (c.value() != 0) snap.counters.push_back({name, c.value()});
+  for (const auto& [name, t] : r.timers)
+    if (t.count() != 0)
+      snap.timers.push_back(
+          {name, t.count(),
+           static_cast<double>(t.total().count()) / 1e6});
+  return snap;  // std::map iteration is already name-sorted
+}
+
+void resetAll() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (auto& [name, c] : r.counters) c.reset();
+  for (auto& [name, t] : r.timers) t.reset();
+}
+
+std::string toMarkdown(const Snapshot& snapshot) {
+  if (snapshot.empty()) return "";
+  std::ostringstream os;
+  if (!snapshot.counters.empty()) {
+    Table table({"counter", "value"});
+    for (const CounterSample& c : snapshot.counters)
+      table.addRow({c.name, std::to_string(c.value)});
+    os << table.toMarkdown();
+
+    std::uint64_t hits = 0, misses = 0;
+    for (const CounterSample& c : snapshot.counters) {
+      if (c.name == kBfsCacheHits) hits = c.value;
+      if (c.name == kBfsCacheMisses) misses = c.value;
+    }
+    if (hits + misses > 0) {
+      std::ostringstream rate;
+      rate.setf(std::ios::fixed);
+      rate.precision(1);
+      rate << (100.0 * static_cast<double>(hits) /
+               static_cast<double>(hits + misses));
+      os << "BFS cache hit rate: " << rate.str() << "%\n";
+    }
+  }
+  if (!snapshot.timers.empty()) {
+    if (!snapshot.counters.empty()) os << "\n";
+    Table table({"timer", "calls", "total ms", "mean ms"});
+    for (const TimerSample& t : snapshot.timers) {
+      std::ostringstream total, mean;
+      total.setf(std::ios::fixed);
+      total.precision(3);
+      total << t.totalMs;
+      mean.setf(std::ios::fixed);
+      mean.precision(3);
+      mean << (t.totalMs / static_cast<double>(t.count));
+      table.addRow({t.name, std::to_string(t.count), total.str(),
+                    mean.str()});
+    }
+    os << table.toMarkdown();
+  }
+  return os.str();
+}
+
+}  // namespace rfsm::metrics

@@ -1,0 +1,93 @@
+// Lightweight planner telemetry: named counters and wall-clock timers.
+//
+// Hot paths (decodeOrder, the MutableMachine BFS cache, validateProgram)
+// bump process-wide atomic counters; planners time themselves with
+// ScopedTimer.  Benches and the CLI report render a snapshot as a markdown
+// table.  Everything is thread-safe: lookups take a registry mutex once
+// (cache the returned reference in a static local on hot paths), updates
+// are relaxed atomics.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rfsm::metrics {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1);
+  std::uint64_t value() const;
+  void reset();
+
+ private:
+  std::uint64_t value_ = 0;  // accessed via atomic_ref-style atomics
+};
+
+/// Accumulates wall-clock durations (call count + total nanoseconds).
+class Timer {
+ public:
+  void record(std::chrono::nanoseconds elapsed);
+  std::uint64_t count() const;
+  std::chrono::nanoseconds total() const;
+  void reset();
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t totalNs_ = 0;
+};
+
+/// Records the lifetime of the guard into `timer`.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& timer);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer& timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Registry lookup; creates the metric on first use.  The returned
+/// reference stays valid for the whole process (entries are never erased;
+/// resetAll zeroes values in place).
+Counter& counter(const std::string& name);
+Timer& timer(const std::string& name);
+
+/// Point-in-time copy of every non-zero metric, sorted by name.
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+struct TimerSample {
+  std::string name;
+  std::uint64_t count = 0;
+  double totalMs = 0.0;
+};
+struct Snapshot {
+  std::vector<CounterSample> counters;
+  std::vector<TimerSample> timers;
+  bool empty() const { return counters.empty() && timers.empty(); }
+};
+
+Snapshot snapshot();
+
+/// Zeroes every registered metric (references stay valid).
+void resetAll();
+
+/// Renders counters and timers as markdown tables; "" for an empty
+/// snapshot.  Derived rates (e.g. the BFS cache hit rate) are appended when
+/// both ingredients are present.
+std::string toMarkdown(const Snapshot& snapshot);
+
+// Canonical metric names used by the planning engine.
+inline constexpr const char* kDecodeCalls = "planner.decode_calls";
+inline constexpr const char* kProgramsValidated = "planner.programs_validated";
+inline constexpr const char* kBfsCacheHits = "cache.bfs_hits";
+inline constexpr const char* kBfsCacheMisses = "cache.bfs_misses";
+
+}  // namespace rfsm::metrics

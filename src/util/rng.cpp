@@ -70,4 +70,14 @@ Rng Rng::split() {
   return child;
 }
 
+Rng Rng::substream(std::uint64_t index) const {
+  // Fold the whole parent state and the index into one splitmix seed; the
+  // parent is untouched, so substream(k) is a pure function of (state, k).
+  std::uint64_t s = index;
+  for (const auto& word : state_) s = splitmix64(s) ^ word;
+  Rng child(0);
+  for (auto& word : child.state_) word = splitmix64(s);
+  return child;
+}
+
 }  // namespace rfsm

@@ -56,8 +56,15 @@ class Rng {
   }
 
   /// Forks an independent stream (useful to give each benchmark repetition
-  /// its own reproducible sequence).
+  /// its own reproducible sequence).  Advances this generator.
   Rng split();
+
+  /// Derives an independent stream keyed by (current state, index) WITHOUT
+  /// advancing this generator.  The same (state, index) pair always yields
+  /// the same stream, in any call order and from any thread — this is what
+  /// makes parallel planning bit-identical to serial: unit k draws from
+  /// substream(k) no matter which worker runs it or when.
+  Rng substream(std::uint64_t index) const;
 
  private:
   std::uint64_t state_[4];

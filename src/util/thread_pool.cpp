@@ -1,0 +1,151 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace rfsm {
+namespace {
+
+/// One parallelFor invocation.  Lives on the caller's stack; helper tasks
+/// hold a raw pointer, which is safe because the caller blocks until every
+/// helper retired (`pending == 0`).
+struct Batch {
+  std::size_t count = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next{0};
+
+  std::mutex mutex;
+  std::condition_variable done;
+  int pending = 0;  // helper tasks still running or queued
+  std::exception_ptr error;
+
+  /// Claims indices until the range is exhausted; records the first error.
+  void drain() {
+    for (std::size_t i; (i = next.fetch_add(1, std::memory_order_relaxed)) <
+                        count;) {
+      try {
+        (*body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+        // Keep draining: every index must be claimed so the batch ends in a
+        // known state (remaining bodies still run; only the first error is
+        // reported, like a serial loop that failed at its first bad index
+        // would leave later indices unvisited -- here they do run, which is
+        // the conservative choice for per-slot writers).
+      }
+    }
+  }
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;
+  std::deque<Batch*> queue;
+  std::mutex mutex;
+  std::condition_variable wake;
+  bool stopping = false;
+
+  void workerLoop() {
+    for (;;) {
+      Batch* batch = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        wake.wait(lock, [&] { return stopping || !queue.empty(); });
+        if (stopping && queue.empty()) return;
+        batch = queue.front();
+        queue.pop_front();
+      }
+      batch->drain();
+      {
+        // Notify while holding the lock: the caller destroys the Batch as
+        // soon as it observes pending == 0, so the last touch of the batch
+        // must happen before this mutex is released.
+        std::lock_guard<std::mutex> lock(batch->mutex);
+        --batch->pending;
+        batch->done.notify_one();
+      }
+    }
+  }
+
+  bool isWorkerThread() const {
+    const auto id = std::this_thread::get_id();
+    return std::any_of(workers.begin(), workers.end(),
+                       [&](const std::thread& t) { return t.get_id() == id; });
+  }
+};
+
+ThreadPool::ThreadPool(int jobs) : impl_(std::make_unique<Impl>()) {
+  if (jobs <= 0) jobs = hardwareJobs();
+  for (int k = 1; k < jobs; ++k)
+    impl_->workers.emplace_back([this] { impl_->workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->wake.notify_all();
+  for (std::thread& worker : impl_->workers) worker.join();
+}
+
+int ThreadPool::jobs() const {
+  return static_cast<int>(impl_->workers.size()) + 1;
+}
+
+int ThreadPool::hardwareJobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ThreadPool::parallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  // Serial fast path: no workers, a single index, or a re-entrant call from
+  // inside a worker (waiting for helpers from a worker could deadlock when
+  // all other workers are doing the same).
+  if (impl_->workers.empty() || count == 1 || impl_->isWorkerThread()) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  Batch batch;
+  batch.count = count;
+  batch.body = &body;
+  const int helpers =
+      static_cast<int>(std::min<std::size_t>(impl_->workers.size(), count));
+  batch.pending = helpers;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (int k = 0; k < helpers; ++k) impl_->queue.push_back(&batch);
+  }
+  impl_->wake.notify_all();
+
+  batch.drain();  // the caller participates
+  {
+    std::unique_lock<std::mutex> lock(batch.mutex);
+    batch.done.wait(lock, [&] { return batch.pending == 0; });
+    if (batch.error) std::rethrow_exception(batch.error);
+  }
+}
+
+void parallelFor(ThreadPool* pool, std::size_t count,
+                 const std::function<void(std::size_t)>& body) {
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  pool->parallelFor(count, body);
+}
+
+}  // namespace rfsm

@@ -1,0 +1,55 @@
+// A fixed-size thread pool with a blocking parallel-for.
+//
+// The batch planning engine parallelizes embarrassingly parallel units
+// (EA fitness evaluations, independent migration instances).  Determinism
+// is preserved by construction: parallelFor(count, body) promises only that
+// body(i) runs exactly once for every i — callers must write results into
+// per-index slots and draw randomness from per-index Rng streams, never
+// from shared mutable state.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace rfsm {
+
+/// Fixed-size pool of worker threads.  `jobs` is the total parallelism of a
+/// parallelFor call, including the calling thread: a pool with jobs == 4
+/// spawns 3 workers.  jobs <= 0 selects one job per hardware thread.
+///
+/// A pool with jobs == 1 spawns no threads and runs everything inline, so
+/// serial and parallel callers share one code path.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int jobs = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (worker threads + the calling thread).
+  int jobs() const;
+
+  /// Runs body(0), body(1), ..., body(count - 1), each exactly once, and
+  /// returns when all of them finished.  The calling thread participates.
+  /// Indices are claimed dynamically; do not rely on execution order.
+  /// The first exception thrown by any body is rethrown to the caller after
+  /// the whole batch drained.  Re-entrant calls from inside a body run
+  /// inline on the calling worker (no deadlock, no extra parallelism).
+  void parallelFor(std::size_t count,
+                   const std::function<void(std::size_t)>& body);
+
+  /// One job per hardware thread (>= 1 even when the runtime reports 0).
+  static int hardwareJobs();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Convenience wrapper: serial loop when `pool` is null, pooled otherwise.
+void parallelFor(ThreadPool* pool, std::size_t count,
+                 const std::function<void(std::size_t)>& body);
+
+}  // namespace rfsm

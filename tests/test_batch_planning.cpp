@@ -1,0 +1,219 @@
+// Tests for the parallel batch planning engine: bit-identical results for
+// every job count (the engine's core contract), the per-machine BFS cache
+// against an uncached reference, and the telemetry counters it feeds.
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <vector>
+
+#include "core/apply.hpp"
+#include "core/jsr.hpp"
+#include "core/mutable_machine.hpp"
+#include "core/planners.hpp"
+#include "gen/generator.hpp"
+#include "gen/mutator.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm {
+namespace {
+
+MigrationContext makeInstance(int states, int deltas, std::uint64_t seed) {
+  Rng rng(seed);
+  RandomMachineSpec spec;
+  spec.stateCount = states;
+  spec.inputCount = 2;
+  spec.outputCount = 2;
+  const Machine source = randomMachine(spec, rng);
+  MutationSpec mutation;
+  mutation.deltaCount = deltas;
+  const Machine target = mutateMachine(source, mutation, rng);
+  return MigrationContext(source, target);
+}
+
+std::vector<MigrationContext> makeInstances(int count) {
+  std::vector<MigrationContext> instances;
+  instances.reserve(count);
+  for (int k = 0; k < count; ++k)
+    instances.push_back(makeInstance(8 + k % 3, 4 + k, 900 + k));
+  return instances;
+}
+
+TEST(PlanAll, MatchesSerialPlannerPerInstance) {
+  const auto instances = makeInstances(5);
+  BatchOptions options;
+  options.jobs = 2;
+  const auto programs = planAll(
+      instances,
+      [](const MigrationContext& c, Rng&) { return planJsr(c); }, options);
+  ASSERT_EQ(programs.size(), instances.size());
+  for (std::size_t k = 0; k < instances.size(); ++k) {
+    EXPECT_EQ(programs[k].steps, planJsr(instances[k]).steps);
+    EXPECT_TRUE(validateProgram(instances[k], programs[k]).valid);
+  }
+}
+
+TEST(PlanAll, BitIdenticalForEveryJobCount) {
+  const auto instances = makeInstances(6);
+  const BatchPlanFn ea = [](const MigrationContext& c, Rng& rng) {
+    EvolutionConfig config;
+    config.generations = 15;
+    return planEvolutionary(c, config, rng).program;
+  };
+  BatchOptions serial, parallel;
+  serial.jobs = 1;
+  parallel.jobs = 4;
+  serial.seed = parallel.seed = 7;
+  const auto a = planAll(instances, ea, serial);
+  const auto b = planAll(instances, ea, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k)
+    EXPECT_EQ(a[k].steps, b[k].steps) << "instance " << k;
+}
+
+TEST(PlanAll, InstanceStreamKeyedByIndexNotBatchShape) {
+  // Planning a prefix of the batch must give the same programs: instance k
+  // always draws from substream(k).
+  const auto instances = makeInstances(4);
+  const std::vector<MigrationContext> prefix(instances.begin(),
+                                             instances.begin() + 2);
+  const BatchPlanFn ea = [](const MigrationContext& c, Rng& rng) {
+    EvolutionConfig config;
+    config.generations = 10;
+    return planEvolutionary(c, config, rng).program;
+  };
+  const auto full = planAll(instances, ea);
+  const auto part = planAll(prefix, ea);
+  ASSERT_EQ(part.size(), 2u);
+  EXPECT_EQ(full[0].steps, part[0].steps);
+  EXPECT_EQ(full[1].steps, part[1].steps);
+}
+
+TEST(PlanAll, EmptyBatch) {
+  EXPECT_TRUE(planAll({}, [](const MigrationContext& c, Rng&) {
+                return planJsr(c);
+              }).empty());
+}
+
+TEST(PlanEvolutionaryBatch, BitIdenticalForEveryJobCount) {
+  const auto instances = makeInstances(5);
+  EvolutionConfig config;
+  config.generations = 20;
+  BatchOptions serial, parallel;
+  serial.jobs = 1;
+  parallel.jobs = 3;
+  const auto a = planEvolutionaryBatch(instances, config, serial);
+  const auto b = planEvolutionaryBatch(instances, config, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k].program.steps, b[k].program.steps) << "instance " << k;
+    EXPECT_EQ(a[k].evaluations, b[k].evaluations);
+    EXPECT_EQ(a[k].initialBest, b[k].initialBest);
+    EXPECT_TRUE(validateProgram(instances[k], a[k].program).valid);
+  }
+}
+
+TEST(PlanEvolutionary, PooledFitnessMatchesSerial) {
+  const MigrationContext context = makeInstance(10, 8, 321);
+  EvolutionConfig config;
+  config.generations = 25;
+  Rng serialRng(99), pooledRng(99);
+  ThreadPool pool(4);
+  const EvolutionaryPlan serial =
+      planEvolutionary(context, config, serialRng);
+  const EvolutionaryPlan pooled =
+      planEvolutionary(context, config, pooledRng, {}, &pool);
+  EXPECT_EQ(serial.program.steps, pooled.program.steps);
+  EXPECT_EQ(serial.evaluations, pooled.evaluations);
+  EXPECT_EQ(serial.bestPerGeneration, pooled.bestPerGeneration);
+}
+
+/// Uncached single-source BFS straight off the public cell accessors, for
+/// checking the MutableMachine cache after arbitrary table writes.
+std::vector<int> referenceDistances(const MutableMachine& machine,
+                                    SymbolId from) {
+  const MigrationContext& context = machine.context();
+  const int stateCount = static_cast<int>(context.states().size());
+  const int inputCount = static_cast<int>(context.inputs().size());
+  std::vector<int> dist(stateCount, -1);
+  dist[from] = 0;
+  std::queue<SymbolId> frontier;
+  frontier.push(from);
+  while (!frontier.empty()) {
+    const SymbolId s = frontier.front();
+    frontier.pop();
+    for (SymbolId u = 0; u < inputCount; ++u) {
+      if (!machine.isSpecified(u, s)) continue;
+      const SymbolId t = machine.next(u, s);
+      if (dist[t] != -1) continue;
+      dist[t] = dist[s] + 1;
+      frontier.push(t);
+    }
+  }
+  return dist;
+}
+
+TEST(BfsCache, MatchesUncachedReferenceAfterEveryWrite) {
+  const MigrationContext context = makeInstance(9, 7, 555);
+  MutableMachine machine(context);
+  const ReconfigurationProgram program = planJsr(context);
+  const int stateCount = static_cast<int>(context.states().size());
+
+  auto checkAllSources = [&]() {
+    for (SymbolId s = 0; s < stateCount; ++s) {
+      const std::vector<int>& cached = machine.distancesFrom(s);
+      const std::vector<int> reference = referenceDistances(machine, s);
+      ASSERT_EQ(static_cast<int>(cached.size()), stateCount);
+      // Both use -1 for unreachable states.
+      EXPECT_EQ(cached, reference) << "source " << s;
+    }
+  };
+
+  checkAllSources();
+  for (const ReconfigStep& step : program.steps) {
+    machine.applyStep(step);
+    checkAllSources();  // rewrites bump the table version; cache must follow
+  }
+  EXPECT_TRUE(machine.matchesTarget());
+}
+
+TEST(BfsCache, PathInputsWalkToTheTarget) {
+  const MigrationContext context = makeInstance(8, 5, 808);
+  MutableMachine machine(context);
+  const int stateCount = static_cast<int>(context.states().size());
+  const SymbolId from = machine.state();
+  for (SymbolId to = 0; to < stateCount; ++to) {
+    const auto inputs = machine.pathInputs(from, to);
+    const std::vector<int>& dist = machine.distancesFrom(from);
+    if (!inputs.has_value()) {
+      EXPECT_EQ(dist[to], -1);
+      continue;
+    }
+    EXPECT_EQ(static_cast<int>(inputs->size()), dist[to]);
+    SymbolId here = from;
+    for (const SymbolId u : *inputs) {
+      ASSERT_TRUE(machine.isSpecified(u, here));
+      here = machine.next(u, here);
+    }
+    EXPECT_EQ(here, to);
+  }
+}
+
+TEST(Telemetry, BatchPlanningFeedsTheCounters) {
+  metrics::resetAll();
+  const auto instances = makeInstances(3);
+  EvolutionConfig config;
+  config.generations = 10;
+  const auto plans = planEvolutionaryBatch(instances, config);
+  for (std::size_t k = 0; k < plans.size(); ++k)
+    validateProgram(instances[k], plans[k].program);
+  EXPECT_GT(metrics::counter(metrics::kDecodeCalls).value(), 0u);
+  EXPECT_EQ(metrics::counter(metrics::kProgramsValidated).value(),
+            instances.size());
+  EXPECT_GT(metrics::timer("batch.plan_evolutionary").count(), 0u);
+  EXPECT_GT(metrics::timer("planner.ea").count(), 0u);
+  metrics::resetAll();
+}
+
+}  // namespace
+}  // namespace rfsm

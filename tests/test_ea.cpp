@@ -176,6 +176,72 @@ TEST(Evolution, AllOperatorCombinationsRun) {
   }
 }
 
+TEST(Evolution, EvaluationsMatchActualFitnessCalls) {
+  // The documented accounting: initial population + per generation every
+  // non-elite offspring; elites keep cached fitness and are not re-counted.
+  int calls = 0;
+  const FitnessFn counting = [&calls](const Permutation& p) {
+    ++calls;
+    return displacementCost(p);
+  };
+  EvolutionConfig config;
+  config.populationSize = 20;
+  config.generations = 10;
+  config.eliteCount = 2;
+  Rng rng(41);
+  const auto result = evolvePermutation(9, counting, config, rng);
+  EXPECT_EQ(result.evaluations, calls);
+  EXPECT_EQ(result.evaluations, 20 + 10 * (20 - 2));
+}
+
+TEST(Evolution, EvaluationsPinnedForFixedSeedAndConfig) {
+  // Regression pin: with no stall the count is a closed form of the config,
+  // independent of the seed.
+  for (const std::uint64_t seed : {1ull, 7ull, 99ull}) {
+    Rng rng(seed);
+    EvolutionConfig config;
+    config.populationSize = 16;
+    config.generations = 25;
+    config.eliteCount = 4;
+    const auto result = evolvePermutation(7, displacementCost, config, rng);
+    EXPECT_EQ(result.evaluations, 16 + 25 * (16 - 4)) << "seed " << seed;
+  }
+}
+
+TEST(Evolution, StallCountsFromLastStrictImprovement) {
+  // A constant fitness never strictly improves, so the run stops after
+  // exactly stallLimit generations past generation 0.
+  const FitnessFn flat = [](const Permutation&) { return 1.0; };
+  EvolutionConfig config;
+  config.generations = 500;
+  config.stallLimit = 7;
+  Rng rng(3);
+  const auto result = evolvePermutation(6, flat, config, rng);
+  EXPECT_EQ(result.history.size(), 1u + 7u);
+  EXPECT_EQ(result.evaluations,
+            config.populationSize +
+                7 * (config.populationSize - config.eliteCount));
+}
+
+TEST(Evolution, ParallelFitnessBitIdenticalToSerial) {
+  EvolutionConfig config;
+  config.generations = 40;
+  Rng serialRng(123), pooledRng(123);
+  ThreadPool pool(4);
+  const auto serial = evolvePermutation(12, displacementCost, config,
+                                        serialRng);
+  const auto pooled = evolvePermutation(12, displacementCost, config,
+                                        pooledRng, &pool);
+  EXPECT_EQ(serial.best, pooled.best);
+  EXPECT_EQ(serial.bestFitness, pooled.bestFitness);
+  EXPECT_EQ(serial.evaluations, pooled.evaluations);
+  ASSERT_EQ(serial.history.size(), pooled.history.size());
+  for (std::size_t g = 0; g < serial.history.size(); ++g) {
+    EXPECT_EQ(serial.history[g].bestFitness, pooled.history[g].bestFitness);
+    EXPECT_EQ(serial.history[g].meanFitness, pooled.history[g].meanFitness);
+  }
+}
+
 TEST(Evolution, RejectsBadConfig) {
   Rng rng(1);
   EvolutionConfig config;

@@ -1,0 +1,118 @@
+// Tests for the fixed-size thread pool: every index runs exactly once,
+// serial fallbacks, exception propagation, re-entrancy, and a stress run
+// (pair with -fsanitize=thread in the CI TSan job).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace rfsm {
+namespace {
+
+TEST(ThreadPool, JobsResolvesAsDocumented) {
+  EXPECT_EQ(ThreadPool(1).jobs(), 1);
+  EXPECT_EQ(ThreadPool(3).jobs(), 3);
+  EXPECT_EQ(ThreadPool(0).jobs(), ThreadPool::hardwareJobs());
+  EXPECT_EQ(ThreadPool(-5).jobs(), ThreadPool::hardwareJobs());
+}
+
+TEST(ThreadPool, HardwareJobsIsPositive) {
+  EXPECT_GE(ThreadPool::hardwareJobs(), 1);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> runs(kCount);
+  pool.parallelFor(kCount, [&](std::size_t k) { runs[k].fetch_add(1); });
+  for (std::size_t k = 0; k < kCount; ++k) EXPECT_EQ(runs[k].load(), 1);
+}
+
+TEST(ThreadPool, CountZeroIsANoop) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.parallelFor(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SingleJobRunsInlineOnTheCaller) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  pool.parallelFor(seen.size(),
+                   [&](std::size_t k) { seen[k] = std::this_thread::get_id(); });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, SingleElementBatchRunsInline) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.parallelFor(1, [&](std::size_t) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallelFor(100,
+                                [](std::size_t k) {
+                                  if (k == 37)
+                                    throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The pool must stay usable after a failed batch.
+  std::atomic<int> total{0};
+  pool.parallelFor(50, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 50);
+}
+
+TEST(ThreadPool, ReentrantCallRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> inner{0};
+  pool.parallelFor(8, [&](std::size_t) {
+    // Nested parallelFor from a body must not deadlock; it runs inline.
+    pool.parallelFor(4, [&](std::size_t) { inner.fetch_add(1); });
+  });
+  EXPECT_EQ(inner.load(), 8 * 4);
+}
+
+TEST(ThreadPool, ManySmallBatchesStress) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t count = static_cast<std::size_t>(round % 7);
+    pool.parallelFor(count, [&](std::size_t k) {
+      sum.fetch_add(k + 1, std::memory_order_relaxed);
+    });
+  }
+  std::uint64_t expected = 0;
+  for (int round = 0; round < 200; ++round)
+    for (std::size_t k = 0; k < static_cast<std::size_t>(round % 7); ++k)
+      expected += k + 1;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPool, FreeFunctionSerialWhenPoolIsNull) {
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(16);
+  parallelFor(nullptr, seen.size(),
+              [&](std::size_t k) { seen[k] = std::this_thread::get_id(); });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, FreeFunctionUsesPoolWhenGiven) {
+  ThreadPool pool(4);
+  std::vector<int> out(64, 0);
+  parallelFor(&pool, out.size(),
+              [&](std::size_t k) { out[k] = static_cast<int>(k) * 2; });
+  for (std::size_t k = 0; k < out.size(); ++k)
+    EXPECT_EQ(out[k], static_cast<int>(k) * 2);
+}
+
+}  // namespace
+}  // namespace rfsm

@@ -1,11 +1,14 @@
 // Unit tests for src/util: RNG determinism and distribution sanity, string
-// helpers, table rendering, contract checks.
+// helpers, table rendering, telemetry metrics, contract checks.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <set>
+#include <vector>
 
 #include "util/check.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -58,6 +61,25 @@ TEST(Rng, BelowRejectsZeroBound) {
   EXPECT_THROW(rng.below(0), ContractError);
 }
 
+TEST(Rng, BelowIsUnbiasedChiSquare) {
+  // Rejection sampling must give a flat distribution even for a bound that
+  // does not divide 2^64.  Chi-square over 13 buckets, 13000 draws: the
+  // statistic is ~chi2(12), whose 99.99th percentile is ~39.1; 50 flags a
+  // real bias, not noise.
+  Rng rng(12345);
+  constexpr std::uint64_t kBound = 13;
+  constexpr int kDraws = 13000;
+  std::vector<int> buckets(kBound, 0);
+  for (int k = 0; k < kDraws; ++k) ++buckets[rng.below(kBound)];
+  const double expected = static_cast<double>(kDraws) / kBound;
+  double chi2 = 0;
+  for (const int observed : buckets) {
+    const double d = observed - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 50.0);
+}
+
 TEST(Rng, RangeInclusive) {
   Rng rng(5);
   bool sawLo = false, sawHi = false;
@@ -101,6 +123,16 @@ TEST(Rng, ShufflePreservesElements) {
   EXPECT_EQ(v, copy);
 }
 
+TEST(Rng, ShuffleHandlesEmptyAndSingleton) {
+  Rng rng(19);
+  std::vector<int> empty;
+  EXPECT_NO_THROW(rng.shuffle(empty));
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  EXPECT_NO_THROW(rng.shuffle(one));
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
 TEST(Rng, SplitProducesIndependentStream) {
   Rng a(21);
   Rng child = a.split();
@@ -109,6 +141,95 @@ TEST(Rng, SplitProducesIndependentStream) {
   for (int k = 0; k < 64; ++k)
     if (a() == child()) ++same;
   EXPECT_LT(same, 4);
+}
+
+TEST(Rng, SubstreamIsDeterministicPerIndex) {
+  const Rng base(77);
+  Rng a = base.substream(3);
+  Rng b = base.substream(3);
+  for (int k = 0; k < 64; ++k) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SubstreamsOfDifferentIndicesDiffer) {
+  const Rng base(77);
+  Rng a = base.substream(0);
+  Rng b = base.substream(1);
+  int same = 0;
+  for (int k = 0; k < 64; ++k)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, SubstreamDoesNotAdvanceTheParent) {
+  Rng parent(31);
+  Rng untouched(31);
+  (void)parent.substream(9);
+  (void)parent.substream(2);
+  for (int k = 0; k < 32; ++k) EXPECT_EQ(parent(), untouched());
+}
+
+TEST(Rng, SubstreamIndependentOfCallOrder) {
+  const Rng base(55);
+  Rng early = base.substream(5);
+  (void)base.substream(2);
+  Rng late = base.substream(5);
+  for (int k = 0; k < 32; ++k) EXPECT_EQ(early(), late());
+}
+
+TEST(Metrics, CounterAccumulatesAndResets) {
+  metrics::Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Metrics, TimerAccumulatesAndResets) {
+  metrics::Timer timer;
+  timer.record(std::chrono::microseconds(250));
+  timer.record(std::chrono::microseconds(750));
+  EXPECT_EQ(timer.count(), 2u);
+  EXPECT_EQ(timer.total(), std::chrono::nanoseconds(1000000));
+  timer.reset();
+  EXPECT_EQ(timer.count(), 0u);
+  EXPECT_EQ(timer.total(), std::chrono::nanoseconds(0));
+}
+
+TEST(Metrics, RegistryReturnsStableReferences) {
+  metrics::Counter& a = metrics::counter("test.registry_stable");
+  metrics::Counter& b = metrics::counter("test.registry_stable");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  a.reset();
+}
+
+TEST(Metrics, SnapshotSkipsZeroEntriesAndSortsByName) {
+  metrics::resetAll();
+  metrics::counter("test.snap_b").add(2);
+  metrics::counter("test.snap_a").add(1);
+  metrics::counter("test.snap_zero");  // registered but never bumped
+  const metrics::Snapshot snap = metrics::snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "test.snap_a");
+  EXPECT_EQ(snap.counters[1].name, "test.snap_b");
+  metrics::resetAll();
+  EXPECT_TRUE(metrics::snapshot().empty());
+}
+
+TEST(Metrics, MarkdownRendersCountersTimersAndHitRate) {
+  metrics::resetAll();
+  metrics::counter(metrics::kBfsCacheHits).add(3);
+  metrics::counter(metrics::kBfsCacheMisses).add(1);
+  metrics::timer("test.render").record(std::chrono::milliseconds(2));
+  const std::string md = metrics::toMarkdown(metrics::snapshot());
+  EXPECT_NE(md.find(metrics::kBfsCacheHits), std::string::npos);
+  EXPECT_NE(md.find("BFS cache hit rate: 75.0%"), std::string::npos);
+  EXPECT_NE(md.find("test.render"), std::string::npos);
+  EXPECT_EQ(metrics::toMarkdown(metrics::Snapshot{}), "");
+  metrics::resetAll();
 }
 
 TEST(Strings, SplitKeepsEmptyFields) {
