@@ -1,0 +1,208 @@
+// A12 — Fault sweep: seeded SEU/power-loss injection over a grid of
+// migration instances, proving the recovery contract: every disturbed
+// migration ends verified-equivalent to M' or cleanly rolled back to M —
+// zero silent corruption.  The artifact is bit-identical for any RFSM_JOBS
+// value (per-run seeds come from substream-style indexing, backoff is
+// counted in simulated cycles, and the telemetry prints counters only).
+//
+// `--smoke` shrinks the grid for the CI regression gate; the binary exits 1
+// when any run ends in the kFailed (silent-corruption risk) outcome.
+#include "common.hpp"
+
+#include <vector>
+
+#include "core/apply.hpp"
+#include "core/jsr.hpp"
+#include "core/recovery.hpp"
+#include "util/fault.hpp"
+#include "util/table.hpp"
+
+namespace rfsm::bench {
+namespace {
+
+struct InstanceSpec {
+  const char* name;
+  int states, inputs, deltas, newStates;
+  std::uint64_t seed;
+};
+
+struct ModelSpec {
+  const char* name;
+  fault::FaultModel model;
+};
+
+const InstanceSpec kInstances[] = {
+    {"S6 I2 |Td|4", 6, 2, 4, 0, 101},
+    {"S8 I3 |Td|10 +2 states", 8, 3, 10, 2, 202},
+    {"S12 I3 |Td|14 +3 states", 12, 3, 14, 3, 303},
+};
+
+const ModelSpec kModels[] = {
+    {"none", {0.0, 0.0, 0, 0.0}},
+    {"power loss", {1.0, 0.0, 0, 0.0}},
+    {"SEU flips", {0.0, 1.0, 2, 0.0}},
+    {"loss + flips", {1.0, 1.0, 2, 0.0}},
+    {"stuck-at", {0.0, 1.0, 1, 1.0}},
+};
+
+/// Aggregated outcomes of one (instance, model) grid cell across seeds.
+struct CellTally {
+  int runs = 0, verified = 0, rolledBack = 0, failed = 0;
+  int detected = 0, resumed = 0, patched = 0;
+  long cycles = 0, backoff = 0;
+};
+
+/// Cells a stuck-at fault may target: outside the source domain (the
+/// freshly allocated RAM rows of the expansion region), so a rollback to
+/// the source image always escapes the damage.
+std::vector<std::size_t> expansionCells(const MigrationContext& context) {
+  std::vector<std::size_t> cells;
+  for (SymbolId s = 0; s < context.states().size(); ++s)
+    for (SymbolId i = 0; i < context.inputs().size(); ++i)
+      if (!context.inSourceStates(s) || !context.inSourceInputs(i))
+        cells.push_back(static_cast<std::size_t>(s) *
+                            static_cast<std::size_t>(context.inputs().size()) +
+                        static_cast<std::size_t>(i));
+  return cells;
+}
+
+GuardedMigrationReport runCell(const MigrationContext& context,
+                               const ReconfigurationProgram& program,
+                               const fault::FaultModel& model,
+                               std::uint64_t scenarioSeed) {
+  MutableMachine machine(context);
+  fault::FaultGeometry geometry;
+  geometry.cellCount = static_cast<std::size_t>(context.states().size()) *
+                       static_cast<std::size_t>(context.inputs().size());
+  geometry.bitsPerCell = machine.faultBitsPerCell();
+  geometry.programLength = program.length();
+  if (model.stickyProbability > 0.0)
+    geometry.stickyCells = expansionCells(context);
+  fault::FaultInjector injector(scenarioSeed);
+  const fault::FaultScenario scenario = injector.draw(model, geometry);
+  ProgramJournal journal;
+  return runGuardedMigration(machine, program, scenario, RecoveryOptions{},
+                             &journal);
+}
+
+/// Returns true when the zero-silent-corruption contract held.
+bool printArtifact(bool smoke) {
+  banner("A12", "Fault sweep - injection, detection, recovery");
+  const int jobs = artifactJobs();
+  const int seedsPerCell = smoke ? 2 : 8;
+  const int instanceCount =
+      smoke ? 2 : static_cast<int>(std::size(kInstances));
+  const int modelCount = static_cast<int>(std::size(kModels));
+
+  // Flat grid of independent runs so parallelFor can chew on it; each run
+  // derives everything from its own indices — bit-identical for any jobs.
+  const int cellCount = instanceCount * modelCount;
+  std::vector<CellTally> tallies(static_cast<std::size_t>(cellCount));
+  std::vector<MigrationContext> contexts;
+  std::vector<ReconfigurationProgram> programs;
+  for (int inst = 0; inst < instanceCount; ++inst) {
+    const InstanceSpec& spec = kInstances[inst];
+    contexts.push_back(randomInstance(spec.states, spec.inputs, spec.deltas,
+                                      spec.seed, spec.newStates));
+    programs.push_back(planJsr(contexts.back()));
+  }
+
+  ThreadPool pool(jobs);
+  const auto runCount = static_cast<std::size_t>(cellCount * seedsPerCell);
+  std::vector<GuardedMigrationReport> reports(runCount);
+  pool.parallelFor(runCount, [&](std::size_t run) {
+    const int cell = static_cast<int>(run) / seedsPerCell;
+    const int inst = cell / modelCount;
+    const int model = cell % modelCount;
+    reports[run] =
+        runCell(contexts[static_cast<std::size_t>(inst)],
+                programs[static_cast<std::size_t>(inst)],
+                kModels[model].model, 0x5eed0000 + run);
+  });
+
+  bool contractHolds = true;
+  for (std::size_t run = 0; run < runCount; ++run) {
+    const GuardedMigrationReport& r = reports[run];
+    CellTally& t = tallies[run / static_cast<std::size_t>(seedsPerCell)];
+    ++t.runs;
+    t.verified += r.outcome == MigrationOutcome::kVerified ? 1 : 0;
+    t.rolledBack += r.outcome == MigrationOutcome::kRolledBack ? 1 : 0;
+    t.failed += r.outcome == MigrationOutcome::kFailed ? 1 : 0;
+    t.detected += r.faultDetected ? 1 : 0;
+    t.resumed += r.resumed ? 1 : 0;
+    t.patched += r.patchAttempts > 0 ? 1 : 0;
+    t.cycles += r.executedCycles;
+    t.backoff += r.backoffCycles;
+    if (r.outcome == MigrationOutcome::kFailed) contractHolds = false;
+  }
+
+  Table table({"instance", "fault model", "runs", "verified", "rolled back",
+               "FAILED", "detected", "resumed", "patched", "cycles",
+               "backoff"});
+  for (int cell = 0; cell < cellCount; ++cell) {
+    const CellTally& t = tallies[static_cast<std::size_t>(cell)];
+    table.addRow({kInstances[cell / modelCount].name,
+                  kModels[cell % modelCount].name, std::to_string(t.runs),
+                  std::to_string(t.verified), std::to_string(t.rolledBack),
+                  std::to_string(t.failed), std::to_string(t.detected),
+                  std::to_string(t.resumed), std::to_string(t.patched),
+                  std::to_string(t.cycles), std::to_string(t.backoff)});
+  }
+  std::cout << "\nguarded migrations under default injection rates ("
+            << (smoke ? "smoke" : "full") << " grid, " << runCount
+            << " runs):\n"
+            << table.toMarkdown();
+  std::cout << "\nzero-silent-corruption contract: "
+            << (contractHolds ? "HOLDS (every run verified or cleanly rolled "
+                                "back)"
+                              : "VIOLATED - see FAILED column")
+            << "\n";
+  printTelemetry(jobs, /*countersOnly=*/true);
+  return contractHolds;
+}
+
+void guardedMigrationBench(benchmark::State& state) {
+  const MigrationContext context = randomInstance(10, 3, 8, 42, 2);
+  const ReconfigurationProgram program = planJsr(context);
+  fault::FaultModel model;  // default injection rates
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runCell(context, program, model, seed++));
+  }
+  state.SetLabel("inject+verify+recover");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(guardedMigrationBench)->Unit(benchmark::kMicrosecond);
+
+void integrityScanBench(benchmark::State& state) {
+  const MigrationContext context = randomInstance(16, 4, 8, 42, 0);
+  MutableMachine machine(context);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.integrityScan());
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * 4);
+}
+BENCHMARK(integrityScanBench);
+
+}  // namespace
+}  // namespace rfsm::bench
+
+int main(int argc, char** argv) {
+  // Strip the sweep's own flags before google-benchmark sees them.
+  bool smoke = false;
+  int kept = 1;
+  for (int k = 1; k < argc; ++k) {
+    if (std::string(argv[k]) == "--smoke")
+      smoke = true;
+    else
+      argv[kept++] = argv[k];
+  }
+  argc = kept;
+  if (!rfsm::bench::printArtifact(smoke)) return 1;
+  if (smoke) return 0;  // regression gate: artifact only, no timings
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -58,13 +58,26 @@ inline int artifactJobs() {
   return ThreadPool::hardwareJobs();
 }
 
+/// Renders a snapshot in the sink selected by RFSM_METRICS: "md" (default)
+/// for human-readable artifacts, "csv"/"json" for machine-diffable sweeps.
+inline std::string renderTelemetry(const metrics::Snapshot& snap) {
+  const char* env = std::getenv("RFSM_METRICS");
+  const std::string format = env != nullptr ? env : "md";
+  if (format == "csv") return metrics::toCsv(snap);
+  if (format == "json") return metrics::toJson(snap);
+  return metrics::toMarkdown(snap);
+}
+
 /// Prints the telemetry gathered since the last reset and clears it, so a
-/// bench's timing loops start from a clean slate.
-inline void printTelemetry(int jobs) {
-  const metrics::Snapshot snap = metrics::snapshot();
+/// bench's timing loops start from a clean slate.  `countersOnly` drops the
+/// wall-clock timers — the one nondeterministic part of a snapshot — for
+/// artifacts that must be bit-identical across runs and job counts.
+inline void printTelemetry(int jobs, bool countersOnly = false) {
+  metrics::Snapshot snap = metrics::snapshot();
+  if (countersOnly) snap.timers.clear();
   if (!snap.empty())
     std::cout << "\nplanner telemetry (jobs = " << jobs << "):\n"
-              << metrics::toMarkdown(snap);
+              << renderTelemetry(snap);
   metrics::resetAll();
 }
 

@@ -3,6 +3,7 @@
 #include "core/apply.hpp"
 #include "core/jsr.hpp"
 #include "core/planners.hpp"
+#include "core/repair.hpp"
 #include "fsm/simulate.hpp"
 #include "gen/families.hpp"
 
@@ -121,6 +122,93 @@ SwitchoverReport ProtocolProcessor::runSwitchover(int preFrames,
 
   report.postUpgradeMatches =
       processBits(renderStream(toPreamble_, postFrames, payloadBits, rng));
+  return report;
+}
+
+ProtocolProcessor::FaultySwitchoverReport ProtocolProcessor::runFaultySwitchover(
+    int preFrames, int postFrames, int payloadBits, Rng& rng,
+    const fault::FaultScenario& scenario, const RecoveryOptions& options) {
+  FaultySwitchoverReport report;
+  report.base.deltaCount = context_->deltaCount();
+  report.base.programLength = program_.length();
+  report.base.programValidated = validateProgram(*context_, program_).valid;
+
+  report.base.preUpgradeMatches =
+      processBits(renderStream(fromPreamble_, preFrames, payloadBits, rng));
+
+  MutableMachine& parser = machine_->mutableMachine();
+  const MutableMachine::TableImage golden = parser.checkpoint();
+  const auto inputCount =
+      static_cast<std::size_t>(context_->inputs().size());
+
+  requestUpgrade();
+  // Pump idle bits while the parser migrates, landing the scenario's flips
+  // before their program step and cutting the power at abortAtStep (the
+  // Reconfigurator forgets its remaining steps).
+  int step = 0;
+  bool aborted = false;
+  while (!upgraded() && !aborted) {
+    for (const fault::CellFault& flip : scenario.flips)
+      if (flip.atStep == step)
+        parser.corruptBit(static_cast<SymbolId>(flip.cell % inputCount),
+                          static_cast<SymbolId>(flip.cell / inputCount),
+                          flip.bit);
+    if (scenario.abortAtStep.has_value() && *scenario.abortAtStep == step) {
+      machine_->abortReconfiguration();
+      aborted = true;
+      break;
+    }
+    try {
+      processBits("0");
+    } catch (const MigrationError&) {
+      // The corrupted table broke the program mid-flight.
+      machine_->abortReconfiguration();
+      aborted = true;
+    }
+    ++report.base.droppedDuringUpgrade;
+    ++step;
+  }
+  if (!aborted)
+    for (const fault::CellFault& flip : scenario.flips)
+      if (flip.atStep >= step)
+        parser.corruptBit(static_cast<SymbolId>(flip.cell % inputCount),
+                          static_cast<SymbolId>(flip.cell / inputCount),
+                          flip.bit);
+
+  // Detection + in-band recovery: scrub corrupted cells, play patch
+  // programs through the normal self-reconfiguration path, re-verify.
+  OnlineVerifier verifier(options.conformanceCheck);
+  bool ok = verifier.verify(parser).ok;
+  if (!ok) {
+    report.faultDetected = true;
+    for (int attempt = 0; attempt < options.maxAttempts && !ok; ++attempt) {
+      for (const TotalState& at : parser.integrityScan())
+        parser.clearCell(at.input, at.state);
+      report.cellsPatched +=
+          static_cast<int>(remainingDeltas(parser).size());
+      machine_->enqueueProgram(planRepair(parser, options.tempInput));
+      try {
+        while (machine_->reconfiguring()) {
+          processBits("0");
+          ++report.recoveryCycles;
+        }
+        ok = verifier.verify(parser).ok;
+      } catch (const MigrationError&) {
+        machine_->abortReconfiguration();
+      }
+    }
+    report.repaired = ok;
+    if (!ok) {
+      parser.restore(golden);
+      report.rolledBack = true;
+    }
+  }
+
+  // A rolled-back device keeps speaking the old protocol.
+  const std::string& postPreamble =
+      report.rolledBack ? fromPreamble_ : toPreamble_;
+  report.base.postUpgradeMatches =
+      processBits(renderStream(postPreamble, postFrames, payloadBits, rng));
   return report;
 }
 

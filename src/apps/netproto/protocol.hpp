@@ -15,8 +15,10 @@
 
 #include "core/migration.hpp"
 #include "core/program.hpp"
+#include "core/recovery.hpp"
 #include "core/self_reconfigurable.hpp"
 #include "fsm/machine.hpp"
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 
 namespace rfsm::netproto {
@@ -81,6 +83,28 @@ class ProtocolProcessor {
   /// protocol; returns the accounting.
   SwitchoverReport runSwitchover(int preFrames, int postFrames,
                                  int payloadBits, Rng& rng);
+
+  /// A switchover disturbed by an injected fault scenario.
+  struct FaultySwitchoverReport {
+    SwitchoverReport base;
+    bool faultDetected = false;  // a disturbance was observed
+    bool repaired = false;       // in-band patch programs fixed it
+    bool rolledBack = false;     // device restored to the old protocol
+    int cellsPatched = 0;
+    int recoveryCycles = 0;  // extra bits consumed by patch programs
+  };
+
+  /// Like runSwitchover, but the migration runs under `scenario` (flip
+  /// steps are indices into the upgrade program; a power loss aborts it).
+  /// The parser is checkpointed before the upgrade; damage is detected by
+  /// integrity scan + verification, patched in-band with planRepair
+  /// programs, and on persistent failure the checkpoint is restored — the
+  /// post-upgrade stream then carries the *old* protocol, which the report
+  /// flags via `rolledBack`.
+  FaultySwitchoverReport runFaultySwitchover(
+      int preFrames, int postFrames, int payloadBits, Rng& rng,
+      const fault::FaultScenario& scenario,
+      const RecoveryOptions& options = {});
 
  private:
   std::string fromPreamble_, toPreamble_;

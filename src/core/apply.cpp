@@ -1,5 +1,7 @@
 #include "core/apply.hpp"
 
+#include "fsm/builder.hpp"
+#include "fsm/conformance.hpp"
 #include "util/metrics.hpp"
 
 namespace rfsm {
@@ -51,6 +53,69 @@ ValidationResult validateProgram(const MigrationContext& context,
   }
   result.valid = true;
   return result;
+}
+
+const OnlineVerifier::Outcome& OnlineVerifier::verify(
+    const MutableMachine& machine) {
+  static metrics::Counter& cacheHits =
+      metrics::counter(metrics::kVerifierCacheHits);
+  static metrics::Counter& detected =
+      metrics::counter(metrics::kFaultsDetected);
+  static metrics::Counter& conformanceRuns =
+      metrics::counter(metrics::kConformanceRuns);
+
+  if (haveResult_ && machine.tableVersion() == version_ &&
+      machine.state() == state_) {
+    cacheHits.add();
+    return cached_;
+  }
+  version_ = machine.tableVersion();
+  state_ = machine.state();
+  haveResult_ = true;
+  cached_ = Outcome{};
+
+  const MigrationContext& context = machine.context();
+  const std::vector<TotalState> corrupted = machine.integrityScan();
+  if (!corrupted.empty()) {
+    detected.add(corrupted.size());
+    cached_.reason =
+        "integrity scan: " + std::to_string(corrupted.size()) +
+        " corrupted cell(s), first at (" +
+        context.inputs().name(corrupted.front().input) + ", " +
+        context.states().name(corrupted.front().state) + ")";
+    return cached_;
+  }
+  std::string mismatch;
+  if (!machine.matchesTarget(&mismatch)) {
+    cached_.reason = "table check: " + mismatch;
+    return cached_;
+  }
+  if (machine.state() != context.targetReset()) {
+    cached_.reason = "machine halted in " +
+                     context.states().name(machine.state()) +
+                     " instead of the terminal state " +
+                     context.states().name(context.targetReset());
+    return cached_;
+  }
+  if (conformance_) {
+    const Machine& target = context.targetMachine();
+    try {
+      const ConformanceSuite suite = wMethodSuite(target);
+      conformanceRuns.add();
+      const ConformanceResult result =
+          runConformanceSuite(target, machine.extractTarget(), suite);
+      if (!result.pass) {
+        cached_.reason = "W-method conformance failed at position " +
+                         std::to_string(result.mismatchPosition);
+        return cached_;
+      }
+    } catch (const FsmError&) {
+      // Target not minimal: no characterizing set exists.  The exhaustive
+      // table check above already subsumes behavioural equivalence.
+    }
+  }
+  cached_.ok = true;
+  return cached_;
 }
 
 }  // namespace rfsm

@@ -8,6 +8,7 @@
 // cross-checks behavioural equivalence of the realized machine against M'.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "core/migration.hpp"
@@ -33,5 +34,41 @@ ValidationResult validateProgram(const MigrationContext& context,
 /// programs.
 MutableMachine replayProgram(const MigrationContext& context,
                              const ReconfigurationProgram& program);
+
+/// Post-apply online verifier: proves that a live machine realizes M'.
+///
+/// Layered checks, cheapest first:
+///  1. integrity scan — every specified cell's stored word must match its
+///     write-time checksum (catches silent SEU damage),
+///  2. table check — matchesTarget() over the whole target domain plus the
+///     terminal-state condition of Def. 4.1,
+///  3. W-method conformance (optional) — the extracted machine is run
+///     against a P.W suite of the target; skipped when the target is not
+///     minimal (no characterizing set exists; the exhaustive table check
+///     already subsumes behavioural equivalence).
+///
+/// Results are cached against (tableVersion, state): re-verifying an
+/// unchanged machine is O(1) and counted as a version-cache hit.
+class OnlineVerifier {
+ public:
+  struct Outcome {
+    bool ok = false;
+    std::string reason;  // empty when ok
+  };
+
+  explicit OnlineVerifier(bool conformanceCheck = true)
+      : conformance_(conformanceCheck) {}
+
+  /// Verifies `machine`; served from cache when nothing changed since the
+  /// last call.
+  const Outcome& verify(const MutableMachine& machine);
+
+ private:
+  bool conformance_;
+  bool haveResult_ = false;
+  std::uint64_t version_ = 0;
+  SymbolId state_ = kNoSymbol;
+  Outcome cached_;
+};
 
 }  // namespace rfsm

@@ -1,0 +1,80 @@
+// Write-ahead journaling of reconfiguration programs.
+//
+// A reconfiguration that dies mid-program (power loss, preempted
+// Reconfigurator) leaves the table in a half-written state.  The journal
+// follows the classic WAL discipline: the *intent* — the full program — is
+// recorded before the first table write, then every executed step appends a
+// checksummed commit record.  After a crash the surviving prefix tells the
+// recovery engine exactly which steps took effect, so the remainder can be
+// resumed instead of restarting from a golden image.  A torn final record
+// (the write the power failure interrupted) is tolerated and ignored; any
+// earlier damage is a hard JournalError.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/migration.hpp"
+#include "core/program.hpp"
+#include "util/check.hpp"
+
+namespace rfsm {
+
+/// Thrown on malformed journals; the message names the offending line.
+class JournalError : public Error {
+ public:
+  explicit JournalError(const std::string& what) : Error(what) {}
+};
+
+/// In-memory journal of one program execution, serializable to a text file
+/// that survives process restarts (`rfsmc inject --journal-out` /
+/// `rfsmc resume --journal`).
+class ProgramJournal {
+ public:
+  ProgramJournal() = default;
+
+  /// Records the intent: the full program, before any step runs.  Resets
+  /// the commit count.
+  void begin(const ReconfigurationProgram& program);
+
+  /// True once begin() was called.
+  bool active() const { return active_; }
+
+  /// Records that step `step` (0-based) took effect.  Steps must commit in
+  /// order, starting at the current commit count.
+  void commit(int step);
+
+  /// Number of steps known to have taken effect.
+  int committedSteps() const { return committed_; }
+
+  /// True when every step of the journaled program committed.
+  bool complete() const {
+    return active_ && committed_ == program_.length();
+  }
+
+  /// True when parse() had to drop a torn trailing record.
+  bool truncated() const { return truncated_; }
+
+  const ReconfigurationProgram& program() const { return program_; }
+
+  /// The steps that have not committed yet (the resume work list).
+  ReconfigurationProgram remainingProgram() const;
+
+  /// Serializes the journal (program text + commit records).
+  std::string serialize(const MigrationContext& context) const;
+
+  /// Parses a serialized journal.  A torn trailing commit record is
+  /// dropped (truncated() reports it); malformed content anywhere else
+  /// throws JournalError.  Program parse failures propagate as
+  /// ProgramParseError.
+  static ProgramJournal parse(const MigrationContext& context,
+                              const std::string& text);
+
+ private:
+  ReconfigurationProgram program_;
+  bool active_ = false;
+  bool truncated_ = false;
+  int committed_ = 0;
+};
+
+}  // namespace rfsm

@@ -6,14 +6,47 @@
 #include "util/metrics.hpp"
 
 namespace rfsm {
+namespace {
+
+/// ceil(log2(count)) with a 1-bit floor — the RAM word width of a field
+/// holding ids 0..count-1.
+int bitWidth(int count) {
+  int width = 1;
+  while ((1 << width) < count) ++width;
+  return width;
+}
+
+/// Bijective 64-bit mix (splitmix64 finalizer) of the packed (next, out)
+/// pair.  Bijective means distinct cell contents always map to distinct
+/// checksums: every corruption of a specified cell is detectable.
+std::uint64_t cellChecksum(SymbolId next, SymbolId out) {
+  std::uint64_t x =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(next)) << 32) |
+      static_cast<std::uint32_t>(out);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Renders a symbol id that may have been corrupted out of table range.
+std::string safeName(const SymbolTable& table, SymbolId id) {
+  if (table.contains(id)) return table.name(id);
+  return "<corrupt id " + std::to_string(id) + ">";
+}
+
+}  // namespace
 
 MutableMachine::MutableMachine(const MigrationContext& context)
-    : context_(context), state_(context.sourceReset()) {
+    : context_(context),
+      stateBits_(bitWidth(context.states().size())),
+      outputBits_(bitWidth(context.outputs().size())),
+      state_(context.sourceReset()) {
   const auto cells = static_cast<std::size_t>(context.states().size()) *
                      static_cast<std::size_t>(context.inputs().size());
   next_.assign(cells, kNoSymbol);
   out_.assign(cells, kNoSymbol);
   specified_.assign(cells, 0);
+  integrity_.assign(cells, 0);
   for (SymbolId s = 0; s < context.states().size(); ++s) {
     if (!context.inSourceStates(s)) continue;
     for (SymbolId i = 0; i < context.inputs().size(); ++i) {
@@ -22,8 +55,13 @@ MutableMachine::MutableMachine(const MigrationContext& context)
       next_[c] = context.sourceNext(i, s);
       out_[c] = context.sourceOutput(i, s);
       specified_[c] = 1;
+      reseal(c);
     }
   }
+}
+
+void MutableMachine::reseal(std::size_t c) {
+  integrity_[c] = cellChecksum(next_[c], out_[c]);
 }
 
 std::size_t MutableMachine::cell(SymbolId input, SymbolId state) const {
@@ -62,6 +100,12 @@ SymbolId MutableMachine::applyStep(const ReconfigStep& step) {
             "traverse through unspecified cell (" +
             context_.inputs().name(step.input) + ", " +
             context_.states().name(state_) + ")");
+      if (!context_.states().contains(next_[c]))
+        throw MigrationError(
+            "traverse through corrupted cell (" +
+            context_.inputs().name(step.input) + ", " +
+            context_.states().name(state_) + "): F entry " +
+            std::to_string(next_[c]) + " is not a state");
       state_ = next_[c];
       return out_[c];
     }
@@ -74,6 +118,7 @@ SymbolId MutableMachine::applyStep(const ReconfigStep& step) {
       next_[c] = step.nextState;
       out_[c] = step.output;
       specified_[c] = 1;
+      reseal(c);
       ++tableVersion_;  // the transition graph changed; BFS caches are stale
       // Write-through traversal: the machine takes the new transition in
       // the same cycle (this is what makes temporary transitions shortcuts).
@@ -91,6 +136,11 @@ void MutableMachine::applyProgram(const ReconfigurationProgram& program) {
 SymbolId MutableMachine::stepNormal(SymbolId input) {
   const std::size_t c = cell(input, state_);
   RFSM_CHECK(specified_[c] != 0, "normal step through unspecified cell");
+  if (!context_.states().contains(next_[c]))
+    throw MigrationError("normal step through corrupted cell (" +
+                         context_.inputs().name(input) + ", " +
+                         context_.states().name(state_) + "): F entry " +
+                         std::to_string(next_[c]) + " is not a state");
   const SymbolId o = out_[c];
   state_ = next_[c];
   return o;
@@ -106,7 +156,89 @@ void MutableMachine::loadCell(SymbolId input, SymbolId state,
   next_[c] = nextState;
   out_[c] = output;
   specified_[c] = 1;
+  reseal(c);
   ++tableVersion_;
+}
+
+void MutableMachine::clearCell(SymbolId input, SymbolId state) {
+  const std::size_t c = cell(input, state);
+  next_[c] = kNoSymbol;
+  out_[c] = kNoSymbol;
+  specified_[c] = 0;
+  integrity_[c] = 0;
+  ++tableVersion_;
+}
+
+void MutableMachine::corruptBit(SymbolId input, SymbolId state, int bit) {
+  RFSM_CHECK(bit >= 0 && bit < faultBitsPerCell(),
+             "corrupt bit index out of the cell word");
+  const std::size_t c = cell(input, state);
+  if (bit < stateBits_)
+    next_[c] ^= SymbolId{1} << bit;
+  else
+    out_[c] ^= SymbolId{1} << (bit - stateBits_);
+  // No reseal: the damage is silent at the RAM level.  The version bump
+  // only keeps the software BFS cache coherent with the stored words.
+  ++tableVersion_;
+}
+
+std::vector<TotalState> MutableMachine::integrityScan() const {
+  static metrics::Counter& scans = metrics::counter(metrics::kIntegrityScans);
+  scans.add();
+  std::vector<TotalState> corrupted;
+  for (SymbolId s = 0; s < context_.states().size(); ++s) {
+    for (SymbolId i = 0; i < context_.inputs().size(); ++i) {
+      const std::size_t c = cell(i, s);
+      if (specified_[c] == 0) continue;
+      if (integrity_[c] != cellChecksum(next_[c], out_[c]))
+        corrupted.push_back(TotalState{i, s});
+    }
+  }
+  return corrupted;
+}
+
+MutableMachine::TableImage MutableMachine::checkpoint() const {
+  return TableImage{next_, out_, specified_, integrity_, state_};
+}
+
+void MutableMachine::restore(const TableImage& image) {
+  RFSM_CHECK(image.next.size() == next_.size() &&
+                 image.out.size() == out_.size() &&
+                 image.specified.size() == specified_.size() &&
+                 image.integrity.size() == integrity_.size(),
+             "restoring a checkpoint of a different machine");
+  RFSM_CHECK(context_.states().contains(image.state),
+             "restoring a checkpoint with an invalid state");
+  next_ = image.next;
+  out_ = image.out;
+  specified_ = image.specified;
+  integrity_ = image.integrity;
+  state_ = image.state;
+  ++tableVersion_;
+}
+
+bool MutableMachine::matchesSource(std::string* reason) const {
+  const Machine& source = context_.sourceMachine();
+  for (SymbolId s = 0; s < source.stateCount(); ++s) {
+    const SymbolId ss = context_.liftSourceState(s);
+    for (SymbolId i = 0; i < source.inputCount(); ++i) {
+      const SymbolId si = context_.liftSourceInput(i);
+      const std::size_t c = cell(si, ss);
+      const SymbolId wantNext = context_.sourceNext(si, ss);
+      const SymbolId wantOut = context_.sourceOutput(si, ss);
+      const bool ok = specified_[c] != 0 && next_[c] == wantNext &&
+                      out_[c] == wantOut;
+      if (!ok) {
+        if (reason != nullptr)
+          *reason = "cell (" + context_.inputs().name(si) + ", " +
+                    context_.states().name(ss) + ") does not hold M's (" +
+                    safeName(context_.states(), wantNext) + ", " +
+                    safeName(context_.outputs(), wantOut) + ")";
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 std::optional<SymbolId> MutableMachine::edgeInput(SymbolId from,
@@ -146,6 +278,9 @@ const MutableMachine::BfsEntry& MutableMachine::bfsFrom(SymbolId from) const {
       const std::size_t c = cell(i, u);
       if (specified_[c] == 0) continue;
       const SymbolId v = next_[c];
+      // A corrupted F entry may point outside the state alphabet; treat the
+      // edge as missing rather than indexing out of bounds.
+      if (!context_.states().contains(v)) continue;
       if (entry.dist[static_cast<std::size_t>(v)] != -1) continue;
       entry.dist[static_cast<std::size_t>(v)] =
           entry.dist[static_cast<std::size_t>(u)] + 1;
@@ -194,8 +329,9 @@ bool MutableMachine::matchesTarget(std::string* reason) const {
           if (specified_[c] == 0) {
             *reason += "is unspecified";
           } else {
-            *reason += "holds (" + context_.states().name(next_[c]) + ", " +
-                       context_.outputs().name(out_[c]) + ") but M' wants (" +
+            *reason += "holds (" + safeName(context_.states(), next_[c]) +
+                       ", " + safeName(context_.outputs(), out_[c]) +
+                       ") but M' wants (" +
                        context_.states().name(wantNext) + ", " +
                        context_.outputs().name(wantOut) + ")";
           }

@@ -66,6 +66,60 @@ class MutableMachine {
   void loadCell(SymbolId input, SymbolId state, SymbolId nextState,
                 SymbolId output);
 
+  /// Marks a cell unspecified (deactivates a damaged cell).  Reads of the
+  /// cell fail afterwards, exactly like a freshly allocated RAM row.
+  void clearCell(SymbolId input, SymbolId state);
+
+  // --- Fault model ------------------------------------------------------
+  //
+  // The F/G tables live in block RAM, which takes SEU bit flips in the
+  // field.  corruptBit() is the SEU back door: unlike loadCell it does NOT
+  // refresh the per-cell integrity checksum, so the damage is *silent* at
+  // the RAM level and must be found by integrityScan().  The checksum is a
+  // bijective 64-bit mix of the packed (next, output) word, so any
+  // corruption of a specified cell's contents is detected — there are no
+  // collisions to get lucky with.
+
+  /// Bits of the stored cell word the fault model may flip: the state-code
+  /// width (low bits, F entry) followed by the output-code width (G entry).
+  int faultBitsPerCell() const { return stateBits_ + outputBits_; }
+
+  /// Flips one bit of cell (input, state): bit < stateBits flips the F
+  /// entry, higher bits flip the G entry.  Does not touch the specified
+  /// flag or the checksum.  Bumps the table version (the software BFS cache
+  /// must stay coherent with the stored words; the *checksum* is what stays
+  /// silently stale, as in hardware).
+  void corruptBit(SymbolId input, SymbolId state, int bit);
+
+  /// Cells whose stored words no longer match their integrity checksum
+  /// (unspecified cells are skipped — they are never readable).  Ordered by
+  /// (state, input).
+  std::vector<TotalState> integrityScan() const;
+
+  /// Monotonic counter bumped on every table write; lets verifiers skip
+  /// re-checking an unchanged table.
+  std::uint64_t tableVersion() const { return tableVersion_; }
+
+  // --- Checkpoint / rollback -------------------------------------------
+
+  /// A full copy of the table contents (the golden image a recovery can
+  /// roll back to).
+  struct TableImage {
+    std::vector<SymbolId> next, out;
+    std::vector<char> specified;
+    std::vector<std::uint64_t> integrity;
+    SymbolId state = kNoSymbol;
+  };
+
+  TableImage checkpoint() const;
+  /// Restores a checkpoint taken from this machine; bumps the version.
+  void restore(const TableImage& image);
+
+  /// True when the machine realizes the *source* machine M on the whole
+  /// source domain (the clean-rollback criterion).  On mismatch fills
+  /// `reason` (when non-null).
+  bool matchesSource(std::string* reason = nullptr) const;
+
   /// If there is a specified transition state -> `to`, returns one input
   /// selecting it (lowest id); otherwise nullopt.
   std::optional<SymbolId> edgeInput(SymbolId from, SymbolId to) const;
@@ -106,9 +160,15 @@ class MutableMachine {
   /// The cached BFS tree rooted at `from` (recomputed on version mismatch).
   const BfsEntry& bfsFrom(SymbolId from) const;
 
+  /// Refreshes the integrity checksum of cell `c` (authorized writes only).
+  void reseal(std::size_t c);
+
   const MigrationContext& context_;
   std::vector<SymbolId> next_, out_;
   std::vector<char> specified_;
+  /// Per-cell checksum of (next_, out_), maintained by authorized writes.
+  std::vector<std::uint64_t> integrity_;
+  int stateBits_ = 1, outputBits_ = 1;
   SymbolId state_;
   /// Bumped on every table write; 0 marks a BfsEntry as never computed.
   std::uint64_t tableVersion_ = 1;

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "core/migration.hpp"
+#include "util/strings.hpp"
 
 namespace rfsm {
 
@@ -78,6 +79,123 @@ std::string describeProgram(const MigrationContext& context,
   for (std::size_t k = 0; k < program.steps.size(); ++k)
     os << "z" << k << ": " << describeStep(context, program.steps[k]) << "\n";
   return os.str();
+}
+
+std::string programToText(const MigrationContext& context,
+                          const ReconfigurationProgram& program) {
+  std::ostringstream os;
+  os << "rfsm-program v1\n";
+  os << "steps " << program.length() << "\n";
+  for (const ReconfigStep& step : program.steps) {
+    switch (step.kind) {
+      case StepKind::kReset:
+        os << "reset\n";
+        break;
+      case StepKind::kTraverse:
+        os << "traverse " << context.inputs().name(step.input) << "\n";
+        break;
+      case StepKind::kRewrite:
+        os << (step.temporary ? "rewrite! " : "rewrite ")
+           << context.inputs().name(step.input) << " "
+           << context.states().name(step.nextState) << " "
+           << context.outputs().name(step.output) << "\n";
+        break;
+    }
+  }
+  os << "end\n";
+  return os.str();
+}
+
+namespace {
+
+[[noreturn]] void parseFail(int line, const std::string& what) {
+  throw ProgramParseError("program line " + std::to_string(line) + ": " +
+                          what);
+}
+
+SymbolId resolve(const SymbolTable& table, const std::string& name,
+                 const char* what, int line) {
+  const auto id = table.find(name);
+  if (!id.has_value())
+    parseFail(line, std::string(what) + " '" + name +
+                        "' is not in the superset alphabet");
+  return *id;
+}
+
+}  // namespace
+
+ReconfigurationProgram programFromText(const MigrationContext& context,
+                                       const std::string& text) {
+  std::istringstream in(text);
+  std::string rawLine;
+  int lineNo = 0;
+  bool sawHeader = false, sawEnd = false;
+  long long declaredSteps = -1;
+  ReconfigurationProgram program;
+  while (std::getline(in, rawLine)) {
+    ++lineNo;
+    std::string line = trim(rawLine);
+    if (auto hash = line.find('#'); hash != std::string::npos)
+      line = trim(line.substr(0, hash));
+    if (line.empty()) continue;
+    if (sawEnd) parseFail(lineNo, "content after 'end'");
+    if (!sawHeader) {
+      if (line != "rfsm-program v1")
+        parseFail(lineNo, "expected header 'rfsm-program v1'");
+      sawHeader = true;
+      continue;
+    }
+    const auto tokens = splitWhitespace(line);
+    if (tokens[0] == "steps") {
+      if (declaredSteps >= 0) parseFail(lineNo, "duplicate 'steps' line");
+      if (tokens.size() != 2) parseFail(lineNo, "usage: steps <n>");
+      try {
+        declaredSteps = std::stoll(tokens[1]);
+      } catch (const std::exception&) {
+        parseFail(lineNo, "bad step count '" + tokens[1] + "'");
+      }
+      if (declaredSteps < 0)
+        parseFail(lineNo, "negative step count");
+      continue;
+    }
+    if (tokens[0] == "end") {
+      if (tokens.size() != 1) parseFail(lineNo, "trailing tokens after 'end'");
+      sawEnd = true;
+      continue;
+    }
+    if (tokens[0] == "reset") {
+      if (tokens.size() != 1)
+        parseFail(lineNo, "trailing tokens after 'reset'");
+      program.steps.push_back(ReconfigStep::reset());
+    } else if (tokens[0] == "traverse") {
+      if (tokens.size() != 2) parseFail(lineNo, "usage: traverse <input>");
+      program.steps.push_back(ReconfigStep::traverse(
+          resolve(context.inputs(), tokens[1], "input", lineNo)));
+    } else if (tokens[0] == "rewrite" || tokens[0] == "rewrite!") {
+      if (tokens.size() != 4)
+        parseFail(lineNo,
+                  "usage: " + tokens[0] + " <input> <next-state> <output>");
+      program.steps.push_back(ReconfigStep::rewrite(
+          resolve(context.inputs(), tokens[1], "input", lineNo),
+          resolve(context.states(), tokens[2], "next-state", lineNo),
+          resolve(context.outputs(), tokens[3], "output", lineNo),
+          /*temporary=*/tokens[0] == "rewrite!"));
+    } else {
+      parseFail(lineNo, "unknown step '" + tokens[0] + "'");
+    }
+  }
+  if (!sawHeader)
+    throw ProgramParseError("program line 1: missing 'rfsm-program v1' header");
+  if (!sawEnd)
+    throw ProgramParseError("program line " + std::to_string(lineNo) +
+                            ": truncated (missing 'end')");
+  if (declaredSteps < 0)
+    throw ProgramParseError("program: missing 'steps' line");
+  if (declaredSteps != program.length())
+    throw ProgramParseError(
+        "program: declared " + std::to_string(declaredSteps) +
+        " steps but found " + std::to_string(program.length()));
+  return program;
 }
 
 }  // namespace rfsm

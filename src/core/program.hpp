@@ -15,10 +15,18 @@
 #include <vector>
 
 #include "fsm/machine.hpp"
+#include "util/check.hpp"
 
 namespace rfsm {
 
 class MigrationContext;
+
+/// Thrown by programFromText on malformed program files; the message names
+/// the offending line.
+class ProgramParseError : public Error {
+ public:
+  explicit ProgramParseError(const std::string& what) : Error(what) {}
+};
 
 /// Kind of a single reconfiguration step.
 enum class StepKind { kReset, kTraverse, kRewrite };
@@ -65,5 +73,29 @@ std::string describeStep(const MigrationContext& context,
 /// Pretty-prints a whole program, one step per line.
 std::string describeProgram(const MigrationContext& context,
                             const ReconfigurationProgram& program);
+
+// --- Text exchange format ------------------------------------------------
+//
+//   rfsm-program v1
+//   steps <n>
+//   reset
+//   traverse <input>
+//   rewrite <input> <next-state> <output>
+//   rewrite! <input> <next-state> <output>      (temporary transition)
+//   end
+//
+// Symbols are superset-alphabet names, resolved (and range-checked) against
+// the migration context at parse time; `rfsmc migrate --program-out`
+// produces it and `rfsmc inject/resume` consume it.
+
+/// Renders `program` in the text format above.
+std::string programToText(const MigrationContext& context,
+                          const ReconfigurationProgram& program);
+
+/// Parses the text format.  Throws ProgramParseError (never a contract
+/// violation) on malformed, truncated, or out-of-alphabet input, naming the
+/// first offending line.
+ReconfigurationProgram programFromText(const MigrationContext& context,
+                                       const std::string& text);
 
 }  // namespace rfsm

@@ -1,0 +1,299 @@
+#include "core/recovery.hpp"
+
+#include <algorithm>
+
+#include "core/apply.hpp"
+#include "core/repair.hpp"
+#include "util/metrics.hpp"
+
+namespace rfsm {
+namespace {
+
+/// The (input, state) coordinates of a flat fault-geometry cell index
+/// (cell = state * |I_super| + input, the MutableMachine layout).
+TotalState toCoords(const MigrationContext& context, std::size_t cell) {
+  const auto inputs = static_cast<std::size_t>(context.inputs().size());
+  return TotalState{static_cast<SymbolId>(cell % inputs),
+                    static_cast<SymbolId>(cell / inputs)};
+}
+
+/// Fired stuck-at faults: a stuck cell re-corrupts after every authorized
+/// write that lands on it, which is what makes patching futile and forces
+/// the degradation to rollback.
+class StickySet {
+ public:
+  void fire(const fault::CellFault& f) { faults_.push_back(f); }
+
+  /// Re-damages cell (input, state) if a fired stuck-at fault targets it.
+  void onCellWrite(MutableMachine& machine, SymbolId input,
+                   SymbolId state) const {
+    for (const fault::CellFault& f : faults_) {
+      const TotalState at = toCoords(machine.context(), f.cell);
+      if (at.input == input && at.state == state &&
+          machine.isSpecified(input, state))
+        machine.corruptBit(input, state, f.bit);
+    }
+  }
+
+  /// Re-damages every specified stuck cell (after a bulk restore).
+  void onBulkWrite(MutableMachine& machine) const {
+    for (const fault::CellFault& f : faults_) {
+      const TotalState at = toCoords(machine.context(), f.cell);
+      if (machine.isSpecified(at.input, at.state))
+        machine.corruptBit(at.input, at.state, f.bit);
+    }
+  }
+
+ private:
+  std::vector<fault::CellFault> faults_;
+};
+
+void applyFlip(MutableMachine& machine, const fault::CellFault& flip,
+               StickySet& sticky) {
+  static metrics::Counter& injected =
+      metrics::counter(metrics::kFaultsInjected);
+  const TotalState at = toCoords(machine.context(), flip.cell);
+  machine.corruptBit(at.input, at.state, flip.bit);
+  injected.add();
+  if (flip.sticky) sticky.fire(flip);
+}
+
+/// Executes one step, re-applying stuck-at damage when the step writes a
+/// stuck cell.  Returns false (filling `error`) on an unexecutable step.
+bool executeStep(MutableMachine& machine, const ReconfigStep& step,
+                 const StickySet& sticky, GuardedMigrationReport& report,
+                 std::string& error) {
+  const SymbolId before = machine.state();
+  try {
+    machine.applyStep(step);
+  } catch (const MigrationError& e) {
+    error = e.what();
+    return false;
+  }
+  ++report.executedCycles;
+  if (step.kind == StepKind::kRewrite)
+    sticky.onCellWrite(machine, step.input, before);
+  return true;
+}
+
+/// Scrub + planRepair with bounded exponential-backoff retries.  Returns
+/// true once the verifier passes.
+bool patchLoop(MutableMachine& machine, const RecoveryOptions& options,
+               const StickySet& sticky, OnlineVerifier& verifier,
+               GuardedMigrationReport& report) {
+  static metrics::Counter& patches =
+      metrics::counter(metrics::kRecoveryPatches);
+  const MigrationContext& context = machine.context();
+  for (int attempt = 0; attempt < options.maxAttempts; ++attempt) {
+    report.backoffCycles += options.backoffBaseCycles << attempt;
+
+    // Scrub: deactivate every corrupted cell.  Target-domain cells become
+    // remaining deltas, so the patch rewrites (and reseals) them; cells
+    // outside the target domain are never read by M' and stay deactivated.
+    for (const TotalState& at : machine.integrityScan()) {
+      const bool inDomain = context.inTargetInputs(at.input) &&
+                            context.inTargetStates(at.state);
+      if (!inDomain && !options.scrubOutOfDomain) continue;
+      machine.clearCell(at.input, at.state);
+      if (!inDomain) ++report.cellsScrubbed;
+    }
+
+    const int missing = static_cast<int>(remainingDeltas(machine).size());
+    const ReconfigurationProgram patch =
+        planRepair(machine, options.tempInput);
+    ++report.patchAttempts;
+    patches.add();
+    std::string stepError;
+    bool executed = true;
+    for (const ReconfigStep& step : patch.steps) {
+      if (!executeStep(machine, step, sticky, report, stepError)) {
+        executed = false;
+        break;
+      }
+    }
+    if (!executed) {
+      report.detail += "patch attempt " + std::to_string(attempt + 1) +
+                       " aborted (" + stepError + "); ";
+      continue;
+    }
+    report.cellsPatched += missing;
+    const OnlineVerifier::Outcome& verdict = verifier.verify(machine);
+    if (verdict.ok) return true;
+    report.detail += "patch attempt " + std::to_string(attempt + 1) +
+                     " left damage (" + verdict.reason + "); ";
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* toString(MigrationOutcome outcome) {
+  switch (outcome) {
+    case MigrationOutcome::kVerified:
+      return "verified";
+    case MigrationOutcome::kRolledBack:
+      return "rolled-back";
+    case MigrationOutcome::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+GuardedMigrationReport runGuardedMigration(MutableMachine& machine,
+                                           const ReconfigurationProgram& program,
+                                           const fault::FaultScenario& scenario,
+                                           const RecoveryOptions& options,
+                                           ProgramJournal* journal) {
+  static metrics::Counter& resumes =
+      metrics::counter(metrics::kRecoveryResumes);
+  static metrics::Counter& rollbacks =
+      metrics::counter(metrics::kRecoveryRollbacks);
+
+  GuardedMigrationReport report;
+  const MutableMachine::TableImage golden = machine.checkpoint();
+  StickySet sticky;
+  OnlineVerifier verifier(options.conformanceCheck);
+  const int length = program.length();
+
+  // WAL discipline: intent (the full program) is recorded before the first
+  // table write.  A journal already carrying a committed prefix of this
+  // very program means we are the post-crash recovery run: skip the steps
+  // known to have taken effect.
+  int start = 0;
+  if (journal != nullptr) {
+    if (journal->active() && journal->program().steps == program.steps &&
+        journal->committedSteps() > 0 && !journal->complete()) {
+      start = journal->committedSteps();
+      report.resumed = true;
+      resumes.add();
+      report.detail += "resumed after journaled step " +
+                       std::to_string(start - 1) + "; ";
+    } else {
+      journal->begin(program);
+    }
+  }
+
+  // Flips land *before* their step index runs; a cursor over the sorted
+  // schedule guarantees each flip is applied exactly once even when the
+  // execution is interrupted and resumed.
+  std::vector<fault::CellFault> flips = scenario.flips;
+  std::stable_sort(flips.begin(), flips.end(),
+                   [](const fault::CellFault& a, const fault::CellFault& b) {
+                     return a.atStep < b.atStep;
+                   });
+  std::size_t cursor = 0;
+  auto injectBefore = [&](int step) {
+    while (cursor < flips.size() && flips[cursor].atStep <= step)
+      applyFlip(machine, flips[cursor++], sticky);
+  };
+  auto injectRemaining = [&] {
+    while (cursor < flips.size()) applyFlip(machine, flips[cursor++], sticky);
+  };
+
+  std::string stepError;
+  bool stepFailed = false;
+  bool aborted = false;
+  int k = start;
+  for (; k < length; ++k) {
+    injectBefore(k);
+    if (scenario.abortAtStep.has_value() && *scenario.abortAtStep == k) {
+      aborted = true;
+      break;
+    }
+    if (!executeStep(machine, program.steps[k], sticky, report, stepError)) {
+      stepFailed = true;
+      break;
+    }
+    if (journal != nullptr) journal->commit(k);
+  }
+
+  if (aborted) {
+    // Power loss.  The device comes back with the table exactly as the
+    // committed prefix left it; with a journal the recovery engine replays
+    // the remainder, without one it falls through to replanning below.
+    report.faultDetected = true;
+    report.detail +=
+        "power loss before step " + std::to_string(k) + "; ";
+    if (journal != nullptr) {
+      report.resumed = true;
+      resumes.add();
+      report.detail += "resuming journaled remainder; ";
+      for (; k < length; ++k) {
+        injectBefore(k);
+        if (!executeStep(machine, program.steps[k], sticky, report,
+                         stepError)) {
+          stepFailed = true;
+          break;
+        }
+        journal->commit(k);
+      }
+    }
+  }
+  if (stepFailed) {
+    report.faultDetected = true;
+    report.detail += "step " + std::to_string(k) + " not executable (" +
+                     stepError + "); ";
+  }
+  if (k == length) injectRemaining();
+  report.journalCommitted =
+      journal != nullptr ? journal->committedSteps() : k;
+
+  const OnlineVerifier::Outcome& verdict = verifier.verify(machine);
+  if (verdict.ok) {
+    report.outcome = MigrationOutcome::kVerified;
+    report.detail += "verified";
+    return report;
+  }
+  report.faultDetected = true;
+  report.detail += "verification failed (" + verdict.reason + "); ";
+
+  if (patchLoop(machine, options, sticky, verifier, report)) {
+    report.outcome = MigrationOutcome::kVerified;
+    report.detail += "patched and verified";
+    return report;
+  }
+
+  // Degrade to rollback: restore the pre-migration checkpoint and prove
+  // the machine realizes the source again.
+  rollbacks.add();
+  machine.restore(golden);
+  sticky.onBulkWrite(machine);
+  std::string why;
+  const std::size_t survivors = machine.integrityScan().size();
+  if (survivors == 0 && machine.matchesSource(&why)) {
+    report.outcome = MigrationOutcome::kRolledBack;
+    report.detail += "rolled back to the verified source machine";
+  } else {
+    report.outcome = MigrationOutcome::kFailed;
+    if (survivors != 0)
+      why = std::to_string(survivors) +
+            " corrupted cell(s) survive the rollback (stuck-at)";
+    report.detail += "rollback not clean (" + why + ")";
+  }
+  return report;
+}
+
+GuardedMigrationReport repairToTarget(MutableMachine& machine,
+                                      const RecoveryOptions& options) {
+  GuardedMigrationReport report;
+  StickySet sticky;  // no injected scenario: nothing is stuck
+  OnlineVerifier verifier(options.conformanceCheck);
+  const OnlineVerifier::Outcome& verdict = verifier.verify(machine);
+  if (verdict.ok) {
+    report.outcome = MigrationOutcome::kVerified;
+    report.detail = "already verified";
+    return report;
+  }
+  report.faultDetected = true;
+  report.detail = "verification failed (" + verdict.reason + "); ";
+  if (patchLoop(machine, options, sticky, verifier, report)) {
+    report.outcome = MigrationOutcome::kVerified;
+    report.detail += "patched and verified";
+  } else {
+    report.outcome = MigrationOutcome::kFailed;
+    report.detail += "patching failed";
+  }
+  return report;
+}
+
+}  // namespace rfsm

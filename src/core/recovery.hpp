@@ -1,0 +1,99 @@
+// Guarded migration: fault injection, detection, and recovery around a
+// reconfiguration program.
+//
+// A live reconfiguration can be disturbed in two ways (util/fault.hpp):
+// power loss cuts the program short, and SEU bit flips silently corrupt
+// F/G RAM cells.  runGuardedMigration executes a program under such a
+// scenario and then *guarantees* one of three outcomes:
+//  * kVerified   — the machine provably realizes M' (integrity scan +
+//                  table check + optional W-method conformance),
+//  * kRolledBack — recovery failed, but the machine was restored to a
+//                  verified copy of the source machine M, or
+//  * kFailed     — neither could be established (e.g. a stuck-at fault
+//                  inside the source domain); the report says why.
+// There is no fourth, silent-corruption outcome: every path re-verifies.
+//
+// Recovery escalates: resume the journaled remainder after an abort, then
+// bounded retry of *patch* programs (planRepair: temporary transitions
+// around damaged cells, corrupted cells scrubbed first), each attempt
+// preceded by an exponential backoff in simulated cycles, and finally a
+// rollback to the pre-migration checkpoint.
+#pragma once
+
+#include <string>
+
+#include "core/journal.hpp"
+#include "core/migration.hpp"
+#include "core/mutable_machine.hpp"
+#include "core/program.hpp"
+#include "util/fault.hpp"
+
+namespace rfsm {
+
+/// Knobs of the recovery engine.
+struct RecoveryOptions {
+  /// Patch attempts before degrading to rollback.
+  int maxAttempts = 3;
+  /// Backoff before patch attempt k costs backoffBaseCycles << k simulated
+  /// cycles (no wall clock — results must be bit-identical across runs).
+  int backoffBaseCycles = 8;
+  /// Temporary-transition input for planRepair (kNoSymbol = planner picks).
+  SymbolId tempInput = kNoSymbol;
+  /// Run a W-method conformance suite on top of the table check (skipped
+  /// with a note when the target machine is not minimal).
+  bool conformanceCheck = true;
+  /// Deactivate corrupted cells outside the target domain instead of
+  /// leaving stale garbage behind.
+  bool scrubOutOfDomain = true;
+};
+
+/// How a guarded migration ended.
+enum class MigrationOutcome { kVerified, kRolledBack, kFailed };
+
+const char* toString(MigrationOutcome outcome);
+
+/// Full account of one guarded migration.
+struct GuardedMigrationReport {
+  MigrationOutcome outcome = MigrationOutcome::kFailed;
+  /// A disturbance was *observed* (integrity scan hit, table mismatch, or
+  /// an unexecutable step) — not merely injected.
+  bool faultDetected = false;
+  /// Execution continued from a journaled prefix after an abort.
+  bool resumed = false;
+  int patchAttempts = 0;
+  /// Damaged/missing target-domain cells rewritten by patch programs.
+  int cellsPatched = 0;
+  /// Corrupted out-of-domain cells deactivated by the scrubber.
+  int cellsScrubbed = 0;
+  /// Simulated cycles spent backing off between patch attempts.
+  int backoffCycles = 0;
+  /// Program + patch steps actually executed (one cycle each).
+  int executedCycles = 0;
+  /// Steps of the original program known committed (journal, or executed).
+  int journalCommitted = 0;
+  /// Human-readable story: what was detected and how it was handled.
+  std::string detail;
+
+  bool silentCorruption() const {
+    return outcome == MigrationOutcome::kFailed;
+  }
+};
+
+/// Executes `program` on `machine` under `scenario`, detecting and
+/// recovering from the injected faults.  When `journal` is non-null it
+/// follows WAL discipline: intent before execution, a commit per step.  A
+/// journal that is already active with the same program resumes from its
+/// committed prefix (the machine must be in the matching post-prefix
+/// state, e.g. reconstructed by replaying the prefix).
+GuardedMigrationReport runGuardedMigration(
+    MutableMachine& machine, const ReconfigurationProgram& program,
+    const fault::FaultScenario& scenario, const RecoveryOptions& options = {},
+    ProgramJournal* journal = nullptr);
+
+/// The patch half on its own: from whatever state/damage `machine` is in,
+/// scrub + planRepair + verify with bounded retries (no rollback — the
+/// caller owns the checkpoint).  Outcome is kVerified or kFailed.
+GuardedMigrationReport repairToTarget(MutableMachine& machine,
+                                      const RecoveryOptions& options = {});
+
+}  // namespace rfsm

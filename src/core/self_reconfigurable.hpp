@@ -54,6 +54,16 @@ class SelfReconfigurableMachine {
   SymbolId state() const { return machine_.state(); }
   const MutableMachine& machine() const { return machine_; }
 
+  /// Mutable access for fault injection and recovery (checkpoint/restore,
+  /// corruptBit, integrityScan); normal operation should go through
+  /// clock()/enqueueProgram().
+  MutableMachine& mutableMachine() { return machine_; }
+
+  /// Drops the playing and queued programs (the power-loss model: the
+  /// Reconfigurator forgets its remaining steps).  The table keeps whatever
+  /// the executed prefix wrote.
+  void abortReconfiguration() { pending_.clear(); }
+
   /// Total cycles spent reconfiguring so far.
   int reconfigurationCycles() const { return reconfigurationCycles_; }
 

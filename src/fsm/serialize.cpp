@@ -62,11 +62,17 @@ class JsonReader {
   JsonValue parse() {
     JsonValue value = parseValue();
     skipSpace();
-    if (pos_ != text_.size()) throw FsmError("JSON: trailing characters");
+    if (pos_ != text_.size()) fail("trailing characters");
     return value;
   }
 
  private:
+  /// All reader errors carry the byte offset of the failure, so a corrupt
+  /// file report can point at the damage.
+  [[noreturn]] void fail(const std::string& what) const {
+    throw FsmError("JSON: " + what + " at offset " + std::to_string(pos_));
+  }
+
   void skipSpace() {
     while (pos_ < text_.size() &&
            std::isspace(static_cast<unsigned char>(text_[pos_])))
@@ -75,13 +81,12 @@ class JsonReader {
 
   char peek() {
     skipSpace();
-    if (pos_ >= text_.size()) throw FsmError("JSON: unexpected end of input");
+    if (pos_ >= text_.size()) fail("unexpected end of input");
     return text_[pos_];
   }
 
   void expect(char c) {
-    if (peek() != c)
-      throw FsmError(std::string("JSON: expected '") + c + "'");
+    if (peek() != c) fail(std::string("expected '") + c + "'");
     ++pos_;
   }
 
@@ -90,7 +95,7 @@ class JsonReader {
       case '"': return JsonValue{parseString()};
       case '[': return JsonValue{parseArray()};
       case '{': return JsonValue{parseObject()};
-      default: throw FsmError("JSON: unsupported value");
+      default: fail("unsupported value");
     }
   }
 
@@ -100,7 +105,7 @@ class JsonReader {
     while (pos_ < text_.size() && text_[pos_] != '"') {
       char c = text_[pos_++];
       if (c == '\\') {
-        if (pos_ >= text_.size()) throw FsmError("JSON: bad escape");
+        if (pos_ >= text_.size()) fail("bad escape");
         char e = text_[pos_++];
         switch (e) {
           case 'n': out += '\n'; break;
@@ -111,7 +116,7 @@ class JsonReader {
         out += c;
       }
     }
-    if (pos_ >= text_.size()) throw FsmError("JSON: unterminated string");
+    if (pos_ >= text_.size()) fail("unterminated string");
     ++pos_;  // closing quote
     return out;
   }

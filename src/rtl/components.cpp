@@ -1,6 +1,14 @@
 #include "rtl/components.hpp"
 
+#include <bit>
+
 namespace rfsm::rtl {
+
+namespace {
+char parityOf(std::uint64_t word) {
+  return static_cast<char>(std::popcount(word) & 1);
+}
+}  // namespace
 
 Mux2::Mux2(WireId sel, WireId a, WireId b, WireId out)
     : sel_(sel), a_(a), b_(b), out_(out) {}
@@ -51,6 +59,7 @@ Ram::Ram(int addressWidth, WireId addr, WireId we, WireId wdata, WireId rdata)
   RFSM_CHECK(addressWidth >= 1 && addressWidth <= 24,
              "RAM address width out of range");
   storage_.assign(std::size_t{1} << addressWidth, 0);
+  parity_.assign(storage_.size(), 0);
 }
 
 void Ram::evaluate(Circuit& circuit) {
@@ -69,17 +78,38 @@ void Ram::clockEdge(Circuit& circuit) {
     const std::size_t address =
         static_cast<std::size_t>(circuit.peek(addr_)) % storage_.size();
     storage_[address] = circuit.peek(wdata_);
+    parity_[address] = parityOf(storage_[address]);
   }
 }
 
 void Ram::load(std::size_t address, std::uint64_t value) {
   RFSM_CHECK(address < storage_.size(), "RAM load address out of range");
   storage_[address] = value;
+  parity_[address] = parityOf(value);
 }
 
 std::uint64_t Ram::inspect(std::size_t address) const {
   RFSM_CHECK(address < storage_.size(), "RAM inspect address out of range");
   return storage_[address];
+}
+
+void Ram::corrupt(std::size_t address, int bit) {
+  RFSM_CHECK(address < storage_.size(), "RAM corrupt address out of range");
+  RFSM_CHECK(bit >= 0 && bit < 64, "RAM corrupt bit out of range");
+  // Storage only — the stale parity bit is how parityScan finds the hit.
+  storage_[address] ^= std::uint64_t{1} << bit;
+}
+
+bool Ram::parityOk(std::size_t address) const {
+  RFSM_CHECK(address < storage_.size(), "RAM parity address out of range");
+  return parity_[address] == parityOf(storage_[address]);
+}
+
+std::vector<std::size_t> Ram::parityScan() const {
+  std::vector<std::size_t> bad;
+  for (std::size_t a = 0; a < storage_.size(); ++a)
+    if (parity_[a] != parityOf(storage_[a])) bad.push_back(a);
+  return bad;
 }
 
 }  // namespace rfsm::rtl

@@ -70,6 +70,12 @@ class Register : public Component {
 
 /// Single-port RAM: combinational read at `addr`, synchronous write of
 /// `wdata` when `we` is high (WRITE_FIRST read-during-write).
+///
+/// Every row carries a parity bit maintained by authorized writes (port
+/// writes and load()).  corrupt() models an SEU: it flips a storage bit
+/// *without* touching the parity, so the damage is invisible to the
+/// datapath but caught by parityOk()/parityScan() — the hardware analogue
+/// of MutableMachine's per-cell checksums.
 class Ram : public Component {
  public:
   /// `addressWidth` fixes the depth to 2^addressWidth words.
@@ -84,9 +90,20 @@ class Ram : public Component {
   std::uint64_t inspect(std::size_t address) const;
   std::size_t depth() const { return storage_.size(); }
 
+  /// SEU back door: flips bit `bit` of row `address`, leaving the row's
+  /// parity stale.
+  void corrupt(std::size_t address, int bit);
+
+  /// True when row `address` still matches its parity bit.
+  bool parityOk(std::size_t address) const;
+
+  /// Addresses of every row whose parity no longer matches, ascending.
+  std::vector<std::size_t> parityScan() const;
+
  private:
   WireId addr_, we_, wdata_, rdata_;
   std::vector<std::uint64_t> storage_;
+  std::vector<char> parity_;
 };
 
 }  // namespace rfsm::rtl

@@ -188,4 +188,30 @@ SymbolId ReconfigurableFsmDatapath::gramEntry(SymbolId input,
       static_cast<std::size_t>(encoding_.packAddress(state, input))));
 }
 
+void ReconfigurableFsmDatapath::injectFault(SymbolId input, SymbolId state,
+                                            int bit) {
+  RFSM_CHECK(context_.inputs().contains(input), "fault input out of range");
+  RFSM_CHECK(context_.states().contains(state), "fault state out of range");
+  RFSM_CHECK(bit >= 0 && bit < faultBitsPerCell(),
+             "fault bit outside the cell word");
+  const auto address = static_cast<std::size_t>(encoding_.packAddress(state, input));
+  if (bit < encoding_.stateWidth)
+    fram_->corrupt(address, bit);
+  else
+    gram_->corrupt(address, bit - encoding_.stateWidth);
+}
+
+std::vector<TotalState> ReconfigurableFsmDatapath::integrityScan() const {
+  std::vector<TotalState> corrupted;
+  for (SymbolId s = 0; s < context_.states().size(); ++s) {
+    for (SymbolId i = 0; i < context_.inputs().size(); ++i) {
+      const auto address =
+          static_cast<std::size_t>(encoding_.packAddress(s, i));
+      if (!fram_->parityOk(address) || !gram_->parityOk(address))
+        corrupted.push_back(TotalState{i, s});
+    }
+  }
+  return corrupted;
+}
+
 }  // namespace rfsm::rtl

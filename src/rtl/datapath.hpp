@@ -96,6 +96,22 @@ class ReconfigurableFsmDatapath {
   SymbolId framEntry(SymbolId input, SymbolId state) const;
   SymbolId gramEntry(SymbolId input, SymbolId state) const;
 
+  /// Bits of cell (input, state) the fault model may flip: the F-RAM row
+  /// (state-code width, low bits) followed by the G-RAM row.
+  int faultBitsPerCell() const {
+    return encoding_.stateWidth + encoding_.outputWidth;
+  }
+
+  /// SEU back door: flips one bit of cell (input, state) — bit <
+  /// stateWidth lands in F-RAM, higher bits in G-RAM — leaving the row
+  /// parity stale (the flip is silent to the datapath).
+  void injectFault(SymbolId input, SymbolId state, int bit);
+
+  /// Cells whose F-RAM or G-RAM row fails its parity check, ordered by
+  /// (state, input).  Only cells of the superset alphabets are scanned
+  /// (other rows are never addressed).
+  std::vector<TotalState> integrityScan() const;
+
   std::int64_t cycleCount() const { return circuit_.cycleCount(); }
 
   /// Read access to the underlying netlist (e.g. to attach a VcdRecorder).

@@ -14,6 +14,7 @@
 #include "core/optimal.hpp"
 #include "core/peephole.hpp"
 #include "core/planners.hpp"
+#include "core/recovery.hpp"
 #include "core/sequence.hpp"
 #include "fsm/analysis.hpp"
 #include "fsm/equivalence.hpp"
@@ -47,15 +48,28 @@ std::string readFile(const std::string& path) {
 }
 
 /// Resolves a machine argument: `sample:<name>`, *.json, or *.kiss2.
+/// Truncated or corrupt files surface as a CliError naming the file and the
+/// parser's line/offset — never as an uncaught abort.
 Machine loadMachine(const std::string& spec) {
   if (startsWith(spec, "sample:")) return sampleMachine(spec.substr(7));
   const std::string text = readFile(spec);
-  if (spec.size() >= 5 && spec.substr(spec.size() - 5) == ".json")
-    return machineFromJson(text);
-  if (spec.size() >= 6 && spec.substr(spec.size() - 6) == ".kiss2")
-    return machineFromKiss2(parseKiss2(text), spec);
+  try {
+    if (spec.size() >= 5 && spec.substr(spec.size() - 5) == ".json")
+      return machineFromJson(text);
+    if (spec.size() >= 6 && spec.substr(spec.size() - 6) == ".kiss2")
+      return machineFromKiss2(parseKiss2(text), spec);
+  } catch (const Error& error) {
+    throw CliError("cannot load '" + spec + "': " + error.what());
+  }
   throw CliError("unsupported machine format for '" + spec +
                  "' (expected .json, .kiss2 or sample:<name>)");
+}
+
+void writeFile(const std::string& path, const std::string& text) {
+  std::ofstream stream(path, std::ios::binary);
+  if (!stream) throw CliError("cannot write '" + path + "'");
+  stream << text;
+  if (!stream) throw CliError("write to '" + path + "' failed");
 }
 
 /// Option lookup: returns the value following `--name`, if present.
@@ -91,7 +105,8 @@ int cmdInfo(const std::vector<std::string>& args, std::ostream& out) {
 
 int cmdReport(const std::vector<std::string>& args, std::ostream& out) {
   if (args.size() < 2)
-    throw CliError("usage: rfsmc report <from> <to> [--seed N] [--jobs N]");
+    throw CliError("usage: rfsmc report <from> <to> [--seed N] [--jobs N] "
+                   "[--telemetry md|csv|json]");
   const Machine source = loadMachine(args[0]);
   const Machine target = loadMachine(args[1]);
   const MigrationContext context(source, target);
@@ -100,6 +115,16 @@ int cmdReport(const std::vector<std::string>& args, std::ostream& out) {
       std::stoll(option(args, "--seed").value_or("1")));
   options.jobs = std::stoi(option(args, "--jobs").value_or("1"));
   options.includeTimings = true;  // interactive use; determinism not needed
+  const std::string telemetry = option(args, "--telemetry").value_or("md");
+  if (telemetry == "md")
+    options.telemetryFormat = TelemetryFormat::kMarkdown;
+  else if (telemetry == "csv")
+    options.telemetryFormat = TelemetryFormat::kCsv;
+  else if (telemetry == "json")
+    options.telemetryFormat = TelemetryFormat::kJson;
+  else
+    throw CliError("unknown telemetry format '" + telemetry +
+                   "' (md|csv|json)");
   out << buildMigrationReport(context, options);
   return 0;
 }
@@ -160,7 +185,7 @@ ReconfigurationProgram planWith(const std::string& planner,
 int cmdMigrate(const std::vector<std::string>& args, std::ostream& out) {
   if (args.size() < 2)
     throw CliError("usage: rfsmc migrate <from> <to> [--planner P] "
-                   "[--seed N] [--jobs N] [--table]");
+                   "[--seed N] [--jobs N] [--table] [--program-out FILE]");
   const Machine source = loadMachine(args[0]);
   const Machine target = loadMachine(args[1]);
   const MigrationContext context(source, target);
@@ -181,11 +206,148 @@ int cmdMigrate(const std::vector<std::string>& args, std::ostream& out) {
       << " temporary, " << z.resetCount() << " resets)\n";
   out << "valid: " << (verdict.valid ? "yes" : "NO - " + verdict.reason)
       << "\n";
+  if (const auto path = option(args, "--program-out"))
+    writeFile(*path, programToText(context, z));
   if (flag(args, "--table"))
     out << "\n" << sequenceToMarkdown(context, sequenceFromProgram(z));
   else
     out << "\n" << describeProgram(context, z);
   return verdict.valid ? 0 : 2;
+}
+
+/// Shared rendering of a guarded-migration report.
+void printGuardedReport(const GuardedMigrationReport& report,
+                        std::ostream& out) {
+  out << "outcome:        " << toString(report.outcome) << "\n";
+  out << "fault detected: " << (report.faultDetected ? "yes" : "no") << "\n";
+  out << "resumed:        " << (report.resumed ? "yes" : "no") << "\n";
+  out << "patch attempts: " << report.patchAttempts << " ("
+      << report.cellsPatched << " cells patched, " << report.cellsScrubbed
+      << " scrubbed)\n";
+  out << "cycles:         " << report.executedCycles << " executed + "
+      << report.backoffCycles << " backoff\n";
+  out << "journal:        " << report.journalCommitted
+      << " step(s) committed\n";
+  out << "detail:         " << report.detail << "\n";
+}
+
+/// Exit code contract shared by inject/resume: 0 = verified, 3 = clean
+/// rollback, 1 = silent-corruption risk (never happens by construction
+/// unless the fault model is stacked against recovery, e.g. stuck-at
+/// damage inside the source domain).
+int guardedExitCode(const GuardedMigrationReport& report) {
+  switch (report.outcome) {
+    case MigrationOutcome::kVerified: return 0;
+    case MigrationOutcome::kRolledBack: return 3;
+    case MigrationOutcome::kFailed: return 1;
+  }
+  return 1;
+}
+
+ReconfigurationProgram loadProgramFile(const MigrationContext& context,
+                                       const std::string& path) {
+  try {
+    return programFromText(context, readFile(path));
+  } catch (const ProgramParseError& error) {
+    throw CliError("cannot load '" + path + "': " + error.what());
+  }
+}
+
+int cmdInject(const std::vector<std::string>& args, std::ostream& out) {
+  if (args.size() < 2)
+    throw CliError(
+        "usage: rfsmc inject <from> <to> [--planner P] [--seed N] "
+        "[--flips N] [--abort-step K] [--retries N] [--program FILE] "
+        "[--journal-out FILE]");
+  const Machine source = loadMachine(args[0]);
+  const Machine target = loadMachine(args[1]);
+  const MigrationContext context(source, target);
+  const std::string planner = option(args, "--planner").value_or("jsr");
+  const std::uint64_t seed = static_cast<std::uint64_t>(
+      std::stoll(option(args, "--seed").value_or("1")));
+
+  const auto programFile = option(args, "--program");
+  const ReconfigurationProgram program =
+      programFile.has_value() ? loadProgramFile(context, *programFile)
+                              : planWith(planner, context, seed, /*jobs=*/1);
+
+  MutableMachine machine(context);
+  fault::FaultModel model;
+  const auto abortStep = option(args, "--abort-step");
+  if (abortStep.has_value()) model.abortProbability = 0.0;
+  if (const auto flips = option(args, "--flips")) {
+    model.maxFlips = std::stoi(*flips);
+    model.flipProbability = 1.0;
+  }
+  fault::FaultGeometry geometry;
+  geometry.cellCount = static_cast<std::size_t>(context.states().size()) *
+                       static_cast<std::size_t>(context.inputs().size());
+  geometry.bitsPerCell = machine.faultBitsPerCell();
+  geometry.programLength = program.length();
+  fault::FaultInjector injector(seed);
+  fault::FaultScenario scenario = injector.draw(model, geometry);
+  if (abortStep.has_value()) scenario.abortAtStep = std::stoi(*abortStep);
+
+  RecoveryOptions options;
+  options.maxAttempts = std::stoi(option(args, "--retries").value_or("3"));
+
+  ProgramJournal journal;
+  const GuardedMigrationReport report =
+      runGuardedMigration(machine, program, scenario, options, &journal);
+
+  out << "guarded migration " << source.name() << " -> " << target.name()
+      << " (|Z| = " << program.length() << ", seed " << seed << ")\n";
+  out << "scenario:       " << scenario.flips.size() << " flip(s)";
+  if (scenario.abortAtStep.has_value())
+    out << ", power loss before step " << *scenario.abortAtStep;
+  out << "\n";
+  printGuardedReport(report, out);
+  if (const auto path = option(args, "--journal-out"))
+    writeFile(*path, journal.serialize(context));
+  return guardedExitCode(report);
+}
+
+int cmdResume(const std::vector<std::string>& args, std::ostream& out) {
+  const auto journalFile = option(args, "--journal");
+  if (args.size() < 2 || !journalFile.has_value())
+    throw CliError(
+        "usage: rfsmc resume <from> <to> --journal FILE [--retries N]");
+  const Machine source = loadMachine(args[0]);
+  const Machine target = loadMachine(args[1]);
+  const MigrationContext context(source, target);
+
+  ProgramJournal journal;
+  try {
+    journal = ProgramJournal::parse(context, readFile(*journalFile));
+  } catch (const Error& error) {
+    throw CliError("cannot load '" + *journalFile + "': " + error.what());
+  }
+
+  // The device's table survived the crash exactly as the committed prefix
+  // left it; reconstruct that state by replaying the prefix.
+  MutableMachine machine(context);
+  try {
+    for (int k = 0; k < journal.committedSteps(); ++k)
+      machine.applyStep(journal.program().steps[static_cast<std::size_t>(k)]);
+  } catch (const Error& error) {
+    throw CliError("journal '" + *journalFile +
+                   "' does not replay on this migration: " + error.what());
+  }
+
+  RecoveryOptions options;
+  options.maxAttempts = std::stoi(option(args, "--retries").value_or("3"));
+
+  out << "journal: " << journal.committedSteps() << "/"
+      << journal.program().length() << " step(s) committed"
+      << (journal.truncated() ? ", torn trailing record dropped" : "")
+      << "\n";
+  const GuardedMigrationReport report =
+      journal.complete()
+          ? repairToTarget(machine, options)
+          : runGuardedMigration(machine, journal.program(),
+                                fault::FaultScenario{}, options, &journal);
+  printGuardedReport(report, out);
+  return guardedExitCode(report);
 }
 
 int cmdVhdl(const std::vector<std::string>& args, std::ostream& out) {
@@ -304,6 +466,12 @@ int cmdHelp(std::ostream& out) {
          "  migrate <from> <to>           plan + validate a migration\n"
          "          [--planner jsr|greedy|ea|exact|2opt|anneal|optimal]\n"
          "          [--seed N] [--jobs N] [--table] [--optimize]\n"
+         "          [--program-out FILE]  save the program (rfsm-program v1)\n"
+         "  inject <from> <to>            migrate under injected faults\n"
+         "          [--planner P] [--seed N] [--flips N] [--abort-step K]\n"
+         "          [--retries N] [--program FILE] [--journal-out FILE]\n"
+         "          exit 0 = verified, 3 = clean rollback\n"
+         "  resume <from> <to> --journal FILE   finish a crashed migration\n"
          "  vhdl <from> <to>              emit the Fig. 5 VHDL entity\n"
          "  testbench <from> <to>         emit a self-checking testbench\n"
          "  synth <machine>               two-level logic estimate\n"
@@ -327,6 +495,8 @@ int runCli(const std::vector<std::string>& args, std::ostream& out,
     if (args[0] == "dot") return cmdDot(rest, out);
     if (args[0] == "convert") return cmdConvert(rest, out);
     if (args[0] == "migrate") return cmdMigrate(rest, out);
+    if (args[0] == "inject") return cmdInject(rest, out);
+    if (args[0] == "resume") return cmdResume(rest, out);
     if (args[0] == "vhdl") return cmdVhdl(rest, out);
     if (args[0] == "testbench") return cmdTestbench(rest, out);
     if (args[0] == "synth") return cmdSynth(rest, out);

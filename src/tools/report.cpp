@@ -81,9 +81,20 @@ std::string buildMigrationReport(const MigrationContext& context,
       options.jobs <= 0 ? ThreadPool::hardwareJobs() : options.jobs;
   metrics::Snapshot telemetry = metrics::snapshot();
   if (!options.includeTimings) telemetry.timers.clear();
-  if (!telemetry.empty())
-    os << "\n## Planner telemetry (jobs = " << jobs << ")\n\n"
-       << metrics::toMarkdown(telemetry);
+  if (!telemetry.empty()) {
+    os << "\n## Planner telemetry (jobs = " << jobs << ")\n\n";
+    switch (options.telemetryFormat) {
+      case TelemetryFormat::kMarkdown:
+        os << metrics::toMarkdown(telemetry);
+        break;
+      case TelemetryFormat::kCsv:
+        os << "```csv\n" << metrics::toCsv(telemetry) << "```\n";
+        break;
+      case TelemetryFormat::kJson:
+        os << "```json\n" << metrics::toJson(telemetry) << "```\n";
+        break;
+    }
+  }
   return os.str();
 }
 

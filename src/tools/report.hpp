@@ -10,6 +10,9 @@
 
 namespace rfsm {
 
+/// Rendering of the telemetry section at the bottom of a report.
+enum class TelemetryFormat { kMarkdown, kCsv, kJson };
+
 /// Options for buildMigrationReport.
 struct ReportOptions {
   /// Run the EA planner (slower but usually shortest heuristic).
@@ -24,6 +27,9 @@ struct ReportOptions {
   /// by default: timings are the one nondeterministic part of a report
   /// (counters are reproducible for a given seed).
   bool includeTimings = false;
+  /// How the telemetry section is rendered (CSV/JSON sinks are meant for
+  /// diffing sweeps across commits).
+  TelemetryFormat telemetryFormat = TelemetryFormat::kMarkdown;
 };
 
 /// Renders the full markdown report (deterministic for a given seed).

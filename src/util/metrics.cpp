@@ -148,4 +148,59 @@ std::string toMarkdown(const Snapshot& snapshot) {
   return os.str();
 }
 
+namespace {
+
+std::string fixedMs(double ms) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << ms;
+  return os.str();
+}
+
+/// Escapes a metric name for JSON (names are ASCII identifiers with dots,
+/// but be defensive about quotes and backslashes).
+std::string jsonEscape(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string toCsv(const Snapshot& snapshot) {
+  if (snapshot.empty()) return "";
+  std::ostringstream os;
+  os << "kind,name,value,count,total_ms\n";
+  for (const CounterSample& c : snapshot.counters)
+    os << "counter," << c.name << "," << c.value << ",,\n";
+  for (const TimerSample& t : snapshot.timers)
+    os << "timer," << t.name << ",," << t.count << "," << fixedMs(t.totalMs)
+       << "\n";
+  return os.str();
+}
+
+std::string toJson(const Snapshot& snapshot) {
+  if (snapshot.empty()) return "";
+  std::ostringstream os;
+  os << "{\"counters\": {";
+  for (std::size_t k = 0; k < snapshot.counters.size(); ++k) {
+    if (k > 0) os << ", ";
+    os << "\"" << jsonEscape(snapshot.counters[k].name)
+       << "\": " << snapshot.counters[k].value;
+  }
+  os << "}, \"timers\": {";
+  for (std::size_t k = 0; k < snapshot.timers.size(); ++k) {
+    if (k > 0) os << ", ";
+    os << "\"" << jsonEscape(snapshot.timers[k].name) << "\": {\"count\": "
+       << snapshot.timers[k].count << ", \"total_ms\": "
+       << fixedMs(snapshot.timers[k].totalMs) << "}";
+  }
+  os << "}}\n";
+  return os.str();
+}
+
 }  // namespace rfsm::metrics

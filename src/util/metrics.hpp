@@ -84,10 +84,28 @@ void resetAll();
 /// both ingredients are present.
 std::string toMarkdown(const Snapshot& snapshot);
 
+/// Machine-readable sinks, so bench sweeps can be diffed across commits.
+/// CSV columns: kind,name,value,count,total_ms (counters leave count and
+/// total_ms empty; timers leave value empty).  JSON is a single object
+/// {"counters": {...}, "timers": {name: {"count": n, "total_ms": x}}}.
+/// Both render "" for an empty snapshot.
+std::string toCsv(const Snapshot& snapshot);
+std::string toJson(const Snapshot& snapshot);
+
 // Canonical metric names used by the planning engine.
 inline constexpr const char* kDecodeCalls = "planner.decode_calls";
 inline constexpr const char* kProgramsValidated = "planner.programs_validated";
 inline constexpr const char* kBfsCacheHits = "cache.bfs_hits";
 inline constexpr const char* kBfsCacheMisses = "cache.bfs_misses";
+
+// Canonical metric names used by the fault-tolerance subsystem.
+inline constexpr const char* kFaultsInjected = "fault.flips_injected";
+inline constexpr const char* kFaultsDetected = "fault.flips_detected";
+inline constexpr const char* kIntegrityScans = "verify.integrity_scans";
+inline constexpr const char* kConformanceRuns = "verify.conformance_runs";
+inline constexpr const char* kVerifierCacheHits = "verify.version_cache_hits";
+inline constexpr const char* kRecoveryResumes = "recovery.resumes";
+inline constexpr const char* kRecoveryPatches = "recovery.patches";
+inline constexpr const char* kRecoveryRollbacks = "recovery.rollbacks";
 
 }  // namespace rfsm::metrics

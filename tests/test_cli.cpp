@@ -1,6 +1,7 @@
 // Tests for the rfsmc command-line front end (via the cli library).
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "tools/cli.hpp"
@@ -184,6 +185,112 @@ TEST(Cli, MissingArgumentsReportUsage) {
   EXPECT_EQ(run({"info"}).code, 1);
   EXPECT_EQ(run({"migrate", "sample:parity_even"}).code, 1);
   EXPECT_EQ(run({"vhdl", "sample:parity_even"}).code, 1);
+}
+
+TEST(Cli, ReportTelemetryFormats) {
+  const CliRun csv = run({"report", "sample:traffic_v1", "sample:traffic_v2",
+                          "--telemetry", "csv"});
+  EXPECT_EQ(csv.code, 0) << csv.err;
+  EXPECT_NE(csv.out.find("```csv"), std::string::npos);
+  EXPECT_NE(csv.out.find("kind,name,value,count,total_ms"),
+            std::string::npos);
+  const CliRun json = run({"report", "sample:traffic_v1", "sample:traffic_v2",
+                           "--telemetry", "json"});
+  EXPECT_EQ(json.code, 0) << json.err;
+  EXPECT_NE(json.out.find("```json"), std::string::npos);
+  EXPECT_NE(json.out.find("\"counters\""), std::string::npos);
+  EXPECT_EQ(run({"report", "sample:traffic_v1", "sample:traffic_v2",
+                 "--telemetry", "xml"})
+                .code,
+            1);
+}
+
+TEST(Cli, MigrateProgramOutRoundtrips) {
+  const std::string path = ::testing::TempDir() + "rfsm_prog.txt";
+  const CliRun r = run({"migrate", "sample:traffic_v1", "sample:traffic_v2",
+                        "--planner", "jsr", "--program-out", path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  std::ifstream in(path);
+  std::stringstream text;
+  text << in.rdbuf();
+  EXPECT_NE(text.str().find("rfsm-program v1"), std::string::npos);
+  // The written program feeds straight back into inject --program.
+  const CliRun replay = run({"inject", "sample:traffic_v1",
+                             "sample:traffic_v2", "--program", path,
+                             "--flips", "0", "--seed", "1"});
+  EXPECT_EQ(replay.code, 0) << replay.err;
+}
+
+TEST(Cli, InjectCleanRunVerifies) {
+  const CliRun r = run({"inject", "sample:traffic_v1", "sample:traffic_v2",
+                        "--flips", "0", "--seed", "7"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("outcome:        verified"), std::string::npos);
+}
+
+TEST(Cli, InjectWithFlipsRecovers) {
+  // Seeded flips: every run must end verified (0) or rolled back (3).
+  for (const char* seed : {"1", "2", "3", "4"}) {
+    const CliRun r = run({"inject", "sample:traffic_v1", "sample:traffic_v2",
+                          "--flips", "2", "--seed", seed});
+    EXPECT_TRUE(r.code == 0 || r.code == 3) << "seed " << seed << ": "
+                                            << r.err;
+    EXPECT_NE(r.out.find("outcome:"), std::string::npos);
+  }
+}
+
+TEST(Cli, InjectJournalResumeFlow) {
+  const std::string path = ::testing::TempDir() + "rfsm_journal.txt";
+  const CliRun inject =
+      run({"inject", "sample:traffic_v1", "sample:traffic_v2", "--abort-step",
+           "1", "--flips", "0", "--journal-out", path});
+  EXPECT_EQ(inject.code, 0) << inject.err;
+  EXPECT_NE(inject.out.find("power loss"), std::string::npos);
+  const CliRun resume = run({"resume", "sample:traffic_v1",
+                             "sample:traffic_v2", "--journal", path});
+  EXPECT_EQ(resume.code, 0) << resume.err;
+  EXPECT_NE(resume.out.find("journal:"), std::string::npos);
+  EXPECT_NE(resume.out.find("outcome:        verified"), std::string::npos);
+}
+
+TEST(Cli, ResumeMissingJournalNamesFile) {
+  const CliRun r = run({"resume", "sample:traffic_v1", "sample:traffic_v2",
+                        "--journal", "/nonexistent/journal.txt"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("/nonexistent/journal.txt"), std::string::npos);
+}
+
+TEST(Cli, CorruptMachineFileNamesFileAndFails) {
+  const std::string path = ::testing::TempDir() + "rfsm_truncated.kiss";
+  {
+    std::ofstream out(path);
+    out << ".i 2\n.o 1\n.r S0\n00 S0";  // cut mid-row
+  }
+  const CliRun r = run({"info", path});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find(path), std::string::npos) << r.err;
+
+  const std::string jsonPath = ::testing::TempDir() + "rfsm_corrupt.json";
+  {
+    std::ofstream out(jsonPath);
+    out << "{\"name\": \"x\", \"transitions\": [";  // truncated JSON
+  }
+  const CliRun j = run({"info", jsonPath});
+  EXPECT_EQ(j.code, 1);
+  EXPECT_NE(j.err.find(jsonPath), std::string::npos) << j.err;
+  EXPECT_NE(j.err.find("offset"), std::string::npos) << j.err;
+}
+
+TEST(Cli, CorruptProgramFileNamesFileAndFails) {
+  const std::string path = ::testing::TempDir() + "rfsm_bad_prog.txt";
+  {
+    std::ofstream out(path);
+    out << "rfsm-program v1\nsteps 5\nreset\n";  // truncated program
+  }
+  const CliRun r = run({"inject", "sample:traffic_v1", "sample:traffic_v2",
+                        "--program", path});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find(path), std::string::npos) << r.err;
 }
 
 }  // namespace

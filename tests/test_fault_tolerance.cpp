@@ -1,0 +1,499 @@
+// Fault-tolerance subsystem tests: seeded injection, guaranteed detection,
+// journaled resume, patch-based repair and checkpoint rollback — the
+// zero-silent-corruption contract of runGuardedMigration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/apply.hpp"
+#include "core/journal.hpp"
+#include "core/jsr.hpp"
+#include "core/recovery.hpp"
+#include "core/repair.hpp"
+#include "gen/families.hpp"
+#include "gen/generator.hpp"
+#include "gen/mutator.hpp"
+#include "rtl/components.hpp"
+#include "rtl/datapath.hpp"
+#include "rtl/kernel.hpp"
+#include "util/fault.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+
+#include "apps/netproto/protocol.hpp"
+
+namespace rfsm {
+namespace {
+
+MigrationContext randomContext(int states, int inputs, int deltas,
+                               std::uint64_t seed, int newStates = 0) {
+  Rng rng(seed);
+  RandomMachineSpec spec;
+  spec.stateCount = states;
+  spec.inputCount = inputs;
+  spec.outputCount = 2;
+  const Machine source = randomMachine(spec, rng);
+  MutationSpec mutation;
+  mutation.deltaCount = deltas;
+  mutation.newStateCount = newStates;
+  return MigrationContext(source, mutateMachine(source, mutation, rng));
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector: seeded, bounded, reproducible.
+
+TEST(FaultInjector, SameSeedReproducesScenarioExactly) {
+  fault::FaultModel model;
+  fault::FaultGeometry geometry;
+  geometry.cellCount = 24;
+  geometry.bitsPerCell = 5;
+  geometry.programLength = 9;
+  fault::FaultInjector a(77), b(77);
+  for (int draw = 0; draw < 20; ++draw) {
+    const fault::FaultScenario sa = a.draw(model, geometry);
+    const fault::FaultScenario sb = b.draw(model, geometry);
+    EXPECT_EQ(sa.abortAtStep, sb.abortAtStep);
+    EXPECT_EQ(sa.flips, sb.flips);
+  }
+}
+
+TEST(FaultInjector, DrawsStayInsideGeometry) {
+  fault::FaultModel model;
+  model.abortProbability = 1.0;
+  model.flipProbability = 1.0;
+  model.maxFlips = 4;
+  fault::FaultGeometry geometry;
+  geometry.cellCount = 12;
+  geometry.bitsPerCell = 3;
+  geometry.programLength = 7;
+  fault::FaultInjector injector(5);
+  for (int draw = 0; draw < 50; ++draw) {
+    const fault::FaultScenario s = injector.draw(model, geometry);
+    ASSERT_TRUE(s.abortAtStep.has_value());
+    EXPECT_GE(*s.abortAtStep, 0);
+    EXPECT_LE(*s.abortAtStep, geometry.programLength);
+    for (const fault::CellFault& f : s.flips) {
+      EXPECT_LT(f.cell, geometry.cellCount);
+      EXPECT_LT(f.bit, geometry.bitsPerCell);
+      EXPECT_GE(f.bit, 0);
+      // Nothing "happens" after the power is gone.
+      EXPECT_LE(f.atStep, *s.abortAtStep);
+      EXPECT_FALSE(f.sticky);  // no sticky-eligible cells supplied
+    }
+  }
+}
+
+TEST(FaultInjector, StickyFlipsOnlyTargetEligibleCells) {
+  fault::FaultModel model;
+  model.abortProbability = 0.0;
+  model.flipProbability = 1.0;
+  model.maxFlips = 3;
+  model.stickyProbability = 1.0;
+  fault::FaultGeometry geometry;
+  geometry.cellCount = 20;
+  geometry.bitsPerCell = 4;
+  geometry.programLength = 6;
+  geometry.stickyCells = {3, 17};
+  fault::FaultInjector injector(9);
+  bool sawSticky = false;
+  for (int draw = 0; draw < 30; ++draw) {
+    for (const fault::CellFault& f : injector.draw(model, geometry).flips) {
+      if (!f.sticky) continue;
+      sawSticky = true;
+      EXPECT_TRUE(f.cell == 3 || f.cell == 17) << f.cell;
+    }
+  }
+  EXPECT_TRUE(sawSticky);
+}
+
+// ---------------------------------------------------------------------------
+// Detection property: every single-bit flip on a specified cell is caught
+// by the integrity scan; flips on unspecified cells are provably harmless
+// (the cell is never read, and the scan skips it by design).
+
+class DetectionPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DetectionPropertyTest, EverySpecifiedCellFlipIsDetected) {
+  const MigrationContext context =
+      randomContext(4 + GetParam() % 5, 2 + GetParam() % 2, 3,
+                    static_cast<std::uint64_t>(GetParam()) * 31 + 1);
+  MutableMachine machine(context);
+  for (SymbolId s = 0; s < context.states().size(); ++s) {
+    for (SymbolId i = 0; i < context.inputs().size(); ++i) {
+      for (int bit = 0; bit < machine.faultBitsPerCell(); ++bit) {
+        MutableMachine victim = machine;
+        const bool specified = victim.isSpecified(i, s);
+        victim.corruptBit(i, s, bit);
+        const std::vector<TotalState> scan = victim.integrityScan();
+        if (specified) {
+          ASSERT_EQ(scan.size(), 1u)
+              << "flip at (" << int{i} << ", " << int{s} << ") bit " << bit;
+          EXPECT_EQ(scan[0].input, i);
+          EXPECT_EQ(scan[0].state, s);
+        } else {
+          // Harmless: the damaged word backs no specified transition, so
+          // neither the scan nor the table check can (or need to) see it.
+          EXPECT_TRUE(scan.empty());
+          EXPECT_TRUE(victim.matchesSource());
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DetectionPropertyTest, ::testing::Range(0, 6));
+
+TEST(Detection, CheckpointRestoreErasesDamage) {
+  const MigrationContext context(example41Source(), example41Target());
+  MutableMachine machine(context);
+  const MutableMachine::TableImage golden = machine.checkpoint();
+  machine.corruptBit(0, 0, 0);
+  machine.corruptBit(1, 1, 1);
+  EXPECT_FALSE(machine.integrityScan().empty());
+  machine.restore(golden);
+  EXPECT_TRUE(machine.integrityScan().empty());
+  EXPECT_TRUE(machine.matchesSource());
+}
+
+// ---------------------------------------------------------------------------
+// OnlineVerifier: layered checks, cached by (tableVersion, state).
+
+TEST(OnlineVerifier, AcceptsCompletedMigrationAndCachesVerdict) {
+  const MigrationContext context(example41Source(), example41Target());
+  MutableMachine machine(context);
+  machine.applyProgram(planJsr(context));
+  OnlineVerifier verifier;
+  EXPECT_TRUE(verifier.verify(machine).ok);
+  const std::uint64_t hitsBefore =
+      metrics::counter(metrics::kVerifierCacheHits).value();
+  EXPECT_TRUE(verifier.verify(machine).ok);  // nothing changed: cache hit
+  EXPECT_EQ(metrics::counter(metrics::kVerifierCacheHits).value(),
+            hitsBefore + 1);
+}
+
+TEST(OnlineVerifier, ReportsCorruptionAndRecomputesAfterVersionBump) {
+  const MigrationContext context(example41Source(), example41Target());
+  MutableMachine machine(context);
+  machine.applyProgram(planJsr(context));
+  OnlineVerifier verifier;
+  ASSERT_TRUE(verifier.verify(machine).ok);
+  machine.corruptBit(0, 0, 0);  // version bump invalidates the cache
+  const OnlineVerifier::Outcome& verdict = verifier.verify(machine);
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_NE(verdict.reason.find("integrity scan"), std::string::npos);
+}
+
+TEST(OnlineVerifier, RejectsHalfFinishedMigration) {
+  const MigrationContext context(example41Source(), example41Target());
+  MutableMachine machine(context);
+  OnlineVerifier verifier;
+  const OnlineVerifier::Outcome& verdict = verifier.verify(machine);
+  EXPECT_FALSE(verdict.ok);  // still the source machine, not M'
+}
+
+// ---------------------------------------------------------------------------
+// Journal: WAL roundtrip, torn-tail tolerance, resume work list.
+
+TEST(Journal, SerializeParseRoundtrip) {
+  const MigrationContext context(example41Source(), example41Target());
+  const ReconfigurationProgram program = planJsr(context);
+  ProgramJournal journal;
+  journal.begin(program);
+  journal.commit(0);
+  journal.commit(1);
+  const std::string text = journal.serialize(context);
+  const ProgramJournal parsed = ProgramJournal::parse(context, text);
+  EXPECT_TRUE(parsed.active());
+  EXPECT_FALSE(parsed.truncated());
+  EXPECT_EQ(parsed.committedSteps(), 2);
+  EXPECT_EQ(parsed.program().steps, program.steps);
+  EXPECT_EQ(parsed.remainingProgram().length(), program.length() - 2);
+}
+
+TEST(Journal, TornTrailingRecordIsDroppedNotFatal) {
+  const MigrationContext context(example41Source(), example41Target());
+  ProgramJournal journal;
+  journal.begin(planJsr(context));
+  journal.commit(0);
+  journal.commit(1);
+  std::string text = journal.serialize(context);
+  // Tear the last commit record mid-write (the power-loss failure mode).
+  text.resize(text.size() - 4);
+  const ProgramJournal parsed = ProgramJournal::parse(context, text);
+  EXPECT_TRUE(parsed.truncated());
+  EXPECT_EQ(parsed.committedSteps(), 1);  // the torn record does not count
+}
+
+TEST(Journal, CorruptChecksumThrowsJournalError) {
+  const MigrationContext context(example41Source(), example41Target());
+  ProgramJournal journal;
+  journal.begin(planJsr(context));
+  journal.commit(0);
+  journal.commit(1);
+  std::string text = journal.serialize(context);
+  const std::size_t at = text.find("commit 0");
+  ASSERT_NE(at, std::string::npos);
+  text[at + std::string("commit 0 ").size()] ^= 1;  // damage checksum hex
+  // Damage before the final record is a hard error, never silently eaten.
+  EXPECT_THROW(ProgramJournal::parse(context, text), JournalError);
+}
+
+TEST(Journal, CompleteJournalRoundtripsWithDoneMarker) {
+  const MigrationContext context(example41Source(), example41Target());
+  const ReconfigurationProgram program = planJsr(context);
+  ProgramJournal journal;
+  journal.begin(program);
+  for (int k = 0; k < program.length(); ++k) journal.commit(k);
+  ASSERT_TRUE(journal.complete());
+  const std::string text = journal.serialize(context);
+  EXPECT_NE(text.find("done"), std::string::npos);
+  EXPECT_TRUE(ProgramJournal::parse(context, text).complete());
+}
+
+// ---------------------------------------------------------------------------
+// Guarded migration: the zero-silent-corruption contract.
+
+TEST(GuardedMigration, CleanRunVerifies) {
+  const MigrationContext context(example41Source(), example41Target());
+  MutableMachine machine(context);
+  const GuardedMigrationReport report =
+      runGuardedMigration(machine, planJsr(context), fault::FaultScenario{});
+  EXPECT_EQ(report.outcome, MigrationOutcome::kVerified);
+  EXPECT_FALSE(report.faultDetected);
+  EXPECT_FALSE(report.silentCorruption());
+  EXPECT_TRUE(machine.matchesTarget());
+}
+
+TEST(GuardedMigration, PowerLossResumesFromJournal) {
+  const MigrationContext context(example41Source(), example41Target());
+  const ReconfigurationProgram program = planJsr(context);
+  for (int cut = 0; cut < program.length(); ++cut) {
+    MutableMachine machine(context);
+    fault::FaultScenario scenario;
+    scenario.abortAtStep = cut;
+    ProgramJournal journal;
+    const GuardedMigrationReport report = runGuardedMigration(
+        machine, program, scenario, RecoveryOptions{}, &journal);
+    EXPECT_EQ(report.outcome, MigrationOutcome::kVerified) << "cut " << cut;
+    EXPECT_TRUE(report.faultDetected) << "cut " << cut;
+    EXPECT_TRUE(report.resumed) << "cut " << cut;
+    EXPECT_TRUE(journal.complete()) << "cut " << cut;
+    EXPECT_TRUE(machine.matchesTarget()) << "cut " << cut;
+  }
+}
+
+TEST(GuardedMigration, PowerLossWithoutJournalIsPatched) {
+  const MigrationContext context(example41Source(), example41Target());
+  const ReconfigurationProgram program = planJsr(context);
+  MutableMachine machine(context);
+  fault::FaultScenario scenario;
+  scenario.abortAtStep = program.length() / 2;
+  const GuardedMigrationReport report =
+      runGuardedMigration(machine, program, scenario);
+  // planRepair completes the migration from the half-written table.
+  EXPECT_EQ(report.outcome, MigrationOutcome::kVerified);
+  EXPECT_GE(report.patchAttempts, 1);
+  EXPECT_TRUE(machine.matchesTarget());
+}
+
+TEST(GuardedMigration, TransientFlipIsDetectedAndPatched) {
+  const MigrationContext context(example41Source(), example41Target());
+  const ReconfigurationProgram program = planJsr(context);
+  MutableMachine machine(context);
+  fault::FaultScenario scenario;
+  // Flip bit 0 of cell (input 0, state 0) after the program completed.
+  scenario.flips.push_back({0, 0, program.length(), false});
+  const GuardedMigrationReport report =
+      runGuardedMigration(machine, program, scenario);
+  EXPECT_EQ(report.outcome, MigrationOutcome::kVerified);
+  EXPECT_TRUE(report.faultDetected);
+  EXPECT_GE(report.patchAttempts, 1);
+  EXPECT_GT(report.backoffCycles, 0);
+  EXPECT_TRUE(machine.matchesTarget());
+}
+
+TEST(GuardedMigration, StuckAtCellDegradesToCleanRollback) {
+  // Expansion-region stuck-at: the damaged RAM row backs a freshly
+  // allocated state, so patching is futile but the source image escapes.
+  const MigrationContext context = randomContext(6, 2, 5, 11, 1);
+  SymbolId newState = kNoSymbol;
+  for (SymbolId s = 0; s < context.states().size(); ++s)
+    if (!context.inSourceStates(s)) newState = s;
+  ASSERT_NE(newState, kNoSymbol);
+
+  const ReconfigurationProgram program = planJsr(context);
+  MutableMachine machine(context);
+  fault::FaultScenario scenario;
+  const std::size_t cell =
+      static_cast<std::size_t>(newState) * context.inputs().size();
+  scenario.flips.push_back({cell, 0, 0, /*sticky=*/true});
+  const GuardedMigrationReport report =
+      runGuardedMigration(machine, program, scenario);
+  EXPECT_EQ(report.outcome, MigrationOutcome::kRolledBack);
+  EXPECT_TRUE(report.faultDetected);
+  EXPECT_FALSE(report.silentCorruption());
+  EXPECT_TRUE(machine.matchesSource());
+  EXPECT_TRUE(machine.integrityScan().empty());
+}
+
+TEST(GuardedMigration, SameScenarioReproducesReportExactly) {
+  const MigrationContext context = randomContext(8, 3, 10, 202, 2);
+  const ReconfigurationProgram program = planJsr(context);
+  fault::FaultGeometry geometry;
+  geometry.cellCount =
+      context.states().size() * static_cast<std::size_t>(
+                                    context.inputs().size());
+  geometry.bitsPerCell = MutableMachine(context).faultBitsPerCell();
+  geometry.programLength = program.length();
+  const fault::FaultScenario scenario =
+      fault::FaultInjector(0x5eed0001).draw(fault::FaultModel{}, geometry);
+
+  auto once = [&] {
+    MutableMachine machine(context);
+    return runGuardedMigration(machine, program, scenario);
+  };
+  const GuardedMigrationReport a = once();
+  const GuardedMigrationReport b = once();
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.faultDetected, b.faultDetected);
+  EXPECT_EQ(a.patchAttempts, b.patchAttempts);
+  EXPECT_EQ(a.cellsPatched, b.cellsPatched);
+  EXPECT_EQ(a.backoffCycles, b.backoffCycles);
+  EXPECT_EQ(a.executedCycles, b.executedCycles);
+  EXPECT_EQ(a.detail, b.detail);
+}
+
+/// Property sweep mirroring bench_fault_sweep's default rates: no seed may
+/// ever produce a kFailed (silently corrupted) outcome.
+class GuardedSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GuardedSweepTest, NoScenarioEndsInSilentCorruption) {
+  const MigrationContext context = randomContext(6, 2, 4, 101);
+  const ReconfigurationProgram program = planJsr(context);
+  fault::FaultGeometry geometry;
+  geometry.cellCount =
+      context.states().size() * static_cast<std::size_t>(
+                                    context.inputs().size());
+  geometry.bitsPerCell = MutableMachine(context).faultBitsPerCell();
+  geometry.programLength = program.length();
+  fault::FaultInjector injector(
+      0x5eed0000 + static_cast<std::uint64_t>(GetParam()));
+  for (int round = 0; round < 10; ++round) {
+    const fault::FaultScenario scenario =
+        injector.draw(fault::FaultModel{}, geometry);
+    MutableMachine machine(context);
+    ProgramJournal journal;
+    const GuardedMigrationReport report = runGuardedMigration(
+        machine, program, scenario, RecoveryOptions{}, &journal);
+    EXPECT_FALSE(report.silentCorruption()) << report.detail;
+    if (report.outcome == MigrationOutcome::kVerified)
+      EXPECT_TRUE(machine.matchesTarget());
+    else
+      EXPECT_TRUE(machine.matchesSource());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GuardedSweepTest, ::testing::Range(0, 8));
+
+TEST(RepairToTarget, CompletesAVerifiedOrDamagedMachine) {
+  const MigrationContext context(example41Source(), example41Target());
+  MutableMachine machine(context);
+  machine.applyProgram(planJsr(context));
+  EXPECT_EQ(repairToTarget(machine).outcome, MigrationOutcome::kVerified);
+  machine.corruptBit(0, 0, 0);
+  const GuardedMigrationReport report = repairToTarget(machine);
+  EXPECT_EQ(report.outcome, MigrationOutcome::kVerified);
+  EXPECT_TRUE(report.faultDetected);
+  EXPECT_TRUE(machine.matchesTarget());
+}
+
+// ---------------------------------------------------------------------------
+// RTL layer: per-row parity on the RAM models, fault port on the datapath.
+
+TEST(RtlParity, RamDetectsEverySingleBitFlip) {
+  const MigrationContext context(example41Source(), example41Target());
+  rtl::ReconfigurableFsmDatapath hw(context);
+  for (SymbolId s = 0; s < context.states().size(); ++s) {
+    for (SymbolId i = 0; i < context.inputs().size(); ++i) {
+      for (int bit = 0; bit < hw.faultBitsPerCell(); ++bit) {
+        rtl::ReconfigurableFsmDatapath victim(context);
+        ASSERT_TRUE(victim.integrityScan().empty());
+        victim.injectFault(i, s, bit);
+        const std::vector<TotalState> scan = victim.integrityScan();
+        ASSERT_EQ(scan.size(), 1u)
+            << "(" << int{i} << ", " << int{s} << ") bit " << bit;
+        EXPECT_EQ(scan[0].input, i);
+        EXPECT_EQ(scan[0].state, s);
+      }
+    }
+  }
+}
+
+TEST(RtlParity, AuthorizedWritesRefreshParity) {
+  rtl::Circuit c;
+  const rtl::WireId addr = c.addWire(3, "addr");
+  const rtl::WireId we = c.addWire(1, "we");
+  const rtl::WireId wdata = c.addWire(8, "wdata");
+  const rtl::WireId rdata = c.addWire(8, "rdata");
+  rtl::Ram* ram = c.add<rtl::Ram>(3, addr, we, wdata, rdata);
+  ram->load(5, 42);
+  EXPECT_TRUE(ram->parityOk(5));
+  ram->corrupt(5, 3);
+  EXPECT_FALSE(ram->parityOk(5));
+  EXPECT_EQ(ram->parityScan(), std::vector<std::size_t>{5});
+  // Both write paths reseal: the configuration back door ...
+  ram->load(5, 42);
+  EXPECT_TRUE(ram->parityOk(5));
+  // ... and a clocked write through the port.
+  ram->corrupt(5, 0);
+  c.poke(addr, 5);
+  c.poke(we, 1);
+  c.poke(wdata, 7);
+  c.settle();
+  c.step();
+  EXPECT_TRUE(ram->parityOk(5));
+  EXPECT_TRUE(ram->parityScan().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Application layer: in-band switchover under fault injection.
+
+TEST(NetprotoFaults, CleanScenarioMatchesPlainSwitchover) {
+  Rng rng(1);
+  netproto::ProtocolProcessor processor("101", "1101", netproto::UpgradePlanner::kJsr);
+  const auto report =
+      processor.runFaultySwitchover(3, 3, 6, rng, fault::FaultScenario{});
+  EXPECT_FALSE(report.faultDetected);
+  EXPECT_FALSE(report.rolledBack);
+  EXPECT_GT(report.base.postUpgradeMatches, 0);
+}
+
+TEST(NetprotoFaults, FlipDuringUpgradeIsRepairedInBand) {
+  Rng rng(2);
+  netproto::ProtocolProcessor processor("101", "1101", netproto::UpgradePlanner::kJsr);
+  fault::FaultScenario scenario;
+  // A late flip (step index past |Z|) lands after the last rewrite, so the
+  // migration cannot heal it by overwriting — detection is forced.
+  scenario.flips.push_back({0, 0, 1000, false});
+  const auto report = processor.runFaultySwitchover(3, 3, 6, rng, scenario);
+  EXPECT_TRUE(report.faultDetected);
+  EXPECT_TRUE(report.repaired);
+  EXPECT_FALSE(report.rolledBack);
+  EXPECT_GT(report.base.postUpgradeMatches, 0);
+}
+
+TEST(NetprotoFaults, PowerLossAbortsAndRecovers) {
+  Rng rng(3);
+  netproto::ProtocolProcessor processor("101", "1101", netproto::UpgradePlanner::kJsr);
+  fault::FaultScenario scenario;
+  scenario.abortAtStep = 1;
+  const auto report = processor.runFaultySwitchover(3, 3, 6, rng, scenario);
+  EXPECT_TRUE(report.faultDetected);
+  // Either the patch programs finish the upgrade or the parser rolls back
+  // to the old protocol — both keep the stream flowing.
+  EXPECT_TRUE(report.repaired || report.rolledBack);
+  EXPECT_GT(report.base.postUpgradeMatches, 0);
+}
+
+}  // namespace
+}  // namespace rfsm

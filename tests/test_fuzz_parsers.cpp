@@ -1,10 +1,16 @@
-// Fuzz-style robustness tests: the KISS2 and JSON parsers must never crash
-// or corrupt state on malformed input — every failure is a typed FsmError.
+// Fuzz-style robustness tests: the KISS2, JSON, reconfiguration-program and
+// journal parsers must never crash or corrupt state on malformed input —
+// every failure is a typed error (FsmError, ProgramParseError,
+// JournalError), never a ContractError or a raw crash.
 #include <gtest/gtest.h>
 
+#include "core/journal.hpp"
+#include "core/jsr.hpp"
+#include "core/program.hpp"
 #include "fsm/builder.hpp"
 #include "fsm/kiss.hpp"
 #include "fsm/serialize.hpp"
+#include "gen/families.hpp"
 #include "gen/generator.hpp"
 #include "util/rng.hpp"
 
@@ -105,6 +111,123 @@ TEST_P(ParserFuzzTest, JsonSurvivesCorruptedValidDocuments) {
       FAIL() << "internal contract violated on corrupted input";
     }
   }
+}
+
+TEST_P(ParserFuzzTest, ProgramParserNeverCrashesOnGarbage) {
+  const MigrationContext context(example41Source(), example41Target());
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 5003 + 11);
+  for (int round = 0; round < 50; ++round) {
+    const std::string text = garbage(rng, 200);
+    try {
+      (void)programFromText(context, text);
+    } catch (const ProgramParseError&) {
+      // the only acceptable failure mode
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, ProgramParserSurvivesCorruptedValidPrograms) {
+  const MigrationContext context(example41Source(), example41Target());
+  const std::string valid = programToText(context, planJsr(context));
+  EXPECT_NO_THROW(programFromText(context, valid));
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6007 + 5);
+  for (int round = 0; round < 50; ++round) {
+    const std::string text = corrupt(valid, rng);
+    try {
+      (void)programFromText(context, text);
+    } catch (const ProgramParseError&) {
+    } catch (const ContractError&) {
+      FAIL() << "internal contract violated on corrupted program";
+    }
+  }
+}
+
+TEST(ProgramParserAdversarial, MalformedDocumentsThrowTypedErrors) {
+  const MigrationContext context(example41Source(), example41Target());
+  const std::string stepLines = "reset\nrewrite 0 S1 0\nreset\n";
+  const std::vector<std::string> attacks = {
+      "",                                         // empty file
+      "rfsm-program v1\n",                        // truncated after header
+      "rfsm-program v2\nsteps 0\nend\n",          // wrong version
+      "rfsm-program v1\nsteps 3\n" + stepLines,   // missing end marker
+      "rfsm-program v1\nsteps 99\n" + stepLines + "end\n",   // count too big
+      "rfsm-program v1\nsteps 1\n" + stepLines + "end\n",    // count too small
+      "rfsm-program v1\nsteps -7\nend\n",                    // negative count
+      "rfsm-program v1\nsteps 999999999999999999999\nend\n", // overflow
+      "rfsm-program v1\nsteps 1\nrewrite 0 NOPE 0\nend\n",   // unknown state
+      "rfsm-program v1\nsteps 1\nrewrite 9 S1 0\nend\n",     // unknown input
+      "rfsm-program v1\nsteps 1\nrewrite 0 S1\nend\n",       // missing field
+      "rfsm-program v1\nsteps 1\nteleport 0\nend\n",         // unknown step
+  };
+  for (const std::string& text : attacks) {
+    EXPECT_THROW((void)programFromText(context, text), ProgramParseError)
+        << "attack: " << text;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Journal parser: a journal is a program plus commit records, so it must be
+// exactly as robust, and additionally tolerate a torn trailing record
+// (power loss mid-write) without raising.
+
+TEST(JournalFuzz, ByteTruncationSweepNeverViolatesContracts) {
+  const MigrationContext context(example41Source(), example41Target());
+  ProgramJournal journal;
+  journal.begin(planJsr(context));
+  journal.commit(0);
+  journal.commit(1);
+  const std::string full = journal.serialize(context);
+  for (std::size_t keep = 0; keep <= full.size(); ++keep) {
+    const std::string text = full.substr(0, keep);
+    try {
+      const ProgramJournal parsed = ProgramJournal::parse(context, text);
+      // Parsed journals must be internally consistent.
+      EXPECT_LE(parsed.committedSteps(), parsed.program().length());
+    } catch (const JournalError&) {
+    } catch (const ProgramParseError&) {
+    } catch (const ContractError&) {
+      FAIL() << "contract violated at truncation length " << keep;
+    }
+  }
+}
+
+TEST(JournalFuzz, CorruptedJournalsThrowTypedErrorsOnly) {
+  const MigrationContext context(example41Source(), example41Target());
+  ProgramJournal journal;
+  journal.begin(planJsr(context));
+  for (int k = 0; k < journal.program().length(); ++k) journal.commit(k);
+  const std::string valid = journal.serialize(context);
+  Rng rng(99);
+  for (int round = 0; round < 200; ++round) {
+    const std::string text = corrupt(valid, rng);
+    try {
+      (void)ProgramJournal::parse(context, text);
+    } catch (const JournalError&) {
+    } catch (const ProgramParseError&) {
+    } catch (const ContractError&) {
+      FAIL() << "internal contract violated on corrupted journal";
+    }
+  }
+}
+
+TEST(JournalFuzz, AdversarialCommitRecordsRejected) {
+  const MigrationContext context(example41Source(), example41Target());
+  ProgramJournal journal;
+  journal.begin(planJsr(context));
+  const std::string base = journal.serialize(context);
+  // A forged commit for a step the program does not have, plus a trailing
+  // line so it is not excused as a torn tail.
+  EXPECT_THROW(ProgramJournal::parse(
+                   context, base + "commit 99 00000000\ncommit 100 0\n"),
+               JournalError);
+  // Out-of-order commits.
+  EXPECT_THROW(ProgramJournal::parse(
+                   context, base + "commit 1 00000000\ncommit 0 0\n"),
+               JournalError);
+  // A wrong checksum anywhere but the tail is hard damage.
+  EXPECT_THROW(ProgramJournal::parse(
+                   context, base + "commit 0 deadbeef\ndone\n"),
+               JournalError);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest, ::testing::Range(0, 8));

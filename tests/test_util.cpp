@@ -232,6 +232,32 @@ TEST(Metrics, MarkdownRendersCountersTimersAndHitRate) {
   metrics::resetAll();
 }
 
+TEST(Metrics, CsvRendersOneRowPerMetric) {
+  metrics::resetAll();
+  metrics::counter("test.csv_counter").add(7);
+  metrics::timer("test.csv_timer").record(std::chrono::milliseconds(3));
+  const std::string csv = metrics::toCsv(metrics::snapshot());
+  EXPECT_NE(csv.find("kind,name,value,count,total_ms\n"), std::string::npos);
+  EXPECT_NE(csv.find("counter,test.csv_counter,7,,\n"), std::string::npos);
+  EXPECT_NE(csv.find("timer,test.csv_timer,,1,"), std::string::npos);
+  EXPECT_EQ(metrics::toCsv(metrics::Snapshot{}), "");
+  metrics::resetAll();
+}
+
+TEST(Metrics, JsonRendersCountersAndTimers) {
+  metrics::resetAll();
+  metrics::counter("test.json_counter").add(2);
+  metrics::timer("test.json_timer").record(std::chrono::milliseconds(1));
+  const std::string json = metrics::toJson(metrics::snapshot());
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_counter\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_timer\": {\"count\": 1"),
+            std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_EQ(metrics::toJson(metrics::Snapshot{}), "");
+  metrics::resetAll();
+}
+
 TEST(Strings, SplitKeepsEmptyFields) {
   const auto parts = split("a,,b,", ',');
   ASSERT_EQ(parts.size(), 4u);
