@@ -189,6 +189,7 @@ BENCHMARK(integrityScanBench);
 
 int main(int argc, char** argv) {
   // Strip the sweep's own flags before google-benchmark sees them.
+  const std::string jsonOut = rfsm::bench::stripJsonOutFlag(argc, argv);
   bool smoke = false;
   int kept = 1;
   for (int k = 1; k < argc; ++k) {
@@ -198,7 +199,16 @@ int main(int argc, char** argv) {
       argv[kept++] = argv[k];
   }
   argc = kept;
-  if (!rfsm::bench::printArtifact(smoke)) return 1;
+  const auto artifactStart = std::chrono::steady_clock::now();
+  const bool contractHolds = rfsm::bench::printArtifact(smoke);
+  const double artifactMs =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - artifactStart)
+          .count();
+  if (!jsonOut.empty() &&
+      !rfsm::bench::writeBenchJson(jsonOut, argv[0], artifactMs))
+    return 1;
+  if (!contractHolds) return 1;
   if (smoke) return 0;  // regression gate: artifact only, no timings
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -3,6 +3,7 @@
 #include "fsm/builder.hpp"
 #include "fsm/conformance.hpp"
 #include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace rfsm {
 
@@ -18,6 +19,10 @@ ValidationResult validateProgram(const MigrationContext& context,
   static metrics::Counter& validated =
       metrics::counter(metrics::kProgramsValidated);
   validated.add();
+  trace::ScopedSpan span(
+      "planner.validate", "planner",
+      {trace::Arg::num("steps",
+                       static_cast<std::int64_t>(program.steps.size()))});
   ValidationResult result;
   MutableMachine machine(context);
   int executed = 0;
@@ -69,35 +74,62 @@ const OnlineVerifier::Outcome& OnlineVerifier::verify(
     cacheHits.add();
     return cached_;
   }
+  static metrics::Histogram& verifyLatency =
+      metrics::histogram(metrics::kVerifyLatency);
+  metrics::ScopedLatency latency(verifyLatency);
+  trace::ScopedSpan span(
+      "verify.verify", "verify",
+      {trace::Arg::num("table_version",
+                       static_cast<std::int64_t>(machine.tableVersion()))});
+  // Per-migration event log: the verdict and the layer that decided it.
+  auto verdict = [](bool ok, const char* layer) {
+    if (trace::enabled())
+      trace::instant("verify.verdict", "migration",
+                     {trace::Arg::boolean("ok", ok),
+                      trace::Arg::str("layer", layer)});
+  };
   version_ = machine.tableVersion();
   state_ = machine.state();
   haveResult_ = true;
   cached_ = Outcome{};
 
   const MigrationContext& context = machine.context();
-  const std::vector<TotalState> corrupted = machine.integrityScan();
-  if (!corrupted.empty()) {
-    detected.add(corrupted.size());
-    cached_.reason =
-        "integrity scan: " + std::to_string(corrupted.size()) +
-        " corrupted cell(s), first at (" +
-        context.inputs().name(corrupted.front().input) + ", " +
-        context.states().name(corrupted.front().state) + ")";
-    return cached_;
+  {
+    trace::ScopedSpan layer("verify.integrity_scan", "verify");
+    const std::vector<TotalState> corrupted = machine.integrityScan();
+    if (!corrupted.empty()) {
+      detected.add(corrupted.size());
+      cached_.reason =
+          "integrity scan: " + std::to_string(corrupted.size()) +
+          " corrupted cell(s), first at (" +
+          context.inputs().name(corrupted.front().input) + ", " +
+          context.states().name(corrupted.front().state) + ")";
+      verdict(false, "integrity_scan");
+      return cached_;
+    }
   }
-  std::string mismatch;
-  if (!machine.matchesTarget(&mismatch)) {
-    cached_.reason = "table check: " + mismatch;
-    return cached_;
+  {
+    trace::ScopedSpan layer("verify.table_check", "verify");
+    std::string mismatch;
+    if (!machine.matchesTarget(&mismatch)) {
+      cached_.reason = "table check: " + mismatch;
+      verdict(false, "table_check");
+      return cached_;
+    }
   }
-  if (machine.state() != context.targetReset()) {
-    cached_.reason = "machine halted in " +
-                     context.states().name(machine.state()) +
-                     " instead of the terminal state " +
-                     context.states().name(context.targetReset());
-    return cached_;
+  {
+    trace::ScopedSpan layer("verify.terminal_state", "verify");
+    if (machine.state() != context.targetReset()) {
+      cached_.reason = "machine halted in " +
+                       context.states().name(machine.state()) +
+                       " instead of the terminal state " +
+                       context.states().name(context.targetReset());
+      verdict(false, "terminal_state");
+      return cached_;
+    }
   }
   if (conformance_) {
+    trace::ScopedSpan layer("verify.conformance", "verify");
     const Machine& target = context.targetMachine();
     try {
       const ConformanceSuite suite = wMethodSuite(target);
@@ -107,6 +139,7 @@ const OnlineVerifier::Outcome& OnlineVerifier::verify(
       if (!result.pass) {
         cached_.reason = "W-method conformance failed at position " +
                          std::to_string(result.mismatchPosition);
+        verdict(false, "conformance");
         return cached_;
       }
     } catch (const FsmError&) {
@@ -115,6 +148,7 @@ const OnlineVerifier::Outcome& OnlineVerifier::verify(
     }
   }
   cached_.ok = true;
+  verdict(true, "all");
   return cached_;
 }
 

@@ -2,12 +2,17 @@
 
 #include "util/check.hpp"
 #include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace rfsm {
 
 ReconfigurationProgram planJsr(const MigrationContext& context,
                                const JsrOptions& options) {
   metrics::ScopedTimer timing(metrics::timer("planner.jsr"));
+  trace::ScopedSpan span(
+      "planner.jsr", "planner",
+      {trace::Arg::num("deltas", static_cast<std::int64_t>(
+                                     context.deltaTransitions().size()))});
   // (2) i0 := any input state of M'.
   SymbolId i0 = options.tempInput;
   if (i0 == kNoSymbol) i0 = context.liftTargetInput(0);
@@ -30,6 +35,16 @@ ReconfigurationProgram planJsr(const MigrationContext& context,
   // reconfigures.
   for (const Transition& td : context.deltaTransitions()) {
     if (td.input == i0 && td.from == s0) continue;
+    // Each delta transition contributes one jump/set/return segment; the
+    // span marks the steps it occupies so a trace can be read against the
+    // emitted program.
+    trace::ScopedSpan segment(
+        "jsr.segment", "planner",
+        {trace::Arg::num("input", static_cast<std::int64_t>(td.input)),
+         trace::Arg::num("from", static_cast<std::int64_t>(td.from)),
+         trace::Arg::num("to", static_cast<std::int64_t>(td.to)),
+         trace::Arg::num("first_step",
+                         static_cast<std::int64_t>(program.steps.size()))});
     // (5) Temporary transition (i0, S0', H_out(td), -): jump to the source
     // state of the delta transition; this turns cell (i0, S0') into a new
     // delta transition.

@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace rfsm {
 namespace {
@@ -263,6 +264,9 @@ const MutableMachine::BfsEntry& MutableMachine::bfsFrom(SymbolId from) const {
     return entry;
   }
   misses.add();
+  trace::ScopedSpan span(
+      "planner.bfs", "planner",
+      {trace::Arg::num("from", static_cast<std::int64_t>(from))});
 
   const auto n = static_cast<std::size_t>(context_.states().size());
   entry.dist.assign(n, -1);

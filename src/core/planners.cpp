@@ -9,6 +9,7 @@
 #include "ea/permutation.hpp"
 #include "util/check.hpp"
 #include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace rfsm {
 namespace {
@@ -176,7 +177,14 @@ ReconfigurationProgram decodeOrder(const MigrationContext& context,
                                    const DecodeOptions& options) {
   static metrics::Counter& decodeCalls =
       metrics::counter(metrics::kDecodeCalls);
+  static metrics::Histogram& decodeLatency =
+      metrics::histogram(metrics::kDecodeLatency);
   decodeCalls.add();
+  metrics::ScopedLatency latency(decodeLatency);
+  trace::ScopedSpan span("planner.decode", "planner",
+                         {trace::Arg::num(
+                             "deltas", static_cast<std::int64_t>(
+                                           order.size()))});
   Decoder decoder(context, options);
   const auto& deltas = decoder.loopDeltas();
   RFSM_CHECK(order.size() == deltas.size(),
@@ -190,6 +198,7 @@ ReconfigurationProgram decodeOrder(const MigrationContext& context,
 ReconfigurationProgram planGreedy(const MigrationContext& context,
                                   const DecodeOptions& options) {
   metrics::ScopedTimer timing(metrics::timer("planner.greedy"));
+  trace::ScopedSpan span("planner.greedy", "planner");
   Decoder decoder(context, options);
   const auto& deltas = decoder.loopDeltas();
   std::vector<bool> done(deltas.size(), false);
@@ -215,6 +224,7 @@ EvolutionaryPlan planEvolutionary(const MigrationContext& context,
                                   const DecodeOptions& options,
                                   ThreadPool* pool) {
   metrics::ScopedTimer timing(metrics::timer("planner.ea"));
+  trace::ScopedSpan span("planner.ea", "planner");
   const int n = loopDeltaCount(context, options.tempInput);
   const FitnessFn fitness = [&](const Permutation& order) {
     return static_cast<double>(decodeOrder(context, order, options).length());
@@ -236,6 +246,7 @@ std::optional<ReconfigurationProgram> planExact(const MigrationContext& context,
                                                 int maxDeltas,
                                                 const DecodeOptions& options) {
   metrics::ScopedTimer timing(metrics::timer("planner.exact"));
+  trace::ScopedSpan span("planner.exact", "planner");
   const int n = loopDeltaCount(context, options.tempInput);
   if (n > maxDeltas) return std::nullopt;
   std::vector<int> order(static_cast<std::size_t>(n));
@@ -262,10 +273,21 @@ std::vector<ReconfigurationProgram> planAll(
     const std::vector<MigrationContext>& instances, const BatchPlanFn& plan,
     const BatchOptions& options) {
   metrics::ScopedTimer timing(metrics::timer("batch.plan_all"));
+  static metrics::Histogram& instanceLatency =
+      metrics::histogram(metrics::kInstanceLatency);
+  trace::ScopedSpan span(
+      "batch.plan_all", "batch",
+      {trace::Arg::num("instances",
+                       static_cast<std::uint64_t>(instances.size())),
+       trace::Arg::num("jobs", static_cast<std::int64_t>(options.jobs))});
   std::vector<ReconfigurationProgram> programs(instances.size());
   const Rng base(options.seed);
   ThreadPool pool(options.jobs);
   pool.parallelFor(instances.size(), [&](std::size_t k) {
+    metrics::ScopedLatency latency(instanceLatency);
+    trace::ScopedSpan instanceSpan(
+        "batch.instance", "batch",
+        {trace::Arg::num("instance", static_cast<std::uint64_t>(k))});
     Rng rng = base.substream(k);
     programs[k] = plan(instances[k], rng);
   });
@@ -277,10 +299,21 @@ std::vector<EvolutionaryPlan> planEvolutionaryBatch(
     const EvolutionConfig& config, const BatchOptions& options,
     const DecodeOptions& decode) {
   metrics::ScopedTimer timing(metrics::timer("batch.plan_evolutionary"));
+  static metrics::Histogram& instanceLatency =
+      metrics::histogram(metrics::kInstanceLatency);
+  trace::ScopedSpan span(
+      "batch.plan_evolutionary", "batch",
+      {trace::Arg::num("instances",
+                       static_cast<std::uint64_t>(instances.size())),
+       trace::Arg::num("jobs", static_cast<std::int64_t>(options.jobs))});
   std::vector<EvolutionaryPlan> plans(instances.size());
   const Rng base(options.seed);
   ThreadPool pool(options.jobs);
   pool.parallelFor(instances.size(), [&](std::size_t k) {
+    metrics::ScopedLatency latency(instanceLatency);
+    trace::ScopedSpan instanceSpan(
+        "batch.instance", "batch",
+        {trace::Arg::num("instance", static_cast<std::uint64_t>(k))});
     Rng rng = base.substream(k);
     // Parallelism is across instances here; each EA runs its fitness
     // serially (nested parallelFor would be inline anyway).

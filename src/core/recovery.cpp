@@ -5,6 +5,7 @@
 #include "core/apply.hpp"
 #include "core/repair.hpp"
 #include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace rfsm {
 namespace {
@@ -55,6 +56,11 @@ void applyFlip(MutableMachine& machine, const fault::CellFault& flip,
   const TotalState at = toCoords(machine.context(), flip.cell);
   machine.corruptBit(at.input, at.state, flip.bit);
   injected.add();
+  if (trace::enabled())
+    trace::instant("fault.inject", "migration",
+                   {trace::Arg::num("cell", static_cast<std::int64_t>(flip.cell)),
+                    trace::Arg::num("bit", static_cast<std::int64_t>(flip.bit)),
+                    trace::Arg::boolean("sticky", flip.sticky)});
   if (flip.sticky) sticky.fire(flip);
 }
 
@@ -71,8 +77,16 @@ bool executeStep(MutableMachine& machine, const ReconfigStep& step,
     return false;
   }
   ++report.executedCycles;
-  if (step.kind == StepKind::kRewrite)
+  if (step.kind == StepKind::kRewrite) {
+    if (trace::enabled())
+      trace::instant(
+          "cell.write", "migration",
+          {trace::Arg::num("input", static_cast<std::int64_t>(step.input)),
+           trace::Arg::num("state", static_cast<std::int64_t>(before)),
+           trace::Arg::num("next", static_cast<std::int64_t>(step.nextState)),
+           trace::Arg::num("output", static_cast<std::int64_t>(step.output))});
     sticky.onCellWrite(machine, step.input, before);
+  }
   return true;
 }
 
@@ -80,12 +94,21 @@ bool executeStep(MutableMachine& machine, const ReconfigStep& step,
 /// true once the verifier passes.
 bool patchLoop(MutableMachine& machine, const RecoveryOptions& options,
                const StickySet& sticky, OnlineVerifier& verifier,
-               GuardedMigrationReport& report) {
+               GuardedMigrationReport& report, std::uint64_t migrationId) {
   static metrics::Counter& patches =
       metrics::counter(metrics::kRecoveryPatches);
   const MigrationContext& context = machine.context();
   for (int attempt = 0; attempt < options.maxAttempts; ++attempt) {
     report.backoffCycles += options.backoffBaseCycles << attempt;
+    trace::asyncInstant(
+        "recovery.patch", "migration", migrationId,
+        {trace::Arg::num("attempt", static_cast<std::int64_t>(attempt + 1)),
+         trace::Arg::num("backoff_cycles",
+                         static_cast<std::int64_t>(options.backoffBaseCycles
+                                                   << attempt))});
+    trace::ScopedSpan span(
+        "recovery.patch", "recovery",
+        {trace::Arg::num("attempt", static_cast<std::int64_t>(attempt + 1))});
 
     // Scrub: deactivate every corrupted cell.  Target-domain cells become
     // remaining deltas, so the patch rewrites (and reseals) them; cells
@@ -150,6 +173,19 @@ GuardedMigrationReport runGuardedMigration(MutableMachine& machine,
       metrics::counter(metrics::kRecoveryRollbacks);
 
   GuardedMigrationReport report;
+  // One correlation id ties every event of this migration — resume, patch
+  // attempts, rollback — into a single async track in the trace.
+  const std::uint64_t migrationId =
+      trace::enabled() ? trace::newCorrelationId() : 0;
+  trace::asyncBegin("migration", "migration", migrationId,
+                    {trace::Arg::num("steps", static_cast<std::int64_t>(
+                                                  program.length())),
+                     trace::Arg::num("flips", static_cast<std::int64_t>(
+                                                  scenario.flips.size()))});
+  auto finish = [&]() {
+    trace::asyncEnd("migration", "migration", migrationId,
+                    {trace::Arg::str("outcome", toString(report.outcome))});
+  };
   const MutableMachine::TableImage golden = machine.checkpoint();
   StickySet sticky;
   OnlineVerifier verifier(options.conformanceCheck);
@@ -166,6 +202,9 @@ GuardedMigrationReport runGuardedMigration(MutableMachine& machine,
       start = journal->committedSteps();
       report.resumed = true;
       resumes.add();
+      trace::asyncInstant(
+          "recovery.resume", "migration", migrationId,
+          {trace::Arg::num("from_step", static_cast<std::int64_t>(start))});
       report.detail += "resumed after journaled step " +
                        std::to_string(start - 1) + "; ";
     } else {
@@ -212,11 +251,17 @@ GuardedMigrationReport runGuardedMigration(MutableMachine& machine,
     // committed prefix left it; with a journal the recovery engine replays
     // the remainder, without one it falls through to replanning below.
     report.faultDetected = true;
+    trace::asyncInstant(
+        "fault.power_loss", "migration", migrationId,
+        {trace::Arg::num("at_step", static_cast<std::int64_t>(k))});
     report.detail +=
         "power loss before step " + std::to_string(k) + "; ";
     if (journal != nullptr) {
       report.resumed = true;
       resumes.add();
+      trace::asyncInstant(
+          "recovery.resume", "migration", migrationId,
+          {trace::Arg::num("from_step", static_cast<std::int64_t>(k))});
       report.detail += "resuming journaled remainder; ";
       for (; k < length; ++k) {
         injectBefore(k);
@@ -242,20 +287,23 @@ GuardedMigrationReport runGuardedMigration(MutableMachine& machine,
   if (verdict.ok) {
     report.outcome = MigrationOutcome::kVerified;
     report.detail += "verified";
+    finish();
     return report;
   }
   report.faultDetected = true;
   report.detail += "verification failed (" + verdict.reason + "); ";
 
-  if (patchLoop(machine, options, sticky, verifier, report)) {
+  if (patchLoop(machine, options, sticky, verifier, report, migrationId)) {
     report.outcome = MigrationOutcome::kVerified;
     report.detail += "patched and verified";
+    finish();
     return report;
   }
 
   // Degrade to rollback: restore the pre-migration checkpoint and prove
   // the machine realizes the source again.
   rollbacks.add();
+  trace::asyncInstant("recovery.rollback", "migration", migrationId);
   machine.restore(golden);
   sticky.onBulkWrite(machine);
   std::string why;
@@ -270,6 +318,7 @@ GuardedMigrationReport runGuardedMigration(MutableMachine& machine,
             " corrupted cell(s) survive the rollback (stuck-at)";
     report.detail += "rollback not clean (" + why + ")";
   }
+  finish();
   return report;
 }
 
@@ -286,7 +335,9 @@ GuardedMigrationReport repairToTarget(MutableMachine& machine,
   }
   report.faultDetected = true;
   report.detail = "verification failed (" + verdict.reason + "); ";
-  if (patchLoop(machine, options, sticky, verifier, report)) {
+  const std::uint64_t repairId =
+      trace::enabled() ? trace::newCorrelationId() : 0;
+  if (patchLoop(machine, options, sticky, verifier, report, repairId)) {
     report.outcome = MigrationOutcome::kVerified;
     report.detail += "patched and verified";
   } else {

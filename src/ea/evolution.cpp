@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "util/check.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace rfsm {
 namespace {
@@ -96,8 +98,14 @@ EvolutionResult evolvePermutation(int genomeLength, const FitnessFn& fitness,
         sum / static_cast<double>(population.size())});
   }
 
+  static metrics::Histogram& generationLatency =
+      metrics::histogram(metrics::kGenerationLatency);
   int stall = 0;  // generations since the last *strict* improvement
   for (int gen = 0; gen < config.generations; ++gen) {
+    metrics::ScopedLatency latency(generationLatency);
+    trace::ScopedSpan span(
+        "ea.generation", "ea",
+        {trace::Arg::num("generation", static_cast<std::int64_t>(gen))});
     std::vector<Individual> offspring;
     offspring.reserve(population.size());
     // Elitism: carry over the best individuals unchanged, with their cached
@@ -133,6 +141,9 @@ EvolutionResult evolvePermutation(int genomeLength, const FitnessFn& fitness,
     result.history.push_back(GenerationStats{
         population.front().fitness,
         sum / static_cast<double>(population.size())});
+    span.addArg(trace::Arg::num("best", population.front().fitness));
+    span.addArg(trace::Arg::num(
+        "mean", sum / static_cast<double>(population.size())));
 
     if (population.front().fitness < result.bestFitness) {
       result.bestFitness = population.front().fitness;

@@ -1,5 +1,7 @@
 #include "rtl/kernel.hpp"
 
+#include "util/trace.hpp"
+
 namespace rfsm::rtl {
 
 void Component::clockEdge(Circuit&) {}
@@ -59,6 +61,10 @@ void Circuit::settle() {
 }
 
 void Circuit::step() {
+  // The "cycle" argument is the VCD timestamp of this cycle (VcdRecorder
+  // samples at time == cycleCount()), so spans and waveform correlate.
+  trace::ScopedSpan span("rtl.cycle", "rtl",
+                         {trace::Arg::num("cycle", cycles_)});
   settle();
   for (auto& component : components_) component->clockEdge(*this);
   settle();

@@ -29,6 +29,7 @@
 #include "tools/report.hpp"
 #include "util/table.hpp"
 #include "util/strings.hpp"
+#include "util/trace.hpp"
 
 namespace rfsm::cli {
 namespace {
@@ -327,6 +328,10 @@ int cmdResume(const std::vector<std::string>& args, std::ostream& out) {
   // left it; reconstruct that state by replaying the prefix.
   MutableMachine machine(context);
   try {
+    trace::ScopedSpan span(
+        "journal.replay", "recovery",
+        {trace::Arg::num("committed", static_cast<std::int64_t>(
+                                          journal.committedSteps()))});
     for (int k = 0; k < journal.committedSteps(); ++k)
       machine.applyStep(journal.program().steps[static_cast<std::size_t>(k)]);
   } catch (const Error& error) {
@@ -479,7 +484,11 @@ int cmdHelp(std::ostream& out) {
          "  equiv <a> <b> [--symbolic]    behavioural equivalence check\n"
          "  report <from> <to>            one-page migration report\n"
          "  samples [name]                list / dump bundled samples\n\n"
-         "machines: path.json | path.kiss2 | sample:<name>\n";
+         "machines: path.json | path.kiss2 | sample:<name>\n"
+         "global:   --trace-out FILE      write a Chrome trace-event /\n"
+         "                                Perfetto JSON profile of the run\n"
+         "          (RFSM_TRACE=1 [RFSM_TRACE_OUT=FILE] does the same via\n"
+         "          the environment)\n";
   return 0;
 }
 
@@ -490,31 +499,48 @@ int runCli(const std::vector<std::string>& args, std::ostream& out,
   if (args.empty() || args[0] == "help" || args[0] == "--help")
     return cmdHelp(out);
   const std::vector<std::string> rest(args.begin() + 1, args.end());
+  // --trace-out works on every command: enable tracing for the whole run,
+  // dump the buffer when the command finished (even on a failure exit, so
+  // the trace shows what led up to the error).
+  const std::optional<std::string> traceOut = option(rest, "--trace-out");
+  const bool traceWasEnabled = trace::enabled();
+  if (traceOut.has_value()) trace::setEnabled(true);
+  int code = 1;
   try {
-    if (args[0] == "info") return cmdInfo(rest, out);
-    if (args[0] == "dot") return cmdDot(rest, out);
-    if (args[0] == "convert") return cmdConvert(rest, out);
-    if (args[0] == "migrate") return cmdMigrate(rest, out);
-    if (args[0] == "inject") return cmdInject(rest, out);
-    if (args[0] == "resume") return cmdResume(rest, out);
-    if (args[0] == "vhdl") return cmdVhdl(rest, out);
-    if (args[0] == "testbench") return cmdTestbench(rest, out);
-    if (args[0] == "synth") return cmdSynth(rest, out);
-    if (args[0] == "chain") return cmdChain(rest, out);
-    if (args[0] == "equiv") return cmdEquiv(rest, out);
-    if (args[0] == "report") return cmdReport(rest, out);
-    if (args[0] == "samples") return cmdSamples(rest, out);
-    err << "rfsmc: unknown command '" << args[0] << "' (try rfsmc help)\n";
-    return 64;
+    if (args[0] == "info") code = cmdInfo(rest, out);
+    else if (args[0] == "dot") code = cmdDot(rest, out);
+    else if (args[0] == "convert") code = cmdConvert(rest, out);
+    else if (args[0] == "migrate") code = cmdMigrate(rest, out);
+    else if (args[0] == "inject") code = cmdInject(rest, out);
+    else if (args[0] == "resume") code = cmdResume(rest, out);
+    else if (args[0] == "vhdl") code = cmdVhdl(rest, out);
+    else if (args[0] == "testbench") code = cmdTestbench(rest, out);
+    else if (args[0] == "synth") code = cmdSynth(rest, out);
+    else if (args[0] == "chain") code = cmdChain(rest, out);
+    else if (args[0] == "equiv") code = cmdEquiv(rest, out);
+    else if (args[0] == "report") code = cmdReport(rest, out);
+    else if (args[0] == "samples") code = cmdSamples(rest, out);
+    else {
+      err << "rfsmc: unknown command '" << args[0] << "' (try rfsmc help)\n";
+      code = 64;
+    }
   } catch (const Error& error) {
     err << "rfsmc: " << error.what() << "\n";
-    return 1;
+    code = 1;
   } catch (const std::exception& error) {
     // E.g. std::stoi on a non-numeric --seed/--jobs value; a malformed
     // argument must not abort the process.
     err << "rfsmc: invalid argument (" << error.what() << ")\n";
-    return 1;
+    code = 1;
   }
+  if (traceOut.has_value()) {
+    if (!trace::writeFile(*traceOut))
+      err << "rfsmc: cannot write trace to '" << *traceOut << "'\n";
+    // Restore for embedders (tests drive runCli repeatedly in-process);
+    // an environment-enabled tracer stays on.
+    if (!traceWasEnabled) trace::setEnabled(false);
+  }
+  return code;
 }
 
 }  // namespace rfsm::cli

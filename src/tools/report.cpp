@@ -80,7 +80,12 @@ std::string buildMigrationReport(const MigrationContext& context,
   const int jobs =
       options.jobs <= 0 ? ThreadPool::hardwareJobs() : options.jobs;
   metrics::Snapshot telemetry = metrics::snapshot();
-  if (!options.includeTimings) telemetry.timers.clear();
+  if (!options.includeTimings) {
+    // Histograms are wall-clock derived, like timers: both would break the
+    // bit-identical-artifact contract of deterministic reports.
+    telemetry.timers.clear();
+    telemetry.histograms.clear();
+  }
   if (!telemetry.empty()) {
     os << "\n## Planner telemetry (jobs = " << jobs << ")\n\n";
     switch (options.telemetryFormat) {

@@ -1,0 +1,90 @@
+#include "util/histogram.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+
+namespace rfsm::metrics {
+namespace {
+
+std::atomic_ref<std::uint64_t> atomicRef(std::uint64_t& value) {
+  return std::atomic_ref<std::uint64_t>(value);
+}
+
+std::uint64_t load(const std::uint64_t& value) {
+  return std::atomic_ref<std::uint64_t>(const_cast<std::uint64_t&>(value))
+      .load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+int Histogram::bucketOf(std::uint64_t value) {
+  if (value < kSubBuckets) return static_cast<int>(value);
+  const int msb = 63 - std::countl_zero(value);
+  return (msb - 1) * kSubBuckets +
+         static_cast<int>((value >> (msb - 2)) & (kSubBuckets - 1));
+}
+
+std::uint64_t Histogram::bucketLowerBound(int bucket) {
+  if (bucket < kSubBuckets) return static_cast<std::uint64_t>(bucket);
+  const int octave = bucket / kSubBuckets;
+  const int sub = bucket % kSubBuckets;
+  return static_cast<std::uint64_t>(kSubBuckets + sub) << (octave - 1);
+}
+
+void Histogram::record(std::uint64_t value) {
+  atomicRef(counts_[static_cast<std::size_t>(bucketOf(value))])
+      .fetch_add(1, std::memory_order_relaxed);
+  atomicRef(count_).fetch_add(1, std::memory_order_relaxed);
+  atomicRef(sum_).fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = load(max_);
+  while (value > seen &&
+         !atomicRef(max_).compare_exchange_weak(seen, value,
+                                                std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::count() const { return load(count_); }
+std::uint64_t Histogram::sum() const { return load(sum_); }
+std::uint64_t Histogram::max() const { return load(max_); }
+
+std::uint64_t Histogram::quantile(double q) const {
+  // Work from a point-in-time copy; concurrent records may straddle the
+  // copy, so the total is derived from the copied buckets themselves.
+  std::uint64_t counts[kBucketCount];
+  std::uint64_t total = 0;
+  for (int b = 0; b < kBucketCount; ++b) {
+    counts[b] = load(counts_[b]);
+    total += counts[b];
+  }
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  std::uint64_t target =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total)));
+  if (target == 0) target = 1;
+
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < kBucketCount; ++b) {
+    cumulative += counts[b];
+    if (cumulative >= target) {
+      // Conservative estimate: the bucket's inclusive upper edge, never
+      // beyond the exact maximum.
+      const std::uint64_t upper = b + 1 < kBucketCount
+                                      ? bucketLowerBound(b + 1) - 1
+                                      : ~std::uint64_t{0};
+      const std::uint64_t seenMax = max();
+      return upper < seenMax ? upper : seenMax;
+    }
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) atomicRef(c).store(0, std::memory_order_relaxed);
+  atomicRef(count_).store(0, std::memory_order_relaxed);
+  atomicRef(sum_).store(0, std::memory_order_relaxed);
+  atomicRef(max_).store(0, std::memory_order_relaxed);
+}
+
+}  // namespace rfsm::metrics

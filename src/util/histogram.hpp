@@ -1,0 +1,77 @@
+// Fixed-bucket log-scale latency histograms with percentile extraction.
+//
+// A Histogram is a lock-free set of bucket counters covering the whole
+// uint64 nanosecond range: values 0..3 get one bucket each, after which
+// every power of two is split into 4 sub-buckets (relative error <= 25%,
+// 252 buckets, 2 KB).  record() is two relaxed atomic adds, so hot paths
+// (decodeOrder, per-instance planning, verifier runs) can feed a histogram
+// unconditionally, like the metrics counters.  Percentiles are computed
+// from a point-in-time copy of the buckets and reported as the upper edge
+// of the bucket containing the requested rank — a deterministic,
+// conservative estimate.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace rfsm::metrics {
+
+/// Log-scale latency histogram; values are nanoseconds by convention.
+class Histogram {
+ public:
+  /// 2 mantissa bits: 4 sub-buckets per octave.
+  static constexpr int kSubBuckets = 4;
+  /// Buckets 0..3 are exact; octave o >= 2 contributes 4 buckets, up to
+  /// the top bit of uint64.
+  static constexpr int kBucketCount = 63 * kSubBuckets;
+
+  /// Adds one sample (relaxed atomics; thread-safe).
+  void record(std::uint64_t value);
+  void record(std::chrono::nanoseconds elapsed) {
+    record(static_cast<std::uint64_t>(
+        elapsed.count() < 0 ? 0 : elapsed.count()));
+  }
+
+  std::uint64_t count() const;
+  std::uint64_t sum() const;
+  /// Largest recorded value (exact, not bucketed).
+  std::uint64_t max() const;
+
+  /// Value at quantile q in [0, 1]: the upper edge of the bucket holding
+  /// the ceil(q * count)-th smallest sample, clamped to max().  0 when
+  /// empty.
+  std::uint64_t quantile(double q) const;
+
+  void reset();
+
+  /// Bucket index a value lands in (exposed for tests).
+  static int bucketOf(std::uint64_t value);
+  /// Smallest value mapping to `bucket`.
+  static std::uint64_t bucketLowerBound(int bucket);
+
+ private:
+  // Accessed via std::atomic_ref, like the metrics counters.
+  std::uint64_t counts_[kBucketCount] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Records the guard's lifetime into `histogram` (nanoseconds).
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram& histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedLatency() {
+    histogram_.record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - start_));
+  }
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram& histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace rfsm::metrics

@@ -16,6 +16,7 @@ struct Registry {
   // later insertions.
   std::map<std::string, Counter> counters;
   std::map<std::string, Timer> timers;
+  std::map<std::string, Histogram> histograms;
 };
 
 Registry& registry() {
@@ -85,6 +86,18 @@ Timer& timer(const std::string& name) {
   return r.timers[name];
 }
 
+Histogram& histogram(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.histograms[name];
+}
+
+namespace {
+
+double nsToMs(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+}  // namespace
+
 Snapshot snapshot() {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mutex);
@@ -96,6 +109,12 @@ Snapshot snapshot() {
       snap.timers.push_back(
           {name, t.count(),
            static_cast<double>(t.total().count()) / 1e6});
+  for (const auto& [name, h] : r.histograms)
+    if (h.count() != 0)
+      snap.histograms.push_back({name, h.count(), nsToMs(h.quantile(0.5)),
+                                 nsToMs(h.quantile(0.9)),
+                                 nsToMs(h.quantile(0.99)),
+                                 nsToMs(h.max())});
   return snap;  // std::map iteration is already name-sorted
 }
 
@@ -104,6 +123,7 @@ void resetAll() {
   std::lock_guard<std::mutex> lock(r.mutex);
   for (auto& [name, c] : r.counters) c.reset();
   for (auto& [name, t] : r.timers) t.reset();
+  for (auto& [name, h] : r.histograms) h.reset();
 }
 
 std::string toMarkdown(const Snapshot& snapshot) {
@@ -145,6 +165,22 @@ std::string toMarkdown(const Snapshot& snapshot) {
     }
     os << table.toMarkdown();
   }
+  if (!snapshot.histograms.empty()) {
+    if (!snapshot.counters.empty() || !snapshot.timers.empty()) os << "\n";
+    Table table({"histogram", "count", "p50 ms", "p90 ms", "p99 ms",
+                 "max ms"});
+    auto fixed = [](double value) {
+      std::ostringstream cell;
+      cell.setf(std::ios::fixed);
+      cell.precision(3);
+      cell << value;
+      return cell.str();
+    };
+    for (const HistogramSample& h : snapshot.histograms)
+      table.addRow({h.name, std::to_string(h.count), fixed(h.p50Ms),
+                    fixed(h.p90Ms), fixed(h.p99Ms), fixed(h.maxMs)});
+    os << table.toMarkdown();
+  }
   return os.str();
 }
 
@@ -169,17 +205,34 @@ std::string jsonEscape(const std::string& name) {
   return out;
 }
 
+/// RFC 4180 field quoting: fields containing commas, quotes, or line
+/// breaks are wrapped in double quotes with embedded quotes doubled.
+std::string csvField(const std::string& field) {
+  if (field.find_first_of(",\"\r\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 }  // namespace
 
 std::string toCsv(const Snapshot& snapshot) {
   if (snapshot.empty()) return "";
   std::ostringstream os;
-  os << "kind,name,value,count,total_ms\n";
+  os << "kind,name,value,count,total_ms,p50_ms,p90_ms,p99_ms,max_ms\n";
   for (const CounterSample& c : snapshot.counters)
-    os << "counter," << c.name << "," << c.value << ",,\n";
+    os << "counter," << csvField(c.name) << "," << c.value << ",,,,,,\n";
   for (const TimerSample& t : snapshot.timers)
-    os << "timer," << t.name << ",," << t.count << "," << fixedMs(t.totalMs)
-       << "\n";
+    os << "timer," << csvField(t.name) << ",," << t.count << ","
+       << fixedMs(t.totalMs) << ",,,,\n";
+  for (const HistogramSample& h : snapshot.histograms)
+    os << "histogram," << csvField(h.name) << ",," << h.count << ",,"
+       << fixedMs(h.p50Ms) << "," << fixedMs(h.p90Ms) << ","
+       << fixedMs(h.p99Ms) << "," << fixedMs(h.maxMs) << "\n";
   return os.str();
 }
 
@@ -198,6 +251,16 @@ std::string toJson(const Snapshot& snapshot) {
     os << "\"" << jsonEscape(snapshot.timers[k].name) << "\": {\"count\": "
        << snapshot.timers[k].count << ", \"total_ms\": "
        << fixedMs(snapshot.timers[k].totalMs) << "}";
+  }
+  os << "}, \"histograms\": {";
+  for (std::size_t k = 0; k < snapshot.histograms.size(); ++k) {
+    const HistogramSample& h = snapshot.histograms[k];
+    if (k > 0) os << ", ";
+    os << "\"" << jsonEscape(h.name) << "\": {\"count\": " << h.count
+       << ", \"p50_ms\": " << fixedMs(h.p50Ms)
+       << ", \"p90_ms\": " << fixedMs(h.p90Ms)
+       << ", \"p99_ms\": " << fixedMs(h.p99Ms)
+       << ", \"max_ms\": " << fixedMs(h.maxMs) << "}";
   }
   os << "}}\n";
   return os.str();

@@ -1,9 +1,11 @@
-// Lightweight planner telemetry: named counters and wall-clock timers.
+// Lightweight planner telemetry: named counters, wall-clock timers, and
+// log-scale latency histograms.
 //
 // Hot paths (decodeOrder, the MutableMachine BFS cache, validateProgram)
 // bump process-wide atomic counters; planners time themselves with
-// ScopedTimer.  Benches and the CLI report render a snapshot as a markdown
-// table.  Everything is thread-safe: lookups take a registry mutex once
+// ScopedTimer and feed per-call latencies into histograms (p50/p90/p99).
+// Benches and the CLI report render a snapshot as a markdown table, CSV,
+// or JSON.  Everything is thread-safe: lookups take a registry mutex once
 // (cache the returned reference in a static local on hot paths), updates
 // are relaxed atomics.
 #pragma once
@@ -12,6 +14,8 @@
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "util/histogram.hpp"
 
 namespace rfsm::metrics {
 
@@ -57,6 +61,7 @@ class ScopedTimer {
 /// resetAll zeroes values in place).
 Counter& counter(const std::string& name);
 Timer& timer(const std::string& name);
+Histogram& histogram(const std::string& name);
 
 /// Point-in-time copy of every non-zero metric, sorted by name.
 struct CounterSample {
@@ -68,10 +73,22 @@ struct TimerSample {
   std::uint64_t count = 0;
   double totalMs = 0.0;
 };
+struct HistogramSample {
+  std::string name;
+  std::uint64_t count = 0;
+  // Percentiles of the recorded nanosecond values, in milliseconds.
+  double p50Ms = 0.0;
+  double p90Ms = 0.0;
+  double p99Ms = 0.0;
+  double maxMs = 0.0;
+};
 struct Snapshot {
   std::vector<CounterSample> counters;
   std::vector<TimerSample> timers;
-  bool empty() const { return counters.empty() && timers.empty(); }
+  std::vector<HistogramSample> histograms;
+  bool empty() const {
+    return counters.empty() && timers.empty() && histograms.empty();
+  }
 };
 
 Snapshot snapshot();
@@ -85,10 +102,12 @@ void resetAll();
 std::string toMarkdown(const Snapshot& snapshot);
 
 /// Machine-readable sinks, so bench sweeps can be diffed across commits.
-/// CSV columns: kind,name,value,count,total_ms (counters leave count and
-/// total_ms empty; timers leave value empty).  JSON is a single object
-/// {"counters": {...}, "timers": {name: {"count": n, "total_ms": x}}}.
-/// Both render "" for an empty snapshot.
+/// CSV columns: kind,name,value,count,total_ms,p50_ms,p90_ms,p99_ms,max_ms
+/// (each kind fills only its own columns); fields are quoted per RFC 4180
+/// when they contain commas, quotes, or newlines.  JSON is a single object
+/// {"counters": {...}, "timers": {name: {"count": n, "total_ms": x}},
+/// "histograms": {name: {"count": n, "p50_ms": x, ...}}}.  Both render ""
+/// for an empty snapshot.
 std::string toCsv(const Snapshot& snapshot);
 std::string toJson(const Snapshot& snapshot);
 
@@ -97,6 +116,16 @@ inline constexpr const char* kDecodeCalls = "planner.decode_calls";
 inline constexpr const char* kProgramsValidated = "planner.programs_validated";
 inline constexpr const char* kBfsCacheHits = "cache.bfs_hits";
 inline constexpr const char* kBfsCacheMisses = "cache.bfs_misses";
+
+// Canonical histogram names of the planning and verification layers
+// (values are nanoseconds; snapshots render percentiles in ms).
+inline constexpr const char* kDecodeLatency = "planner.decode";
+inline constexpr const char* kInstanceLatency = "batch.instance";
+inline constexpr const char* kVerifyLatency = "verify.verify";
+inline constexpr const char* kGenerationLatency = "ea.generation";
+
+// The tracer's ring-buffer overflow count (util/trace.hpp).
+inline constexpr const char* kTraceDropped = "trace.dropped";
 
 // Canonical metric names used by the fault-tolerance subsystem.
 inline constexpr const char* kFaultsInjected = "fault.flips_injected";

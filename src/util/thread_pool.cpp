@@ -6,13 +6,30 @@
 #include <deque>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
 #include "util/check.hpp"
+#include "util/trace.hpp"
 
 namespace rfsm {
 namespace {
+
+/// Names the calling worker thread for traces, TSan reports, and gdb.
+void nameWorkerThread(int index) {
+  const std::string name = "rfsm-worker-" + std::to_string(index);
+#if defined(__linux__)
+  // pthread names are capped at 15 characters + NUL; the scheme fits up to
+  // 99 workers and truncation beyond that is harmless.
+  pthread_setname_np(pthread_self(), name.substr(0, 15).c_str());
+#endif
+  trace::setCurrentThreadName(name);
+}
 
 /// One parallelFor invocation.  Lives on the caller's stack; helper tasks
 /// hold a raw pointer, which is safe because the caller blocks until every
@@ -65,7 +82,10 @@ struct ThreadPool::Impl {
         batch = queue.front();
         queue.pop_front();
       }
-      batch->drain();
+      {
+        trace::ScopedSpan span("pool.drain", "pool");
+        batch->drain();
+      }
       {
         // Notify while holding the lock: the caller destroys the Batch as
         // soon as it observes pending == 0, so the last touch of the batch
@@ -87,7 +107,10 @@ struct ThreadPool::Impl {
 ThreadPool::ThreadPool(int jobs) : impl_(std::make_unique<Impl>()) {
   if (jobs <= 0) jobs = hardwareJobs();
   for (int k = 1; k < jobs; ++k)
-    impl_->workers.emplace_back([this] { impl_->workerLoop(); });
+    impl_->workers.emplace_back([this, k] {
+      nameWorkerThread(k);
+      impl_->workerLoop();
+    });
 }
 
 ThreadPool::~ThreadPool() {
@@ -131,7 +154,11 @@ void ThreadPool::parallelFor(std::size_t count,
   }
   impl_->wake.notify_all();
 
-  batch.drain();  // the caller participates
+  {
+    // The caller participates.
+    trace::ScopedSpan span("pool.drain", "pool");
+    batch.drain();
+  }
   {
     std::unique_lock<std::mutex> lock(batch.mutex);
     batch.done.wait(lock, [&] { return batch.pending == 0; });

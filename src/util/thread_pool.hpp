@@ -17,6 +17,8 @@ namespace rfsm {
 /// Fixed-size pool of worker threads.  `jobs` is the total parallelism of a
 /// parallelFor call, including the calling thread: a pool with jobs == 4
 /// spawns 3 workers.  jobs <= 0 selects one job per hardware thread.
+/// Workers carry OS thread names (rfsm-worker-N), so traces, TSan reports,
+/// and gdb show which pool thread ran what.
 ///
 /// A pool with jobs == 1 spawns no threads and runs everything inline, so
 /// serial and parallel callers share one code path.

@@ -1,0 +1,356 @@
+#include "util/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "util/metrics.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace rfsm::trace {
+namespace {
+
+int processId() {
+#if defined(__unix__) || defined(__APPLE__)
+  static const int pid = static_cast<int>(::getpid());
+  return pid;
+#else
+  return 1;
+#endif
+}
+
+/// Steady-clock epoch shared by every event in the process.
+std::chrono::steady_clock::time_point epoch() {
+  static const auto start = std::chrono::steady_clock::now();
+  return start;
+}
+
+/// Small dense thread ids (Chrome wants integers, std::thread::id is not).
+int currentTid() {
+  static std::atomic<int> nextTid{0};
+  thread_local const int tid =
+      nextTid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+struct Event {
+  char ph = 'X';
+  std::string name;
+  std::string category;
+  std::uint64_t tsNs = 0;
+  std::uint64_t durNs = 0;  // ph 'X' only
+  std::uint64_t id = 0;     // ph 'b'/'n'/'e' only
+  int tid = 0;
+  bool hasId = false;
+  std::string argsJson;  // comma-joined "key": value fragments
+};
+
+struct State {
+  std::mutex mutex;
+  std::vector<Event> ring;
+  std::size_t capacity = 32768;
+  std::size_t head = 0;  // oldest event once the ring is full
+  std::uint64_t dropped = 0;
+  std::map<int, std::string> threadNames;
+  std::atomic<std::uint64_t> nextCorrelationId{1};
+};
+
+/// Leaked on purpose: the tracer must survive static destruction (atexit
+/// dump, spans in other objects' destructors).
+State& state() {
+  static State* instance = new State;
+  return *instance;
+}
+
+void push(Event&& event) {
+  static metrics::Counter& droppedCounter =
+      metrics::counter(metrics::kTraceDropped);
+  State& s = state();
+  bool dropped = false;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.capacity == 0) return;
+    if (s.ring.size() < s.capacity) {
+      s.ring.push_back(std::move(event));
+    } else {
+      s.ring[s.head] = std::move(event);
+      s.head = (s.head + 1) % s.capacity;
+      ++s.dropped;
+      dropped = true;
+    }
+  }
+  if (dropped) droppedCounter.add();
+}
+
+std::string jsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string renderArgs(Args args) {
+  std::string out;
+  for (const Arg& a : args) {
+    if (!out.empty()) out += ", ";
+    out += "\"" + jsonEscape(a.key) + "\": " + a.value;
+  }
+  return out;
+}
+
+Event makeEvent(char ph, const std::string& name, const std::string& category,
+                Args args) {
+  Event e;
+  e.ph = ph;
+  e.name = name;
+  e.category = category;
+  e.tsNs = nowNs();
+  e.tid = currentTid();
+  e.argsJson = renderArgs(args);
+  return e;
+}
+
+void dumpAtExit() {
+  if (const char* out = std::getenv("RFSM_TRACE_OUT")) writeFile(out);
+}
+
+bool envTruthy(const char* value) {
+  return value != nullptr && *value != '\0' && std::string(value) != "0";
+}
+
+}  // namespace
+
+namespace detail {
+std::atomic<bool> gEnabled{[] {
+  const bool on = envTruthy(std::getenv("RFSM_TRACE"));
+  if (on && std::getenv("RFSM_TRACE_OUT") != nullptr)
+    std::atexit(dumpAtExit);
+  return on;
+}()};
+}  // namespace detail
+
+void setEnabled(bool on) {
+  detail::gEnabled.store(on, std::memory_order_relaxed);
+}
+
+void setCapacity(std::size_t events) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.capacity = events;
+  s.ring.clear();
+  s.ring.shrink_to_fit();
+  s.head = 0;
+  s.dropped = 0;
+}
+
+std::size_t capacity() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.capacity;
+}
+
+void clear() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.ring.clear();
+  s.head = 0;
+  s.dropped = 0;
+}
+
+std::uint64_t droppedCount() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.dropped;
+}
+
+std::size_t eventCount() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.ring.size();
+}
+
+std::uint64_t nowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch())
+          .count());
+}
+
+Arg Arg::num(const std::string& key, std::int64_t value) {
+  return {key, std::to_string(value)};
+}
+Arg Arg::num(const std::string& key, std::uint64_t value) {
+  return {key, std::to_string(value)};
+}
+Arg Arg::num(const std::string& key, double value) {
+  std::ostringstream os;
+  os << value;
+  return {key, os.str()};
+}
+Arg Arg::boolean(const std::string& key, bool value) {
+  return {key, value ? "true" : "false"};
+}
+Arg Arg::str(const std::string& key, const std::string& value) {
+  return {key, "\"" + jsonEscape(value) + "\""};
+}
+
+void complete(const std::string& name, const std::string& category,
+              std::uint64_t startNs, std::uint64_t durationNs, Args args) {
+  if (!enabled()) return;
+  Event e = makeEvent('X', name, category, args);
+  e.tsNs = startNs;
+  e.durNs = durationNs;
+  push(std::move(e));
+}
+
+void instant(const std::string& name, const std::string& category,
+             Args args) {
+  if (!enabled()) return;
+  push(makeEvent('i', name, category, args));
+}
+
+std::uint64_t newCorrelationId() {
+  return state().nextCorrelationId.fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace {
+
+void asyncEvent(char ph, const std::string& name, const std::string& category,
+                std::uint64_t id, Args args) {
+  if (!enabled()) return;
+  Event e = makeEvent(ph, name, category, args);
+  e.id = id;
+  e.hasId = true;
+  push(std::move(e));
+}
+
+}  // namespace
+
+void asyncBegin(const std::string& name, const std::string& category,
+                std::uint64_t id, Args args) {
+  asyncEvent('b', name, category, id, args);
+}
+
+void asyncInstant(const std::string& name, const std::string& category,
+                  std::uint64_t id, Args args) {
+  asyncEvent('n', name, category, id, args);
+}
+
+void asyncEnd(const std::string& name, const std::string& category,
+              std::uint64_t id, Args args) {
+  asyncEvent('e', name, category, id, args);
+}
+
+void setCurrentThreadName(const std::string& name) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.threadNames[currentTid()] = name;
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* category, Args args)
+    : name_(nullptr), category_(category) {
+  if (!enabled()) return;
+  name_ = name;
+  startNs_ = nowNs();
+  argsJson_ = renderArgs(args);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (name_ == nullptr) return;
+  Event e;
+  e.ph = 'X';
+  e.name = name_;
+  e.category = category_;
+  e.tsNs = startNs_;
+  e.durNs = nowNs() - startNs_;
+  e.tid = currentTid();
+  e.argsJson = std::move(argsJson_);
+  push(std::move(e));
+}
+
+void ScopedSpan::addArg(const Arg& arg) {
+  if (name_ == nullptr) return;
+  if (!argsJson_.empty()) argsJson_ += ", ";
+  argsJson_ += "\"" + jsonEscape(arg.key) + "\": " + arg.value;
+}
+
+std::string toJson() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+  bool first = true;
+  const int pid = processId();
+  auto comma = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  for (const auto& [tid, name] : s.threadNames) {
+    comma();
+    os << "{\"ph\": \"M\", \"pid\": " << pid << ", \"tid\": " << tid
+       << ", \"name\": \"thread_name\", \"args\": {\"name\": \""
+       << jsonEscape(name) << "\"}}";
+  }
+  auto fixed3 = [&](double value) {
+    os.setf(std::ios::fixed);
+    os.precision(3);
+    os << value;
+    os.unsetf(std::ios::fixed);
+  };
+  const std::size_t count = s.ring.size();
+  const bool full = count == s.capacity && s.capacity != 0;
+  for (std::size_t k = 0; k < count; ++k) {
+    const Event& e = s.ring[full ? (s.head + k) % count : k];
+    comma();
+    os << "{\"ph\": \"" << e.ph << "\", \"pid\": " << pid
+       << ", \"tid\": " << e.tid << ", \"ts\": ";
+    fixed3(static_cast<double>(e.tsNs) / 1000.0);
+    os << ", \"name\": \"" << jsonEscape(e.name) << "\"";
+    if (!e.category.empty())
+      os << ", \"cat\": \"" << jsonEscape(e.category) << "\"";
+    if (e.ph == 'X') {
+      os << ", \"dur\": ";
+      fixed3(static_cast<double>(e.durNs) / 1000.0);
+    }
+    if (e.ph == 'i') os << ", \"s\": \"t\"";
+    if (e.hasId) os << ", \"id\": " << e.id;
+    os << ", \"args\": {" << e.argsJson << "}}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+bool writeFile(const std::string& path) {
+  std::ofstream stream(path, std::ios::binary);
+  if (!stream) return false;
+  stream << toJson();
+  return static_cast<bool>(stream);
+}
+
+}  // namespace rfsm::trace

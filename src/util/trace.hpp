@@ -1,0 +1,134 @@
+// Process-wide span tracing in the Chrome trace-event format.
+//
+// The tracer records durational spans (ph "X"), instant events (ph "i"),
+// and correlated async spans (ph "b"/"n"/"e" sharing an id) into a bounded
+// in-memory ring buffer and renders them as JSON that loads directly in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing.  Design rules:
+//
+//  * Zero-cost when disabled: every entry point starts with enabled(),
+//    a single relaxed atomic load; ScopedSpan's constructor takes no
+//    timestamp and its destructor does nothing.
+//  * Bounded memory: the ring keeps the newest `capacity()` events; older
+//    events are dropped and counted (droppedCount() and the
+//    metrics::kTraceDropped counter), never reallocated.
+//  * Thread-safe: one mutex guards the ring; timestamps come from a single
+//    process-wide steady_clock epoch, so spans from different threads (and
+//    the RTL cycle spans that correlate with VCD time) share one timebase.
+//  * Deterministic results: tracing observes, it never steers — planner
+//    output is bit-identical with tracing on or off.
+//
+// Enabling: RFSM_TRACE=1 in the environment (RFSM_TRACE_OUT=FILE
+// additionally dumps the buffer at process exit), or setEnabled(true)
+// programmatically (the CLI's --trace-out does this and writes explicitly).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace rfsm::trace {
+
+namespace detail {
+extern std::atomic<bool> gEnabled;
+}  // namespace detail
+
+/// True when tracing is on.  This is the whole disabled-path cost: one
+/// relaxed atomic load.
+inline bool enabled() {
+  return detail::gEnabled.load(std::memory_order_relaxed);
+}
+
+/// Turns tracing on or off at runtime (tests, CLI --trace-out).
+void setEnabled(bool on);
+
+/// Resizes the ring buffer (default 32768 events) and clears it.
+void setCapacity(std::size_t events);
+std::size_t capacity();
+
+/// Drops all buffered events and zeroes the dropped-event count.
+void clear();
+
+/// Events evicted by ring overflow since the last clear().
+std::uint64_t droppedCount();
+
+/// Events currently buffered.
+std::size_t eventCount();
+
+/// Nanoseconds since the process trace epoch — the shared timebase of
+/// every span, including manual ones.
+std::uint64_t nowNs();
+
+/// One "key": value argument of an event.  `value` is pre-rendered JSON:
+/// use Arg::num for numbers / booleans and Arg::str for strings (which
+/// escapes and quotes).
+struct Arg {
+  std::string key;
+  std::string value;
+
+  static Arg num(const std::string& key, std::int64_t value);
+  static Arg num(const std::string& key, std::uint64_t value);
+  static Arg num(const std::string& key, double value);
+  static Arg boolean(const std::string& key, bool value);
+  static Arg str(const std::string& key, const std::string& value);
+};
+
+using Args = std::initializer_list<Arg>;
+
+/// Complete event (ph "X") with explicit start and duration, for spans
+/// whose lifetime does not fit a scope.
+void complete(const std::string& name, const std::string& category,
+              std::uint64_t startNs, std::uint64_t durationNs,
+              Args args = {});
+
+/// Thread-scoped instant event (ph "i") — the building block of the
+/// per-migration event log (cell writes, verify verdicts, decisions).
+void instant(const std::string& name, const std::string& category,
+             Args args = {});
+
+/// Correlated async spans (ph "b"/"n"/"e").  Events sharing (category, id)
+/// form one async track; a migration id correlates resume, patch, and
+/// rollback steps across threads.  Ids come from newCorrelationId().
+std::uint64_t newCorrelationId();
+void asyncBegin(const std::string& name, const std::string& category,
+                std::uint64_t id, Args args = {});
+void asyncInstant(const std::string& name, const std::string& category,
+                  std::uint64_t id, Args args = {});
+void asyncEnd(const std::string& name, const std::string& category,
+              std::uint64_t id, Args args = {});
+
+/// Names the calling thread in trace output (ph "M" metadata).  Cheap and
+/// recorded even while disabled, so threads created before setEnabled(true)
+/// keep their names.
+void setCurrentThreadName(const std::string& name);
+
+/// RAII span: records a ph "X" complete event covering its lifetime.
+/// `name` and `category` must outlive the span (string literals).  A span
+/// constructed while tracing is disabled stays inert even if tracing is
+/// enabled before it dies.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* category, Args args = {});
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches an argument discovered mid-span (e.g. a result count).
+  void addArg(const Arg& arg);
+
+ private:
+  const char* name_;  // nullptr = inert
+  const char* category_;
+  std::uint64_t startNs_ = 0;
+  std::string argsJson_;
+};
+
+/// Renders the buffered events as a Chrome trace-event JSON object
+/// ({"traceEvents": [...]}), including thread-name metadata.  Does not
+/// clear the buffer.
+std::string toJson();
+
+/// Writes toJson() to `path`; false when the file cannot be written.
+bool writeFile(const std::string& path);
+
+}  // namespace rfsm::trace

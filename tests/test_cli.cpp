@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "tools/cli.hpp"
+#include "util/trace.hpp"
 
 namespace rfsm::cli {
 namespace {
@@ -291,6 +292,65 @@ TEST(Cli, CorruptProgramFileNamesFileAndFails) {
                         "--program", path});
   EXPECT_EQ(r.code, 1);
   EXPECT_NE(r.err.find(path), std::string::npos) << r.err;
+}
+
+TEST(Cli, TraceOutWritesNestedSpansAndKeepsOutputIdentical) {
+  // The same migrate run with tracing off, then on: stdout bit-identical
+  // (tracing observes, never steers), and the trace file carries nested
+  // spans from the planner stack.
+  const CliRun plain = run({"migrate", "sample:traffic_v1",
+                            "sample:traffic_v2", "--planner", "ea",
+                            "--seed", "7"});
+  ASSERT_EQ(plain.code, 0);
+
+  const std::string path = ::testing::TempDir() + "rfsm_cli_trace.json";
+  const CliRun traced = run({"migrate", "sample:traffic_v1",
+                             "sample:traffic_v2", "--planner", "ea",
+                             "--seed", "7", "--trace-out", path});
+  EXPECT_EQ(traced.code, 0);
+  EXPECT_EQ(traced.out, plain.out);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"planner.ea\""), std::string::npos);
+  EXPECT_NE(json.find("\"planner.decode\""), std::string::npos);
+  EXPECT_NE(json.find("\"planner.validate\""), std::string::npos);
+  trace::setEnabled(false);
+  trace::clear();
+}
+
+TEST(Cli, TraceOutCoversGuardedMigrationEventLog) {
+  const std::string path = ::testing::TempDir() + "rfsm_cli_inject_trace.json";
+  const CliRun r = run({"inject", "sample:traffic_v1", "sample:traffic_v2",
+                        "--flips", "1", "--seed", "3", "--trace-out", path});
+  EXPECT_TRUE(r.code == 0 || r.code == 3) << r.out;
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  // The correlated migration track plus its instant-event log.
+  EXPECT_NE(json.find("\"migration\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"cell.write\""), std::string::npos);
+  EXPECT_NE(json.find("\"fault.inject\""), std::string::npos);
+  EXPECT_NE(json.find("\"verify.verdict\""), std::string::npos);
+  trace::setEnabled(false);
+  trace::clear();
+}
+
+TEST(Cli, ReportTelemetryJsonIncludesHistogramPercentiles) {
+  const CliRun r = run({"report", "sample:traffic_v1", "sample:traffic_v2",
+                        "--telemetry", "json"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("\"histograms\""), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"p99_ms\""), std::string::npos) << r.out;
 }
 
 }  // namespace

@@ -237,10 +237,47 @@ TEST(Metrics, CsvRendersOneRowPerMetric) {
   metrics::counter("test.csv_counter").add(7);
   metrics::timer("test.csv_timer").record(std::chrono::milliseconds(3));
   const std::string csv = metrics::toCsv(metrics::snapshot());
-  EXPECT_NE(csv.find("kind,name,value,count,total_ms\n"), std::string::npos);
-  EXPECT_NE(csv.find("counter,test.csv_counter,7,,\n"), std::string::npos);
+  EXPECT_NE(
+      csv.find("kind,name,value,count,total_ms,p50_ms,p90_ms,p99_ms,max_ms\n"),
+      std::string::npos);
+  EXPECT_NE(csv.find("counter,test.csv_counter,7,,,,,,\n"), std::string::npos);
   EXPECT_NE(csv.find("timer,test.csv_timer,,1,"), std::string::npos);
   EXPECT_EQ(metrics::toCsv(metrics::Snapshot{}), "");
+  metrics::resetAll();
+}
+
+TEST(Metrics, CsvQuotesSpecialCharactersPerRfc4180) {
+  // Names carrying separators, quotes, or line breaks must arrive as one
+  // field: quoted, with embedded quotes doubled.
+  metrics::Snapshot snap;
+  snap.counters.push_back({"plain.name", 1});
+  snap.counters.push_back({"with,comma", 2});
+  snap.counters.push_back({"with \"quotes\"", 3});
+  snap.counters.push_back({"with\nnewline", 4});
+  const std::string csv = metrics::toCsv(snap);
+  EXPECT_NE(csv.find("counter,plain.name,1,"), std::string::npos);
+  EXPECT_NE(csv.find("counter,\"with,comma\",2,"), std::string::npos);
+  EXPECT_NE(csv.find("counter,\"with \"\"quotes\"\"\",3,"),
+            std::string::npos);
+  EXPECT_NE(csv.find("counter,\"with\nnewline\",4,"), std::string::npos);
+}
+
+TEST(Metrics, CsvAndJsonRenderHistograms) {
+  metrics::resetAll();
+  metrics::Histogram& h = metrics::histogram("test.csv_histogram");
+  h.record(std::chrono::milliseconds(2));
+  h.record(std::chrono::milliseconds(4));
+  const metrics::Snapshot snap = metrics::snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 2u);
+  const std::string csv = metrics::toCsv(snap);
+  EXPECT_NE(csv.find("histogram,test.csv_histogram,,2,"), std::string::npos);
+  const std::string json = metrics::toJson(snap);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.csv_histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_ms\""), std::string::npos);
+  const std::string md = metrics::toMarkdown(snap);
+  EXPECT_NE(md.find("test.csv_histogram"), std::string::npos);
   metrics::resetAll();
 }
 

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file emitted by the rfsm tracer.
+
+Usage: trace_check.py TRACE.json [TRACE2.json ...]
+
+Checks (exit 0 = all files pass, 1 = any violation):
+  * top level is an object with a non-empty "traceEvents" array
+  * every event has the required keys: ph, name, pid, tid
+  * ph is one of the phases the tracer emits: X i b n e M
+  * complete events (X) carry numeric, non-negative ts and dur
+  * instant events (i) carry the scope key "s"
+  * async events (b/n/e) carry an id, and every begin has a matching end
+    with the same (category, id)
+  * timestamps are monotone enough to be plausible (no negative ts)
+
+The checker is dependency-free (json + sys only) so CI can run it on the
+bare runner image.
+"""
+
+import json
+import sys
+
+PHASES = {"X", "i", "b", "n", "e", "M"}
+REQUIRED = ("ph", "name", "pid", "tid")
+
+
+def fail(path, index, message):
+    print(f"{path}: event {index}: {message}", file=sys.stderr)
+    return False
+
+
+def check_file(path):
+    ok = True
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"{path}: not loadable JSON: {error}", file=sys.stderr)
+        return False
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        print(f"{path}: missing top-level traceEvents", file=sys.stderr)
+        return False
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        print(f"{path}: traceEvents must be a non-empty array",
+              file=sys.stderr)
+        return False
+
+    async_open = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            ok = fail(path, index, "not an object")
+            continue
+        for key in REQUIRED:
+            if key not in event:
+                ok = fail(path, index, f"missing required key '{key}'")
+        ph = event.get("ph")
+        if ph not in PHASES:
+            ok = fail(path, index, f"unexpected phase {ph!r}")
+            continue
+        if not event.get("name"):
+            ok = fail(path, index, "empty name")
+        if ph == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    ok = fail(path, index,
+                              f"complete event needs numeric {key} >= 0, "
+                              f"got {value!r}")
+        elif ph == "i":
+            if "s" not in event:
+                ok = fail(path, index, "instant event missing scope 's'")
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                ok = fail(path, index, f"instant event needs ts, got {ts!r}")
+        elif ph in ("b", "n", "e"):
+            if "id" not in event:
+                ok = fail(path, index, "async event missing id")
+            track = (event.get("cat"), event.get("id"))
+            if ph == "b":
+                async_open[track] = async_open.get(track, 0) + 1
+            elif ph == "e":
+                if async_open.get(track, 0) <= 0:
+                    ok = fail(path, index,
+                              f"async end without begin on track {track}")
+                else:
+                    async_open[track] -= 1
+
+    unclosed = {track: n for track, n in async_open.items() if n > 0}
+    if unclosed:
+        print(f"{path}: unclosed async tracks: {unclosed}", file=sys.stderr)
+        ok = False
+
+    if ok:
+        print(f"{path}: OK ({len(events)} events)")
+    return ok
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    results = [check_file(path) for path in argv[1:]]
+    return 0 if all(results) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
