@@ -264,6 +264,7 @@ const MutableMachine::BfsEntry& MutableMachine::bfsFrom(SymbolId from) const {
     return entry;
   }
   misses.add();
+  pollCancel(cancel_, "planner.bfs");
   trace::ScopedSpan span(
       "planner.bfs", "planner",
       {trace::Arg::num("from", static_cast<std::int64_t>(from))});

@@ -16,6 +16,7 @@
 #include "core/migration.hpp"
 #include "core/program.hpp"
 #include "util/check.hpp"
+#include "util/deadline.hpp"
 
 namespace rfsm {
 
@@ -124,6 +125,12 @@ class MutableMachine {
   /// selecting it (lowest id); otherwise nullopt.
   std::optional<SymbolId> edgeInput(SymbolId from, SymbolId to) const;
 
+  /// Cooperative cancellation for the BFS scans below: when set, every
+  /// cache-missing distancesFrom/pathInputs call polls the token before
+  /// walking the table and unwinds with CancelledError once it expired.
+  /// The planner service threads its per-request deadline through here.
+  void setCancel(const CancelToken* cancel) { cancel_ = cancel; }
+
   /// BFS distances from `from` to every state over specified cells only.
   /// Served from a per-source cache that is invalidated whenever a RAM cell
   /// is written (rewrite steps, loadCell); the reference stays valid until
@@ -173,6 +180,7 @@ class MutableMachine {
   /// Bumped on every table write; 0 marks a BfsEntry as never computed.
   std::uint64_t tableVersion_ = 1;
   mutable std::vector<BfsEntry> bfsCache_;  // indexed by source state
+  const CancelToken* cancel_ = nullptr;     // not owned; may be null
 };
 
 }  // namespace rfsm

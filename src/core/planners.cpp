@@ -23,6 +23,7 @@ class Decoder {
  public:
   Decoder(const MigrationContext& context, const DecodeOptions& options)
       : context_(context), options_(options), machine_(context) {
+    machine_.setCancel(options.cancel);
     i0_ = options.tempInput == kNoSymbol ? context.liftTargetInput(0)
                                          : options.tempInput;
     RFSM_CHECK(context.inTargetInputs(i0_),
@@ -180,6 +181,7 @@ ReconfigurationProgram decodeOrder(const MigrationContext& context,
   static metrics::Histogram& decodeLatency =
       metrics::histogram(metrics::kDecodeLatency);
   decodeCalls.add();
+  pollCancel(options.cancel, "planner.decode");
   metrics::ScopedLatency latency(decodeLatency);
   trace::ScopedSpan span("planner.decode", "planner",
                          {trace::Arg::num(
@@ -203,6 +205,7 @@ ReconfigurationProgram planGreedy(const MigrationContext& context,
   const auto& deltas = decoder.loopDeltas();
   std::vector<bool> done(deltas.size(), false);
   for (std::size_t round = 0; round < deltas.size(); ++round) {
+    pollCancel(options.cancel, "planner.greedy");
     int best = -1;
     int bestCost = kInfinity + 1;
     for (std::size_t k = 0; k < deltas.size(); ++k) {
@@ -269,29 +272,79 @@ ReconfigurationProgram planNoTemporary(const MigrationContext& context,
   return planGreedy(context, options);
 }
 
-std::vector<ReconfigurationProgram> planAll(
-    const std::vector<MigrationContext>& instances, const BatchPlanFn& plan,
-    const BatchOptions& options) {
+BatchReport planAllChecked(const std::vector<MigrationContext>& instances,
+                           const BatchPlanFn& plan,
+                           const BatchOptions& options) {
   metrics::ScopedTimer timing(metrics::timer("batch.plan_all"));
   static metrics::Histogram& instanceLatency =
       metrics::histogram(metrics::kInstanceLatency);
+  static metrics::Counter& failureCounter =
+      metrics::counter(metrics::kBatchInstanceFailures);
+  static metrics::Counter& cancelledCounter =
+      metrics::counter(metrics::kBatchCancelled);
   trace::ScopedSpan span(
       "batch.plan_all", "batch",
       {trace::Arg::num("instances",
                        static_cast<std::uint64_t>(instances.size())),
        trace::Arg::num("jobs", static_cast<std::int64_t>(options.jobs))});
-  std::vector<ReconfigurationProgram> programs(instances.size());
+  BatchReport report;
+  report.programs.resize(instances.size());
+  // Per-slot failure records; merged (in instance order) after the drain so
+  // the parallel bodies never contend on a shared vector.
+  std::vector<std::optional<InstanceFailure>> failures(instances.size());
   const Rng base(options.seed);
   ThreadPool pool(options.jobs);
   pool.parallelFor(instances.size(), [&](std::size_t k) {
     metrics::ScopedLatency latency(instanceLatency);
     trace::ScopedSpan instanceSpan(
         "batch.instance", "batch",
-        {trace::Arg::num("instance", static_cast<std::uint64_t>(k))});
-    Rng rng = base.substream(k);
-    programs[k] = plan(instances[k], rng);
+        {trace::Arg::num("instance", static_cast<std::uint64_t>(
+                                         options.substreamBase + k))});
+    InstanceFailure failure;
+    failure.instance = k;
+    try {
+      // Not-yet-started instances stop here once the token expires, so a
+      // deadline turns into cancelled slots, not a long tail of work.
+      pollCancel(options.cancel, "batch.instance");
+      Rng rng = base.substream(options.substreamBase + k);
+      report.programs[k] = plan(instances[k], rng);
+      return;
+    } catch (const CancelledError& error) {
+      failure.error = error.what();
+      failure.cancelled = true;
+      cancelledCounter.add();
+    } catch (const std::exception& error) {
+      // Poison this slot only: the planner threw (planner defect, degenerate
+      // instance, ...), every other instance still runs.
+      failure.error = error.what();
+      failureCounter.add();
+    }
+    trace::instant("batch.instance_failed", "batch",
+                   {trace::Arg::num("instance", static_cast<std::uint64_t>(
+                                                    options.substreamBase + k)),
+                    trace::Arg::boolean("cancelled", failure.cancelled),
+                    trace::Arg::str("error", failure.error)});
+    report.programs[k] = ReconfigurationProgram{};  // poisoned slot
+    failures[k] = std::move(failure);
   });
-  return programs;
+  for (auto& failure : failures)
+    if (failure.has_value()) report.failures.push_back(std::move(*failure));
+  return report;
+}
+
+std::vector<ReconfigurationProgram> planAll(
+    const std::vector<MigrationContext>& instances, const BatchPlanFn& plan,
+    const BatchOptions& options) {
+  BatchReport report = planAllChecked(instances, plan, options);
+  if (!report.ok()) {
+    std::string what = std::to_string(report.failures.size()) + " of " +
+                       std::to_string(instances.size()) +
+                       " instances failed; first: instance " +
+                       std::to_string(report.failures.front().instance) +
+                       ": " + report.failures.front().error;
+    throw BatchError(what, std::move(report.failures));
+  }
+  return std::move(report.programs);
 }
 
 std::vector<EvolutionaryPlan> planEvolutionaryBatch(
@@ -307,17 +360,27 @@ std::vector<EvolutionaryPlan> planEvolutionaryBatch(
                        static_cast<std::uint64_t>(instances.size())),
        trace::Arg::num("jobs", static_cast<std::int64_t>(options.jobs))});
   std::vector<EvolutionaryPlan> plans(instances.size());
+  // Thread the batch's cancel token into the EA generation loop and the
+  // decode path of every instance.
+  EvolutionConfig batchConfig = config;
+  DecodeOptions batchDecode = decode;
+  if (options.cancel != nullptr) {
+    batchConfig.cancel = options.cancel;
+    batchDecode.cancel = options.cancel;
+  }
   const Rng base(options.seed);
   ThreadPool pool(options.jobs);
   pool.parallelFor(instances.size(), [&](std::size_t k) {
     metrics::ScopedLatency latency(instanceLatency);
     trace::ScopedSpan instanceSpan(
         "batch.instance", "batch",
-        {trace::Arg::num("instance", static_cast<std::uint64_t>(k))});
-    Rng rng = base.substream(k);
+        {trace::Arg::num("instance", static_cast<std::uint64_t>(
+                                         options.substreamBase + k))});
+    pollCancel(options.cancel, "batch.instance");
+    Rng rng = base.substream(options.substreamBase + k);
     // Parallelism is across instances here; each EA runs its fitness
     // serially (nested parallelFor would be inline anyway).
-    plans[k] = planEvolutionary(instances[k], config, rng, decode);
+    plans[k] = planEvolutionary(instances[k], batchConfig, rng, batchDecode);
   });
   return plans;
 }

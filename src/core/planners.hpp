@@ -26,6 +26,7 @@
 #include "core/migration.hpp"
 #include "core/program.hpp"
 #include "ea/evolution.hpp"
+#include "util/deadline.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -49,6 +50,10 @@ struct DecodeOptions {
   /// When false, temporary transitions are only used for otherwise
   /// unreachable delta sources (ablation A2).
   bool allowTemporary = true;
+  /// Cooperative cancellation: polled once per decode and per BFS scan;
+  /// an expired token unwinds the planner with CancelledError.  nullptr =
+  /// not cancellable.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Decodes a permutation of the (loop-)delta transitions into a program.
@@ -112,11 +117,63 @@ struct BatchOptions {
   /// Total parallelism (including the calling thread); <= 0 selects one
   /// job per hardware thread.
   int jobs = 1;
-  /// Base seed; instance k plans with Rng(seed).substream(k).
+  /// Base seed; instance k plans with Rng(seed).substream(substreamBase+k).
   std::uint64_t seed = 1;
+  /// Offset into the substream space: a *shard* of a larger batch sets the
+  /// shard's global start index here, so a shard re-planned after a worker
+  /// crash (on any host, with any job count) draws the exact streams the
+  /// unsharded batch would have — the bit-identical-recovery contract of
+  /// the planner service.
+  std::uint64_t substreamBase = 0;
+  /// Cooperative cancellation, polled before each instance (and threaded
+  /// into the per-instance planners).  Instances not yet started when the
+  /// token expires are reported as cancelled failures.
+  const CancelToken* cancel = nullptr;
 };
 
+/// Per-instance failure of a batch run (satellite of the poisoned-slot
+/// contract: one bad instance must not take down the batch).
+struct InstanceFailure {
+  std::size_t instance = 0;
+  std::string error;
+  bool cancelled = false;  ///< deadline/cancel, not a planner defect
+
+  bool operator==(const InstanceFailure&) const = default;
+};
+
+/// Result of a failure-tolerant batch run.  `programs` is indexed by
+/// instance; a slot named in `failures` is poisoned (empty program) and
+/// must not be consumed.
+struct BatchReport {
+  std::vector<ReconfigurationProgram> programs;
+  std::vector<InstanceFailure> failures;  // sorted by instance
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// Thrown by planAll when instances failed; lists the failed instances.
+class BatchError : public Error {
+ public:
+  BatchError(const std::string& what, std::vector<InstanceFailure> failures)
+      : Error(what), failures_(std::move(failures)) {}
+  const std::vector<InstanceFailure>& failures() const { return failures_; }
+
+ private:
+  std::vector<InstanceFailure> failures_;
+};
+
+/// Plans every instance with `plan`, isolating failures: an instance whose
+/// planner throws poisons only its own result slot (recorded in
+/// failures + the batch.instance_failures metric); every other instance
+/// still runs.  Results arrive in instance order.
+BatchReport planAllChecked(const std::vector<MigrationContext>& instances,
+                           const BatchPlanFn& plan,
+                           const BatchOptions& options = {});
+
 /// Plans every instance with `plan`.  Results arrive in instance order.
+/// Failures are isolated per instance (see planAllChecked); when any
+/// occurred, the whole batch still drains and a BatchError naming the
+/// failed instances is thrown afterwards.
 std::vector<ReconfigurationProgram> planAll(
     const std::vector<MigrationContext>& instances, const BatchPlanFn& plan,
     const BatchOptions& options = {});

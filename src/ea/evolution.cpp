@@ -80,6 +80,7 @@ EvolutionResult evolvePermutation(int genomeLength, const FitnessFn& fitness,
       static_cast<std::size_t>(config.populationSize));
   for (auto& ind : population)
     ind.genome = randomPermutation(genomeLength, rng);
+  pollCancel(config.cancel, "ea.initial_population");
   evaluateFrom(population, 0);
 
   auto byFitness = [](const Individual& a, const Individual& b) {
@@ -102,6 +103,7 @@ EvolutionResult evolvePermutation(int genomeLength, const FitnessFn& fitness,
       metrics::histogram(metrics::kGenerationLatency);
   int stall = 0;  // generations since the last *strict* improvement
   for (int gen = 0; gen < config.generations; ++gen) {
+    pollCancel(config.cancel, "ea.generation");
     metrics::ScopedLatency latency(generationLatency);
     trace::ScopedSpan span(
         "ea.generation", "ea",

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ea/permutation.hpp"
+#include "util/deadline.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -34,6 +35,10 @@ struct EvolutionConfig {
   MutationOp mutation = MutationOp::kSwap;
   /// Stop early after this many generations without improvement (0 = never).
   int stallLimit = 0;
+  /// Cooperative cancellation, polled once per generation (and before the
+  /// initial-population evaluation); an expired token unwinds the run with
+  /// CancelledError.  nullptr = not cancellable.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Per-generation statistics.

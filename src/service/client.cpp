@@ -1,0 +1,151 @@
+#include "service/client.hpp"
+
+#include <chrono>
+#include <ostream>
+
+#include "util/ipc.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace rfsm::service {
+namespace {
+
+/// One request/response exchange; throws IpcError on transport failure,
+/// returns nullopt on timeout or a server that hung up.
+std::optional<std::string> exchange(const std::string& socketPath,
+                                    const std::string& request,
+                                    std::int64_t timeoutMs) {
+  ipc::ignoreSigpipe();
+  ipc::Fd fd = ipc::connectUnix(socketPath);
+  ipc::writeFrame(fd.get(), request);
+  CancelToken token;
+  if (timeoutMs > 0) {
+    token.setDeadline(CancelToken::Clock::now() +
+                      std::chrono::milliseconds(timeoutMs));
+  }
+  std::string reply;
+  const ipc::ReadStatus status =
+      ipc::readFrame(fd.get(), reply, timeoutMs > 0 ? &token : nullptr);
+  if (status != ipc::ReadStatus::kOk) return std::nullopt;
+  return reply;
+}
+
+ClientResult degrade(const BatchSpec& spec, const ClientOptions& options,
+                     std::ostream& err, const std::string& why) {
+  static metrics::Counter& degraded =
+      metrics::counter(metrics::kServiceDegraded);
+  degraded.add();
+  trace::instant("service.degraded", "service",
+                 {trace::Arg::str("why", why)});
+  // Diagnostics to stderr only: stdout must stay byte-identical to a
+  // healthy server run so `diff` proves the degradation lossless.
+  err << "rfsmc: planner service unavailable (" << why
+      << "); degrading to in-process planning\n";
+  ClientResult result = planLocal(spec, options.deadlineMs, options.jobs);
+  result.degraded = true;
+  return result;
+}
+
+}  // namespace
+
+ClientResult planLocal(const BatchSpec& spec, std::int64_t deadlineMs,
+                       int jobs) {
+  ClientResult result;
+  CancelToken cancel;
+  if (deadlineMs > 0) {
+    cancel.setDeadline(CancelToken::Clock::now() +
+                       std::chrono::milliseconds(deadlineMs));
+  }
+  try {
+    result.programs = planRange(spec, 0, spec.instanceCount,
+                                deadlineMs > 0 ? &cancel : nullptr, jobs);
+    result.status = WorkResult::Status::kOk;
+  } catch (const CancelledError& error) {
+    result.status = WorkResult::Status::kDeadlineExceeded;
+    result.error = error.what();
+  } catch (const BatchError& error) {
+    // Cancellation inside planAll surfaces as a BatchError whose failures
+    // are all marked cancelled; report it as the deadline it is.
+    bool allCancelled = !error.failures().empty();
+    for (const InstanceFailure& failure : error.failures())
+      allCancelled = allCancelled && failure.cancelled;
+    result.status = allCancelled ? WorkResult::Status::kDeadlineExceeded
+                                 : WorkResult::Status::kFailed;
+    result.error = error.what();
+  } catch (const Error& error) {
+    result.status = WorkResult::Status::kFailed;
+    result.error = error.what();
+  }
+  return result;
+}
+
+ClientResult planBatch(const BatchSpec& spec, const ClientOptions& options,
+                       std::ostream& err) {
+  PlanRequest request;
+  request.spec = spec;
+  request.deadlineMs = options.deadlineMs;
+  request.requestId = spec.seed;  // correlates client logs with the server
+
+  std::optional<std::string> reply;
+  try {
+    // The transport timeout leaves headroom over the request deadline so a
+    // cooperative DEADLINE_EXCEEDED reply still arrives.
+    const std::int64_t timeoutMs =
+        options.deadlineMs > 0 ? options.deadlineMs + 2000 : 0;
+    reply = exchange(options.socketPath, encodePlanRequest(request),
+                     timeoutMs);
+  } catch (const ipc::IpcError& error) {
+    return degrade(spec, options, err, error.what());
+  }
+  if (!reply.has_value())
+    return degrade(spec, options, err, "server did not answer");
+
+  PlanResponse response;
+  try {
+    response = decodePlanResponse(*reply);
+  } catch (const Error& error) {
+    return degrade(spec, options, err,
+                   std::string("malformed response: ") + error.what());
+  }
+
+  ClientResult result;
+  result.retries = response.retries;
+  result.crashes = response.crashes;
+  switch (response.status) {
+    case WorkResult::Status::kOk:
+      result.status = WorkResult::Status::kOk;
+      result.programs = std::move(response.programs);
+      return result;
+    case WorkResult::Status::kUnavailable:
+    case WorkResult::Status::kShed: {
+      ClientResult fallback = degrade(
+          spec, options, err,
+          std::string(toString(response.status)) +
+              (response.error.empty() ? "" : ": " + response.error));
+      fallback.retries = response.retries;
+      fallback.crashes = response.crashes;
+      return fallback;
+    }
+    case WorkResult::Status::kDeadlineExceeded:
+    case WorkResult::Status::kFailed:
+      result.status = response.status;
+      result.error = response.error;
+      return result;
+  }
+  result.error = "unknown response status";
+  return result;
+}
+
+std::optional<HealthResponse> probeHealth(const std::string& socketPath,
+                                          std::int64_t timeoutMs) {
+  try {
+    const std::optional<std::string> reply =
+        exchange(socketPath, encodeHealthRequest(), timeoutMs);
+    if (!reply.has_value()) return std::nullopt;
+    return decodeHealthResponse(*reply);
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace rfsm::service

@@ -1,0 +1,280 @@
+#include "service/protocol.hpp"
+
+#include "core/jsr.hpp"
+#include "core/program.hpp"
+#include "gen/generator.hpp"
+#include "gen/mutator.hpp"
+#include "util/ipc.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rfsm::service {
+namespace {
+
+void putSpec(ipc::MessageWriter& writer, const BatchSpec& spec) {
+  writer.u32(static_cast<std::uint32_t>(spec.stateCount));
+  writer.u32(static_cast<std::uint32_t>(spec.inputCount));
+  writer.u32(static_cast<std::uint32_t>(spec.outputCount));
+  writer.u32(static_cast<std::uint32_t>(spec.deltaCount));
+  writer.u32(static_cast<std::uint32_t>(spec.newStateCount));
+  writer.u64(spec.instanceCount);
+  writer.u64(spec.seed);
+  writer.str(spec.planner);
+}
+
+BatchSpec getSpec(ipc::MessageReader& reader) {
+  BatchSpec spec;
+  spec.stateCount = static_cast<int>(reader.u32());
+  spec.inputCount = static_cast<int>(reader.u32());
+  spec.outputCount = static_cast<int>(reader.u32());
+  spec.deltaCount = static_cast<int>(reader.u32());
+  spec.newStateCount = static_cast<int>(reader.u32());
+  spec.instanceCount = reader.u64();
+  spec.seed = reader.u64();
+  spec.planner = reader.str();
+  return spec;
+}
+
+void expectType(ipc::MessageReader& reader, MessageType expected) {
+  const auto tag = reader.u32();
+  if (tag != static_cast<std::uint32_t>(expected))
+    throw ipc::IpcError("unexpected message type " + std::to_string(tag) +
+                        " (expected " +
+                        std::to_string(static_cast<std::uint32_t>(expected)) +
+                        ")");
+}
+
+WorkResult::Status statusFromWire(std::uint32_t value) {
+  switch (value) {
+    case 0: return WorkResult::Status::kOk;
+    case 1: return WorkResult::Status::kFailed;
+    case 2: return WorkResult::Status::kDeadlineExceeded;
+    case 3: return WorkResult::Status::kShed;
+    case 4: return WorkResult::Status::kUnavailable;
+  }
+  throw ipc::IpcError("unknown status code " + std::to_string(value));
+}
+
+std::uint32_t statusToWire(WorkResult::Status status) {
+  switch (status) {
+    case WorkResult::Status::kOk: return 0;
+    case WorkResult::Status::kFailed: return 1;
+    case WorkResult::Status::kDeadlineExceeded: return 2;
+    case WorkResult::Status::kShed: return 3;
+    case WorkResult::Status::kUnavailable: return 4;
+  }
+  return 1;
+}
+
+}  // namespace
+
+MigrationContext makeInstance(const BatchSpec& spec, std::uint64_t index) {
+  Rng gen = Rng(spec.seed).substream(kGenStreamBase + index);
+  RandomMachineSpec sourceSpec;
+  sourceSpec.stateCount = spec.stateCount;
+  sourceSpec.inputCount = spec.inputCount;
+  sourceSpec.outputCount = spec.outputCount;
+  sourceSpec.name = "batch" + std::to_string(index);
+  const Machine source = randomMachine(sourceSpec, gen);
+  MutationSpec mutation;
+  mutation.deltaCount = spec.deltaCount;
+  mutation.newStateCount = spec.newStateCount;
+  mutation.name = sourceSpec.name + "'";
+  const Machine target = mutateMachine(source, mutation, gen);
+  return MigrationContext(source, target);
+}
+
+BatchPlanFn plannerFn(const std::string& name) {
+  if (name == "jsr") {
+    return [](const MigrationContext& context, Rng&) {
+      return planJsr(context);
+    };
+  }
+  if (name == "greedy") {
+    return [](const MigrationContext& context, Rng&) {
+      return planGreedy(context);
+    };
+  }
+  if (name == "ea") {
+    return [](const MigrationContext& context, Rng& rng) {
+      return planEvolutionary(context, EvolutionConfig{}, rng).program;
+    };
+  }
+  throw Error("unknown batch planner '" + name + "' (jsr|greedy|ea)");
+}
+
+std::vector<std::string> planRange(const BatchSpec& spec, std::uint64_t lo,
+                                   std::uint64_t hi,
+                                   const CancelToken* cancel, int jobs) {
+  RFSM_CHECK(lo <= hi && hi <= spec.instanceCount,
+             "shard range out of bounds");
+  std::vector<MigrationContext> instances;
+  instances.reserve(static_cast<std::size_t>(hi - lo));
+  for (std::uint64_t k = lo; k < hi; ++k) {
+    pollCancel(cancel, "service.generate");
+    instances.push_back(makeInstance(spec, k));
+  }
+
+  BatchOptions options;
+  options.jobs = jobs;
+  options.seed = spec.seed;
+  options.substreamBase = lo;  // the bit-identical-shard contract
+  options.cancel = cancel;
+  const std::vector<ReconfigurationProgram> programs =
+      planAll(instances, plannerFn(spec.planner), options);
+
+  std::vector<std::string> texts;
+  texts.reserve(programs.size());
+  for (std::size_t k = 0; k < programs.size(); ++k)
+    texts.push_back(programToText(instances[k], programs[k]));
+  return texts;
+}
+
+// --- Plan request / response --------------------------------------------
+
+std::string encodePlanRequest(const PlanRequest& request) {
+  ipc::MessageWriter writer;
+  writer.u32(static_cast<std::uint32_t>(MessageType::kPlanRequest));
+  putSpec(writer, request.spec);
+  writer.i64(request.deadlineMs);
+  writer.u64(request.requestId);
+  return writer.take();
+}
+
+PlanRequest decodePlanRequest(const std::string& payload) {
+  ipc::MessageReader reader(payload);
+  expectType(reader, MessageType::kPlanRequest);
+  PlanRequest request;
+  request.spec = getSpec(reader);
+  request.deadlineMs = reader.i64();
+  request.requestId = reader.u64();
+  reader.expectEnd();
+  return request;
+}
+
+std::string encodePlanResponse(const PlanResponse& response) {
+  ipc::MessageWriter writer;
+  writer.u32(static_cast<std::uint32_t>(MessageType::kPlanResponse));
+  writer.u32(statusToWire(response.status));
+  writer.str(response.error);
+  writer.u64(response.retries);
+  writer.u64(response.crashes);
+  writer.u32(static_cast<std::uint32_t>(response.programs.size()));
+  for (const auto& program : response.programs) writer.str(program);
+  return writer.take();
+}
+
+PlanResponse decodePlanResponse(const std::string& payload) {
+  ipc::MessageReader reader(payload);
+  expectType(reader, MessageType::kPlanResponse);
+  PlanResponse response;
+  response.status = statusFromWire(reader.u32());
+  response.error = reader.str();
+  response.retries = reader.u64();
+  response.crashes = reader.u64();
+  const std::uint32_t count = reader.u32();
+  response.programs.reserve(count);
+  for (std::uint32_t k = 0; k < count; ++k)
+    response.programs.push_back(reader.str());
+  reader.expectEnd();
+  return response;
+}
+
+// --- Shard request / response -------------------------------------------
+
+std::string encodeShardRequest(const ShardRequest& request) {
+  ipc::MessageWriter writer;
+  writer.u32(static_cast<std::uint32_t>(MessageType::kShardRequest));
+  putSpec(writer, request.spec);
+  writer.u64(request.lo);
+  writer.u64(request.hi);
+  writer.i64(request.deadlineNs);
+  return writer.take();
+}
+
+ShardRequest decodeShardRequest(const std::string& payload) {
+  ipc::MessageReader reader(payload);
+  expectType(reader, MessageType::kShardRequest);
+  ShardRequest request;
+  request.spec = getSpec(reader);
+  request.lo = reader.u64();
+  request.hi = reader.u64();
+  request.deadlineNs = reader.i64();
+  reader.expectEnd();
+  return request;
+}
+
+std::string encodeShardResponse(const ShardResponse& response) {
+  ipc::MessageWriter writer;
+  writer.u32(static_cast<std::uint32_t>(MessageType::kShardResponse));
+  writer.u32(statusToWire(response.status));
+  writer.str(response.error);
+  writer.u32(static_cast<std::uint32_t>(response.programs.size()));
+  for (const auto& program : response.programs) writer.str(program);
+  return writer.take();
+}
+
+ShardResponse decodeShardResponse(const std::string& payload) {
+  ipc::MessageReader reader(payload);
+  expectType(reader, MessageType::kShardResponse);
+  ShardResponse response;
+  response.status = statusFromWire(reader.u32());
+  response.error = reader.str();
+  const std::uint32_t count = reader.u32();
+  response.programs.reserve(count);
+  for (std::uint32_t k = 0; k < count; ++k)
+    response.programs.push_back(reader.str());
+  reader.expectEnd();
+  return response;
+}
+
+// --- Health probe --------------------------------------------------------
+
+std::string encodeHealthRequest() {
+  ipc::MessageWriter writer;
+  writer.u32(static_cast<std::uint32_t>(MessageType::kHealthRequest));
+  return writer.take();
+}
+
+std::string encodeHealthResponse(const HealthResponse& response) {
+  ipc::MessageWriter writer;
+  writer.u32(static_cast<std::uint32_t>(MessageType::kHealthResponse));
+  writer.u32(response.healthy ? 1 : 0);
+  writer.u32(static_cast<std::uint32_t>(response.workersAlive));
+  writer.u32(static_cast<std::uint32_t>(response.workersConfigured));
+  writer.u64(response.queueDepth);
+  writer.u64(response.crashes);
+  writer.u64(response.retries);
+  writer.u64(response.shed);
+  return writer.take();
+}
+
+HealthResponse decodeHealthResponse(const std::string& payload) {
+  ipc::MessageReader reader(payload);
+  expectType(reader, MessageType::kHealthResponse);
+  HealthResponse response;
+  response.healthy = reader.u32() != 0;
+  response.workersAlive = static_cast<int>(reader.u32());
+  response.workersConfigured = static_cast<int>(reader.u32());
+  response.queueDepth = reader.u64();
+  response.crashes = reader.u64();
+  response.retries = reader.u64();
+  response.shed = reader.u64();
+  reader.expectEnd();
+  return response;
+}
+
+MessageType peekType(const std::string& payload) {
+  ipc::MessageReader reader(payload);
+  const std::uint32_t tag = reader.u32();
+  switch (tag) {
+    case 1: return MessageType::kPlanRequest;
+    case 2: return MessageType::kPlanResponse;
+    case 3: return MessageType::kHealthRequest;
+    case 4: return MessageType::kHealthResponse;
+    case 5: return MessageType::kShardRequest;
+    case 6: return MessageType::kShardResponse;
+  }
+  throw ipc::IpcError("unknown message type " + std::to_string(tag));
+}
+
+}  // namespace rfsm::service

@@ -1,0 +1,144 @@
+// Wire protocol of the planner service (rfsmd).
+//
+// The key design decision: requests describe batches by *generation spec*,
+// not by shipping machines.  Client, server, and every worker regenerate
+// instance k from the same seeded streams, so a shard request is a few
+// dozen bytes, and — more importantly — any party can (re)plan any
+// subrange [lo, hi) of the batch and get bytes identical to what the
+// unsharded in-process planAll would produce for those slots.  That is the
+// contract the whole robustness story leans on: a shard lost to a worker
+// crash is re-planned (possibly on a different worker, after the original
+// died mid-write) with no way to drift.
+//
+// Framing/encoding primitives live in util/ipc.hpp; this header defines
+// what the frames mean.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/migration.hpp"
+#include "core/planners.hpp"
+#include "util/deadline.hpp"
+#include "util/supervisor.hpp"
+
+namespace rfsm::service {
+
+/// First u32 of every frame.
+enum class MessageType : std::uint32_t {
+  kPlanRequest = 1,    ///< client -> server: plan a whole batch
+  kPlanResponse = 2,   ///< server -> client
+  kHealthRequest = 3,  ///< client -> server: health/readiness probe
+  kHealthResponse = 4, ///< server -> client
+  kShardRequest = 5,   ///< server -> worker: plan instances [lo, hi)
+  kShardResponse = 6,  ///< worker -> server
+};
+
+/// A batch of seeded random migration instances (the Table 2 axis): for
+/// instance k, the source machine and its mutated target are generated from
+/// Rng(seed).substream(kGenStreamBase + k), then planned with
+/// Rng(seed).substream(k) — both independent of how the batch is sharded.
+struct BatchSpec {
+  int stateCount = 8;
+  int inputCount = 2;
+  int outputCount = 2;
+  int deltaCount = 4;
+  int newStateCount = 0;
+  std::uint64_t instanceCount = 8;
+  std::uint64_t seed = 1;
+  std::string planner = "jsr";  ///< jsr | greedy | ea
+
+  bool operator==(const BatchSpec&) const = default;
+};
+
+/// Offset separating generation streams from planning streams in the
+/// substream space of BatchSpec::seed.
+inline constexpr std::uint64_t kGenStreamBase = 1u << 20;
+
+/// Generates instance `index` of the batch (deterministic, shard-agnostic).
+MigrationContext makeInstance(const BatchSpec& spec, std::uint64_t index);
+
+/// The batch planner named by spec.planner; throws Error on unknown names.
+BatchPlanFn plannerFn(const std::string& name);
+
+/// Plans instances [lo, hi) in-process and renders each program in the
+/// rfsm-program text format (core/program.hpp) — the exact bytes any other
+/// shard split would produce for those slots.  `cancel` is polled between
+/// instances and inside the planners; `jobs` <= 1 is serial.
+std::vector<std::string> planRange(const BatchSpec& spec, std::uint64_t lo,
+                                   std::uint64_t hi,
+                                   const CancelToken* cancel = nullptr,
+                                   int jobs = 1);
+
+// --- Plan request / response --------------------------------------------
+
+struct PlanRequest {
+  BatchSpec spec;
+  /// Latency budget in ms; 0 = no deadline.
+  std::int64_t deadlineMs = 0;
+  /// Client-chosen id, echoed in traces ("service.request" span) so client
+  /// and server logs correlate.
+  std::uint64_t requestId = 0;
+};
+
+struct PlanResponse {
+  WorkResult::Status status = WorkResult::Status::kFailed;
+  std::string error;
+  /// One rfsm-program text per instance (only when status == kOk).
+  std::vector<std::string> programs;
+  /// Shard retries this request needed (crash/timeout recoveries).
+  std::uint64_t retries = 0;
+  /// Worker crashes observed during this request.
+  std::uint64_t crashes = 0;
+};
+
+std::string encodePlanRequest(const PlanRequest& request);
+PlanRequest decodePlanRequest(const std::string& payload);
+std::string encodePlanResponse(const PlanResponse& response);
+PlanResponse decodePlanResponse(const std::string& payload);
+
+// --- Shard request / response -------------------------------------------
+
+struct ShardRequest {
+  BatchSpec spec;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  /// Absolute deadline as steady_clock ns-since-epoch (CLOCK_MONOTONIC is
+  /// machine-wide, and workers are always local children); 0 = none.
+  std::int64_t deadlineNs = 0;
+};
+
+struct ShardResponse {
+  /// kOk, kDeadlineExceeded (cooperative), or kFailed (planner threw).
+  WorkResult::Status status = WorkResult::Status::kFailed;
+  std::string error;
+  std::vector<std::string> programs;  ///< instances [lo, hi), when kOk
+};
+
+std::string encodeShardRequest(const ShardRequest& request);
+ShardRequest decodeShardRequest(const std::string& payload);
+std::string encodeShardResponse(const ShardResponse& response);
+ShardResponse decodeShardResponse(const std::string& payload);
+
+// --- Health probe --------------------------------------------------------
+
+struct HealthResponse {
+  bool healthy = false;
+  int workersAlive = 0;
+  int workersConfigured = 0;
+  std::uint64_t queueDepth = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t shed = 0;
+};
+
+std::string encodeHealthRequest();
+std::string encodeHealthResponse(const HealthResponse& response);
+HealthResponse decodeHealthResponse(const std::string& payload);
+
+/// The message type of a payload (its first u32); throws IpcError on an
+/// unknown tag or an empty frame.
+MessageType peekType(const std::string& payload);
+
+}  // namespace rfsm::service

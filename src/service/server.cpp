@@ -1,0 +1,251 @@
+#include "service/server.hpp"
+
+#include <signal.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace rfsm::service {
+namespace {
+
+/// Merges per-shard outcomes by severity: deadline beats unavailability
+/// beats plain failure beats success (see the header's precedence table).
+WorkResult::Status merge(WorkResult::Status overall,
+                         WorkResult::Status shard) {
+  auto rank = [](WorkResult::Status status) {
+    switch (status) {
+      case WorkResult::Status::kDeadlineExceeded: return 3;
+      case WorkResult::Status::kUnavailable: return 2;
+      case WorkResult::Status::kShed: return 2;
+      case WorkResult::Status::kFailed: return 1;
+      case WorkResult::Status::kOk: return 0;
+    }
+    return 1;
+  };
+  return rank(shard) > rank(overall) ? shard : overall;
+}
+
+/// Builds the pool options before the Supervisor member is constructed:
+/// the worker command is `<rfsmd> --worker`.
+SupervisorOptions poolOptions(ServerOptions& options) {
+  if (!options.workerBinary.empty())
+    options.pool.workerCommand = {options.workerBinary, "--worker"};
+  return options.pool;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      supervisor_(poolOptions(options_)),
+      listen_(options_.socketPath.empty()
+                  ? ipc::Fd()
+                  : ipc::listenUnix(options_.socketPath)) {
+  ipc::ignoreSigpipe();
+  using Kind = fault::ServiceScenario::Kind;
+  const fault::ServiceScenario& scenario = options_.scenario;
+  switch (scenario.kind) {
+    case Kind::kNone:
+      break;
+    case Kind::kUnhealthy:
+      supervisor_.forceUnhealthy();
+      break;
+    case Kind::kKillWorker:
+    case Kind::kAbortWorker:
+    case Kind::kHangWorker: {
+      const int signal = scenario.kind == Kind::kKillWorker ? SIGKILL
+                         : scenario.kind == Kind::kAbortWorker ? SIGABRT
+                                                               : SIGSTOP;
+      const auto after = static_cast<std::uint64_t>(
+          std::max(0, scenario.afterShards));
+      auto fired = std::make_shared<std::atomic<bool>>(false);
+      const std::string name = scenario.name;
+      supervisor_.setDispatchHook(
+          [signal, after, fired, name](std::uint64_t ordinal, int pid) {
+            if (ordinal < after || fired->exchange(true)) return;
+            trace::instant("service.fault_injected", "service",
+                           {trace::Arg::str("scenario", name),
+                            trace::Arg::num("pid",
+                                            static_cast<std::int64_t>(pid))});
+            ::kill(pid, signal);
+          });
+      break;
+    }
+  }
+}
+
+Server::~Server() = default;
+
+PlanResponse Server::handlePlan(const PlanRequest& request) {
+  static metrics::Counter& requests =
+      metrics::counter(metrics::kServiceRequests);
+  static metrics::Counter& shards = metrics::counter(metrics::kServiceShards);
+  static metrics::Histogram& requestLatency =
+      metrics::histogram(metrics::kServiceRequestLatency);
+  requests.add();
+  metrics::ScopedLatency latency(requestLatency);
+
+  // One correlation id spans the whole request: every shard span, retry
+  // instant, and the final verdict share it, so a Perfetto query for the
+  // id reconstructs the request end to end.
+  const std::uint64_t correlation = trace::newCorrelationId();
+  trace::asyncBegin(
+      "service.request", "service", correlation,
+      {trace::Arg::num("request_id", request.requestId),
+       trace::Arg::num("instances", request.spec.instanceCount),
+       trace::Arg::str("planner", request.spec.planner),
+       trace::Arg::num("deadline_ms", request.deadlineMs)});
+
+  auto cancel = std::make_shared<CancelToken>();
+  std::int64_t deadlineNs = 0;
+  if (request.deadlineMs > 0) {
+    const auto deadline = CancelToken::Clock::now() +
+                          std::chrono::milliseconds(request.deadlineMs);
+    cancel->setDeadline(deadline);
+    deadlineNs = deadline.time_since_epoch().count();
+  }
+
+  const std::uint64_t total = request.spec.instanceCount;
+  // Baseline for the retry/crash accounting, taken before any shard is
+  // dispatched: a worker can crash the instant its frame lands, well before
+  // the aggregation loop below starts.
+  const Supervisor::Health before = supervisor_.health();
+  const std::uint64_t shardSize = std::max<std::uint64_t>(1, options_.shardSize);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+  std::vector<std::future<WorkResult>> futures;
+  for (std::uint64_t lo = 0; lo < total; lo += shardSize) {
+    const std::uint64_t hi = std::min(total, lo + shardSize);
+    ShardRequest shard;
+    shard.spec = request.spec;
+    shard.lo = lo;
+    shard.hi = hi;
+    shard.deadlineNs = deadlineNs;
+    shards.add();
+    trace::asyncInstant("service.shard_submit", "service", correlation,
+                        {trace::Arg::num("lo", lo), trace::Arg::num("hi", hi)});
+    futures.push_back(supervisor_.submit(encodeShardRequest(shard), cancel));
+    ranges.emplace_back(lo, hi);
+  }
+
+  PlanResponse response;
+  response.status = WorkResult::Status::kOk;
+  std::vector<std::vector<std::string>> shardPrograms(futures.size());
+  for (std::size_t k = 0; k < futures.size(); ++k) {
+    WorkResult result = futures[k].get();
+    WorkResult::Status shardStatus = result.status;
+    std::string shardError = result.error;
+    if (result.status == WorkResult::Status::kOk) {
+      // Transport succeeded; the worker's own verdict is inside.
+      try {
+        ShardResponse shard = decodeShardResponse(result.payload);
+        shardStatus = shard.status;
+        shardError = shard.error;
+        if (shard.status == WorkResult::Status::kOk)
+          shardPrograms[k] = std::move(shard.programs);
+      } catch (const Error& error) {
+        shardStatus = WorkResult::Status::kFailed;
+        shardError = std::string("malformed shard response: ") + error.what();
+      }
+    }
+    if (shardStatus != WorkResult::Status::kOk && response.error.empty()) {
+      response.error = "shard [" + std::to_string(ranges[k].first) + ", " +
+                       std::to_string(ranges[k].second) + "): " +
+                       std::string(toString(shardStatus)) +
+                       (shardError.empty() ? "" : " - " + shardError);
+    }
+    response.status = merge(response.status, shardStatus);
+    trace::asyncInstant(
+        "service.shard_done", "service", correlation,
+        {trace::Arg::num("lo", ranges[k].first),
+         trace::Arg::str("status", toString(shardStatus)),
+         trace::Arg::num("attempts",
+                         static_cast<std::int64_t>(result.attempts))});
+  }
+
+  const Supervisor::Health after = supervisor_.health();
+  response.retries = after.retries - before.retries;
+  response.crashes = after.crashes - before.crashes;
+
+  if (response.status == WorkResult::Status::kOk) {
+    response.programs.reserve(static_cast<std::size_t>(total));
+    for (auto& shard : shardPrograms)
+      for (auto& program : shard)
+        response.programs.push_back(std::move(program));
+  } else {
+    if (response.status == WorkResult::Status::kDeadlineExceeded) {
+      static metrics::Counter& deadlineExceeded =
+          metrics::counter(metrics::kServiceDeadlineExceeded);
+      deadlineExceeded.add();
+    }
+    // A failed request must not leave half-planned shards running: cancel
+    // fans out to every queued twin of this request (already-running
+    // workers hit their own deadline or finish into the void).
+    cancel->cancel();
+  }
+
+  trace::asyncEnd("service.request", "service", correlation,
+                  {trace::Arg::str("status", toString(response.status)),
+                   trace::Arg::num("retries", response.retries),
+                   trace::Arg::num("crashes", response.crashes)});
+  return response;
+}
+
+HealthResponse Server::healthSnapshot() const {
+  const Supervisor::Health health = supervisor_.health();
+  HealthResponse response;
+  response.healthy = health.healthy;
+  response.workersAlive = health.workersAlive;
+  response.workersConfigured = health.workersConfigured;
+  response.queueDepth = health.queueDepth;
+  response.crashes = health.crashes;
+  response.retries = health.retries;
+  response.shed = health.shed;
+  return response;
+}
+
+void Server::handleConnection(int fd) {
+  // One request per connection; the read is bounded so a client that
+  // connects and goes silent costs one timeout, not a thread.
+  CancelToken readToken(std::chrono::milliseconds(30000));
+  std::string payload;
+  const ipc::ReadStatus status = ipc::readFrame(fd, payload, &readToken);
+  if (status != ipc::ReadStatus::kOk) return;
+
+  std::string reply;
+  switch (peekType(payload)) {
+    case MessageType::kHealthRequest:
+      reply = encodeHealthResponse(healthSnapshot());
+      break;
+    case MessageType::kPlanRequest:
+      reply = encodePlanResponse(handlePlan(decodePlanRequest(payload)));
+      break;
+    default:
+      throw ipc::IpcError("unexpected client message");
+  }
+  ipc::writeFrame(fd, reply);
+}
+
+void Server::run(const CancelToken* stop) {
+  RFSM_CHECK(listen_.valid(), "server has no listening socket");
+  while (stop == nullptr || !stop->expired()) {
+    // Poll-sliced accept so a cancelled stop token is honoured promptly.
+    CancelToken slice(std::chrono::milliseconds(200));
+    std::optional<ipc::Fd> connection = ipc::acceptUnix(listen_.get(), &slice);
+    if (!connection.has_value()) continue;
+    try {
+      handleConnection(connection->get());
+    } catch (const Error& error) {
+      // A malformed or torn request kills its connection, never the server.
+      log(LogLevel::kWarn) << "rfsmd: connection error: " << error.what();
+    }
+  }
+}
+
+}  // namespace rfsm::service

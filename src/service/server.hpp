@@ -1,0 +1,80 @@
+// The rfsmd server: accepts plan/health requests on a Unix socket, shards
+// batches across the supervised worker pool, and aggregates the results.
+//
+// Failure semantics of one plan request, in precedence order:
+//
+//   DEADLINE_EXCEEDED  any shard ran out of the request's latency budget
+//                      (whether the worker reported it cooperatively or the
+//                      supervisor had to kill a silent one);
+//   UNAVAILABLE        the pool is unhealthy (crash storm or forced by the
+//                      pool-unhealthy fault scenario) or the queue shed the
+//                      shard — the client's cue to degrade to in-process
+//                      planning;
+//   FAILED             a shard kept failing after all retry attempts (a
+//                      planner defect: retrying deterministic work cannot
+//                      help);
+//   OK                 every shard planned; programs are assembled in
+//                      instance order and are byte-identical to the
+//                      unsharded in-process planAll.
+//
+// Named fault scenarios (util/fault.hpp, serviceScenarioByName) arm the
+// supervisor's dispatch hook so CI can reproduce "worker SIGKILLed
+// mid-shard" and friends from a --fault flag instead of a race.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/protocol.hpp"
+#include "util/deadline.hpp"
+#include "util/fault.hpp"
+#include "util/ipc.hpp"
+#include "util/supervisor.hpp"
+
+namespace rfsm::service {
+
+struct ServerOptions {
+  /// Unix-domain socket path to listen on.
+  std::string socketPath;
+  /// The rfsmd binary to spawn workers from (argv[0]; workers are started
+  /// as `<binary> --worker`).
+  std::string workerBinary;
+  /// Instances per shard request.
+  std::uint64_t shardSize = 4;
+  /// Worker-pool knobs (workerCommand is derived from workerBinary).
+  SupervisorOptions pool;
+  /// Reproducible failure injection (fault::serviceScenarioByName).
+  fault::ServiceScenario scenario;
+};
+
+class Server {
+ public:
+  /// Spawns nothing yet (workers are lazy) but binds the socket, so a
+  /// failure to listen surfaces here, before the caller reports readiness.
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Serves until `stop` is cancelled (nullptr = forever).  Connections
+  /// are handled serially: one request per connection, bounded reads, so a
+  /// stuck client costs one idle-timeout, never a wedged server.
+  void run(const CancelToken* stop = nullptr);
+
+  /// Handles one plan request in-process (exposed for tests: exercises the
+  /// exact shard/aggregate path without a socket).
+  PlanResponse handlePlan(const PlanRequest& request);
+
+  /// Current pool health, as reported to probes.
+  HealthResponse healthSnapshot() const;
+
+ private:
+  void handleConnection(int fd);
+
+  ServerOptions options_;
+  Supervisor supervisor_;
+  ipc::Fd listen_;
+};
+
+}  // namespace rfsm::service

@@ -1,0 +1,62 @@
+#include "service/worker.hpp"
+
+#include <exception>
+
+#include "service/protocol.hpp"
+#include "util/ipc.hpp"
+#include "util/log.hpp"
+#include "util/trace.hpp"
+
+namespace rfsm::service {
+
+int runWorker() {
+  ipc::ignoreSigpipe();
+  std::string payload;
+  while (true) {
+    // No cancel token: an idle worker blocks until the next request or the
+    // supervisor closes the channel.  Timeouts are the supervisor's job.
+    const ipc::ReadStatus status =
+        ipc::readFrame(ipc::kWorkerChannelFd, payload);
+    if (status != ipc::ReadStatus::kOk) return 0;  // EOF: clean shutdown
+
+    ShardResponse response;
+    try {
+      const ShardRequest request = decodeShardRequest(payload);
+      CancelToken cancel;
+      if (request.deadlineNs != 0) {
+        cancel.setDeadline(CancelToken::Clock::time_point(
+            CancelToken::Clock::duration(request.deadlineNs)));
+      }
+      trace::ScopedSpan span(
+          "service.worker_shard", "service",
+          {trace::Arg::num("lo", request.lo), trace::Arg::num("hi", request.hi)});
+      response.programs =
+          planRange(request.spec, request.lo, request.hi, &cancel);
+      response.status = WorkResult::Status::kOk;
+    } catch (const CancelledError& error) {
+      // Cooperative deadline path: the planner unwound at a poll point; we
+      // still hold a healthy process and report instead of getting killed.
+      response.status = WorkResult::Status::kDeadlineExceeded;
+      response.error = error.what();
+    } catch (const BatchError& error) {
+      // planAll drains before throwing; when every failure is a
+      // cancellation, the batch as a whole ran out of budget.
+      bool allCancelled = !error.failures().empty();
+      for (const InstanceFailure& failure : error.failures())
+        allCancelled = allCancelled && failure.cancelled;
+      response.status = allCancelled ? WorkResult::Status::kDeadlineExceeded
+                                     : WorkResult::Status::kFailed;
+      response.error = error.what();
+    } catch (const std::exception& error) {
+      response.status = WorkResult::Status::kFailed;
+      response.error = error.what();
+    }
+    try {
+      ipc::writeFrame(ipc::kWorkerChannelFd, encodeShardResponse(response));
+    } catch (const ipc::IpcError&) {
+      return 0;  // supervisor went away mid-reply; nothing left to serve
+    }
+  }
+}
+
+}  // namespace rfsm::service

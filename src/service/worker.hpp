@@ -1,0 +1,18 @@
+// The rfsmd worker process: one shard at a time, crash-disposable.
+//
+// A worker is deliberately stateless between requests — everything it needs
+// to plan a shard rides in the request frame, so the supervisor can SIGKILL
+// one mid-shard and hand the identical request to a fresh worker without
+// any recovery protocol.  The worker's only obligations are: answer one
+// response frame per request frame on ipc::kWorkerChannelFd, honour the
+// shard deadline cooperatively (reply kDeadlineExceeded instead of being
+// shot), and exit cleanly on EOF (the supervisor closed the channel).
+#pragma once
+
+namespace rfsm::service {
+
+/// Serves shard requests on ipc::kWorkerChannelFd until EOF.  Returns the
+/// process exit code (0 on clean shutdown).
+int runWorker();
+
+}  // namespace rfsm::service

@@ -26,6 +26,7 @@
 #include "rtl/resources.hpp"
 #include "rtl/testbench.hpp"
 #include "rtl/vhdl.hpp"
+#include "service/client.hpp"
 #include "tools/report.hpp"
 #include "util/table.hpp"
 #include "util/strings.hpp"
@@ -452,6 +453,75 @@ int cmdTestbench(const std::vector<std::string>& args, std::ostream& out) {
   return 0;
 }
 
+int cmdPlan(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  const std::optional<std::string> server = option(args, "--server");
+  if (flag(args, "--probe")) {
+    if (!server.has_value())
+      throw CliError("plan --probe needs --server SOCKET");
+    const auto health = service::probeHealth(*server);
+    if (!health.has_value()) {
+      err << "rfsmc: no planner service at '" << *server << "'\n";
+      return 1;
+    }
+    out << "healthy:  " << (health->healthy ? "yes" : "NO") << "\n"
+        << "workers:  " << health->workersAlive << "/"
+        << health->workersConfigured << " alive\n"
+        << "queue:    " << health->queueDepth << "\n"
+        << "crashes:  " << health->crashes << "\n"
+        << "retries:  " << health->retries << "\n"
+        << "shed:     " << health->shed << "\n";
+    return health->healthy ? 0 : 1;
+  }
+
+  const std::optional<std::string> random = option(args, "--random");
+  if (!random.has_value())
+    throw CliError(
+        "usage: rfsmc plan --random S,I,D,N [--planner jsr|greedy|ea] "
+        "[--seed N] [--jobs N] [--deadline-ms MS] [--server SOCKET] "
+        "[--probe]");
+  const std::vector<std::string> dims = split(*random, ',');
+  if (dims.size() != 4)
+    throw CliError("--random wants S,I,D,N (states,inputs,deltas,instances)");
+  service::BatchSpec spec;
+  spec.stateCount = std::stoi(dims[0]);
+  spec.inputCount = std::stoi(dims[1]);
+  spec.deltaCount = std::stoi(dims[2]);
+  spec.instanceCount = std::stoull(dims[3]);
+  spec.seed = static_cast<std::uint64_t>(
+      std::stoll(option(args, "--seed").value_or("1")));
+  spec.planner = option(args, "--planner").value_or("jsr");
+  const std::int64_t deadlineMs =
+      std::stoll(option(args, "--deadline-ms").value_or("0"));
+  const int jobs = std::stoi(option(args, "--jobs").value_or("1"));
+
+  service::ClientResult result;
+  if (server.has_value()) {
+    service::ClientOptions clientOptions;
+    clientOptions.socketPath = *server;
+    clientOptions.deadlineMs = deadlineMs;
+    clientOptions.jobs = jobs;
+    result = service::planBatch(spec, clientOptions, err);
+  } else {
+    result = service::planLocal(spec, deadlineMs, jobs);
+  }
+
+  if (result.status != WorkResult::Status::kOk) {
+    err << "rfsmc: plan " << toString(result.status)
+        << (result.error.empty() ? "" : ": " + result.error) << "\n";
+    return result.status == WorkResult::Status::kDeadlineExceeded ? 4 : 1;
+  }
+  // stdout carries only the programs (byte-comparable between local,
+  // server, and degraded runs); everything else goes to stderr.
+  for (std::size_t k = 0; k < result.programs.size(); ++k)
+    out << "# instance " << k << "\n" << result.programs[k];
+  err << "rfsmc: planned " << result.programs.size() << " instances ("
+      << spec.planner << (server.has_value() ? ", server" : ", local")
+      << (result.degraded ? ", degraded" : "") << ", retries "
+      << result.retries << ", crashes " << result.crashes << ")\n";
+  return 0;
+}
+
 int cmdSamples(const std::vector<std::string>& args, std::ostream& out) {
   if (args.empty()) {
     for (const auto& name : sampleNames()) out << name << "\n";
@@ -480,6 +550,13 @@ int cmdHelp(std::ostream& out) {
          "  vhdl <from> <to>              emit the Fig. 5 VHDL entity\n"
          "  testbench <from> <to>         emit a self-checking testbench\n"
          "  synth <machine>               two-level logic estimate\n"
+         "  plan --random S,I,D,N         plan a batch of seeded random\n"
+         "          [--planner jsr|greedy|ea] [--seed N] [--jobs N]\n"
+         "          [--deadline-ms MS]    migrations (Table 2 axis)\n"
+         "          [--server SOCKET]     via an rfsmd (degrades to local\n"
+         "                                planning when unavailable)\n"
+         "          [--probe]             health-check the rfsmd\n"
+         "          exit 0 = planned, 4 = deadline exceeded\n"
          "  chain <m1> <m2> [...]         plan a release train + rollbacks\n"
          "  equiv <a> <b> [--symbolic]    behavioural equivalence check\n"
          "  report <from> <to>            one-page migration report\n"
@@ -520,6 +597,7 @@ int runCli(const std::vector<std::string>& args, std::ostream& out,
     else if (args[0] == "equiv") code = cmdEquiv(rest, out);
     else if (args[0] == "report") code = cmdReport(rest, out);
     else if (args[0] == "samples") code = cmdSamples(rest, out);
+    else if (args[0] == "plan") code = cmdPlan(rest, out, err);
     else {
       err << "rfsmc: unknown command '" << args[0] << "' (try rfsmc help)\n";
       code = 64;

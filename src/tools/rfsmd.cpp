@@ -1,0 +1,130 @@
+// rfsmd - the hardened planner service daemon.
+//
+// Modes:
+//   rfsmd --socket PATH [options]   serve plan/health requests (supervisor)
+//   rfsmd --worker                  shard worker (spawned by the supervisor,
+//                                   speaks frames on fd 3; not for humans)
+//
+// The same binary is both supervisor and worker, so there is never a
+// version skew between the two halves of the protocol.
+#include <signal.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "service/server.hpp"
+#include "service/worker.hpp"
+#include "util/deadline.hpp"
+#include "util/fault.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+rfsm::CancelToken gStop;
+
+void onSignal(int) { gStop.cancel(); }  // one relaxed atomic store
+
+int usage(std::ostream& out, int code) {
+  out << "rfsmd - reconfiguration planner service\n"
+         "usage: rfsmd --socket PATH [options]\n"
+         "       rfsmd --worker\n\n"
+         "options:\n"
+         "  --workers N           worker processes (default 2)\n"
+         "  --shard-size N        instances per shard (default 4)\n"
+         "  --queue N             queue capacity; overload is shed "
+         "(default 64)\n"
+         "  --max-attempts N      tries per shard before FAILED (default 3)\n"
+         "  --restart-limit N     crashes tolerated per window (default 5)\n"
+         "  --restart-window-ms N crash-rate window (default 10000)\n"
+         "  --idle-timeout-ms N   max worker silence without a deadline "
+         "(default 30000)\n"
+         "  --attempt-timeout-ms N  max worker silence per attempt; a hung\n"
+         "                        worker is killed and the shard retried\n"
+         "                        while the deadline still has budget "
+         "(default off)\n"
+         "  --fault NAME          induce a named failure scenario:\n"
+         "                        none|kill-first-shard|abort-mid-shard|\n"
+         "                        hang-worker|pool-unhealthy\n"
+         "  --worker-binary PATH  binary for workers (default: this one)\n";
+  return code;
+}
+
+std::optional<std::string> option(const std::vector<std::string>& args,
+                                  const std::string& name) {
+  for (std::size_t k = 0; k + 1 < args.size(); ++k)
+    if (args[k] == name) return args[k + 1];
+  return std::nullopt;
+}
+
+bool flag(const std::vector<std::string>& args, const std::string& name) {
+  for (const auto& a : args)
+    if (a == name) return true;
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (flag(args, "--help") || flag(args, "-h"))
+    return usage(std::cout, 0);
+  if (flag(args, "--worker")) return rfsm::service::runWorker();
+
+  rfsm::service::ServerOptions options;
+  try {
+    const auto socket = option(args, "--socket");
+    if (!socket.has_value()) return usage(std::cerr, 64);
+    options.socketPath = *socket;
+    options.workerBinary =
+        option(args, "--worker-binary").value_or(argv[0]);
+    options.shardSize = static_cast<std::uint64_t>(
+        std::stoull(option(args, "--shard-size").value_or("4")));
+    options.pool.workers =
+        std::stoi(option(args, "--workers").value_or("2"));
+    options.pool.queueCapacity = static_cast<std::size_t>(
+        std::stoull(option(args, "--queue").value_or("64")));
+    options.pool.maxAttempts =
+        std::stoi(option(args, "--max-attempts").value_or("3"));
+    options.pool.restartLimit =
+        std::stoi(option(args, "--restart-limit").value_or("5"));
+    options.pool.restartWindow = std::chrono::milliseconds(
+        std::stoll(option(args, "--restart-window-ms").value_or("10000")));
+    options.pool.idleTimeout = std::chrono::milliseconds(
+        std::stoll(option(args, "--idle-timeout-ms").value_or("30000")));
+    options.pool.attemptTimeout = std::chrono::milliseconds(
+        std::stoll(option(args, "--attempt-timeout-ms").value_or("0")));
+    const std::string faultName = option(args, "--fault").value_or("none");
+    const auto scenario = rfsm::fault::serviceScenarioByName(faultName);
+    if (!scenario.has_value()) {
+      std::cerr << "rfsmd: unknown fault scenario '" << faultName << "' (";
+      const auto& names = rfsm::fault::serviceScenarioNames();
+      for (std::size_t k = 0; k < names.size(); ++k)
+        std::cerr << (k ? "|" : "") << names[k];
+      std::cerr << ")\n";
+      return 64;
+    }
+    options.scenario = *scenario;
+  } catch (const std::exception& error) {
+    std::cerr << "rfsmd: invalid argument (" << error.what() << ")\n";
+    return 64;
+  }
+
+  signal(SIGINT, onSignal);
+  signal(SIGTERM, onSignal);
+
+  try {
+    rfsm::service::Server server(options);
+    std::cerr << "rfsmd: listening on " << options.socketPath << " ("
+              << options.pool.workers << " workers, shard size "
+              << options.shardSize << ", fault scenario '"
+              << options.scenario.name << "')\n";
+    server.run(&gStop);
+  } catch (const rfsm::Error& error) {
+    std::cerr << "rfsmd: " << error.what() << "\n";
+    return 1;
+  }
+  std::cerr << "rfsmd: shutting down\n";
+  return 0;
+}

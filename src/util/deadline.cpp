@@ -1,0 +1,25 @@
+#include "util/deadline.hpp"
+
+#include <string>
+
+namespace rfsm {
+
+std::optional<std::chrono::milliseconds> CancelToken::remaining() const {
+  if (cancelled_.load(std::memory_order_relaxed))
+    return std::chrono::milliseconds(0);
+  const auto ns = deadlineNs_.load(std::memory_order_relaxed);
+  if (ns == kNoDeadline) return std::nullopt;
+  const auto left = ns - Clock::now().time_since_epoch().count();
+  if (left <= 0) return std::chrono::milliseconds(0);
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+      Clock::duration(left));
+}
+
+void CancelToken::throwIfExpired(const char* where) const {
+  if (!expired()) return;
+  const bool wasCancelled = cancelled_.load(std::memory_order_relaxed);
+  throw CancelledError(std::string(where) +
+                       (wasCancelled ? ": cancelled" : ": deadline exceeded"));
+}
+
+}  // namespace rfsm

@@ -1,0 +1,95 @@
+// Cooperative cancellation and per-request deadlines.
+//
+// A CancelToken is the one object a long-running computation polls to learn
+// that its result is no longer wanted: an explicit cancel() (client went
+// away), or an absolute deadline (the request's latency budget ran out).
+// Cancellation is *cooperative* — nothing is interrupted preemptively; the
+// planner loops (planAll instances, EA generations, BFS scans, the decode
+// loop) poll expired() at natural step boundaries and unwind by throwing
+// CancelledError.  That discipline is what guarantees a timed-out request
+// leaves no detached thread behind: every thread that was working on it
+// reaches a poll point, throws, and retires through the normal join path.
+//
+// Tokens are thread-safe and sharable: one token fans out to every shard
+// and worker thread of a request, so one cancel() stops them all.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+
+#include "util/check.hpp"
+
+namespace rfsm {
+
+/// Thrown by cancellation poll points when the token expired.  Derives from
+/// Error, not ContractError: being cancelled is an expected outcome, and
+/// batch drivers turn it into a per-instance DEADLINE_EXCEEDED/CANCELLED
+/// result rather than a crash.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
+/// Shared cancellation flag plus optional absolute deadline.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  /// Token that expires `budget` from now.  (Tokens hold atomics and are
+  /// neither copyable nor movable — this constructs in place; callers that
+  /// share one across threads wrap it in a shared_ptr.)
+  explicit CancelToken(std::chrono::milliseconds budget) {
+    setDeadline(Clock::now() + budget);
+  }
+
+  /// Requests cancellation.  Sticky: a cancelled token never un-cancels.
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arms (or re-arms) the absolute deadline.
+  void setDeadline(Clock::time_point deadline) {
+    deadlineNs_.store(deadline.time_since_epoch().count(),
+                      std::memory_order_relaxed);
+  }
+
+  /// The armed deadline, if any.
+  std::optional<Clock::time_point> deadline() const {
+    const auto ns = deadlineNs_.load(std::memory_order_relaxed);
+    if (ns == kNoDeadline) return std::nullopt;
+    return Clock::time_point(Clock::duration(ns));
+  }
+
+  /// True once cancel() was called or the deadline passed.  This is the
+  /// poll-point cost: one relaxed load, plus a clock read when a deadline
+  /// is armed.
+  bool expired() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const auto ns = deadlineNs_.load(std::memory_order_relaxed);
+    return ns != kNoDeadline &&
+           Clock::now().time_since_epoch().count() >= ns;
+  }
+
+  /// Remaining budget; zero when expired, nullopt when no deadline is
+  /// armed (and not cancelled — a cancelled token reports zero).
+  std::optional<std::chrono::milliseconds> remaining() const;
+
+  /// Poll point: throws CancelledError("<where>: ...") when expired.
+  void throwIfExpired(const char* where) const;
+
+ private:
+  static constexpr long long kNoDeadline = 0;
+
+  std::atomic<bool> cancelled_{false};
+  /// Deadline as steady_clock ns-since-epoch; kNoDeadline = disarmed (the
+  /// epoch itself is not a representable deadline, which is fine — it is
+  /// decades in the past on every platform we run on).
+  std::atomic<long long> deadlineNs_{kNoDeadline};
+};
+
+/// Convenience poll for optional tokens: no-op on nullptr.
+inline void pollCancel(const CancelToken* token, const char* where) {
+  if (token != nullptr) token->throwIfExpired(where);
+}
+
+}  // namespace rfsm

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -84,5 +85,54 @@ class FaultInjector {
  private:
   Rng rng_;
 };
+
+// --- Named scenarios -----------------------------------------------------
+//
+// Every scenario the CI smoke jobs and the service benches rely on is
+// addressable by name, so a failure seen in CI reproduces from the CLI
+// with the same flag (`rfsmd --fault NAME`, `rfsmc inject --scenario
+// NAME`) instead of a hand-assembled pile of probabilities.
+
+/// FaultInjector model presets (table-level faults), by name:
+///   clean        no injected faults
+///   default      the bench_fault_sweep default rates
+///   flip-storm   every flip slot fires, no power loss
+///   abort-heavy  power loss on most runs, few flips
+///   stuck-at     sticky (stuck-at) flips dominate
+/// Returns nullopt for unknown names.
+std::optional<FaultModel> modelByName(const std::string& name);
+const std::vector<std::string>& modelNames();
+
+/// Process-level fault scenarios of the planner service (what the
+/// supervisor or worker does to itself), by name:
+/// All scenarios are armed on the supervisor's dispatch hook and fire
+/// exactly once, so the retried shard lands on an unmolested worker:
+///   none             no induced failure
+///   kill-first-shard SIGKILL the worker right after shard `afterShards`
+///                    (default 0 = the first) is dispatched to it
+///   abort-mid-shard  SIGABRT the worker mid-shard (an assert/abort death,
+///                    distinct from SIGKILL in the exit status)
+///   hang-worker      SIGSTOP the worker so it goes silent mid-shard and
+///                    must be timed out and destroyed, never joined
+///   pool-unhealthy   the pool is forced unhealthy and refuses work
+struct ServiceScenario {
+  enum class Kind {
+    kNone,
+    kKillWorker,   ///< SIGKILL after dispatch `afterShards`
+    kAbortWorker,  ///< SIGABRT after dispatch `afterShards`
+    kHangWorker,   ///< SIGSTOP after dispatch `afterShards`
+    kUnhealthy,    ///< pool forced unhealthy
+  };
+  std::string name = "none";
+  Kind kind = Kind::kNone;
+  /// Fire after this many shard dispatches (0 = the first).
+  int afterShards = 0;
+  /// Legacy knob of hang-worker (the hang now lasts until the supervisor's
+  /// timeout kill, so this only documents intent).
+  int hangMs = 0;
+};
+
+std::optional<ServiceScenario> serviceScenarioByName(const std::string& name);
+const std::vector<std::string>& serviceScenarioNames();
 
 }  // namespace rfsm::fault

@@ -1,0 +1,292 @@
+#include "util/ipc.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace rfsm::ipc {
+namespace {
+
+/// Poll slice: the longest a blocked read/accept goes without re-checking
+/// its cancel token.  Bounds cancellation latency, not throughput.
+constexpr int kPollSliceMs = 50;
+
+std::string errnoString(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Waits for readability; honours the cancel token.  Returns false on
+/// timeout/cancel, true when `fd` is readable (or hung up — the subsequent
+/// read reports EOF).
+bool pollReadable(int fd, const CancelToken* cancel) {
+  for (;;) {
+    if (cancel != nullptr && cancel->expired()) return false;
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, cancel == nullptr ? -1 : kPollSliceMs);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw IpcError(errnoString("poll"));
+    }
+    if (rc > 0) return true;
+  }
+}
+
+/// Reads exactly `count` bytes.  Returns false on EOF at a byte boundary
+/// *or mid-buffer* (a torn frame from a killed peer is an EOF, not an
+/// error); nullopt-style timeout is signalled by throwing TimeoutTag.
+struct TimeoutTag {};
+
+bool readExact(int fd, void* buffer, std::size_t count,
+               const CancelToken* cancel) {
+  auto* out = static_cast<char*>(buffer);
+  std::size_t done = 0;
+  while (done < count) {
+    if (!pollReadable(fd, cancel)) throw TimeoutTag{};
+    const ssize_t n = ::read(fd, out + done, count - done);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      throw IpcError(errnoString("read"));
+    }
+    if (n == 0) return false;  // peer closed (possibly mid-frame)
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void writeExact(int fd, const void* buffer, std::size_t count) {
+  const auto* in = static_cast<const char*>(buffer);
+  std::size_t done = 0;
+  while (done < count) {
+    const ssize_t n = ::write(fd, in + done, count - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IpcError(errnoString("write"));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void setCloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+}  // namespace
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+int Fd::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Fd::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+void ignoreSigpipe() { ::signal(SIGPIPE, SIG_IGN); }
+
+void writeFrame(int fd, std::string_view payload) {
+  RFSM_CHECK(payload.size() <= kMaxFrameBytes, "frame too large");
+  unsigned char header[4];
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  header[0] = static_cast<unsigned char>(length);
+  header[1] = static_cast<unsigned char>(length >> 8);
+  header[2] = static_cast<unsigned char>(length >> 16);
+  header[3] = static_cast<unsigned char>(length >> 24);
+  writeExact(fd, header, sizeof header);
+  writeExact(fd, payload.data(), payload.size());
+}
+
+ReadStatus readFrame(int fd, std::string& payload,
+                     const CancelToken* cancel) {
+  try {
+    unsigned char header[4];
+    if (!readExact(fd, header, sizeof header, cancel)) return ReadStatus::kEof;
+    const std::uint32_t length =
+        static_cast<std::uint32_t>(header[0]) |
+        static_cast<std::uint32_t>(header[1]) << 8 |
+        static_cast<std::uint32_t>(header[2]) << 16 |
+        static_cast<std::uint32_t>(header[3]) << 24;
+    if (length > kMaxFrameBytes)
+      throw IpcError("frame length " + std::to_string(length) +
+                     " exceeds the " + std::to_string(kMaxFrameBytes) +
+                     "-byte cap (corrupt stream?)");
+    payload.resize(length);
+    if (length > 0 && !readExact(fd, payload.data(), length, cancel))
+      return ReadStatus::kEof;  // torn frame: the peer died mid-write
+    return ReadStatus::kOk;
+  } catch (TimeoutTag) {
+    return ReadStatus::kTimeout;
+  }
+}
+
+void MessageWriter::u32(std::uint32_t value) {
+  for (int k = 0; k < 4; ++k)
+    buffer_.push_back(static_cast<char>(value >> (8 * k)));
+}
+
+void MessageWriter::u64(std::uint64_t value) {
+  for (int k = 0; k < 8; ++k)
+    buffer_.push_back(static_cast<char>(value >> (8 * k)));
+}
+
+void MessageWriter::i64(std::int64_t value) {
+  u64(static_cast<std::uint64_t>(value));
+}
+
+void MessageWriter::str(std::string_view value) {
+  RFSM_CHECK(value.size() <= kMaxFrameBytes, "string too large for message");
+  u32(static_cast<std::uint32_t>(value.size()));
+  buffer_.append(value.data(), value.size());
+}
+
+const unsigned char* MessageReader::need(std::size_t bytes) {
+  if (payload_.size() - pos_ < bytes)
+    throw IpcError("truncated message (wanted " + std::to_string(bytes) +
+                   " bytes at offset " + std::to_string(pos_) + ", have " +
+                   std::to_string(payload_.size() - pos_) + ")");
+  const auto* p =
+      reinterpret_cast<const unsigned char*>(payload_.data()) + pos_;
+  pos_ += bytes;
+  return p;
+}
+
+std::uint32_t MessageReader::u32() {
+  const unsigned char* p = need(4);
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t MessageReader::u64() {
+  std::uint64_t value = 0;
+  const unsigned char* p = need(8);
+  for (int k = 7; k >= 0; --k) value = value << 8 | p[k];
+  return value;
+}
+
+std::int64_t MessageReader::i64() {
+  return static_cast<std::int64_t>(u64());
+}
+
+std::string MessageReader::str() {
+  const std::uint32_t length = u32();
+  if (length > kMaxFrameBytes) throw IpcError("corrupt string length");
+  const unsigned char* p = need(length);
+  return std::string(reinterpret_cast<const char*>(p), length);
+}
+
+void MessageReader::expectEnd() const {
+  if (!atEnd())
+    throw IpcError("trailing bytes in message (offset " +
+                   std::to_string(pos_) + " of " +
+                   std::to_string(payload_.size()) + ")");
+}
+
+Fd listenUnix(const std::string& path, int backlog) {
+  struct sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw IpcError("socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw IpcError(errnoString("socket"));
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof addr) != 0)
+    throw IpcError(errnoString(("bind '" + path + "'").c_str()));
+  if (::listen(fd.get(), backlog) != 0)
+    throw IpcError(errnoString("listen"));
+  return fd;
+}
+
+std::optional<Fd> acceptUnix(int listenFd, const CancelToken* cancel) {
+  if (!pollReadable(listenFd, cancel)) return std::nullopt;
+  const int conn = ::accept(listenFd, nullptr, nullptr);
+  if (conn < 0) {
+    if (errno == EINTR || errno == EAGAIN || errno == ECONNABORTED)
+      return std::nullopt;
+    throw IpcError(errnoString("accept"));
+  }
+  setCloexec(conn);
+  return Fd(conn);
+}
+
+Fd connectUnix(const std::string& path) {
+  struct sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw IpcError("socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw IpcError(errnoString("socket"));
+  if (::connect(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof addr) != 0)
+    throw IpcError(errnoString(("connect '" + path + "'").c_str()));
+  return fd;
+}
+
+ChildProcess spawnWorker(const std::vector<std::string>& command) {
+  RFSM_CHECK(!command.empty(), "worker command must not be empty");
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) != 0)
+    throw IpcError(errnoString("socketpair"));
+  Fd parentEnd(sv[0]);
+  Fd childEnd(sv[1]);
+
+  std::vector<char*> argv;
+  argv.reserve(command.size() + 1);
+  for (const std::string& arg : command)
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  argv.push_back(nullptr);
+
+  const int pid = ::fork();
+  if (pid < 0) throw IpcError(errnoString("fork"));
+  if (pid == 0) {
+    // Child: install the channel as kWorkerChannelFd and exec.  Only
+    // async-signal-safe calls between fork and exec (the parent is
+    // multi-threaded).
+    if (childEnd.get() == kWorkerChannelFd) {
+      ::fcntl(kWorkerChannelFd, F_SETFD, 0);  // clear CLOEXEC in place
+    } else {
+      if (::dup2(childEnd.get(), kWorkerChannelFd) < 0) ::_exit(127);
+    }
+    ::execv(argv[0], argv.data());
+    ::_exit(127);  // exec failed; the parent sees EOF on the channel
+  }
+  return ChildProcess{pid, std::move(parentEnd)};
+}
+
+bool childAlive(int pid, int* status) {
+  if (pid < 0) return false;
+  int local = 0;
+  const int rc = ::waitpid(pid, &local, WNOHANG);
+  if (rc == 0) return true;
+  if (status != nullptr) *status = local;
+  return false;  // exited (rc == pid) or already reaped/invalid (rc < 0)
+}
+
+void killChild(int pid) {
+  if (pid < 0) return;
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, nullptr, 0);
+}
+
+}  // namespace rfsm::ipc

@@ -127,6 +127,27 @@ inline constexpr const char* kGenerationLatency = "ea.generation";
 // The tracer's ring-buffer overflow count (util/trace.hpp).
 inline constexpr const char* kTraceDropped = "trace.dropped";
 
+// Canonical metric names used by the planner service (rfsmd) and its
+// supervisor: shard retries/crashes/restarts, load shedding, deadline
+// misses, and client-side degradation to in-process planning.
+inline constexpr const char* kServiceRequests = "service.requests";
+inline constexpr const char* kServiceShards = "service.shards";
+inline constexpr const char* kServiceShardRetries = "service.shard_retries";
+inline constexpr const char* kServiceWorkerCrashes = "service.worker_crashes";
+inline constexpr const char* kServiceWorkerRestarts =
+    "service.worker_restarts";
+inline constexpr const char* kServiceShed = "service.requests_shed";
+inline constexpr const char* kServiceDeadlineExceeded =
+    "service.deadline_exceeded";
+inline constexpr const char* kServiceDegraded = "service.degraded";
+inline constexpr const char* kBatchInstanceFailures =
+    "batch.instance_failures";
+inline constexpr const char* kBatchCancelled = "batch.instances_cancelled";
+
+// Canonical histogram names of the planner service (nanosecond values).
+inline constexpr const char* kServiceRequestLatency = "service.request";
+inline constexpr const char* kServiceShardLatency = "service.shard";
+
 // Canonical metric names used by the fault-tolerance subsystem.
 inline constexpr const char* kFaultsInjected = "fault.flips_injected";
 inline constexpr const char* kFaultsDetected = "fault.flips_detected";

@@ -3,6 +3,8 @@
 // against an uncached reference, and the telemetry counters it feeds.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <queue>
 #include <vector>
 
@@ -93,6 +95,115 @@ TEST(PlanAll, EmptyBatch) {
   EXPECT_TRUE(planAll({}, [](const MigrationContext& c, Rng&) {
                 return planJsr(c);
               }).empty());
+}
+
+TEST(PlanAllChecked, ThrowingInstancePoisonsOnlyItsSlot) {
+  metrics::resetAll();
+  const auto instances = makeInstances(5);
+  // Instance 2 "hits a planner defect"; every other instance must still
+  // deliver its exact usual program.
+  std::atomic<int> calls{0};
+  const BatchPlanFn flaky = [&](const MigrationContext& c, Rng&) {
+    calls.fetch_add(1);
+    if (c.deltaCount() == instances[2].deltaCount())
+      throw Error("simulated planner defect");
+    return planJsr(c);
+  };
+  BatchOptions options;
+  options.jobs = 2;
+  const BatchReport report = planAllChecked(instances, flaky, options);
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].instance, 2u);
+  EXPECT_FALSE(report.failures[0].cancelled);
+  EXPECT_NE(report.failures[0].error.find("simulated planner defect"),
+            std::string::npos);
+  EXPECT_EQ(calls.load(), 5);  // the batch drained fully
+  ASSERT_EQ(report.programs.size(), 5u);
+  for (std::size_t k = 0; k < instances.size(); ++k) {
+    if (k == 2) {
+      EXPECT_TRUE(report.programs[k].steps.empty());  // poisoned slot
+    } else {
+      EXPECT_EQ(report.programs[k].steps, planJsr(instances[k]).steps);
+    }
+  }
+  EXPECT_EQ(metrics::counter(metrics::kBatchInstanceFailures).value(), 1u);
+  metrics::resetAll();
+}
+
+TEST(PlanAll, AggregatesFailuresIntoBatchError) {
+  const auto instances = makeInstances(4);
+  const BatchPlanFn flaky = [&](const MigrationContext& c, Rng&) {
+    if (c.deltaCount() == instances[1].deltaCount() ||
+        c.deltaCount() == instances[3].deltaCount())
+      throw Error("boom");
+    return planJsr(c);
+  };
+  try {
+    planAll(instances, flaky);
+    FAIL() << "expected BatchError";
+  } catch (const BatchError& error) {
+    ASSERT_EQ(error.failures().size(), 2u);
+    EXPECT_EQ(error.failures()[0].instance, 1u);
+    EXPECT_EQ(error.failures()[1].instance, 3u);
+    EXPECT_NE(std::string(error.what()).find("2 of 4"), std::string::npos);
+  }
+}
+
+TEST(PlanAllChecked, SubstreamBaseReproducesAnyShardBitIdentically) {
+  const auto instances = makeInstances(6);
+  const BatchPlanFn ea = [](const MigrationContext& c, Rng& rng) {
+    EvolutionConfig config;
+    config.generations = 12;
+    return planEvolutionary(c, config, rng).program;
+  };
+  BatchOptions whole;
+  whole.seed = 11;
+  const auto full = planAll(instances, ea, whole);
+  // Re-plan the [2, 5) shard as its own batch: substreamBase keeps every
+  // instance on its global stream — the worker-crash recovery contract.
+  const std::vector<MigrationContext> shard(instances.begin() + 2,
+                                            instances.begin() + 5);
+  BatchOptions shardOptions;
+  shardOptions.seed = 11;
+  shardOptions.substreamBase = 2;
+  shardOptions.jobs = 2;
+  const auto replanned = planAll(shard, ea, shardOptions);
+  ASSERT_EQ(replanned.size(), 3u);
+  for (std::size_t k = 0; k < replanned.size(); ++k)
+    EXPECT_EQ(replanned[k].steps, full[k + 2].steps) << "slot " << k;
+}
+
+TEST(PlanAllChecked, CancelledBatchMarksUnstartedInstancesCancelled) {
+  const auto instances = makeInstances(4);
+  CancelToken cancel;
+  cancel.cancel();  // expired before the batch even starts
+  BatchOptions options;
+  options.cancel = &cancel;
+  const BatchReport report = planAllChecked(
+      instances, [](const MigrationContext& c, Rng&) { return planJsr(c); },
+      options);
+  ASSERT_EQ(report.failures.size(), 4u);
+  for (const InstanceFailure& failure : report.failures)
+    EXPECT_TRUE(failure.cancelled);
+}
+
+TEST(PlanEvolutionaryBatch, CancellationUnwindsCooperatively) {
+  const auto instances = makeInstances(3);
+  EvolutionConfig config;
+  config.generations = 500;  // would take a while uncancelled
+  CancelToken cancel;
+  cancel.setDeadline(CancelToken::Clock::now() +
+                     std::chrono::milliseconds(30));
+  BatchOptions options;
+  options.cancel = &cancel;
+  const auto start = std::chrono::steady_clock::now();
+  // The EA batch propagates the cancellation directly (callers like the
+  // service worker map it to DEADLINE_EXCEEDED) rather than wrapping it.
+  EXPECT_THROW(planEvolutionaryBatch(instances, config, options),
+               CancelledError);
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(20));
 }
 
 TEST(PlanEvolutionaryBatch, BitIdenticalForEveryJobCount) {

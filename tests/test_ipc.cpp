@@ -1,0 +1,340 @@
+// Transport-layer tests: cancellation tokens, backoff schedule, message
+// encoding, frame I/O over real socketpairs, and the named fault scenarios.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+#include "service/protocol.hpp"
+#include "util/deadline.hpp"
+#include "util/fault.hpp"
+#include "util/ipc.hpp"
+#include "util/supervisor.hpp"
+
+namespace rfsm {
+namespace {
+
+using namespace std::chrono_literals;
+
+// --- CancelToken ---------------------------------------------------------
+
+TEST(CancelToken, FreshTokenIsNotExpired) {
+  CancelToken token;
+  EXPECT_FALSE(token.expired());
+  EXPECT_FALSE(token.deadline().has_value());
+  EXPECT_FALSE(token.remaining().has_value());
+  EXPECT_NO_THROW(token.throwIfExpired("test"));
+}
+
+TEST(CancelToken, CancelIsSticky) {
+  CancelToken token;
+  token.cancel();
+  EXPECT_TRUE(token.expired());
+  EXPECT_THROW(token.throwIfExpired("here"), CancelledError);
+}
+
+TEST(CancelToken, PastDeadlineExpires) {
+  CancelToken token;
+  token.setDeadline(CancelToken::Clock::now() - 1ms);
+  EXPECT_TRUE(token.expired());
+  EXPECT_EQ(token.remaining()->count(), 0);
+}
+
+TEST(CancelToken, FutureDeadlineDoesNotExpireYet) {
+  CancelToken token(std::chrono::milliseconds(60000));
+  EXPECT_FALSE(token.expired());
+  EXPECT_GT(token.remaining()->count(), 0);
+}
+
+TEST(CancelToken, ThrowNamesThePollSite) {
+  CancelToken token;
+  token.cancel();
+  try {
+    pollCancel(&token, "planner.bfs");
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& error) {
+    EXPECT_NE(std::string(error.what()).find("planner.bfs"),
+              std::string::npos);
+  }
+}
+
+TEST(CancelToken, PollCancelIgnoresNull) {
+  EXPECT_NO_THROW(pollCancel(nullptr, "anywhere"));
+}
+
+// --- Backoff schedule ----------------------------------------------------
+
+TEST(Backoff, GrowsExponentiallyAndCaps) {
+  const auto base = 25ms, cap = 1000ms;
+  EXPECT_EQ(backoffDelay(1, base, cap, 0.0), 25ms);
+  EXPECT_EQ(backoffDelay(2, base, cap, 0.0), 50ms);
+  EXPECT_EQ(backoffDelay(3, base, cap, 0.0), 100ms);
+  EXPECT_EQ(backoffDelay(10, base, cap, 0.0), 1000ms);  // capped
+  EXPECT_EQ(backoffDelay(1000, base, cap, 0.0), 1000ms);  // no overflow
+}
+
+TEST(Backoff, JitterAddsAtMostOneBase) {
+  const auto base = 25ms, cap = 1000ms;
+  EXPECT_EQ(backoffDelay(1, base, cap, 1.0), 50ms);
+  EXPECT_LE(backoffDelay(30, base, cap, 1.0), cap + base);
+}
+
+// --- Message encoding ----------------------------------------------------
+
+TEST(Message, RoundTripsAllFieldTypes) {
+  ipc::MessageWriter writer;
+  writer.u32(0xdeadbeefu);
+  writer.u64(0x0123456789abcdefull);
+  writer.i64(-42);
+  writer.str("hello \0 world");  // string_view stops at the literal's \0
+  writer.str("");
+  ipc::MessageReader reader(writer.data());
+  EXPECT_EQ(reader.u32(), 0xdeadbeefu);
+  EXPECT_EQ(reader.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(reader.i64(), -42);
+  EXPECT_EQ(reader.str(), "hello ");
+  EXPECT_EQ(reader.str(), "");
+  EXPECT_TRUE(reader.atEnd());
+  EXPECT_NO_THROW(reader.expectEnd());
+}
+
+TEST(Message, EmbeddedNulAndBinaryBytesSurvive) {
+  std::string binary("\x00\x01\xff\x7f", 4);
+  ipc::MessageWriter writer;
+  writer.str(binary);
+  ipc::MessageReader reader(writer.data());
+  EXPECT_EQ(reader.str(), binary);
+}
+
+TEST(Message, TruncationThrowsNotMisparses) {
+  ipc::MessageWriter writer;
+  writer.u64(7);
+  writer.str("payload");
+  const std::string full = writer.data();
+  // Every proper prefix must fail loudly on some read.
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    const std::string prefix = full.substr(0, cut);
+    ipc::MessageReader reader(prefix);
+    EXPECT_THROW(
+        {
+          reader.u64();
+          reader.str();
+          reader.expectEnd();
+        },
+        ipc::IpcError)
+        << "prefix of " << cut << " bytes parsed silently";
+  }
+}
+
+TEST(Message, LeftoverBytesAreAnError) {
+  ipc::MessageWriter writer;
+  writer.u32(1);
+  writer.u32(2);
+  ipc::MessageReader reader(writer.data());
+  reader.u32();
+  EXPECT_THROW(reader.expectEnd(), ipc::IpcError);
+}
+
+// --- Frames over a socketpair -------------------------------------------
+
+struct SocketPair {
+  ipc::Fd a, b;
+  SocketPair() {
+    int fds[2];
+    EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = ipc::Fd(fds[0]);
+    b = ipc::Fd(fds[1]);
+  }
+};
+
+TEST(Frames, RoundTrip) {
+  SocketPair pair;
+  ipc::writeFrame(pair.a.get(), "the payload");
+  std::string payload;
+  EXPECT_EQ(ipc::readFrame(pair.b.get(), payload), ipc::ReadStatus::kOk);
+  EXPECT_EQ(payload, "the payload");
+}
+
+TEST(Frames, EmptyPayloadIsAValidFrame) {
+  SocketPair pair;
+  ipc::writeFrame(pair.a.get(), "");
+  std::string payload = "stale";
+  EXPECT_EQ(ipc::readFrame(pair.b.get(), payload), ipc::ReadStatus::kOk);
+  EXPECT_EQ(payload, "");
+}
+
+TEST(Frames, PeerCloseReadsAsEof) {
+  SocketPair pair;
+  pair.a.reset();
+  std::string payload;
+  EXPECT_EQ(ipc::readFrame(pair.b.get(), payload), ipc::ReadStatus::kEof);
+}
+
+TEST(Frames, TornFrameReadsAsEof) {
+  SocketPair pair;
+  // Length prefix promising 100 bytes, then death after 3.
+  const std::uint32_t length = 100;
+  ASSERT_EQ(write(pair.a.get(), &length, 4), 4);
+  ASSERT_EQ(write(pair.a.get(), "abc", 3), 3);
+  pair.a.reset();
+  std::string payload;
+  EXPECT_EQ(ipc::readFrame(pair.b.get(), payload), ipc::ReadStatus::kEof);
+}
+
+TEST(Frames, DeadlineTurnsSilenceIntoTimeout) {
+  SocketPair pair;
+  CancelToken cancel(std::chrono::milliseconds(50));
+  std::string payload;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(ipc::readFrame(pair.b.get(), payload, &cancel),
+            ipc::ReadStatus::kTimeout);
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 5s);
+}
+
+TEST(Frames, OversizedLengthPrefixIsRejected) {
+  SocketPair pair;
+  const std::uint32_t huge = ipc::kMaxFrameBytes + 1;
+  ASSERT_EQ(write(pair.a.get(), &huge, 4), 4);
+  std::string payload;
+  EXPECT_THROW(ipc::readFrame(pair.b.get(), payload), ipc::IpcError);
+}
+
+TEST(Frames, WriteToClosedPeerThrowsInsteadOfSigpipe) {
+  ipc::ignoreSigpipe();
+  SocketPair pair;
+  pair.b.reset();
+  // The first write may land in the kernel buffer; keep writing until the
+  // EPIPE surfaces.
+  EXPECT_THROW(
+      {
+        for (int k = 0; k < 64; ++k)
+          ipc::writeFrame(pair.a.get(), std::string(4096, 'x'));
+      },
+      ipc::IpcError);
+}
+
+TEST(Frames, ManyFramesKeepOrder) {
+  SocketPair pair;
+  std::thread writer([fd = pair.a.get()] {
+    for (int k = 0; k < 100; ++k)
+      ipc::writeFrame(fd, "frame-" + std::to_string(k));
+  });
+  std::string payload;
+  for (int k = 0; k < 100; ++k) {
+    ASSERT_EQ(ipc::readFrame(pair.b.get(), payload), ipc::ReadStatus::kOk);
+    EXPECT_EQ(payload, "frame-" + std::to_string(k));
+  }
+  writer.join();
+}
+
+// --- Named fault scenarios ----------------------------------------------
+
+TEST(FaultScenarios, AllNamesResolve) {
+  for (const auto& name : fault::serviceScenarioNames()) {
+    const auto scenario = fault::serviceScenarioByName(name);
+    ASSERT_TRUE(scenario.has_value()) << name;
+    EXPECT_EQ(scenario->name, name);
+  }
+  EXPECT_FALSE(fault::serviceScenarioByName("quantum-flip").has_value());
+}
+
+TEST(FaultScenarios, KillFirstShardTargetsDispatchZero) {
+  const auto scenario = fault::serviceScenarioByName("kill-first-shard");
+  ASSERT_TRUE(scenario.has_value());
+  EXPECT_EQ(scenario->kind, fault::ServiceScenario::Kind::kKillWorker);
+  EXPECT_EQ(scenario->afterShards, 0);
+}
+
+TEST(FaultModels, AllNamesResolve) {
+  for (const auto& name : fault::modelNames())
+    EXPECT_TRUE(fault::modelByName(name).has_value()) << name;
+  EXPECT_FALSE(fault::modelByName("does-not-exist").has_value());
+}
+
+// --- Service protocol round-trips ---------------------------------------
+
+TEST(Protocol, PlanRequestRoundTrip) {
+  service::PlanRequest request;
+  request.spec.stateCount = 12;
+  request.spec.inputCount = 3;
+  request.spec.outputCount = 2;
+  request.spec.deltaCount = 9;
+  request.spec.newStateCount = 1;
+  request.spec.instanceCount = 33;
+  request.spec.seed = 99;
+  request.spec.planner = "ea";
+  request.deadlineMs = 1500;
+  request.requestId = 7;
+  const auto decoded =
+      service::decodePlanRequest(service::encodePlanRequest(request));
+  EXPECT_EQ(decoded.spec, request.spec);
+  EXPECT_EQ(decoded.deadlineMs, 1500);
+  EXPECT_EQ(decoded.requestId, 7u);
+}
+
+TEST(Protocol, PlanResponseRoundTrip) {
+  service::PlanResponse response;
+  response.status = WorkResult::Status::kOk;
+  response.programs = {"prog-a\n", "prog-b\n"};
+  response.retries = 3;
+  response.crashes = 1;
+  const auto decoded =
+      service::decodePlanResponse(service::encodePlanResponse(response));
+  EXPECT_EQ(decoded.status, WorkResult::Status::kOk);
+  EXPECT_EQ(decoded.programs, response.programs);
+  EXPECT_EQ(decoded.retries, 3u);
+  EXPECT_EQ(decoded.crashes, 1u);
+}
+
+TEST(Protocol, ShardRequestRoundTrip) {
+  service::ShardRequest request;
+  request.spec.planner = "greedy";
+  request.lo = 8;
+  request.hi = 12;
+  request.deadlineNs = 123456789;
+  const auto decoded =
+      service::decodeShardRequest(service::encodeShardRequest(request));
+  EXPECT_EQ(decoded.spec, request.spec);
+  EXPECT_EQ(decoded.lo, 8u);
+  EXPECT_EQ(decoded.hi, 12u);
+  EXPECT_EQ(decoded.deadlineNs, 123456789);
+}
+
+TEST(Protocol, HealthRoundTrip) {
+  service::HealthResponse health;
+  health.healthy = true;
+  health.workersAlive = 3;
+  health.workersConfigured = 4;
+  health.queueDepth = 5;
+  health.crashes = 6;
+  health.retries = 7;
+  health.shed = 8;
+  const auto decoded =
+      service::decodeHealthResponse(service::encodeHealthResponse(health));
+  EXPECT_TRUE(decoded.healthy);
+  EXPECT_EQ(decoded.workersAlive, 3);
+  EXPECT_EQ(decoded.workersConfigured, 4);
+  EXPECT_EQ(decoded.queueDepth, 5u);
+  EXPECT_EQ(decoded.shed, 8u);
+}
+
+TEST(Protocol, WrongMessageTypeIsRejected) {
+  const std::string health = service::encodeHealthRequest();
+  EXPECT_THROW(service::decodePlanRequest(health), ipc::IpcError);
+  EXPECT_EQ(service::peekType(health),
+            service::MessageType::kHealthRequest);
+  EXPECT_THROW(service::peekType(""), ipc::IpcError);
+}
+
+TEST(Protocol, StatusNamesMatchContract) {
+  EXPECT_STREQ(toString(WorkResult::Status::kOk), "OK");
+  EXPECT_STREQ(toString(WorkResult::Status::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(toString(WorkResult::Status::kShed), "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(toString(WorkResult::Status::kUnavailable), "UNAVAILABLE");
+}
+
+}  // namespace
+}  // namespace rfsm

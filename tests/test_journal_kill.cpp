@@ -1,0 +1,184 @@
+// ProgramJournal under real process death: a child is SIGKILLed mid-way
+// through writing its journal, and the parent must recover from whatever
+// prefix reached the disk — the exact failure mode of a planner-service
+// worker (or an embedded Reconfigurator) dying with a half-flushed
+// journal.  Complements the in-memory torn-tail tests in
+// test_fault_tolerance.cpp with a byte-truncation sweep and an actual
+// kill-during-write.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "core/apply.hpp"
+#include "core/journal.hpp"
+#include "core/jsr.hpp"
+#include "core/migration.hpp"
+#include "core/mutable_machine.hpp"
+#include "gen/families.hpp"
+
+namespace rfsm {
+namespace {
+
+MigrationContext paperContext() {
+  return MigrationContext(example41Source(), example41Target());
+}
+
+/// Serialized journal of the JSR program with `commits` committed steps.
+std::string journalText(const MigrationContext& context, int commits) {
+  ProgramJournal journal;
+  journal.begin(planJsr(context));
+  for (int step = 0; step < commits; ++step) journal.commit(step);
+  return journal.serialize(context);
+}
+
+/// Replays the committed prefix and resumes the remainder; true when the
+/// machine ends up realizing the target.
+bool resumeToTarget(const MigrationContext& context,
+                    const ProgramJournal& journal) {
+  MutableMachine machine(context);
+  const auto& steps = journal.program().steps;
+  for (int k = 0; k < journal.committedSteps(); ++k)
+    machine.applyStep(steps[static_cast<std::size_t>(k)]);
+  machine.applyProgram(journal.remainingProgram());
+  return machine.matchesTarget();
+}
+
+TEST(JournalKill, SigkillMidWriteLeavesARecoverablePrefix) {
+  const MigrationContext context = paperContext();
+  const ReconfigurationProgram program = planJsr(context);
+  ASSERT_GE(program.length(), 3);
+
+  char path[] = "/tmp/rfsm-journal-kill-XXXXXX";
+  const int preview = mkstemp(path);
+  ASSERT_GE(preview, 0);
+  close(preview);
+
+  // Handshake pipe: the child signals after every flushed commit record,
+  // so the parent kills at a *known* record boundary plus a torn tail.
+  int pipeFds[2];
+  ASSERT_EQ(pipe(pipeFds), 0);
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    close(pipeFds[0]);
+    const int fd = open(path, O_WRONLY | O_TRUNC);
+    if (fd < 0) _exit(10);
+    // Intent first (WAL discipline), flushed whole.
+    ProgramJournal journal;
+    journal.begin(program);
+    const std::string intent = journal.serialize(context);
+    if (write(fd, intent.data(), intent.size()) !=
+        static_cast<ssize_t>(intent.size()))
+      _exit(11);
+    fsync(fd);
+    // Then commit records one at a time, re-serializing the growing
+    // journal and appending only the new suffix; tell the parent after
+    // each flush and finally start a record we will never finish.
+    std::string previous = intent;
+    for (int step = 0; step < program.length(); ++step) {
+      journal.commit(step);
+      const std::string now = journal.serialize(context);
+      const std::string suffix = now.substr(previous.size());
+      if (write(fd, suffix.data(), suffix.size()) !=
+          static_cast<ssize_t>(suffix.size()))
+        _exit(12);
+      fsync(fd);
+      previous = now;
+      if (write(pipeFds[1], "c", 1) != 1) _exit(13);
+      if (step == 1) {
+        // Torn tail: half a commit record, then wait to be killed.
+        const std::string torn = "commit 2 deadbe";
+        (void)!write(fd, torn.data(), torn.size());
+        fsync(fd);
+        if (write(pipeFds[1], "t", 1) != 1) _exit(14);
+        pause();
+      }
+    }
+    _exit(0);
+  }
+
+  close(pipeFds[1]);
+  // Wait for: commit 0, commit 1, torn-tail marker — then SIGKILL.
+  char buffer;
+  for (int expected = 0; expected < 3; ++expected)
+    ASSERT_EQ(read(pipeFds[0], &buffer, 1), 1);
+  ASSERT_EQ(kill(child, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+  close(pipeFds[0]);
+
+  // Recover from what hit the disk.
+  std::string text;
+  {
+    const int fd = open(path, O_RDONLY);
+    ASSERT_GE(fd, 0);
+    char chunk[4096];
+    ssize_t got;
+    while ((got = read(fd, chunk, sizeof chunk)) > 0)
+      text.append(chunk, static_cast<std::size_t>(got));
+    close(fd);
+  }
+  unlink(path);
+
+  const ProgramJournal recovered = ProgramJournal::parse(context, text);
+  EXPECT_TRUE(recovered.truncated());  // the torn record was detected
+  EXPECT_EQ(recovered.committedSteps(), 2);  // and only the torn one lost
+  EXPECT_FALSE(recovered.complete());
+  EXPECT_TRUE(resumeToTarget(context, recovered));
+}
+
+TEST(JournalKill, EveryByteTruncationEitherParsesOrThrows) {
+  const MigrationContext context = paperContext();
+  const ReconfigurationProgram program = planJsr(context);
+  const std::string full = journalText(context, program.length());
+
+  int parsed = 0, rejected = 0;
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    const std::string prefix = full.substr(0, cut);
+    try {
+      const ProgramJournal journal = ProgramJournal::parse(context, prefix);
+      // A prefix that parses must be *safe*: no invented commits, and the
+      // journaled prefix must actually replay + resume to the target.
+      ASSERT_LE(journal.committedSteps(), program.length());
+      ASSERT_TRUE(resumeToTarget(context, journal)) << "cut at " << cut;
+      ++parsed;
+    } catch (const Error&) {
+      // Truncation inside the program section (or a torn non-trailing
+      // structure) must fail loudly, never misparse.
+      ++rejected;
+    }
+  }
+  // Both regimes must actually occur: early cuts reject, late cuts parse.
+  EXPECT_GT(parsed, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(JournalKill, CommitRegionCutsKeepEveryFullRecord) {
+  const MigrationContext context = paperContext();
+  const ReconfigurationProgram program = planJsr(context);
+  const std::string intentOnly = journalText(context, 0);
+  const std::string full = journalText(context, program.length());
+
+  // Cutting anywhere after the intent leaves: all fully-written commit
+  // records plus at most one torn trailing record, which parse() drops.
+  int bestSeen = 0;
+  for (std::size_t cut = intentOnly.size(); cut <= full.size(); ++cut) {
+    const ProgramJournal journal =
+        ProgramJournal::parse(context, full.substr(0, cut));
+    EXPECT_GE(journal.committedSteps(), bestSeen)
+        << "commit count went backwards at cut " << cut;
+    bestSeen = std::max(bestSeen, journal.committedSteps());
+    EXPECT_TRUE(resumeToTarget(context, journal)) << "cut at " << cut;
+  }
+  EXPECT_EQ(bestSeen, program.length());
+}
+
+}  // namespace
+}  // namespace rfsm

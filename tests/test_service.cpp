@@ -1,0 +1,369 @@
+// End-to-end tests of the hardened planner service: real rfsmd worker
+// subprocesses under the supervisor, crash/retry bit-identity, deadlines,
+// load shedding, health, and graceful degradation.
+//
+// The rfsmd binary path comes from RFSM_RFSMD_BUILD_PATH (a CMake
+// compile definition pointing at the build tree) or the RFSM_RFSMD
+// environment variable.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "fsm/serialize.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "util/supervisor.hpp"
+
+namespace rfsm {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::string rfsmdPath() {
+  if (const char* env = std::getenv("RFSM_RFSMD")) return env;
+#ifdef RFSM_RFSMD_BUILD_PATH
+  return RFSM_RFSMD_BUILD_PATH;
+#else
+  return "rfsmd";
+#endif
+}
+
+service::BatchSpec smallSpec() {
+  service::BatchSpec spec;
+  spec.stateCount = 8;
+  spec.inputCount = 2;
+  spec.outputCount = 2;
+  spec.deltaCount = 6;
+  spec.instanceCount = 10;
+  spec.seed = 7;
+  spec.planner = "greedy";
+  return spec;
+}
+
+SupervisorOptions workerPool(int workers) {
+  SupervisorOptions options;
+  options.workerCommand = {rfsmdPath(), "--worker"};
+  options.workers = workers;
+  return options;
+}
+
+service::ServerOptions serverOptions(int workers, std::uint64_t shardSize) {
+  service::ServerOptions options;
+  options.workerBinary = rfsmdPath();
+  options.shardSize = shardSize;
+  options.pool = workerPool(workers);
+  return options;
+}
+
+// --- Determinism foundations --------------------------------------------
+
+TEST(Protocol, InstanceGenerationIsShardAgnostic) {
+  const service::BatchSpec spec = smallSpec();
+  // Generating instance 7 directly must equal generating it as part of any
+  // enclosing sweep (makeInstance takes no mutable state).
+  const MigrationContext direct = service::makeInstance(spec, 7);
+  const MigrationContext again = service::makeInstance(spec, 7);
+  EXPECT_EQ(toJson(direct.sourceMachine()), toJson(again.sourceMachine()));
+  EXPECT_EQ(toJson(direct.targetMachine()), toJson(again.targetMachine()));
+}
+
+TEST(Protocol, PlanRangeShardsAreBitIdenticalToTheWhole) {
+  const service::BatchSpec spec = smallSpec();
+  const auto whole = service::planRange(spec, 0, spec.instanceCount);
+  ASSERT_EQ(whole.size(), spec.instanceCount);
+  // Any split must reproduce the same bytes per slot.
+  for (const std::uint64_t cut : {1ull, 3ull, 7ull}) {
+    auto left = service::planRange(spec, 0, cut);
+    auto right = service::planRange(spec, cut, spec.instanceCount);
+    left.insert(left.end(), right.begin(), right.end());
+    EXPECT_EQ(left, whole) << "split at " << cut;
+  }
+}
+
+TEST(Protocol, UnknownPlannerThrows) {
+  EXPECT_THROW(service::plannerFn("quantum"), Error);
+}
+
+// --- Supervisor with real workers ---------------------------------------
+
+TEST(SupervisorWorkers, ShardRoundTripMatchesInProcess) {
+  Supervisor supervisor(workerPool(2));
+  const service::BatchSpec spec = smallSpec();
+  service::ShardRequest shard;
+  shard.spec = spec;
+  shard.lo = 2;
+  shard.hi = 6;
+  auto future = supervisor.submit(service::encodeShardRequest(shard));
+  const WorkResult result = future.get();
+  ASSERT_EQ(result.status, WorkResult::Status::kOk) << result.error;
+  const auto response = service::decodeShardResponse(result.payload);
+  ASSERT_EQ(response.status, WorkResult::Status::kOk) << response.error;
+  EXPECT_EQ(response.programs, service::planRange(spec, 2, 6));
+  EXPECT_EQ(result.attempts, 1);
+}
+
+TEST(SupervisorWorkers, CrashLoopingWorkerFailsOnlyItsItem) {
+  // /bin/false execs fine and exits immediately: every attempt reads EOF.
+  SupervisorOptions options;
+  options.workerCommand = {"/bin/false"};
+  options.workers = 1;
+  options.maxAttempts = 2;
+  options.backoffBase = 1ms;
+  options.backoffCap = 5ms;
+  options.restartLimit = 100;  // keep the pool "healthy" while it churns
+  Supervisor supervisor(options);
+  const WorkResult result = supervisor.submit("anything").get();
+  EXPECT_EQ(result.status, WorkResult::Status::kFailed);
+  EXPECT_EQ(result.attempts, 2);
+  EXPECT_GE(supervisor.health().crashes, 2u);
+}
+
+TEST(SupervisorWorkers, CrashStormTripsTheRestartBudget) {
+  SupervisorOptions options;
+  options.workerCommand = {"/bin/false"};
+  options.workers = 1;
+  options.maxAttempts = 3;
+  options.backoffBase = 1ms;
+  options.backoffCap = 2ms;
+  options.restartLimit = 2;  // unhealthy after the 3rd crash in-window
+  options.restartWindow = 60s;
+  Supervisor supervisor(options);
+  (void)supervisor.submit("first").get();
+  EXPECT_FALSE(supervisor.health().healthy);
+  // Once unhealthy, new work is refused up front.
+  const WorkResult refused = supervisor.submit("second").get();
+  EXPECT_EQ(refused.status, WorkResult::Status::kUnavailable);
+}
+
+TEST(SupervisorWorkers, ZeroCapacityQueueShedsEverything) {
+  SupervisorOptions options = workerPool(1);
+  options.queueCapacity = 0;
+  Supervisor supervisor(options);
+  const WorkResult result = supervisor.submit("work").get();
+  EXPECT_EQ(result.status, WorkResult::Status::kShed);
+  EXPECT_EQ(supervisor.health().shed, 1u);
+}
+
+TEST(SupervisorWorkers, ExpiredTokenResolvesWithoutAWorker) {
+  Supervisor supervisor(workerPool(1));
+  auto cancel = std::make_shared<CancelToken>();
+  cancel->cancel();
+  const WorkResult result = supervisor.submit("work", cancel).get();
+  EXPECT_EQ(result.status, WorkResult::Status::kDeadlineExceeded);
+}
+
+TEST(SupervisorWorkers, ForcedUnhealthyRefusesAndRecovers) {
+  Supervisor supervisor(workerPool(1));
+  supervisor.forceUnhealthy();
+  EXPECT_EQ(supervisor.submit("a").get().status,
+            WorkResult::Status::kUnavailable);
+  supervisor.clearUnhealthy();
+  service::ShardRequest shard;
+  shard.spec = smallSpec();
+  shard.lo = 0;
+  shard.hi = 1;
+  EXPECT_EQ(supervisor.submit(service::encodeShardRequest(shard))
+                .get()
+                .status,
+            WorkResult::Status::kOk);
+}
+
+// --- The server: shard/aggregate + fault scenarios -----------------------
+
+TEST(Server, BatchMatchesInProcessPlanning) {
+  service::Server server(serverOptions(2, 3));
+  service::PlanRequest request;
+  request.spec = smallSpec();
+  const service::PlanResponse response = server.handlePlan(request);
+  ASSERT_EQ(response.status, WorkResult::Status::kOk) << response.error;
+  EXPECT_EQ(response.programs,
+            service::planRange(request.spec, 0, request.spec.instanceCount));
+  EXPECT_EQ(response.retries, 0u);
+}
+
+TEST(Server, KilledWorkerMidShardIsRetriedBitIdentically) {
+  service::ServerOptions options = serverOptions(2, 4);
+  options.scenario = *fault::serviceScenarioByName("kill-first-shard");
+  options.pool.backoffBase = 1ms;
+  options.pool.backoffCap = 10ms;
+  service::Server server(std::move(options));
+  service::PlanRequest request;
+  request.spec = smallSpec();
+  const service::PlanResponse response = server.handlePlan(request);
+  ASSERT_EQ(response.status, WorkResult::Status::kOk) << response.error;
+  // The kill cost exactly one retry and one crash — and zero bytes.
+  EXPECT_GE(response.retries, 1u);
+  EXPECT_GE(response.crashes, 1u);
+  EXPECT_EQ(response.programs,
+            service::planRange(request.spec, 0, request.spec.instanceCount));
+}
+
+TEST(Server, AbortedWorkerMidShardIsRetriedBitIdentically) {
+  service::ServerOptions options = serverOptions(2, 4);
+  options.scenario = *fault::serviceScenarioByName("abort-mid-shard");
+  options.pool.backoffBase = 1ms;
+  options.pool.backoffCap = 10ms;
+  service::Server server(std::move(options));
+  service::PlanRequest request;
+  request.spec = smallSpec();
+  const service::PlanResponse response = server.handlePlan(request);
+  ASSERT_EQ(response.status, WorkResult::Status::kOk) << response.error;
+  EXPECT_GE(response.retries, 1u);
+  EXPECT_EQ(response.programs,
+            service::planRange(request.spec, 0, request.spec.instanceCount));
+}
+
+TEST(Server, HungWorkerIsDestroyedAndTheShardRetried) {
+  service::ServerOptions options = serverOptions(2, 4);
+  options.scenario = *fault::serviceScenarioByName("hang-worker");
+  options.pool.attemptTimeout = 300ms;  // detect the hang well inside budget
+  options.pool.backoffBase = 1ms;
+  options.pool.backoffCap = 10ms;
+  service::Server server(std::move(options));
+  service::PlanRequest request;
+  request.spec = smallSpec();
+  request.deadlineMs = 30000;
+  const service::PlanResponse response = server.handlePlan(request);
+  ASSERT_EQ(response.status, WorkResult::Status::kOk) << response.error;
+  EXPECT_GE(response.retries, 1u);
+  EXPECT_GE(response.crashes, 1u);  // the hung worker was killed, not joined
+  EXPECT_EQ(response.programs,
+            service::planRange(request.spec, 0, request.spec.instanceCount));
+}
+
+TEST(Server, TinyDeadlineReportsDeadlineExceeded) {
+  service::Server server(serverOptions(2, 8));
+  service::PlanRequest request;
+  request.spec = smallSpec();
+  request.spec.stateCount = 24;
+  request.spec.deltaCount = 40;
+  request.spec.inputCount = 4;
+  request.spec.instanceCount = 64;
+  request.spec.planner = "ea";
+  request.deadlineMs = 30;
+  const auto start = std::chrono::steady_clock::now();
+  const service::PlanResponse response = server.handlePlan(request);
+  EXPECT_EQ(response.status, WorkResult::Status::kDeadlineExceeded);
+  EXPECT_TRUE(response.programs.empty());
+  // Cooperative cancellation: the whole thing unwound in far less time
+  // than planning 64 EA instances would take.
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 20s);
+}
+
+TEST(Server, UnhealthyPoolAnswersUnavailable) {
+  service::ServerOptions options = serverOptions(1, 4);
+  options.scenario = *fault::serviceScenarioByName("pool-unhealthy");
+  service::Server server(std::move(options));
+  service::PlanRequest request;
+  request.spec = smallSpec();
+  const service::PlanResponse response = server.handlePlan(request);
+  EXPECT_EQ(response.status, WorkResult::Status::kUnavailable);
+}
+
+TEST(Server, EmptyBatchSucceedsTrivially) {
+  service::Server server(serverOptions(1, 4));
+  service::PlanRequest request;
+  request.spec = smallSpec();
+  request.spec.instanceCount = 0;
+  const service::PlanResponse response = server.handlePlan(request);
+  EXPECT_EQ(response.status, WorkResult::Status::kOk);
+  EXPECT_TRUE(response.programs.empty());
+}
+
+// --- Client degradation ---------------------------------------------------
+
+TEST(Client, MissingServerDegradesToInProcessPlanning) {
+  service::ClientOptions options;
+  options.socketPath = "/nonexistent/rfsmd.sock";
+  std::ostringstream err;
+  const service::ClientResult result =
+      service::planBatch(smallSpec(), options, err);
+  ASSERT_EQ(result.status, WorkResult::Status::kOk) << result.error;
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(result.programs,
+            service::planRange(smallSpec(), 0, smallSpec().instanceCount));
+  EXPECT_NE(err.str().find("degrading to in-process"), std::string::npos);
+}
+
+TEST(Client, LocalDeadlineIsCooperative) {
+  service::BatchSpec spec = smallSpec();
+  spec.stateCount = 24;
+  spec.deltaCount = 40;
+  spec.inputCount = 4;
+  spec.instanceCount = 64;
+  spec.planner = "ea";
+  const service::ClientResult result = service::planLocal(spec, 20, 1);
+  EXPECT_EQ(result.status, WorkResult::Status::kDeadlineExceeded);
+}
+
+// --- Full socket path -----------------------------------------------------
+
+struct RunningServer {
+  service::Server server;
+  CancelToken stop;
+  std::thread thread;
+
+  explicit RunningServer(service::ServerOptions options)
+      : server(std::move(options)),
+        thread([this] { server.run(&stop); }) {}
+  ~RunningServer() {
+    stop.cancel();
+    thread.join();
+  }
+};
+
+std::string freshSocketPath(const char* tag) {
+  return "/tmp/rfsm-test-" + std::to_string(getpid()) + "-" + tag + ".sock";
+}
+
+TEST(Socket, PlanAndProbeOverUnixSocket) {
+  const std::string path = freshSocketPath("e2e");
+  service::ServerOptions options = serverOptions(2, 4);
+  options.socketPath = path;
+  RunningServer running(std::move(options));
+
+  const auto health = service::probeHealth(path);
+  ASSERT_TRUE(health.has_value());
+  EXPECT_TRUE(health->healthy);
+  EXPECT_EQ(health->workersConfigured, 2);
+
+  service::ClientOptions client;
+  client.socketPath = path;
+  std::ostringstream err;
+  const service::ClientResult result =
+      service::planBatch(smallSpec(), client, err);
+  ASSERT_EQ(result.status, WorkResult::Status::kOk) << result.error;
+  EXPECT_FALSE(result.degraded);
+  EXPECT_EQ(result.programs,
+            service::planRange(smallSpec(), 0, smallSpec().instanceCount));
+  unlink(path.c_str());
+}
+
+TEST(Socket, UnhealthyServerTriggersClientDegradation) {
+  const std::string path = freshSocketPath("degrade");
+  service::ServerOptions options = serverOptions(1, 4);
+  options.socketPath = path;
+  options.scenario = *fault::serviceScenarioByName("pool-unhealthy");
+  RunningServer running(std::move(options));
+
+  service::ClientOptions client;
+  client.socketPath = path;
+  std::ostringstream err;
+  const service::ClientResult result =
+      service::planBatch(smallSpec(), client, err);
+  ASSERT_EQ(result.status, WorkResult::Status::kOk) << result.error;
+  EXPECT_TRUE(result.degraded);  // correct results despite the dead pool
+  EXPECT_EQ(result.programs,
+            service::planRange(smallSpec(), 0, smallSpec().instanceCount));
+  EXPECT_NE(err.str().find("UNAVAILABLE"), std::string::npos);
+  unlink(path.c_str());
+}
+
+}  // namespace
+}  // namespace rfsm

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_<name>.json sidecars and gate on perf regressions.
+
+Usage: bench_diff.py BASELINE.json CURRENT.json [--threshold PCT]
+                     [--wall-threshold PCT] [--counters-must-match]
+
+Compares the telemetry snapshots two runs of the same bench wrote with
+--json-out (bench/common.hpp, writeBenchJson):
+
+  * counters        printed as a drift table; with --counters-must-match
+                    any difference is a failure (for benches whose counter
+                    artifact is bit-identical by contract)
+  * histograms      per-name p99_ms compared; a current p99 more than
+                    --threshold percent above baseline is a REGRESSION
+  * timers          per-name mean ms (total_ms / count) compared under the
+                    same threshold, reported but only advisory (timer means
+                    on shared CI runners are noisy; the gate is p99)
+  * wall_ms         artifact wall time compared under --wall-threshold
+                    (default: off) for coarse end-to-end drift
+
+Exit 0 = no gated regression, 1 = regression or counter mismatch,
+2 = unusable input.  Sub-millisecond baselines are ignored by the p99 gate
+(noise floor); the table still shows them.
+
+Dependency-free (json + sys only) so CI can run it on the bare runner
+image.
+"""
+
+import json
+import sys
+
+NOISE_FLOOR_MS = 1.0
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"{path}: not loadable JSON: {error}", file=sys.stderr)
+        return None
+    if not isinstance(doc, dict) or "telemetry" not in doc:
+        print(f"{path}: missing 'telemetry' section", file=sys.stderr)
+        return None
+    return doc
+
+
+def pct(base, now):
+    if base <= 0:
+        return 0.0
+    return 100.0 * (now - base) / base
+
+
+def main(argv):
+    threshold = 25.0
+    wall_threshold = None
+    counters_must_match = False
+    rest = argv[1:]
+    args = []
+    k = 0
+    while k < len(rest):
+        arg = rest[k]
+        if arg == "--threshold":
+            k += 1
+            threshold = float(rest[k])
+        elif arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        elif arg == "--wall-threshold":
+            k += 1
+            wall_threshold = float(rest[k])
+        elif arg.startswith("--wall-threshold="):
+            wall_threshold = float(arg.split("=", 1)[1])
+        elif arg == "--counters-must-match":
+            counters_must_match = True
+        else:
+            args.append(arg)
+        k += 1
+    if len(args) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    baseline = load(args[0])
+    current = load(args[1])
+    if baseline is None or current is None:
+        return 2
+    if baseline.get("bench") != current.get("bench"):
+        print(
+            f"refusing to diff different benches: "
+            f"'{baseline.get('bench')}' vs '{current.get('bench')}'",
+            file=sys.stderr,
+        )
+        return 2
+
+    failed = False
+    name = current.get("bench", "?")
+    print(
+        f"bench_diff: {name}  "
+        f"{baseline.get('git_rev', '?')} -> {current.get('git_rev', '?')}  "
+        f"(p99 gate: +{threshold:g}%)"
+    )
+
+    base_t = baseline["telemetry"]
+    cur_t = current["telemetry"]
+
+    # Counters: drift table, optionally gating.
+    base_counters = base_t.get("counters", {})
+    cur_counters = cur_t.get("counters", {})
+    drifted = sorted(
+        k
+        for k in set(base_counters) | set(cur_counters)
+        if base_counters.get(k) != cur_counters.get(k)
+    )
+    if drifted:
+        print("counter drift:")
+        for key in drifted:
+            print(
+                f"  {key}: {base_counters.get(key, 0)} -> "
+                f"{cur_counters.get(key, 0)}"
+            )
+        if counters_must_match:
+            print("FAIL: counters differ (--counters-must-match)")
+            failed = True
+    else:
+        print("counters: identical")
+
+    # Histograms: p99 gate.
+    base_hists = base_t.get("histograms", {})
+    cur_hists = cur_t.get("histograms", {})
+    for key in sorted(set(base_hists) & set(cur_hists)):
+        base_p99 = float(base_hists[key].get("p99_ms", 0.0))
+        cur_p99 = float(cur_hists[key].get("p99_ms", 0.0))
+        delta = pct(base_p99, cur_p99)
+        line = f"  {key}: p99 {base_p99:.3f} ms -> {cur_p99:.3f} ms ({delta:+.1f}%)"
+        if base_p99 >= NOISE_FLOOR_MS and delta > threshold:
+            print(f"REGRESSION{line}")
+            failed = True
+        else:
+            print(f"ok {line}")
+
+    # Timers: advisory mean comparison.
+    base_timers = base_t.get("timers", {})
+    cur_timers = cur_t.get("timers", {})
+    for key in sorted(set(base_timers) & set(cur_timers)):
+        b = base_timers[key]
+        c = cur_timers[key]
+        if not b.get("count") or not c.get("count"):
+            continue
+        base_mean = float(b["total_ms"]) / float(b["count"])
+        cur_mean = float(c["total_ms"]) / float(c["count"])
+        print(
+            f"  (advisory) {key}: mean {base_mean:.3f} ms -> "
+            f"{cur_mean:.3f} ms ({pct(base_mean, cur_mean):+.1f}%)"
+        )
+
+    # Wall time: optional coarse gate.
+    base_wall = float(baseline.get("wall_ms", 0.0))
+    cur_wall = float(current.get("wall_ms", 0.0))
+    delta = pct(base_wall, cur_wall)
+    line = f"  wall: {base_wall:.1f} ms -> {cur_wall:.1f} ms ({delta:+.1f}%)"
+    if wall_threshold is not None and base_wall >= NOISE_FLOOR_MS and delta > wall_threshold:
+        print(f"REGRESSION{line}")
+        failed = True
+    else:
+        print(f"ok {line}")
+
+    if failed:
+        print("bench_diff: FAIL", file=sys.stderr)
+        return 1
+    print("bench_diff: pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
