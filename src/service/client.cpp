@@ -8,38 +8,44 @@
 #include "util/trace.hpp"
 
 namespace rfsm::service {
-namespace {
 
-/// One request/response exchange; throws IpcError on transport failure,
-/// returns nullopt on timeout or a server that hung up.
-std::optional<std::string> exchange(const std::string& socketPath,
-                                    const std::string& request,
-                                    std::int64_t timeoutMs) {
+std::optional<std::string> exchangeEndpoint(const ipc::Endpoint& endpoint,
+                                            const std::string& request,
+                                            std::int64_t timeoutMs,
+                                            const CancelToken* cancel) {
   ipc::ignoreSigpipe();
-  ipc::Fd fd = ipc::connectUnix(socketPath);
+  ipc::Fd fd = ipc::connectEndpoint(endpoint, timeoutMs);
   ipc::writeFrame(fd.get(), request);
   CancelToken token;
-  if (timeoutMs > 0) {
+  if (cancel == nullptr && timeoutMs > 0) {
     token.setDeadline(CancelToken::Clock::now() +
                       std::chrono::milliseconds(timeoutMs));
+    cancel = &token;
   }
   std::string reply;
-  const ipc::ReadStatus status =
-      ipc::readFrame(fd.get(), reply, timeoutMs > 0 ? &token : nullptr);
+  const ipc::ReadStatus status = ipc::readFrame(fd.get(), reply, cancel);
   if (status != ipc::ReadStatus::kOk) return std::nullopt;
   return reply;
 }
 
+namespace {
+
+/// Degrades to in-process planning.  The stderr notice carries only the
+/// stable `reason` token (kReasonUnreachable & co.) so scripts and CI can
+/// assert on it; the raw `detail` (errno text, server error strings —
+/// anything environment-dependent) goes to the trace.
 ClientResult degrade(const BatchSpec& spec, const ClientOptions& options,
-                     std::ostream& err, const std::string& why) {
+                     std::ostream& err, const std::string& reason,
+                     const std::string& detail) {
   static metrics::Counter& degraded =
       metrics::counter(metrics::kServiceDegraded);
   degraded.add();
   trace::instant("service.degraded", "service",
-                 {trace::Arg::str("why", why)});
+                 {trace::Arg::str("why", reason),
+                  trace::Arg::str("detail", detail)});
   // Diagnostics to stderr only: stdout must stay byte-identical to a
   // healthy server run so `diff` proves the degradation lossless.
-  err << "rfsmc: planner service unavailable (" << why
+  err << "rfsmc: planner service unavailable (" << reason
       << "); degrading to in-process planning\n";
   ClientResult result = planLocal(spec, options.deadlineMs, options.jobs);
   result.degraded = true;
@@ -92,20 +98,20 @@ ClientResult planBatch(const BatchSpec& spec, const ClientOptions& options,
     // cooperative DEADLINE_EXCEEDED reply still arrives.
     const std::int64_t timeoutMs =
         options.deadlineMs > 0 ? options.deadlineMs + 2000 : 0;
-    reply = exchange(options.socketPath, encodePlanRequest(request),
-                     timeoutMs);
+    reply = exchangeEndpoint(ipc::parseEndpoint(options.socketPath),
+                             encodePlanRequest(request), timeoutMs);
   } catch (const ipc::IpcError& error) {
-    return degrade(spec, options, err, error.what());
+    return degrade(spec, options, err, kReasonUnreachable, error.what());
   }
   if (!reply.has_value())
-    return degrade(spec, options, err, "server did not answer");
+    return degrade(spec, options, err, kReasonUnreachable,
+                   "server did not answer");
 
   PlanResponse response;
   try {
     response = decodePlanResponse(*reply);
   } catch (const Error& error) {
-    return degrade(spec, options, err,
-                   std::string("malformed response: ") + error.what());
+    return degrade(spec, options, err, kReasonMalformed, error.what());
   }
 
   ClientResult result;
@@ -118,10 +124,13 @@ ClientResult planBatch(const BatchSpec& spec, const ClientOptions& options,
       return result;
     case WorkResult::Status::kUnavailable:
     case WorkResult::Status::kShed: {
-      ClientResult fallback = degrade(
-          spec, options, err,
-          std::string(toString(response.status)) +
-              (response.error.empty() ? "" : ": " + response.error));
+      // kShed means a healthy pool said "not now" (queue full); that is
+      // overload, not unhealth — the reason tokens keep them apart.
+      const char* reason = response.status == WorkResult::Status::kShed
+                               ? kReasonOverloaded
+                               : kReasonUnhealthy;
+      ClientResult fallback =
+          degrade(spec, options, err, reason, response.error);
       fallback.retries = response.retries;
       fallback.crashes = response.crashes;
       return fallback;
@@ -136,13 +145,22 @@ ClientResult planBatch(const BatchSpec& spec, const ClientOptions& options,
   return result;
 }
 
-std::optional<HealthResponse> probeHealth(const std::string& socketPath,
+std::optional<HealthResponse> probeHealth(const ipc::Endpoint& endpoint,
                                           std::int64_t timeoutMs) {
   try {
     const std::optional<std::string> reply =
-        exchange(socketPath, encodeHealthRequest(), timeoutMs);
+        exchangeEndpoint(endpoint, encodeHealthRequest(), timeoutMs);
     if (!reply.has_value()) return std::nullopt;
     return decodeHealthResponse(*reply);
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<HealthResponse> probeHealth(const std::string& socketPath,
+                                          std::int64_t timeoutMs) {
+  try {
+    return probeHealth(ipc::parseEndpoint(socketPath), timeoutMs);
   } catch (const Error&) {
     return std::nullopt;
   }

@@ -19,16 +19,38 @@
 #include <vector>
 
 #include "service/protocol.hpp"
+#include "util/ipc.hpp"
 
 namespace rfsm::service {
 
 struct ClientOptions {
+  /// Server endpoint in ipc::parseEndpoint syntax (Unix path or
+  /// tcp:host:port).
   std::string socketPath;
   /// Latency budget; 0 = none.
   std::int64_t deadlineMs = 0;
   /// Parallelism of a degraded in-process run.
   int jobs = 1;
 };
+
+/// One framed request/response exchange with an endpoint — the single
+/// connect+frame path under planBatch, probeHealth, and the fabric
+/// (src/service/fabric.hpp), so transport behaviour cannot drift between
+/// them.  `timeoutMs` bounds the connect; the read is bounded by `cancel`
+/// when given (hedged requests cancel losers through it), else by
+/// `timeoutMs`.  Throws ipc::IpcError on connect/write/transport failure;
+/// nullopt when the server hung up or the wait expired.
+std::optional<std::string> exchangeEndpoint(const ipc::Endpoint& endpoint,
+                                            const std::string& request,
+                                            std::int64_t timeoutMs,
+                                            const CancelToken* cancel = nullptr);
+
+/// Stable, human-free degradation reason tokens: stderr notices print these
+/// (CI greps them), the underlying detail goes to traces.
+inline constexpr const char* kReasonUnreachable = "unreachable";
+inline constexpr const char* kReasonUnhealthy = "unhealthy";
+inline constexpr const char* kReasonOverloaded = "overloaded";
+inline constexpr const char* kReasonMalformed = "malformed response";
 
 struct ClientResult {
   WorkResult::Status status = WorkResult::Status::kFailed;
@@ -53,6 +75,8 @@ ClientResult planLocal(const BatchSpec& spec, std::int64_t deadlineMs,
 /// Health probe; nullopt when the server cannot be reached or does not
 /// answer within `timeoutMs`.
 std::optional<HealthResponse> probeHealth(const std::string& socketPath,
+                                          std::int64_t timeoutMs = 5000);
+std::optional<HealthResponse> probeHealth(const ipc::Endpoint& endpoint,
                                           std::int64_t timeoutMs = 5000);
 
 }  // namespace rfsm::service

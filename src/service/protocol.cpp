@@ -1,10 +1,15 @@
 #include "service/protocol.hpp"
 
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
 #include "core/jsr.hpp"
 #include "core/program.hpp"
 #include "gen/generator.hpp"
 #include "gen/mutator.hpp"
 #include "util/ipc.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rfsm::service {
@@ -65,7 +70,74 @@ std::uint32_t statusToWire(WorkResult::Status status) {
   return 1;
 }
 
+// --- Instance cache ------------------------------------------------------
+//
+// makeInstance is deterministic in (spec, index), so its results are
+// cacheable forever.  A long-lived worker serving retried, hedged, or
+// quorum-duplicated shards of the same batch regenerates nothing; FIFO
+// eviction at kInstanceCacheCapacity bounds the footprint.
+
+struct InstanceCache {
+  std::mutex mutex;
+  std::unordered_map<std::string, MigrationContext> entries;
+  std::deque<std::string> order;  // FIFO eviction
+};
+
+InstanceCache& instanceCache() {
+  static InstanceCache* cache = new InstanceCache();  // immortal
+  return *cache;
+}
+
+std::string instanceKey(const BatchSpec& spec, std::uint64_t index) {
+  // instanceCount is deliberately absent: instance k's bytes depend only on
+  // the generation dimensions and seed, so shards of differently-sized
+  // sweeps over the same spec share entries.
+  return std::to_string(spec.stateCount) + "," +
+         std::to_string(spec.inputCount) + "," +
+         std::to_string(spec.outputCount) + "," +
+         std::to_string(spec.deltaCount) + "," +
+         std::to_string(spec.newStateCount) + "," +
+         std::to_string(spec.seed) + "#" + std::to_string(index);
+}
+
+MigrationContext cachedInstance(const BatchSpec& spec, std::uint64_t index) {
+  static metrics::Counter& hits =
+      metrics::counter(metrics::kServiceWorkerCacheHits);
+  static metrics::Counter& misses =
+      metrics::counter(metrics::kServiceWorkerCacheMisses);
+  InstanceCache& cache = instanceCache();
+  const std::string key = instanceKey(spec, index);
+  {
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    const auto it = cache.entries.find(key);
+    if (it != cache.entries.end()) {
+      hits.add();
+      return it->second;
+    }
+  }
+  misses.add();
+  // Generate outside the lock (the expensive part); a racing twin doing the
+  // same work inserts an identical value, so last-writer-wins is harmless.
+  MigrationContext instance = makeInstance(spec, index);
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  if (cache.entries.emplace(key, instance).second) {
+    cache.order.push_back(key);
+    while (cache.order.size() > kInstanceCacheCapacity) {
+      cache.entries.erase(cache.order.front());
+      cache.order.pop_front();
+    }
+  }
+  return instance;
+}
+
 }  // namespace
+
+void clearInstanceCache() {
+  InstanceCache& cache = instanceCache();
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  cache.entries.clear();
+  cache.order.clear();
+}
 
 MigrationContext makeInstance(const BatchSpec& spec, std::uint64_t index) {
   Rng gen = Rng(spec.seed).substream(kGenStreamBase + index);
@@ -111,7 +183,7 @@ std::vector<std::string> planRange(const BatchSpec& spec, std::uint64_t lo,
   instances.reserve(static_cast<std::size_t>(hi - lo));
   for (std::uint64_t k = lo; k < hi; ++k) {
     pollCancel(cancel, "service.generate");
-    instances.push_back(makeInstance(spec, k));
+    instances.push_back(cachedInstance(spec, k));
   }
 
   BatchOptions options;
@@ -137,6 +209,8 @@ std::string encodePlanRequest(const PlanRequest& request) {
   putSpec(writer, request.spec);
   writer.i64(request.deadlineMs);
   writer.u64(request.requestId);
+  writer.u64(request.lo);
+  writer.u64(request.hi);
   return writer.take();
 }
 
@@ -147,6 +221,8 @@ PlanRequest decodePlanRequest(const std::string& payload) {
   request.spec = getSpec(reader);
   request.deadlineMs = reader.i64();
   request.requestId = reader.u64();
+  request.lo = reader.u64();
+  request.hi = reader.u64();
   reader.expectEnd();
   return request;
 }
@@ -263,6 +339,26 @@ HealthResponse decodeHealthResponse(const std::string& payload) {
   return response;
 }
 
+// --- Worker warm-up -------------------------------------------------------
+
+std::string encodeWarmupRequest() {
+  ipc::MessageWriter writer;
+  writer.u32(static_cast<std::uint32_t>(MessageType::kWarmupRequest));
+  return writer.take();
+}
+
+std::string encodeWarmupResponse() {
+  ipc::MessageWriter writer;
+  writer.u32(static_cast<std::uint32_t>(MessageType::kWarmupResponse));
+  return writer.take();
+}
+
+void decodeWarmupResponse(const std::string& payload) {
+  ipc::MessageReader reader(payload);
+  expectType(reader, MessageType::kWarmupResponse);
+  reader.expectEnd();
+}
+
 MessageType peekType(const std::string& payload) {
   ipc::MessageReader reader(payload);
   const std::uint32_t tag = reader.u32();
@@ -273,6 +369,8 @@ MessageType peekType(const std::string& payload) {
     case 4: return MessageType::kHealthResponse;
     case 5: return MessageType::kShardRequest;
     case 6: return MessageType::kShardResponse;
+    case 7: return MessageType::kWarmupRequest;
+    case 8: return MessageType::kWarmupResponse;
   }
   throw ipc::IpcError("unknown message type " + std::to_string(tag));
 }

@@ -27,12 +27,14 @@ namespace rfsm::service {
 
 /// First u32 of every frame.
 enum class MessageType : std::uint32_t {
-  kPlanRequest = 1,    ///< client -> server: plan a whole batch
+  kPlanRequest = 1,    ///< client -> server: plan a batch (sub)range
   kPlanResponse = 2,   ///< server -> client
   kHealthRequest = 3,  ///< client -> server: health/readiness probe
   kHealthResponse = 4, ///< server -> client
   kShardRequest = 5,   ///< server -> worker: plan instances [lo, hi)
   kShardResponse = 6,  ///< worker -> server
+  kWarmupRequest = 7,  ///< server -> worker: no-op warm-up (prefork pools)
+  kWarmupResponse = 8, ///< worker -> server
 };
 
 /// A batch of seeded random migration instances (the Table 2 axis): for
@@ -66,10 +68,24 @@ BatchPlanFn plannerFn(const std::string& name);
 /// rfsm-program text format (core/program.hpp) — the exact bytes any other
 /// shard split would produce for those slots.  `cancel` is polled between
 /// instances and inside the planners; `jobs` <= 1 is serial.
+///
+/// Generated instances are cached process-wide, keyed by (spec, index):
+/// long-lived workers serving retried, hedged, or quorum-duplicated shards
+/// of the same batch skip the regenerate step entirely
+/// (service.worker_cache_hits counts the savings).  Cached or not, the
+/// result is byte-identical — the cache stores exactly what makeInstance
+/// would produce.
 std::vector<std::string> planRange(const BatchSpec& spec, std::uint64_t lo,
                                    std::uint64_t hi,
                                    const CancelToken* cancel = nullptr,
                                    int jobs = 1);
+
+/// Entries the instance cache holds before evicting in FIFO order.
+inline constexpr std::size_t kInstanceCacheCapacity = 256;
+
+/// Drops every cached instance (tests; also bounds memory after a one-off
+/// giant batch).
+void clearInstanceCache();
 
 // --- Plan request / response --------------------------------------------
 
@@ -80,6 +96,18 @@ struct PlanRequest {
   /// Client-chosen id, echoed in traces ("service.request" span) so client
   /// and server logs correlate.
   std::uint64_t requestId = 0;
+  /// Subrange [lo, hi) of the batch to plan; lo == hi == 0 means the whole
+  /// batch.  This is how the fabric shards one spec across endpoints: each
+  /// endpoint plans its subrange on the global substreams, so the
+  /// concatenation is byte-identical to the unsharded planAll.
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  /// The effective range (resolves the whole-batch shorthand).
+  std::uint64_t rangeLo() const { return lo; }
+  std::uint64_t rangeHi() const {
+    return (lo == 0 && hi == 0) ? spec.instanceCount : hi;
+  }
 };
 
 struct PlanResponse {
@@ -136,6 +164,18 @@ struct HealthResponse {
 std::string encodeHealthRequest();
 std::string encodeHealthResponse(const HealthResponse& response);
 HealthResponse decodeHealthResponse(const std::string& payload);
+
+// --- Worker warm-up -------------------------------------------------------
+//
+// A preforked pool sends each fresh worker one warm-up frame and waits for
+// the echo: the exchange forces exec + dynamic loading + allocator warm-up
+// to complete at startup, so the first real shard of a request does not pay
+// the cold start (the ROADMAP "worker warm pools" item, visible in A13's
+// latency column).
+
+std::string encodeWarmupRequest();
+std::string encodeWarmupResponse();
+void decodeWarmupResponse(const std::string& payload);  ///< throws on junk
 
 /// The message type of a payload (its first u32); throws IpcError on an
 /// unknown tag or an empty frame.

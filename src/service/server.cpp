@@ -47,7 +47,7 @@ Server::Server(ServerOptions options)
       supervisor_(poolOptions(options_)),
       listen_(options_.socketPath.empty()
                   ? ipc::Fd()
-                  : ipc::listenUnix(options_.socketPath)) {
+                  : ipc::listenEndpoint(ipc::parseEndpoint(options_.socketPath))) {
   ipc::ignoreSigpipe();
   using Kind = fault::ServiceScenario::Kind;
   const fault::ServiceScenario& scenario = options_.scenario;
@@ -112,7 +112,24 @@ PlanResponse Server::handlePlan(const PlanRequest& request) {
     deadlineNs = deadline.time_since_epoch().count();
   }
 
-  const std::uint64_t total = request.spec.instanceCount;
+  // The request names a subrange [lo, hi) of the batch (the fabric's shard
+  // unit; lo == hi == 0 is the whole batch).  Worker shards carry absolute
+  // instance indices, so whatever slice of the batch this server plans is
+  // byte-identical to the same slots of the unsharded planAll.
+  const std::uint64_t rangeLo = request.rangeLo();
+  const std::uint64_t rangeHi = request.rangeHi();
+  if (rangeLo > rangeHi || rangeHi > request.spec.instanceCount) {
+    PlanResponse malformed;
+    malformed.status = WorkResult::Status::kFailed;
+    malformed.error = "malformed plan range [" + std::to_string(rangeLo) +
+                      ", " + std::to_string(rangeHi) + ") for " +
+                      std::to_string(request.spec.instanceCount) +
+                      " instances";
+    trace::asyncEnd("service.request", "service", correlation,
+                    {trace::Arg::str("status", "FAILED")});
+    return malformed;
+  }
+  const std::uint64_t total = rangeHi - rangeLo;
   // Baseline for the retry/crash accounting, taken before any shard is
   // dispatched: a worker can crash the instant its frame lands, well before
   // the aggregation loop below starts.
@@ -120,8 +137,8 @@ PlanResponse Server::handlePlan(const PlanRequest& request) {
   const std::uint64_t shardSize = std::max<std::uint64_t>(1, options_.shardSize);
   std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
   std::vector<std::future<WorkResult>> futures;
-  for (std::uint64_t lo = 0; lo < total; lo += shardSize) {
-    const std::uint64_t hi = std::min(total, lo + shardSize);
+  for (std::uint64_t lo = rangeLo; lo < rangeHi; lo += shardSize) {
+    const std::uint64_t hi = std::min(rangeHi, lo + shardSize);
     ShardRequest shard;
     shard.spec = request.spec;
     shard.lo = lo;

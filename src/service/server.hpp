@@ -34,7 +34,9 @@
 namespace rfsm::service {
 
 struct ServerOptions {
-  /// Unix-domain socket path to listen on.
+  /// Endpoint to listen on, in ipc::parseEndpoint syntax: a Unix socket
+  /// path ("/run/rfsmd.sock", "unix:...") or a TCP address
+  /// ("tcp:0.0.0.0:4777") for cross-host fabrics.
   std::string socketPath;
   /// The rfsmd binary to spawn workers from (argv[0]; workers are started
   /// as `<binary> --worker`).

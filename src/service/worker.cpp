@@ -21,6 +21,14 @@ int runWorker() {
 
     ShardResponse response;
     try {
+      if (peekType(payload) == MessageType::kWarmupRequest) {
+        // Prefork warm-up: echo readiness without planning anything.  The
+        // frame exchange itself is the point — by the time the reply lands,
+        // exec, dynamic loading, and the allocator are all paid for.
+        trace::instant("service.worker_warmup", "service");
+        ipc::writeFrame(ipc::kWorkerChannelFd, encodeWarmupResponse());
+        continue;
+      }
       const ShardRequest request = decodeShardRequest(payload);
       CancelToken cancel;
       if (request.deadlineNs != 0) {

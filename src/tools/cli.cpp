@@ -1,5 +1,6 @@
 #include "tools/cli.hpp"
 
+#include <cstdlib>
 #include <fstream>
 #include <optional>
 #include <ostream>
@@ -27,7 +28,9 @@
 #include "rtl/testbench.hpp"
 #include "rtl/vhdl.hpp"
 #include "service/client.hpp"
+#include "service/fabric.hpp"
 #include "tools/report.hpp"
+#include "util/metrics.hpp"
 #include "util/table.hpp"
 #include "util/strings.hpp"
 #include "util/trace.hpp"
@@ -86,6 +89,29 @@ bool flag(const std::vector<std::string>& args, const std::string& name) {
   for (const auto& a : args)
     if (a == name) return true;
   return false;
+}
+
+/// Every value of a repeatable option (--endpoint can appear N times).
+std::vector<std::string> optionAll(const std::vector<std::string>& args,
+                                   const std::string& name) {
+  std::vector<std::string> values;
+  for (std::size_t k = 0; k + 1 < args.size(); ++k)
+    if (args[k] == name) values.push_back(args[k + 1]);
+  return values;
+}
+
+/// The planner-fabric endpoint set: repeated --endpoint flags, or the
+/// RFSM_ENDPOINTS environment list when no flag is given.
+std::vector<ipc::Endpoint> fabricEndpoints(
+    const std::vector<std::string>& args) {
+  std::vector<ipc::Endpoint> endpoints;
+  for (const std::string& text : optionAll(args, "--endpoint"))
+    endpoints.push_back(ipc::parseEndpoint(text));
+  if (endpoints.empty()) {
+    if (const char* env = std::getenv("RFSM_ENDPOINTS"))
+      endpoints = ipc::parseEndpointList(env);
+  }
+  return endpoints;
 }
 
 int cmdInfo(const std::vector<std::string>& args, std::ostream& out) {
@@ -494,9 +520,23 @@ int cmdPlan(const std::vector<std::string>& args, std::ostream& out,
   const std::int64_t deadlineMs =
       std::stoll(option(args, "--deadline-ms").value_or("0"));
   const int jobs = std::stoi(option(args, "--jobs").value_or("1"));
+  const std::vector<ipc::Endpoint> endpoints = fabricEndpoints(args);
 
   service::ClientResult result;
-  if (server.has_value()) {
+  const bool viaFabric = !endpoints.empty();
+  if (viaFabric) {
+    service::FabricOptions fabricOptions;
+    fabricOptions.endpoints = endpoints;
+    fabricOptions.deadlineMs = deadlineMs;
+    fabricOptions.jobs = jobs;
+    fabricOptions.hedgeMs =
+        std::stoll(option(args, "--hedge-ms").value_or("0"));
+    fabricOptions.quorum = std::stoi(option(args, "--quorum").value_or("1"));
+    fabricOptions.shardSize =
+        std::stoull(option(args, "--shard-size").value_or("0"));
+    service::Fabric fabric(std::move(fabricOptions));
+    result = fabric.plan(spec, err);
+  } else if (server.has_value()) {
     service::ClientOptions clientOptions;
     clientOptions.socketPath = *server;
     clientOptions.deadlineMs = deadlineMs;
@@ -512,13 +552,22 @@ int cmdPlan(const std::vector<std::string>& args, std::ostream& out,
     return result.status == WorkResult::Status::kDeadlineExceeded ? 4 : 1;
   }
   // stdout carries only the programs (byte-comparable between local,
-  // server, and degraded runs); everything else goes to stderr.
+  // server, fabric, and degraded runs); everything else goes to stderr.
   for (std::size_t k = 0; k < result.programs.size(); ++k)
     out << "# instance " << k << "\n" << result.programs[k];
   err << "rfsmc: planned " << result.programs.size() << " instances ("
-      << spec.planner << (server.has_value() ? ", server" : ", local")
+      << spec.planner
+      << (viaFabric ? ", fabric" : server.has_value() ? ", server" : ", local")
       << (result.degraded ? ", degraded" : "") << ", retries "
-      << result.retries << ", crashes " << result.crashes << ")\n";
+      << result.retries << ", crashes " << result.crashes;
+  if (viaFabric) {
+    err << ", rerouted "
+        << metrics::counter(metrics::kFabricRerouted).value() << ", hedged "
+        << metrics::counter(metrics::kFabricHedged).value()
+        << ", quorum_mismatch "
+        << metrics::counter(metrics::kFabricQuorumMismatch).value();
+  }
+  err << ")\n";
   return 0;
 }
 
@@ -555,6 +604,13 @@ int cmdHelp(std::ostream& out) {
          "          [--deadline-ms MS]    migrations (Table 2 axis)\n"
          "          [--server SOCKET]     via an rfsmd (degrades to local\n"
          "                                planning when unavailable)\n"
+         "          [--endpoint E]...     shard across replicated rfsmds\n"
+         "                                (unix:/path or tcp:host:port;\n"
+         "                                repeatable, or RFSM_ENDPOINTS)\n"
+         "          [--hedge-ms MS]       hedge tail shards to a twin\n"
+         "          [--quorum K]          byte-compare sampled shards on K\n"
+         "                                endpoints, quarantine liars\n"
+         "          [--shard-size N]      instances per fabric shard\n"
          "          [--probe]             health-check the rfsmd\n"
          "          exit 0 = planned, 4 = deadline exceeded\n"
          "  chain <m1> <m2> [...]         plan a release train + rollbacks\n"

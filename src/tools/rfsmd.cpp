@@ -28,10 +28,14 @@ void onSignal(int) { gStop.cancel(); }  // one relaxed atomic store
 
 int usage(std::ostream& out, int code) {
   out << "rfsmd - reconfiguration planner service\n"
-         "usage: rfsmd --socket PATH [options]\n"
+         "usage: rfsmd --socket ENDPOINT [options]\n"
          "       rfsmd --worker\n\n"
+         "ENDPOINT is a Unix socket path (/run/rfsmd.sock, unix:...) or a\n"
+         "TCP address (tcp:0.0.0.0:4777) for cross-host planner fabrics.\n\n"
          "options:\n"
          "  --workers N           worker processes (default 2)\n"
+         "  --prefork             spawn and warm up every worker at startup\n"
+         "                        instead of on first demand\n"
          "  --shard-size N        instances per shard (default 4)\n"
          "  --queue N             queue capacity; overload is shed "
          "(default 64)\n"
@@ -95,6 +99,10 @@ int main(int argc, char** argv) {
         std::stoll(option(args, "--idle-timeout-ms").value_or("30000")));
     options.pool.attemptTimeout = std::chrono::milliseconds(
         std::stoll(option(args, "--attempt-timeout-ms").value_or("0")));
+    if (flag(args, "--prefork")) {
+      options.pool.prefork = true;
+      options.pool.warmupPayload = rfsm::service::encodeWarmupRequest();
+    }
     const std::string faultName = option(args, "--fault").value_or("none");
     const auto scenario = rfsm::fault::serviceScenarioByName(faultName);
     if (!scenario.has_value()) {

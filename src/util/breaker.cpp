@@ -1,0 +1,100 @@
+#include "util/breaker.hpp"
+
+namespace rfsm {
+
+CircuitBreaker::CircuitBreaker(BreakerOptions options)
+    : options_(options) {}
+
+void CircuitBreaker::openLocked(Clock::time_point now) {
+  state_ = State::kOpen;
+  openUntil_ = now + options_.openDuration;
+  probeInFlight_ = false;
+  probeSuccesses_ = 0;
+  ++trips_;
+}
+
+bool CircuitBreaker::allowRequest(Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now < openUntil_) return false;
+      // Cooldown over: arm the probe and admit this caller as it.
+      state_ = State::kHalfOpen;
+      probeSuccesses_ = 0;
+      probeInFlight_ = true;
+      return true;
+    case State::kHalfOpen:
+      if (probeInFlight_) return false;  // one probe at a time
+      probeInFlight_ = true;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::recordSuccess(Clock::time_point now) {
+  (void)now;
+  std::lock_guard<std::mutex> lock(mutex_);
+  consecutiveFailures_ = 0;
+  if (state_ == State::kHalfOpen) {
+    probeInFlight_ = false;
+    if (++probeSuccesses_ >= options_.halfOpenSuccesses) {
+      state_ = State::kClosed;
+      probeSuccesses_ = 0;
+    }
+  }
+}
+
+void CircuitBreaker::recordFailure(Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutiveFailures_ >= options_.failureThreshold)
+        openLocked(now);
+      return;
+    case State::kHalfOpen:
+      // The probe failed: the dependency is still broken.
+      ++consecutiveFailures_;
+      openLocked(now);
+      return;
+    case State::kOpen:
+      // A straggler from before the trip; the breaker is already open.
+      ++consecutiveFailures_;
+      return;
+  }
+}
+
+void CircuitBreaker::recordAbandoned(Clock::time_point now) {
+  (void)now;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == State::kHalfOpen) probeInFlight_ = false;
+}
+
+void CircuitBreaker::trip(Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  consecutiveFailures_ = options_.failureThreshold;
+  openLocked(now);
+}
+
+CircuitBreaker::State CircuitBreaker::state(Clock::time_point now) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == State::kOpen && now >= openUntil_) return State::kHalfOpen;
+  return state_;
+}
+
+std::uint64_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trips_;
+}
+
+const char* toString(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed: return "CLOSED";
+    case CircuitBreaker::State::kOpen: return "OPEN";
+    case CircuitBreaker::State::kHalfOpen: return "HALF-OPEN";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace rfsm

@@ -1,0 +1,96 @@
+// Circuit breaker: per-dependency health as an explicit state machine.
+//
+// A CircuitBreaker guards one downstream dependency (a planner-fabric
+// endpoint, in the first instance) and decides, per request, whether that
+// dependency is worth talking to at all:
+//
+//   CLOSED     healthy; every request is admitted.  `failureThreshold`
+//              *consecutive* failures trip the breaker (a lone blip on a
+//              busy endpoint must not take it out of rotation).
+//   OPEN       broken; requests are rejected without touching the wire, so
+//              a dead endpoint costs callers a map lookup instead of a
+//              connect timeout per shard.  After `openDuration` the breaker
+//              arms a probe.
+//   HALF-OPEN  recovering; exactly one in-flight probe request is admitted
+//              at a time.  `halfOpenSuccesses` successful probes close the
+//              breaker; any probe failure re-opens it for another
+//              `openDuration`.
+//
+// All transitions are driven by explicit time points, never by a hidden
+// clock read, so unit tests cover trip/probe/recovery without sleeping and
+// the fabric can evaluate a whole endpoint set against one `now`.  The
+// object is thread-safe: shard threads of one fabric request share the
+// per-endpoint breakers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace rfsm {
+
+struct BreakerOptions {
+  /// Consecutive failures that trip CLOSED -> OPEN.
+  int failureThreshold = 3;
+  /// How long an OPEN breaker rejects before arming a half-open probe.
+  std::chrono::milliseconds openDuration{1000};
+  /// Successful probes required to close from HALF-OPEN.
+  int halfOpenSuccesses = 1;
+};
+
+class CircuitBreaker {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(BreakerOptions options = {});
+
+  /// Admission decision for one request at `now`.  In HALF-OPEN (or OPEN
+  /// past its cooldown, which transitions here) admits a single in-flight
+  /// probe: the first caller gets true and *owns* the probe until it
+  /// reports recordSuccess/recordFailure; concurrent callers are rejected.
+  bool allowRequest(Clock::time_point now = Clock::now());
+
+  /// Reports the outcome of an admitted request.  Success resets the
+  /// failure streak (and closes the breaker once enough half-open probes
+  /// succeeded); failure extends the streak, trips a CLOSED breaker at the
+  /// threshold, and re-opens a HALF-OPEN one immediately.
+  void recordSuccess(Clock::time_point now = Clock::now());
+  void recordFailure(Clock::time_point now = Clock::now());
+
+  /// Relinquishes an admitted request without a verdict — the hedged-loser
+  /// path: the fabric cancelled the attempt because a twin answered first,
+  /// which says nothing about this endpoint's health.  Frees the half-open
+  /// probe slot (so recovery is not wedged behind a cancelled probe) and
+  /// leaves streaks and state untouched.
+  void recordAbandoned(Clock::time_point now = Clock::now());
+
+  /// Force-opens the breaker regardless of streak — the quorum-divergence
+  /// path: one byte of disagreement is disqualifying, not a blip.
+  void trip(Clock::time_point now = Clock::now());
+
+  /// The state a request at `now` would observe (OPEN past its cooldown
+  /// reports HALF-OPEN).  Diagnostic only; admission goes via allowRequest.
+  State state(Clock::time_point now = Clock::now()) const;
+
+  /// Lifetime trip count (CLOSED/HALF-OPEN -> OPEN transitions).
+  std::uint64_t trips() const;
+
+ private:
+  /// Caller holds `mutex_`.
+  void openLocked(Clock::time_point now);
+
+  BreakerOptions options_;
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  int consecutiveFailures_ = 0;
+  int probeSuccesses_ = 0;
+  bool probeInFlight_ = false;
+  Clock::time_point openUntil_{};
+  std::uint64_t trips_ = 0;
+};
+
+const char* toString(CircuitBreaker::State state);
+
+}  // namespace rfsm

@@ -4,7 +4,11 @@
 #include <csignal>
 #include <cstring>
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -241,6 +245,194 @@ Fd connectUnix(const std::string& path) {
                 sizeof addr) != 0)
     throw IpcError(errnoString(("connect '" + path + "'").c_str()));
   return fd;
+}
+
+Fd listenTcp(const std::string& host, std::uint16_t port, int backlog) {
+  struct addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE | AI_NUMERICSERV;
+  struct addrinfo* list = nullptr;
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               std::to_string(port).c_str(), &hints, &list);
+  if (rc != 0)
+    throw IpcError("resolve '" + host + "': " + ::gai_strerror(rc));
+  std::string lastError = "no addresses";
+  for (struct addrinfo* ai = list; ai != nullptr; ai = ai->ai_next) {
+    Fd fd(::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                   ai->ai_protocol));
+    if (!fd.valid()) {
+      lastError = errnoString("socket");
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd.get(), ai->ai_addr, ai->ai_addrlen) != 0) {
+      lastError = errnoString("bind");
+      continue;
+    }
+    if (::listen(fd.get(), backlog) != 0) {
+      lastError = errnoString("listen");
+      continue;
+    }
+    ::freeaddrinfo(list);
+    return fd;
+  }
+  ::freeaddrinfo(list);
+  throw IpcError("listen tcp " + host + ":" + std::to_string(port) + ": " +
+                 lastError);
+}
+
+Fd connectTcp(const std::string& host, std::uint16_t port,
+              std::int64_t timeoutMs) {
+  if (timeoutMs <= 0) timeoutMs = 5000;
+  struct addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  struct addrinfo* list = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(),
+                               &hints, &list);
+  if (rc != 0)
+    throw IpcError("resolve '" + host + "': " + ::gai_strerror(rc));
+  std::string lastError = "no addresses";
+  for (struct addrinfo* ai = list; ai != nullptr; ai = ai->ai_next) {
+    Fd fd(::socket(ai->ai_family,
+                   ai->ai_socktype | SOCK_CLOEXEC | SOCK_NONBLOCK,
+                   ai->ai_protocol));
+    if (!fd.valid()) {
+      lastError = errnoString("socket");
+      continue;
+    }
+    // Non-blocking connect bounded by poll: a dropped host costs the
+    // timeout, never a wedged shard thread.
+    if (::connect(fd.get(), ai->ai_addr, ai->ai_addrlen) != 0) {
+      if (errno != EINPROGRESS) {
+        lastError = errnoString("connect");
+        continue;
+      }
+      struct pollfd pfd = {fd.get(), POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, static_cast<int>(timeoutMs));
+      if (ready <= 0) {
+        lastError = ready == 0 ? "connect timed out" : errnoString("poll");
+        continue;
+      }
+      int soError = 0;
+      socklen_t len = sizeof soError;
+      if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &soError, &len) != 0 ||
+          soError != 0) {
+        lastError =
+            std::string("connect: ") + std::strerror(soError ? soError : errno);
+        continue;
+      }
+    }
+    // Back to blocking for the frame I/O (reads are poll-sliced anyway).
+    const int flags = ::fcntl(fd.get(), F_GETFL);
+    if (flags >= 0) ::fcntl(fd.get(), F_SETFL, flags & ~O_NONBLOCK);
+    const int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    ::freeaddrinfo(list);
+    return fd;
+  }
+  ::freeaddrinfo(list);
+  throw IpcError("connect tcp " + host + ":" + std::to_string(port) + ": " +
+                 lastError);
+}
+
+std::uint16_t localTcpPort(int fd) {
+  struct sockaddr_storage addr = {};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) != 0)
+    throw IpcError(errnoString("getsockname"));
+  if (addr.ss_family == AF_INET)
+    return ntohs(reinterpret_cast<struct sockaddr_in*>(&addr)->sin_port);
+  if (addr.ss_family == AF_INET6)
+    return ntohs(reinterpret_cast<struct sockaddr_in6*>(&addr)->sin6_port);
+  throw IpcError("getsockname: not a TCP socket");
+}
+
+std::string Endpoint::describe() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+namespace {
+
+/// Parses "host:port" (the last ':' splits, so IPv6 literals keep their
+/// colons); throws IpcError on a malformed port.
+Endpoint tcpEndpoint(const std::string& text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon + 1 == text.size())
+    throw IpcError("malformed TCP endpoint '" + text + "' (want host:port)");
+  Endpoint endpoint;
+  endpoint.kind = Endpoint::Kind::kTcp;
+  endpoint.host = text.substr(0, colon);
+  if (endpoint.host.empty())
+    throw IpcError("malformed TCP endpoint '" + text + "' (empty host)");
+  const std::string portText = text.substr(colon + 1);
+  long port = 0;
+  try {
+    std::size_t used = 0;
+    port = std::stol(portText, &used);
+    if (used != portText.size()) throw std::invalid_argument(portText);
+  } catch (const std::exception&) {
+    throw IpcError("malformed TCP endpoint '" + text + "' (bad port '" +
+                   portText + "')");
+  }
+  if (port < 0 || port > 65535)
+    throw IpcError("TCP port out of range in '" + text + "'");
+  endpoint.port = static_cast<std::uint16_t>(port);
+  return endpoint;
+}
+
+}  // namespace
+
+Endpoint parseEndpoint(const std::string& text) {
+  if (text.empty()) throw IpcError("empty endpoint");
+  if (text.rfind("unix:", 0) == 0) {
+    Endpoint endpoint;
+    endpoint.path = text.substr(5);
+    if (endpoint.path.empty())
+      throw IpcError("malformed Unix endpoint '" + text + "' (empty path)");
+    return endpoint;
+  }
+  if (text.rfind("tcp:", 0) == 0) return tcpEndpoint(text.substr(4));
+  // Unprefixed: a path if it looks like one, host:port otherwise.
+  if (text.find('/') != std::string::npos || text.find(':') == std::string::npos) {
+    Endpoint endpoint;
+    endpoint.path = text;
+    return endpoint;
+  }
+  return tcpEndpoint(text);
+}
+
+std::vector<Endpoint> parseEndpointList(const std::string& text) {
+  std::vector<Endpoint> endpoints;
+  std::string item;
+  const auto flush = [&] {
+    if (!item.empty()) endpoints.push_back(parseEndpoint(item));
+    item.clear();
+  };
+  for (const char c : text) {
+    if (c == ',' || c == ' ' || c == '\t' || c == '\n')
+      flush();
+    else
+      item.push_back(c);
+  }
+  flush();
+  return endpoints;
+}
+
+Fd connectEndpoint(const Endpoint& endpoint, std::int64_t timeoutMs) {
+  if (endpoint.kind == Endpoint::Kind::kUnix)
+    return connectUnix(endpoint.path);
+  return connectTcp(endpoint.host, endpoint.port, timeoutMs);
+}
+
+Fd listenEndpoint(const Endpoint& endpoint, int backlog) {
+  if (endpoint.kind == Endpoint::Kind::kUnix)
+    return listenUnix(endpoint.path, backlog);
+  return listenTcp(endpoint.host, endpoint.port, backlog);
 }
 
 ChildProcess spawnWorker(const std::vector<std::string>& command) {

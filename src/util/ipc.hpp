@@ -136,11 +136,59 @@ class MessageReader {
 Fd listenUnix(const std::string& path, int backlog = 16);
 
 /// Accepts one connection; polls in bounded slices so `cancel` (or an
-/// expired deadline) returns nullopt instead of blocking forever.
+/// expired deadline) returns nullopt instead of blocking forever.  Works
+/// for Unix and TCP listening sockets alike.
 std::optional<Fd> acceptUnix(int listenFd, const CancelToken* cancel);
 
 /// Connects to a listening Unix socket.  Throws IpcError on failure.
 Fd connectUnix(const std::string& path);
+
+// --- TCP sockets (the cross-host transport) ------------------------------
+
+/// Binds and listens on host:port (SO_REUSEADDR; port 0 = ephemeral, read
+/// the assignment back with localTcpPort).  Throws IpcError on failure.
+Fd listenTcp(const std::string& host, std::uint16_t port, int backlog = 16);
+
+/// Connects to host:port.  The connect itself is bounded by `timeoutMs`
+/// (non-blocking connect + poll) so a dropped remote host costs a timeout,
+/// not a hung shard; <= 0 falls back to the 5000 ms default.  Throws
+/// IpcError on failure or timeout.
+Fd connectTcp(const std::string& host, std::uint16_t port,
+              std::int64_t timeoutMs = 0);
+
+/// The local port a bound TCP socket ended up on (resolves port 0).
+std::uint16_t localTcpPort(int fd);
+
+// --- Endpoint addressing --------------------------------------------------
+//
+// One string names a planner-service endpoint on either transport:
+//   unix:/path/to.sock   Unix-domain socket (explicit)
+//   /path/to.sock        Unix-domain socket (any string with a '/')
+//   tcp:host:port        TCP (explicit)
+//   host:port            TCP (shorthand; the last ':' splits host/port)
+
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;  ///< Unix socket path (kind == kUnix)
+  std::string host;  ///< TCP host (kind == kTcp)
+  std::uint16_t port = 0;
+
+  /// The canonical display form ("unix:/path" / "tcp:host:port").
+  std::string describe() const;
+};
+
+/// Parses an endpoint string; throws IpcError on malformed input (empty
+/// string, non-numeric or out-of-range port).
+Endpoint parseEndpoint(const std::string& text);
+
+/// Splits a comma/whitespace-separated endpoint list (the RFSM_ENDPOINTS
+/// environment format); empty items are skipped.
+std::vector<Endpoint> parseEndpointList(const std::string& text);
+
+/// Transport-dispatching connect/listen.
+Fd connectEndpoint(const Endpoint& endpoint, std::int64_t timeoutMs = 0);
+Fd listenEndpoint(const Endpoint& endpoint, int backlog = 16);
 
 // --- Worker subprocesses -------------------------------------------------
 

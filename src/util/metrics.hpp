@@ -140,6 +140,23 @@ inline constexpr const char* kServiceShed = "service.requests_shed";
 inline constexpr const char* kServiceDeadlineExceeded =
     "service.deadline_exceeded";
 inline constexpr const char* kServiceDegraded = "service.degraded";
+inline constexpr const char* kServiceWorkerCacheHits =
+    "service.worker_cache_hits";
+inline constexpr const char* kServiceWorkerCacheMisses =
+    "service.worker_cache_misses";
+inline constexpr const char* kServiceWorkersPreforked =
+    "service.workers_preforked";
+
+// Canonical metric names used by the cross-host planner fabric
+// (src/service/fabric.hpp): shard routing, endpoint health, hedging, and
+// quorum cross-checking.
+inline constexpr const char* kFabricShards = "fabric.shards";
+inline constexpr const char* kFabricRerouted = "fabric.rerouted";
+inline constexpr const char* kFabricHedged = "fabric.hedged";
+inline constexpr const char* kFabricHedgeWins = "fabric.hedge_wins";
+inline constexpr const char* kFabricBreakerTrips = "fabric.breaker_trips";
+inline constexpr const char* kFabricQuorumMismatch = "fabric.quorum_mismatch";
+inline constexpr const char* kFabricDegraded = "fabric.degraded";
 inline constexpr const char* kBatchInstanceFailures =
     "batch.instance_failures";
 inline constexpr const char* kBatchCancelled = "batch.instances_cancelled";

@@ -193,10 +193,41 @@ struct Supervisor::Impl {
     pidView[slot] = -1;
   }
 
+  /// Eagerly spawns slot `slot`'s child and, when configured, runs the
+  /// warm-up exchange.  Failures leave the slot empty — the normal lazy
+  /// ensureChild path takes over on the first real item.
+  void preforkSlot(std::size_t slot) {
+    if (!ensureChild(slot)) return;
+    if (!options.warmupPayload.empty()) {
+      CancelToken warmupToken;
+      warmupToken.setDeadline(Clock::now() + options.idleTimeout);
+      std::string response;
+      try {
+        ipc::writeFrame(children[slot].channel.get(), options.warmupPayload);
+        if (ipc::readFrame(children[slot].channel.get(), response,
+                           &warmupToken) != ipc::ReadStatus::kOk) {
+          destroyChild(slot);
+          recordCrash();
+          return;
+        }
+      } catch (const Error&) {
+        destroyChild(slot);
+        recordCrash();
+        return;
+      }
+    }
+    static metrics::Counter& preforkCounter =
+        metrics::counter(metrics::kServiceWorkersPreforked);
+    preforkCounter.add();
+    trace::instant("supervisor.worker_preforked", "service",
+                   {trace::Arg::num("slot", static_cast<std::int64_t>(slot))});
+  }
+
   // --- the worker-slot service loop ----------------------------------------
 
   void serviceLoop(std::size_t slot) {
     trace::setCurrentThreadName("rfsm-supervise-" + std::to_string(slot));
+    if (options.prefork) preforkSlot(slot);
     for (;;) {
       Item item;
       {

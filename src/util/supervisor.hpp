@@ -64,6 +64,15 @@ struct SupervisorOptions {
   std::chrono::milliseconds deadlineGrace{500};
   /// Seed of the deterministic jitter stream.
   std::uint64_t jitterSeed = 1;
+  /// Spawn every worker slot eagerly at construction instead of on first
+  /// demand.  With `warmupPayload` set, each fresh child additionally
+  /// serves one warm-up frame before the slot accepts real work, so exec +
+  /// dynamic loading + allocator warm-up happen at startup, not on the
+  /// first request (service.workers_preforked counts completed warm-ups).
+  bool prefork = false;
+  /// Opaque warm-up frame (the service layer supplies an
+  /// encodeWarmupRequest() payload); empty = spawn without the exchange.
+  std::string warmupPayload;
 };
 
 /// Outcome of one submitted work item.

@@ -1,0 +1,140 @@
+// Unit tests of the circuit breaker state machine (util/breaker.hpp):
+// trip on consecutive failures, half-open probe admission, recovery, and
+// re-opening on a failed probe.  All transitions are driven by explicit
+// time points — no sleeps, no clock reads.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "util/breaker.hpp"
+
+namespace rfsm {
+namespace {
+
+using namespace std::chrono_literals;
+using State = CircuitBreaker::State;
+
+constexpr auto kT0 = CircuitBreaker::Clock::time_point{};
+
+BreakerOptions options(int threshold = 3,
+                       std::chrono::milliseconds open = 1000ms,
+                       int probes = 1) {
+  BreakerOptions o;
+  o.failureThreshold = threshold;
+  o.openDuration = open;
+  o.halfOpenSuccesses = probes;
+  return o;
+}
+
+TEST(Breaker, StartsClosedAndAdmitsEverything) {
+  CircuitBreaker breaker(options());
+  EXPECT_EQ(breaker.state(kT0), State::kClosed);
+  for (int k = 0; k < 10; ++k) EXPECT_TRUE(breaker.allowRequest(kT0));
+  EXPECT_EQ(breaker.trips(), 0u);
+}
+
+TEST(Breaker, TripsOnConsecutiveFailuresOnly) {
+  CircuitBreaker breaker(options(3));
+  breaker.recordFailure(kT0);
+  breaker.recordFailure(kT0);
+  // A success in between resets the streak: two more failures stay CLOSED.
+  breaker.recordSuccess(kT0);
+  breaker.recordFailure(kT0);
+  breaker.recordFailure(kT0);
+  EXPECT_EQ(breaker.state(kT0), State::kClosed);
+  EXPECT_TRUE(breaker.allowRequest(kT0));
+  // The third consecutive failure trips it.
+  breaker.recordFailure(kT0);
+  EXPECT_EQ(breaker.state(kT0), State::kOpen);
+  EXPECT_FALSE(breaker.allowRequest(kT0));
+  EXPECT_EQ(breaker.trips(), 1u);
+}
+
+TEST(Breaker, OpenRejectsUntilTheCooldownExpires) {
+  CircuitBreaker breaker(options(1, 1000ms));
+  breaker.recordFailure(kT0);
+  EXPECT_FALSE(breaker.allowRequest(kT0 + 999ms));
+  // Past the cooldown the breaker goes HALF-OPEN and admits one probe.
+  EXPECT_EQ(breaker.state(kT0 + 1000ms), State::kHalfOpen);
+  EXPECT_TRUE(breaker.allowRequest(kT0 + 1000ms));
+}
+
+TEST(Breaker, HalfOpenAdmitsOneProbeAtATime) {
+  CircuitBreaker breaker(options(1, 100ms));
+  breaker.recordFailure(kT0);
+  const auto probeTime = kT0 + 100ms;
+  EXPECT_TRUE(breaker.allowRequest(probeTime));    // the probe
+  EXPECT_FALSE(breaker.allowRequest(probeTime));   // concurrent caller
+  EXPECT_FALSE(breaker.allowRequest(probeTime + 1h));  // still in flight
+  // Once the probe reports, the next request is admitted again.
+  breaker.recordSuccess(probeTime + 10ms);
+  EXPECT_EQ(breaker.state(probeTime + 10ms), State::kClosed);
+  EXPECT_TRUE(breaker.allowRequest(probeTime + 10ms));
+}
+
+TEST(Breaker, SuccessfulProbesClose) {
+  CircuitBreaker breaker(options(1, 100ms, /*probes=*/2));
+  breaker.recordFailure(kT0);
+  const auto t = kT0 + 100ms;
+  ASSERT_TRUE(breaker.allowRequest(t));
+  breaker.recordSuccess(t);
+  // One success is not enough when two probes are required.
+  EXPECT_EQ(breaker.state(t), State::kHalfOpen);
+  ASSERT_TRUE(breaker.allowRequest(t));
+  breaker.recordSuccess(t);
+  EXPECT_EQ(breaker.state(t), State::kClosed);
+}
+
+TEST(Breaker, FailedProbeReopensForAnotherCooldown) {
+  CircuitBreaker breaker(options(2, 100ms));
+  breaker.recordFailure(kT0);
+  breaker.recordFailure(kT0);
+  ASSERT_EQ(breaker.state(kT0), State::kOpen);
+  const auto probeTime = kT0 + 100ms;
+  ASSERT_TRUE(breaker.allowRequest(probeTime));
+  breaker.recordFailure(probeTime);
+  // Re-opened: rejecting again, and for a fresh full cooldown.
+  EXPECT_EQ(breaker.state(probeTime), State::kOpen);
+  EXPECT_FALSE(breaker.allowRequest(probeTime + 99ms));
+  EXPECT_TRUE(breaker.allowRequest(probeTime + 100ms));
+  EXPECT_EQ(breaker.trips(), 2u);
+}
+
+TEST(Breaker, TripForcesOpenFromClosed) {
+  CircuitBreaker breaker(options(100, 500ms));
+  breaker.trip(kT0);  // quorum divergence: no streak required
+  EXPECT_EQ(breaker.state(kT0), State::kOpen);
+  EXPECT_FALSE(breaker.allowRequest(kT0));
+  EXPECT_EQ(breaker.trips(), 1u);
+  // Recovery still works through the normal probe path.
+  ASSERT_TRUE(breaker.allowRequest(kT0 + 500ms));
+  breaker.recordSuccess(kT0 + 500ms);
+  EXPECT_EQ(breaker.state(kT0 + 500ms), State::kClosed);
+}
+
+TEST(Breaker, AbandonedProbeFreesTheSlotWithoutAVerdict) {
+  CircuitBreaker breaker(options(1, 100ms));
+  breaker.recordFailure(kT0);
+  const auto probeTime = kT0 + 100ms;
+  ASSERT_TRUE(breaker.allowRequest(probeTime));
+  // The hedge twin answered first and this probe was cancelled: the slot
+  // frees, but nothing closes or re-opens.
+  breaker.recordAbandoned(probeTime + 10ms);
+  EXPECT_EQ(breaker.state(probeTime + 10ms), State::kHalfOpen);
+  EXPECT_TRUE(breaker.allowRequest(probeTime + 10ms));
+  breaker.recordSuccess(probeTime + 20ms);
+  EXPECT_EQ(breaker.state(probeTime + 20ms), State::kClosed);
+  // Abandoning in CLOSED is a no-op.
+  breaker.recordAbandoned(probeTime + 30ms);
+  EXPECT_EQ(breaker.state(probeTime + 30ms), State::kClosed);
+  EXPECT_EQ(breaker.trips(), 1u);
+}
+
+TEST(Breaker, StateNamesAreStable) {
+  EXPECT_STREQ(toString(State::kClosed), "CLOSED");
+  EXPECT_STREQ(toString(State::kOpen), "OPEN");
+  EXPECT_STREQ(toString(State::kHalfOpen), "HALF-OPEN");
+}
+
+}  // namespace
+}  // namespace rfsm

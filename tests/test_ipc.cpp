@@ -231,6 +231,92 @@ TEST(Frames, ManyFramesKeepOrder) {
 
 // --- Named fault scenarios ----------------------------------------------
 
+// --- Endpoint addressing -------------------------------------------------
+
+TEST(Endpoint, UnixFormsParse) {
+  const auto explicitForm = ipc::parseEndpoint("unix:/tmp/a.sock");
+  EXPECT_EQ(explicitForm.kind, ipc::Endpoint::Kind::kUnix);
+  EXPECT_EQ(explicitForm.path, "/tmp/a.sock");
+  EXPECT_EQ(explicitForm.describe(), "unix:/tmp/a.sock");
+
+  const auto bare = ipc::parseEndpoint("/tmp/b.sock");
+  EXPECT_EQ(bare.kind, ipc::Endpoint::Kind::kUnix);
+  EXPECT_EQ(bare.path, "/tmp/b.sock");
+
+  // No ':' and no '/' still reads as a (relative) unix path.
+  const auto relative = ipc::parseEndpoint("planner.sock");
+  EXPECT_EQ(relative.kind, ipc::Endpoint::Kind::kUnix);
+  EXPECT_EQ(relative.path, "planner.sock");
+}
+
+TEST(Endpoint, TcpFormsParse) {
+  const auto explicitForm = ipc::parseEndpoint("tcp:localhost:4777");
+  EXPECT_EQ(explicitForm.kind, ipc::Endpoint::Kind::kTcp);
+  EXPECT_EQ(explicitForm.host, "localhost");
+  EXPECT_EQ(explicitForm.port, 4777);
+  EXPECT_EQ(explicitForm.describe(), "tcp:localhost:4777");
+
+  const auto shorthand = ipc::parseEndpoint("127.0.0.1:9");
+  EXPECT_EQ(shorthand.kind, ipc::Endpoint::Kind::kTcp);
+  EXPECT_EQ(shorthand.host, "127.0.0.1");
+  EXPECT_EQ(shorthand.port, 9);
+
+  // The *last* colon splits host from port, so IPv6 literals work.
+  const auto v6 = ipc::parseEndpoint("tcp:::1:80");
+  EXPECT_EQ(v6.kind, ipc::Endpoint::Kind::kTcp);
+  EXPECT_EQ(v6.host, "::1");
+  EXPECT_EQ(v6.port, 80);
+}
+
+TEST(Endpoint, MalformedInputsThrow) {
+  EXPECT_THROW(ipc::parseEndpoint(""), ipc::IpcError);
+  EXPECT_THROW(ipc::parseEndpoint("tcp:host:notaport"), ipc::IpcError);
+  EXPECT_THROW(ipc::parseEndpoint("tcp:host:70000"), ipc::IpcError);
+  EXPECT_THROW(ipc::parseEndpoint("tcp:host:"), ipc::IpcError);
+  EXPECT_THROW(ipc::parseEndpoint("unix:"), ipc::IpcError);
+}
+
+TEST(Endpoint, ListSplitsOnCommasAndWhitespace) {
+  const auto list = ipc::parseEndpointList(
+      "unix:/tmp/a.sock, tcp:localhost:4777\n/tmp/b.sock ,,");
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].describe(), "unix:/tmp/a.sock");
+  EXPECT_EQ(list[1].describe(), "tcp:localhost:4777");
+  EXPECT_EQ(list[2].describe(), "unix:/tmp/b.sock");
+  EXPECT_TRUE(ipc::parseEndpointList("").empty());
+}
+
+TEST(Endpoint, TcpLoopbackConnectAndFrame) {
+  ipc::Fd listener = ipc::listenTcp("127.0.0.1", 0);
+  const std::uint16_t port = ipc::localTcpPort(listener.get());
+  ASSERT_GT(port, 0);
+
+  ipc::Endpoint ep;
+  ep.kind = ipc::Endpoint::Kind::kTcp;
+  ep.host = "127.0.0.1";
+  ep.port = port;
+  ipc::Fd client = ipc::connectEndpoint(ep, 2000);
+
+  CancelToken acceptDeadline(std::chrono::milliseconds(2000));
+  auto server = ipc::acceptUnix(listener.get(), &acceptDeadline);
+  ASSERT_TRUE(server.has_value());
+
+  ipc::writeFrame(client.get(), "over tcp");
+  std::string payload;
+  ASSERT_EQ(ipc::readFrame(server->get(), payload), ipc::ReadStatus::kOk);
+  EXPECT_EQ(payload, "over tcp");
+}
+
+TEST(Endpoint, TcpConnectToDeadPortThrows) {
+  // Bind-then-close to find a port with (almost certainly) no listener.
+  std::uint16_t port = 0;
+  {
+    ipc::Fd listener = ipc::listenTcp("127.0.0.1", 0);
+    port = ipc::localTcpPort(listener.get());
+  }
+  EXPECT_THROW(ipc::connectTcp("127.0.0.1", port, 500), ipc::IpcError);
+}
+
 TEST(FaultScenarios, AllNamesResolve) {
   for (const auto& name : fault::serviceScenarioNames()) {
     const auto scenario = fault::serviceScenarioByName(name);
@@ -267,11 +353,34 @@ TEST(Protocol, PlanRequestRoundTrip) {
   request.spec.planner = "ea";
   request.deadlineMs = 1500;
   request.requestId = 7;
+  request.lo = 11;
+  request.hi = 22;
   const auto decoded =
       service::decodePlanRequest(service::encodePlanRequest(request));
   EXPECT_EQ(decoded.spec, request.spec);
   EXPECT_EQ(decoded.deadlineMs, 1500);
   EXPECT_EQ(decoded.requestId, 7u);
+  EXPECT_EQ(decoded.rangeLo(), 11u);
+  EXPECT_EQ(decoded.rangeHi(), 22u);
+}
+
+TEST(Protocol, WholeBatchShorthandResolvesToInstanceCount) {
+  service::PlanRequest request;
+  request.spec.instanceCount = 33;
+  const auto decoded =
+      service::decodePlanRequest(service::encodePlanRequest(request));
+  EXPECT_EQ(decoded.rangeLo(), 0u);
+  EXPECT_EQ(decoded.rangeHi(), 33u);
+}
+
+TEST(Protocol, WarmupRoundTrip) {
+  const std::string request = service::encodeWarmupRequest();
+  EXPECT_EQ(service::peekType(request), service::MessageType::kWarmupRequest);
+  const std::string response = service::encodeWarmupResponse();
+  EXPECT_EQ(service::peekType(response),
+            service::MessageType::kWarmupResponse);
+  EXPECT_NO_THROW(service::decodeWarmupResponse(response));
+  EXPECT_THROW(service::decodeWarmupResponse(request), ipc::IpcError);
 }
 
 TEST(Protocol, PlanResponseRoundTrip) {

@@ -18,6 +18,7 @@
 #include "service/client.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
+#include "util/metrics.hpp"
 #include "util/supervisor.hpp"
 
 namespace rfsm {
@@ -88,6 +89,40 @@ TEST(Protocol, PlanRangeShardsAreBitIdenticalToTheWhole) {
 
 TEST(Protocol, UnknownPlannerThrows) {
   EXPECT_THROW(service::plannerFn("quantum"), Error);
+}
+
+TEST(Protocol, InstanceCacheServesRepeatedGenerations) {
+  service::clearInstanceCache();
+  const service::BatchSpec spec = smallSpec();
+  metrics::Counter& hits =
+      metrics::counter(metrics::kServiceWorkerCacheHits);
+  metrics::Counter& misses =
+      metrics::counter(metrics::kServiceWorkerCacheMisses);
+  const std::uint64_t hits0 = hits.value();
+  const std::uint64_t misses0 = misses.value();
+
+  const auto first = service::planRange(spec, 0, 4);
+  EXPECT_EQ(misses.value() - misses0, 4u);  // cold cache: all generated
+  const std::uint64_t hitsAfterFirst = hits.value();
+
+  // A retried/hedged/quorum-duplicated shard of the same batch hits the
+  // cache — and the cached path is byte-identical to the cold one.
+  const auto second = service::planRange(spec, 0, 4);
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(hits.value() - hitsAfterFirst, 4u);
+  EXPECT_EQ(misses.value() - misses0, 4u);
+
+  // Different seed, different cache entries: no false sharing.
+  service::BatchSpec other = spec;
+  other.seed = spec.seed + 1;
+  (void)service::planRange(other, 0, 2);
+  EXPECT_EQ(misses.value() - misses0, 6u);
+
+  service::clearInstanceCache();
+  const std::uint64_t hitsBeforeCleared = hits.value();
+  const auto third = service::planRange(spec, 0, 4);
+  EXPECT_EQ(third, first);
+  EXPECT_EQ(hits.value(), hitsBeforeCleared);  // cleared: no hits
 }
 
 // --- Supervisor with real workers ---------------------------------------
@@ -361,7 +396,10 @@ TEST(Socket, UnhealthyServerTriggersClientDegradation) {
   EXPECT_TRUE(result.degraded);  // correct results despite the dead pool
   EXPECT_EQ(result.programs,
             service::planRange(smallSpec(), 0, smallSpec().instanceCount));
-  EXPECT_NE(err.str().find("UNAVAILABLE"), std::string::npos);
+  // The notice carries the stable reason token, never the raw status or
+  // errno text (scripts grep stderr; it must not vary by environment).
+  EXPECT_NE(err.str().find("(unhealthy)"), std::string::npos);
+  EXPECT_EQ(err.str().find("UNAVAILABLE"), std::string::npos);
   unlink(path.c_str());
 }
 
