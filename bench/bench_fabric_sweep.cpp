@@ -137,8 +137,12 @@ class FakeEndpoint {
     if (delay_.count() > 0) std::this_thread::sleep_for(delay_);
     service::PlanResponse response;
     response.status = WorkResult::Status::kOk;
-    response.programs = service::planRange(request.spec, request.rangeLo(),
-                                           request.rangeHi());
+    // kBypass: the fake plays a *remote* process — it must not share (or
+    // serve back) this process's plan cache, or a poisoned entry could
+    // vouch for itself in cache scenarios.
+    response.programs =
+        service::planRange(request.spec, request.rangeLo(), request.rangeHi(),
+                           nullptr, 1, service::PlanCacheMode::kBypass);
     if (behavior_ == Behavior::kTamper)
       for (std::string& program : response.programs)
         program += "# tampered\n";

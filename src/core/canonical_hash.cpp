@@ -1,0 +1,73 @@
+#include "core/canonical_hash.hpp"
+
+namespace rfsm {
+namespace {
+
+/// splitmix64 finalizer: a bijective 64-bit mix.
+std::uint64_t mix(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Field type tags, absorbed ahead of each field so differently-typed
+// fields with equal raw bits stay distinct.
+constexpr std::uint64_t kTagU64 = 1;
+constexpr std::uint64_t kTagI64 = 2;
+constexpr std::uint64_t kTagStr = 3;
+
+}  // namespace
+
+void CanonicalHasher::absorb(std::uint64_t word) {
+  ++words_;
+  // Position-dependent tweaks keep the lanes independent: a permutation of
+  // the same words lands elsewhere in both.
+  lane0_ = mix(lane0_ ^ (word + 0x9e3779b97f4a7c15ull * words_));
+  lane1_ = mix(lane1_ + (word ^ 0xc2b2ae3d27d4eb4full * words_));
+}
+
+CanonicalHasher& CanonicalHasher::u64(std::uint64_t value) {
+  absorb(kTagU64);
+  absorb(value);
+  return *this;
+}
+
+CanonicalHasher& CanonicalHasher::i64(std::int64_t value) {
+  absorb(kTagI64);
+  absorb(static_cast<std::uint64_t>(value));
+  return *this;
+}
+
+CanonicalHasher& CanonicalHasher::str(std::string_view value) {
+  absorb(kTagStr);
+  absorb(value.size());
+  // Little-endian packing, 8 bytes per word, zero-padded tail; the length
+  // prefix above disambiguates the padding.
+  std::uint64_t word = 0;
+  int filled = 0;
+  for (const char c : value) {
+    word |= static_cast<std::uint64_t>(static_cast<unsigned char>(c))
+            << (8 * filled);
+    if (++filled == 8) {
+      absorb(word);
+      word = 0;
+      filled = 0;
+    }
+  }
+  if (filled > 0) absorb(word);
+  return *this;
+}
+
+std::string CanonicalHasher::hex() const {
+  const std::uint64_t final0 = mix(lane0_ ^ words_);
+  const std::uint64_t final1 = mix(lane1_ + words_);
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (const std::uint64_t lane : {final0, final1})
+    for (int shift = 60; shift >= 0; shift -= 4)
+      out.push_back(kDigits[(lane >> shift) & 0xf]);
+  return out;
+}
+
+}  // namespace rfsm

@@ -1,0 +1,40 @@
+// Canonical content hashing for cache keys (the "content-addressed" half
+// of the plan cache tier).
+//
+// A CanonicalHasher absorbs a type-tagged, length-prefixed field sequence
+// into two independent 64-bit mixing lanes and renders the 128-bit result
+// as 32 hex characters.  Canonical means structural, not textual: every
+// field is absorbed with a type tag and (for strings) a length prefix, so
+// ("ab", "c") and ("a", "bc") — or a u64 that happens to equal a string's
+// bytes — cannot collide by concatenation, and equal field sequences hash
+// equally no matter who encodes them.  The mix is splitmix64's finalizer
+// per lane with position-dependent tweaks; this is a *cache key*, not a
+// cryptographic commitment — poisoning defense is byte-verification of the
+// cached value (service/plan_cache.hpp), never trust in the key.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rfsm {
+
+class CanonicalHasher {
+ public:
+  CanonicalHasher& u64(std::uint64_t value);
+  CanonicalHasher& i64(std::int64_t value);
+  CanonicalHasher& str(std::string_view value);
+
+  /// 32 lowercase hex characters of the 128-bit digest.  Non-destructive:
+  /// more fields may be absorbed after reading an intermediate digest.
+  std::string hex() const;
+
+ private:
+  void absorb(std::uint64_t word);
+
+  std::uint64_t lane0_ = 0x6a09e667f3bcc908ull;
+  std::uint64_t lane1_ = 0xbb67ae8584caa73bull;
+  std::uint64_t words_ = 0;
+};
+
+}  // namespace rfsm

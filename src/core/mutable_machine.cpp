@@ -1,7 +1,9 @@
 #include "core/mutable_machine.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <queue>
+#include <unordered_map>
 
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
@@ -35,7 +37,62 @@ std::string safeName(const SymbolTable& table, SymbolId id) {
   return "<corrupt id " + std::to_string(id) + ">";
 }
 
+/// Pool bounds: beyond 64 parked buffers or 512-state shapes the allocator
+/// is cheaper than holding the memory hostage.
+constexpr std::size_t kBfsPoolMaxBuffers = 64;
+constexpr std::size_t kBfsPoolMaxStates = 512;
+
 }  // namespace
+
+struct MutableMachine::BfsPool {
+  std::mutex mutex;
+  // Parked buffers by state count; each retains its inner vectors'
+  // capacity, which is the whole savings.
+  std::unordered_map<std::size_t, std::vector<std::vector<BfsEntry>>> buffers;
+  std::size_t count = 0;
+};
+
+MutableMachine::BfsPool& MutableMachine::bfsPool() {
+  static BfsPool* pool = new BfsPool();  // immortal: released in dtors that
+                                         // may run during static teardown
+  return *pool;
+}
+
+std::vector<MutableMachine::BfsEntry> MutableMachine::acquireBfsBuffer(
+    std::size_t states) {
+  BfsPool& pool = bfsPool();
+  std::vector<BfsEntry> buffer;
+  {
+    std::lock_guard<std::mutex> lock(pool.mutex);
+    auto it = pool.buffers.find(states);
+    if (it != pool.buffers.end() && !it->second.empty()) {
+      buffer = std::move(it->second.back());
+      it->second.pop_back();
+      --pool.count;
+    }
+  }
+  if (buffer.empty()) {
+    buffer.resize(states);
+    return buffer;
+  }
+  // Version 0 never equals a live tableVersion_ (>= 1): the recycled buffer
+  // keeps its allocations but cannot serve another machine's trees.
+  for (BfsEntry& entry : buffer) entry.version = 0;
+  metrics::counter(metrics::kBfsPoolReuses).add();
+  return buffer;
+}
+
+void MutableMachine::releaseBfsBuffer(std::vector<BfsEntry>&& buffer) {
+  const std::size_t states = buffer.size();
+  if (states == 0 || states > kBfsPoolMaxStates) return;
+  BfsPool& pool = bfsPool();
+  std::lock_guard<std::mutex> lock(pool.mutex);
+  if (pool.count >= kBfsPoolMaxBuffers) return;
+  pool.buffers[states].push_back(std::move(buffer));
+  ++pool.count;
+}
+
+MutableMachine::~MutableMachine() { releaseBfsBuffer(std::move(bfsCache_)); }
 
 MutableMachine::MutableMachine(const MigrationContext& context)
     : context_(context),
@@ -257,7 +314,8 @@ const MutableMachine::BfsEntry& MutableMachine::bfsFrom(SymbolId from) const {
       metrics::counter(metrics::kBfsCacheMisses);
   RFSM_CHECK(context_.states().contains(from), "BFS source out of range");
   if (bfsCache_.empty())
-    bfsCache_.resize(static_cast<std::size_t>(context_.states().size()));
+    bfsCache_ =
+        acquireBfsBuffer(static_cast<std::size_t>(context_.states().size()));
   BfsEntry& entry = bfsCache_[static_cast<std::size_t>(from)];
   if (entry.version == tableVersion_) {
     hits.add();

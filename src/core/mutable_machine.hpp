@@ -35,6 +35,12 @@ class MutableMachine {
   /// outside M's (input, state) domain are unspecified.
   explicit MutableMachine(const MigrationContext& context);
 
+  /// Returns the BFS scratch buffers to the process-wide shape pool, so
+  /// the next machine with the same state count skips the allocations.
+  ~MutableMachine();
+  MutableMachine(const MutableMachine&) = default;
+  MutableMachine& operator=(const MutableMachine&) = delete;
+
   const MigrationContext& context() const { return context_; }
 
   /// Current state (superset id).
@@ -166,6 +172,16 @@ class MutableMachine {
   std::size_t cell(SymbolId input, SymbolId state) const;
   /// The cached BFS tree rooted at `from` (recomputed on version mismatch).
   const BfsEntry& bfsFrom(SymbolId from) const;
+
+  // Process-wide pool of BFS cache buffers, keyed by state count: distinct
+  // machines (distinct specs, even) that share a shape reuse each other's
+  // allocations.  acquire resets every entry's version to 0 — never equal
+  // to a live tableVersion_ (which starts at 1) — so a recycled buffer can
+  // only miss, never serve another machine's tree.
+  struct BfsPool;
+  static BfsPool& bfsPool();
+  static std::vector<BfsEntry> acquireBfsBuffer(std::size_t states);
+  static void releaseBfsBuffer(std::vector<BfsEntry>&& buffer);
 
   /// Refreshes the integrity checksum of cell `c` (authorized writes only).
   void reseal(std::size_t c);

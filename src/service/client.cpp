@@ -62,10 +62,16 @@ ClientResult planLocal(const BatchSpec& spec, std::int64_t deadlineMs,
     cancel.setDeadline(CancelToken::Clock::now() +
                        std::chrono::milliseconds(deadlineMs));
   }
+  // planRange counts its own cache traffic; the delta across this call is
+  // what this batch was served from cache.
+  const std::uint64_t hitsBefore =
+      metrics::counter(metrics::kServicePlanCacheHits).value();
   try {
     result.programs = planRange(spec, 0, spec.instanceCount,
                                 deadlineMs > 0 ? &cancel : nullptr, jobs);
     result.status = WorkResult::Status::kOk;
+    result.cacheHits =
+        metrics::counter(metrics::kServicePlanCacheHits).value() - hitsBefore;
   } catch (const CancelledError& error) {
     result.status = WorkResult::Status::kDeadlineExceeded;
     result.error = error.what();
@@ -117,6 +123,7 @@ ClientResult planBatch(const BatchSpec& spec, const ClientOptions& options,
   ClientResult result;
   result.retries = response.retries;
   result.crashes = response.crashes;
+  result.cacheHits = response.cacheHits;
   switch (response.status) {
     case WorkResult::Status::kOk:
       result.status = WorkResult::Status::kOk;

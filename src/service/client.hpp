@@ -59,6 +59,9 @@ struct ClientResult {
   bool degraded = false;   ///< planned in-process after a service failure
   std::uint64_t retries = 0;  ///< shard retries the server reported
   std::uint64_t crashes = 0;  ///< worker crashes the server reported
+  /// Instances served from a plan-result cache (the server's on the service
+  /// path, this process's on the local/degraded path); 0 when disabled.
+  std::uint64_t cacheHits = 0;
 };
 
 /// Plans `spec` via the server, degrading to in-process planning when the

@@ -11,6 +11,7 @@
 #include <thread>
 #include <utility>
 
+#include "service/plan_cache.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/supervisor.hpp"
@@ -40,6 +41,9 @@ struct Attempt {
   const char* reason = kReasonUnreachable;
   std::uint64_t retries = 0;
   std::uint64_t crashes = 0;
+  /// Instances served from a plan cache: the remote server's (reported on
+  /// the wire) or, for a shard never dispatched at all, this process's.
+  std::uint64_t cacheHits = 0;
 };
 
 bool isTerminal(Attempt::Kind kind) {
@@ -89,6 +93,7 @@ Attempt attemptOnce(const ipc::Endpoint& endpoint, std::size_t index,
   }
   attempt.retries = response.retries;
   attempt.crashes = response.crashes;
+  attempt.cacheHits = response.cacheHits;
   attempt.error = response.error;
   switch (response.status) {
     case WorkResult::Status::kOk:
@@ -361,7 +366,10 @@ struct Fabric::Impl {
         metrics::counter(metrics::kFabricQuorumMismatch);
     std::vector<std::string> truth;
     try {
-      truth = planRange(spec, request.lo, request.hi, nullptr, options.jobs);
+      // kBypass: ground truth must never come out of the plan cache — a
+      // poisoned entry cannot be allowed to vouch for itself.
+      truth = planRange(spec, request.lo, request.hi, nullptr, options.jobs,
+                        PlanCacheMode::kBypass);
     } catch (const Error&) {
       // Cannot arbitrate locally (should not happen for work the endpoints
       // completed); count the divergence and keep the winner's bytes.
@@ -404,6 +412,67 @@ struct Fabric::Impl {
     }
   }
 
+  // --- cache-hit poisoning defense ----------------------------------------
+
+  /// Routes a sampled cache-served shard through the same byte-verification
+  /// a sampled remote shard gets: one replica exchange when an endpoint is
+  /// available, with divergence arbitrated by a cache-bypassing local
+  /// recompute.  A poisoned entry is quarantined, counted, recomputed, and
+  /// replaced — its bytes are never served.
+  void verifyCachedShard(const BatchSpec& spec, const PlanRequest& request,
+                         Attempt& served) {
+    std::optional<Attempt> replica;
+    const std::size_t primary = pickEndpoint(0);
+    if (primary != kNoEndpoint) {
+      const std::int64_t timeoutMs =
+          options.deadlineMs > 0 ? options.deadlineMs + 2000 : 30000;
+      replica = attemptOnce(options.endpoints[primary], primary, request,
+                            timeoutMs, nullptr, nullptr);
+      if (replica->kind == Attempt::Kind::kOk &&
+          replica->programs == served.programs) {
+        settle(*replica);  // independent agreement: the entry is clean
+        return;
+      }
+    }
+
+    // No replica to ask, or it disagreed: recompute ground truth locally,
+    // bypassing the cache under test.
+    std::vector<std::string> truth;
+    try {
+      truth = planRange(spec, request.lo, request.hi, nullptr, options.jobs,
+                        PlanCacheMode::kBypass);
+    } catch (const Error&) {
+      if (replica.has_value()) settle(*replica);
+      return;  // cannot arbitrate; keep the served bytes
+    }
+    if (replica.has_value()) {
+      if (replica->kind == Attempt::Kind::kOk && replica->programs != truth) {
+        // The replica, not (necessarily) the cache, is the liar.
+        static metrics::Counter& mismatchCounter =
+            metrics::counter(metrics::kFabricQuorumMismatch);
+        mismatchCounter.add();
+        breakers[replica->endpoint]->trip(Clock::now());
+        noteTrip(replica->endpoint);
+      } else {
+        settle(*replica);
+      }
+    }
+    if (served.programs != truth) {
+      static metrics::Counter& poisonedCounter =
+          metrics::counter(metrics::kServicePlanCachePoisoned);
+      poisonedCounter.add();
+      trace::instant("fabric.cache_poisoned", "fabric",
+                     {trace::Arg::num("lo", request.lo),
+                      trace::Arg::num("hi", request.hi)});
+      for (std::uint64_t k = request.lo; k < request.hi; ++k) {
+        const std::string key = planCacheKey(spec, k);
+        planCacheQuarantine(key);
+        planCacheStore(key, truth[static_cast<std::size_t>(k - request.lo)]);
+      }
+      served.programs = std::move(truth);
+    }
+  }
+
   // --- one shard end to end -----------------------------------------------
 
   Attempt runShard(const BatchSpec& spec, std::uint64_t lo, std::uint64_t hi,
@@ -416,6 +485,31 @@ struct Fabric::Impl {
     request.requestId = spec.seed;
     const std::int64_t timeoutMs =
         options.deadlineMs > 0 ? options.deadlineMs + 2000 : 30000;
+
+    // Consult the local plan cache before dispatching anywhere: a fully
+    // warm shard never crosses the wire.  (Partially warm shards still
+    // dispatch whole — the remote end's own cache covers the overlap.)
+    if (planCacheEnabled()) {
+      std::vector<std::string> programs;
+      programs.reserve(static_cast<std::size_t>(hi - lo));
+      for (std::uint64_t k = lo; k < hi; ++k) {
+        auto hit = planCacheLookup(planCacheKey(spec, k));
+        if (!hit.has_value()) break;
+        programs.push_back(*std::move(hit));
+      }
+      if (programs.size() == static_cast<std::size_t>(hi - lo)) {
+        Attempt served;
+        served.kind = Attempt::Kind::kOk;
+        served.endpoint = kNoEndpoint;  // settles as a no-op
+        served.programs = std::move(programs);
+        served.cacheHits = hi - lo;
+        trace::instant("fabric.cache_served", "fabric",
+                       {trace::Arg::num("lo", lo), trace::Arg::num("hi", hi)});
+        if (sampled && options.quorum >= 2)
+          verifyCachedShard(spec, request, served);
+        return served;
+      }
+    }
 
     Attempt last;
     last.error = "no healthy endpoint";
@@ -441,6 +535,14 @@ struct Fabric::Impl {
         if (result.kind == Attempt::Kind::kOk && sampled &&
             options.quorum >= 2)
           verifyQuorum(spec, request, result);
+        // Store post-quorum, so a lying winner's bytes never enter the
+        // cache — only what verification (when sampled) let through.
+        if (result.kind == Attempt::Kind::kOk && planCacheEnabled() &&
+            result.programs.size() == static_cast<std::size_t>(hi - lo)) {
+          for (std::uint64_t k = lo; k < hi; ++k)
+            planCacheStore(planCacheKey(spec, k),
+                           result.programs[static_cast<std::size_t>(k - lo)]);
+        }
         return result;
       }
       last = std::move(result);
@@ -541,6 +643,7 @@ ClientResult Fabric::plan(const BatchSpec& spec, std::ostream& err) {
     const Attempt& outcome = outcomes[k];
     result.retries += outcome.retries;
     result.crashes += outcome.crashes;
+    result.cacheHits += outcome.cacheHits;
     WorkResult::Status shardStatus = WorkResult::Status::kFailed;
     switch (outcome.kind) {
       case Attempt::Kind::kOk:
@@ -612,6 +715,7 @@ ClientResult Fabric::plan(const BatchSpec& spec, std::ostream& err) {
   fallback.degraded = true;
   fallback.retries += result.retries;
   fallback.crashes += result.crashes;
+  fallback.cacheHits += result.cacheHits;
   return fallback;
 }
 

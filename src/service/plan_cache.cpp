@@ -1,0 +1,86 @@
+#include "service/plan_cache.hpp"
+
+#include <cstdlib>
+
+#include "core/canonical_hash.hpp"
+#include "util/cache.hpp"
+#include "util/metrics.hpp"
+
+namespace rfsm::service {
+namespace {
+
+/// Immortal (never destroyed): worker threads may still consult the cache
+/// while the main thread exits.
+SlruCache<std::string>& cache() {
+  static auto* instance = new SlruCache<std::string>(0);
+  return *instance;
+}
+
+}  // namespace
+
+void configurePlanCache(std::size_t capacity) {
+  if (capacity == 0) {
+    cache().clear();
+    cache().setCapacity(0);
+    return;
+  }
+  const std::size_t evicted = cache().setCapacity(capacity);
+  if (evicted > 0) metrics::counter(metrics::kServicePlanCacheEvictions)
+      .add(evicted);
+}
+
+void configurePlanCacheFromEnv() {
+  const char* raw = std::getenv("RFSM_PLAN_CACHE");
+  if (raw == nullptr || *raw == '\0') return;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end != nullptr && *end == '\0') {
+    configurePlanCache(static_cast<std::size_t>(value));
+    return;
+  }
+  configurePlanCache(kPlanCacheDefaultCapacity);
+}
+
+bool planCacheEnabled() { return cache().capacity() > 0; }
+
+std::size_t planCacheSize() { return cache().size(); }
+
+std::string planCacheKey(const BatchSpec& spec, std::uint64_t index) {
+  CanonicalHasher hasher;
+  hasher.u64(kPlanCacheKeyVersion)
+      .i64(spec.stateCount)
+      .i64(spec.inputCount)
+      .i64(spec.outputCount)
+      .i64(spec.deltaCount)
+      .i64(spec.newStateCount)
+      .u64(spec.seed)
+      .str(spec.planner)
+      .i64(spec.eaPopulation)
+      .i64(spec.eaGenerations)
+      .u64(index);
+  return hasher.hex();
+}
+
+std::optional<std::string> planCacheLookup(const std::string& key) {
+  if (!planCacheEnabled()) return std::nullopt;
+  auto hit = cache().get(key);
+  if (hit.has_value()) {
+    metrics::counter(metrics::kServicePlanCacheHits).add();
+  } else {
+    metrics::counter(metrics::kServicePlanCacheMisses).add();
+  }
+  return hit;
+}
+
+void planCacheStore(const std::string& key, std::string program) {
+  if (!planCacheEnabled()) return;
+  const auto outcome = cache().put(key, std::move(program));
+  if (outcome.evicted > 0)
+    metrics::counter(metrics::kServicePlanCacheEvictions).add(outcome.evicted);
+}
+
+void planCacheQuarantine(const std::string& key) { cache().erase(key); }
+
+void clearPlanCache() { cache().clear(); }
+
+}  // namespace rfsm::service

@@ -1,13 +1,11 @@
 #include "service/protocol.hpp"
 
-#include <deque>
-#include <mutex>
-#include <unordered_map>
-
 #include "core/jsr.hpp"
 #include "core/program.hpp"
 #include "gen/generator.hpp"
 #include "gen/mutator.hpp"
+#include "service/plan_cache.hpp"
+#include "util/cache.hpp"
 #include "util/ipc.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
@@ -24,6 +22,8 @@ void putSpec(ipc::MessageWriter& writer, const BatchSpec& spec) {
   writer.u64(spec.instanceCount);
   writer.u64(spec.seed);
   writer.str(spec.planner);
+  writer.u32(static_cast<std::uint32_t>(spec.eaPopulation));
+  writer.u32(static_cast<std::uint32_t>(spec.eaGenerations));
 }
 
 BatchSpec getSpec(ipc::MessageReader& reader) {
@@ -36,6 +36,8 @@ BatchSpec getSpec(ipc::MessageReader& reader) {
   spec.instanceCount = reader.u64();
   spec.seed = reader.u64();
   spec.planner = reader.str();
+  spec.eaPopulation = static_cast<int>(reader.u32());
+  spec.eaGenerations = static_cast<int>(reader.u32());
   return spec;
 }
 
@@ -74,24 +76,23 @@ std::uint32_t statusToWire(WorkResult::Status status) {
 //
 // makeInstance is deterministic in (spec, index), so its results are
 // cacheable forever.  A long-lived worker serving retried, hedged, or
-// quorum-duplicated shards of the same batch regenerates nothing; FIFO
-// eviction at kInstanceCacheCapacity bounds the footprint.
+// quorum-duplicated shards of the same batch regenerates nothing; SLRU +
+// ghost admission (util/cache.hpp) at kInstanceCacheCapacity bounds the
+// footprint without letting one-shot sweeps flush the hot working set.
 
-struct InstanceCache {
-  std::mutex mutex;
-  std::unordered_map<std::string, MigrationContext> entries;
-  std::deque<std::string> order;  // FIFO eviction
-};
-
-InstanceCache& instanceCache() {
-  static InstanceCache* cache = new InstanceCache();  // immortal
+SlruCache<MigrationContext>& instanceCache() {
+  static auto* cache =  // immortal
+      new SlruCache<MigrationContext>(kInstanceCacheCapacity);
   return *cache;
 }
 
 std::string instanceKey(const BatchSpec& spec, std::uint64_t index) {
   // instanceCount is deliberately absent: instance k's bytes depend only on
   // the generation dimensions and seed, so shards of differently-sized
-  // sweeps over the same spec share entries.
+  // sweeps over the same spec share entries.  The planner and EA fields are
+  // equally absent — and must stay so — because generation draws only from
+  // the gen substream; the regression test InstanceCacheKeySeparation pins
+  // every field that *does* matter.
   return std::to_string(spec.stateCount) + "," +
          std::to_string(spec.inputCount) + "," +
          std::to_string(spec.outputCount) + "," +
@@ -105,39 +106,24 @@ MigrationContext cachedInstance(const BatchSpec& spec, std::uint64_t index) {
       metrics::counter(metrics::kServiceWorkerCacheHits);
   static metrics::Counter& misses =
       metrics::counter(metrics::kServiceWorkerCacheMisses);
-  InstanceCache& cache = instanceCache();
+  SlruCache<MigrationContext>& cache = instanceCache();
   const std::string key = instanceKey(spec, index);
-  {
-    std::lock_guard<std::mutex> lock(cache.mutex);
-    const auto it = cache.entries.find(key);
-    if (it != cache.entries.end()) {
-      hits.add();
-      return it->second;
-    }
+  if (auto hit = cache.get(key)) {
+    hits.add();
+    return *std::move(hit);
   }
   misses.add();
-  // Generate outside the lock (the expensive part); a racing twin doing the
-  // same work inserts an identical value, so last-writer-wins is harmless.
+  // Generate outside the cache lock (the expensive part); a racing twin
+  // doing the same work inserts an identical value, so last-writer-wins is
+  // harmless.
   MigrationContext instance = makeInstance(spec, index);
-  std::lock_guard<std::mutex> lock(cache.mutex);
-  if (cache.entries.emplace(key, instance).second) {
-    cache.order.push_back(key);
-    while (cache.order.size() > kInstanceCacheCapacity) {
-      cache.entries.erase(cache.order.front());
-      cache.order.pop_front();
-    }
-  }
+  cache.put(key, instance);
   return instance;
 }
 
 }  // namespace
 
-void clearInstanceCache() {
-  InstanceCache& cache = instanceCache();
-  std::lock_guard<std::mutex> lock(cache.mutex);
-  cache.entries.clear();
-  cache.order.clear();
-}
+void clearInstanceCache() { instanceCache().clear(); }
 
 MigrationContext makeInstance(const BatchSpec& spec, std::uint64_t index) {
   Rng gen = Rng(spec.seed).substream(kGenStreamBase + index);
@@ -174,11 +160,26 @@ BatchPlanFn plannerFn(const std::string& name) {
   throw Error("unknown batch planner '" + name + "' (jsr|greedy|ea)");
 }
 
-std::vector<std::string> planRange(const BatchSpec& spec, std::uint64_t lo,
-                                   std::uint64_t hi,
-                                   const CancelToken* cancel, int jobs) {
-  RFSM_CHECK(lo <= hi && hi <= spec.instanceCount,
-             "shard range out of bounds");
+BatchPlanFn plannerFn(const BatchSpec& spec) {
+  if (spec.planner == "ea") {
+    EvolutionConfig config;
+    config.populationSize = spec.eaPopulation;
+    config.generations = spec.eaGenerations;
+    return [config](const MigrationContext& context, Rng& rng) {
+      return planEvolutionary(context, config, rng).program;
+    };
+  }
+  return plannerFn(spec.planner);
+}
+
+namespace {
+
+/// The pre-split planRange body: always generates and plans, never touches
+/// the plan-result cache.  Quorum verification reaches it via kBypass.
+std::vector<std::string> planRangeUncached(const BatchSpec& spec,
+                                           std::uint64_t lo, std::uint64_t hi,
+                                           const CancelToken* cancel,
+                                           int jobs) {
   std::vector<MigrationContext> instances;
   instances.reserve(static_cast<std::size_t>(hi - lo));
   for (std::uint64_t k = lo; k < hi; ++k) {
@@ -192,12 +193,57 @@ std::vector<std::string> planRange(const BatchSpec& spec, std::uint64_t lo,
   options.substreamBase = lo;  // the bit-identical-shard contract
   options.cancel = cancel;
   const std::vector<ReconfigurationProgram> programs =
-      planAll(instances, plannerFn(spec.planner), options);
+      planAll(instances, plannerFn(spec), options);
 
   std::vector<std::string> texts;
   texts.reserve(programs.size());
   for (std::size_t k = 0; k < programs.size(); ++k)
     texts.push_back(programToText(instances[k], programs[k]));
+  return texts;
+}
+
+}  // namespace
+
+std::vector<std::string> planRange(const BatchSpec& spec, std::uint64_t lo,
+                                   std::uint64_t hi, const CancelToken* cancel,
+                                   int jobs, PlanCacheMode mode) {
+  RFSM_CHECK(lo <= hi && hi <= spec.instanceCount,
+             "shard range out of bounds");
+  if (mode == PlanCacheMode::kBypass || !planCacheEnabled())
+    return planRangeUncached(spec, lo, hi, cancel, jobs);
+
+  // Serve what the plan cache holds, recompute the gaps as contiguous runs
+  // (each run plans with substreamBase = its own absolute lo, so the bytes
+  // match the unsharded computation no matter how hits fragment the range).
+  const std::size_t count = static_cast<std::size_t>(hi - lo);
+  std::vector<std::string> texts(count);
+  std::vector<bool> cached(count, false);
+  for (std::uint64_t k = lo; k < hi; ++k) {
+    pollCancel(cancel, "service.generate");
+    if (auto hit = planCacheLookup(planCacheKey(spec, k))) {
+      texts[static_cast<std::size_t>(k - lo)] = *std::move(hit);
+      cached[static_cast<std::size_t>(k - lo)] = true;
+    }
+  }
+  std::uint64_t runLo = lo;
+  while (runLo < hi) {
+    if (cached[static_cast<std::size_t>(runLo - lo)]) {
+      ++runLo;
+      continue;
+    }
+    std::uint64_t runHi = runLo + 1;
+    while (runHi < hi && !cached[static_cast<std::size_t>(runHi - lo)])
+      ++runHi;
+    std::vector<std::string> fresh =
+        planRangeUncached(spec, runLo, runHi, cancel, jobs);
+    for (std::uint64_t k = runLo; k < runHi; ++k) {
+      planCacheStore(planCacheKey(spec, k),
+                     fresh[static_cast<std::size_t>(k - runLo)]);
+      texts[static_cast<std::size_t>(k - lo)] =
+          std::move(fresh[static_cast<std::size_t>(k - runLo)]);
+    }
+    runLo = runHi;
+  }
   return texts;
 }
 
@@ -234,6 +280,7 @@ std::string encodePlanResponse(const PlanResponse& response) {
   writer.str(response.error);
   writer.u64(response.retries);
   writer.u64(response.crashes);
+  writer.u64(response.cacheHits);
   writer.u32(static_cast<std::uint32_t>(response.programs.size()));
   for (const auto& program : response.programs) writer.str(program);
   return writer.take();
@@ -247,6 +294,7 @@ PlanResponse decodePlanResponse(const std::string& payload) {
   response.error = reader.str();
   response.retries = reader.u64();
   response.crashes = reader.u64();
+  response.cacheHits = reader.u64();
   const std::uint32_t count = reader.u32();
   response.programs.reserve(count);
   for (std::uint32_t k = 0; k < count; ++k)

@@ -50,6 +50,11 @@ struct BatchSpec {
   std::uint64_t instanceCount = 8;
   std::uint64_t seed = 1;
   std::string planner = "jsr";  ///< jsr | greedy | ea
+  /// EA planner knobs (ignored by jsr/greedy, but always on the wire and in
+  /// every cache key: any field that can change planned bytes must never be
+  /// invisible to a cache).  Defaults mirror EvolutionConfig's.
+  int eaPopulation = 64;
+  int eaGenerations = 120;
 
   bool operator==(const BatchSpec&) const = default;
 };
@@ -64,6 +69,16 @@ MigrationContext makeInstance(const BatchSpec& spec, std::uint64_t index);
 /// The batch planner named by spec.planner; throws Error on unknown names.
 BatchPlanFn plannerFn(const std::string& name);
 
+/// As above, but honours the spec's planner-config fields (EA population /
+/// generations) instead of the compiled-in defaults.
+BatchPlanFn plannerFn(const BatchSpec& spec);
+
+/// Whether planRange may consult the process-wide plan-result cache
+/// (service/plan_cache.hpp).  kBypass forces ground-truth recomputation —
+/// quorum verification and poisoning checks use it so a poisoned entry can
+/// never vouch for itself.
+enum class PlanCacheMode { kUse, kBypass };
+
 /// Plans instances [lo, hi) in-process and renders each program in the
 /// rfsm-program text format (core/program.hpp) — the exact bytes any other
 /// shard split would produce for those slots.  `cancel` is polled between
@@ -75,12 +90,19 @@ BatchPlanFn plannerFn(const std::string& name);
 /// (service.worker_cache_hits counts the savings).  Cached or not, the
 /// result is byte-identical — the cache stores exactly what makeInstance
 /// would produce.
+///
+/// When the plan-result cache is enabled (plan_cache.hpp) and `mode` is
+/// kUse, cached instances are served without replanning and fresh results
+/// are stored back — hits are byte-identical to cold computation by the
+/// regeneration contract above.
 std::vector<std::string> planRange(const BatchSpec& spec, std::uint64_t lo,
                                    std::uint64_t hi,
                                    const CancelToken* cancel = nullptr,
-                                   int jobs = 1);
+                                   int jobs = 1,
+                                   PlanCacheMode mode = PlanCacheMode::kUse);
 
-/// Entries the instance cache holds before evicting in FIFO order.
+/// Entries the instance cache holds before evicting (SLRU + ghost list,
+/// util/cache.hpp).
 inline constexpr std::size_t kInstanceCacheCapacity = 256;
 
 /// Drops every cached instance (tests; also bounds memory after a one-off
@@ -119,6 +141,9 @@ struct PlanResponse {
   std::uint64_t retries = 0;
   /// Worker crashes observed during this request.
   std::uint64_t crashes = 0;
+  /// Instances served from the server's plan-result cache (0 when the
+  /// daemon runs with the cache disabled).
+  std::uint64_t cacheHits = 0;
 };
 
 std::string encodePlanRequest(const PlanRequest& request);

@@ -8,6 +8,7 @@
 #include <memory>
 #include <utility>
 
+#include "service/plan_cache.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
@@ -130,6 +131,26 @@ PlanResponse Server::handlePlan(const PlanRequest& request) {
     return malformed;
   }
   const std::uint64_t total = rangeHi - rangeLo;
+
+  // Broker-in-parent plan cache: the parent consults the cache before
+  // sharding and stores worker results after, so a plan computed by worker
+  // A serves later requests without touching worker B (workers keep their
+  // own caches disabled).  Only the uncached gaps are dispatched, sliced
+  // into contiguous runs so each worker shard still carries absolute
+  // [lo, hi) indices.
+  std::vector<std::string> assembled(static_cast<std::size_t>(total));
+  std::vector<bool> cached(static_cast<std::size_t>(total), false);
+  std::uint64_t cacheHits = 0;
+  if (planCacheEnabled()) {
+    for (std::uint64_t k = rangeLo; k < rangeHi; ++k) {
+      if (auto hit = planCacheLookup(planCacheKey(request.spec, k))) {
+        assembled[static_cast<std::size_t>(k - rangeLo)] = *std::move(hit);
+        cached[static_cast<std::size_t>(k - rangeLo)] = true;
+        ++cacheHits;
+      }
+    }
+  }
+
   // Baseline for the retry/crash accounting, taken before any shard is
   // dispatched: a worker can crash the instant its frame lands, well before
   // the aggregation loop below starts.
@@ -137,22 +158,34 @@ PlanResponse Server::handlePlan(const PlanRequest& request) {
   const std::uint64_t shardSize = std::max<std::uint64_t>(1, options_.shardSize);
   std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
   std::vector<std::future<WorkResult>> futures;
-  for (std::uint64_t lo = rangeLo; lo < rangeHi; lo += shardSize) {
-    const std::uint64_t hi = std::min(rangeHi, lo + shardSize);
-    ShardRequest shard;
-    shard.spec = request.spec;
-    shard.lo = lo;
-    shard.hi = hi;
-    shard.deadlineNs = deadlineNs;
-    shards.add();
-    trace::asyncInstant("service.shard_submit", "service", correlation,
-                        {trace::Arg::num("lo", lo), trace::Arg::num("hi", hi)});
-    futures.push_back(supervisor_.submit(encodeShardRequest(shard), cancel));
-    ranges.emplace_back(lo, hi);
+  std::uint64_t runLo = rangeLo;
+  while (runLo < rangeHi) {
+    if (cached[static_cast<std::size_t>(runLo - rangeLo)]) {
+      ++runLo;
+      continue;
+    }
+    std::uint64_t runHi = runLo + 1;
+    while (runHi < rangeHi && !cached[static_cast<std::size_t>(runHi - rangeLo)])
+      ++runHi;
+    for (std::uint64_t lo = runLo; lo < runHi; lo += shardSize) {
+      const std::uint64_t hi = std::min(runHi, lo + shardSize);
+      ShardRequest shard;
+      shard.spec = request.spec;
+      shard.lo = lo;
+      shard.hi = hi;
+      shard.deadlineNs = deadlineNs;
+      shards.add();
+      trace::asyncInstant("service.shard_submit", "service", correlation,
+                          {trace::Arg::num("lo", lo), trace::Arg::num("hi", hi)});
+      futures.push_back(supervisor_.submit(encodeShardRequest(shard), cancel));
+      ranges.emplace_back(lo, hi);
+    }
+    runLo = runHi;
   }
 
   PlanResponse response;
   response.status = WorkResult::Status::kOk;
+  response.cacheHits = cacheHits;
   std::vector<std::vector<std::string>> shardPrograms(futures.size());
   for (std::size_t k = 0; k < futures.size(); ++k) {
     WorkResult result = futures[k].get();
@@ -164,8 +197,19 @@ PlanResponse Server::handlePlan(const PlanRequest& request) {
         ShardResponse shard = decodeShardResponse(result.payload);
         shardStatus = shard.status;
         shardError = shard.error;
-        if (shard.status == WorkResult::Status::kOk)
-          shardPrograms[k] = std::move(shard.programs);
+        if (shard.status == WorkResult::Status::kOk) {
+          if (shard.programs.size() !=
+              static_cast<std::size_t>(ranges[k].second - ranges[k].first)) {
+            shardStatus = WorkResult::Status::kFailed;
+            shardError = "shard returned " +
+                         std::to_string(shard.programs.size()) +
+                         " programs for " +
+                         std::to_string(ranges[k].second - ranges[k].first) +
+                         " instances";
+          } else {
+            shardPrograms[k] = std::move(shard.programs);
+          }
+        }
       } catch (const Error& error) {
         shardStatus = WorkResult::Status::kFailed;
         shardError = std::string("malformed shard response: ") + error.what();
@@ -191,10 +235,17 @@ PlanResponse Server::handlePlan(const PlanRequest& request) {
   response.crashes = after.crashes - before.crashes;
 
   if (response.status == WorkResult::Status::kOk) {
-    response.programs.reserve(static_cast<std::size_t>(total));
-    for (auto& shard : shardPrograms)
-      for (auto& program : shard)
-        response.programs.push_back(std::move(program));
+    for (std::size_t k = 0; k < shardPrograms.size(); ++k) {
+      for (std::size_t i = 0; i < shardPrograms[k].size(); ++i) {
+        const std::uint64_t index = ranges[k].first + i;
+        if (planCacheEnabled())
+          planCacheStore(planCacheKey(request.spec, index),
+                         shardPrograms[k][i]);
+        assembled[static_cast<std::size_t>(index - rangeLo)] =
+            std::move(shardPrograms[k][i]);
+      }
+    }
+    response.programs = std::move(assembled);
   } else {
     if (response.status == WorkResult::Status::kDeadlineExceeded) {
       static metrics::Counter& deadlineExceeded =
@@ -210,7 +261,8 @@ PlanResponse Server::handlePlan(const PlanRequest& request) {
   trace::asyncEnd("service.request", "service", correlation,
                   {trace::Arg::str("status", toString(response.status)),
                    trace::Arg::num("retries", response.retries),
-                   trace::Arg::num("crashes", response.crashes)});
+                   trace::Arg::num("crashes", response.crashes),
+                   trace::Arg::num("cache_hits", response.cacheHits)});
   return response;
 }
 

@@ -29,6 +29,7 @@
 #include "rtl/vhdl.hpp"
 #include "service/client.hpp"
 #include "service/fabric.hpp"
+#include "service/plan_cache.hpp"
 #include "tools/report.hpp"
 #include "util/metrics.hpp"
 #include "util/table.hpp"
@@ -520,6 +521,13 @@ int cmdPlan(const std::vector<std::string>& args, std::ostream& out,
   const std::int64_t deadlineMs =
       std::stoll(option(args, "--deadline-ms").value_or("0"));
   const int jobs = std::stoi(option(args, "--jobs").value_or("1"));
+  // Plan-result cache opt-in (tools only; the library never reads the
+  // environment).  The flag overrides RFSM_PLAN_CACHE.
+  service::configurePlanCacheFromEnv();
+  const std::optional<std::string> planCacheArg = option(args, "--plan-cache");
+  if (planCacheArg.has_value())
+    service::configurePlanCache(
+        static_cast<std::size_t>(std::stoull(*planCacheArg)));
   const std::vector<ipc::Endpoint> endpoints = fabricEndpoints(args);
 
   service::ClientResult result;
@@ -559,7 +567,8 @@ int cmdPlan(const std::vector<std::string>& args, std::ostream& out,
       << spec.planner
       << (viaFabric ? ", fabric" : server.has_value() ? ", server" : ", local")
       << (result.degraded ? ", degraded" : "") << ", retries "
-      << result.retries << ", crashes " << result.crashes;
+      << result.retries << ", crashes " << result.crashes
+      << ", plan_cache_hits " << result.cacheHits;
   if (viaFabric) {
     err << ", rerouted "
         << metrics::counter(metrics::kFabricRerouted).value() << ", hedged "
@@ -611,6 +620,9 @@ int cmdHelp(std::ostream& out) {
          "          [--quorum K]          byte-compare sampled shards on K\n"
          "                                endpoints, quarantine liars\n"
          "          [--shard-size N]      instances per fabric shard\n"
+         "          [--plan-cache N]      memoize plan results, N entries\n"
+         "                                (0 = off, the default; overrides\n"
+         "                                RFSM_PLAN_CACHE)\n"
          "          [--probe]             health-check the rfsmd\n"
          "          exit 0 = planned, 4 = deadline exceeded\n"
          "  chain <m1> <m2> [...]         plan a release train + rollbacks\n"

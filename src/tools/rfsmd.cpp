@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "service/plan_cache.hpp"
 #include "service/server.hpp"
 #include "service/worker.hpp"
 #include "util/deadline.hpp"
@@ -51,6 +52,8 @@ int usage(std::ostream& out, int code) {
          "  --fault NAME          induce a named failure scenario:\n"
          "                        none|kill-first-shard|abort-mid-shard|\n"
          "                        hang-worker|pool-unhealthy\n"
+         "  --plan-cache N        memoize plan results, N entries (0 = off,\n"
+         "                        the default; overrides RFSM_PLAN_CACHE)\n"
          "  --worker-binary PATH  binary for workers (default: this one)\n";
   return code;
 }
@@ -74,10 +77,18 @@ int main(int argc, char** argv) {
   const std::vector<std::string> args(argv + 1, argv + argc);
   if (flag(args, "--help") || flag(args, "-h"))
     return usage(std::cout, 0);
+  // Workers keep the plan cache off: sharing is broker-in-parent — the
+  // supervisor consults and fills the cache around shard dispatch, so hits
+  // cross worker boundaries through the parent, not per-process copies.
   if (flag(args, "--worker")) return rfsm::service::runWorker();
 
   rfsm::service::ServerOptions options;
   try {
+    rfsm::service::configurePlanCacheFromEnv();
+    const auto planCache = option(args, "--plan-cache");
+    if (planCache.has_value())
+      rfsm::service::configurePlanCache(
+          static_cast<std::size_t>(std::stoull(*planCache)));
     const auto socket = option(args, "--socket");
     if (!socket.has_value()) return usage(std::cerr, 64);
     options.socketPath = *socket;

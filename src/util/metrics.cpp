@@ -136,18 +136,24 @@ std::string toMarkdown(const Snapshot& snapshot) {
     os << table.toMarkdown();
 
     std::uint64_t hits = 0, misses = 0;
+    std::uint64_t planHits = 0, planMisses = 0;
     for (const CounterSample& c : snapshot.counters) {
       if (c.name == kBfsCacheHits) hits = c.value;
       if (c.name == kBfsCacheMisses) misses = c.value;
+      if (c.name == kServicePlanCacheHits) planHits = c.value;
+      if (c.name == kServicePlanCacheMisses) planMisses = c.value;
     }
-    if (hits + misses > 0) {
-      std::ostringstream rate;
-      rate.setf(std::ios::fixed);
-      rate.precision(1);
-      rate << (100.0 * static_cast<double>(hits) /
-               static_cast<double>(hits + misses));
-      os << "BFS cache hit rate: " << rate.str() << "%\n";
-    }
+    auto rate = [](std::uint64_t h, std::uint64_t m) {
+      std::ostringstream out;
+      out.setf(std::ios::fixed);
+      out.precision(1);
+      out << (100.0 * static_cast<double>(h) / static_cast<double>(h + m));
+      return out.str();
+    };
+    if (hits + misses > 0)
+      os << "BFS cache hit rate: " << rate(hits, misses) << "%\n";
+    if (planHits + planMisses > 0)
+      os << "Plan cache hit rate: " << rate(planHits, planMisses) << "%\n";
   }
   if (!snapshot.timers.empty()) {
     if (!snapshot.counters.empty()) os << "\n";

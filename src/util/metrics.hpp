@@ -116,6 +116,10 @@ inline constexpr const char* kDecodeCalls = "planner.decode_calls";
 inline constexpr const char* kProgramsValidated = "planner.programs_validated";
 inline constexpr const char* kBfsCacheHits = "cache.bfs_hits";
 inline constexpr const char* kBfsCacheMisses = "cache.bfs_misses";
+// BFS scratch buffers reused across MutableMachine instances that share a
+// state count (mutable_machine.cpp's process-wide pool).  Scheduling-
+// dependent under jobs > 1, so benches strip it from their artifacts.
+inline constexpr const char* kBfsPoolReuses = "cache.bfs_pool_reuses";
 
 // Canonical histogram names of the planning and verification layers
 // (values are nanoseconds; snapshots render percentiles in ms).
@@ -146,6 +150,18 @@ inline constexpr const char* kServiceWorkerCacheMisses =
     "service.worker_cache_misses";
 inline constexpr const char* kServiceWorkersPreforked =
     "service.workers_preforked";
+
+// Content-addressed plan-result cache (service/plan_cache.hpp): per-instance
+// rendered programs memoized across requests, workers, and fabric shards.
+inline constexpr const char* kServicePlanCacheHits = "service.plan_cache_hits";
+inline constexpr const char* kServicePlanCacheMisses =
+    "service.plan_cache_misses";
+inline constexpr const char* kServicePlanCacheEvictions =
+    "service.plan_cache_evictions";
+// Cache entries that failed quorum byte-verification: quarantined and
+// recomputed, never served.
+inline constexpr const char* kServicePlanCachePoisoned =
+    "service.plan_cache_poisoned";
 
 // Canonical metric names used by the cross-host planner fabric
 // (src/service/fabric.hpp): shard routing, endpoint health, hedging, and

@@ -18,6 +18,7 @@
 
 #include "service/client.hpp"
 #include "service/fabric.hpp"
+#include "service/plan_cache.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
 #include "util/breaker.hpp"
@@ -135,8 +136,12 @@ class FakeEndpoint {
     if (delay_.count() > 0) std::this_thread::sleep_for(delay_);
     service::PlanResponse response;
     response.status = WorkResult::Status::kOk;
-    response.programs = service::planRange(request.spec, request.rangeLo(),
-                                           request.rangeHi());
+    // kBypass: the fake plays a *remote* process — it must not share (or
+    // serve back) this process's plan cache, or a poisoned local entry
+    // could vouch for itself in the cache-verification tests below.
+    response.programs =
+        service::planRange(request.spec, request.rangeLo(), request.rangeHi(),
+                           nullptr, 1, service::PlanCacheMode::kBypass);
     if (behavior_ == Behavior::kTamper)
       for (std::string& program : response.programs)
         program += "# tampered\n";
@@ -368,6 +373,138 @@ TEST(Fabric, QuorumOfHonestEndpointsAgreesQuietly) {
   EXPECT_EQ(mismatches.value(), mismatches0);
   EXPECT_EQ(fabric.breaker(0).trips(), 0u);
   EXPECT_EQ(fabric.breaker(1).trips(), 0u);
+}
+
+// --- Plan cache on the fabric path ----------------------------------------
+
+/// RAII twin of test_service's scope: fresh enabled cache, guaranteed
+/// disabled afterwards.
+class PlanCacheScope {
+ public:
+  explicit PlanCacheScope(std::size_t capacity) {
+    service::configurePlanCache(capacity);
+    service::clearPlanCache();
+  }
+  ~PlanCacheScope() { service::configurePlanCache(0); }
+};
+
+TEST(Fabric, WarmShardIsServedWithoutTouchingAnyEndpoint) {
+  PlanCacheScope scope(256);
+  const service::BatchSpec spec = smallSpec();
+  const auto reference = service::planRange(
+      spec, 0, spec.instanceCount, nullptr, 1,
+      service::PlanCacheMode::kBypass);
+  const std::string path = freshSocketPath("warm");
+  service::Fabric fabric(fastFabric({ipc::parseEndpoint(path)}));
+  std::ostringstream err;
+
+  {
+    FakeEndpoint endpoint(path, FakeEndpoint::Behavior::kHonest);
+    const service::ClientResult cold = fabric.plan(spec, err);
+    ASSERT_EQ(cold.status, WorkResult::Status::kOk) << cold.error;
+    EXPECT_EQ(cold.programs, reference);
+    EXPECT_EQ(cold.cacheHits, 0u);
+  }  // the only endpoint is gone now
+
+  // The warm batch can only succeed *undegraded* if no shard was
+  // dispatched: every endpoint is dead, so any dispatch attempt would
+  // descend the ladder and leave a notice.
+  const service::ClientResult warm = fabric.plan(spec, err);
+  ASSERT_EQ(warm.status, WorkResult::Status::kOk) << warm.error;
+  EXPECT_EQ(warm.programs, reference);  // byte-identical to the cold path
+  EXPECT_EQ(warm.cacheHits, spec.instanceCount);
+  EXPECT_FALSE(warm.degraded);
+  EXPECT_EQ(countOccurrences(err.str(), "planner fabric unavailable"), 0u);
+}
+
+TEST(Fabric, WarmShardsServeEvenWhenEveryEndpointIsDead) {
+  // The cache sits above the degradation ladder: a fully-warm batch never
+  // needs an endpoint, so it succeeds at rung one without a notice.
+  PlanCacheScope scope(256);
+  const service::BatchSpec spec = smallSpec();
+  const auto reference = service::planRange(
+      spec, 0, spec.instanceCount, nullptr, 1,
+      service::PlanCacheMode::kBypass);
+  (void)service::planRange(spec, 0, spec.instanceCount);  // warm it
+
+  service::FabricOptions options = fastFabric(
+      {ipc::parseEndpoint(freshSocketPath("gone-a")),
+       ipc::parseEndpoint(freshSocketPath("gone-b"))});
+  service::Fabric fabric(std::move(options));
+  std::ostringstream err;
+  const service::ClientResult result = fabric.plan(spec, err);
+  ASSERT_EQ(result.status, WorkResult::Status::kOk) << result.error;
+  EXPECT_EQ(result.programs, reference);
+  EXPECT_FALSE(result.degraded);
+  EXPECT_EQ(countOccurrences(err.str(), "planner fabric unavailable"), 0u);
+}
+
+TEST(Fabric, TamperedCacheEntryIsDetectedQuarantinedAndNeverServed) {
+  PlanCacheScope scope(256);
+  const service::BatchSpec spec = smallSpec();
+  const auto reference = service::planRange(
+      spec, 0, spec.instanceCount, nullptr, 1,
+      service::PlanCacheMode::kBypass);
+  FakeEndpoint honest(freshSocketPath("cache-honest"),
+                      FakeEndpoint::Behavior::kHonest);
+
+  // Warm the cache honestly, then poison one entry in place — modeling a
+  // corrupted or maliciously overwritten cache line.
+  (void)service::planRange(spec, 0, spec.instanceCount);
+  const std::string poisonedKey = service::planCacheKey(spec, 3);
+  service::planCacheStore(poisonedKey, "# poisoned\n");
+
+  service::FabricOptions options =
+      fastFabric({ipc::parseEndpoint(honest.path())});
+  options.shardSize = spec.instanceCount;  // one shard — always sampled
+  options.quorum = 2;  // sampled cache hits get byte-verified
+  metrics::Counter& poisoned =
+      metrics::counter(metrics::kServicePlanCachePoisoned);
+  const std::uint64_t poisoned0 = poisoned.value();
+
+  service::Fabric fabric(std::move(options));
+  std::ostringstream err;
+  const service::ClientResult result = fabric.plan(spec, err);
+
+  // Detected, recomputed, and the poisoned bytes never reached stdout.
+  ASSERT_EQ(result.status, WorkResult::Status::kOk) << result.error;
+  EXPECT_EQ(result.programs, reference);
+  EXPECT_GT(poisoned.value(), poisoned0);
+  // The quarantined entry was replaced by recomputed ground truth.
+  const auto repaired = service::planCacheLookup(poisonedKey);
+  ASSERT_TRUE(repaired.has_value());
+  EXPECT_EQ(*repaired, reference[3]);
+  // The honest replica that exposed the poison is not punished.
+  EXPECT_EQ(fabric.breaker(0).trips(), 0u);
+}
+
+TEST(Fabric, CleanCacheHitsPassQuorumVerificationQuietly) {
+  PlanCacheScope scope(256);
+  const service::BatchSpec spec = smallSpec();
+  FakeEndpoint honest(freshSocketPath("clean-honest"),
+                      FakeEndpoint::Behavior::kHonest);
+  (void)service::planRange(spec, 0, spec.instanceCount);  // honest warm
+
+  service::FabricOptions options =
+      fastFabric({ipc::parseEndpoint(honest.path())});
+  options.shardSize = spec.instanceCount;
+  options.quorum = 2;
+  metrics::Counter& poisoned =
+      metrics::counter(metrics::kServicePlanCachePoisoned);
+  metrics::Counter& mismatches =
+      metrics::counter(metrics::kFabricQuorumMismatch);
+  const std::uint64_t poisoned0 = poisoned.value();
+  const std::uint64_t mismatches0 = mismatches.value();
+
+  service::Fabric fabric(std::move(options));
+  std::ostringstream err;
+  const service::ClientResult result = fabric.plan(spec, err);
+  ASSERT_EQ(result.status, WorkResult::Status::kOk) << result.error;
+  EXPECT_EQ(result.programs,
+            service::planRange(spec, 0, spec.instanceCount, nullptr, 1,
+                               service::PlanCacheMode::kBypass));
+  EXPECT_EQ(poisoned.value(), poisoned0);
+  EXPECT_EQ(mismatches.value(), mismatches0);
 }
 
 // --- Prefork --------------------------------------------------------------

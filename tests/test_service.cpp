@@ -11,11 +11,14 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <set>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include "fsm/serialize.hpp"
 #include "service/client.hpp"
+#include "service/plan_cache.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
 #include "util/metrics.hpp"
@@ -378,6 +381,218 @@ TEST(Socket, PlanAndProbeOverUnixSocket) {
   EXPECT_EQ(result.programs,
             service::planRange(smallSpec(), 0, smallSpec().instanceCount));
   unlink(path.c_str());
+}
+
+// --- Content-addressed plan cache ---------------------------------------
+
+/// RAII: enables the plan cache with a fresh state and guarantees it is
+/// disabled (and emptied) afterwards, so this suite cannot leak cache
+/// state into tests written against the off-by-default contract.
+class PlanCacheScope {
+ public:
+  explicit PlanCacheScope(std::size_t capacity) {
+    service::configurePlanCache(capacity);
+    service::clearPlanCache();
+  }
+  ~PlanCacheScope() { service::configurePlanCache(0); }
+};
+
+TEST(PlanCache, DisabledByDefaultAndInvisible) {
+  EXPECT_FALSE(service::planCacheEnabled());
+  const std::uint64_t hits0 =
+      metrics::counter(metrics::kServicePlanCacheHits).value();
+  const std::uint64_t misses0 =
+      metrics::counter(metrics::kServicePlanCacheMisses).value();
+  const auto first = service::planRange(smallSpec(), 0, 4);
+  const auto second = service::planRange(smallSpec(), 0, 4);
+  EXPECT_EQ(first, second);
+  // Disabled means invisible: no hit/miss accounting at all.
+  EXPECT_EQ(metrics::counter(metrics::kServicePlanCacheHits).value(), hits0);
+  EXPECT_EQ(metrics::counter(metrics::kServicePlanCacheMisses).value(),
+            misses0);
+}
+
+TEST(PlanCache, WarmRunIsByteIdenticalToColdAndBypass) {
+  PlanCacheScope scope(256);
+  const service::BatchSpec spec = smallSpec();
+  const std::uint64_t n = spec.instanceCount;
+  // The bypass run is what a cache-free build would print.
+  const auto reference = service::planRange(spec, 0, n, nullptr, 1,
+                                            service::PlanCacheMode::kBypass);
+  metrics::Counter& hits = metrics::counter(metrics::kServicePlanCacheHits);
+  metrics::Counter& misses =
+      metrics::counter(metrics::kServicePlanCacheMisses);
+  const std::uint64_t hits0 = hits.value();
+  const std::uint64_t misses0 = misses.value();
+
+  const auto cold = service::planRange(spec, 0, n);
+  EXPECT_EQ(cold, reference);
+  EXPECT_EQ(misses.value() - misses0, n);
+  EXPECT_EQ(hits.value(), hits0);
+
+  const auto warm = service::planRange(spec, 0, n);
+  EXPECT_EQ(warm, reference);
+  EXPECT_EQ(hits.value() - hits0, n);
+
+  // Cache hits are byte-identical at every job count too.
+  const auto warmParallel = service::planRange(spec, 0, n, nullptr, 3);
+  EXPECT_EQ(warmParallel, reference);
+}
+
+TEST(PlanCache, PartiallyWarmRangeRecomputesOnlyTheGaps) {
+  PlanCacheScope scope(256);
+  const service::BatchSpec spec = smallSpec();
+  const auto reference = service::planRange(
+      spec, 0, spec.instanceCount, nullptr, 1,
+      service::PlanCacheMode::kBypass);
+  // Warm a hole-y subset: [2, 5) cached, the rest cold.
+  (void)service::planRange(spec, 2, 5);
+  metrics::Counter& hits = metrics::counter(metrics::kServicePlanCacheHits);
+  const std::uint64_t hits0 = hits.value();
+  const auto mixed = service::planRange(spec, 0, spec.instanceCount);
+  EXPECT_EQ(mixed, reference);  // cached middle + recomputed edges
+  EXPECT_EQ(hits.value() - hits0, 3u);
+}
+
+TEST(PlanCache, ServerSharesResultsAcrossRequests) {
+  PlanCacheScope scope(256);
+  const std::string path = freshSocketPath("plancache");
+  service::ServerOptions options = serverOptions(2, 4);
+  options.socketPath = path;
+  RunningServer running(std::move(options));
+
+  const service::BatchSpec spec = smallSpec();
+  const auto reference = service::planRange(
+      spec, 0, spec.instanceCount, nullptr, 1,
+      service::PlanCacheMode::kBypass);
+  service::ClientOptions client;
+  client.socketPath = path;
+  std::ostringstream err;
+
+  // Cold: every instance planned by a worker subprocess, then stored by
+  // the broker parent.
+  const service::ClientResult first = service::planBatch(spec, client, err);
+  ASSERT_EQ(first.status, WorkResult::Status::kOk) << first.error;
+  EXPECT_EQ(first.programs, reference);
+
+  // Warm: the parent serves the whole batch without re-planning — results
+  // planned via worker A are visible to requests that would have gone to
+  // worker B, because the cache lives above the pool.
+  const service::ClientResult second = service::planBatch(spec, client, err);
+  ASSERT_EQ(second.status, WorkResult::Status::kOk) << second.error;
+  EXPECT_EQ(second.programs, reference);
+  EXPECT_EQ(second.cacheHits, spec.instanceCount);
+  unlink(path.c_str());
+}
+
+TEST(PlanCache, EvictionUnderPressureStaysCorrect) {
+  PlanCacheScope scope(4);  // far smaller than the batch
+  const service::BatchSpec spec = smallSpec();
+  const auto reference = service::planRange(
+      spec, 0, spec.instanceCount, nullptr, 1,
+      service::PlanCacheMode::kBypass);
+  metrics::Counter& evictions =
+      metrics::counter(metrics::kServicePlanCacheEvictions);
+  const std::uint64_t evictions0 = evictions.value();
+  const auto cold = service::planRange(spec, 0, spec.instanceCount);
+  EXPECT_EQ(cold, reference);
+  EXPECT_GT(evictions.value(), evictions0);
+  EXPECT_LE(service::planCacheSize(), 4u);
+  // A churned cache degrades to recomputation, never to wrong bytes.
+  const auto after = service::planRange(spec, 0, spec.instanceCount);
+  EXPECT_EQ(after, reference);
+}
+
+TEST(PlanCache, KeySeparatesEveryPlanningField) {
+  // Satellite audit: every BatchSpec field that can change the planned
+  // bytes must change the key.  A field missing here would alias two
+  // different computations onto one cache line.
+  const service::BatchSpec base = smallSpec();
+  std::vector<std::string> keys;
+  keys.push_back(service::planCacheKey(base, 0));
+  keys.push_back(service::planCacheKey(base, 1));  // index
+  auto variant = [&](auto&& tweak) {
+    service::BatchSpec spec = base;
+    tweak(spec);
+    keys.push_back(service::planCacheKey(spec, 0));
+  };
+  variant([](service::BatchSpec& s) { s.stateCount += 1; });
+  variant([](service::BatchSpec& s) { s.inputCount += 1; });
+  variant([](service::BatchSpec& s) { s.outputCount += 1; });
+  variant([](service::BatchSpec& s) { s.deltaCount += 1; });
+  variant([](service::BatchSpec& s) { s.newStateCount += 1; });
+  variant([](service::BatchSpec& s) { s.seed += 1; });
+  variant([](service::BatchSpec& s) { s.planner = "ea"; });
+  variant([](service::BatchSpec& s) { s.eaPopulation += 1; });
+  variant([](service::BatchSpec& s) { s.eaGenerations += 1; });
+  std::set<std::string> distinct(keys.begin(), keys.end());
+  EXPECT_EQ(distinct.size(), keys.size())
+      << "two planning-relevant variants share a cache key";
+
+  // instanceCount is deliberately NOT keyed: instance k of a 10-batch and
+  // of a 1000-batch are the same machine and the same plan — cross-batch
+  // sharing is the point.
+  service::BatchSpec bigger = base;
+  bigger.instanceCount = base.instanceCount * 100;
+  EXPECT_EQ(service::planCacheKey(bigger, 0),
+            service::planCacheKey(base, 0));
+}
+
+TEST(PlanCache, InstanceKeySeparatesEveryGenerationField) {
+  // Satellite audit for the *worker instance* cache: each field that feeds
+  // makeInstance must miss the cache when changed — a hit here would hand
+  // one spec another spec's machine.
+  service::clearInstanceCache();
+  const service::BatchSpec base = smallSpec();
+  (void)service::planRange(base, 0, 1);  // prime the cache with index 0
+  metrics::Counter& hits = metrics::counter(metrics::kServiceWorkerCacheHits);
+  metrics::Counter& misses =
+      metrics::counter(metrics::kServiceWorkerCacheMisses);
+  auto expectMiss = [&](const char* field, auto&& tweak) {
+    service::BatchSpec spec = base;
+    tweak(spec);
+    const std::uint64_t hits0 = hits.value();
+    const std::uint64_t misses0 = misses.value();
+    (void)service::planRange(spec, 0, 1);
+    EXPECT_EQ(hits.value(), hits0)
+        << field << " variant aliased onto the cached instance";
+    EXPECT_EQ(misses.value() - misses0, 1u) << field;
+  };
+  expectMiss("stateCount",
+             [](service::BatchSpec& s) { s.stateCount += 1; });
+  expectMiss("inputCount",
+             [](service::BatchSpec& s) { s.inputCount += 1; });
+  expectMiss("outputCount",
+             [](service::BatchSpec& s) { s.outputCount += 1; });
+  expectMiss("deltaCount",
+             [](service::BatchSpec& s) { s.deltaCount += 1; });
+  expectMiss("newStateCount",
+             [](service::BatchSpec& s) { s.newStateCount += 1; });
+  expectMiss("seed", [](service::BatchSpec& s) { s.seed += 1; });
+  service::clearInstanceCache();
+}
+
+TEST(PlanCache, EnvironmentConfiguration) {
+  // Tool mains apply RFSM_PLAN_CACHE; the library never reads it on its
+  // own.  Restore the pristine (unset, disabled) state on every path.
+  ASSERT_EQ(unsetenv("RFSM_PLAN_CACHE"), 0);
+  service::configurePlanCacheFromEnv();
+  EXPECT_FALSE(service::planCacheEnabled());  // unset: no-op
+
+  ASSERT_EQ(setenv("RFSM_PLAN_CACHE", "128", 1), 0);
+  service::configurePlanCacheFromEnv();
+  EXPECT_TRUE(service::planCacheEnabled());
+
+  ASSERT_EQ(setenv("RFSM_PLAN_CACHE", "0", 1), 0);
+  service::configurePlanCacheFromEnv();
+  EXPECT_FALSE(service::planCacheEnabled());  // explicit off
+
+  ASSERT_EQ(setenv("RFSM_PLAN_CACHE", "on", 1), 0);
+  service::configurePlanCacheFromEnv();
+  EXPECT_TRUE(service::planCacheEnabled());  // non-numeric: default size
+
+  ASSERT_EQ(unsetenv("RFSM_PLAN_CACHE"), 0);
+  service::configurePlanCache(0);
 }
 
 TEST(Socket, UnhealthyServerTriggersClientDegradation) {

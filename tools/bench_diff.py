@@ -3,6 +3,7 @@
 
 Usage: bench_diff.py BASELINE.json CURRENT.json [--threshold PCT]
                      [--wall-threshold PCT] [--counters-must-match]
+       bench_diff.py --self-check
 
 Compares the telemetry snapshots two runs of the same bench wrote with
 --json-out (bench/common.hpp, writeBenchJson):
@@ -22,8 +23,17 @@ Exit 0 = no gated regression, 1 = regression or counter mismatch,
 2 = unusable input.  Sub-millisecond baselines are ignored by the p99 gate
 (noise floor); the table still shows them.
 
-Dependency-free (json + sys only) so CI can run it on the bare runner
-image.
+Malformed sidecars — absent or zero baseline counters, missing histogram
+percentiles, non-numeric timer fields, sections of the wrong shape — are
+reported with a clear per-field message (and exit 2 where the file is
+unusable), never a traceback: CI log readers should see what is wrong with
+the data, not where the script crashed.
+
+--self-check runs the built-in fixture suite (no files needed) and exits
+0/1; CI runs it before trusting any gate this script emits.
+
+Dependency-free (json + sys + tempfile only) so CI can run it on the bare
+runner image.
 """
 
 import json
@@ -42,7 +52,30 @@ def load(path):
     if not isinstance(doc, dict) or "telemetry" not in doc:
         print(f"{path}: missing 'telemetry' section", file=sys.stderr)
         return None
+    if not isinstance(doc["telemetry"], dict):
+        print(f"{path}: 'telemetry' is not an object", file=sys.stderr)
+        return None
     return doc
+
+
+def num(value):
+    """Coerce to float; None when absent or non-numeric (bool excluded)."""
+    if isinstance(value, bool) or value is None:
+        return None
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def section(telemetry, name, origin, problems):
+    """telemetry[name] as a dict of dict-or-scalar entries; {} + a recorded
+    problem when the section has the wrong shape."""
+    value = telemetry.get(name, {})
+    if not isinstance(value, dict):
+        problems.append(f"{origin}: '{name}' section is not an object")
+        return {}
+    return value
 
 
 def pct(base, now):
@@ -51,38 +84,9 @@ def pct(base, now):
     return 100.0 * (now - base) / base
 
 
-def main(argv):
-    threshold = 25.0
-    wall_threshold = None
-    counters_must_match = False
-    rest = argv[1:]
-    args = []
-    k = 0
-    while k < len(rest):
-        arg = rest[k]
-        if arg == "--threshold":
-            k += 1
-            threshold = float(rest[k])
-        elif arg.startswith("--threshold="):
-            threshold = float(arg.split("=", 1)[1])
-        elif arg == "--wall-threshold":
-            k += 1
-            wall_threshold = float(rest[k])
-        elif arg.startswith("--wall-threshold="):
-            wall_threshold = float(arg.split("=", 1)[1])
-        elif arg == "--counters-must-match":
-            counters_must_match = True
-        else:
-            args.append(arg)
-        k += 1
-    if len(args) != 2:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
-
-    baseline = load(args[0])
-    current = load(args[1])
-    if baseline is None or current is None:
-        return 2
+def diff(baseline, current, base_path, cur_path, threshold, wall_threshold,
+         counters_must_match):
+    """Prints the comparison; returns the exit code."""
     if baseline.get("bench") != current.get("bench"):
         print(
             f"refusing to diff different benches: "
@@ -92,6 +96,7 @@ def main(argv):
         return 2
 
     failed = False
+    problems = []
     name = current.get("bench", "?")
     print(
         f"bench_diff: {name}  "
@@ -103,8 +108,8 @@ def main(argv):
     cur_t = current["telemetry"]
 
     # Counters: drift table, optionally gating.
-    base_counters = base_t.get("counters", {})
-    cur_counters = cur_t.get("counters", {})
+    base_counters = section(base_t, "counters", base_path, problems)
+    cur_counters = section(cur_t, "counters", cur_path, problems)
     drifted = sorted(
         k
         for k in set(base_counters) | set(cur_counters)
@@ -113,9 +118,11 @@ def main(argv):
     if drifted:
         print("counter drift:")
         for key in drifted:
+            base_v = base_counters.get(key)
+            note = "" if key in base_counters else "  (absent in baseline)"
             print(
-                f"  {key}: {base_counters.get(key, 0)} -> "
-                f"{cur_counters.get(key, 0)}"
+                f"  {key}: {0 if base_v is None else base_v} -> "
+                f"{cur_counters.get(key, 0)}{note}"
             )
         if counters_must_match:
             print("FAIL: counters differ (--counters-must-match)")
@@ -124,11 +131,29 @@ def main(argv):
         print("counters: identical")
 
     # Histograms: p99 gate.
-    base_hists = base_t.get("histograms", {})
-    cur_hists = cur_t.get("histograms", {})
-    for key in sorted(set(base_hists) & set(cur_hists)):
-        base_p99 = float(base_hists[key].get("p99_ms", 0.0))
-        cur_p99 = float(cur_hists[key].get("p99_ms", 0.0))
+    base_hists = section(base_t, "histograms", base_path, problems)
+    cur_hists = section(cur_t, "histograms", cur_path, problems)
+    for key in sorted(set(base_hists) | set(cur_hists)):
+        if key not in base_hists:
+            print(f"  (new) {key}: no baseline, not gated")
+            continue
+        if key not in cur_hists:
+            print(f"  (gone) {key}: present only in baseline")
+            continue
+        base_entry = base_hists[key]
+        cur_entry = cur_hists[key]
+        if not isinstance(base_entry, dict) or not isinstance(cur_entry, dict):
+            problems.append(f"histogram '{key}': entry is not an object")
+            continue
+        base_p99 = num(base_entry.get("p99_ms"))
+        cur_p99 = num(cur_entry.get("p99_ms"))
+        if base_p99 is None or cur_p99 is None:
+            which = base_path if base_p99 is None else cur_path
+            problems.append(
+                f"histogram '{key}': p99_ms missing or non-numeric in "
+                f"{which}; not gated"
+            )
+            continue
         delta = pct(base_p99, cur_p99)
         line = f"  {key}: p99 {base_p99:.3f} ms -> {cur_p99:.3f} ms ({delta:+.1f}%)"
         if base_p99 >= NOISE_FLOOR_MS and delta > threshold:
@@ -138,36 +163,255 @@ def main(argv):
             print(f"ok {line}")
 
     # Timers: advisory mean comparison.
-    base_timers = base_t.get("timers", {})
-    cur_timers = cur_t.get("timers", {})
+    base_timers = section(base_t, "timers", base_path, problems)
+    cur_timers = section(cur_t, "timers", cur_path, problems)
     for key in sorted(set(base_timers) & set(cur_timers)):
         b = base_timers[key]
         c = cur_timers[key]
-        if not b.get("count") or not c.get("count"):
+        if not isinstance(b, dict) or not isinstance(c, dict):
+            problems.append(f"timer '{key}': entry is not an object")
             continue
-        base_mean = float(b["total_ms"]) / float(b["count"])
-        cur_mean = float(c["total_ms"]) / float(c["count"])
+        base_count = num(b.get("count"))
+        cur_count = num(c.get("count"))
+        base_total = num(b.get("total_ms"))
+        cur_total = num(c.get("total_ms"))
+        if None in (base_count, cur_count, base_total, cur_total):
+            problems.append(
+                f"timer '{key}': count/total_ms missing or non-numeric; "
+                f"skipped"
+            )
+            continue
+        if not base_count or not cur_count:
+            continue
+        base_mean = base_total / base_count
+        cur_mean = cur_total / cur_count
         print(
             f"  (advisory) {key}: mean {base_mean:.3f} ms -> "
             f"{cur_mean:.3f} ms ({pct(base_mean, cur_mean):+.1f}%)"
         )
 
     # Wall time: optional coarse gate.
-    base_wall = float(baseline.get("wall_ms", 0.0))
-    cur_wall = float(current.get("wall_ms", 0.0))
-    delta = pct(base_wall, cur_wall)
-    line = f"  wall: {base_wall:.1f} ms -> {cur_wall:.1f} ms ({delta:+.1f}%)"
-    if wall_threshold is not None and base_wall >= NOISE_FLOOR_MS and delta > wall_threshold:
-        print(f"REGRESSION{line}")
-        failed = True
+    base_wall = num(baseline.get("wall_ms"))
+    cur_wall = num(current.get("wall_ms"))
+    if base_wall is None or cur_wall is None:
+        which = base_path if base_wall is None else cur_path
+        problems.append(f"wall_ms missing or non-numeric in {which}")
+        if wall_threshold is not None:
+            print("wall: not gated (see problems below)")
     else:
-        print(f"ok {line}")
+        delta = pct(base_wall, cur_wall)
+        line = f"  wall: {base_wall:.1f} ms -> {cur_wall:.1f} ms ({delta:+.1f}%)"
+        if (
+            wall_threshold is not None
+            and base_wall >= NOISE_FLOOR_MS
+            and delta > wall_threshold
+        ):
+            print(f"REGRESSION{line}")
+            failed = True
+        else:
+            print(f"ok {line}")
+
+    for problem in problems:
+        print(f"warning: {problem}", file=sys.stderr)
 
     if failed:
         print("bench_diff: FAIL", file=sys.stderr)
         return 1
     print("bench_diff: pass")
     return 0
+
+
+def self_check():
+    """Fixture suite: every malformed-input path must produce a clean exit
+    code and message, never a traceback.  Returns 0 on success."""
+    import contextlib
+    import io
+    import os
+    import tempfile
+
+    def sidecar(telemetry, wall_ms=10.0, bench="fixture", **extra):
+        doc = {"bench": bench, "git_rev": "t", "telemetry": telemetry}
+        if wall_ms is not None:
+            doc["wall_ms"] = wall_ms
+        doc.update(extra)
+        return doc
+
+    failures = []
+
+    def run(label, base_doc, cur_doc, want_exit, flags=()):
+        with tempfile.TemporaryDirectory() as tmp:
+            base_path = os.path.join(tmp, "base.json")
+            cur_path = os.path.join(tmp, "cur.json")
+            for path, doc in ((base_path, base_doc), (cur_path, cur_doc)):
+                with open(path, "w", encoding="utf-8") as handle:
+                    if isinstance(doc, str):
+                        handle.write(doc)
+                    else:
+                        json.dump(doc, handle)
+            out, err = io.StringIO(), io.StringIO()
+            try:
+                with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+                    got = main(["bench_diff.py", base_path, cur_path, *flags])
+            except BaseException as error:  # a traceback IS the failure
+                failures.append(f"{label}: raised {type(error).__name__}: {error}")
+                return
+            if got != want_exit:
+                failures.append(
+                    f"{label}: exit {got}, wanted {want_exit}\n"
+                    f"--- stdout ---\n{out.getvalue()}"
+                    f"--- stderr ---\n{err.getvalue()}"
+                )
+
+    clean = {
+        "counters": {"service.plan_cache_hits": 5},
+        "histograms": {"rpc": {"p99_ms": 2.0}},
+        "timers": {"work": {"count": 2, "total_ms": 4.0}},
+    }
+    run("identical sidecars pass", sidecar(clean), sidecar(clean), 0)
+    run(
+        "p99 regression fails",
+        sidecar({"histograms": {"rpc": {"p99_ms": 2.0}}}),
+        sidecar({"histograms": {"rpc": {"p99_ms": 9.0}}}),
+        1,
+    )
+    run(
+        "sub-noise-floor baseline is not gated",
+        sidecar({"histograms": {"rpc": {"p99_ms": 0.01}}}),
+        sidecar({"histograms": {"rpc": {"p99_ms": 0.9}}}),
+        0,
+    )
+    run(
+        "missing baseline percentile warns, does not crash or gate",
+        sidecar({"histograms": {"rpc": {"count": 3}}}),
+        sidecar({"histograms": {"rpc": {"p99_ms": 99.0}}}),
+        0,
+    )
+    run(
+        "non-numeric percentile warns, does not crash",
+        sidecar({"histograms": {"rpc": {"p99_ms": "fast"}}}),
+        sidecar({"histograms": {"rpc": {"p99_ms": 2.0}}}),
+        0,
+    )
+    run(
+        "new-in-current histogram is advisory only",
+        sidecar({"histograms": {}}),
+        sidecar({"histograms": {"fresh": {"p99_ms": 50.0}}}),
+        0,
+    )
+    run(
+        "zero and absent baseline counters diff cleanly",
+        sidecar({"counters": {"hits": 0}}),
+        sidecar({"counters": {"hits": 7, "born_today": 3}}),
+        0,
+    )
+    run(
+        "counter drift fails under --counters-must-match",
+        sidecar({"counters": {"hits": 1}}),
+        sidecar({"counters": {"hits": 2}}),
+        1,
+        flags=("--counters-must-match",),
+    )
+    run(
+        "malformed timer entries are skipped with a warning",
+        sidecar({"timers": {"work": {"count": 2}}}),
+        sidecar({"timers": {"work": {"count": 2, "total_ms": 4.0}}}),
+        0,
+    )
+    run(
+        "zero-count timers are skipped",
+        sidecar({"timers": {"work": {"count": 0, "total_ms": 0.0}}}),
+        sidecar({"timers": {"work": {"count": 0, "total_ms": 0.0}}}),
+        0,
+    )
+    run(
+        "missing wall_ms warns instead of crashing the wall gate",
+        sidecar({}, wall_ms=None),
+        sidecar({}),
+        0,
+        flags=("--wall-threshold", "10"),
+    )
+    run(
+        "wall regression fails when gated",
+        sidecar({}, wall_ms=10.0),
+        sidecar({}, wall_ms=100.0),
+        1,
+        flags=("--wall-threshold", "10"),
+    )
+    run(
+        "telemetry section of the wrong shape is unusable",
+        sidecar("not an object"),
+        sidecar(clean),
+        2,
+    )
+    run(
+        "mismatched bench names are unusable",
+        sidecar(clean, bench="a"),
+        sidecar(clean, bench="b"),
+        2,
+    )
+    run("unparsable JSON is unusable", "{nope", sidecar(clean), 2)
+    run(
+        "malformed sections warn but the rest still diffs",
+        sidecar({"counters": "oops", "histograms": {"rpc": {"p99_ms": 2.0}}}),
+        sidecar({"counters": {"h": 1}, "histograms": {"rpc": {"p99_ms": 2.0}}}),
+        0,
+    )
+
+    if failures:
+        for failure in failures:
+            print(f"self-check FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("bench_diff: self-check passed")
+    return 0
+
+
+def main(argv):
+    threshold = 25.0
+    wall_threshold = None
+    counters_must_match = False
+    rest = argv[1:]
+    args = []
+    k = 0
+    while k < len(rest):
+        arg = rest[k]
+        try:
+            if arg == "--self-check":
+                return self_check()
+            elif arg == "--threshold":
+                k += 1
+                threshold = float(rest[k])
+            elif arg.startswith("--threshold="):
+                threshold = float(arg.split("=", 1)[1])
+            elif arg == "--wall-threshold":
+                k += 1
+                wall_threshold = float(rest[k])
+            elif arg.startswith("--wall-threshold="):
+                wall_threshold = float(arg.split("=", 1)[1])
+            elif arg == "--counters-must-match":
+                counters_must_match = True
+            else:
+                args.append(arg)
+        except (IndexError, ValueError):
+            print(f"malformed flag: {arg}", file=sys.stderr)
+            return 2
+        k += 1
+    if len(args) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    baseline = load(args[0])
+    current = load(args[1])
+    if baseline is None or current is None:
+        return 2
+    return diff(
+        baseline,
+        current,
+        args[0],
+        args[1],
+        threshold,
+        wall_threshold,
+        counters_must_match,
+    )
 
 
 if __name__ == "__main__":
