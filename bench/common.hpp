@@ -156,10 +156,22 @@ inline std::string stripJsonOutFlag(int& argc, char** argv) {
   return path;
 }
 
+/// Extra top-level JSON section a bench can splice into its sidecar — a
+/// complete `"key": value` fragment, no trailing comma.  A16 publishes its
+/// arrival-rate curves ("curves": {...}) this way so tools/bench_diff.py
+/// can gate on goodput/latency trajectories, not just telemetry counters.
+/// Cleared between writeBenchJson calls is unnecessary: one sidecar per
+/// process.
+inline std::string& sidecarExtra() {
+  static std::string extra;
+  return extra;
+}
+
 /// Writes the standardized BENCH_<name>.json sidecar: bench identity, git
-/// revision, configuration, artifact wall time, and the full telemetry
-/// snapshot (counters, timers, latency histograms) of the artifact phase.
-/// One file per bench per commit yields a cross-commit perf trajectory.
+/// revision, configuration, artifact wall time, any sidecarExtra section,
+/// and the full telemetry snapshot (counters, timers, latency histograms)
+/// of the artifact phase.  One file per bench per commit yields a
+/// cross-commit perf trajectory.
 inline bool writeBenchJson(const std::string& path, const char* argv0,
                            double wallMs) {
   std::ostringstream os;
@@ -168,6 +180,7 @@ inline bool writeBenchJson(const std::string& path, const char* argv0,
   os << "  \"git_rev\": \"" << gitRevision() << "\",\n";
   os << "  \"config\": {\"jobs\": " << artifactJobs() << "},\n";
   os << "  \"wall_ms\": " << wallMs << ",\n";
+  if (!sidecarExtra().empty()) os << "  " << sidecarExtra() << ",\n";
   std::istringstream telemetry(metrics::toJson(lastSnapshot()));
   os << "  \"telemetry\": ";
   std::string line;

@@ -59,7 +59,94 @@ bool fromHex(const std::string& text, std::uint32_t& value) {
   return true;
 }
 
+/// FNV-1a over the payload bytes; order-sensitive input to the chain.
+std::uint64_t fnv64(const std::string& text) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint32_t fold32(std::uint64_t x) {
+  return static_cast<std::uint32_t>(x ^ (x >> 32));
+}
+
 }  // namespace
+
+RecordLog::RecordLog(std::string header)
+    : header_(std::move(header)), chain_(mix64(fnv64(header_))) {}
+
+std::string RecordLog::appendLine(const std::string& payload) {
+  RFSM_CHECK(!payload.empty(), "record log payloads must be non-empty");
+  RFSM_CHECK(payload.find('\n') == std::string::npos,
+             "record log payloads must be single-line");
+  chain_ = mix64(chain_ ^ fnv64(payload));
+  return payload + " " + toHex(fold32(chain_)) + "\n";
+}
+
+RecordLog::Parsed RecordLog::parse(const std::string& header,
+                                   const std::string& text) {
+  std::istringstream in(text);
+  std::string rawLine;
+  int lineNo = 0;
+  bool sawHeader = false;
+  // (line number, line) pairs gathered first, so a torn final record can be
+  // told apart from mid-log damage.
+  std::vector<std::pair<int, std::string>> lines;
+  while (std::getline(in, rawLine)) {
+    ++lineNo;
+    const std::string line = trim(rawLine);
+    if (line.empty()) continue;
+    if (!sawHeader) {
+      if (line != header)
+        throw JournalError("journal line " + std::to_string(lineNo) +
+                           ": expected header '" + header + "'");
+      sawHeader = true;
+      continue;
+    }
+    lines.emplace_back(lineNo, line);
+  }
+  if (!sawHeader)
+    throw JournalError("journal line 1: missing '" + header + "' header");
+
+  Parsed parsed;
+  RecordLog chain(header);
+  for (std::size_t k = 0; k < lines.size(); ++k) {
+    const auto& [recordLine, line] = lines[k];
+    const bool last = k + 1 == lines.size();
+    std::string damage;
+    const std::size_t space = line.find_last_of(" \t");
+    std::uint32_t checksum = 0;
+    std::string payload;
+    if (space == std::string::npos)
+      damage = "expected '<payload> <checksum>'";
+    else if (!fromHex(line.substr(space + 1), checksum))
+      damage = "bad checksum field '" + line.substr(space + 1) + "'";
+    else {
+      payload = trim(line.substr(0, space));
+      const std::uint64_t next = mix64(chain.chain_ ^ fnv64(payload));
+      if (payload.empty())
+        damage = "empty record payload";
+      else if (fold32(next) != checksum)
+        damage = "checksum mismatch (damaged or reordered record)";
+      else
+        chain.chain_ = next;
+    }
+    if (damage.empty()) {
+      parsed.records.push_back(std::move(payload));
+      continue;
+    }
+    if (last) {
+      parsed.truncated = true;
+      break;
+    }
+    throw JournalError("journal line " + std::to_string(recordLine) + ": " +
+                       damage);
+  }
+  return parsed;
+}
 
 void ProgramJournal::begin(const ReconfigurationProgram& program) {
   program_ = program;

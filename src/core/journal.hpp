@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/migration.hpp"
 #include "core/program.hpp"
@@ -24,6 +25,44 @@ namespace rfsm {
 class JournalError : public Error {
  public:
   explicit JournalError(const std::string& what) : Error(what) {}
+};
+
+/// The ProgramJournal framing, factored out for reuse: a header line, then
+/// one single-line record per entry, each carrying a checksum chained over
+/// *every* prior record (editing, dropping, or reordering any line breaks
+/// all later checksums).  Like ProgramJournal, a torn final record — the
+/// write a power cut interrupted — is dropped and reported via
+/// Parsed::truncated; damage anywhere earlier throws JournalError naming
+/// the line.  The session write-ahead journals (service/session.hpp) store
+/// their mutation records in this frame.
+class RecordLog {
+ public:
+  explicit RecordLog(std::string header);
+
+  const std::string& header() const { return header_; }
+
+  /// The header line ("<header>\n"); the first line of a fresh log file.
+  std::string headerLine() const { return header_ + "\n"; }
+
+  /// Chains `payload` (single-line, non-empty, no '\n') and renders its
+  /// record line: "<payload> <checksum8>\n".  Append the returned bytes to
+  /// the log file verbatim.
+  std::string appendLine(const std::string& payload);
+
+  struct Parsed {
+    std::vector<std::string> records;  ///< payloads, in order
+    bool truncated = false;            ///< a torn trailing record was dropped
+  };
+
+  /// Parses a serialized log with the given header.  To append to a parsed
+  /// log, construct a RecordLog(header) and replay appendLine over
+  /// Parsed::records — the chain state is a pure function of the record
+  /// sequence.
+  static Parsed parse(const std::string& header, const std::string& text);
+
+ private:
+  std::string header_;
+  std::uint64_t chain_;
 };
 
 /// In-memory journal of one program execution, serializable to a text file

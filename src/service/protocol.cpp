@@ -407,6 +407,245 @@ void decodeWarmupResponse(const std::string& payload) {
   reader.expectEnd();
 }
 
+// --- Session streaming ----------------------------------------------------
+
+const char* toString(SessionStatus status) {
+  switch (status) {
+    case SessionStatus::kOk: return "OK";
+    case SessionStatus::kAccepted: return "ACCEPTED";
+    case SessionStatus::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case SessionStatus::kDraining: return "DRAINING";
+    case SessionStatus::kNotFound: return "NOT_FOUND";
+    case SessionStatus::kBadSequence: return "BAD_SEQUENCE";
+    case SessionStatus::kFailed: return "FAILED";
+  }
+  return "FAILED";
+}
+
+namespace {
+
+SessionStatus sessionStatusFromWire(std::uint32_t value) {
+  if (value > static_cast<std::uint32_t>(SessionStatus::kFailed))
+    throw ipc::IpcError("unknown session status code " +
+                        std::to_string(value));
+  return static_cast<SessionStatus>(value);
+}
+
+}  // namespace
+
+std::string encodeSessionOpenRequest(const SessionOpenRequest& request) {
+  ipc::MessageWriter writer;
+  writer.u32(static_cast<std::uint32_t>(MessageType::kSessionOpenRequest));
+  writer.str(request.tenant);
+  writer.str(request.name);
+  writer.u32(request.priority);
+  writer.u32(request.weight);
+  writer.str(request.planner);
+  writer.u32(static_cast<std::uint32_t>(request.stateCount));
+  writer.u32(static_cast<std::uint32_t>(request.inputCount));
+  writer.u32(static_cast<std::uint32_t>(request.outputCount));
+  writer.u64(request.seed);
+  writer.u32(request.resume ? 1 : 0);
+  return writer.take();
+}
+
+SessionOpenRequest decodeSessionOpenRequest(const std::string& payload) {
+  ipc::MessageReader reader(payload);
+  expectType(reader, MessageType::kSessionOpenRequest);
+  SessionOpenRequest request;
+  request.tenant = reader.str();
+  request.name = reader.str();
+  request.priority = reader.u32();
+  request.weight = reader.u32();
+  request.planner = reader.str();
+  request.stateCount = static_cast<int>(reader.u32());
+  request.inputCount = static_cast<int>(reader.u32());
+  request.outputCount = static_cast<int>(reader.u32());
+  request.seed = reader.u64();
+  request.resume = reader.u32() != 0;
+  reader.expectEnd();
+  return request;
+}
+
+std::string encodeSessionOpenResponse(const SessionOpenResponse& response) {
+  ipc::MessageWriter writer;
+  writer.u32(static_cast<std::uint32_t>(MessageType::kSessionOpenResponse));
+  writer.u32(static_cast<std::uint32_t>(response.status));
+  writer.str(response.error);
+  writer.u64(response.lastApplied);
+  writer.i64(response.retryAfterMs);
+  return writer.take();
+}
+
+SessionOpenResponse decodeSessionOpenResponse(const std::string& payload) {
+  ipc::MessageReader reader(payload);
+  expectType(reader, MessageType::kSessionOpenResponse);
+  SessionOpenResponse response;
+  response.status = sessionStatusFromWire(reader.u32());
+  response.error = reader.str();
+  response.lastApplied = reader.u64();
+  response.retryAfterMs = reader.i64();
+  reader.expectEnd();
+  return response;
+}
+
+std::string encodeSessionMutateRequest(const SessionMutateRequest& request) {
+  ipc::MessageWriter writer;
+  writer.u32(static_cast<std::uint32_t>(MessageType::kSessionMutateRequest));
+  writer.str(request.tenant);
+  writer.str(request.name);
+  writer.u64(request.seq);
+  writer.u32(request.deltaCount);
+  writer.u32(request.newStateCount);
+  writer.u64(request.mutationSeed);
+  writer.u32(request.defer ? 1 : 0);
+  writer.u64(request.ackSeq);
+  return writer.take();
+}
+
+SessionMutateRequest decodeSessionMutateRequest(const std::string& payload) {
+  ipc::MessageReader reader(payload);
+  expectType(reader, MessageType::kSessionMutateRequest);
+  SessionMutateRequest request;
+  request.tenant = reader.str();
+  request.name = reader.str();
+  request.seq = reader.u64();
+  request.deltaCount = reader.u32();
+  request.newStateCount = reader.u32();
+  request.mutationSeed = reader.u64();
+  request.defer = reader.u32() != 0;
+  request.ackSeq = reader.u64();
+  reader.expectEnd();
+  return request;
+}
+
+std::string encodeSessionMutateResponse(
+    const SessionMutateResponse& response) {
+  ipc::MessageWriter writer;
+  writer.u32(static_cast<std::uint32_t>(MessageType::kSessionMutateResponse));
+  writer.u32(static_cast<std::uint32_t>(response.status));
+  writer.str(response.error);
+  writer.u64(response.seq);
+  writer.str(response.program);
+  writer.u64(response.compactedFrom);
+  writer.u32(response.deltasPlanned);
+  writer.u32(response.deltasRaw);
+  writer.i64(response.retryAfterMs);
+  return writer.take();
+}
+
+SessionMutateResponse decodeSessionMutateResponse(
+    const std::string& payload) {
+  ipc::MessageReader reader(payload);
+  expectType(reader, MessageType::kSessionMutateResponse);
+  SessionMutateResponse response;
+  response.status = sessionStatusFromWire(reader.u32());
+  response.error = reader.str();
+  response.seq = reader.u64();
+  response.program = reader.str();
+  response.compactedFrom = reader.u64();
+  response.deltasPlanned = reader.u32();
+  response.deltasRaw = reader.u32();
+  response.retryAfterMs = reader.i64();
+  reader.expectEnd();
+  return response;
+}
+
+std::string encodeSessionReplayRequest(const SessionReplayRequest& request) {
+  ipc::MessageWriter writer;
+  writer.u32(static_cast<std::uint32_t>(MessageType::kSessionReplayRequest));
+  writer.str(request.tenant);
+  writer.str(request.name);
+  writer.u64(request.fromSeq);
+  writer.u64(request.toSeq);
+  return writer.take();
+}
+
+SessionReplayRequest decodeSessionReplayRequest(const std::string& payload) {
+  ipc::MessageReader reader(payload);
+  expectType(reader, MessageType::kSessionReplayRequest);
+  SessionReplayRequest request;
+  request.tenant = reader.str();
+  request.name = reader.str();
+  request.fromSeq = reader.u64();
+  request.toSeq = reader.u64();
+  reader.expectEnd();
+  return request;
+}
+
+std::string encodeSessionReplayResponse(
+    const SessionReplayResponse& response) {
+  ipc::MessageWriter writer;
+  writer.u32(static_cast<std::uint32_t>(MessageType::kSessionReplayResponse));
+  writer.u32(static_cast<std::uint32_t>(response.status));
+  writer.str(response.error);
+  writer.u32(static_cast<std::uint32_t>(response.entries.size()));
+  for (const auto& entry : response.entries) {
+    writer.u64(entry.seq);
+    writer.str(entry.program);
+  }
+  return writer.take();
+}
+
+SessionReplayResponse decodeSessionReplayResponse(
+    const std::string& payload) {
+  ipc::MessageReader reader(payload);
+  expectType(reader, MessageType::kSessionReplayResponse);
+  SessionReplayResponse response;
+  response.status = sessionStatusFromWire(reader.u32());
+  response.error = reader.str();
+  const std::uint32_t count = reader.u32();
+  response.entries.reserve(count);
+  for (std::uint32_t k = 0; k < count; ++k) {
+    SessionReplayResponse::Entry entry;
+    entry.seq = reader.u64();
+    entry.program = reader.str();
+    response.entries.push_back(std::move(entry));
+  }
+  reader.expectEnd();
+  return response;
+}
+
+std::string encodeSessionCloseRequest(const SessionCloseRequest& request) {
+  ipc::MessageWriter writer;
+  writer.u32(static_cast<std::uint32_t>(MessageType::kSessionCloseRequest));
+  writer.str(request.tenant);
+  writer.str(request.name);
+  return writer.take();
+}
+
+SessionCloseRequest decodeSessionCloseRequest(const std::string& payload) {
+  ipc::MessageReader reader(payload);
+  expectType(reader, MessageType::kSessionCloseRequest);
+  SessionCloseRequest request;
+  request.tenant = reader.str();
+  request.name = reader.str();
+  reader.expectEnd();
+  return request;
+}
+
+std::string encodeSessionCloseResponse(const SessionCloseResponse& response) {
+  ipc::MessageWriter writer;
+  writer.u32(static_cast<std::uint32_t>(MessageType::kSessionCloseResponse));
+  writer.u32(static_cast<std::uint32_t>(response.status));
+  writer.str(response.error);
+  writer.u64(response.mutationsApplied);
+  writer.u64(response.plans);
+  return writer.take();
+}
+
+SessionCloseResponse decodeSessionCloseResponse(const std::string& payload) {
+  ipc::MessageReader reader(payload);
+  expectType(reader, MessageType::kSessionCloseResponse);
+  SessionCloseResponse response;
+  response.status = sessionStatusFromWire(reader.u32());
+  response.error = reader.str();
+  response.mutationsApplied = reader.u64();
+  response.plans = reader.u64();
+  reader.expectEnd();
+  return response;
+}
+
 MessageType peekType(const std::string& payload) {
   ipc::MessageReader reader(payload);
   const std::uint32_t tag = reader.u32();
@@ -419,6 +658,14 @@ MessageType peekType(const std::string& payload) {
     case 6: return MessageType::kShardResponse;
     case 7: return MessageType::kWarmupRequest;
     case 8: return MessageType::kWarmupResponse;
+    case 9: return MessageType::kSessionOpenRequest;
+    case 10: return MessageType::kSessionOpenResponse;
+    case 11: return MessageType::kSessionMutateRequest;
+    case 12: return MessageType::kSessionMutateResponse;
+    case 13: return MessageType::kSessionReplayRequest;
+    case 14: return MessageType::kSessionReplayResponse;
+    case 15: return MessageType::kSessionCloseRequest;
+    case 16: return MessageType::kSessionCloseResponse;
   }
   throw ipc::IpcError("unknown message type " + std::to_string(tag));
 }

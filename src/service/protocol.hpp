@@ -35,6 +35,16 @@ enum class MessageType : std::uint32_t {
   kShardResponse = 6,  ///< worker -> server
   kWarmupRequest = 7,  ///< server -> worker: no-op warm-up (prefork pools)
   kWarmupResponse = 8, ///< worker -> server
+  // Session streaming (service/session.hpp): a client opens a long-lived
+  // session and streams mutate frames over one connection.
+  kSessionOpenRequest = 9,
+  kSessionOpenResponse = 10,
+  kSessionMutateRequest = 11,
+  kSessionMutateResponse = 12,
+  kSessionReplayRequest = 13,
+  kSessionReplayResponse = 14,
+  kSessionCloseRequest = 15,
+  kSessionCloseResponse = 16,
 };
 
 /// A batch of seeded random migration instances (the Table 2 axis): for
@@ -201,6 +211,144 @@ HealthResponse decodeHealthResponse(const std::string& payload);
 std::string encodeWarmupRequest();
 std::string encodeWarmupResponse();
 void decodeWarmupResponse(const std::string& payload);  ///< throws on junk
+
+// --- Session streaming ----------------------------------------------------
+//
+// Tenants open long-lived sessions holding resident machines and stream
+// mutation requests against them.  Like batch planning, everything is
+// spec-driven: a mutate frame carries (deltaCount, newStateCount,
+// mutationSeed), not machine bytes, so the whole session transcript is a
+// pure function of the open config and the request sequence — which is
+// what lets a SIGKILL'd daemon replay its journal and resume byte-identical
+// (service/session.hpp).
+
+/// Typed session verdicts (the wire's "why", distinct from the transport
+/// WorkResult::Status): RESOURCE_EXHAUSTED is the admission-control signal
+/// clients back off on (retryAfterMs carries the hint), DRAINING means the
+/// daemon is shutting down gracefully.
+enum class SessionStatus : std::uint32_t {
+  kOk = 0,
+  kAccepted = 1,  ///< deferred mutation journaled; no program planned yet
+  kResourceExhausted = 2,
+  kDraining = 3,
+  kNotFound = 4,
+  kBadSequence = 5,
+  kFailed = 6,
+};
+
+const char* toString(SessionStatus status);
+
+struct SessionOpenRequest {
+  std::string tenant;
+  std::string name;
+  /// Priority class: 0 = interactive, 1 = normal, 2 = batch (strict order).
+  std::uint32_t priority = 1;
+  /// Weighted-fair share within the priority class.
+  std::uint32_t weight = 1;
+  std::string planner = "jsr";  ///< jsr | greedy | ea
+  int stateCount = 8;
+  int inputCount = 2;
+  int outputCount = 2;
+  std::uint64_t seed = 1;
+  /// Attach to an existing (possibly journal-recovered) session instead of
+  /// failing on a name collision; lastApplied in the response tells the
+  /// client where to resume.
+  bool resume = true;
+};
+
+struct SessionOpenResponse {
+  SessionStatus status = SessionStatus::kFailed;
+  std::string error;
+  /// Highest mutation sequence number the session has accepted (0 for a
+  /// fresh session) — the client streams from lastApplied + 1.
+  std::uint64_t lastApplied = 0;
+  std::int64_t retryAfterMs = 0;
+};
+
+struct SessionMutateRequest {
+  std::string tenant;
+  std::string name;
+  /// Client-assigned sequence number, contiguous from 1.  A duplicate
+  /// (seq <= the session's high-water mark, e.g. a retry after a lost
+  /// reply) is answered from the transcript, not re-applied.
+  std::uint64_t seq = 0;
+  std::uint32_t deltaCount = 4;
+  std::uint32_t newStateCount = 0;
+  /// Seeds the target-machine mutation (gen/mutator.hpp) — part of the
+  /// deterministic spec, so replay regenerates identical targets.
+  std::uint64_t mutationSeed = 0;
+  /// Journal this mutation but defer planning: consecutive deferred
+  /// mutations are compacted into one delta set when the next non-deferred
+  /// frame flushes the batch.
+  bool defer = false;
+  /// Transcript entries with seq <= ackSeq may be garbage-collected (the
+  /// client has durably consumed them); 0 = keep everything.
+  std::uint64_t ackSeq = 0;
+};
+
+struct SessionMutateResponse {
+  SessionStatus status = SessionStatus::kFailed;
+  std::string error;
+  std::uint64_t seq = 0;
+  /// The planned reconfiguration program (rfsm-program text) migrating the
+  /// resident machine across the compacted delta set; empty for kAccepted.
+  std::string program;
+  /// Mutations folded into this plan (>= 1: the deferred run plus this).
+  std::uint64_t compactedFrom = 0;
+  /// Net delta transitions planned vs. raw deltas requested across the
+  /// compacted run — the difference is what compaction saved.
+  std::uint32_t deltasPlanned = 0;
+  std::uint32_t deltasRaw = 0;
+  std::int64_t retryAfterMs = 0;
+};
+
+struct SessionReplayRequest {
+  std::string tenant;
+  std::string name;
+  /// Inclusive seq range; planned entries in range are returned (deferred
+  /// seqs have no transcript entry).
+  std::uint64_t fromSeq = 1;
+  std::uint64_t toSeq = 0;
+};
+
+struct SessionReplayResponse {
+  SessionStatus status = SessionStatus::kFailed;
+  std::string error;
+  struct Entry {
+    std::uint64_t seq = 0;
+    std::string program;
+  };
+  std::vector<Entry> entries;
+};
+
+struct SessionCloseRequest {
+  std::string tenant;
+  std::string name;
+};
+
+struct SessionCloseResponse {
+  SessionStatus status = SessionStatus::kFailed;
+  std::string error;
+  std::uint64_t mutationsApplied = 0;
+  std::uint64_t plans = 0;
+};
+
+std::string encodeSessionOpenRequest(const SessionOpenRequest& request);
+SessionOpenRequest decodeSessionOpenRequest(const std::string& payload);
+std::string encodeSessionOpenResponse(const SessionOpenResponse& response);
+SessionOpenResponse decodeSessionOpenResponse(const std::string& payload);
+std::string encodeSessionMutateRequest(const SessionMutateRequest& request);
+SessionMutateRequest decodeSessionMutateRequest(const std::string& payload);
+std::string encodeSessionMutateResponse(const SessionMutateResponse& response);
+SessionMutateResponse decodeSessionMutateResponse(const std::string& payload);
+std::string encodeSessionReplayRequest(const SessionReplayRequest& request);
+SessionReplayRequest decodeSessionReplayRequest(const std::string& payload);
+std::string encodeSessionReplayResponse(const SessionReplayResponse& response);
+SessionReplayResponse decodeSessionReplayResponse(const std::string& payload);
+std::string encodeSessionCloseRequest(const SessionCloseRequest& request);
+SessionCloseRequest decodeSessionCloseRequest(const std::string& payload);
+std::string encodeSessionCloseResponse(const SessionCloseResponse& response);
+SessionCloseResponse decodeSessionCloseResponse(const std::string& payload);
 
 /// The message type of a payload (its first u32); throws IpcError on an
 /// unknown tag or an empty frame.

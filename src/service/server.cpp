@@ -6,7 +6,9 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "service/plan_cache.hpp"
 #include "util/log.hpp"
@@ -46,6 +48,7 @@ SupervisorOptions poolOptions(ServerOptions& options) {
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
       supervisor_(poolOptions(options_)),
+      sessions_(std::make_unique<SessionService>(options_.sessions)),
       listen_(options_.socketPath.empty()
                   ? ipc::Fd()
                   : ipc::listenEndpoint(ipc::parseEndpoint(options_.socketPath))) {
@@ -279,42 +282,112 @@ HealthResponse Server::healthSnapshot() const {
   return response;
 }
 
-void Server::handleConnection(int fd) {
-  // One request per connection; the read is bounded so a client that
-  // connects and goes silent costs one timeout, not a thread.
-  CancelToken readToken(std::chrono::milliseconds(30000));
-  std::string payload;
-  const ipc::ReadStatus status = ipc::readFrame(fd, payload, &readToken);
-  if (status != ipc::ReadStatus::kOk) return;
-
-  std::string reply;
+std::string Server::dispatch(const std::string& payload) {
   switch (peekType(payload)) {
     case MessageType::kHealthRequest:
-      reply = encodeHealthResponse(healthSnapshot());
-      break;
+      return encodeHealthResponse(healthSnapshot());
     case MessageType::kPlanRequest:
-      reply = encodePlanResponse(handlePlan(decodePlanRequest(payload)));
-      break;
+      return encodePlanResponse(handlePlan(decodePlanRequest(payload)));
+    case MessageType::kSessionOpenRequest:
+      return encodeSessionOpenResponse(
+          sessions_->open(decodeSessionOpenRequest(payload)));
+    case MessageType::kSessionMutateRequest:
+      return encodeSessionMutateResponse(
+          sessions_->mutate(decodeSessionMutateRequest(payload)));
+    case MessageType::kSessionReplayRequest:
+      return encodeSessionReplayResponse(
+          sessions_->replay(decodeSessionReplayRequest(payload)));
+    case MessageType::kSessionCloseRequest:
+      return encodeSessionCloseResponse(
+          sessions_->close(decodeSessionCloseRequest(payload)));
     default:
       throw ipc::IpcError("unexpected client message");
   }
-  ipc::writeFrame(fd, reply);
+}
+
+void Server::handleConnection(int fd, CancelToken* cancel) {
+  static metrics::Counter& drained =
+      metrics::counter(metrics::kServiceDrainedRequests);
+  // Many frames per connection (sessions stream); every read is bounded by
+  // an idle deadline so a client that goes silent costs one timeout, and
+  // the connection token lets the drain path wake idle readers.  One-shot
+  // clients close after their reply — the next read sees EOF.
+  for (;;) {
+    cancel->setDeadline(CancelToken::Clock::now() +
+                        std::chrono::milliseconds(30000));
+    std::string payload;
+    const ipc::ReadStatus status = ipc::readFrame(fd, payload, cancel);
+    if (status != ipc::ReadStatus::kOk) return;
+    // A frame already read is *in flight*: it runs to completion and its
+    // reply is sent even when the drain starts underneath it — only then
+    // does the loop observe the cancelled token and exit.
+    const std::string reply = dispatch(payload);
+    ipc::writeFrame(fd, reply);
+    if (draining_.load(std::memory_order_relaxed)) {
+      drained.add();
+      drainedRequests_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 }
 
 void Server::run(const CancelToken* stop) {
   RFSM_CHECK(listen_.valid(), "server has no listening socket");
+  struct Handler {
+    std::thread thread;
+    std::shared_ptr<CancelToken> cancel;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<Handler> handlers;
+  const auto reap = [&handlers](bool all) {
+    for (auto it = handlers.begin(); it != handlers.end();) {
+      if (all || it->done->load(std::memory_order_acquire)) {
+        it->thread.join();
+        it = handlers.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
   while (stop == nullptr || !stop->expired()) {
     // Poll-sliced accept so a cancelled stop token is honoured promptly.
     CancelToken slice(std::chrono::milliseconds(200));
     std::optional<ipc::Fd> connection = ipc::acceptUnix(listen_.get(), &slice);
+    reap(false);
     if (!connection.has_value()) continue;
-    try {
-      handleConnection(connection->get());
-    } catch (const Error& error) {
-      // A malformed or torn request kills its connection, never the server.
-      log(LogLevel::kWarn) << "rfsmd: connection error: " << error.what();
+    if (handlers.size() >= options_.maxConnections) {
+      // Shed by closing: the session client reconnects with backoff, and
+      // resends are answered from the transcript.
+      log(LogLevel::kWarn) << "rfsmd: connection limit ("
+                           << options_.maxConnections << ") reached";
+      continue;
     }
+    Handler handler;
+    handler.cancel = std::make_shared<CancelToken>();
+    handler.done = std::make_shared<std::atomic<bool>>(false);
+    auto fd = std::make_shared<ipc::Fd>(std::move(*connection));
+    handler.thread = std::thread(
+        [this, fd, cancel = handler.cancel, done = handler.done] {
+          try {
+            handleConnection(fd->get(), cancel.get());
+          } catch (const Error& error) {
+            // A malformed or torn request kills its connection, never the
+            // server.
+            log(LogLevel::kWarn)
+                << "rfsmd: connection error: " << error.what();
+          }
+          done->store(true, std::memory_order_release);
+        });
+    handlers.push_back(std::move(handler));
   }
+
+  // Graceful drain: stop admitting (the accept loop above has exited and
+  // the session store turns new work away), complete what is in flight,
+  // then persist.  In-flight work is bounded by its own request deadline.
+  draining_.store(true, std::memory_order_relaxed);
+  sessions_->beginDrain();
+  for (Handler& handler : handlers) handler.cancel->cancel();
+  reap(true);
+  sessions_->drain();
 }
 
 }  // namespace rfsm::service

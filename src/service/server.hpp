@@ -1,5 +1,6 @@
-// The rfsmd server: accepts plan/health requests on a Unix socket, shards
-// batches across the supervised worker pool, and aggregates the results.
+// The rfsmd server: accepts plan/health/session requests, shards batches
+// across the supervised worker pool, and hosts the multi-tenant session
+// store (service/session.hpp).
 //
 // Failure semantics of one plan request, in precedence order:
 //
@@ -17,15 +18,30 @@
 //                      instance order and are byte-identical to the
 //                      unsharded in-process planAll.
 //
+// Connections are handled concurrently (sessions are long-lived streams;
+// one stalled tenant must not wedge the others) up to maxConnections, each
+// on its own thread with a per-connection cancel token and a 30 s idle
+// deadline per read.
+//
+// Shutdown is a *drain*, not an abandonment: run() stops accepting, marks
+// the session store draining (new work gets DRAINING replies), cancels the
+// idle readers, lets every in-flight request finish and send its reply
+// (bounded by the request's own deadline; each completion counts into
+// service.drained_requests), joins the handlers, and finally persists every
+// session (snapshot + rotated journal).
+//
 // Named fault scenarios (util/fault.hpp, serviceScenarioByName) arm the
 // supervisor's dispatch hook so CI can reproduce "worker SIGKILLed
 // mid-shard" and friends from a --fault flag instead of a race.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "service/protocol.hpp"
+#include "service/session.hpp"
 #include "util/deadline.hpp"
 #include "util/fault.hpp"
 #include "util/ipc.hpp"
@@ -45,23 +61,28 @@ struct ServerOptions {
   std::uint64_t shardSize = 4;
   /// Worker-pool knobs (workerCommand is derived from workerBinary).
   SupervisorOptions pool;
+  /// Session-store knobs (stateDir enables crash recovery).
+  SessionServiceOptions sessions;
+  /// Concurrent connection handlers; excess connections are closed (the
+  /// session client reconnects with backoff).
+  std::size_t maxConnections = 32;
   /// Reproducible failure injection (fault::serviceScenarioByName).
   fault::ServiceScenario scenario;
 };
 
 class Server {
  public:
-  /// Spawns nothing yet (workers are lazy) but binds the socket, so a
-  /// failure to listen surfaces here, before the caller reports readiness.
+  /// Binds the socket and recovers any journaled sessions from
+  /// sessions.stateDir, so both failures surface here, before the caller
+  /// reports readiness.  (Workers stay lazy.)
   explicit Server(ServerOptions options);
   ~Server();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Serves until `stop` is cancelled (nullptr = forever).  Connections
-  /// are handled serially: one request per connection, bounded reads, so a
-  /// stuck client costs one idle-timeout, never a wedged server.
+  /// Serves until `stop` is cancelled (nullptr = forever), then drains as
+  /// described in the file comment before returning.
   void run(const CancelToken* stop = nullptr);
 
   /// Handles one plan request in-process (exposed for tests: exercises the
@@ -71,12 +92,26 @@ class Server {
   /// Current pool health, as reported to probes.
   HealthResponse healthSnapshot() const;
 
+  /// The session store (for tests and the daemon's startup/drain report).
+  SessionService& sessions() { return *sessions_; }
+  const SessionService& sessions() const { return *sessions_; }
+
+  /// In-flight requests completed (replied to, not abandoned) after the
+  /// stop signal — the graceful-drain evidence.
+  std::uint64_t drainedRequests() const {
+    return drainedRequests_.load(std::memory_order_relaxed);
+  }
+
  private:
-  void handleConnection(int fd);
+  void handleConnection(int fd, CancelToken* cancel);
+  std::string dispatch(const std::string& payload);
 
   ServerOptions options_;
   Supervisor supervisor_;
+  std::unique_ptr<SessionService> sessions_;
   ipc::Fd listen_;
+  std::atomic<bool> draining_{false};
+  std::atomic<std::uint64_t> drainedRequests_{0};
 };
 
 }  // namespace rfsm::service

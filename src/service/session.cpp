@@ -1,0 +1,910 @@
+#include "service/session.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "core/journal.hpp"
+#include "core/migration.hpp"
+#include "core/mutable_machine.hpp"
+#include "core/program.hpp"
+#include "fsm/serialize.hpp"
+#include "gen/generator.hpp"
+#include "gen/mutator.hpp"
+#include "util/fsio.hpp"
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace rfsm::service {
+namespace {
+
+constexpr const char* kWalHeader = "rfsm-session-journal v1";
+constexpr const char* kSnapshotMagic = "rfsm-session-snapshot v1";
+
+std::uint64_t fnv64(std::string_view text) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string openPayload(const SessionConfig& config) {
+  std::ostringstream os;
+  os << "open " << config.tenant << " " << config.name << " "
+     << config.priority << " " << static_cast<int>(config.weight) << " "
+     << config.planner << " " << config.stateCount << " "
+     << config.inputCount << " " << config.outputCount << " " << config.seed;
+  return os.str();
+}
+
+bool parseOpenPayload(const std::string& payload, SessionConfig& config) {
+  const auto tokens = splitWhitespace(payload);
+  if (tokens.size() != 10 || tokens[0] != "open") return false;
+  try {
+    config.tenant = tokens[1];
+    config.name = tokens[2];
+    config.priority = std::stoi(tokens[3]);
+    config.weight = std::max(1, std::stoi(tokens[4]));
+    config.planner = tokens[5];
+    config.stateCount = std::stoi(tokens[6]);
+    config.inputCount = std::stoi(tokens[7]);
+    config.outputCount = std::stoi(tokens[8]);
+    config.seed = std::stoull(tokens[9]);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return validSessionName(config.tenant) && validSessionName(config.name);
+}
+
+std::string mutPayload(const MutationRecord& rec) {
+  std::ostringstream os;
+  os << "mut " << rec.seq << " " << rec.deltaCount << " "
+     << rec.newStateCount << " " << rec.mutationSeed << " "
+     << (rec.defer ? 1 : 0);
+  return os.str();
+}
+
+bool parseMutPayload(const std::string& payload, MutationRecord& rec) {
+  const auto tokens = splitWhitespace(payload);
+  if (tokens.size() != 6 || tokens[0] != "mut") return false;
+  try {
+    rec.seq = std::stoull(tokens[1]);
+    rec.deltaCount = static_cast<std::uint32_t>(std::stoul(tokens[2]));
+    rec.newStateCount = static_cast<std::uint32_t>(std::stoul(tokens[3]));
+    rec.mutationSeed = std::stoull(tokens[4]);
+    rec.defer = tokens[5] == "1";
+  } catch (const std::exception&) {
+    return false;
+  }
+  return rec.seq > 0;
+}
+
+}  // namespace
+
+bool validSessionName(const std::string& name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+// --- SessionEngine --------------------------------------------------------
+
+namespace {
+
+Machine initialMachine(const SessionConfig& config) {
+  RandomMachineSpec spec;
+  spec.stateCount = config.stateCount;
+  spec.inputCount = config.inputCount;
+  spec.outputCount = config.outputCount;
+  spec.name = config.name;
+  Rng rng(config.seed);
+  return randomMachine(spec, rng);
+}
+
+}  // namespace
+
+SessionEngine::SessionEngine(SessionConfig config)
+    : config_(std::move(config)), machine_(initialMachine(config_)) {}
+
+SessionEngine::SessionEngine(SessionConfig config, Machine machine)
+    : config_(std::move(config)), machine_(std::move(machine)) {}
+
+PlanOutcome SessionEngine::apply(const MutationRecord& rec) {
+  RFSM_CHECK(rec.seq == lastApplied_ + 1,
+             "session mutations must apply in sequence order");
+  lastApplied_ = rec.seq;
+  PlanOutcome outcome;
+  if (rec.defer) {
+    pending_.push_back(rec);
+    return outcome;
+  }
+  // Compose the deferred run plus this record into one target, then plan
+  // the *net* delta set between the resident machine and that target:
+  // superseded and reverted cells drop out (that is the compaction).  Work
+  // on copies so a failure consumes only this record's sequence number.
+  try {
+    Machine target = machine_;
+    int raw = 0;
+    std::vector<MutationRecord> run = pending_;
+    run.push_back(rec);
+    for (const MutationRecord& r : run) {
+      MutationSpec spec;
+      spec.deltaCount = static_cast<int>(r.deltaCount);
+      spec.newStateCount = static_cast<int>(r.newStateCount);
+      spec.name = config_.name + "#" + std::to_string(r.seq);
+      Rng rng(r.mutationSeed);
+      target = mutateMachine(target, spec, rng);
+      raw += spec.deltaCount;
+    }
+    const MigrationContext context(machine_, target);
+    Rng planRng =
+        Rng(config_.seed).substream(kSessionPlanStreamBase + planCount_);
+    const ReconfigurationProgram program =
+        plannerFn(config_.planner)(context, planRng);
+    // Advance the resident machine by executing the program, exactly as
+    // the Fig. 5 datapath would — and verify it landed on the target.
+    MutableMachine resident(context);
+    resident.applyProgram(program);
+    std::string reason;
+    if (!resident.matchesTarget(&reason))
+      throw Error("planned program misses the target: " + reason);
+    outcome.planned = true;
+    outcome.program = programToText(context, program);
+    outcome.compactedFrom = run.size();
+    outcome.deltasPlanned = context.deltaCount();
+    outcome.deltasRaw = raw;
+    machine_ = std::move(target);
+    pending_.clear();
+    ++planCount_;
+  } catch (const Error& error) {
+    outcome = PlanOutcome{};
+    outcome.failed = true;
+    outcome.error = error.what();
+  }
+  return outcome;
+}
+
+void SessionEngine::encodeSnapshot(ipc::MessageWriter& writer) const {
+  writer.str(kSnapshotMagic);
+  writer.str(config_.tenant);
+  writer.str(config_.name);
+  writer.u32(static_cast<std::uint32_t>(config_.priority));
+  writer.u32(static_cast<std::uint32_t>(config_.weight));
+  writer.str(config_.planner);
+  writer.u32(static_cast<std::uint32_t>(config_.stateCount));
+  writer.u32(static_cast<std::uint32_t>(config_.inputCount));
+  writer.u32(static_cast<std::uint32_t>(config_.outputCount));
+  writer.u64(config_.seed);
+  writer.u64(lastApplied_);
+  writer.u64(planCount_);
+  writer.str(toJson(machine_));
+  writer.u32(static_cast<std::uint32_t>(pending_.size()));
+  for (const MutationRecord& rec : pending_) {
+    writer.u64(rec.seq);
+    writer.u32(rec.deltaCount);
+    writer.u32(rec.newStateCount);
+    writer.u64(rec.mutationSeed);
+    writer.u32(rec.defer ? 1 : 0);
+  }
+}
+
+SessionEngine SessionEngine::decodeSnapshot(ipc::MessageReader& reader) {
+  const std::string magic = reader.str();
+  if (magic != kSnapshotMagic)
+    throw ipc::IpcError("bad session snapshot magic '" + magic + "'");
+  SessionConfig config;
+  config.tenant = reader.str();
+  config.name = reader.str();
+  config.priority = static_cast<int>(reader.u32());
+  config.weight = static_cast<double>(reader.u32());
+  config.planner = reader.str();
+  config.stateCount = static_cast<int>(reader.u32());
+  config.inputCount = static_cast<int>(reader.u32());
+  config.outputCount = static_cast<int>(reader.u32());
+  config.seed = reader.u64();
+  const std::uint64_t lastApplied = reader.u64();
+  const std::uint64_t planCount = reader.u64();
+  Machine machine = machineFromJson(reader.str());
+  SessionEngine engine(std::move(config), std::move(machine));
+  engine.lastApplied_ = lastApplied;
+  engine.planCount_ = planCount;
+  const std::uint32_t pending = reader.u32();
+  for (std::uint32_t k = 0; k < pending; ++k) {
+    MutationRecord rec;
+    rec.seq = reader.u64();
+    rec.deltaCount = reader.u32();
+    rec.newStateCount = reader.u32();
+    rec.mutationSeed = reader.u64();
+    rec.defer = reader.u32() != 0;
+    engine.pending_.push_back(rec);
+  }
+  return engine;
+}
+
+// --- SessionService -------------------------------------------------------
+
+struct SessionService::Session {
+  explicit Session(SessionEngine e)
+      : engine(std::move(e)), wal(kWalHeader) {}
+
+  SessionEngine engine;
+  /// Journal high-water mark: highest seq accepted (journaled + queued).
+  std::uint64_t lastAccepted = 0;
+  /// engine.lastApplied() mirrored under the store mutex — the engine
+  /// itself is only touched by the executor holding this flow's in-flight
+  /// slot, so readers must not reach into it.
+  std::uint64_t applied = 0;
+  std::uint64_t ackSeq = 0;
+  std::uint64_t sinceSnapshot = 0;
+  /// Per-seq results, seq > ackSeq (duplicate replies + replay source).
+  std::map<std::uint64_t, PlanOutcome> outcomes;
+  /// Accepted records newer than the last snapshot — re-journaled when the
+  /// WAL rotates, so rotation never loses accepted-but-unplanned work.
+  std::map<std::uint64_t, MutationRecord> tail;
+  RecordLog wal;
+  ipc::Fd walFd;
+  std::string walPath;   ///< "" = volatile session
+  std::string snapPath;
+};
+
+std::string SessionService::key(const std::string& tenant,
+                                const std::string& name) {
+  return tenant + "@" + name;
+}
+
+SessionService::SessionService(SessionServiceOptions options)
+    : options_(std::move(options)) {
+  if (!options_.stateDir.empty()) {
+    fsio::makeDirs(options_.stateDir);
+    std::set<std::string> bases;
+    for (const std::string& file : fsio::listDir(options_.stateDir)) {
+      for (const char* suffix : {".wal", ".snap"}) {
+        if (file.size() > std::strlen(suffix) &&
+            file.rfind(suffix) == file.size() - std::strlen(suffix))
+          bases.insert(file.substr(0, file.size() - std::strlen(suffix)));
+      }
+    }
+    for (const std::string& base : bases)
+      if (recoverOne(base)) ++recovered_;
+    if (recovered_ > 0)
+      metrics::counter(metrics::kSessionsRecovered).add(recovered_);
+  }
+  const int executors = std::max(1, options_.executors);
+  executors_.reserve(static_cast<std::size_t>(executors));
+  for (int k = 0; k < executors; ++k)
+    executors_.emplace_back([this] { executorLoop(); });
+}
+
+SessionService::~SessionService() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+    work_.notify_all();
+  }
+  for (std::thread& t : executors_) t.join();
+  executors_.clear();
+  std::lock_guard lock(mutex_);
+  stopped_ = true;
+  applied_.notify_all();
+}
+
+void SessionService::executorLoop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    std::optional<FairScheduler::Next> next = scheduler_.next();
+    if (!next.has_value()) {
+      if (stopping_ && scheduler_.idle()) return;
+      work_.wait(lock);
+      continue;
+    }
+    lock.unlock();
+    next->item.run();
+    lock.lock();
+    scheduler_.done(next->flow);
+    // Finishing an item may make this flow's next item runnable, and the
+    // exit condition may now hold for idle twins.
+    work_.notify_all();
+  }
+}
+
+void SessionService::applyOne(const SessionPtr& session,
+                              const MutationRecord& rec) {
+  static metrics::Histogram& planLatency =
+      metrics::histogram(metrics::kSessionPlanLatency);
+  static metrics::Counter& plans = metrics::counter(metrics::kSessionPlans);
+  static metrics::Counter& compacted =
+      metrics::counter(metrics::kSessionDeltasCompacted);
+  PlanOutcome outcome;
+  {
+    metrics::ScopedLatency latency(planLatency);
+    // The engine is only ever touched by the executor holding this flow's
+    // in-flight slot, so planning runs without the store mutex.
+    outcome = session->engine.apply(rec);
+  }
+  std::lock_guard lock(mutex_);
+  if (outcome.planned) {
+    plans.add();
+    if (outcome.deltasRaw > outcome.deltasPlanned)
+      compacted.add(
+          static_cast<std::uint64_t>(outcome.deltasRaw - outcome.deltasPlanned));
+  }
+  session->applied = session->engine.lastApplied();
+  session->outcomes[rec.seq] = std::move(outcome);
+  ++session->sinceSnapshot;
+  if (options_.snapshotEvery > 0 &&
+      session->sinceSnapshot >= options_.snapshotEvery) {
+    try {
+      persistLocked(*session);
+    } catch (const Error& error) {
+      // Snapshot failure is degradable: the journal keeps growing and
+      // recovery still works, just from further back.
+      log(LogLevel::kWarn) << "session snapshot failed: " << error.what();
+    }
+  }
+  applied_.notify_all();
+}
+
+void SessionService::appendWalLocked(Session& session,
+                                     const MutationRecord& rec) {
+  // WAL rule: the record is on disk before any work is scheduled and
+  // before any reply — a crash after this point must replay it.
+  const std::string line = session.wal.appendLine(mutPayload(rec));
+  if (session.walFd.valid()) fsio::appendDurable(session.walFd.get(), line);
+}
+
+void SessionService::persistLocked(Session& session) {
+  if (session.snapPath.empty()) return;
+  static metrics::Counter& snapshots =
+      metrics::counter(metrics::kSessionSnapshots);
+  ipc::MessageWriter writer;
+  session.engine.encodeSnapshot(writer);
+  writer.u64(session.ackSeq);
+  writer.u32(static_cast<std::uint32_t>(session.outcomes.size()));
+  for (const auto& [seq, outcome] : session.outcomes) {
+    writer.u64(seq);
+    writer.u32(outcome.planned ? 1 : 0);
+    writer.u32(outcome.failed ? 1 : 0);
+    writer.str(outcome.error);
+    writer.str(outcome.program);
+    writer.u64(outcome.compactedFrom);
+    writer.u32(static_cast<std::uint32_t>(outcome.deltasPlanned));
+    writer.u32(static_cast<std::uint32_t>(outcome.deltasRaw));
+  }
+  std::string body = writer.take();
+  ipc::MessageWriter checksum;
+  checksum.u64(fnv64(body));
+  body += checksum.take();
+  // Snapshot first (atomic replace), journal rotation second: a crash
+  // between the two leaves a snapshot plus a journal whose early records
+  // it already covers — replay skips them by sequence number.
+  fsio::writeFileDurable(session.snapPath, body);
+  snapshots.add();
+
+  const std::uint64_t covered = session.engine.lastApplied();
+  session.tail.erase(session.tail.begin(),
+                     session.tail.upper_bound(covered));
+  RecordLog fresh(kWalHeader);
+  std::string walBytes = fresh.headerLine();
+  walBytes += fresh.appendLine(openPayload(session.engine.config()));
+  for (const auto& [seq, rec] : session.tail)
+    walBytes += fresh.appendLine(mutPayload(rec));
+  session.walFd.reset();
+  fsio::writeFileDurable(session.walPath, walBytes);
+  session.walFd = fsio::openAppend(session.walPath);
+  session.wal = std::move(fresh);
+  session.sinceSnapshot = 0;
+}
+
+bool SessionService::recoverOne(const std::string& base) {
+  const std::string walPath = options_.stateDir + "/" + base + ".wal";
+  const std::string snapPath = options_.stateDir + "/" + base + ".snap";
+  static metrics::Counter& quarantinedCounter =
+      metrics::counter(metrics::kSessionsQuarantined);
+  auto quarantine = [&](const std::string& path) {
+    try {
+      fsio::renameDurable(path, path + ".corrupt");
+    } catch (const Error& error) {
+      log(LogLevel::kWarn) << "cannot quarantine '" << path
+                           << "': " << error.what();
+    }
+    ++quarantined_;
+    quarantinedCounter.add();
+  };
+
+  // Snapshot (if any): full engine state + unacked outcomes.
+  std::optional<SessionEngine> engine;
+  std::uint64_t ackSeq = 0;
+  std::map<std::uint64_t, PlanOutcome> outcomes;
+  if (const auto bytes = fsio::readFileIfExists(snapPath)) {
+    try {
+      if (bytes->size() < 8) throw ipc::IpcError("snapshot too short");
+      const std::string_view body(bytes->data(), bytes->size() - 8);
+      ipc::MessageReader sumReader(
+          std::string_view(bytes->data() + body.size(), 8));
+      if (sumReader.u64() != fnv64(body))
+        throw ipc::IpcError("snapshot checksum mismatch");
+      ipc::MessageReader reader(body);
+      engine.emplace(SessionEngine::decodeSnapshot(reader));
+      ackSeq = reader.u64();
+      const std::uint32_t count = reader.u32();
+      for (std::uint32_t k = 0; k < count; ++k) {
+        const std::uint64_t seq = reader.u64();
+        PlanOutcome outcome;
+        outcome.planned = reader.u32() != 0;
+        outcome.failed = reader.u32() != 0;
+        outcome.error = reader.str();
+        outcome.program = reader.str();
+        outcome.compactedFrom = reader.u64();
+        outcome.deltasPlanned = static_cast<int>(reader.u32());
+        outcome.deltasRaw = static_cast<int>(reader.u32());
+        outcomes.emplace(seq, std::move(outcome));
+      }
+      reader.expectEnd();
+    } catch (const Error& error) {
+      log(LogLevel::kWarn) << "corrupt session snapshot '" << snapPath
+                           << "': " << error.what();
+      quarantine(snapPath);
+      engine.reset();
+      ackSeq = 0;
+      outcomes.clear();
+    }
+  }
+
+  // Journal: open record + accepted mutations since the last rotation.
+  std::vector<std::string> records;
+  bool walValid = false;
+  if (const auto bytes = fsio::readFileIfExists(walPath)) {
+    try {
+      RecordLog::Parsed parsed = RecordLog::parse(kWalHeader, *bytes);
+      records = std::move(parsed.records);
+      walValid = true;  // a torn tail was dropped, the prefix is trusted
+    } catch (const Error& error) {
+      log(LogLevel::kWarn) << "corrupt session journal '" << walPath
+                           << "': " << error.what();
+      quarantine(walPath);
+    }
+  }
+  SessionConfig walConfig;
+  if (walValid &&
+      (records.empty() || !parseOpenPayload(records[0], walConfig))) {
+    log(LogLevel::kWarn) << "session journal '" << walPath
+                         << "' has no valid open record";
+    quarantine(walPath);
+    walValid = false;
+    records.clear();
+  }
+  if (!engine.has_value() && !walValid) return false;
+  if (engine.has_value() && walValid && engine->config() != walConfig) {
+    // A snapshot that does not belong to this journal (stale leftover):
+    // the journal is the source of truth from birth, the snapshot is not.
+    log(LogLevel::kWarn) << "session snapshot '" << snapPath
+                         << "' does not match its journal; rebuilding from "
+                            "the journal";
+    quarantine(snapPath);
+    engine.reset();
+    ackSeq = 0;
+    outcomes.clear();
+  }
+  if (!engine.has_value()) engine.emplace(SessionEngine(walConfig));
+
+  auto session = std::make_shared<Session>(std::move(*engine));
+  session->ackSeq = ackSeq;
+  session->outcomes = std::move(outcomes);
+  for (std::size_t k = walValid ? 1 : records.size(); k < records.size();
+       ++k) {
+    MutationRecord rec;
+    if (!parseMutPayload(records[k], rec)) {
+      log(LogLevel::kWarn) << "session journal '" << walPath
+                           << "': unparseable record " << k;
+      break;
+    }
+    if (rec.seq <= session->engine.lastApplied()) continue;  // in snapshot
+    if (rec.seq != session->engine.lastApplied() + 1) break;  // hole
+    session->outcomes[rec.seq] = session->engine.apply(rec);
+    session->tail.emplace(rec.seq, rec);
+  }
+  session->applied = session->lastAccepted = session->engine.lastApplied();
+  session->outcomes.erase(session->outcomes.begin(),
+                          session->outcomes.upper_bound(session->ackSeq));
+
+  // Rewrite the journal fresh (drops torn tails and snapshot-covered
+  // records) and reopen it for appending.
+  session->walPath = walPath;
+  session->snapPath = snapPath;
+  RecordLog fresh(kWalHeader);
+  std::string walBytes = fresh.headerLine();
+  walBytes += fresh.appendLine(openPayload(session->engine.config()));
+  for (const auto& [seq, rec] : session->tail)
+    walBytes += fresh.appendLine(mutPayload(rec));
+  try {
+    fsio::writeFileDurable(walPath, walBytes);
+    session->walFd = fsio::openAppend(walPath);
+  } catch (const Error& error) {
+    log(LogLevel::kWarn) << "cannot rewrite session journal '" << walPath
+                         << "': " << error.what();
+    return false;
+  }
+  session->wal = std::move(fresh);
+  sessions_.emplace(key(session->engine.config().tenant,
+                        session->engine.config().name),
+                    std::move(session));
+  return true;
+}
+
+SessionOpenResponse SessionService::open(const SessionOpenRequest& request) {
+  static metrics::Counter& opened = metrics::counter(metrics::kSessionOpened);
+  static metrics::Counter& resumed =
+      metrics::counter(metrics::kSessionResumed);
+  SessionOpenResponse response;
+  if (!validSessionName(request.tenant) || !validSessionName(request.name)) {
+    response.status = SessionStatus::kFailed;
+    response.error = "tenant/session names must be 1-64 chars of "
+                     "[A-Za-z0-9._-]";
+    return response;
+  }
+  SessionConfig config;
+  config.tenant = request.tenant;
+  config.name = request.name;
+  config.priority = static_cast<int>(request.priority);
+  config.weight = static_cast<double>(std::max<std::uint32_t>(1, request.weight));
+  config.planner = request.planner;
+  config.stateCount = request.stateCount;
+  config.inputCount = request.inputCount;
+  config.outputCount = request.outputCount;
+  config.seed = request.seed;
+
+  std::lock_guard lock(mutex_);
+  const std::string k = key(request.tenant, request.name);
+  const auto it = sessions_.find(k);
+  if (it != sessions_.end()) {
+    if (!request.resume) {
+      response.status = SessionStatus::kFailed;
+      response.error = "session already exists (use resume)";
+    } else if (it->second->engine.config() != config) {
+      response.status = SessionStatus::kFailed;
+      response.error = "session config mismatch on resume";
+    } else {
+      resumed.add();
+      response.status = SessionStatus::kOk;
+      response.lastApplied = it->second->lastAccepted;
+    }
+    return response;
+  }
+  if (draining_) {
+    response.status = SessionStatus::kDraining;
+    response.error = "daemon is draining";
+    return response;
+  }
+  if (sessions_.size() >= options_.maxSessions) {
+    response.status = SessionStatus::kResourceExhausted;
+    response.error = "session limit (" +
+                     std::to_string(options_.maxSessions) + ") reached";
+    response.retryAfterMs = 1000;
+    return response;
+  }
+  try {
+    plannerFn(config.planner);  // validate the name before committing
+    auto session = std::make_shared<Session>(SessionEngine(config));
+    if (!options_.stateDir.empty()) {
+      session->walPath = options_.stateDir + "/" + k + ".wal";
+      session->snapPath = options_.stateDir + "/" + k + ".snap";
+      // A stale snapshot under this name (crash mid-close) must not be
+      // mixed with the fresh journal on a later recovery.
+      fsio::removeFileDurable(session->snapPath);
+      const std::string walBytes =
+          session->wal.headerLine() +
+          session->wal.appendLine(openPayload(config));
+      fsio::writeFileDurable(session->walPath, walBytes);
+      session->walFd = fsio::openAppend(session->walPath);
+    }
+    sessions_.emplace(k, std::move(session));
+    opened.add();
+    response.status = SessionStatus::kOk;
+    response.lastApplied = 0;
+  } catch (const Error& error) {
+    response.status = SessionStatus::kFailed;
+    response.error = error.what();
+  }
+  return response;
+}
+
+SessionMutateResponse SessionService::answerFromHistory(
+    Session& session, std::uint64_t seq) const {
+  SessionMutateResponse response;
+  response.seq = seq;
+  const auto it = session.outcomes.find(seq);
+  if (it == session.outcomes.end()) {
+    response.status = SessionStatus::kFailed;
+    response.error =
+        seq <= session.ackSeq
+            ? "transcript entry already acknowledged and trimmed"
+            : "mutation not applied (service stopped)";
+    return response;
+  }
+  const PlanOutcome& outcome = it->second;
+  if (outcome.failed) {
+    response.status = SessionStatus::kFailed;
+    response.error = outcome.error;
+  } else if (outcome.planned) {
+    response.status = SessionStatus::kOk;
+    response.program = outcome.program;
+    response.compactedFrom = outcome.compactedFrom;
+    response.deltasPlanned =
+        static_cast<std::uint32_t>(outcome.deltasPlanned);
+    response.deltasRaw = static_cast<std::uint32_t>(outcome.deltasRaw);
+  } else {
+    response.status = SessionStatus::kAccepted;
+  }
+  return response;
+}
+
+SessionMutateResponse SessionService::mutate(
+    const SessionMutateRequest& request) {
+  static metrics::Counter& accepted =
+      metrics::counter(metrics::kSessionMutationsAccepted);
+  static metrics::Counter& rejected =
+      metrics::counter(metrics::kSessionMutationsRejected);
+  static metrics::Histogram& mutateLatency =
+      metrics::histogram(metrics::kSessionMutateLatency);
+  metrics::ScopedLatency latency(mutateLatency);
+
+  SessionMutateResponse response;
+  response.seq = request.seq;
+  std::unique_lock lock(mutex_);
+  const auto it = sessions_.find(key(request.tenant, request.name));
+  if (it == sessions_.end()) {
+    response.status = SessionStatus::kNotFound;
+    response.error = "unknown session " + request.tenant + "/" + request.name;
+    return response;
+  }
+  SessionPtr session = it->second;
+  if (request.ackSeq > session->ackSeq) {
+    session->ackSeq = std::min(request.ackSeq, session->applied);
+    session->outcomes.erase(
+        session->outcomes.begin(),
+        session->outcomes.upper_bound(session->ackSeq));
+  }
+  if (request.seq == 0 || request.seq > session->lastAccepted + 1) {
+    response.status = SessionStatus::kBadSequence;
+    response.error = "expected seq " +
+                     std::to_string(session->lastAccepted + 1) + ", got " +
+                     std::to_string(request.seq);
+    return response;
+  }
+  if (request.seq <= session->lastAccepted) {
+    // A resent duplicate (retry after a lost reply): wait for its apply
+    // and answer from the transcript — never re-journal, never re-plan.
+    applied_.wait(lock, [&] {
+      return session->applied >= request.seq || stopped_;
+    });
+    return answerFromHistory(*session, request.seq);
+  }
+  if (draining_) {
+    response.status = SessionStatus::kDraining;
+    response.error = "daemon is draining";
+    return response;
+  }
+  auto bucket = buckets_.find(request.tenant);
+  if (bucket == buckets_.end())
+    bucket = buckets_
+                 .emplace(request.tenant,
+                          TokenBucket(options_.tenantRate,
+                                      options_.tenantBurst))
+                 .first;
+  const auto now = TokenBucket::Clock::now();
+  if (!bucket->second.tryTake(1.0, now)) {
+    rejected.add();
+    response.status = SessionStatus::kResourceExhausted;
+    response.error =
+        "tenant '" + request.tenant + "' is over its mutation rate";
+    response.retryAfterMs =
+        std::max<std::int64_t>(1, bucket->second.msUntil(1.0, now));
+    return response;
+  }
+  MutationRecord rec;
+  rec.seq = request.seq;
+  rec.deltaCount = request.deltaCount;
+  rec.newStateCount = request.newStateCount;
+  rec.mutationSeed = request.mutationSeed;
+  rec.defer = request.defer;
+  try {
+    appendWalLocked(*session, rec);
+  } catch (const Error& error) {
+    response.status = SessionStatus::kFailed;
+    response.error = std::string("journal append failed: ") + error.what();
+    return response;
+  }
+  session->lastAccepted = rec.seq;
+  session->tail.emplace(rec.seq, rec);
+  accepted.add();
+  const SessionConfig& config = session->engine.config();
+  scheduler_.enqueue(it->first, config.priority, config.weight,
+                     {[this, session, rec] { applyOne(session, rec); },
+                      1.0 + static_cast<double>(rec.deltaCount)});
+  work_.notify_all();
+  applied_.wait(lock,
+                [&] { return session->applied >= rec.seq || stopped_; });
+  return answerFromHistory(*session, rec.seq);
+}
+
+SessionReplayResponse SessionService::replay(
+    const SessionReplayRequest& request) {
+  SessionReplayResponse response;
+  std::unique_lock lock(mutex_);
+  const auto it = sessions_.find(key(request.tenant, request.name));
+  if (it == sessions_.end()) {
+    response.status = SessionStatus::kNotFound;
+    response.error = "unknown session " + request.tenant + "/" + request.name;
+    return response;
+  }
+  SessionPtr session = it->second;
+  const std::uint64_t hi =
+      request.toSeq == 0
+          ? session->lastAccepted
+          : std::min(request.toSeq, session->lastAccepted);
+  applied_.wait(lock,
+                [&] { return session->applied >= hi || stopped_; });
+  if (request.fromSeq <= session->ackSeq && session->ackSeq > 0) {
+    response.status = SessionStatus::kFailed;
+    response.error = "entries up to seq " +
+                     std::to_string(session->ackSeq) +
+                     " were acknowledged and trimmed";
+    return response;
+  }
+  for (auto entry = session->outcomes.lower_bound(request.fromSeq);
+       entry != session->outcomes.end() && entry->first <= hi; ++entry) {
+    if (!entry->second.planned) continue;
+    SessionReplayResponse::Entry e;
+    e.seq = entry->first;
+    e.program = entry->second.program;
+    response.entries.push_back(std::move(e));
+  }
+  response.status = SessionStatus::kOk;
+  return response;
+}
+
+SessionCloseResponse SessionService::close(const SessionCloseRequest& request) {
+  SessionCloseResponse response;
+  std::unique_lock lock(mutex_);
+  const auto it = sessions_.find(key(request.tenant, request.name));
+  if (it == sessions_.end()) {
+    response.status = SessionStatus::kNotFound;
+    response.error = "unknown session " + request.tenant + "/" + request.name;
+    return response;
+  }
+  SessionPtr session = it->second;
+  applied_.wait(lock, [&] {
+    return session->applied >= session->lastAccepted || stopped_;
+  });
+  response.mutationsApplied = session->applied;
+  response.plans = session->engine.planCount();
+  session->walFd.reset();
+  if (!session->walPath.empty()) {
+    try {
+      fsio::removeFileDurable(session->walPath);
+      fsio::removeFileDurable(session->snapPath);
+    } catch (const Error& error) {
+      log(LogLevel::kWarn) << "cannot remove session files: "
+                           << error.what();
+    }
+  }
+  sessions_.erase(key(request.tenant, request.name));
+  response.status = SessionStatus::kOk;
+  return response;
+}
+
+void SessionService::beginDrain() {
+  std::lock_guard lock(mutex_);
+  draining_ = true;
+}
+
+std::size_t SessionService::drain() {
+  static metrics::Counter& drained =
+      metrics::counter(metrics::kSessionsDrained);
+  {
+    std::lock_guard lock(mutex_);
+    draining_ = true;
+    stopping_ = true;
+    work_.notify_all();
+  }
+  // Finish or checkpoint in-flight work: every journaled mutation is
+  // queued, and the executors exit only once the scheduler is idle.
+  for (std::thread& t : executors_) t.join();
+  executors_.clear();
+  std::lock_guard lock(mutex_);
+  stopped_ = true;
+  applied_.notify_all();
+  std::size_t persisted = 0;
+  for (auto& [k, session] : sessions_) {
+    try {
+      persistLocked(*session);
+      session->walFd.reset();
+      ++persisted;
+      drained.add();
+    } catch (const Error& error) {
+      log(LogLevel::kWarn) << "cannot persist session " << k
+                           << " on drain: " << error.what();
+    }
+  }
+  return persisted;
+}
+
+std::size_t SessionService::sessionCount() const {
+  std::lock_guard lock(mutex_);
+  return sessions_.size();
+}
+
+// --- SessionStream --------------------------------------------------------
+
+SessionStream::SessionStream(Options options) : options_(std::move(options)) {
+  ipc::ignoreSigpipe();
+}
+
+std::string SessionStream::exchange(const std::string& payload) {
+  const auto deadline = std::chrono::steady_clock::now() + options_.retryFor;
+  std::chrono::milliseconds backoff{20};
+  std::string lastError = "not connected";
+  for (;;) {
+    try {
+      if (!conn_.valid())
+        conn_ = ipc::connectEndpoint(options_.endpoint, 1000);
+      ipc::writeFrame(conn_.get(), payload);
+      CancelToken token(options_.readTimeout);
+      std::string reply;
+      const ipc::ReadStatus status =
+          ipc::readFrame(conn_.get(), reply, &token);
+      if (status == ipc::ReadStatus::kOk) return reply;
+      lastError = status == ipc::ReadStatus::kEof ? "connection closed"
+                                                  : "reply timeout";
+      conn_.reset();
+    } catch (const ipc::IpcError& error) {
+      lastError = error.what();
+      conn_.reset();
+    }
+    // Resending after a reconnect is always safe: the server answers
+    // duplicate sequence numbers from its (possibly journal-recovered)
+    // transcript instead of re-applying them.
+    ++reconnects_;
+    if (std::chrono::steady_clock::now() + backoff >= deadline)
+      throw ipc::IpcError("session endpoint " + options_.endpoint.describe() +
+                          " unreachable: " + lastError);
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, std::chrono::milliseconds(500));
+  }
+}
+
+SessionOpenResponse SessionStream::open(const SessionOpenRequest& request) {
+  return decodeSessionOpenResponse(
+      exchange(encodeSessionOpenRequest(request)));
+}
+
+SessionMutateResponse SessionStream::mutate(
+    const SessionMutateRequest& request) {
+  return decodeSessionMutateResponse(
+      exchange(encodeSessionMutateRequest(request)));
+}
+
+SessionReplayResponse SessionStream::replay(
+    const SessionReplayRequest& request) {
+  return decodeSessionReplayResponse(
+      exchange(encodeSessionReplayRequest(request)));
+}
+
+SessionCloseResponse SessionStream::close(const SessionCloseRequest& request) {
+  return decodeSessionCloseResponse(
+      exchange(encodeSessionCloseRequest(request)));
+}
+
+}  // namespace rfsm::service

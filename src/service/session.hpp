@@ -1,0 +1,246 @@
+// Multi-tenant streaming sessions over resident machines.
+//
+// A session is a long-lived machine a tenant mutates continuously: each
+// mutate frame derives a new target from the *current* machine
+// (deltaCount/newStateCount/mutationSeed, gen/mutator.hpp), plans a
+// reconfiguration program migrating the resident machine onto it, and
+// returns the program text.  Deferred mutations batch up and are
+// *compacted* when flushed: the run of pending targets is composed first,
+// so only the net-changed cells are planned (a cell rewritten twice costs
+// one delta; a reverted cell costs zero).
+//
+// Crash consistency is determinism-by-construction.  The whole transcript
+// — every planned program, byte for byte — is a pure function of the open
+// config and the accepted mutation sequence, because:
+//
+//   * targets are derived from Rng(mutationSeed), never from wall clocks;
+//   * plans draw from Rng(seed).substream(kSessionPlanStreamBase + plan#);
+//   * compaction boundaries are request-driven (the explicit defer flag),
+//     never timing-driven.
+//
+// SessionEngine is that pure function, and it is the *only* implementation:
+// the live daemon, journal replay after a SIGKILL, and the `rfsmc session
+// stream --local` reference all run the same code, so a resumed session
+// cannot diverge from an uninterrupted one.
+//
+// SessionService wraps engines with the robustness machinery: a per-session
+// write-ahead journal (core/journal.hpp RecordLog framing; append + fsync
+// *before* any work is scheduled) with periodic snapshots (whole-file
+// atomic replace, util/fsio.hpp), hot-restart recovery, token-bucket
+// admission control, and priority-classed weighted-fair scheduling
+// (util/fair.hpp) across sessions.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fsm/machine.hpp"
+#include "service/protocol.hpp"
+#include "util/fair.hpp"
+#include "util/ipc.hpp"
+
+namespace rfsm::service {
+
+/// Offset separating session planning streams from the batch substream
+/// spaces (protocol.hpp kGenStreamBase) in the seed's substream space.
+inline constexpr std::uint64_t kSessionPlanStreamBase = 1u << 21;
+
+/// Immutable per-session configuration, fixed at open.
+struct SessionConfig {
+  std::string tenant;
+  std::string name;
+  int priority = 1;
+  double weight = 1.0;
+  std::string planner = "jsr";
+  int stateCount = 8;
+  int inputCount = 2;
+  int outputCount = 2;
+  std::uint64_t seed = 1;
+
+  bool operator==(const SessionConfig&) const = default;
+};
+
+/// One accepted mutation — the unit of the write-ahead journal.
+struct MutationRecord {
+  std::uint64_t seq = 0;
+  std::uint32_t deltaCount = 4;
+  std::uint32_t newStateCount = 0;
+  std::uint64_t mutationSeed = 0;
+  bool defer = false;
+};
+
+/// What applying one mutation produced.  Failures are deterministic too
+/// (an infeasible spec fails identically on replay); a failed mutation
+/// consumes its sequence number but leaves the machine and the pending
+/// batch untouched.
+struct PlanOutcome {
+  bool planned = false;  ///< a program was produced (non-deferred flush)
+  bool failed = false;
+  std::string error;
+  std::string program;  ///< rfsm-program text (planned only)
+  std::uint64_t compactedFrom = 0;  ///< mutations folded into this plan
+  int deltasPlanned = 0;
+  int deltasRaw = 0;
+};
+
+/// The deterministic session core: resident machine + pending deferred
+/// batch + plan counter.  Everything observable is a pure function of
+/// (config, accepted mutation sequence); see the file comment.
+class SessionEngine {
+ public:
+  explicit SessionEngine(SessionConfig config);
+
+  const SessionConfig& config() const { return config_; }
+  const Machine& machine() const { return machine_; }
+  std::uint64_t lastApplied() const { return lastApplied_; }
+  std::uint64_t planCount() const { return planCount_; }
+  std::size_t pendingCount() const { return pending_.size(); }
+
+  /// Applies the next mutation (rec.seq must be lastApplied() + 1;
+  /// anything else is a caller bug and throws).  Deferred records just
+  /// join the pending batch; a non-deferred record composes pending + self
+  /// into one target, plans the compacted delta set, applies the program
+  /// to the resident machine, and advances it.
+  PlanOutcome apply(const MutationRecord& rec);
+
+  /// Snapshot encode/decode (binary, ipc::MessageWriter fields + trailing
+  /// checksum).  decodeSnapshot throws ipc::IpcError / Error on damage.
+  void encodeSnapshot(ipc::MessageWriter& writer) const;
+  static SessionEngine decodeSnapshot(ipc::MessageReader& reader);
+
+ private:
+  SessionEngine(SessionConfig config, Machine machine);
+
+  SessionConfig config_;
+  Machine machine_;
+  std::vector<MutationRecord> pending_;
+  std::uint64_t lastApplied_ = 0;
+  std::uint64_t planCount_ = 0;
+};
+
+/// Validates tenant/session names: 1-64 chars of [A-Za-z0-9._-] (they are
+/// embedded in journal record lines and file names).
+bool validSessionName(const std::string& name);
+
+struct SessionServiceOptions {
+  /// Directory for journals and snapshots; "" = volatile sessions (no
+  /// crash recovery, still drainable).
+  std::string stateDir;
+  /// Planning executor threads pulling from the fair scheduler.
+  int executors = 2;
+  /// Accepted mutations between snapshots (journal rotations); 0 = never
+  /// snapshot (the journal grows unboundedly but recovery still works).
+  std::uint64_t snapshotEvery = 8;
+  /// Per-tenant token-bucket admission: sustained mutations/second and
+  /// burst capacity; rate 0 = unlimited.
+  double tenantRate = 0.0;
+  double tenantBurst = 16.0;
+  std::size_t maxSessions = 256;
+};
+
+/// The robust session store.  Thread-safe; every public call may be made
+/// from any connection-handler thread.
+class SessionService {
+ public:
+  /// Starts the executor pool and, when stateDir is set, recovers every
+  /// session found there (journal replay on top of the latest snapshot).
+  explicit SessionService(SessionServiceOptions options);
+
+  /// Finishes queued (journaled) work, then stops the executors.  Call
+  /// drain() first for the graceful-persist path.
+  ~SessionService();
+
+  SessionService(const SessionService&) = delete;
+  SessionService& operator=(const SessionService&) = delete;
+
+  SessionOpenResponse open(const SessionOpenRequest& request);
+  SessionMutateResponse mutate(const SessionMutateRequest& request);
+  SessionReplayResponse replay(const SessionReplayRequest& request);
+  SessionCloseResponse close(const SessionCloseRequest& request);
+
+  /// Stops admitting new sessions and mutations (kDraining replies).
+  void beginDrain();
+
+  /// Graceful drain: beginDrain, finish every queued mutation, persist
+  /// every session (snapshot + rotated journal), stop the executors.
+  /// Returns the number of sessions persisted.
+  std::size_t drain();
+
+  /// Sessions rebuilt from disk at construction.
+  std::uint64_t recoveredSessions() const { return recovered_; }
+  /// Corrupt files quarantined (renamed aside) during recovery.
+  std::uint64_t quarantined() const { return quarantined_; }
+  std::size_t sessionCount() const;
+
+ private:
+  struct Session;
+  using SessionPtr = std::shared_ptr<Session>;
+
+  static std::string key(const std::string& tenant, const std::string& name);
+  void executorLoop();
+  void applyOne(const SessionPtr& session, const MutationRecord& rec);
+  void persistLocked(Session& session);
+  void appendWalLocked(Session& session, const MutationRecord& rec);
+  bool recoverOne(const std::string& base);
+  SessionMutateResponse answerFromHistory(Session& session,
+                                          std::uint64_t seq) const;
+
+  SessionServiceOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_;     ///< executors: queue state changed
+  std::condition_variable applied_;  ///< waiters: a mutation finished
+  FairScheduler scheduler_;
+  std::map<std::string, SessionPtr> sessions_;
+  std::map<std::string, TokenBucket> buckets_;
+  bool draining_ = false;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::uint64_t recovered_ = 0;
+  std::uint64_t quarantined_ = 0;
+  std::vector<std::thread> executors_;
+};
+
+/// Client side of a streaming session: one connection, many frames, with
+/// transparent reconnect + resend on transport failure (a SIGKILL'd and
+/// restarted daemon answers resent duplicates from its recovered
+/// transcript, so retrying is always safe).  Admission rejections are NOT
+/// retried here — they surface to the caller, which owns the backoff.
+class SessionStream {
+ public:
+  struct Options {
+    ipc::Endpoint endpoint;
+    /// Transport retry budget per call (reconnect + resend until this
+    /// elapses, then the last IpcError propagates).
+    std::chrono::milliseconds retryFor{15000};
+    /// Silence bound per reply read.
+    std::chrono::milliseconds readTimeout{30000};
+  };
+
+  explicit SessionStream(Options options);
+
+  SessionOpenResponse open(const SessionOpenRequest& request);
+  SessionMutateResponse mutate(const SessionMutateRequest& request);
+  SessionReplayResponse replay(const SessionReplayRequest& request);
+  SessionCloseResponse close(const SessionCloseRequest& request);
+
+  /// Transport-level reconnects performed so far (visible retry evidence
+  /// for the CI smoke and the kill/restart bench cell).
+  std::uint64_t reconnects() const { return reconnects_; }
+
+ private:
+  std::string exchange(const std::string& payload);
+
+  Options options_;
+  ipc::Fd conn_;
+  std::uint64_t reconnects_ = 0;
+};
+
+}  // namespace rfsm::service

@@ -1,10 +1,13 @@
 #include "tools/cli.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <optional>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include "bdd/symbolic_fsm.hpp"
 #include "core/apply.hpp"
@@ -30,6 +33,8 @@
 #include "service/client.hpp"
 #include "service/fabric.hpp"
 #include "service/plan_cache.hpp"
+#include "service/session.hpp"
+#include "util/fsio.hpp"
 #include "tools/report.hpp"
 #include "util/metrics.hpp"
 #include "util/table.hpp"
@@ -331,8 +336,15 @@ int cmdInject(const std::vector<std::string>& args, std::ostream& out) {
     out << ", power loss before step " << *scenario.abortAtStep;
   out << "\n";
   printGuardedReport(report, out);
-  if (const auto path = option(args, "--journal-out"))
-    writeFile(*path, journal.serialize(context));
+  if (const auto path = option(args, "--journal-out")) {
+    // Journals exist to be read back after a crash: write-temp + fsync +
+    // rename + parent fsync, so the file is never torn or lost.
+    try {
+      fsio::writeFileDurable(*path, journal.serialize(context));
+    } catch (const fsio::FsError& error) {
+      throw CliError(error.what());
+    }
+  }
   return guardedExitCode(report);
 }
 
@@ -580,6 +592,205 @@ int cmdPlan(const std::vector<std::string>& args, std::ostream& out,
   return 0;
 }
 
+/// The deterministic mutation schedule of `rfsmc session stream`: seq k
+/// mutates with seed base+k; with --defer-every E > 1, only every E-th
+/// mutation (and the last) flushes — the rest defer and compact.
+service::MutationRecord scheduleRecord(std::uint64_t k, std::uint64_t total,
+                                       std::uint32_t deltas,
+                                       std::uint32_t newStates,
+                                       std::uint64_t seedBase,
+                                       std::uint64_t deferEvery) {
+  service::MutationRecord rec;
+  rec.seq = k;
+  rec.deltaCount = deltas;
+  rec.newStateCount = newStates;
+  rec.mutationSeed = seedBase + k;
+  rec.defer = deferEvery > 1 && k % deferEvery != 0 && k != total;
+  return rec;
+}
+
+int cmdSession(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err) {
+  if (args.empty() || args[0] != "stream")
+    throw CliError(
+        "usage: rfsmc session stream (--server ENDPOINT | --local)\n"
+        "         --tenant T --name N --mutations M [--random S,I,O]\n"
+        "         [--seed N] [--planner jsr|greedy|ea] [--priority P]\n"
+        "         [--weight W] [--deltas D] [--new-states K]\n"
+        "         [--defer-every E] [--mutation-seed B] [--resume]\n"
+        "         [--close] [--retry-for-ms MS]");
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  service::SessionConfig config;
+  config.tenant = option(rest, "--tenant").value_or("default");
+  config.name = option(rest, "--name").value_or("session");
+  config.priority = std::stoi(option(rest, "--priority").value_or("1"));
+  config.weight =
+      std::max(1.0, std::stod(option(rest, "--weight").value_or("1")));
+  config.planner = option(rest, "--planner").value_or("jsr");
+  config.seed = static_cast<std::uint64_t>(
+      std::stoull(option(rest, "--seed").value_or("1")));
+  if (const auto dims = option(rest, "--random")) {
+    const auto parts = split(*dims, ',');
+    if (parts.size() != 3)
+      throw CliError("--random expects S,I,O (e.g. --random 8,2,2)");
+    config.stateCount = std::stoi(parts[0]);
+    config.inputCount = std::stoi(parts[1]);
+    config.outputCount = std::stoi(parts[2]);
+  }
+  const auto mutationsOpt = option(rest, "--mutations");
+  if (!mutationsOpt.has_value())
+    throw CliError("session stream needs --mutations M");
+  const std::uint64_t mutations = std::stoull(*mutationsOpt);
+  const auto deltas = static_cast<std::uint32_t>(
+      std::stoul(option(rest, "--deltas").value_or("4")));
+  const auto newStates = static_cast<std::uint32_t>(
+      std::stoul(option(rest, "--new-states").value_or("0")));
+  const std::uint64_t deferEvery =
+      std::stoull(option(rest, "--defer-every").value_or("1"));
+  const std::uint64_t seedBase =
+      std::stoull(option(rest, "--mutation-seed").value_or("1000"));
+  const auto retryFor = std::chrono::milliseconds(
+      std::stoll(option(rest, "--retry-for-ms").value_or("15000")));
+
+  if (flag(rest, "--local")) {
+    // The reference transcript: the exact SessionEngine the daemon runs,
+    // uninterrupted and unscheduled — what any kill/restart/resume run
+    // against a real daemon must byte-match.
+    service::SessionEngine engine(config);
+    std::uint64_t plans = 0;
+    for (std::uint64_t k = 1; k <= mutations; ++k) {
+      const service::PlanOutcome outcome = engine.apply(scheduleRecord(
+          k, mutations, deltas, newStates, seedBase, deferEvery));
+      if (outcome.failed)
+        err << "rfsmc: mutation " << k << " failed: " << outcome.error
+            << "\n";
+      if (outcome.planned) {
+        out << "# mutation " << k << "\n" << outcome.program;
+        ++plans;
+      }
+    }
+    err << "session " << config.tenant << "/" << config.name << ": "
+        << engine.lastApplied() << " mutation(s), " << plans
+        << " plan(s) (local reference)\n";
+    return 0;
+  }
+
+  const auto server = option(rest, "--server");
+  if (!server.has_value())
+    throw CliError("session stream needs --server ENDPOINT or --local");
+  service::SessionStream::Options streamOptions;
+  streamOptions.endpoint = ipc::parseEndpoint(*server);
+  streamOptions.retryFor = retryFor;
+  service::SessionStream stream(streamOptions);
+
+  service::SessionOpenRequest openRequest;
+  openRequest.tenant = config.tenant;
+  openRequest.name = config.name;
+  openRequest.priority = static_cast<std::uint32_t>(config.priority);
+  openRequest.weight = static_cast<std::uint32_t>(config.weight);
+  openRequest.planner = config.planner;
+  openRequest.stateCount = config.stateCount;
+  openRequest.inputCount = config.inputCount;
+  openRequest.outputCount = config.outputCount;
+  openRequest.seed = config.seed;
+  openRequest.resume = true;
+  const service::SessionOpenResponse opened = stream.open(openRequest);
+  if (opened.status != service::SessionStatus::kOk) {
+    err << "rfsmc: session open failed: " << toString(opened.status)
+        << (opened.error.empty() ? "" : " - " + opened.error) << "\n";
+    return 1;
+  }
+  std::uint64_t start = opened.lastApplied + 1;
+  if (flag(rest, "--resume") && opened.lastApplied > 0) {
+    // Re-print the recovered prefix so the resumed run's stdout is the
+    // full transcript, byte-comparable against an uninterrupted one.
+    service::SessionReplayRequest replayRequest;
+    replayRequest.tenant = config.tenant;
+    replayRequest.name = config.name;
+    replayRequest.fromSeq = 1;
+    replayRequest.toSeq = opened.lastApplied;
+    const service::SessionReplayResponse replayed =
+        stream.replay(replayRequest);
+    if (replayed.status != service::SessionStatus::kOk) {
+      err << "rfsmc: session replay failed: " << toString(replayed.status)
+          << (replayed.error.empty() ? "" : " - " + replayed.error) << "\n";
+      return 1;
+    }
+    for (const auto& entry : replayed.entries)
+      out << "# mutation " << entry.seq << "\n" << entry.program;
+  }
+
+  std::uint64_t plans = 0, rejections = 0;
+  for (std::uint64_t k = start; k <= mutations; ++k) {
+    const service::MutationRecord rec = scheduleRecord(
+        k, mutations, deltas, newStates, seedBase, deferEvery);
+    service::SessionMutateRequest request;
+    request.tenant = config.tenant;
+    request.name = config.name;
+    request.seq = rec.seq;
+    request.deltaCount = rec.deltaCount;
+    request.newStateCount = rec.newStateCount;
+    request.mutationSeed = rec.mutationSeed;
+    request.defer = rec.defer;
+    const auto admissionDeadline =
+        std::chrono::steady_clock::now() + retryFor;
+    for (;;) {
+      const service::SessionMutateResponse response =
+          stream.mutate(request);
+      if (response.status == service::SessionStatus::kResourceExhausted ||
+          response.status == service::SessionStatus::kDraining) {
+        // The typed backoff loop: honour the server's retry hint.
+        ++rejections;
+        if (std::chrono::steady_clock::now() >= admissionDeadline) {
+          err << "rfsmc: mutation " << k << " not admitted within "
+              << retryFor.count() << " ms: " << toString(response.status)
+              << "\n";
+          return 2;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::max<std::int64_t>(1, response.retryAfterMs > 0
+                                          ? response.retryAfterMs
+                                          : 100)));
+        continue;
+      }
+      if (response.status == service::SessionStatus::kOk) {
+        out << "# mutation " << k << "\n" << response.program;
+        ++plans;
+      } else if (response.status == service::SessionStatus::kFailed &&
+                 !response.error.empty()) {
+        err << "rfsmc: mutation " << k << " failed: " << response.error
+            << "\n";
+      } else if (response.status != service::SessionStatus::kAccepted) {
+        err << "rfsmc: mutation " << k << " rejected: "
+            << toString(response.status)
+            << (response.error.empty() ? "" : " - " + response.error)
+            << "\n";
+        return 1;
+      }
+      break;
+    }
+  }
+
+  std::uint64_t closedPlans = plans;
+  if (flag(rest, "--close")) {
+    service::SessionCloseRequest closeRequest;
+    closeRequest.tenant = config.tenant;
+    closeRequest.name = config.name;
+    const service::SessionCloseResponse closed = stream.close(closeRequest);
+    if (closed.status != service::SessionStatus::kOk) {
+      err << "rfsmc: session close failed: " << toString(closed.status)
+          << "\n";
+      return 1;
+    }
+    closedPlans = closed.plans;
+  }
+  err << "session " << config.tenant << "/" << config.name << ": streamed "
+      << mutations << " mutation(s), " << closedPlans << " plan(s), "
+      << rejections << " admission rejection(s), " << stream.reconnects()
+      << " reconnect(s)\n";
+  return 0;
+}
+
 int cmdSamples(const std::vector<std::string>& args, std::ostream& out) {
   if (args.empty()) {
     for (const auto& name : sampleNames()) out << name << "\n";
@@ -625,6 +836,14 @@ int cmdHelp(std::ostream& out) {
          "                                RFSM_PLAN_CACHE)\n"
          "          [--probe]             health-check the rfsmd\n"
          "          exit 0 = planned, 4 = deadline exceeded\n"
+         "  session stream                stream mutations into a resident\n"
+         "          (--server E | --local) session on an rfsmd (--local =\n"
+         "          --tenant T --name N     the in-process reference run)\n"
+         "          --mutations M [--random S,I,O] [--seed N] [--planner P]\n"
+         "          [--priority P] [--weight W] [--deltas D]\n"
+         "          [--new-states K] [--defer-every E] [--mutation-seed B]\n"
+         "          [--resume] [--close] [--retry-for-ms MS]\n"
+         "          exit 0 = streamed, 2 = not admitted in time\n"
          "  chain <m1> <m2> [...]         plan a release train + rollbacks\n"
          "  equiv <a> <b> [--symbolic]    behavioural equivalence check\n"
          "  report <from> <to>            one-page migration report\n"
@@ -666,6 +885,7 @@ int runCli(const std::vector<std::string>& args, std::ostream& out,
     else if (args[0] == "report") code = cmdReport(rest, out);
     else if (args[0] == "samples") code = cmdSamples(rest, out);
     else if (args[0] == "plan") code = cmdPlan(rest, out, err);
+    else if (args[0] == "session") code = cmdSession(rest, out, err);
     else {
       err << "rfsmc: unknown command '" << args[0] << "' (try rfsmc help)\n";
       code = 64;

@@ -54,7 +54,20 @@ int usage(std::ostream& out, int code) {
          "                        hang-worker|pool-unhealthy\n"
          "  --plan-cache N        memoize plan results, N entries (0 = off,\n"
          "                        the default; overrides RFSM_PLAN_CACHE)\n"
-         "  --worker-binary PATH  binary for workers (default: this one)\n";
+         "  --worker-binary PATH  binary for workers (default: this one)\n"
+         "session options:\n"
+         "  --state-dir DIR       journal + snapshot directory; enables\n"
+         "                        crash-consistent sessions (hot restart\n"
+         "                        replays the journals found here)\n"
+         "  --session-jobs N      planning executors for sessions "
+         "(default 2)\n"
+         "  --snapshot-every N    mutations between snapshots (default 8;\n"
+         "                        0 = journal only)\n"
+         "  --tenant-rate R       per-tenant mutations/second admitted\n"
+         "                        (default 0 = unlimited)\n"
+         "  --tenant-burst B      per-tenant burst capacity (default 16)\n"
+         "  --max-sessions N      resident session limit (default 256)\n"
+         "  --max-connections N   concurrent connections (default 32)\n";
   return code;
 }
 
@@ -114,6 +127,19 @@ int main(int argc, char** argv) {
       options.pool.prefork = true;
       options.pool.warmupPayload = rfsm::service::encodeWarmupRequest();
     }
+    options.sessions.stateDir = option(args, "--state-dir").value_or("");
+    options.sessions.executors =
+        std::stoi(option(args, "--session-jobs").value_or("2"));
+    options.sessions.snapshotEvery = static_cast<std::uint64_t>(
+        std::stoull(option(args, "--snapshot-every").value_or("8")));
+    options.sessions.tenantRate =
+        std::stod(option(args, "--tenant-rate").value_or("0"));
+    options.sessions.tenantBurst =
+        std::stod(option(args, "--tenant-burst").value_or("16"));
+    options.sessions.maxSessions = static_cast<std::size_t>(
+        std::stoull(option(args, "--max-sessions").value_or("256")));
+    options.maxConnections = static_cast<std::size_t>(
+        std::stoull(option(args, "--max-connections").value_or("32")));
     const std::string faultName = option(args, "--fault").value_or("none");
     const auto scenario = rfsm::fault::serviceScenarioByName(faultName);
     if (!scenario.has_value()) {
@@ -139,7 +165,16 @@ int main(int argc, char** argv) {
               << options.pool.workers << " workers, shard size "
               << options.shardSize << ", fault scenario '"
               << options.scenario.name << "')\n";
+    // Hot-restart evidence, greppable by the session-smoke CI job.
+    std::cerr << "rfsmd: service.sessions_recovered "
+              << server.sessions().recoveredSessions() << "\n";
+    if (server.sessions().quarantined() > 0)
+      std::cerr << "rfsmd: service.sessions_quarantined "
+                << server.sessions().quarantined() << "\n";
     server.run(&gStop);
+    std::cerr << "rfsmd: drained " << server.drainedRequests()
+              << " in-flight request(s), persisted "
+              << server.sessions().sessionCount() << " session(s)\n";
   } catch (const rfsm::Error& error) {
     std::cerr << "rfsmd: " << error.what() << "\n";
     return 1;

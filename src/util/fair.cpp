@@ -1,0 +1,96 @@
+#include "util/fair.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rfsm {
+
+TokenBucket::TokenBucket(double ratePerSec, double burst)
+    : rate_(ratePerSec),
+      burst_(std::max(burst, 1.0)),
+      tokens_(std::max(burst, 1.0)) {}
+
+void TokenBucket::refill(Clock::time_point now) {
+  if (last_ == Clock::time_point{}) {
+    last_ = now;
+    return;
+  }
+  if (now <= last_) return;
+  const double seconds =
+      std::chrono::duration<double>(now - last_).count();
+  tokens_ = std::min(burst_, tokens_ + seconds * rate_);
+  last_ = now;
+}
+
+bool TokenBucket::tryTake(double cost, Clock::time_point now) {
+  if (rate_ <= 0.0) return true;
+  refill(now);
+  if (tokens_ + 1e-9 < cost) return false;
+  tokens_ -= cost;
+  return true;
+}
+
+std::int64_t TokenBucket::msUntil(double cost, Clock::time_point now) const {
+  if (rate_ <= 0.0) return 0;
+  // Project the refill without mutating state (msUntil is a hint on the
+  // rejection path, after tryTake already refilled to `now`).
+  double tokens = tokens_;
+  if (last_ != Clock::time_point{} && now > last_) {
+    const double seconds =
+        std::chrono::duration<double>(now - last_).count();
+    tokens = std::min(burst_, tokens + seconds * rate_);
+  }
+  if (tokens >= cost) return 0;
+  const double seconds = (cost - tokens) / rate_;
+  return static_cast<std::int64_t>(std::ceil(seconds * 1000.0));
+}
+
+void FairScheduler::enqueue(const std::string& flow, int priority,
+                            double weight, Item item) {
+  auto [it, created] = flows_.try_emplace(flow);
+  Flow& f = it->second;
+  if (created) {
+    f.priority = priority;
+    f.weight = std::max(weight, 0.001);
+  }
+  // An idle flow re-arriving starts from the current virtual time — it
+  // competes fairly from now on instead of draining banked credit.
+  if (f.queue.empty() && !f.inFlight) f.vtime = std::max(f.vtime, vnow_);
+  f.queue.push_back(std::move(item));
+  ++depth_;
+}
+
+std::optional<FairScheduler::Next> FairScheduler::next() {
+  Flow* best = nullptr;
+  const std::string* bestName = nullptr;
+  for (auto& [name, f] : flows_) {
+    if (f.inFlight || f.queue.empty()) continue;
+    if (best == nullptr || f.priority < best->priority ||
+        (f.priority == best->priority && f.vtime < best->vtime)) {
+      best = &f;
+      bestName = &name;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  Next next{*bestName, std::move(best->queue.front())};
+  best->queue.pop_front();
+  --depth_;
+  best->inFlight = true;
+  ++inFlight_;
+  vnow_ = std::max(vnow_, best->vtime);
+  best->vtime += next.item.cost / best->weight;
+  return next;
+}
+
+void FairScheduler::done(const std::string& flow) {
+  const auto it = flows_.find(flow);
+  if (it == flows_.end() || !it->second.inFlight) return;
+  it->second.inFlight = false;
+  --inFlight_;
+}
+
+std::size_t FairScheduler::depth() const { return depth_; }
+
+bool FairScheduler::idle() const { return depth_ == 0 && inFlight_ == 0; }
+
+}  // namespace rfsm

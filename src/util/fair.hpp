@@ -1,0 +1,113 @@
+// Per-tenant isolation primitives for the session layer: token-bucket
+// admission control and priority-classed weighted-fair scheduling.
+//
+// Both are plain data structures — no threads, no clocks of their own —
+// so every policy decision is unit-testable deterministically.  The
+// SessionService wraps them in its own mutex/condvar and feeds the bucket
+// explicit time points.
+//
+// Fairness affects only *when* a session's work runs, never what it
+// computes: the planned bytes are a pure function of the request sequence
+// (service/session.hpp), so reordering across sessions is invisible in
+// transcripts.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace rfsm {
+
+/// Token-bucket rate limiter: `rate` tokens/second refill up to `burst`
+/// capacity; a request takes one token or is rejected with a retry hint.
+/// rate <= 0 means unlimited (every tryTake succeeds).
+class TokenBucket {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  TokenBucket() = default;
+  TokenBucket(double ratePerSec, double burst);
+
+  /// Takes `cost` tokens if available at `now`; false = rejected.
+  bool tryTake(double cost, Clock::time_point now);
+
+  /// Milliseconds until `cost` tokens will have refilled (0 when they are
+  /// already available) — the RESOURCE_EXHAUSTED retry hint.
+  std::int64_t msUntil(double cost, Clock::time_point now) const;
+
+  double rate() const { return rate_; }
+
+ private:
+  void refill(Clock::time_point now);
+
+  double rate_ = 0.0;
+  double burst_ = 0.0;
+  double tokens_ = 0.0;
+  Clock::time_point last_{};
+};
+
+/// Weighted-fair queueing across flows (sessions), with strict priority
+/// classes layered on top:
+///
+///  * a lower `priority` number always runs before a higher one;
+///  * within a class, backlogged flows share capacity in proportion to
+///    their weights (start-time fair queueing: each flow carries a virtual
+///    time that advances by cost/weight per item it runs; next() picks the
+///    smallest);
+///  * items of one flow run strictly FIFO, at most one in flight — a
+///    session's mutations must apply in sequence order.
+///
+/// A flow that idles does not bank credit: on re-arrival its virtual time
+/// is bumped to the scheduler's current virtual time.
+class FairScheduler {
+ public:
+  struct Item {
+    std::function<void()> run;
+    double cost = 1.0;
+  };
+
+  /// Appends an item to `flow`'s queue, creating the flow (with the given
+  /// class/weight) on first use; weight < 0.001 is clamped up.
+  void enqueue(const std::string& flow, int priority, double weight,
+               Item item);
+
+  /// Pops the next runnable item per the policy above and marks its flow
+  /// in-flight; nullopt when every backlogged flow is already in flight
+  /// (or nothing is queued).  The caller must call done(flow) after
+  /// running the item.
+  struct Next {
+    std::string flow;
+    Item item;
+  };
+  std::optional<Next> next();
+
+  /// Marks `flow`'s in-flight item finished, making its next item (if
+  /// any) runnable.
+  void done(const std::string& flow);
+
+  /// Queued (not yet popped) items across all flows.
+  std::size_t depth() const;
+
+  /// True when no items are queued and none are in flight.
+  bool idle() const;
+
+ private:
+  struct Flow {
+    int priority = 0;
+    double weight = 1.0;
+    double vtime = 0.0;
+    bool inFlight = false;
+    std::deque<Item> queue;
+  };
+
+  std::map<std::string, Flow> flows_;
+  double vnow_ = 0.0;  ///< virtual time of the most recent pop
+  std::size_t depth_ = 0;
+  std::size_t inFlight_ = 0;
+};
+
+}  // namespace rfsm

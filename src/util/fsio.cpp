@@ -1,0 +1,173 @@
+#include "util/fsio.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+
+namespace rfsm::fsio {
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw FsError(what + " '" + path + "': " + ::strerror(errno));
+}
+
+void fsyncFd(int fd, const std::string& path) {
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) fail("cannot fsync", path);
+}
+
+void writeAll(int fd, std::string_view bytes, const std::string& path) {
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("cannot write", path);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::string parentDir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+void fsyncParentDir(const std::string& path) {
+  const std::string dir = parentDir(path);
+  ipc::Fd fd(::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC));
+  if (!fd.valid()) fail("cannot open directory", dir);
+  fsyncFd(fd.get(), dir);
+}
+
+void writeFileDurable(const std::string& path, std::string_view bytes) {
+  const std::string temp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  ipc::Fd fd(::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                    0644));
+  if (!fd.valid()) fail("cannot create", temp);
+  try {
+    writeAll(fd.get(), bytes, temp);
+    fsyncFd(fd.get(), temp);
+  } catch (...) {
+    ::unlink(temp.c_str());
+    throw;
+  }
+  fd.reset();  // close before rename so the data precedes the name
+  if (::rename(temp.c_str(), path.c_str()) != 0) {
+    ::unlink(temp.c_str());
+    fail("cannot rename over", path);
+  }
+  fsyncParentDir(path);
+}
+
+ipc::Fd openAppend(const std::string& path) {
+  // O_EXCL first so we know whether the open *created* the file (and the
+  // parent directory therefore needs an fsync for the name to survive).
+  ipc::Fd fd(::open(path.c_str(),
+                    O_WRONLY | O_APPEND | O_CREAT | O_EXCL | O_CLOEXEC,
+                    0644));
+  if (fd.valid()) {
+    fsyncParentDir(path);
+    return fd;
+  }
+  if (errno != EEXIST) fail("cannot create", path);
+  fd = ipc::Fd(::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC));
+  if (!fd.valid()) fail("cannot open", path);
+  return fd;
+}
+
+void appendDurable(int fd, std::string_view bytes) {
+  const std::string label = "append fd " + std::to_string(fd);
+  writeAll(fd, bytes, label);
+  fsyncFd(fd, label);
+}
+
+std::optional<std::string> readFileIfExists(const std::string& path) {
+  ipc::Fd fd(::open(path.c_str(), O_RDONLY | O_CLOEXEC));
+  if (!fd.valid()) {
+    if (errno == ENOENT) return std::nullopt;
+    fail("cannot open", path);
+  }
+  std::string bytes;
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd.get(), buffer, sizeof buffer);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("cannot read", path);
+    }
+    if (n == 0) break;
+    bytes.append(buffer, static_cast<std::size_t>(n));
+  }
+  return bytes;
+}
+
+void makeDirs(const std::string& path) {
+  if (path.empty() || path == "/" || path == ".") return;
+  std::string prefix;
+  std::size_t pos = 0;
+  while (pos <= path.size()) {
+    const std::size_t slash = path.find('/', pos);
+    prefix = slash == std::string::npos ? path : path.substr(0, slash);
+    pos = slash == std::string::npos ? path.size() + 1 : slash + 1;
+    if (prefix.empty()) continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST)
+      fail("cannot create directory", prefix);
+  }
+}
+
+std::vector<std::string> listDir(const std::string& dir) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) fail("cannot list directory", dir);
+  std::vector<std::string> names;
+  for (;;) {
+    errno = 0;
+    dirent* entry = ::readdir(handle);
+    if (entry == nullptr) {
+      const int err = errno;
+      ::closedir(handle);
+      if (err != 0) {
+        errno = err;
+        fail("cannot read directory", dir);
+      }
+      break;
+    }
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st {};
+    if (::stat((dir + "/" + name).c_str(), &st) == 0 && S_ISREG(st.st_mode))
+      names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void removeFileDurable(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT)
+    fail("cannot unlink", path);
+  fsyncParentDir(path);
+}
+
+void renameDurable(const std::string& path, const std::string& newPath) {
+  if (::rename(path.c_str(), newPath.c_str()) != 0)
+    fail("cannot rename", path);
+  fsyncParentDir(newPath);
+}
+
+}  // namespace rfsm::fsio

@@ -1,0 +1,75 @@
+// Crash-consistent file IO for journals and snapshots.
+//
+// Two disciplines, matching the two kinds of durable state the session
+// layer keeps:
+//
+//  * writeFileDurable — whole-file replace via write-temp + fsync +
+//    rename + parent-directory fsync.  A crash at any instant leaves
+//    either the complete old bytes or the complete new bytes under the
+//    target name, never a torn or missing file.  (rename alone is atomic
+//    in the namespace but the *directory entry* is not durable until the
+//    parent directory is fsynced — the classic lost-rename bug.)
+//  * openAppend/appendDurable — write-ahead logs: open O_APPEND (fsyncing
+//    the parent when the open created the file, so the name survives),
+//    then append + fsync before every acknowledgement.
+//
+// Everything throws FsError naming the path and errno; callers decide
+// whether a failed write is fatal (WAL append: yes) or degradable
+// (snapshot: keep journaling, retry later).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/ipc.hpp"
+
+namespace rfsm::fsio {
+
+/// Thrown on filesystem failures; the message names the path and errno.
+class FsError : public Error {
+ public:
+  explicit FsError(const std::string& what) : Error(what) {}
+};
+
+/// The directory component of `path` ("." when there is none).
+std::string parentDir(const std::string& path);
+
+/// fsyncs the directory containing `path`, making renames/creates/unlinks
+/// of that entry durable.
+void fsyncParentDir(const std::string& path);
+
+/// Atomically replaces `path` with `bytes`: writes "<path>.tmp.<pid>",
+/// fsyncs it, renames it over `path`, and fsyncs the parent directory.
+void writeFileDurable(const std::string& path, std::string_view bytes);
+
+/// Opens `path` for appending, creating it (and fsyncing the parent so the
+/// new name is durable) when absent.
+ipc::Fd openAppend(const std::string& path);
+
+/// Appends `bytes` to `fd` and fsyncs before returning (the WAL rule:
+/// nothing is acknowledged until it is on disk).
+void appendDurable(int fd, std::string_view bytes);
+
+/// Whole-file read; nullopt when the file does not exist, FsError on any
+/// other failure.
+std::optional<std::string> readFileIfExists(const std::string& path);
+
+/// Creates `path` (and missing ancestors) as directories; no-op when it
+/// already exists.
+void makeDirs(const std::string& path);
+
+/// Names of the regular files directly inside `dir`, sorted.
+std::vector<std::string> listDir(const std::string& dir);
+
+/// Unlinks `path` (no error when absent) and fsyncs the parent directory.
+void removeFileDurable(const std::string& path);
+
+/// Renames `path` to `newPath` (same directory) and fsyncs the parent —
+/// used to quarantine corrupt snapshots/journals out of the recovery scan
+/// without destroying the evidence.
+void renameDurable(const std::string& path, const std::string& newPath);
+
+}  // namespace rfsm::fsio

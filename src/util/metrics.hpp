@@ -181,6 +181,38 @@ inline constexpr const char* kBatchCancelled = "batch.instances_cancelled";
 inline constexpr const char* kServiceRequestLatency = "service.request";
 inline constexpr const char* kServiceShardLatency = "service.shard";
 
+// Canonical metric names of the multi-tenant session layer
+// (service/session.hpp): session lifecycle, streaming mutations, delta
+// compaction, admission control, and crash recovery / graceful drain.
+inline constexpr const char* kSessionOpened = "session.opened";
+inline constexpr const char* kSessionResumed = "session.resumed";
+inline constexpr const char* kSessionMutationsAccepted =
+    "session.mutations_accepted";
+inline constexpr const char* kSessionMutationsRejected =
+    "session.mutations_rejected";
+inline constexpr const char* kSessionPlans = "session.plans";
+// Raw requested deltas that compaction folded away before planning
+// (consecutive deferred mutations re-writing or reverting the same cells).
+inline constexpr const char* kSessionDeltasCompacted =
+    "session.deltas_compacted";
+inline constexpr const char* kSessionSnapshots = "session.snapshots";
+// Sessions rebuilt from journals/snapshots after a hot restart; the
+// session-smoke CI job greps this nonzero after a SIGKILL.
+inline constexpr const char* kSessionsRecovered = "service.sessions_recovered";
+// Snapshot/journal files that failed to parse during recovery and were
+// quarantined (renamed aside, never deleted).
+inline constexpr const char* kSessionsQuarantined =
+    "service.sessions_quarantined";
+// Sessions persisted by a graceful SIGTERM drain.
+inline constexpr const char* kSessionsDrained = "service.sessions_drained";
+// In-flight requests completed (not abandoned) after the stop signal.
+inline constexpr const char* kServiceDrainedRequests =
+    "service.drained_requests";
+
+// Canonical histogram names of the session layer (nanosecond values).
+inline constexpr const char* kSessionMutateLatency = "session.mutate";
+inline constexpr const char* kSessionPlanLatency = "session.plan";
+
 // Canonical metric names used by the fault-tolerance subsystem.
 inline constexpr const char* kFaultsInjected = "fault.flips_injected";
 inline constexpr const char* kFaultsDetected = "fault.flips_detected";

@@ -18,6 +18,12 @@ Compares the telemetry snapshots two runs of the same bench wrote with
                     on shared CI runners are noisy; the gate is p99)
   * wall_ms         artifact wall time compared under --wall-threshold
                     (default: off) for coarse end-to-end drift
+  * curves          arrival-rate curves (top-level "curves" section, e.g.
+                    A16 bench_session_sweep): points are matched by
+                    offered_per_sec value; per-rate p99_ms is gated under
+                    --threshold like histograms, per-rate goodput_per_sec
+                    dropping more than --threshold percent is a REGRESSION,
+                    rates present on only one side are advisory
 
 Exit 0 = no gated regression, 1 = regression or counter mismatch,
 2 = unusable input.  Sub-millisecond baselines are ignored by the p99 gate
@@ -82,6 +88,107 @@ def pct(base, now):
     if base <= 0:
         return 0.0
     return 100.0 * (now - base) / base
+
+
+def curve_points(doc, origin, problems):
+    """The top-level "curves" section as {offered_rate: {metric: value}}.
+    None when the section is absent or unusable (recorded as a problem);
+    individual malformed entries are skipped with a problem each."""
+    curves = doc.get("curves")
+    if curves is None:
+        return None
+    if not isinstance(curves, dict):
+        problems.append(f"{origin}: 'curves' section is not an object")
+        return None
+    offered = curves.get("offered_per_sec")
+    if not isinstance(offered, list):
+        problems.append(
+            f"{origin}: curves.offered_per_sec missing or not an array"
+        )
+        return None
+    points = {}
+    for idx, rate in enumerate(offered):
+        rate_v = num(rate)
+        if rate_v is None:
+            problems.append(
+                f"{origin}: curves.offered_per_sec[{idx}] is non-numeric"
+            )
+            continue
+        point = {}
+        for key in ("goodput_per_sec", "p99_ms"):
+            array = curves.get(key)
+            value = None
+            if not isinstance(array, list) or idx >= len(array):
+                problems.append(
+                    f"{origin}: curves.{key} has no value for offered rate "
+                    f"{rate_v:g}"
+                )
+            else:
+                value = num(array[idx])
+                if value is None:
+                    problems.append(
+                        f"{origin}: curves.{key}[{idx}] is non-numeric"
+                    )
+            point[key] = value
+        points[rate_v] = point
+    return points
+
+
+def diff_curves(baseline, current, base_path, cur_path, threshold, problems):
+    """Prints the per-rate curve comparison; returns True on a gated
+    regression."""
+    base_points = curve_points(baseline, base_path, problems)
+    cur_points = curve_points(current, cur_path, problems)
+    if base_points is None and cur_points is None:
+        return False
+    print("curves (per offered rate):")
+    if base_points is None:
+        print("  no baseline curves: current curves not gated")
+        return False
+    if cur_points is None:
+        problems.append(f"{cur_path}: curves section vanished; not gated")
+        print("  curves vanished in current (see warnings)")
+        return False
+
+    failed = False
+    for rate in sorted(set(base_points) | set(cur_points)):
+        if rate not in base_points:
+            print(f"  (new) rate {rate:g}/s: no baseline, not gated")
+            continue
+        if rate not in cur_points:
+            print(f"  (gone) rate {rate:g}/s: present only in baseline")
+            continue
+        base_point = base_points[rate]
+        cur_point = cur_points[rate]
+
+        base_p99 = base_point.get("p99_ms")
+        cur_p99 = cur_point.get("p99_ms")
+        if base_p99 is not None and cur_p99 is not None:
+            delta = pct(base_p99, cur_p99)
+            line = (
+                f"  rate {rate:g}/s: p99 {base_p99:.3f} ms -> "
+                f"{cur_p99:.3f} ms ({delta:+.1f}%)"
+            )
+            if base_p99 >= NOISE_FLOOR_MS and delta > threshold:
+                print(f"REGRESSION{line}")
+                failed = True
+            else:
+                print(f"ok {line}")
+
+        base_goodput = base_point.get("goodput_per_sec")
+        cur_goodput = cur_point.get("goodput_per_sec")
+        if base_goodput is not None and cur_goodput is not None:
+            delta = pct(base_goodput, cur_goodput)
+            line = (
+                f"  rate {rate:g}/s: goodput {base_goodput:.1f}/s -> "
+                f"{cur_goodput:.1f}/s ({delta:+.1f}%)"
+            )
+            if base_goodput > 0 and delta < -threshold:
+                print(f"REGRESSION{line}")
+                failed = True
+            else:
+                print(f"ok {line}")
+    return failed
 
 
 def diff(baseline, current, base_path, cur_path, threshold, wall_threshold,
@@ -189,6 +296,11 @@ def diff(baseline, current, base_path, cur_path, threshold, wall_threshold,
             f"  (advisory) {key}: mean {base_mean:.3f} ms -> "
             f"{cur_mean:.3f} ms ({pct(base_mean, cur_mean):+.1f}%)"
         )
+
+    # Arrival-rate curves: per-rate p99 and goodput gates.
+    if diff_curves(baseline, current, base_path, cur_path, threshold,
+                   problems):
+        failed = True
 
     # Wall time: optional coarse gate.
     base_wall = num(baseline.get("wall_ms"))
@@ -354,6 +466,75 @@ def self_check():
         "malformed sections warn but the rest still diffs",
         sidecar({"counters": "oops", "histograms": {"rpc": {"p99_ms": 2.0}}}),
         sidecar({"counters": {"h": 1}, "histograms": {"rpc": {"p99_ms": 2.0}}}),
+        0,
+    )
+
+    def curves(offered, goodput, p99):
+        return {
+            "offered_per_sec": offered,
+            "goodput_per_sec": goodput,
+            "p99_ms": p99,
+        }
+
+    flat = curves([100, 400], [100.0, 230.0], [2.0, 110.0])
+    run(
+        "matching curves pass",
+        sidecar({}, curves=flat),
+        sidecar({}, curves=flat),
+        0,
+    )
+    run(
+        "per-rate p99 regression fails",
+        sidecar({}, curves=curves([100, 400], [100.0, 230.0], [2.0, 110.0])),
+        sidecar({}, curves=curves([100, 400], [100.0, 230.0], [2.0, 400.0])),
+        1,
+    )
+    run(
+        "per-rate goodput drop fails",
+        sidecar({}, curves=curves([100, 400], [100.0, 230.0], [2.0, 110.0])),
+        sidecar({}, curves=curves([100, 400], [100.0, 110.0], [2.0, 110.0])),
+        1,
+    )
+    run(
+        "sub-noise-floor curve p99 is not gated",
+        sidecar({}, curves=curves([100], [100.0], [0.05])),
+        sidecar({}, curves=curves([100], [100.0], [0.5])),
+        0,
+    )
+    run(
+        "missing and new rates are advisory",
+        sidecar({}, curves=curves([50, 100], [50.0, 100.0], [1.0, 2.0])),
+        sidecar({}, curves=curves([100, 200], [100.0, 195.0], [2.0, 3.0])),
+        0,
+    )
+    run(
+        "curves only in current are not gated",
+        sidecar({}),
+        sidecar({}, curves=flat),
+        0,
+    )
+    run(
+        "curves vanished in current warns, does not gate",
+        sidecar({}, curves=flat),
+        sidecar({}),
+        0,
+    )
+    run(
+        "curve arrays of unequal length warn, do not crash",
+        sidecar({}, curves=curves([100, 400], [100.0], [2.0, 110.0])),
+        sidecar({}, curves=flat),
+        0,
+    )
+    run(
+        "non-object curves section warns, does not crash",
+        sidecar({}, curves="oops"),
+        sidecar({}, curves=flat),
+        0,
+    )
+    run(
+        "non-numeric curve values warn, do not crash",
+        sidecar({}, curves=curves([100, "fast"], [100.0, 230.0], ["x", 2.0])),
+        sidecar({}, curves=flat),
         0,
     )
 
