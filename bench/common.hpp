@@ -99,6 +99,10 @@ inline void printTelemetry(int jobs, bool countersOnly = false) {
   if (countersOnly) {
     snap.timers.clear();
     snap.histograms.clear();
+    // Gauges and rolling windows are point-in-time levels (queue depths,
+    // sliding-window percentiles) — as nondeterministic as the timers.
+    snap.gauges.clear();
+    snap.rolling.clear();
   }
   // Tracer self-metrics depend on whether RFSM_TRACE is set, not on the
   // planner's work: printing them would break the bit-identical-artifact

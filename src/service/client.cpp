@@ -98,6 +98,11 @@ ClientResult planBatch(const BatchSpec& spec, const ClientOptions& options,
   request.deadlineMs = options.deadlineMs;
   request.requestId = spec.seed;  // correlates client logs with the server
 
+  trace::ScopedSpan span("service.plan_batch", "service",
+                         {trace::Arg::num("instances", spec.instanceCount)});
+  // Read after the span installs itself, so the server parents under it.
+  request.context = trace::currentContext();
+
   std::optional<std::string> reply;
   try {
     // The transport timeout leaves headroom over the request deadline so a

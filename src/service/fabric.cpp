@@ -53,11 +53,15 @@ bool isTerminal(Attempt::Kind kind) {
 
 /// One request/response exchange, classified.  `abandoned` (when given) is
 /// checked after the wire work: a cancelled hedge loser reports kAborted
-/// instead of blaming the endpoint for the cancellation.
+/// instead of blaming the endpoint for the cancellation.  `attemptTag`
+/// names the duplication kind (primary / retry / hedge / quorum /
+/// cache-verify) on the attempt span, and the span's own context rides the
+/// outgoing frame so the remote server parents under this exact attempt.
 Attempt attemptOnce(const ipc::Endpoint& endpoint, std::size_t index,
                     const PlanRequest& request, std::int64_t timeoutMs,
                     const CancelToken* cancel,
-                    const std::atomic<bool>* abandoned) {
+                    const std::atomic<bool>* abandoned,
+                    const char* attemptTag) {
   Attempt attempt;
   attempt.endpoint = index;
   auto aborted = [abandoned] {
@@ -65,9 +69,17 @@ Attempt attemptOnce(const ipc::Endpoint& endpoint, std::size_t index,
            abandoned->load(std::memory_order_relaxed);
   };
 
+  trace::ScopedSpan span("fabric.attempt", "fabric",
+                         {trace::Arg::str("endpoint", endpoint.describe()),
+                          trace::Arg::str("attempt", attemptTag),
+                          trace::Arg::num("lo", request.lo),
+                          trace::Arg::num("hi", request.hi)});
+  PlanRequest traced = request;
+  traced.context = trace::currentContext();
+
   std::optional<std::string> reply;
   try {
-    reply = exchangeEndpoint(endpoint, encodePlanRequest(request), timeoutMs,
+    reply = exchangeEndpoint(endpoint, encodePlanRequest(traced), timeoutMs,
                              cancel);
   } catch (const ipc::IpcError& error) {
     attempt.kind = aborted() ? Attempt::Kind::kAborted
@@ -140,6 +152,9 @@ WorkResult::Status merge(WorkResult::Status overall,
 struct Fabric::Impl {
   FabricOptions options;
   std::vector<std::unique_ptr<CircuitBreaker>> breakers;
+  /// Registry entries exposing the breakers to the live stats plane; must
+  /// die before `breakers` (member order does that).
+  std::vector<std::unique_ptr<BreakerRegistration>> breakerRegs;
   std::mutex jitterMutex;
   Rng jitterRng{1};
 
@@ -205,8 +220,9 @@ struct Fabric::Impl {
   /// to a second healthy endpoint.  First terminal answer wins, the loser
   /// is cancelled.  Transport failures on one leg let the other keep
   /// running.  All legs are settled against their breakers before return.
+  /// `attemptNumber` tags the primary leg's span (1 = primary, else retry).
   Attempt hedgedExchange(std::size_t primary, const PlanRequest& request,
-                         std::int64_t timeoutMs) {
+                         std::int64_t timeoutMs, int attemptNumber) {
     struct Leg {
       std::size_t endpoint = kNoEndpoint;
       std::shared_ptr<CancelToken> token;
@@ -220,24 +236,29 @@ struct Fabric::Impl {
     std::mutex mutex;
     std::condition_variable cv;
 
-    auto launch = [&](int slot, std::size_t endpointIndex) {
+    auto launch = [&](int slot, std::size_t endpointIndex,
+                      const char* tag) {
       Leg& leg = legs[static_cast<std::size_t>(slot)];
       leg.endpoint = endpointIndex;
       leg.token = std::make_shared<CancelToken>();
       if (timeoutMs > 0)
         leg.token->setDeadline(Clock::now() +
                                std::chrono::milliseconds(timeoutMs));
-      threads[static_cast<std::size_t>(slot)] = std::thread([&, slot] {
-        Leg& self = legs[static_cast<std::size_t>(slot)];
-        Attempt out =
-            attemptOnce(options.endpoints[self.endpoint], self.endpoint,
-                        request, timeoutMs, self.token.get(),
-                        &self.abandoned);
-        std::lock_guard<std::mutex> lock(mutex);
-        self.outcome = std::move(out);
-        self.finished = true;
-        cv.notify_all();
-      });
+      // Leg threads carry the caller's trace context explicitly — the
+      // thread-local context does not cross std::thread boundaries.
+      threads[static_cast<std::size_t>(slot)] = std::thread(
+          [&, slot, tag, context = trace::currentContext()] {
+            trace::ContextScope scope(context);
+            Leg& self = legs[static_cast<std::size_t>(slot)];
+            Attempt out =
+                attemptOnce(options.endpoints[self.endpoint], self.endpoint,
+                            request, timeoutMs, self.token.get(),
+                            &self.abandoned, tag);
+            std::lock_guard<std::mutex> lock(mutex);
+            self.outcome = std::move(out);
+            self.finished = true;
+            cv.notify_all();
+          });
     };
 
     // Decided = some leg answered terminally, or every launched leg is done
@@ -253,7 +274,7 @@ struct Fabric::Impl {
       return done == legCount;
     };
 
-    launch(0, primary);
+    launch(0, primary, attemptNumber == 1 ? "primary" : "retry");
     legCount = 1;
 
     if (options.hedgeMs > 0) {
@@ -276,7 +297,7 @@ struct Fabric::Impl {
                trace::Arg::str("endpoint",
                                options.endpoints[secondary].describe())});
           std::lock_guard<std::mutex> lock(mutex);
-          launch(1, secondary);
+          launch(1, secondary, "hedge");
           legCount = 2;
         }
       }
@@ -349,7 +370,7 @@ struct Fabric::Impl {
     bool diverged = false;
     for (const std::size_t index : replicas) {
       Attempt reply = attemptOnce(options.endpoints[index], index, request,
-                                  timeoutMs, nullptr, nullptr);
+                                  timeoutMs, nullptr, nullptr, "quorum");
       if (reply.kind == Attempt::Kind::kOk &&
           reply.programs != winner.programs)
         diverged = true;
@@ -427,7 +448,7 @@ struct Fabric::Impl {
       const std::int64_t timeoutMs =
           options.deadlineMs > 0 ? options.deadlineMs + 2000 : 30000;
       replica = attemptOnce(options.endpoints[primary], primary, request,
-                            timeoutMs, nullptr, nullptr);
+                            timeoutMs, nullptr, nullptr, "cache-verify");
       if (replica->kind == Attempt::Kind::kOk &&
           replica->programs == served.programs) {
         settle(*replica);  // independent agreement: the entry is clean
@@ -530,7 +551,7 @@ struct Fabric::Impl {
              trace::Arg::str("endpoint",
                              options.endpoints[primary].describe())});
       }
-      Attempt result = hedgedExchange(primary, request, timeoutMs);
+      Attempt result = hedgedExchange(primary, request, timeoutMs, attempt);
       if (isTerminal(result.kind)) {
         if (result.kind == Attempt::Kind::kOk && sampled &&
             options.quorum >= 2)
@@ -566,9 +587,14 @@ Fabric::Fabric(FabricOptions options) : impl_(std::make_unique<Impl>()) {
   impl_->options = std::move(options);
   impl_->jitterRng = Rng(impl_->options.jitterSeed);
   impl_->breakers.reserve(impl_->options.endpoints.size());
-  for (std::size_t k = 0; k < impl_->options.endpoints.size(); ++k)
+  impl_->breakerRegs.reserve(impl_->options.endpoints.size());
+  for (std::size_t k = 0; k < impl_->options.endpoints.size(); ++k) {
     impl_->breakers.push_back(
         std::make_unique<CircuitBreaker>(impl_->options.breaker));
+    impl_->breakerRegs.push_back(std::make_unique<BreakerRegistration>(
+        "fabric:" + impl_->options.endpoints[k].describe(),
+        impl_->breakers.back().get()));
+  }
 }
 
 Fabric::~Fabric() = default;
@@ -621,8 +647,12 @@ ClientResult Fabric::plan(const BatchSpec& spec, std::ostream& err) {
       std::min<std::size_t>(16, std::max<std::size_t>(1, ranges.size()));
   std::vector<std::thread> dispatchers;
   dispatchers.reserve(lanes);
+  // Dispatcher threads inherit the fabric.plan span as parent explicitly;
+  // the thread-local context does not cross std::thread boundaries.
+  const trace::TraceContext planContext = trace::currentContext();
   for (std::size_t lane = 0; lane < lanes; ++lane) {
     dispatchers.emplace_back([&] {
+      trace::ContextScope scope(planContext);
       for (;;) {
         const std::size_t k = next.fetch_add(1);
         if (k >= ranges.size()) return;

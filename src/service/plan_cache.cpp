@@ -45,6 +45,8 @@ bool planCacheEnabled() { return cache().capacity() > 0; }
 
 std::size_t planCacheSize() { return cache().size(); }
 
+std::size_t planCacheCapacity() { return cache().capacity(); }
+
 std::string planCacheKey(const BatchSpec& spec, std::uint64_t index) {
   CanonicalHasher hasher;
   hasher.u64(kPlanCacheKeyVersion)

@@ -65,6 +65,7 @@ void configurePlanCacheFromEnv();
 
 bool planCacheEnabled();
 std::size_t planCacheSize();
+std::size_t planCacheCapacity();
 
 /// Canonical key for instance `index` of `spec` (32 hex chars).  Absorbs
 /// every BatchSpec field that affects the planned bytes — dims, delta

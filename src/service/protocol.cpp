@@ -1,5 +1,7 @@
 #include "service/protocol.hpp"
 
+#include <bit>
+
 #include "core/jsr.hpp"
 #include "core/program.hpp"
 #include "gen/generator.hpp"
@@ -39,6 +41,33 @@ BatchSpec getSpec(ipc::MessageReader& reader) {
   spec.eaPopulation = static_cast<int>(reader.u32());
   spec.eaGenerations = static_cast<int>(reader.u32());
   return spec;
+}
+
+void putContext(ipc::MessageWriter& writer,
+                const trace::TraceContext& context) {
+  writer.u64(context.traceIdHi);
+  writer.u64(context.traceIdLo);
+  writer.u64(context.spanId);
+  writer.u32(context.sampled ? 1 : 0);
+}
+
+trace::TraceContext getContext(ipc::MessageReader& reader) {
+  trace::TraceContext context;
+  context.traceIdHi = reader.u64();
+  context.traceIdLo = reader.u64();
+  context.spanId = reader.u64();
+  context.sampled = reader.u32() != 0;
+  return context;
+}
+
+/// Doubles ride as IEEE-754 bit patterns — exact round-trip, no locale or
+/// precision games.
+void putF64(ipc::MessageWriter& writer, double value) {
+  writer.u64(std::bit_cast<std::uint64_t>(value));
+}
+
+double getF64(ipc::MessageReader& reader) {
+  return std::bit_cast<double>(reader.u64());
 }
 
 void expectType(ipc::MessageReader& reader, MessageType expected) {
@@ -257,6 +286,7 @@ std::string encodePlanRequest(const PlanRequest& request) {
   writer.u64(request.requestId);
   writer.u64(request.lo);
   writer.u64(request.hi);
+  putContext(writer, request.context);
   return writer.take();
 }
 
@@ -269,6 +299,7 @@ PlanRequest decodePlanRequest(const std::string& payload) {
   request.requestId = reader.u64();
   request.lo = reader.u64();
   request.hi = reader.u64();
+  request.context = getContext(reader);
   reader.expectEnd();
   return request;
 }
@@ -312,6 +343,7 @@ std::string encodeShardRequest(const ShardRequest& request) {
   writer.u64(request.lo);
   writer.u64(request.hi);
   writer.i64(request.deadlineNs);
+  putContext(writer, request.context);
   return writer.take();
 }
 
@@ -323,6 +355,7 @@ ShardRequest decodeShardRequest(const std::string& payload) {
   request.lo = reader.u64();
   request.hi = reader.u64();
   request.deadlineNs = reader.i64();
+  request.context = getContext(reader);
   reader.expectEnd();
   return request;
 }
@@ -405,6 +438,248 @@ void decodeWarmupResponse(const std::string& payload) {
   ipc::MessageReader reader(payload);
   expectType(reader, MessageType::kWarmupResponse);
   reader.expectEnd();
+}
+
+// --- Live stats plane -----------------------------------------------------
+
+namespace {
+
+void putSnapshot(ipc::MessageWriter& writer,
+                 const metrics::Snapshot& snapshot) {
+  writer.u32(static_cast<std::uint32_t>(snapshot.counters.size()));
+  for (const auto& c : snapshot.counters) {
+    writer.str(c.name);
+    writer.u64(c.value);
+  }
+  writer.u32(static_cast<std::uint32_t>(snapshot.gauges.size()));
+  for (const auto& g : snapshot.gauges) {
+    writer.str(g.name);
+    writer.i64(g.value);
+  }
+  writer.u32(static_cast<std::uint32_t>(snapshot.timers.size()));
+  for (const auto& t : snapshot.timers) {
+    writer.str(t.name);
+    writer.u64(t.count);
+    putF64(writer, t.totalMs);
+  }
+  writer.u32(static_cast<std::uint32_t>(snapshot.histograms.size()));
+  for (const auto& h : snapshot.histograms) {
+    writer.str(h.name);
+    writer.u64(h.count);
+    putF64(writer, h.p50Ms);
+    putF64(writer, h.p90Ms);
+    putF64(writer, h.p99Ms);
+    putF64(writer, h.maxMs);
+  }
+  writer.u32(static_cast<std::uint32_t>(snapshot.rolling.size()));
+  for (const auto& w : snapshot.rolling) {
+    writer.str(w.name);
+    writer.u64(w.count);
+    putF64(writer, w.p50Ms);
+    putF64(writer, w.p90Ms);
+    putF64(writer, w.p99Ms);
+    putF64(writer, w.maxMs);
+    writer.i64(w.windowMs);
+  }
+}
+
+metrics::Snapshot getSnapshot(ipc::MessageReader& reader) {
+  metrics::Snapshot snapshot;
+  std::uint32_t count = reader.u32();
+  snapshot.counters.reserve(count);
+  for (std::uint32_t k = 0; k < count; ++k) {
+    metrics::CounterSample c;
+    c.name = reader.str();
+    c.value = reader.u64();
+    snapshot.counters.push_back(std::move(c));
+  }
+  count = reader.u32();
+  snapshot.gauges.reserve(count);
+  for (std::uint32_t k = 0; k < count; ++k) {
+    metrics::GaugeSample g;
+    g.name = reader.str();
+    g.value = reader.i64();
+    snapshot.gauges.push_back(std::move(g));
+  }
+  count = reader.u32();
+  snapshot.timers.reserve(count);
+  for (std::uint32_t k = 0; k < count; ++k) {
+    metrics::TimerSample t;
+    t.name = reader.str();
+    t.count = reader.u64();
+    t.totalMs = getF64(reader);
+    snapshot.timers.push_back(std::move(t));
+  }
+  count = reader.u32();
+  snapshot.histograms.reserve(count);
+  for (std::uint32_t k = 0; k < count; ++k) {
+    metrics::HistogramSample h;
+    h.name = reader.str();
+    h.count = reader.u64();
+    h.p50Ms = getF64(reader);
+    h.p90Ms = getF64(reader);
+    h.p99Ms = getF64(reader);
+    h.maxMs = getF64(reader);
+    snapshot.histograms.push_back(std::move(h));
+  }
+  count = reader.u32();
+  snapshot.rolling.reserve(count);
+  for (std::uint32_t k = 0; k < count; ++k) {
+    metrics::RollingSample w;
+    w.name = reader.str();
+    w.count = reader.u64();
+    w.p50Ms = getF64(reader);
+    w.p90Ms = getF64(reader);
+    w.p99Ms = getF64(reader);
+    w.maxMs = getF64(reader);
+    w.windowMs = reader.i64();
+    snapshot.rolling.push_back(std::move(w));
+  }
+  return snapshot;
+}
+
+}  // namespace
+
+std::string encodeStatsRequest() {
+  ipc::MessageWriter writer;
+  writer.u32(static_cast<std::uint32_t>(MessageType::kStatsRequest));
+  return writer.take();
+}
+
+void decodeStatsRequest(const std::string& payload) {
+  ipc::MessageReader reader(payload);
+  expectType(reader, MessageType::kStatsRequest);
+  reader.expectEnd();
+}
+
+std::string encodeStatsResponse(const StatsResponse& response) {
+  ipc::MessageWriter writer;
+  writer.u32(static_cast<std::uint32_t>(MessageType::kStatsResponse));
+  writer.i64(response.pid);
+  writer.i64(response.uptimeMs);
+  writer.u32(response.draining ? 1 : 0);
+  writer.u32(response.workers.healthy ? 1 : 0);
+  writer.u32(static_cast<std::uint32_t>(response.workers.workersAlive));
+  writer.u32(static_cast<std::uint32_t>(response.workers.workersConfigured));
+  writer.u64(response.workers.queueDepth);
+  writer.u64(response.workers.crashes);
+  writer.u64(response.workers.retries);
+  writer.u64(response.workers.shed);
+  writer.u32(response.planCache.enabled ? 1 : 0);
+  writer.u64(response.planCache.size);
+  writer.u64(response.planCache.capacity);
+  writer.u32(static_cast<std::uint32_t>(response.breakers.size()));
+  for (const auto& breaker : response.breakers) {
+    writer.str(breaker.name);
+    writer.str(breaker.state);
+    writer.u64(breaker.trips);
+  }
+  writer.u32(static_cast<std::uint32_t>(response.sessions.size()));
+  for (const auto& session : response.sessions) {
+    writer.str(session.tenant);
+    writer.str(session.name);
+    writer.u32(session.priority);
+    putF64(writer, session.weight);
+    putF64(writer, session.vtime);
+    putF64(writer, session.tokensRemaining);
+    writer.u64(session.queued);
+    writer.u64(session.applied);
+    writer.i64(session.walAgeMs);
+    writer.i64(session.snapshotAgeMs);
+  }
+  writer.u64(response.openSessions);
+  writer.u64(response.schedulerDepth);
+  putF64(writer, response.schedulerVirtualNow);
+  putSnapshot(writer, response.metrics);
+  return writer.take();
+}
+
+StatsResponse decodeStatsResponse(const std::string& payload) {
+  ipc::MessageReader reader(payload);
+  expectType(reader, MessageType::kStatsResponse);
+  StatsResponse response;
+  response.pid = reader.i64();
+  response.uptimeMs = reader.i64();
+  response.draining = reader.u32() != 0;
+  response.workers.healthy = reader.u32() != 0;
+  response.workers.workersAlive = static_cast<int>(reader.u32());
+  response.workers.workersConfigured = static_cast<int>(reader.u32());
+  response.workers.queueDepth = reader.u64();
+  response.workers.crashes = reader.u64();
+  response.workers.retries = reader.u64();
+  response.workers.shed = reader.u64();
+  response.planCache.enabled = reader.u32() != 0;
+  response.planCache.size = reader.u64();
+  response.planCache.capacity = reader.u64();
+  std::uint32_t count = reader.u32();
+  response.breakers.reserve(count);
+  for (std::uint32_t k = 0; k < count; ++k) {
+    StatsResponse::BreakerStats breaker;
+    breaker.name = reader.str();
+    breaker.state = reader.str();
+    breaker.trips = reader.u64();
+    response.breakers.push_back(std::move(breaker));
+  }
+  count = reader.u32();
+  response.sessions.reserve(count);
+  for (std::uint32_t k = 0; k < count; ++k) {
+    StatsResponse::SessionStats session;
+    session.tenant = reader.str();
+    session.name = reader.str();
+    session.priority = reader.u32();
+    session.weight = getF64(reader);
+    session.vtime = getF64(reader);
+    session.tokensRemaining = getF64(reader);
+    session.queued = reader.u64();
+    session.applied = reader.u64();
+    session.walAgeMs = reader.i64();
+    session.snapshotAgeMs = reader.i64();
+    response.sessions.push_back(std::move(session));
+  }
+  response.openSessions = reader.u64();
+  response.schedulerDepth = reader.u64();
+  response.schedulerVirtualNow = getF64(reader);
+  response.metrics = getSnapshot(reader);
+  reader.expectEnd();
+  return response;
+}
+
+// --- Trace dump -----------------------------------------------------------
+
+std::string encodeTraceDumpRequest(const TraceDumpRequest& request) {
+  ipc::MessageWriter writer;
+  writer.u32(static_cast<std::uint32_t>(MessageType::kTraceDumpRequest));
+  writer.i64(request.clientSteadyNs);
+  return writer.take();
+}
+
+TraceDumpRequest decodeTraceDumpRequest(const std::string& payload) {
+  ipc::MessageReader reader(payload);
+  expectType(reader, MessageType::kTraceDumpRequest);
+  TraceDumpRequest request;
+  request.clientSteadyNs = reader.i64();
+  reader.expectEnd();
+  return request;
+}
+
+std::string encodeTraceDumpResponse(const TraceDumpResponse& response) {
+  ipc::MessageWriter writer;
+  writer.u32(static_cast<std::uint32_t>(MessageType::kTraceDumpResponse));
+  writer.i64(response.serverSteadyNs);
+  writer.i64(response.clientSteadyNs);
+  writer.str(response.traceJson);
+  return writer.take();
+}
+
+TraceDumpResponse decodeTraceDumpResponse(const std::string& payload) {
+  ipc::MessageReader reader(payload);
+  expectType(reader, MessageType::kTraceDumpResponse);
+  TraceDumpResponse response;
+  response.serverSteadyNs = reader.i64();
+  response.clientSteadyNs = reader.i64();
+  response.traceJson = reader.str();
+  reader.expectEnd();
+  return response;
 }
 
 // --- Session streaming ----------------------------------------------------
@@ -500,6 +775,7 @@ std::string encodeSessionMutateRequest(const SessionMutateRequest& request) {
   writer.u64(request.mutationSeed);
   writer.u32(request.defer ? 1 : 0);
   writer.u64(request.ackSeq);
+  putContext(writer, request.context);
   return writer.take();
 }
 
@@ -515,6 +791,7 @@ SessionMutateRequest decodeSessionMutateRequest(const std::string& payload) {
   request.mutationSeed = reader.u64();
   request.defer = reader.u32() != 0;
   request.ackSeq = reader.u64();
+  request.context = getContext(reader);
   reader.expectEnd();
   return request;
 }
@@ -666,6 +943,10 @@ MessageType peekType(const std::string& payload) {
     case 14: return MessageType::kSessionReplayResponse;
     case 15: return MessageType::kSessionCloseRequest;
     case 16: return MessageType::kSessionCloseResponse;
+    case 17: return MessageType::kStatsRequest;
+    case 18: return MessageType::kStatsResponse;
+    case 19: return MessageType::kTraceDumpRequest;
+    case 20: return MessageType::kTraceDumpResponse;
   }
   throw ipc::IpcError("unknown message type " + std::to_string(tag));
 }

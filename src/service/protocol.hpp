@@ -21,7 +21,9 @@
 #include "core/migration.hpp"
 #include "core/planners.hpp"
 #include "util/deadline.hpp"
+#include "util/metrics.hpp"
 #include "util/supervisor.hpp"
+#include "util/trace.hpp"
 
 namespace rfsm::service {
 
@@ -45,6 +47,11 @@ enum class MessageType : std::uint32_t {
   kSessionReplayResponse = 14,
   kSessionCloseRequest = 15,
   kSessionCloseResponse = 16,
+  // Live telemetry plane: stats scrape and distributed-trace collection.
+  kStatsRequest = 17,      ///< client -> server: live stats snapshot
+  kStatsResponse = 18,     ///< server -> client
+  kTraceDumpRequest = 19,  ///< client -> server: span-ring dump + clock echo
+  kTraceDumpResponse = 20, ///< server -> client
 };
 
 /// A batch of seeded random migration instances (the Table 2 axis): for
@@ -134,6 +141,12 @@ struct PlanRequest {
   /// concatenation is byte-identical to the unsharded planAll.
   std::uint64_t lo = 0;
   std::uint64_t hi = 0;
+  /// Distributed trace context of the caller's active span — the server
+  /// parents its "service.plan_request" span under it, so a stitched dump
+  /// links client -> fabric attempt -> daemon -> worker causally.  The
+  /// default (invalid, unsampled) context propagates nothing; tracing
+  /// observes, never steers (planned bytes are identical either way).
+  trace::TraceContext context;
 
   /// The effective range (resolves the whole-batch shorthand).
   std::uint64_t rangeLo() const { return lo; }
@@ -170,6 +183,9 @@ struct ShardRequest {
   /// Absolute deadline as steady_clock ns-since-epoch (CLOCK_MONOTONIC is
   /// machine-wide, and workers are always local children); 0 = none.
   std::int64_t deadlineNs = 0;
+  /// Trace context of the server's per-shard span; the worker's
+  /// "service.worker_shard" span parents under it.
+  trace::TraceContext context;
 };
 
 struct ShardResponse {
@@ -211,6 +227,95 @@ HealthResponse decodeHealthResponse(const std::string& payload);
 std::string encodeWarmupRequest();
 std::string encodeWarmupResponse();
 void decodeWarmupResponse(const std::string& payload);  ///< throws on junk
+
+// --- Live stats plane -----------------------------------------------------
+//
+// One scrape frame returns everything a running daemon knows about itself:
+// worker-pool health, plan-cache occupancy, per-tenant session gauges,
+// fair-scheduler virtual times, registered circuit breakers, and the full
+// metrics snapshot (counters, gauges, timers, histograms, rolling windows).
+// `rfsmc stats` renders it as a table, JSON, or Prometheus exposition;
+// nothing here affects planning.
+
+struct StatsResponse {
+  std::int64_t pid = 0;
+  std::int64_t uptimeMs = 0;
+  bool draining = false;
+  /// Worker-pool health (same fields the health probe reports).
+  HealthResponse workers;
+  struct PlanCacheStats {
+    bool enabled = false;
+    std::uint64_t size = 0;
+    std::uint64_t capacity = 0;
+  };
+  PlanCacheStats planCache;
+  /// Breakers registered in the answering process (BreakerRegistration).
+  /// A daemon usually hosts none — breakers live in fabric clients — but
+  /// the frame carries whatever the process has.
+  struct BreakerStats {
+    std::string name;
+    std::string state;  ///< CLOSED | OPEN | HALF-OPEN
+    std::uint64_t trips = 0;
+  };
+  std::vector<BreakerStats> breakers;
+  /// Per-tenant session gauges (one row per open session).
+  struct SessionStats {
+    std::string tenant;
+    std::string name;
+    std::uint32_t priority = 1;
+    double weight = 1.0;
+    /// Fair-scheduler virtual time of the session's flow.
+    double vtime = 0.0;
+    /// Admission tokens the tenant's bucket would have right now.
+    double tokensRemaining = 0.0;
+    /// Accepted-but-not-yet-applied mutations (queue depth).
+    std::uint64_t queued = 0;
+    std::uint64_t applied = 0;
+    /// Milliseconds since the last WAL append / snapshot; -1 = never.
+    std::int64_t walAgeMs = -1;
+    std::int64_t snapshotAgeMs = -1;
+  };
+  std::vector<SessionStats> sessions;
+  std::uint64_t openSessions = 0;
+  std::uint64_t schedulerDepth = 0;
+  /// Scheduler-wide virtual time (the vtime frontier).
+  double schedulerVirtualNow = 0.0;
+  /// Full metrics snapshot of the answering process.
+  metrics::Snapshot metrics;
+};
+
+std::string encodeStatsRequest();
+void decodeStatsRequest(const std::string& payload);  ///< throws on junk
+std::string encodeStatsResponse(const StatsResponse& response);
+StatsResponse decodeStatsResponse(const std::string& payload);
+
+// --- Trace dump -----------------------------------------------------------
+//
+// Fetches a process's span ring as Chrome-trace JSON, with a steady-clock
+// echo for cross-host offset estimation: the client records t0 before the
+// request and t1 after the reply, and tools/trace_stitch.py aligns the
+// dump with offset = serverSteadyNs - (t0 + t1) / 2.  Same-host processes
+// need no offset — CLOCK_MONOTONIC is machine-wide and every dump embeds
+// its own steadyEpochNs.
+
+struct TraceDumpRequest {
+  /// Client CLOCK_MONOTONIC ns at send (t0 of the offset handshake).
+  std::int64_t clientSteadyNs = 0;
+};
+
+struct TraceDumpResponse {
+  /// Server CLOCK_MONOTONIC ns when it built the dump.
+  std::int64_t serverSteadyNs = 0;
+  /// clientSteadyNs echoed back, so one socket can pipeline dumps.
+  std::int64_t clientSteadyNs = 0;
+  /// trace::toJson() of the server's ring (may be large; one frame).
+  std::string traceJson;
+};
+
+std::string encodeTraceDumpRequest(const TraceDumpRequest& request);
+TraceDumpRequest decodeTraceDumpRequest(const std::string& payload);
+std::string encodeTraceDumpResponse(const TraceDumpResponse& response);
+TraceDumpResponse decodeTraceDumpResponse(const std::string& payload);
 
 // --- Session streaming ----------------------------------------------------
 //
@@ -284,6 +389,10 @@ struct SessionMutateRequest {
   /// Transcript entries with seq <= ackSeq may be garbage-collected (the
   /// client has durably consumed them); 0 = keep everything.
   std::uint64_t ackSeq = 0;
+  /// Trace context of the streaming client; the daemon's mutate/apply spans
+  /// parent under it.  Not part of the journaled MutationRecord — replay
+  /// after recovery owes nobody a trace.
+  trace::TraceContext context;
 };
 
 struct SessionMutateResponse {

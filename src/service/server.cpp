@@ -1,6 +1,7 @@
 #include "service/server.hpp"
 
 #include <signal.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -11,6 +12,7 @@
 #include <vector>
 
 #include "service/plan_cache.hpp"
+#include "util/breaker.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
@@ -93,8 +95,21 @@ PlanResponse Server::handlePlan(const PlanRequest& request) {
   static metrics::Counter& shards = metrics::counter(metrics::kServiceShards);
   static metrics::Histogram& requestLatency =
       metrics::histogram(metrics::kServiceRequestLatency);
+  static metrics::RollingHistogram& requestWindow =
+      metrics::rolling(metrics::kServiceRequestWindow);
   requests.add();
   metrics::ScopedLatency latency(requestLatency);
+  metrics::ScopedWindowLatency windowLatency(requestWindow);
+
+  // Adopt the caller's distributed trace context (a no-op for the default
+  // unsampled context): the plan span below parents under the client's —
+  // or the fabric attempt's — span, and worker shards inherit the plan
+  // span as *their* parent via thread-current context.
+  trace::ContextScope contextScope(request.context);
+  trace::ScopedSpan planSpan(
+      "service.plan_request", "service",
+      {trace::Arg::num("request_id", request.requestId),
+       trace::Arg::num("instances", request.spec.instanceCount)});
 
   // One correlation id spans the whole request: every shard span, retry
   // instant, and the final verdict share it, so a Perfetto query for the
@@ -177,6 +192,9 @@ PlanResponse Server::handlePlan(const PlanRequest& request) {
       shard.lo = lo;
       shard.hi = hi;
       shard.deadlineNs = deadlineNs;
+      // The worker's service.worker_shard span parents under this
+      // request's plan span (the thread-current context installed above).
+      shard.context = trace::currentContext();
       shards.add();
       trace::asyncInstant("service.shard_submit", "service", correlation,
                           {trace::Arg::num("lo", lo), trace::Arg::num("hi", hi)});
@@ -282,10 +300,66 @@ HealthResponse Server::healthSnapshot() const {
   return response;
 }
 
+StatsResponse Server::handleStats() {
+  static metrics::Counter& scrapes =
+      metrics::counter(metrics::kServiceStatsRequests);
+  scrapes.add();
+
+  StatsResponse stats;
+  stats.pid = static_cast<std::int64_t>(::getpid());
+  stats.uptimeMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - started_)
+                       .count();
+  stats.draining = draining_.load(std::memory_order_relaxed);
+  stats.workers = healthSnapshot();
+  stats.planCache.enabled = planCacheEnabled();
+  stats.planCache.size = planCacheSize();
+  stats.planCache.capacity = planCacheCapacity();
+  for (const BreakerSnapshot& breaker : breakerSnapshots())
+    stats.breakers.push_back(
+        {breaker.name, toString(breaker.state), breaker.trips});
+  sessions_->fillStats(stats);
+
+  // Refresh the level gauges at scrape time, so both this frame's embedded
+  // snapshot and any later at-exit sink report current occupancy.
+  metrics::gauge(metrics::kServiceWorkersAlive)
+      .set(stats.workers.workersAlive);
+  metrics::gauge(metrics::kServiceQueueDepth)
+      .set(static_cast<std::int64_t>(stats.workers.queueDepth));
+  metrics::gauge(metrics::kServicePlanCacheSize)
+      .set(static_cast<std::int64_t>(stats.planCache.size));
+  metrics::gauge(metrics::kSessionsOpenGauge)
+      .set(static_cast<std::int64_t>(stats.openSessions));
+  metrics::gauge(metrics::kSessionSchedulerDepth)
+      .set(static_cast<std::int64_t>(stats.schedulerDepth));
+  stats.metrics = metrics::snapshot();
+  return stats;
+}
+
+TraceDumpResponse Server::handleTraceDump(const TraceDumpRequest& request) {
+  static metrics::Counter& dumps =
+      metrics::counter(metrics::kServiceTraceDumps);
+  dumps.add();
+  TraceDumpResponse response;
+  response.clientSteadyNs = request.clientSteadyNs;
+  response.traceJson = trace::toJson();
+  response.serverSteadyNs =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  return response;
+}
+
 std::string Server::dispatch(const std::string& payload) {
   switch (peekType(payload)) {
     case MessageType::kHealthRequest:
       return encodeHealthResponse(healthSnapshot());
+    case MessageType::kStatsRequest:
+      decodeStatsRequest(payload);
+      return encodeStatsResponse(handleStats());
+    case MessageType::kTraceDumpRequest:
+      return encodeTraceDumpResponse(
+          handleTraceDump(decodeTraceDumpRequest(payload)));
     case MessageType::kPlanRequest:
       return encodePlanResponse(handlePlan(decodePlanRequest(payload)));
     case MessageType::kSessionOpenRequest:

@@ -36,6 +36,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -92,6 +93,15 @@ class Server {
   /// Current pool health, as reported to probes.
   HealthResponse healthSnapshot() const;
 
+  /// Live telemetry scrape (kStatsRequest): pool health, plan-cache
+  /// occupancy, per-tenant session gauges, registered breakers, and the
+  /// full metrics snapshot.  Refreshes the service.*/session.* level
+  /// gauges so the embedded snapshot carries current values.
+  StatsResponse handleStats();
+
+  /// Span-ring dump with steady-clock echo (kTraceDumpRequest).
+  TraceDumpResponse handleTraceDump(const TraceDumpRequest& request);
+
   /// The session store (for tests and the daemon's startup/drain report).
   SessionService& sessions() { return *sessions_; }
   const SessionService& sessions() const { return *sessions_; }
@@ -110,6 +120,8 @@ class Server {
   Supervisor supervisor_;
   std::unique_ptr<SessionService> sessions_;
   ipc::Fd listen_;
+  std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
   std::atomic<bool> draining_{false};
   std::atomic<std::uint64_t> drainedRequests_{0};
 };

@@ -19,6 +19,7 @@
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
+#include "util/trace.hpp"
 
 namespace rfsm::service {
 namespace {
@@ -257,6 +258,10 @@ struct SessionService::Session {
   ipc::Fd walFd;
   std::string walPath;   ///< "" = volatile session
   std::string snapPath;
+  /// Live-telemetry freshness stamps ({} = never): last durable WAL
+  /// append and last snapshot replace, reported as ages by fillStats().
+  std::chrono::steady_clock::time_point lastWalAppend{};
+  std::chrono::steady_clock::time_point lastSnapshot{};
 };
 
 std::string SessionService::key(const std::string& tenant,
@@ -329,6 +334,9 @@ void SessionService::applyOne(const SessionPtr& session,
   PlanOutcome outcome;
   {
     metrics::ScopedLatency latency(planLatency);
+    trace::ScopedSpan span("session.apply", "session",
+                           {trace::Arg::num("seq", rec.seq),
+                            trace::Arg::boolean("defer", rec.defer)});
     // The engine is only ever touched by the executor holding this flow's
     // in-flight slot, so planning runs without the store mutex.
     outcome = session->engine.apply(rec);
@@ -362,6 +370,7 @@ void SessionService::appendWalLocked(Session& session,
   // before any reply — a crash after this point must replay it.
   const std::string line = session.wal.appendLine(mutPayload(rec));
   if (session.walFd.valid()) fsio::appendDurable(session.walFd.get(), line);
+  session.lastWalAppend = std::chrono::steady_clock::now();
 }
 
 void SessionService::persistLocked(Session& session) {
@@ -391,6 +400,7 @@ void SessionService::persistLocked(Session& session) {
   // it already covers — replay skips them by sequence number.
   fsio::writeFileDurable(session.snapPath, body);
   snapshots.add();
+  session.lastSnapshot = std::chrono::steady_clock::now();
 
   const std::uint64_t covered = session.engine.lastApplied();
   session.tail.erase(session.tail.begin(),
@@ -658,7 +668,18 @@ SessionMutateResponse SessionService::mutate(
       metrics::counter(metrics::kSessionMutationsRejected);
   static metrics::Histogram& mutateLatency =
       metrics::histogram(metrics::kSessionMutateLatency);
+  static metrics::RollingHistogram& mutateWindow =
+      metrics::rolling(metrics::kSessionMutateWindow);
   metrics::ScopedLatency latency(mutateLatency);
+  metrics::ScopedWindowLatency windowLatency(mutateWindow);
+  // Adopt the frame's trace context so the executor-side apply span chains
+  // back to the remote caller.  The context never enters the journal:
+  // replay after recovery owes nobody a trace.
+  trace::ContextScope contextScope(request.context);
+  trace::ScopedSpan mutateSpan(
+      "session.mutate_request", "session",
+      {trace::Arg::str("tenant", request.tenant),
+       trace::Arg::num("seq", request.seq)});
 
   SessionMutateResponse response;
   response.seq = request.seq;
@@ -730,8 +751,14 @@ SessionMutateResponse SessionService::mutate(
   session->tail.emplace(rec.seq, rec);
   accepted.add();
   const SessionConfig& config = session->engine.config();
+  // Hand the mutate span's context to the executor thread so the apply
+  // span parents under it (and, transitively, under the remote caller).
   scheduler_.enqueue(it->first, config.priority, config.weight,
-                     {[this, session, rec] { applyOne(session, rec); },
+                     {[this, session, rec,
+                       context = trace::currentContext()] {
+                        trace::ContextScope scope(context);
+                        applyOne(session, rec);
+                      },
                       1.0 + static_cast<double>(rec.deltaCount)});
   work_.notify_all();
   applied_.wait(lock,
@@ -844,6 +871,46 @@ std::size_t SessionService::drain() {
 std::size_t SessionService::sessionCount() const {
   std::lock_guard lock(mutex_);
   return sessions_.size();
+}
+
+void SessionService::fillStats(StatsResponse& stats) const {
+  std::lock_guard lock(mutex_);
+  std::map<std::string, double> vtimes;
+  for (const FairScheduler::FlowStats& flow : scheduler_.flowStats())
+    vtimes.emplace(flow.flow, flow.vtime);
+  const auto steadyNow = std::chrono::steady_clock::now();
+  const auto bucketNow = TokenBucket::Clock::now();
+  const auto ageMs = [&](std::chrono::steady_clock::time_point t) {
+    if (t == std::chrono::steady_clock::time_point{})
+      return static_cast<std::int64_t>(-1);
+    return static_cast<std::int64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(steadyNow - t)
+            .count());
+  };
+  for (const auto& [flowKey, session] : sessions_) {
+    const SessionConfig& config = session->engine.config();
+    StatsResponse::SessionStats row;
+    row.tenant = config.tenant;
+    row.name = config.name;
+    row.priority = static_cast<std::uint32_t>(config.priority);
+    row.weight = config.weight;
+    if (const auto vt = vtimes.find(flowKey); vt != vtimes.end())
+      row.vtime = vt->second;
+    // A tenant that has never mutated has no bucket yet — it would start
+    // with a full burst.
+    const auto bucket = buckets_.find(config.tenant);
+    row.tokensRemaining = bucket != buckets_.end()
+                              ? bucket->second.tokensAt(bucketNow)
+                              : options_.tenantBurst;
+    row.queued = session->lastAccepted - session->applied;
+    row.applied = session->applied;
+    row.walAgeMs = ageMs(session->lastWalAppend);
+    row.snapshotAgeMs = ageMs(session->lastSnapshot);
+    stats.sessions.push_back(std::move(row));
+  }
+  stats.openSessions = sessions_.size();
+  stats.schedulerDepth = scheduler_.depth();
+  stats.schedulerVirtualNow = scheduler_.virtualNow();
 }
 
 // --- SessionStream --------------------------------------------------------

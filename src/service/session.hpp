@@ -180,6 +180,11 @@ class SessionService {
   std::uint64_t quarantined() const { return quarantined_; }
   std::size_t sessionCount() const;
 
+  /// Fills the session section of a live stats scrape: one SessionStats
+  /// row per open session (queue depth, WAL/snapshot age, admission tokens,
+  /// scheduler vtime) plus the scheduler-wide depth and vtime frontier.
+  void fillStats(StatsResponse& stats) const;
+
  private:
   struct Session;
   using SessionPtr = std::shared_ptr<Session>;

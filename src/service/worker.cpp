@@ -11,6 +11,7 @@ namespace rfsm::service {
 
 int runWorker() {
   ipc::ignoreSigpipe();
+  trace::setProcessName("rfsmd-worker");
   std::string payload;
   while (true) {
     // No cancel token: an idle worker blocks until the next request or the
@@ -35,6 +36,10 @@ int runWorker() {
         cancel.setDeadline(CancelToken::Clock::time_point(
             CancelToken::Clock::duration(request.deadlineNs)));
       }
+      // Adopt the dispatching daemon's context so this span — recorded in
+      // the worker subprocess's own ring — parents under the daemon's
+      // dispatch span in the stitched cross-process trace.
+      trace::ContextScope contextScope(request.context);
       trace::ScopedSpan span(
           "service.worker_shard", "service",
           {trace::Arg::num("lo", request.lo), trace::Arg::num("hi", request.hi)});
@@ -64,6 +69,11 @@ int runWorker() {
     } catch (const ipc::IpcError&) {
       return 0;  // supervisor went away mid-reply; nothing left to serve
     }
+    // Flush the span ring after every reply: the supervisor retires idle
+    // and shutdown-time workers with SIGKILL (deliberately — the same path
+    // must dispose of hung workers), so atexit never runs here.  Each flush
+    // rewrites this pid's whole ring; one getenv when tracing is off.
+    trace::dumpToEnv();
   }
 }
 

@@ -1,6 +1,7 @@
 #include "tools/cli.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -542,6 +543,14 @@ int cmdPlan(const std::vector<std::string>& args, std::ostream& out,
         static_cast<std::size_t>(std::stoull(*planCacheArg)));
   const std::vector<ipc::Endpoint> endpoints = fabricEndpoints(args);
 
+  // Root of the distributed trace: with tracing enabled, every span below —
+  // the local planner's, the server's, the workers', and the fabric's —
+  // chains back to this context, across process boundaries.
+  trace::ContextScope traceScope(trace::beginTrace());
+  trace::ScopedSpan rootSpan("rfsmc.plan", "cli",
+                             {trace::Arg::num("instances", spec.instanceCount),
+                              trace::Arg::num("seed", spec.seed)});
+
   service::ClientResult result;
   const bool viaFabric = !endpoints.empty();
   if (viaFabric) {
@@ -575,17 +584,22 @@ int cmdPlan(const std::vector<std::string>& args, std::ostream& out,
   // server, fabric, and degraded runs); everything else goes to stderr.
   for (std::size_t k = 0; k < result.programs.size(); ++k)
     out << "# instance " << k << "\n" << result.programs[k];
+  // The summary tokens are the canonical metric names (DESIGN.md §12
+  // table), spelled via the constants so the stderr vocabulary cannot
+  // drift from the CSV/JSON/markdown sinks.  CI smokes grep these.
   err << "rfsmc: planned " << result.programs.size() << " instances ("
       << spec.planner
       << (viaFabric ? ", fabric" : server.has_value() ? ", server" : ", local")
-      << (result.degraded ? ", degraded" : "") << ", retries "
-      << result.retries << ", crashes " << result.crashes
-      << ", plan_cache_hits " << result.cacheHits;
+      << (result.degraded ? ", degraded" : "") << ", "
+      << metrics::kServiceShardRetries << " " << result.retries << ", "
+      << metrics::kServiceWorkerCrashes << " " << result.crashes << ", "
+      << metrics::kServicePlanCacheHits << " " << result.cacheHits;
   if (viaFabric) {
-    err << ", rerouted "
-        << metrics::counter(metrics::kFabricRerouted).value() << ", hedged "
-        << metrics::counter(metrics::kFabricHedged).value()
-        << ", quorum_mismatch "
+    err << ", " << metrics::kFabricRerouted << " "
+        << metrics::counter(metrics::kFabricRerouted).value() << ", "
+        << metrics::kFabricHedged << " "
+        << metrics::counter(metrics::kFabricHedged).value() << ", "
+        << metrics::kFabricQuorumMismatch << " "
         << metrics::counter(metrics::kFabricQuorumMismatch).value();
   }
   err << ")\n";
@@ -791,6 +805,278 @@ int cmdSession(const std::vector<std::string>& args, std::ostream& out,
   return 0;
 }
 
+/// Prometheus exposition metric name: rfsm_ prefix, [a-zA-Z0-9_] body.
+std::string promName(const std::string& name) {
+  std::string flat = "rfsm_";
+  for (const char c : name)
+    flat += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  return flat;
+}
+
+/// Prometheus / JSON label-value escaping (backslash and double quote).
+std::string escapeValue(const std::string& value) {
+  std::string escaped;
+  for (const char c : value) {
+    if (c == '\\' || c == '"') escaped += '\\';
+    escaped += c;
+  }
+  return escaped;
+}
+
+void renderStatsTable(const service::StatsResponse& stats,
+                      std::ostream& out) {
+  out << "daemon:     pid " << stats.pid << ", up "
+      << stats.uptimeMs / 1000 << " s"
+      << (stats.draining ? ", DRAINING" : "") << "\n";
+  out << "workers:    " << stats.workers.workersAlive << "/"
+      << stats.workers.workersConfigured << " alive, "
+      << (stats.workers.healthy ? "healthy" : "UNHEALTHY") << ", queue "
+      << stats.workers.queueDepth << ", crashes " << stats.workers.crashes
+      << ", retries " << stats.workers.retries << ", shed "
+      << stats.workers.shed << "\n";
+  out << "plan cache: "
+      << (stats.planCache.enabled
+              ? std::to_string(stats.planCache.size) + "/" +
+                    std::to_string(stats.planCache.capacity) + " entries"
+              : std::string("disabled"))
+      << "\n";
+  out << "scheduler:  depth " << stats.schedulerDepth << ", vtime "
+      << stats.schedulerVirtualNow << ", " << stats.openSessions
+      << " open session(s)\n";
+  if (!stats.breakers.empty()) {
+    Table table({"breaker", "state", "trips"});
+    for (const auto& breaker : stats.breakers)
+      table.addRow({breaker.name, breaker.state,
+                    std::to_string(breaker.trips)});
+    out << "\n" << table.toMarkdown();
+  }
+  if (!stats.sessions.empty()) {
+    Table table({"tenant", "session", "prio", "weight", "vtime", "tokens",
+                 "queued", "applied", "wal age ms", "snap age ms"});
+    for (const auto& s : stats.sessions) {
+      std::ostringstream weight, vtime, tokens;
+      weight << s.weight;
+      vtime << s.vtime;
+      tokens << s.tokensRemaining;
+      table.addRow({s.tenant, s.name, std::to_string(s.priority),
+                    weight.str(), vtime.str(), tokens.str(),
+                    std::to_string(s.queued), std::to_string(s.applied),
+                    std::to_string(s.walAgeMs),
+                    std::to_string(s.snapshotAgeMs)});
+    }
+    out << "\n" << table.toMarkdown();
+  }
+  const std::string rendered = metrics::toMarkdown(stats.metrics);
+  if (!rendered.empty()) out << "\n" << rendered;
+}
+
+void renderStatsJson(const service::StatsResponse& stats, std::ostream& out) {
+  out << "{\n";
+  out << "  \"pid\": " << stats.pid << ",\n";
+  out << "  \"uptime_ms\": " << stats.uptimeMs << ",\n";
+  out << "  \"draining\": " << (stats.draining ? "true" : "false") << ",\n";
+  out << "  \"workers\": {\"healthy\": "
+      << (stats.workers.healthy ? "true" : "false")
+      << ", \"alive\": " << stats.workers.workersAlive
+      << ", \"configured\": " << stats.workers.workersConfigured
+      << ", \"queue_depth\": " << stats.workers.queueDepth
+      << ", \"crashes\": " << stats.workers.crashes
+      << ", \"retries\": " << stats.workers.retries
+      << ", \"shed\": " << stats.workers.shed << "},\n";
+  out << "  \"plan_cache\": {\"enabled\": "
+      << (stats.planCache.enabled ? "true" : "false")
+      << ", \"size\": " << stats.planCache.size
+      << ", \"capacity\": " << stats.planCache.capacity << "},\n";
+  out << "  \"breakers\": [";
+  for (std::size_t k = 0; k < stats.breakers.size(); ++k) {
+    const auto& breaker = stats.breakers[k];
+    out << (k == 0 ? "" : ", ") << "{\"name\": \""
+        << escapeValue(breaker.name) << "\", \"state\": \"" << breaker.state
+        << "\", \"trips\": " << breaker.trips << "}";
+  }
+  out << "],\n";
+  out << "  \"sessions\": [";
+  for (std::size_t k = 0; k < stats.sessions.size(); ++k) {
+    const auto& s = stats.sessions[k];
+    out << (k == 0 ? "" : ", ") << "{\"tenant\": \"" << escapeValue(s.tenant)
+        << "\", \"name\": \"" << escapeValue(s.name)
+        << "\", \"priority\": " << s.priority << ", \"weight\": " << s.weight
+        << ", \"vtime\": " << s.vtime
+        << ", \"tokens_remaining\": " << s.tokensRemaining
+        << ", \"queued\": " << s.queued << ", \"applied\": " << s.applied
+        << ", \"wal_age_ms\": " << s.walAgeMs
+        << ", \"snapshot_age_ms\": " << s.snapshotAgeMs << "}";
+  }
+  out << "],\n";
+  out << "  \"open_sessions\": " << stats.openSessions << ",\n";
+  out << "  \"scheduler_depth\": " << stats.schedulerDepth << ",\n";
+  out << "  \"scheduler_vtime\": " << stats.schedulerVirtualNow << ",\n";
+  const std::string rendered = metrics::toJson(stats.metrics);
+  out << "  \"metrics\": " << (rendered.empty() ? "{}" : rendered) << "\n";
+  out << "}\n";
+}
+
+void renderStatsPrometheus(const service::StatsResponse& stats,
+                           std::ostream& out) {
+  auto gauge = [&](const std::string& name, const std::string& labels,
+                   double value, const char* type = "gauge") {
+    out << "# TYPE " << name << " " << type << "\n";
+    out << name << labels << " " << value << "\n";
+  };
+  gauge("rfsm_up", "", 1);
+  gauge("rfsm_uptime_seconds", "",
+        static_cast<double>(stats.uptimeMs) / 1000.0);
+  gauge("rfsm_draining", "", stats.draining ? 1 : 0);
+  gauge("rfsm_workers_alive", "",
+        static_cast<double>(stats.workers.workersAlive));
+  gauge("rfsm_workers_configured", "",
+        static_cast<double>(stats.workers.workersConfigured));
+  gauge("rfsm_worker_queue_depth", "",
+        static_cast<double>(stats.workers.queueDepth));
+  gauge("rfsm_plan_cache_enabled", "", stats.planCache.enabled ? 1 : 0);
+  gauge("rfsm_plan_cache_size", "",
+        static_cast<double>(stats.planCache.size));
+  gauge("rfsm_plan_cache_capacity", "",
+        static_cast<double>(stats.planCache.capacity));
+  gauge("rfsm_open_sessions", "",
+        static_cast<double>(stats.openSessions));
+  gauge("rfsm_scheduler_depth", "",
+        static_cast<double>(stats.schedulerDepth));
+  gauge("rfsm_scheduler_vtime", "", stats.schedulerVirtualNow);
+  if (!stats.breakers.empty()) {
+    out << "# TYPE rfsm_breaker_trips counter\n";
+    for (const auto& breaker : stats.breakers)
+      out << "rfsm_breaker_trips{name=\"" << escapeValue(breaker.name)
+          << "\",state=\"" << breaker.state << "\"} " << breaker.trips
+          << "\n";
+  }
+  if (!stats.sessions.empty()) {
+    out << "# TYPE rfsm_session_queued gauge\n";
+    for (const auto& s : stats.sessions)
+      out << "rfsm_session_queued{tenant=\"" << escapeValue(s.tenant)
+          << "\",session=\"" << escapeValue(s.name) << "\"} " << s.queued
+          << "\n";
+    out << "# TYPE rfsm_session_tokens_remaining gauge\n";
+    for (const auto& s : stats.sessions)
+      out << "rfsm_session_tokens_remaining{tenant=\""
+          << escapeValue(s.tenant) << "\",session=\"" << escapeValue(s.name)
+          << "\"} " << s.tokensRemaining << "\n";
+    out << "# TYPE rfsm_session_wal_age_ms gauge\n";
+    for (const auto& s : stats.sessions)
+      out << "rfsm_session_wal_age_ms{tenant=\"" << escapeValue(s.tenant)
+          << "\",session=\"" << escapeValue(s.name) << "\"} " << s.walAgeMs
+          << "\n";
+  }
+  for (const auto& counter : stats.metrics.counters)
+    gauge(promName(counter.name) + "_total", "",
+          static_cast<double>(counter.value), "counter");
+  for (const auto& g : stats.metrics.gauges)
+    gauge(promName(g.name), "", static_cast<double>(g.value));
+  for (const auto& window : stats.metrics.rolling) {
+    const std::string base = promName(window.name);
+    gauge(base + "_window_count", "", static_cast<double>(window.count));
+    gauge(base + "_window_p50_ms", "", window.p50Ms);
+    gauge(base + "_window_p90_ms", "", window.p90Ms);
+    gauge(base + "_window_p99_ms", "", window.p99Ms);
+  }
+}
+
+int cmdStats(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  const auto server = option(args, "--server");
+  if (!server.has_value())
+    throw CliError(
+        "usage: rfsmc stats --server ENDPOINT [--watch] "
+        "[--interval-ms MS] [--format table|json|prometheus]");
+  const std::string format = option(args, "--format").value_or("table");
+  if (format != "table" && format != "json" && format != "prometheus")
+    throw CliError("unknown stats format '" + format +
+                   "' (table|json|prometheus)");
+  const bool watch = flag(args, "--watch");
+  const auto interval = std::chrono::milliseconds(
+      std::stoll(option(args, "--interval-ms").value_or("2000")));
+  const ipc::Endpoint endpoint = ipc::parseEndpoint(*server);
+
+  for (;;) {
+    std::optional<std::string> reply;
+    try {
+      reply = service::exchangeEndpoint(endpoint,
+                                        service::encodeStatsRequest(),
+                                        /*timeoutMs=*/10000);
+    } catch (const ipc::IpcError& error) {
+      err << "rfsmc: no planner service at '" << *server << "': "
+          << error.what() << "\n";
+      return 1;
+    }
+    if (!reply.has_value()) {
+      err << "rfsmc: stats request to '" << *server << "' timed out\n";
+      return 1;
+    }
+    const service::StatsResponse stats =
+        service::decodeStatsResponse(*reply);
+    if (format == "json")
+      renderStatsJson(stats, out);
+    else if (format == "prometheus")
+      renderStatsPrometheus(stats, out);
+    else
+      renderStatsTable(stats, out);
+    if (!watch) return 0;
+    out << "\n";
+    out.flush();
+    std::this_thread::sleep_for(interval);
+  }
+}
+
+int cmdTraceDump(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err) {
+  const auto server = option(args, "--server");
+  const auto outFile = option(args, "--out");
+  if (!server.has_value() || !outFile.has_value())
+    throw CliError("usage: rfsmc trace-dump --server ENDPOINT --out FILE");
+  const auto steadyNs = [] {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  };
+  service::TraceDumpRequest request;
+  const std::int64_t t0 = steadyNs();
+  request.clientSteadyNs = t0;
+  std::optional<std::string> reply;
+  try {
+    reply = service::exchangeEndpoint(
+        ipc::parseEndpoint(*server),
+        service::encodeTraceDumpRequest(request), /*timeoutMs=*/10000);
+  } catch (const ipc::IpcError& error) {
+    err << "rfsmc: no planner service at '" << *server << "': "
+        << error.what() << "\n";
+    return 1;
+  }
+  const std::int64_t t1 = steadyNs();
+  if (!reply.has_value()) {
+    err << "rfsmc: trace dump request to '" << *server << "' timed out\n";
+    return 1;
+  }
+  const service::TraceDumpResponse response =
+      service::decodeTraceDumpResponse(*reply);
+  // Clock-offset handshake: the server stamped its CLOCK_MONOTONIC when it
+  // built the dump; the midpoint of [t0, t1] is our best estimate of the
+  // same instant locally.  Same-host offsets come out ~0 (shared clock).
+  const std::int64_t offsetNs = response.serverSteadyNs - (t0 + t1) / 2;
+  std::string dump = response.traceJson;
+  const std::size_t brace = dump.find('{');
+  if (brace == std::string::npos) {
+    err << "rfsmc: malformed trace dump from '" << *server << "'\n";
+    return 1;
+  }
+  dump.insert(brace + 1,
+              "\"clockOffsetNs\": " + std::to_string(offsetNs) + ", ");
+  writeFile(*outFile, dump);
+  err << "rfsmc: trace dump from '" << *server << "' written to '"
+      << *outFile << "' (clock offset " << offsetNs << " ns)\n";
+  (void)out;
+  return 0;
+}
+
 int cmdSamples(const std::vector<std::string>& args, std::ostream& out) {
   if (args.empty()) {
     for (const auto& name : sampleNames()) out << name << "\n";
@@ -844,6 +1130,14 @@ int cmdHelp(std::ostream& out) {
          "          [--new-states K] [--defer-every E] [--mutation-seed B]\n"
          "          [--resume] [--close] [--retry-for-ms MS]\n"
          "          exit 0 = streamed, 2 = not admitted in time\n"
+         "  stats --server ENDPOINT       live daemon telemetry (workers,\n"
+         "          [--watch]             breakers, plan cache, per-tenant\n"
+         "          [--interval-ms MS]    session gauges, scheduler vtimes)\n"
+         "          [--format table|json|prometheus]\n"
+         "  trace-dump --server ENDPOINT  fetch the daemon's span ring as\n"
+         "          --out FILE            Chrome-trace JSON (stitch multi-\n"
+         "                                process dumps with\n"
+         "                                tools/trace_stitch.py)\n"
          "  chain <m1> <m2> [...]         plan a release train + rollbacks\n"
          "  equiv <a> <b> [--symbolic]    behavioural equivalence check\n"
          "  report <from> <to>            one-page migration report\n"
@@ -860,6 +1154,7 @@ int cmdHelp(std::ostream& out) {
 
 int runCli(const std::vector<std::string>& args, std::ostream& out,
            std::ostream& err) {
+  if (trace::processName().empty()) trace::setProcessName("rfsmc");
   if (args.empty() || args[0] == "help" || args[0] == "--help")
     return cmdHelp(out);
   const std::vector<std::string> rest(args.begin() + 1, args.end());
@@ -885,6 +1180,8 @@ int runCli(const std::vector<std::string>& args, std::ostream& out,
     else if (args[0] == "report") code = cmdReport(rest, out);
     else if (args[0] == "samples") code = cmdSamples(rest, out);
     else if (args[0] == "plan") code = cmdPlan(rest, out, err);
+    else if (args[0] == "stats") code = cmdStats(rest, out, err);
+    else if (args[0] == "trace-dump") code = cmdTraceDump(rest, out, err);
     else if (args[0] == "session") code = cmdSession(rest, out, err);
     else {
       err << "rfsmc: unknown command '" << args[0] << "' (try rfsmc help)\n";

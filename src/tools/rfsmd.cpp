@@ -19,7 +19,9 @@
 #include "service/worker.hpp"
 #include "util/deadline.hpp"
 #include "util/fault.hpp"
+#include "util/metrics.hpp"
 #include "util/strings.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -94,6 +96,7 @@ int main(int argc, char** argv) {
   // supervisor consults and fills the cache around shard dispatch, so hits
   // cross worker boundaries through the parent, not per-process copies.
   if (flag(args, "--worker")) return rfsm::service::runWorker();
+  rfsm::trace::setProcessName("rfsmd");
 
   rfsm::service::ServerOptions options;
   try {
@@ -175,6 +178,21 @@ int main(int argc, char** argv) {
     std::cerr << "rfsmd: drained " << server.drainedRequests()
               << " in-flight request(s), persisted "
               << server.sessions().sessionCount() << " session(s)\n";
+    // Part of the graceful drain: flush the span ring to $RFSM_TRACE_OUT
+    // and (when $RFSM_METRICS asks for a format, as in the benches) the
+    // final metrics to stderr now, while the process is still healthy,
+    // instead of trusting atexit ordering under SIGTERM.
+    if (rfsm::trace::dumpToEnv())
+      std::cerr << "rfsmd: trace ring flushed to $RFSM_TRACE_OUT\n";
+    if (const char* format = std::getenv("RFSM_METRICS")) {
+      const rfsm::metrics::Snapshot finalSnapshot = rfsm::metrics::snapshot();
+      if (!finalSnapshot.empty()) {
+        const std::string fmt(format);
+        std::cerr << (fmt == "csv"    ? rfsm::metrics::toCsv(finalSnapshot)
+                      : fmt == "json" ? rfsm::metrics::toJson(finalSnapshot)
+                                      : rfsm::metrics::toMarkdown(finalSnapshot));
+      }
+    }
   } catch (const rfsm::Error& error) {
     std::cerr << "rfsmd: " << error.what() << "\n";
     return 1;

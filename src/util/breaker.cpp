@@ -1,5 +1,9 @@
 #include "util/breaker.hpp"
 
+#include <algorithm>
+#include <map>
+#include <utility>
+
 namespace rfsm {
 
 CircuitBreaker::CircuitBreaker(BreakerOptions options)
@@ -95,6 +99,66 @@ const char* toString(CircuitBreaker::State state) {
     case CircuitBreaker::State::kHalfOpen: return "HALF-OPEN";
   }
   return "UNKNOWN";
+}
+
+namespace {
+
+struct BreakerEntry {
+  std::string name;
+  const CircuitBreaker* breaker = nullptr;
+};
+
+struct BreakerDirectory {
+  std::mutex mutex;
+  std::uint64_t nextId = 1;
+  std::map<std::uint64_t, BreakerEntry> entries;
+};
+
+BreakerDirectory& breakerDirectory() {
+  static BreakerDirectory directory;
+  return directory;
+}
+
+}  // namespace
+
+BreakerRegistration::BreakerRegistration(std::string name,
+                                         const CircuitBreaker* breaker) {
+  BreakerDirectory& directory = breakerDirectory();
+  std::lock_guard<std::mutex> lock(directory.mutex);
+  id_ = directory.nextId++;
+  directory.entries[id_] = {std::move(name), breaker};
+}
+
+BreakerRegistration::~BreakerRegistration() {
+  BreakerDirectory& directory = breakerDirectory();
+  std::lock_guard<std::mutex> lock(directory.mutex);
+  directory.entries.erase(id_);
+}
+
+std::vector<BreakerSnapshot> breakerSnapshots() {
+  // Copy the entries under the directory lock, then query each breaker
+  // outside it — state() takes the breaker's own mutex and must not nest
+  // inside the directory's.  The registrations are RAII-tied to the
+  // breakers' owners, so the copied pointers stay valid until destructor
+  // ordering removes them from the map first.
+  std::vector<BreakerEntry> entries;
+  {
+    BreakerDirectory& directory = breakerDirectory();
+    std::lock_guard<std::mutex> lock(directory.mutex);
+    entries.reserve(directory.entries.size());
+    for (const auto& [id, entry] : directory.entries)
+      entries.push_back(entry);
+  }
+  std::vector<BreakerSnapshot> snapshots;
+  snapshots.reserve(entries.size());
+  for (const BreakerEntry& entry : entries)
+    snapshots.push_back(
+        {entry.name, entry.breaker->state(), entry.breaker->trips()});
+  std::sort(snapshots.begin(), snapshots.end(),
+            [](const BreakerSnapshot& a, const BreakerSnapshot& b) {
+              return a.name < b.name;
+            });
+  return snapshots;
 }
 
 }  // namespace rfsm

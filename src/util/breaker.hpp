@@ -26,6 +26,8 @@
 #include <chrono>
 #include <cstdint>
 #include <mutex>
+#include <string>
+#include <vector>
 
 namespace rfsm {
 
@@ -92,5 +94,32 @@ class CircuitBreaker {
 };
 
 const char* toString(CircuitBreaker::State state);
+
+/// RAII entry in the process-wide breaker registry, so the live stats
+/// plane (`rfsmc stats`) can enumerate every breaker the process currently
+/// hosts without the owners threading references around.  The registration
+/// must not outlive the breaker it names; fabric Impls own both, so their
+/// lifetimes already coincide.  Names need not be unique — two fabrics
+/// guarding the same endpoint each report their own row.
+class BreakerRegistration {
+ public:
+  BreakerRegistration(std::string name, const CircuitBreaker* breaker);
+  ~BreakerRegistration();
+  BreakerRegistration(const BreakerRegistration&) = delete;
+  BreakerRegistration& operator=(const BreakerRegistration&) = delete;
+
+ private:
+  std::uint64_t id_ = 0;
+};
+
+/// Point-in-time view of one registered breaker.
+struct BreakerSnapshot {
+  std::string name;
+  CircuitBreaker::State state = CircuitBreaker::State::kClosed;
+  std::uint64_t trips = 0;
+};
+
+/// All currently registered breakers, sorted by name.
+std::vector<BreakerSnapshot> breakerSnapshots();
 
 }  // namespace rfsm

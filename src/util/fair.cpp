@@ -45,6 +45,18 @@ std::int64_t TokenBucket::msUntil(double cost, Clock::time_point now) const {
   return static_cast<std::int64_t>(std::ceil(seconds * 1000.0));
 }
 
+double TokenBucket::tokensAt(Clock::time_point now) const {
+  if (rate_ <= 0.0) return burst_;
+  // Same non-mutating projection as msUntil.
+  double tokens = tokens_;
+  if (last_ != Clock::time_point{} && now > last_) {
+    const double seconds =
+        std::chrono::duration<double>(now - last_).count();
+    tokens = std::min(burst_, tokens + seconds * rate_);
+  }
+  return tokens;
+}
+
 void FairScheduler::enqueue(const std::string& flow, int priority,
                             double weight, Item item) {
   auto [it, created] = flows_.try_emplace(flow);
@@ -92,5 +104,14 @@ void FairScheduler::done(const std::string& flow) {
 std::size_t FairScheduler::depth() const { return depth_; }
 
 bool FairScheduler::idle() const { return depth_ == 0 && inFlight_ == 0; }
+
+std::vector<FairScheduler::FlowStats> FairScheduler::flowStats() const {
+  std::vector<FlowStats> stats;
+  stats.reserve(flows_.size());
+  for (const auto& [name, f] : flows_)
+    stats.push_back({name, f.priority, f.weight, f.vtime, f.queue.size(),
+                     f.inFlight});
+  return stats;
+}
 
 }  // namespace rfsm

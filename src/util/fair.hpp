@@ -19,6 +19,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace rfsm {
 
@@ -39,7 +40,12 @@ class TokenBucket {
   /// already available) — the RESOURCE_EXHAUSTED retry hint.
   std::int64_t msUntil(double cost, Clock::time_point now) const;
 
+  /// Tokens that would be available at `now` (non-mutating projection, for
+  /// the live stats plane).  Reports `burst` when the bucket is unlimited.
+  double tokensAt(Clock::time_point now) const;
+
   double rate() const { return rate_; }
+  double burst() const { return burst_; }
 
  private:
   void refill(Clock::time_point now);
@@ -94,6 +100,23 @@ class FairScheduler {
 
   /// True when no items are queued and none are in flight.
   bool idle() const;
+
+  /// Point-in-time view of one flow, for the live stats plane.
+  struct FlowStats {
+    std::string flow;
+    int priority = 0;
+    double weight = 1.0;
+    double vtime = 0.0;
+    std::size_t queued = 0;
+    bool inFlight = false;
+  };
+
+  /// Every flow the scheduler has seen (idle ones included — their vtime
+  /// still tells where they would re-enter), in map (name) order.
+  std::vector<FlowStats> flowStats() const;
+
+  /// Virtual time of the most recent pop.
+  double virtualNow() const { return vnow_; }
 
  private:
   struct Flow {

@@ -87,4 +87,88 @@ void Histogram::reset() {
   atomicRef(max_).store(0, std::memory_order_relaxed);
 }
 
+void Histogram::mergeFrom(const Histogram& other) {
+  for (int b = 0; b < kBucketCount; ++b) {
+    const std::uint64_t n = load(other.counts_[b]);
+    if (n != 0)
+      atomicRef(counts_[b]).fetch_add(n, std::memory_order_relaxed);
+  }
+  atomicRef(count_).fetch_add(load(other.count_),
+                              std::memory_order_relaxed);
+  atomicRef(sum_).fetch_add(load(other.sum_), std::memory_order_relaxed);
+  const std::uint64_t otherMax = load(other.max_);
+  std::uint64_t seen = load(max_);
+  while (otherMax > seen &&
+         !atomicRef(max_).compare_exchange_weak(seen, otherMax,
+                                                std::memory_order_relaxed)) {
+  }
+}
+
+// --- RollingHistogram ----------------------------------------------------
+
+RollingHistogram::RollingHistogram(std::chrono::milliseconds window)
+    : window_(window),
+      sliceMs_(std::max<std::chrono::milliseconds::rep>(
+                   1, window.count() / kSlices)) {}
+
+std::uint64_t RollingHistogram::epochAt(Clock::time_point now) const {
+  const auto sinceEpoch =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count();
+  return static_cast<std::uint64_t>(sinceEpoch / sliceMs_.count()) + 1;
+}
+
+void RollingHistogram::rotate(std::size_t slice, std::uint64_t epoch) {
+  Slice& s = slices_[slice];
+  std::uint64_t seen = load(s.epoch);
+  while (seen < epoch) {
+    if (atomicRef(s.epoch).compare_exchange_weak(
+            seen, epoch, std::memory_order_relaxed)) {
+      // This thread won the rotation; clear the recycled slice.  A racing
+      // record may land between the CAS and the reset and be lost — the
+      // window is approximate at slice edges by contract.
+      s.hist.reset();
+      return;
+    }
+  }
+}
+
+void RollingHistogram::record(std::uint64_t value, Clock::time_point now) {
+  const std::uint64_t epoch = epochAt(now);
+  const std::size_t slice = static_cast<std::size_t>(epoch % kSlices);
+  rotate(slice, epoch);
+  slices_[slice].hist.record(value);
+}
+
+RollingHistogram::Stats RollingHistogram::stats(Clock::time_point now) const {
+  const std::uint64_t epoch = epochAt(now);
+  Histogram merged;
+  for (int k = 0; k < kSlices; ++k) {
+    const std::uint64_t sliceEpoch = load(slices_[k].epoch);
+    if (sliceEpoch == 0 || sliceEpoch + kSlices <= epoch) continue;
+    if (sliceEpoch > epoch) continue;  // torn read during rotation
+    merged.mergeFrom(slices_[k].hist);
+  }
+  Stats stats;
+  stats.count = merged.count();
+  if (stats.count == 0) return stats;
+  stats.p50 = merged.quantile(0.5);
+  stats.p90 = merged.quantile(0.9);
+  stats.p99 = merged.quantile(0.99);
+  stats.max = merged.max();
+  return stats;
+}
+
+std::uint64_t RollingHistogram::count(Clock::time_point now) const {
+  return stats(now).count;
+}
+
+void RollingHistogram::reset() {
+  for (auto& slice : slices_) {
+    atomicRef(slice.epoch).store(0, std::memory_order_relaxed);
+    slice.hist.reset();
+  }
+}
+
 }  // namespace rfsm::metrics

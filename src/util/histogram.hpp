@@ -44,6 +44,11 @@ class Histogram {
 
   void reset();
 
+  /// Adds `other`'s buckets, counts, and max into this histogram (relaxed
+  /// loads of `other`, atomic adds here).  Used by RollingHistogram to
+  /// merge live window slices into one percentile view.
+  void mergeFrom(const Histogram& other);
+
   /// Bucket index a value lands in (exposed for tests).
   static int bucketOf(std::uint64_t value);
   /// Smallest value mapping to `bucket`.
@@ -55,6 +60,79 @@ class Histogram {
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
   std::uint64_t max_ = 0;
+};
+
+/// Sliding-window percentile histogram: a ring of time-sliced Histograms.
+/// record() lands in the slice covering "now"; a slice whose time has come
+/// around again is reset and re-tagged before use, so stats() always
+/// aggregates only the last `window` of samples.  Everything is atomics —
+/// recording off the hot path costs the same two relaxed adds as a plain
+/// Histogram plus one epoch load; rotation is a CAS won by one recorder.
+/// Slice boundaries are approximate by design: a sample racing a rotation
+/// may land in a freshly cleared slice, which is harmless for a live
+/// telemetry window.
+class RollingHistogram {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Slices per window: the window advances in window/kSlices steps, so a
+  /// freshly expired sample lingers at most one slice.
+  static constexpr int kSlices = 8;
+
+  RollingHistogram() : RollingHistogram(std::chrono::seconds(60)) {}
+  explicit RollingHistogram(std::chrono::milliseconds window);
+
+  void record(std::uint64_t value) { record(value, Clock::now()); }
+  void record(std::uint64_t value, Clock::time_point now);
+  void record(std::chrono::nanoseconds elapsed) {
+    record(static_cast<std::uint64_t>(
+        elapsed.count() < 0 ? 0 : elapsed.count()));
+  }
+
+  /// Point-in-time aggregate over the slices still inside the window.
+  struct Stats {
+    std::uint64_t count = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p90 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t max = 0;
+  };
+  Stats stats(Clock::time_point now = Clock::now()) const;
+
+  std::uint64_t count(Clock::time_point now = Clock::now()) const;
+  std::chrono::milliseconds window() const { return window_; }
+  void reset();
+
+ private:
+  /// Monotone slice epoch at `now` (>= 1, so 0 = never used).
+  std::uint64_t epochAt(Clock::time_point now) const;
+  /// Re-tags (and clears) the slice for `epoch` if it is stale.
+  void rotate(std::size_t slice, std::uint64_t epoch);
+
+  std::chrono::milliseconds window_{60000};
+  std::chrono::milliseconds sliceMs_{7500};
+  struct Slice {
+    std::uint64_t epoch = 0;  // accessed via std::atomic_ref
+    Histogram hist;
+  };
+  Slice slices_[kSlices];
+};
+
+/// Records the guard's lifetime into a RollingHistogram (nanoseconds).
+class ScopedWindowLatency {
+ public:
+  explicit ScopedWindowLatency(RollingHistogram& window)
+      : window_(window), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedWindowLatency() {
+    window_.record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - start_));
+  }
+  ScopedWindowLatency(const ScopedWindowLatency&) = delete;
+  ScopedWindowLatency& operator=(const ScopedWindowLatency&) = delete;
+
+ private:
+  RollingHistogram& window_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 /// Records the guard's lifetime into `histogram` (nanoseconds).

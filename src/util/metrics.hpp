@@ -43,6 +43,24 @@ class Timer {
   std::uint64_t totalNs_ = 0;
 };
 
+/// Last-write-wins level gauge (queue depths, occupancy, worker counts).
+/// A gauge that was never set is omitted from snapshots, like a zero
+/// counter, so idle processes stay out of the sinks.
+class Gauge {
+ public:
+  void set(std::int64_t value);
+  void add(std::int64_t delta);
+  std::int64_t value() const;
+  /// True once set/add has been called (snapshot inclusion criterion —
+  /// a gauge legitimately sitting at 0 still reports).
+  bool touched() const;
+  void reset();
+
+ private:
+  std::int64_t value_ = 0;   // accessed via atomic_ref-style atomics
+  std::uint64_t writes_ = 0;
+};
+
 /// Records the lifetime of the guard into `timer`.
 class ScopedTimer {
  public:
@@ -62,6 +80,11 @@ class ScopedTimer {
 Counter& counter(const std::string& name);
 Timer& timer(const std::string& name);
 Histogram& histogram(const std::string& name);
+Gauge& gauge(const std::string& name);
+/// Sliding-window percentile histogram (util/histogram.hpp); the live
+/// stats plane reads these, the cumulative `histogram` entries keep
+/// feeding the at-exit sinks.
+RollingHistogram& rolling(const std::string& name);
 
 /// Point-in-time copy of every non-zero metric, sorted by name.
 struct CounterSample {
@@ -82,12 +105,29 @@ struct HistogramSample {
   double p99Ms = 0.0;
   double maxMs = 0.0;
 };
+struct GaugeSample {
+  std::string name;
+  std::int64_t value = 0;
+};
+struct RollingSample {
+  std::string name;
+  std::uint64_t count = 0;
+  // Windowed percentiles of the recorded nanosecond values, in ms.
+  double p50Ms = 0.0;
+  double p90Ms = 0.0;
+  double p99Ms = 0.0;
+  double maxMs = 0.0;
+  std::int64_t windowMs = 0;
+};
 struct Snapshot {
   std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
   std::vector<TimerSample> timers;
   std::vector<HistogramSample> histograms;
+  std::vector<RollingSample> rolling;
   bool empty() const {
-    return counters.empty() && timers.empty() && histograms.empty();
+    return counters.empty() && gauges.empty() && timers.empty() &&
+           histograms.empty() && rolling.empty();
   }
 };
 
@@ -103,11 +143,14 @@ std::string toMarkdown(const Snapshot& snapshot);
 
 /// Machine-readable sinks, so bench sweeps can be diffed across commits.
 /// CSV columns: kind,name,value,count,total_ms,p50_ms,p90_ms,p99_ms,max_ms
-/// (each kind fills only its own columns); fields are quoted per RFC 4180
+/// (each kind fills only its own columns; `rolling` rows carry their window
+/// length, in ms, in the value column); fields are quoted per RFC 4180
 /// when they contain commas, quotes, or newlines.  JSON is a single object
-/// {"counters": {...}, "timers": {name: {"count": n, "total_ms": x}},
-/// "histograms": {name: {"count": n, "p50_ms": x, ...}}}.  Both render ""
-/// for an empty snapshot.
+/// {"counters": {...}, "gauges": {...},
+/// "timers": {name: {"count": n, "total_ms": x}},
+/// "histograms": {name: {"count": n, "p50_ms": x, ...}},
+/// "rolling": {name: {..., "window_ms": n}}}.  Both render "" for an empty
+/// snapshot.
 std::string toCsv(const Snapshot& snapshot);
 std::string toJson(const Snapshot& snapshot);
 
@@ -222,5 +265,27 @@ inline constexpr const char* kVerifierCacheHits = "verify.version_cache_hits";
 inline constexpr const char* kRecoveryResumes = "recovery.resumes";
 inline constexpr const char* kRecoveryPatches = "recovery.patches";
 inline constexpr const char* kRecoveryRollbacks = "recovery.rollbacks";
+
+// Canonical names of the live telemetry plane (stats frame, `rfsmc
+// stats`): stats/trace-dump request counts, level gauges, and the rolling
+// (sliding-window) latency views.
+inline constexpr const char* kServiceStatsRequests = "service.stats_requests";
+inline constexpr const char* kServiceTraceDumps = "service.trace_dumps";
+inline constexpr const char* kServiceWorkersAlive = "service.workers_alive";
+inline constexpr const char* kServiceQueueDepth = "service.queue_depth";
+inline constexpr const char* kServicePlanCacheSize =
+    "service.plan_cache_size";
+inline constexpr const char* kSessionsOpenGauge = "session.open_sessions";
+inline constexpr const char* kSessionSchedulerDepth =
+    "session.scheduler_depth";
+// Rolling-window twins of the cumulative request/mutate histograms.
+inline constexpr const char* kServiceRequestWindow = "service.request_window";
+inline constexpr const char* kSessionMutateWindow = "session.mutate_window";
+
+/// Every canonical metric name above, in one list — the single source of
+/// truth the naming-drift regression test diffs sink output against
+/// (tests/test_metrics_names.cpp).  A name emitted by any sink or stderr
+/// summary token that is not in this set is drift.
+std::vector<std::string> canonicalNames();
 
 }  // namespace rfsm::metrics

@@ -60,8 +60,22 @@ struct State {
   std::size_t head = 0;  // oldest event once the ring is full
   std::uint64_t dropped = 0;
   std::map<int, std::string> threadNames;
+  std::string processName;
   std::atomic<std::uint64_t> nextCorrelationId{1};
+  std::atomic<std::uint64_t> nextSpanSalt{1};
 };
+
+/// The thread's adopted distributed-trace context (invalid by default).
+thread_local TraceContext tCurrentContext;
+
+/// splitmix64: cheap, well-mixed ids for spans and trace ids.  Identifier
+/// quality only — never feeds planning, so determinism is unaffected.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
 
 /// Leaked on purpose: the tracer must survive static destruction (atexit
 /// dump, spans in other objects' destructors).
@@ -201,6 +215,61 @@ std::uint64_t nowNs() {
           .count());
 }
 
+std::uint64_t steadyEpochNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          epoch().time_since_epoch())
+          .count());
+}
+
+void setProcessName(const std::string& name) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.processName = name;
+}
+
+std::string processName() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.processName;
+}
+
+std::string TraceContext::traceIdHex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(traceIdHi),
+                static_cast<unsigned long long>(traceIdLo));
+  return buf;
+}
+
+TraceContext currentContext() { return tCurrentContext; }
+
+std::uint64_t newSpanId() {
+  const std::uint64_t salt =
+      state().nextSpanSalt.fetch_add(1, std::memory_order_relaxed);
+  // Salted with pid and the per-process counter so ids from the client,
+  // daemon parent, and worker subprocesses cannot collide on one trace.
+  std::uint64_t id = mix64((static_cast<std::uint64_t>(processId()) << 32) ^
+                           salt ^ steadyEpochNs());
+  return id == 0 ? 1 : id;
+}
+
+TraceContext beginTrace() {
+  TraceContext context;
+  context.traceIdHi = newSpanId();
+  context.traceIdLo = newSpanId();
+  context.spanId = newSpanId();
+  context.sampled = enabled();
+  return context;
+}
+
+ContextScope::ContextScope(const TraceContext& context)
+    : previous_(tCurrentContext) {
+  tCurrentContext = context;
+}
+
+ContextScope::~ContextScope() { tCurrentContext = previous_; }
+
 Arg Arg::num(const std::string& key, std::int64_t value) {
   return {key, std::to_string(value)};
 }
@@ -278,9 +347,23 @@ ScopedSpan::ScopedSpan(const char* name, const char* category, Args args)
   name_ = name;
   startNs_ = nowNs();
   argsJson_ = renderArgs(args);
+  const TraceContext& context = tCurrentContext;
+  if (context.valid() && context.sampled) {
+    spanId_ = newSpanId();
+    if (!argsJson_.empty()) argsJson_ += ", ";
+    argsJson_ += "\"trace_id\": \"" + context.traceIdHex() +
+                 "\", \"span_id\": " + std::to_string(spanId_) +
+                 ", \"parent_span_id\": " + std::to_string(context.spanId);
+    // Nested spans (and contexts serialized onto outgoing frames while
+    // this span is live) parent under this span.
+    previousContext_ = context;
+    restoreContext_ = true;
+    tCurrentContext.spanId = spanId_;
+  }
 }
 
 ScopedSpan::~ScopedSpan() {
+  if (restoreContext_) tCurrentContext = previousContext_;
   if (name_ == nullptr) return;
   Event e;
   e.ph = 'X';
@@ -303,7 +386,9 @@ std::string toJson() {
   State& s = state();
   std::lock_guard<std::mutex> lock(s.mutex);
   std::ostringstream os;
-  os << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+  os << "{\"displayTimeUnit\": \"ns\", \"steadyEpochNs\": " << steadyEpochNs()
+     << ", \"pid\": " << processId() << ", \"processName\": \""
+     << jsonEscape(s.processName) << "\", \"traceEvents\": [";
   bool first = true;
   const int pid = processId();
   auto comma = [&] {
@@ -311,6 +396,12 @@ std::string toJson() {
     first = false;
     os << "\n";
   };
+  if (!s.processName.empty()) {
+    comma();
+    os << "{\"ph\": \"M\", \"pid\": " << pid << ", \"tid\": 0"
+       << ", \"name\": \"process_name\", \"args\": {\"name\": \""
+       << jsonEscape(s.processName) << "\"}}";
+  }
   for (const auto& [tid, name] : s.threadNames) {
     comma();
     os << "{\"ph\": \"M\", \"pid\": " << pid << ", \"tid\": " << tid
@@ -347,10 +438,25 @@ std::string toJson() {
 }
 
 bool writeFile(const std::string& path) {
-  std::ofstream stream(path, std::ios::binary);
+  // %p -> pid, so a daemon and the workers inheriting its RFSM_TRACE_OUT
+  // write distinct dumps instead of clobbering one file.
+  std::string expanded = path;
+  for (std::size_t at = expanded.find("%p"); at != std::string::npos;
+       at = expanded.find("%p", at)) {
+    const std::string pid = std::to_string(processId());
+    expanded.replace(at, 2, pid);
+    at += pid.size();
+  }
+  std::ofstream stream(expanded, std::ios::binary);
   if (!stream) return false;
   stream << toJson();
   return static_cast<bool>(stream);
+}
+
+bool dumpToEnv() {
+  const char* out = std::getenv("RFSM_TRACE_OUT");
+  if (out == nullptr || *out == '\0') return false;
+  return writeFile(out);
 }
 
 }  // namespace rfsm::trace

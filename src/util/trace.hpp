@@ -59,6 +59,67 @@ std::size_t eventCount();
 /// every span, including manual ones.
 std::uint64_t nowNs();
 
+/// The process trace epoch expressed on the machine-wide CLOCK_MONOTONIC
+/// timebase (steady_clock's time_since_epoch, in ns).  Dumps publish it as
+/// a top-level "steadyEpochNs" field so tools/trace_stitch.py can shift
+/// every process of one host onto a single timeline; cross-host offsets
+/// come from the kTraceDumpRequest clock handshake.
+std::uint64_t steadyEpochNs();
+
+/// Names this process in trace output (ph "M" process_name metadata and
+/// the dump's top-level "processName").  Defaults to "".
+void setProcessName(const std::string& name);
+std::string processName();
+
+// --- Distributed trace context -------------------------------------------
+//
+// A TraceContext identifies one distributed request: a 128-bit trace id
+// shared by every span of the request across processes, the id of the span
+// that is the current parent, and a sampling flag.  The context rides the
+// service protocol frames (service/protocol.hpp appends it to plan, shard,
+// and session-mutate requests); the receiving process adopts it with a
+// ContextScope so its spans record remote parents.  Propagation never
+// steers planning: the context is metadata, and with sampling off nothing
+// is recorded or propagated, so results stay bit-identical.
+
+struct TraceContext {
+  std::uint64_t traceIdHi = 0;
+  std::uint64_t traceIdLo = 0;
+  /// The span the next child should parent under (0 = root).
+  std::uint64_t spanId = 0;
+  bool sampled = false;
+
+  /// True when this context carries a real trace id.
+  bool valid() const { return traceIdHi != 0 || traceIdLo != 0; }
+  /// The 128-bit trace id as 32 lowercase hex digits.
+  std::string traceIdHex() const;
+};
+
+/// The calling thread's current context (invalid when none is adopted).
+TraceContext currentContext();
+
+/// Starts a new trace rooted in this process: fresh 128-bit trace id,
+/// fresh root span id, sampled = enabled().  Does not install it; wrap the
+/// request in a ContextScope.
+TraceContext beginTrace();
+
+/// Process-unique span id (pid-salted, never 0).
+std::uint64_t newSpanId();
+
+/// RAII adoption of a context for the calling thread (restores the
+/// previous context on destruction).  Used at every remote-request entry
+/// point: server request handler, worker shard loop, session executor.
+class ContextScope {
+ public:
+  explicit ContextScope(const TraceContext& context);
+  ~ContextScope();
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+
+ private:
+  TraceContext previous_;
+};
+
 /// One "key": value argument of an event.  `value` is pre-rendered JSON:
 /// use Arg::num for numbers / booleans and Arg::str for strings (which
 /// escapes and quotes).
@@ -106,6 +167,13 @@ void setCurrentThreadName(const std::string& name);
 /// `name` and `category` must outlive the span (string literals).  A span
 /// constructed while tracing is disabled stays inert even if tracing is
 /// enabled before it dies.
+///
+/// When the calling thread has a sampled TraceContext adopted, the span
+/// joins the distributed trace: it takes a fresh span id, records the
+/// context's span id as its parent (trace_id / span_id / parent_span_id
+/// args), and installs itself as the thread's current parent for its
+/// lifetime, so nested spans — and contexts serialized onto outgoing
+/// frames — chain causally.
 class ScopedSpan {
  public:
   ScopedSpan(const char* name, const char* category, Args args = {});
@@ -116,19 +184,36 @@ class ScopedSpan {
   /// Attaches an argument discovered mid-span (e.g. a result count).
   void addArg(const Arg& arg);
 
+  /// This span's id in the distributed trace (0 when the span is inert or
+  /// no context is adopted).
+  std::uint64_t spanId() const { return spanId_; }
+
  private:
   const char* name_;  // nullptr = inert
   const char* category_;
   std::uint64_t startNs_ = 0;
+  std::uint64_t spanId_ = 0;
+  bool restoreContext_ = false;
+  TraceContext previousContext_;
   std::string argsJson_;
 };
 
 /// Renders the buffered events as a Chrome trace-event JSON object
-/// ({"traceEvents": [...]}), including thread-name metadata.  Does not
-/// clear the buffer.
+/// ({"traceEvents": [...]}), including thread-name metadata plus the
+/// top-level "steadyEpochNs", "pid", and "processName" fields that
+/// tools/trace_stitch.py uses to merge per-process dumps onto one
+/// timeline.  Does not clear the buffer.
 std::string toJson();
 
 /// Writes toJson() to `path`; false when the file cannot be written.
+/// "%p" in the path expands to the pid, so worker subprocesses inheriting
+/// RFSM_TRACE_OUT write distinct files instead of clobbering the parent's.
 bool writeFile(const std::string& path);
+
+/// Flushes the ring to $RFSM_TRACE_OUT (with %p expansion) when that
+/// variable is set; false when unset or unwritable.  The rfsmd drain path
+/// calls this so a SIGTERMed daemon keeps its trace without relying on
+/// atexit ordering.
+bool dumpToEnv();
 
 }  // namespace rfsm::trace

@@ -1,0 +1,126 @@
+// Counter-naming drift regression: every metric name a sink emits must be
+// in metrics::canonicalNames() (the table in DESIGN.md §12), and the
+// stderr summary tokens the CLI prints are the same constants, so the
+// vocabulary cannot fork between CSV, JSON, markdown, and grep targets.
+//
+// Each test binary owns a fresh registry (entries are never erased but
+// this binary only registers canonical names), so the sink outputs here
+// are exactly the canonical vocabulary under test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/metrics.hpp"
+
+namespace rfsm {
+namespace {
+
+/// Second CSV column of every data row (kind,name,...).  Canonical names
+/// never need RFC 4180 quoting, so a plain split is exact here.
+std::vector<std::string> csvNames(const std::string& csv) {
+  std::vector<std::string> names;
+  std::istringstream lines(csv);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::size_t first = line.find(',');
+    if (first == std::string::npos) continue;
+    const std::size_t second = line.find(',', first + 1);
+    if (second == std::string::npos) continue;
+    const std::string name = line.substr(first + 1, second - first - 1);
+    if (name != "name") names.push_back(name);  // skip the header row
+  }
+  return names;
+}
+
+TEST(TelemetryNames, CanonicalSetIsWellFormed) {
+  const std::vector<std::string> names = metrics::canonicalNames();
+  ASSERT_FALSE(names.empty());
+  std::set<std::string> unique;
+  for (const std::string& name : names) {
+    EXPECT_TRUE(unique.insert(name).second) << "duplicate: " << name;
+    // subsystem.snake_case_name — one dot, lowercase, no spaces.
+    const std::size_t dot = name.find('.');
+    ASSERT_NE(dot, std::string::npos) << name;
+    EXPECT_EQ(name.find('.', dot + 1), std::string::npos) << name;
+    EXPECT_GT(dot, 0u) << name;
+    EXPECT_LT(dot + 1, name.size()) << name;
+    for (const char c : name)
+      EXPECT_TRUE(std::islower(static_cast<unsigned char>(c)) ||
+                  std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+                  c == '_')
+          << name << " contains '" << c << "'";
+  }
+}
+
+TEST(TelemetryNames, KnownVocabularyIsPresent) {
+  const std::vector<std::string> names = metrics::canonicalNames();
+  const std::set<std::string> set(names.begin(), names.end());
+  // The grep targets CI's smoke jobs assert on (cli.cpp summary lines) and
+  // the live-plane additions of the telemetry PR.
+  for (const char* required :
+       {metrics::kServiceShardRetries, metrics::kServiceWorkerCrashes,
+        metrics::kServicePlanCacheHits, metrics::kFabricRerouted,
+        metrics::kFabricHedged, metrics::kFabricQuorumMismatch,
+        metrics::kServiceStatsRequests, metrics::kServiceTraceDumps,
+        metrics::kServiceWorkersAlive, metrics::kServiceQueueDepth,
+        metrics::kServicePlanCacheSize, metrics::kSessionsOpenGauge,
+        metrics::kSessionSchedulerDepth, metrics::kServiceRequestWindow,
+        metrics::kSessionMutateWindow, metrics::kTraceDropped})
+    EXPECT_TRUE(set.count(required)) << required;
+}
+
+TEST(TelemetryNames, SinksEmitOnlyCanonicalNames) {
+  metrics::resetAll();
+  const std::set<std::string> canonical = [] {
+    const std::vector<std::string> names = metrics::canonicalNames();
+    return std::set<std::string>(names.begin(), names.end());
+  }();
+  // One representative of every kind, all from the canonical vocabulary.
+  metrics::counter(metrics::kServiceRequests).add(3);
+  metrics::counter(metrics::kFabricHedged).add(1);
+  metrics::gauge(metrics::kServiceWorkersAlive).set(2);
+  metrics::gauge(metrics::kSessionsOpenGauge).set(0);  // touched, still emits
+  metrics::timer(metrics::kDecodeLatency)
+      .record(std::chrono::nanoseconds(1000));
+  metrics::histogram(metrics::kServiceRequestLatency).record(2000u);
+  metrics::rolling(metrics::kServiceRequestWindow).record(3000u);
+
+  const metrics::Snapshot snap = metrics::snapshot();
+  ASSERT_FALSE(snap.empty());
+
+  const std::vector<std::string> emitted = csvNames(metrics::toCsv(snap));
+  ASSERT_GE(emitted.size(), 7u);
+  for (const std::string& name : emitted)
+    EXPECT_TRUE(canonical.count(name)) << "sink drift: " << name;
+
+  // The same names appear verbatim in the JSON and markdown sinks.
+  const std::string json = metrics::toJson(snap);
+  const std::string md = metrics::toMarkdown(snap);
+  for (const std::string& name : emitted) {
+    EXPECT_NE(json.find("\"" + name + "\""), std::string::npos) << name;
+    EXPECT_NE(md.find(name), std::string::npos) << name;
+  }
+  metrics::resetAll();
+}
+
+TEST(TelemetryNames, SnapshotNamesRoundTripThroughEverySink) {
+  metrics::resetAll();
+  metrics::counter(metrics::kSessionPlans).add(1);
+  metrics::rolling(metrics::kSessionMutateWindow)
+      .record(std::chrono::milliseconds(2));
+  const metrics::Snapshot snap = metrics::snapshot();
+  const std::vector<std::string> emitted = csvNames(metrics::toCsv(snap));
+  const std::set<std::string> emittedSet(emitted.begin(), emitted.end());
+  std::set<std::string> expected = {metrics::kSessionPlans,
+                                    metrics::kSessionMutateWindow};
+  EXPECT_EQ(emittedSet, expected);
+  metrics::resetAll();
+}
+
+}  // namespace
+}  // namespace rfsm

@@ -1,0 +1,294 @@
+// Live-telemetry plane tests: RollingHistogram window rotation and
+// percentile agreement with the cumulative log-scale Histogram, concurrent
+// recording (the suite name rides the TSan CI matrix), trace-context
+// round-trips on the service protocol frames, and the stats / trace-dump
+// frame codecs.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "util/histogram.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace rfsm {
+namespace {
+
+using std::chrono::milliseconds;
+using Clock = metrics::RollingHistogram::Clock;
+
+TEST(TelemetryRollingHistogram, EmptyWindowReportsZeros) {
+  metrics::RollingHistogram window(milliseconds(1000));
+  const auto stats = window.stats();
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_EQ(stats.p99, 0u);
+  EXPECT_EQ(stats.max, 0u);
+}
+
+TEST(TelemetryRollingHistogram, CountsEverythingInsideTheWindow) {
+  metrics::RollingHistogram window(milliseconds(1000));
+  const Clock::time_point t0 = Clock::now();
+  for (int k = 0; k < 40; ++k)
+    window.record(1000u * (k + 1), t0 + milliseconds(k * 20));
+  EXPECT_EQ(window.count(t0 + milliseconds(800)), 40u);
+}
+
+TEST(TelemetryRollingHistogram, OldSlicesRotateOutOfTheWindow) {
+  metrics::RollingHistogram window(milliseconds(800));  // 100 ms slices
+  const Clock::time_point t0 = Clock::now();
+  window.record(5000u, t0);
+  EXPECT_EQ(window.count(t0), 1u);
+  // Still visible inside the window...
+  EXPECT_EQ(window.count(t0 + milliseconds(700)), 1u);
+  // ...gone once the window has fully slid past its slice.
+  EXPECT_EQ(window.count(t0 + milliseconds(2000)), 0u);
+  // And the stale slice is reused for fresh samples, not resurrected.
+  window.record(7000u, t0 + milliseconds(2000));
+  const auto stats = window.stats(t0 + milliseconds(2000));
+  EXPECT_EQ(stats.count, 1u);
+  EXPECT_EQ(stats.max, 7000u);
+}
+
+TEST(TelemetryRollingHistogram, PercentilesMatchCumulativeHistogram) {
+  // Same deterministic sample set into both shapes: the window (all
+  // samples inside it) must agree with the cumulative log-scale histogram
+  // exactly — same buckets, same quantile arithmetic.
+  metrics::RollingHistogram window(milliseconds(60000));
+  metrics::Histogram cumulative;
+  const Clock::time_point t0 = Clock::now();
+  std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+  for (int k = 0; k < 500; ++k) {
+    seed ^= seed << 13;
+    seed ^= seed >> 7;
+    seed ^= seed << 17;
+    const std::uint64_t value = seed % 50'000'000u;  // 0..50 ms in ns
+    window.record(value, t0 + milliseconds(k % 1000));
+    cumulative.record(value);
+  }
+  const auto stats = window.stats(t0 + milliseconds(1000));
+  EXPECT_EQ(stats.count, 500u);
+  EXPECT_EQ(stats.p50, cumulative.quantile(0.50));
+  EXPECT_EQ(stats.p90, cumulative.quantile(0.90));
+  EXPECT_EQ(stats.p99, cumulative.quantile(0.99));
+  EXPECT_EQ(stats.max, cumulative.max());
+}
+
+TEST(TelemetryRollingHistogram, ConcurrentRecordsLoseNothing) {
+  metrics::RollingHistogram window(milliseconds(60000));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&window, t] {
+      for (int k = 0; k < kPerThread; ++k)
+        window.record(static_cast<std::uint64_t>(t * kPerThread + k + 1));
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(window.count(), kThreads * kPerThread);
+}
+
+TEST(TelemetryRollingHistogram, RegistryEntrySurfacesInSnapshots) {
+  metrics::resetAll();
+  metrics::rolling("test.telemetry_window").record(milliseconds(5));
+  const metrics::Snapshot snap = metrics::snapshot();
+  ASSERT_EQ(snap.rolling.size(), 1u);
+  EXPECT_EQ(snap.rolling[0].name, "test.telemetry_window");
+  EXPECT_EQ(snap.rolling[0].count, 1u);
+  EXPECT_GT(snap.rolling[0].windowMs, 0);
+  // All three sinks carry the rolling section.
+  EXPECT_NE(metrics::toCsv(snap).find("rolling,test.telemetry_window"),
+            std::string::npos);
+  EXPECT_NE(metrics::toJson(snap).find("\"rolling\""), std::string::npos);
+  EXPECT_NE(metrics::toMarkdown(snap).find("test.telemetry_window"),
+            std::string::npos);
+  metrics::resetAll();
+}
+
+// --- Trace context on the wire -------------------------------------------
+
+trace::TraceContext sampleContext() {
+  trace::TraceContext context;
+  context.traceIdHi = 0x0123456789ABCDEFull;
+  context.traceIdLo = 0xFEDCBA9876543210ull;
+  context.spanId = 0xDEADBEEFCAFEF00Dull;
+  context.sampled = true;
+  return context;
+}
+
+void expectSameContext(const trace::TraceContext& a,
+                       const trace::TraceContext& b) {
+  EXPECT_EQ(a.traceIdHi, b.traceIdHi);
+  EXPECT_EQ(a.traceIdLo, b.traceIdLo);
+  EXPECT_EQ(a.spanId, b.spanId);
+  EXPECT_EQ(a.sampled, b.sampled);
+}
+
+service::BatchSpec smallSpec() {
+  service::BatchSpec spec;
+  spec.stateCount = 6;
+  spec.inputCount = 2;
+  spec.instanceCount = 3;
+  spec.seed = 7;
+  return spec;
+}
+
+TEST(TelemetryTraceWire, PlanRequestCarriesContext) {
+  service::PlanRequest request;
+  request.spec = smallSpec();
+  request.deadlineMs = 1500;
+  request.requestId = 42;
+  request.context = sampleContext();
+  const service::PlanRequest decoded =
+      service::decodePlanRequest(service::encodePlanRequest(request));
+  EXPECT_EQ(decoded.requestId, 42u);
+  expectSameContext(decoded.context, request.context);
+}
+
+TEST(TelemetryTraceWire, ShardRequestCarriesContext) {
+  service::ShardRequest request;
+  request.spec = smallSpec();
+  request.lo = 1;
+  request.hi = 3;
+  request.context = sampleContext();
+  const service::ShardRequest decoded =
+      service::decodeShardRequest(service::encodeShardRequest(request));
+  EXPECT_EQ(decoded.lo, 1u);
+  expectSameContext(decoded.context, request.context);
+}
+
+TEST(TelemetryTraceWire, SessionMutateCarriesContext) {
+  service::SessionMutateRequest request;
+  request.tenant = "acme";
+  request.name = "edge";
+  request.seq = 9;
+  request.context = sampleContext();
+  const service::SessionMutateRequest decoded =
+      service::decodeSessionMutateRequest(
+          service::encodeSessionMutateRequest(request));
+  EXPECT_EQ(decoded.seq, 9u);
+  expectSameContext(decoded.context, request.context);
+}
+
+TEST(TelemetryTraceWire, DefaultContextStaysInvalidAcrossTheWire) {
+  service::PlanRequest request;
+  request.spec = smallSpec();
+  const service::PlanRequest decoded =
+      service::decodePlanRequest(service::encodePlanRequest(request));
+  EXPECT_FALSE(decoded.context.valid());
+  EXPECT_FALSE(decoded.context.sampled);
+}
+
+// --- Stats and trace-dump frames -----------------------------------------
+
+TEST(TelemetryStatsFrame, RoundTripsEveryField) {
+  service::StatsResponse stats;
+  stats.pid = 4242;
+  stats.uptimeMs = 987654;
+  stats.draining = true;
+  stats.workers.healthy = true;
+  stats.workers.workersAlive = 3;
+  stats.workers.workersConfigured = 4;
+  stats.workers.queueDepth = 7;
+  stats.workers.crashes = 2;
+  stats.workers.retries = 5;
+  stats.workers.shed = 1;
+  stats.planCache.enabled = true;
+  stats.planCache.size = 17;
+  stats.planCache.capacity = 4096;
+  stats.breakers.push_back({"fabric:unix:/tmp/a.sock", "OPEN", 3});
+  stats.breakers.push_back({"fabric:tcp:10.0.0.2:4777", "CLOSED", 0});
+  service::StatsResponse::SessionStats session;
+  session.tenant = "acme";
+  session.name = "edge";
+  session.priority = 2;
+  session.weight = 1.5;
+  session.vtime = 12.25;
+  session.tokensRemaining = 3.5;
+  session.queued = 4;
+  session.applied = 11;
+  session.walAgeMs = 120;
+  session.snapshotAgeMs = -1;
+  stats.sessions.push_back(session);
+  stats.openSessions = 1;
+  stats.schedulerDepth = 4;
+  stats.schedulerVirtualNow = 99.5;
+  stats.metrics.counters.push_back({"service.requests", 123});
+  stats.metrics.gauges.push_back({"service.queue_depth", -2});
+  stats.metrics.rolling.push_back(
+      {"service.request_window", 10, 1.0, 2.0, 3.0, 4.0, 60000});
+
+  const service::StatsResponse decoded =
+      service::decodeStatsResponse(service::encodeStatsResponse(stats));
+  EXPECT_EQ(decoded.pid, 4242);
+  EXPECT_EQ(decoded.uptimeMs, 987654);
+  EXPECT_TRUE(decoded.draining);
+  EXPECT_TRUE(decoded.workers.healthy);
+  EXPECT_EQ(decoded.workers.workersAlive, 3);
+  EXPECT_EQ(decoded.workers.queueDepth, 7u);
+  EXPECT_TRUE(decoded.planCache.enabled);
+  EXPECT_EQ(decoded.planCache.size, 17u);
+  EXPECT_EQ(decoded.planCache.capacity, 4096u);
+  ASSERT_EQ(decoded.breakers.size(), 2u);
+  EXPECT_EQ(decoded.breakers[0].name, "fabric:unix:/tmp/a.sock");
+  EXPECT_EQ(decoded.breakers[0].state, "OPEN");
+  EXPECT_EQ(decoded.breakers[0].trips, 3u);
+  ASSERT_EQ(decoded.sessions.size(), 1u);
+  EXPECT_EQ(decoded.sessions[0].tenant, "acme");
+  EXPECT_EQ(decoded.sessions[0].name, "edge");
+  EXPECT_EQ(decoded.sessions[0].priority, 2u);
+  EXPECT_DOUBLE_EQ(decoded.sessions[0].weight, 1.5);
+  EXPECT_DOUBLE_EQ(decoded.sessions[0].vtime, 12.25);
+  EXPECT_DOUBLE_EQ(decoded.sessions[0].tokensRemaining, 3.5);
+  EXPECT_EQ(decoded.sessions[0].queued, 4u);
+  EXPECT_EQ(decoded.sessions[0].applied, 11u);
+  EXPECT_EQ(decoded.sessions[0].walAgeMs, 120);
+  EXPECT_EQ(decoded.sessions[0].snapshotAgeMs, -1);
+  EXPECT_EQ(decoded.openSessions, 1u);
+  EXPECT_EQ(decoded.schedulerDepth, 4u);
+  EXPECT_DOUBLE_EQ(decoded.schedulerVirtualNow, 99.5);
+  ASSERT_EQ(decoded.metrics.counters.size(), 1u);
+  EXPECT_EQ(decoded.metrics.counters[0].name, "service.requests");
+  EXPECT_EQ(decoded.metrics.counters[0].value, 123u);
+  ASSERT_EQ(decoded.metrics.gauges.size(), 1u);
+  EXPECT_EQ(decoded.metrics.gauges[0].value, -2);
+  ASSERT_EQ(decoded.metrics.rolling.size(), 1u);
+  EXPECT_EQ(decoded.metrics.rolling[0].name, "service.request_window");
+  EXPECT_DOUBLE_EQ(decoded.metrics.rolling[0].p99Ms, 3.0);
+  EXPECT_EQ(decoded.metrics.rolling[0].windowMs, 60000);
+}
+
+TEST(TelemetryStatsFrame, RequestDecodesAndRejectsJunk) {
+  EXPECT_NO_THROW(service::decodeStatsRequest(service::encodeStatsRequest()));
+  EXPECT_THROW(service::decodeStatsRequest("junk"), Error);
+  EXPECT_THROW(service::decodeStatsResponse("junk"), Error);
+}
+
+TEST(TelemetryTraceDumpFrame, RoundTripsClockEchoAndJson) {
+  service::TraceDumpRequest request;
+  request.clientSteadyNs = 123456789;
+  const service::TraceDumpRequest decodedRequest =
+      service::decodeTraceDumpRequest(
+          service::encodeTraceDumpRequest(request));
+  EXPECT_EQ(decodedRequest.clientSteadyNs, 123456789);
+
+  service::TraceDumpResponse response;
+  response.serverSteadyNs = 555;
+  response.clientSteadyNs = 123456789;
+  response.traceJson = "{\"traceEvents\": []}";
+  const service::TraceDumpResponse decoded =
+      service::decodeTraceDumpResponse(
+          service::encodeTraceDumpResponse(response));
+  EXPECT_EQ(decoded.serverSteadyNs, 555);
+  EXPECT_EQ(decoded.clientSteadyNs, 123456789);
+  EXPECT_EQ(decoded.traceJson, response.traceJson);
+  EXPECT_THROW(service::decodeTraceDumpResponse("junk"), Error);
+}
+
+}  // namespace
+}  // namespace rfsm

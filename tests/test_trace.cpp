@@ -149,6 +149,120 @@ TEST(Trace, StringArgsAreJsonEscaped) {
   EXPECT_NE(json.find("a\\\"b\\\\c\\nd\\te"), std::string::npos);
 }
 
+TEST(TraceContext, BeginTraceMintsDistinctSampledContexts) {
+  TraceScope scope;
+  const trace::TraceContext a = trace::beginTrace();
+  const trace::TraceContext b = trace::beginTrace();
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(a.sampled);
+  EXPECT_NE(a.traceIdHex(), b.traceIdHex());
+  EXPECT_NE(a.spanId, b.spanId);
+  EXPECT_EQ(a.traceIdHex().size(), 32u);
+}
+
+TEST(TraceContext, BeginTraceIsUnsampledWhileDisabled) {
+  trace::setEnabled(false);
+  const trace::TraceContext context = trace::beginTrace();
+  EXPECT_TRUE(context.valid());
+  EXPECT_FALSE(context.sampled);
+}
+
+TEST(TraceContext, ScopeAdoptsAndRestores) {
+  TraceScope scope;
+  EXPECT_FALSE(trace::currentContext().valid());
+  const trace::TraceContext outer = trace::beginTrace();
+  {
+    trace::ContextScope adopt(outer);
+    EXPECT_EQ(trace::currentContext().spanId, outer.spanId);
+    EXPECT_EQ(trace::currentContext().traceIdHex(), outer.traceIdHex());
+    const trace::TraceContext inner = trace::beginTrace();
+    {
+      trace::ContextScope nested(inner);
+      EXPECT_EQ(trace::currentContext().spanId, inner.spanId);
+    }
+    EXPECT_EQ(trace::currentContext().spanId, outer.spanId);
+  }
+  EXPECT_FALSE(trace::currentContext().valid());
+}
+
+TEST(TraceContext, SpanChainsUnderSampledContext) {
+  TraceScope scope;
+  const trace::TraceContext root = trace::beginTrace();
+  trace::ContextScope adopt(root);
+  std::uint64_t parentId = 0;
+  std::uint64_t childId = 0;
+  {
+    trace::ScopedSpan parent("ctx.parent", "test");
+    parentId = parent.spanId();
+    EXPECT_NE(parentId, 0u);
+    // The span installed itself: outgoing frames would carry its id.
+    EXPECT_EQ(trace::currentContext().spanId, parentId);
+    {
+      trace::ScopedSpan child("ctx.child", "test");
+      childId = child.spanId();
+      EXPECT_NE(childId, parentId);
+    }
+  }
+  EXPECT_EQ(trace::currentContext().spanId, root.spanId);
+  const std::string json = trace::toJson();
+  // The child records the parent span's id, the parent records the root's.
+  EXPECT_NE(json.find("\"span_id\": " + std::to_string(childId)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"parent_span_id\": " + std::to_string(parentId)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\": \"" + root.traceIdHex() + "\""),
+            std::string::npos);
+}
+
+TEST(TraceContext, UnsampledContextAddsNoDistributedArgs) {
+  TraceScope scope;
+  trace::TraceContext context = trace::beginTrace();
+  context.sampled = false;  // remote peer traced with sampling off
+  trace::ContextScope adopt(context);
+  {
+    trace::ScopedSpan span("ctx.unsampled", "test");
+    EXPECT_EQ(span.spanId(), 0u);
+  }
+  const std::string json = trace::toJson();
+  EXPECT_EQ(json.find("parent_span_id"), std::string::npos);
+  EXPECT_EQ(json.find("trace_id"), std::string::npos);
+}
+
+TEST(TraceContext, ParentSurvivesThreadHopWhenCaptured) {
+  TraceScope scope;
+  const trace::TraceContext root = trace::beginTrace();
+  trace::ContextScope adopt(root);
+  std::uint64_t parentId = 0;
+  std::uint64_t remoteParentSeen = 0;
+  {
+    trace::ScopedSpan parent("ctx.dispatch", "test");
+    parentId = parent.spanId();
+    // The hedge/executor pattern: capture the context into the lambda,
+    // adopt it on the worker thread — thread-locals do not cross.
+    std::thread worker([context = trace::currentContext(),
+                        &remoteParentSeen] {
+      trace::ContextScope scope(context);
+      remoteParentSeen = trace::currentContext().spanId;
+      trace::ScopedSpan span("ctx.remote", "test");
+    });
+    worker.join();
+  }
+  EXPECT_EQ(remoteParentSeen, parentId);
+  const std::string json = trace::toJson();
+  EXPECT_NE(json.find("\"parent_span_id\": " + std::to_string(parentId)),
+            std::string::npos);
+}
+
+TEST(TraceContext, FreshThreadHasNoContext) {
+  TraceScope scope;
+  const trace::TraceContext root = trace::beginTrace();
+  trace::ContextScope adopt(root);
+  bool valid = true;
+  std::thread checker([&valid] { valid = trace::currentContext().valid(); });
+  checker.join();
+  EXPECT_FALSE(valid);
+}
+
 TEST(Histogram, BucketsAreMonotoneAndContainTheirValues) {
   using metrics::Histogram;
   // Every bucket's lower bound maps back to that bucket, and bounds grow

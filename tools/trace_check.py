@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Validate a Chrome trace-event JSON file emitted by the rfsm tracer.
 
-Usage: trace_check.py TRACE.json [TRACE2.json ...]
+Usage: trace_check.py [--lineage A>B>C] [--distinct-pids N]
+                      TRACE.json [TRACE2.json ...]
 
 Checks (exit 0 = all files pass, 1 = any violation):
   * top level is an object with a non-empty "traceEvents" array
@@ -12,6 +13,13 @@ Checks (exit 0 = all files pass, 1 = any violation):
   * async events (b/n/e) carry an id, and every begin has a matching end
     with the same (category, id)
   * timestamps are monotone enough to be plausible (no negative ts)
+
+Distributed-trace assertions (evaluated across ALL given files together,
+so they work on per-process dumps and on a stitched merge alike):
+  * --lineage A>B>C  some span named C has an ancestor named B (following
+    parent_span_id links, intermediate spans allowed) which in turn has an
+    ancestor named A, all within one trace_id.  Repeatable.
+  * --distinct-pids N  the events span at least N distinct pids.
 
 The checker is dependency-free (json + sys only) so CI can run it on the
 bare runner image.
@@ -97,11 +105,103 @@ def check_file(path):
     return ok
 
 
+def collect_spans(paths):
+    """All distributed spans across the files: span_id -> (name, parent,
+    trace_id, pid).  Span ids are process-unique (pid-salted), so one flat
+    map covers a multi-process trace."""
+    spans = {}
+    pids = set()
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue
+        for event in doc.get("traceEvents", []):
+            if not isinstance(event, dict):
+                continue
+            if "pid" in event and event.get("ph") != "M":
+                pids.add(event["pid"])
+            args = event.get("args")
+            if not isinstance(args, dict) or "span_id" not in args:
+                continue
+            spans[args["span_id"]] = (
+                event.get("name"),
+                args.get("parent_span_id", 0),
+                args.get("trace_id"),
+                event.get("pid"),
+            )
+    return spans, pids
+
+
+def check_lineage(spans, chain):
+    """True when some span named chain[-1] has ancestors named
+    chain[-2], ..., chain[0] in order (gaps allowed), sharing a trace_id."""
+    names = [name for name in chain.split(">") if name]
+    if len(names) < 2:
+        print(f"--lineage needs at least two names, got {chain!r}",
+              file=sys.stderr)
+        return False
+    for span_id, (name, parent, trace_id, _pid) in spans.items():
+        if name != names[-1]:
+            continue
+        need = len(names) - 2
+        cursor = parent
+        seen = set()
+        while cursor in spans and cursor not in seen and need >= 0:
+            seen.add(cursor)
+            up_name, up_parent, up_trace, _ = spans[cursor]
+            if up_trace != trace_id:
+                break
+            if up_name == names[need]:
+                need -= 1
+            cursor = up_parent
+        if need < 0:
+            return True
+    print(f"lineage not found: {chain} "
+          f"({len(spans)} spans examined)", file=sys.stderr)
+    return False
+
+
 def main(argv):
-    if len(argv) < 2:
+    lineages = []
+    distinct_pids = None
+    paths = []
+    k = 1
+    while k < len(argv):
+        if argv[k] == "--lineage":
+            if k + 1 >= len(argv):
+                print("--lineage needs a chain", file=sys.stderr)
+                return 2
+            lineages.append(argv[k + 1])
+            k += 2
+        elif argv[k] == "--distinct-pids":
+            if k + 1 >= len(argv):
+                print("--distinct-pids needs a count", file=sys.stderr)
+                return 2
+            distinct_pids = int(argv[k + 1])
+            k += 2
+        else:
+            paths.append(argv[k])
+            k += 1
+    if not paths:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    results = [check_file(path) for path in argv[1:]]
+    results = [check_file(path) for path in paths]
+
+    if lineages or distinct_pids is not None:
+        spans, pids = collect_spans(paths)
+        for chain in lineages:
+            results.append(check_lineage(spans, chain))
+        if distinct_pids is not None:
+            if len(pids) >= distinct_pids:
+                print(f"distinct pids: OK ({len(pids)} >= {distinct_pids})")
+                results.append(True)
+            else:
+                print(f"expected >= {distinct_pids} distinct pids, "
+                      f"got {len(pids)}: {sorted(pids)}", file=sys.stderr)
+                results.append(False)
+
     return 0 if all(results) else 1
 
 

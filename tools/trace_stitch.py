@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Merge per-process rfsm trace dumps onto one timeline.
+
+Usage: trace_stitch.py --out MERGED.json DUMP.json [DUMP2.json ...]
+
+Every dump the tracer writes (rfsmc --trace-out, RFSM_TRACE_OUT, or
+`rfsmc trace-dump`) carries three top-level fields next to traceEvents:
+
+  steadyEpochNs  the process trace epoch on the machine-wide
+                 CLOCK_MONOTONIC timebase — event "ts" values are
+                 microseconds relative to this epoch
+  pid            the emitting process id
+  processName    human name ("rfsmc", "rfsmd", "rfsmd-worker")
+
+`rfsmc trace-dump` additionally injects "clockOffsetNs", the estimated
+offset of the remote host's CLOCK_MONOTONIC relative to the requesting
+host's (from the request/reply midpoint handshake).  Same-host dumps need
+no offset: CLOCK_MONOTONIC is shared, so aligning the epochs suffices.
+
+The stitcher maps every event to
+
+    absolute_ns = steadyEpochNs + ts * 1000 - clockOffsetNs
+
+subtracts the earliest absolute time across all dumps, and emits a single
+Chrome trace-event / Perfetto JSON whose events keep their original pids
+(with process_name metadata preserved), so one timeline shows the client,
+the fabric, each daemon, and each worker subprocess causally aligned.
+
+Dependency-free (json + sys only) so CI can run it on the bare runner.
+"""
+
+import json
+import sys
+
+
+def load_dump(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError(f"{path}: missing top-level traceEvents")
+    if "steadyEpochNs" not in doc:
+        raise ValueError(
+            f"{path}: missing steadyEpochNs (not an rfsm trace dump?)")
+    return doc
+
+
+def absolute_ns(doc, ts_us):
+    epoch = doc.get("steadyEpochNs", 0)
+    offset = doc.get("clockOffsetNs", 0)
+    return epoch + ts_us * 1000.0 - offset
+
+
+def stitch(paths):
+    docs = [(path, load_dump(path)) for path in paths]
+
+    base = None
+    for _, doc in docs:
+        for event in doc["traceEvents"]:
+            if "ts" not in event:
+                continue
+            t = absolute_ns(doc, event["ts"])
+            base = t if base is None else min(base, t)
+    if base is None:
+        raise ValueError("no timestamped events in any input")
+
+    pids = set()
+    merged = []
+    for path, doc in docs:
+        pid = doc.get("pid")
+        if pid is not None:
+            pids.add(pid)
+        for event in doc["traceEvents"]:
+            event = dict(event)
+            if "ts" in event:
+                event["ts"] = round(
+                    (absolute_ns(doc, event["ts"]) - base) / 1000.0, 3)
+            merged.append(event)
+        name = doc.get("processName")
+        if name and pid is not None:
+            # Belt and braces: ensure the merged view names the process even
+            # if the source dump predates its own process_name metadata.
+            merged.append({
+                "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+                "args": {"name": name},
+            })
+
+    # Metadata first, then everything else in timeline order — Perfetto
+    # does not require sorting, but diffs of stitched traces read better.
+    merged.sort(key=lambda e: (e.get("ph") != "M", e.get("ts", 0.0)))
+    return {"displayTimeUnit": "ns", "traceEvents": merged}, pids
+
+
+def main(argv):
+    out_path = None
+    paths = []
+    k = 1
+    while k < len(argv):
+        if argv[k] == "--out":
+            if k + 1 >= len(argv):
+                print("--out needs a path", file=sys.stderr)
+                return 2
+            out_path = argv[k + 1]
+            k += 2
+        else:
+            paths.append(argv[k])
+            k += 1
+    if not paths:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    try:
+        doc, pids = stitch(paths)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"trace_stitch: {error}", file=sys.stderr)
+        return 1
+
+    text = json.dumps(doc, indent=1)
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    print(
+        f"trace_stitch: merged {len(paths)} dump(s), "
+        f"{len(doc['traceEvents'])} events, {len(pids)} process(es)",
+        file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
