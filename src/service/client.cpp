@@ -111,6 +111,10 @@ ClientResult planBatch(const BatchSpec& spec, const ClientOptions& options,
         options.deadlineMs > 0 ? options.deadlineMs + 2000 : 0;
     reply = exchangeEndpoint(ipc::parseEndpoint(options.socketPath),
                              encodePlanRequest(request), timeoutMs);
+  } catch (const ipc::FrameError& error) {
+    // The server answered, but the bytes failed their CRC or length check:
+    // the reply is untrustworthy, never served — replan in-process.
+    return degrade(spec, options, err, kReasonMalformed, error.what());
   } catch (const ipc::IpcError& error) {
     return degrade(spec, options, err, kReasonUnreachable, error.what());
   }
@@ -155,6 +159,18 @@ ClientResult planBatch(const BatchSpec& spec, const ClientOptions& options,
   }
   result.error = "unknown response status";
   return result;
+}
+
+std::optional<HandshakeResponse> probeHandshake(const ipc::Endpoint& endpoint,
+                                                std::int64_t timeoutMs) {
+  try {
+    const std::optional<std::string> reply = exchangeEndpoint(
+        endpoint, encodeHandshakeRequest(HandshakeRequest{}), timeoutMs);
+    if (!reply.has_value()) return std::nullopt;
+    return decodeHandshakeResponse(*reply);
+  } catch (const Error&) {
+    return std::nullopt;
+  }
 }
 
 std::optional<HealthResponse> probeHealth(const ipc::Endpoint& endpoint,

@@ -81,6 +81,15 @@ Attempt attemptOnce(const ipc::Endpoint& endpoint, std::size_t index,
   try {
     reply = exchangeEndpoint(endpoint, encodePlanRequest(traced), timeoutMs,
                              cancel);
+  } catch (const ipc::FrameError& error) {
+    // The endpoint answered with bytes that failed CRC/length validation:
+    // never served, reported as malformed so the breaker/reroute ladder
+    // treats the endpoint as misbehaving rather than merely unreachable.
+    attempt.kind = aborted() ? Attempt::Kind::kAborted
+                             : Attempt::Kind::kTransport;
+    attempt.reason = kReasonMalformed;
+    attempt.error = error.what();
+    return attempt;
   } catch (const ipc::IpcError& error) {
     attempt.kind = aborted() ? Attempt::Kind::kAborted
                              : Attempt::Kind::kTransport;

@@ -947,8 +947,71 @@ MessageType peekType(const std::string& payload) {
     case 18: return MessageType::kStatsResponse;
     case 19: return MessageType::kTraceDumpRequest;
     case 20: return MessageType::kTraceDumpResponse;
+    case 21: return MessageType::kHandshakeRequest;
+    case 22: return MessageType::kHandshakeResponse;
   }
   throw ipc::IpcError("unknown message type " + std::to_string(tag));
+}
+
+// --- Version/feature handshake --------------------------------------------
+
+std::string encodeHandshakeRequest(const HandshakeRequest& request) {
+  ipc::MessageWriter writer;
+  writer.u32(static_cast<std::uint32_t>(MessageType::kHandshakeRequest));
+  writer.u32(request.version);
+  writer.u32(request.features);
+  return writer.take();
+}
+
+HandshakeRequest decodeHandshakeRequest(const std::string& payload) {
+  ipc::MessageReader reader(payload);
+  expectType(reader, MessageType::kHandshakeRequest);
+  HandshakeRequest request;
+  request.version = reader.u32();
+  request.features = reader.u32();
+  reader.expectEnd();
+  return request;
+}
+
+std::string encodeHandshakeResponse(const HandshakeResponse& response) {
+  ipc::MessageWriter writer;
+  writer.u32(static_cast<std::uint32_t>(MessageType::kHandshakeResponse));
+  writer.u32(response.accepted ? 1 : 0);
+  writer.u32(response.version);
+  writer.u32(response.features);
+  writer.str(response.error);
+  return writer.take();
+}
+
+HandshakeResponse decodeHandshakeResponse(const std::string& payload) {
+  ipc::MessageReader reader(payload);
+  expectType(reader, MessageType::kHandshakeResponse);
+  HandshakeResponse response;
+  response.accepted = reader.u32() != 0;
+  response.version = reader.u32();
+  response.features = reader.u32();
+  response.error = reader.str();
+  reader.expectEnd();
+  return response;
+}
+
+HandshakeResponse answerHandshake(const HandshakeRequest& request) {
+  HandshakeResponse response;
+  response.version = kProtocolVersion;
+  if (request.version != kProtocolVersion) {
+    // A different generation may frame its messages differently (the CRC
+    // trailer itself arrived in generation 1); refuse loudly rather than
+    // misparse quietly.
+    response.accepted = false;
+    response.features = 0;
+    response.error = "protocol version mismatch (peer " +
+                     std::to_string(request.version) + ", server " +
+                     std::to_string(kProtocolVersion) + ")";
+    return response;
+  }
+  response.accepted = true;
+  response.features = request.features & kFeatureCrc32c;
+  return response;
 }
 
 }  // namespace rfsm::service

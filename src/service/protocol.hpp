@@ -52,6 +52,11 @@ enum class MessageType : std::uint32_t {
   kStatsResponse = 18,     ///< server -> client
   kTraceDumpRequest = 19,  ///< client -> server: span-ring dump + clock echo
   kTraceDumpResponse = 20, ///< server -> client
+  // Version/feature negotiation: a client may probe before speaking so a
+  // mixed-version deployment degrades with a typed refusal, not a frame
+  // misparse.
+  kHandshakeRequest = 21,  ///< client -> server: version + feature bits
+  kHandshakeResponse = 22, ///< server -> client
 };
 
 /// A batch of seeded random migration instances (the Table 2 axis): for
@@ -458,6 +463,38 @@ std::string encodeSessionCloseRequest(const SessionCloseRequest& request);
 SessionCloseRequest decodeSessionCloseRequest(const std::string& payload);
 std::string encodeSessionCloseResponse(const SessionCloseResponse& response);
 SessionCloseResponse decodeSessionCloseResponse(const std::string& payload);
+
+// --- Version/feature handshake -------------------------------------------
+
+/// The protocol generation this build speaks.  Bumped on any frame-layout
+/// change that older peers cannot parse (the CRC32C trailer is generation 1).
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Feature bits advertised in the handshake.
+inline constexpr std::uint32_t kFeatureCrc32c = 1u << 0;
+
+struct HandshakeRequest {
+  std::uint32_t version = kProtocolVersion;
+  std::uint32_t features = kFeatureCrc32c;
+};
+
+struct HandshakeResponse {
+  bool accepted = false;
+  std::uint32_t version = kProtocolVersion;  ///< the server's generation
+  std::uint32_t features = 0;  ///< requested features the server supports
+  std::string error;           ///< refusal reason when !accepted
+};
+
+std::string encodeHandshakeRequest(const HandshakeRequest& request);
+HandshakeRequest decodeHandshakeRequest(const std::string& payload);
+std::string encodeHandshakeResponse(const HandshakeResponse& response);
+HandshakeResponse decodeHandshakeResponse(const std::string& payload);
+
+/// The server's answer to a handshake: refuses version mismatches (a peer
+/// from another generation must not guess at frame layouts) and masks the
+/// requested feature bits down to the supported set.  Free function so
+/// downgrade behaviour is testable without a daemon.
+HandshakeResponse answerHandshake(const HandshakeRequest& request);
 
 /// The message type of a payload (its first u32); throws IpcError on an
 /// unknown tag or an empty frame.

@@ -352,6 +352,9 @@ TraceDumpResponse Server::handleTraceDump(const TraceDumpRequest& request) {
 
 std::string Server::dispatch(const std::string& payload) {
   switch (peekType(payload)) {
+    case MessageType::kHandshakeRequest:
+      return encodeHandshakeResponse(
+          answerHandshake(decodeHandshakeRequest(payload)));
     case MessageType::kHealthRequest:
       return encodeHealthResponse(healthSnapshot());
     case MessageType::kStatsRequest:

@@ -364,12 +364,49 @@ void SessionService::applyOne(const SessionPtr& session,
   applied_.notify_all();
 }
 
+void SessionService::rewriteWalLocked(Session& session) {
+  // Rebuilds the journal from trusted in-memory state (header + open record
+  // + every accepted record newer than the last snapshot) via atomic
+  // replace, and reopens a clean append descriptor.  Used after rotation
+  // and as self-heal whenever the append fd has been lost or latched dirty
+  // (failed fsync, injected power loss): the WAL's content is exactly
+  // header+open+tail, so a full rewrite is always equivalent to the log the
+  // torn tail was dropped from.
+  RecordLog fresh(kWalHeader);
+  std::string walBytes = fresh.headerLine();
+  walBytes += fresh.appendLine(openPayload(session.engine.config()));
+  for (const auto& [seq, rec] : session.tail)
+    walBytes += fresh.appendLine(mutPayload(rec));
+  session.walFd.reset();
+  fsio::writeFileDurable(session.walPath, walBytes);
+  session.walFd = fsio::openAppend(session.walPath);
+  session.wal = std::move(fresh);
+}
+
 void SessionService::appendWalLocked(Session& session,
                                      const MutationRecord& rec) {
   // WAL rule: the record is on disk before any work is scheduled and
   // before any reply — a crash after this point must replay it.
-  const std::string line = session.wal.appendLine(mutPayload(rec));
-  if (session.walFd.valid()) fsio::appendDurable(session.walFd.get(), line);
+  //
+  // A session with a journal path but no usable descriptor (a previous
+  // rotation or append failed mid-way) must NOT silently skip the disk
+  // write — that would acknowledge the mutation with no durability.
+  // Rewrite the journal from trusted state first; if that fails too, the
+  // error propagates and the mutation is refused un-acked.
+  if (!session.walPath.empty() && !session.walFd.valid())
+    rewriteWalLocked(session);
+  if (session.walFd.valid()) {
+    const std::string line = session.wal.appendLine(mutPayload(rec));
+    try {
+      fsio::appendDurable(session.walFd.get(), session.walPath, line);
+    } catch (...) {
+      // The on-disk tail may be torn and the fd may be latched dirty:
+      // drop the descriptor so the next append rewrites the whole journal
+      // from memory instead of appending past a tear.
+      session.walFd.reset();
+      throw;
+    }
+  }
   session.lastWalAppend = std::chrono::steady_clock::now();
 }
 
@@ -405,15 +442,10 @@ void SessionService::persistLocked(Session& session) {
   const std::uint64_t covered = session.engine.lastApplied();
   session.tail.erase(session.tail.begin(),
                      session.tail.upper_bound(covered));
-  RecordLog fresh(kWalHeader);
-  std::string walBytes = fresh.headerLine();
-  walBytes += fresh.appendLine(openPayload(session.engine.config()));
-  for (const auto& [seq, rec] : session.tail)
-    walBytes += fresh.appendLine(mutPayload(rec));
-  session.walFd.reset();
-  fsio::writeFileDurable(session.walPath, walBytes);
-  session.walFd = fsio::openAppend(session.walPath);
-  session.wal = std::move(fresh);
+  // If the rotation fails mid-way the descriptor stays invalid and the
+  // next appendWalLocked rewrites the journal before acking anything — a
+  // failed rotation must never silently disable durability.
+  rewriteWalLocked(session);
   session.sinceSnapshot = 0;
 }
 
@@ -530,7 +562,13 @@ bool SessionService::recoverOne(const std::string& base) {
                           session->outcomes.upper_bound(session->ackSeq));
 
   // Rewrite the journal fresh (drops torn tails and snapshot-covered
-  // records) and reopen it for appending.
+  // records) and reopen it for appending.  A rewrite failure must NOT drop
+  // the recovered session: the old journal is still intact on disk
+  // (durable replace is atomic), so the session is kept with an invalid
+  // descriptor and appendWalLocked rewrites the journal before acking the
+  // next mutation.  Dropping it here would let a later open() create a
+  // fresh session over the old journal — destroying acknowledged history
+  // on nothing more than a transient write failure.
   session->walPath = walPath;
   session->snapPath = snapPath;
   RecordLog fresh(kWalHeader);
@@ -541,12 +579,13 @@ bool SessionService::recoverOne(const std::string& base) {
   try {
     fsio::writeFileDurable(walPath, walBytes);
     session->walFd = fsio::openAppend(walPath);
+    session->wal = std::move(fresh);
   } catch (const Error& error) {
     log(LogLevel::kWarn) << "cannot rewrite session journal '" << walPath
-                         << "': " << error.what();
-    return false;
+                         << "' (recovered state kept, rewrite deferred): "
+                         << error.what();
+    session->walFd.reset();
   }
-  session->wal = std::move(fresh);
   sessions_.emplace(key(session->engine.config().tenant,
                         session->engine.config().name),
                     std::move(session));
@@ -925,8 +964,16 @@ std::string SessionStream::exchange(const std::string& payload) {
   std::string lastError = "not connected";
   for (;;) {
     try {
-      if (!conn_.valid())
+      if (!conn_.valid()) {
         conn_ = ipc::connectEndpoint(options_.endpoint, 1000);
+      } else if (ipc::pendingInput(conn_.get())) {
+        // A reused connection with bytes already queued is desynchronized
+        // (a duplicated or late frame): a read now would pair the stale
+        // frame with this request.  Reconnect and resend instead.
+        lastError = "stream desynchronized (unexpected pending frame)";
+        conn_.reset();
+        conn_ = ipc::connectEndpoint(options_.endpoint, 1000);
+      }
       ipc::writeFrame(conn_.get(), payload);
       CancelToken token(options_.readTimeout);
       std::string reply;

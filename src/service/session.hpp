@@ -193,6 +193,7 @@ class SessionService {
   void executorLoop();
   void applyOne(const SessionPtr& session, const MutationRecord& rec);
   void persistLocked(Session& session);
+  void rewriteWalLocked(Session& session);
   void appendWalLocked(Session& session, const MutationRecord& rec);
   bool recoverOne(const std::string& base);
   SessionMutateResponse answerFromHistory(Session& session,

@@ -3,6 +3,7 @@
 #include <exception>
 
 #include "service/protocol.hpp"
+#include "util/chaos.hpp"
 #include "util/ipc.hpp"
 #include "util/log.hpp"
 #include "util/trace.hpp"
@@ -12,12 +13,28 @@ namespace rfsm::service {
 int runWorker() {
   ipc::ignoreSigpipe();
   trace::setProcessName("rfsmd-worker");
+  try {
+    // Workers inherit RFSM_CHAOS from the daemon so the fd-3 channel is
+    // disturbed from both ends.
+    chaos::plane().armFromEnv();
+  } catch (const Error& error) {
+    log(LogLevel::kWarn) << "worker chaos spec ignored: " << error.what();
+  }
   std::string payload;
   while (true) {
-    // No cancel token: an idle worker blocks until the next request or the
-    // supervisor closes the channel.  Timeouts are the supervisor's job.
-    const ipc::ReadStatus status =
-        ipc::readFrame(ipc::kWorkerChannelFd, payload);
+    ipc::ReadStatus status;
+    try {
+      // No cancel token: an idle worker blocks until the next request or
+      // the supervisor closes the channel.  Timeouts are the supervisor's
+      // job.
+      status = ipc::readFrame(ipc::kWorkerChannelFd, payload);
+    } catch (const ipc::IpcError& error) {
+      // A malformed frame (bad CRC, absurd length) or injected reset on
+      // the channel: exit cleanly — the supervisor sees EOF and runs its
+      // crash/retry path rather than pairing garbage with a request.
+      log(LogLevel::kWarn) << "worker channel failed: " << error.what();
+      return 0;
+    }
     if (status != ipc::ReadStatus::kOk) return 0;  // EOF: clean shutdown
 
     ShardResponse response;

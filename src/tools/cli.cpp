@@ -35,6 +35,7 @@
 #include "service/fabric.hpp"
 #include "service/plan_cache.hpp"
 #include "service/session.hpp"
+#include "util/chaos.hpp"
 #include "util/fsio.hpp"
 #include "tools/report.hpp"
 #include "util/metrics.hpp"
@@ -1146,7 +1147,12 @@ int cmdHelp(std::ostream& out) {
          "global:   --trace-out FILE      write a Chrome trace-event /\n"
          "                                Perfetto JSON profile of the run\n"
          "          (RFSM_TRACE=1 [RFSM_TRACE_OUT=FILE] does the same via\n"
-         "          the environment)\n";
+         "          the environment)\n"
+         "          --chaos SEED:PROFILE  arm deterministic disk/network\n"
+         "                                fault injection (off|disk-light|\n"
+         "                                disk-storm|net-light|net-storm|\n"
+         "                                full; RFSM_CHAOS=SEED:PROFILE does\n"
+         "                                the same via the environment)\n";
   return 0;
 }
 
@@ -1164,6 +1170,24 @@ int runCli(const std::vector<std::string>& args, std::ostream& out,
   const std::optional<std::string> traceOut = option(rest, "--trace-out");
   const bool traceWasEnabled = trace::enabled();
   if (traceOut.has_value()) trace::setEnabled(true);
+  // --chaos likewise works on every command: the fault plane is armed for
+  // the whole run (RFSM_CHAOS provides the same through the environment,
+  // which is how forked daemons and workers inherit it).
+  bool chaosArmedByFlag = false;
+  try {
+    if (const auto chaosSpec = option(rest, "--chaos")) {
+      chaos::plane().armFromSpec(*chaosSpec);
+      chaosArmedByFlag = true;
+      err << "rfsmc: chaos armed (seed " << chaos::plane().seed()
+          << ", profile '" << chaos::plane().profile().name << "')\n";
+    } else if (chaos::plane().armFromEnv()) {
+      err << "rfsmc: chaos armed (seed " << chaos::plane().seed()
+          << ", profile '" << chaos::plane().profile().name << "')\n";
+    }
+  } catch (const Error& error) {
+    err << "rfsmc: " << error.what() << "\n";
+    return 64;
+  }
   int code = 1;
   try {
     if (args[0] == "info") code = cmdInfo(rest, out);
@@ -1203,6 +1227,9 @@ int runCli(const std::vector<std::string>& args, std::ostream& out,
     // an environment-enabled tracer stays on.
     if (!traceWasEnabled) trace::setEnabled(false);
   }
+  // Same restore rule as tracing: a flag-armed plane is scoped to this
+  // command; an environment-armed one stays on for the process.
+  if (chaosArmedByFlag) chaos::plane().disarm();
   return code;
 }
 

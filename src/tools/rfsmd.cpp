@@ -17,6 +17,7 @@
 #include "service/plan_cache.hpp"
 #include "service/server.hpp"
 #include "service/worker.hpp"
+#include "util/chaos.hpp"
 #include "util/deadline.hpp"
 #include "util/fault.hpp"
 #include "util/metrics.hpp"
@@ -54,6 +55,10 @@ int usage(std::ostream& out, int code) {
          "  --fault NAME          induce a named failure scenario:\n"
          "                        none|kill-first-shard|abort-mid-shard|\n"
          "                        hang-worker|pool-unhealthy\n"
+         "  --chaos SEED:PROFILE  arm deterministic disk/network fault\n"
+         "                        injection (also honours RFSM_CHAOS):\n"
+         "                        off|disk-light|disk-storm|net-light|\n"
+         "                        net-storm|full\n"
          "  --plan-cache N        memoize plan results, N entries (0 = off,\n"
          "                        the default; overrides RFSM_PLAN_CACHE)\n"
          "  --worker-binary PATH  binary for workers (default: this one)\n"
@@ -154,6 +159,21 @@ int main(int argc, char** argv) {
       return 64;
     }
     options.scenario = *scenario;
+    if (const auto chaosSpec = option(args, "--chaos")) {
+      // Export the spec so worker subprocesses (which inherit the
+      // environment through spawnWorker) arm the same schedule on their
+      // side of the fd-3 channel.
+      ::setenv("RFSM_CHAOS", chaosSpec->c_str(), 1);
+    }
+    try {
+      if (rfsm::chaos::plane().armFromEnv())
+        std::cerr << "rfsmd: chaos armed (seed "
+                  << rfsm::chaos::plane().seed() << ", profile '"
+                  << rfsm::chaos::plane().profile().name << "')\n";
+    } catch (const rfsm::Error& error) {
+      std::cerr << "rfsmd: " << error.what() << "\n";
+      return 64;
+    }
   } catch (const std::exception& error) {
     std::cerr << "rfsmd: invalid argument (" << error.what() << ")\n";
     return 64;

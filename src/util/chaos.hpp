@@ -1,0 +1,168 @@
+// Deterministic chaos injection: a seeded, process-global fault plane the
+// syscall-boundary layers (util/fsio, util/ipc) consult before touching
+// the disk or the wire.
+//
+// The design mirrors util/fault.hpp's named-preset convention, lifted from
+// table faults to the infrastructure underneath the service stack:
+//
+//  * every schedule is a pure function of one seed — each injection site
+//    draws from its own Rng::substream, so the k-th decision at a site is
+//    identical across runs, threads notwithstanding (single-threaded runs
+//    reproduce the full schedule bit-for-bit; multi-threaded runs reproduce
+//    each site's decision *sequence*, which the invariant sweeps pin down
+//    with single-threaded replay cells);
+//  * profiles are addressable by name (`--chaos <seed>:<profile>`,
+//    `RFSM_CHAOS=<seed>:<profile>`), so a failure seen in CI reproduces
+//    from the CLI with the same flag;
+//  * disabled is the default and costs one relaxed atomic load per site —
+//    no draws, no locks, no branches beyond `enabled()`.
+//
+// Injected faults are *inputs*, not assertions: fsio reports them as
+// FsError, ipc as IpcError/FrameError, and the existing retry / breaker /
+// degradation / recovery machinery is expected to absorb them.  Every
+// injection is journaled (site + kind + ordinal) and counted in
+// service.chaos_disk_faults / service.chaos_net_faults, so an end-to-end
+// sweep can assert that every fault it scheduled was seen and survived.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace rfsm::chaos {
+
+/// Injection sites.  Each owns an independent substream of the plane's
+/// seed, so adding draws at one site never perturbs another's schedule.
+enum class Site : std::uint32_t {
+  kDiskWrite = 0,   ///< fsio::writeAll — ENOSPC, EIO, short write
+  kDiskFsync = 1,   ///< fsio::fsyncFd — failed fsync (poisons the fd)
+  kDiskRename = 2,  ///< fsio::writeFileDurable — torn rename
+  kDiskAppend = 3,  ///< fsio::appendDurable — power-loss truncation
+  kNetConnect = 4,  ///< ipc::connectEndpoint — connection reset
+  kNetWrite = 5,    ///< ipc::writeFrame — reset/partial/stall/dup/corrupt
+  kNetRead = 6,     ///< ipc::readFrame — stalled socket, reset
+};
+inline constexpr std::size_t kSiteCount = 7;
+
+/// Injection rates of one named chaos profile.  All probabilities are
+/// per-consultation; `maxFaults` bounds the total injections of a run so
+/// retry budgets provably converge (draws continue past the budget — the
+/// schedule stays a pure function of the seed — but no more faults fire).
+struct Profile {
+  std::string name = "off";
+  // Disk faults (util/fsio).
+  double diskErrorProbability = 0.0;   ///< write fails with ENOSPC or EIO
+  double shortWriteProbability = 0.0;  ///< write persists only a prefix
+  double fsyncFailProbability = 0.0;   ///< fsync fails; the fd stays dirty
+  double tornRenameProbability = 0.0;  ///< durable replace dies pre-rename
+  double truncateProbability = 0.0;    ///< append cut at a random offset
+  // Network faults (util/ipc).
+  double connectResetProbability = 0.0;
+  double resetProbability = 0.0;       ///< send fails mid-frame
+  double partialWriteProbability = 0.0;///< prefix hits the wire, then death
+  double stallProbability = 0.0;       ///< bounded delay before the syscall
+  double duplicateProbability = 0.0;   ///< the frame is sent twice
+  double corruptProbability = 0.0;     ///< one payload/trailer bit flips
+  /// Total injections before the plane goes quiet (draws continue).
+  std::uint64_t maxFaults = 1u << 20;
+};
+
+/// Named profiles:
+///   off          armed but silent (every probability zero)
+///   disk-light   sparse disk faults — the recovery paths fire, progress
+///                still dominates
+///   disk-storm   dense disk faults for soak runs
+///   net-light    sparse wire faults
+///   net-storm    dense wire faults (every kind, most exchanges disturbed)
+///   full         disk-light + net-light combined
+/// Returns nullopt for unknown names.
+std::optional<Profile> profileByName(const std::string& name);
+const std::vector<std::string>& profileNames();
+
+/// One journaled injection, in schedule order.
+struct Event {
+  Site site = Site::kDiskWrite;
+  std::uint32_t kind = 0;     ///< site-specific discriminator (see .cpp)
+  std::uint64_t ordinal = 0;  ///< draw index within the site's stream
+};
+
+/// The process-global fault plane.  Thread-safe: decision draws serialize
+/// on one mutex (they sit next to syscalls; the lock is noise), the
+/// enabled check is a relaxed atomic.
+class FaultPlane {
+ public:
+  /// Arms the plane: every site's stream derives from `seed`, rates come
+  /// from `profile`.  Re-arming resets the journal and the fault budget.
+  void arm(std::uint64_t seed, const Profile& profile);
+  /// Arms from "<seed>:<profile>" (e.g. "7:net-light").  Throws Error on a
+  /// malformed spec or an unknown profile name (the message lists the
+  /// valid names, matching the `rfsmd --fault` convention).
+  void armFromSpec(const std::string& spec);
+  /// Arms from $RFSM_CHAOS when set (same spec syntax; throws on junk).
+  /// Returns false when the variable is absent.
+  bool armFromEnv();
+  void disarm();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  std::uint64_t seed() const;
+  Profile profile() const;
+
+  // --- Disk decisions (consulted by util/fsio when enabled) --------------
+  enum class DiskWriteFault : std::uint32_t { kNone, kEnospc, kEio, kShort };
+  DiskWriteFault onDiskWrite();
+  /// True = this fsync fails (the caller latches the fd dirty).
+  bool onFsync();
+  /// True = the durable replace dies before its rename (torn rename: the
+  /// target keeps its old bytes, the temp file is the only casualty).
+  bool onRename();
+  /// Power-loss truncation: nullopt = clean append, else the fraction of
+  /// the record in [0, 1) that reaches the disk before the simulated cut.
+  std::optional<double> onAppend();
+
+  // --- Network decisions (consulted by util/ipc when enabled) ------------
+  enum class NetWriteFault : std::uint32_t {
+    kNone, kReset, kPartial, kStall, kDuplicate, kCorrupt
+  };
+  NetWriteFault onNetWrite();
+  enum class NetReadFault : std::uint32_t { kNone, kStall, kReset };
+  NetReadFault onNetRead();
+  /// True = the connect is refused (injected connection reset).
+  bool onConnect();
+  /// Uniform draw in [0, bound) on `site`'s stream — positions the flipped
+  /// bit / truncation point deterministically.  bound must be positive.
+  std::uint64_t drawBelow(Site site, std::uint64_t bound);
+
+  // --- Replay evidence ----------------------------------------------------
+  std::uint64_t injectedDisk() const;
+  std::uint64_t injectedNet() const;
+  /// FNV-1a digest over the journal (site, kind, ordinal triples): two runs
+  /// of the same seed+profile over the same workload produce equal digests
+  /// — the replayability contract bench_chaos_sweep (A18) asserts.
+  std::uint64_t journalDigest() const;
+  std::vector<Event> journal() const;
+
+ private:
+  bool fire(Site site, double probability, std::uint32_t kind);
+
+  mutable std::mutex mutex_;
+  std::atomic<bool> enabled_{false};
+  std::uint64_t seed_ = 0;
+  Profile profile_;
+  std::vector<Rng> streams_;       ///< one per Site
+  std::vector<std::uint64_t> draws_;  ///< per-site draw ordinals
+  std::uint64_t injectedDisk_ = 0;
+  std::uint64_t injectedNet_ = 0;
+  std::vector<Event> journal_;
+};
+
+/// The process-global plane (one per process; worker subprocesses arm
+/// their own from the inherited RFSM_CHAOS environment).
+FaultPlane& plane();
+
+}  // namespace rfsm::chaos

@@ -11,6 +11,13 @@
 // back doors.  Everything is derived from an Rng, so a (seed, model,
 // geometry) triple reproduces a scenario exactly — the contract the fault
 // sweep bench and the CI seed matrix rely on.
+//
+// This layer disturbs the *tables the planner reasons about*.  Its sibling,
+// util/chaos.hpp, disturbs the *infrastructure underneath the service*
+// (disk syscalls in util/fsio, wire frames in util/ipc) with the same
+// named-preset + single-seed replayability convention: `--fault` names a
+// table-fault model, `--chaos <seed>:<profile>` names an
+// infrastructure-fault schedule, and the two compose freely.
 #pragma once
 
 #include <cstdint>

@@ -10,6 +10,10 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
+#include <mutex>
+#include <unordered_set>
+
+#include "util/chaos.hpp"
 
 namespace rfsm::fsio {
 namespace {
@@ -18,25 +22,104 @@ namespace {
   throw FsError(what + " '" + path + "': " + ::strerror(errno));
 }
 
+// Descriptors whose fsync has failed at least once.  A failed fsync means
+// the kernel may have discarded the dirty pages, so the descriptor can
+// never again be trusted to mean "durable" — it stays latched until the
+// number is recycled by a fresh fsio open.
+std::mutex dirtyMutex;
+std::unordered_set<int>& dirtyFds() {
+  static auto* fds = new std::unordered_set<int>();
+  return *fds;
+}
+
+/// A fresh open recycles the descriptor number: clear any stale latch.
+void noteOpened(int fd) {
+  std::lock_guard<std::mutex> lock(dirtyMutex);
+  dirtyFds().erase(fd);
+}
+
+void latchDirty(int fd) {
+  std::lock_guard<std::mutex> lock(dirtyMutex);
+  dirtyFds().insert(fd);
+}
+
+bool isDirty(int fd) {
+  std::lock_guard<std::mutex> lock(dirtyMutex);
+  return dirtyFds().count(fd) != 0;
+}
+
+std::size_t fdOffset(int fd) {
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) return 0;
+  return static_cast<std::size_t>(st.st_size);
+}
+
 void fsyncFd(int fd, const std::string& path) {
+  if (isDirty(fd))
+    throw FsError("cannot fsync '" + path + "' (fd " + std::to_string(fd) +
+                  "): an earlier fsync on this descriptor failed, so its "
+                  "dirty pages may be lost; reopen and rewrite");
+  if (chaos::plane().enabled() && chaos::plane().onFsync()) {
+    latchDirty(fd);
+    errno = EIO;
+    fail("cannot fsync (chaos)", path);
+  }
   int rc;
   do {
     rc = ::fsync(fd);
   } while (rc != 0 && errno == EINTR);
-  if (rc != 0) fail("cannot fsync", path);
+  if (rc != 0) {
+    const int saved = errno;
+    latchDirty(fd);
+    errno = saved;
+    fail("cannot fsync", path);
+  }
 }
 
-void writeAll(int fd, std::string_view bytes, const std::string& path) {
+/// The raw retry-on-EINTR write loop, shared by the clean path and the
+/// chaos prefixes (which must not re-consult the plane).
+void writeAllRaw(int fd, std::string_view bytes, const std::string& path) {
   std::size_t written = 0;
   while (written < bytes.size()) {
     const ssize_t n =
         ::write(fd, bytes.data() + written, bytes.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
-      fail("cannot write", path);
+      fail("cannot write at offset " + std::to_string(fdOffset(fd)), path);
     }
     written += static_cast<std::size_t>(n);
   }
+}
+
+void writeAll(int fd, std::string_view bytes, const std::string& path) {
+  if (chaos::plane().enabled()) {
+    switch (chaos::plane().onDiskWrite()) {
+      case chaos::FaultPlane::DiskWriteFault::kNone:
+        break;
+      case chaos::FaultPlane::DiskWriteFault::kEnospc:
+        errno = ENOSPC;
+        fail("cannot write (chaos) at offset " + std::to_string(fdOffset(fd)),
+             path);
+      case chaos::FaultPlane::DiskWriteFault::kEio:
+        errno = EIO;
+        fail("cannot write (chaos) at offset " + std::to_string(fdOffset(fd)),
+             path);
+      case chaos::FaultPlane::DiskWriteFault::kShort: {
+        // A prefix lands, then the device errors: the caller sees a failed
+        // write whose bytes may nonetheless partially exist on disk.
+        const std::uint64_t keep = chaos::plane().drawBelow(
+            chaos::Site::kDiskWrite, bytes.size() + 1);
+        writeAllRaw(fd, bytes.substr(0, static_cast<std::size_t>(keep)),
+                    path);
+        errno = EIO;
+        fail("cannot write (chaos short write, " + std::to_string(keep) +
+                 "/" + std::to_string(bytes.size()) + " bytes) at offset " +
+                 std::to_string(fdOffset(fd)),
+             path);
+      }
+    }
+  }
+  writeAllRaw(fd, bytes, path);
 }
 
 }  // namespace
@@ -52,6 +135,7 @@ void fsyncParentDir(const std::string& path) {
   const std::string dir = parentDir(path);
   ipc::Fd fd(::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC));
   if (!fd.valid()) fail("cannot open directory", dir);
+  noteOpened(fd.get());
   fsyncFd(fd.get(), dir);
 }
 
@@ -61,6 +145,7 @@ void writeFileDurable(const std::string& path, std::string_view bytes) {
   ipc::Fd fd(::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
                     0644));
   if (!fd.valid()) fail("cannot create", temp);
+  noteOpened(fd.get());
   try {
     writeAll(fd.get(), bytes, temp);
     fsyncFd(fd.get(), temp);
@@ -69,6 +154,13 @@ void writeFileDurable(const std::string& path, std::string_view bytes) {
     throw;
   }
   fd.reset();  // close before rename so the data precedes the name
+  if (chaos::plane().enabled() && chaos::plane().onRename()) {
+    // Torn rename: the process "dies" between the temp fsync and the
+    // rename — the target keeps its old bytes, only the temp is lost.
+    ::unlink(temp.c_str());
+    errno = EIO;
+    fail("cannot rename over (chaos torn rename)", path);
+  }
   if (::rename(temp.c_str(), path.c_str()) != 0) {
     ::unlink(temp.c_str());
     fail("cannot rename over", path);
@@ -83,19 +175,44 @@ ipc::Fd openAppend(const std::string& path) {
                     O_WRONLY | O_APPEND | O_CREAT | O_EXCL | O_CLOEXEC,
                     0644));
   if (fd.valid()) {
+    noteOpened(fd.get());
     fsyncParentDir(path);
     return fd;
   }
   if (errno != EEXIST) fail("cannot create", path);
   fd = ipc::Fd(::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC));
   if (!fd.valid()) fail("cannot open", path);
+  noteOpened(fd.get());
   return fd;
 }
 
-void appendDurable(int fd, std::string_view bytes) {
-  const std::string label = "append fd " + std::to_string(fd);
-  writeAll(fd, bytes, label);
-  fsyncFd(fd, label);
+void appendDurable(int fd, const std::string& path, std::string_view bytes) {
+  const std::size_t offset = fdOffset(fd);
+  if (isDirty(fd))
+    throw FsError("cannot append to '" + path + "' at offset " +
+                  std::to_string(offset) + " (fd " + std::to_string(fd) +
+                  "): an earlier fsync on this descriptor failed; reopen "
+                  "and rewrite");
+  if (chaos::plane().enabled()) {
+    if (const std::optional<double> cut = chaos::plane().onAppend()) {
+      // Simulated power loss mid-append: a prefix of the record reaches
+      // the file, then the descriptor is latched dirty so nothing further
+      // lands after the torn tail (recovery trusts everything *before*
+      // the tear, so appending past it would corrupt the middle of the
+      // log).  The caller reopens and rewrites from trusted state.
+      const auto keep = static_cast<std::size_t>(
+          *cut * static_cast<double>(bytes.size()));
+      writeAllRaw(fd, bytes.substr(0, keep), path);
+      latchDirty(fd);
+      errno = EIO;
+      fail("cannot append (chaos power-loss truncation, kept " +
+               std::to_string(keep) + "/" + std::to_string(bytes.size()) +
+               " bytes) at offset " + std::to_string(offset),
+           path);
+    }
+  }
+  writeAll(fd, bytes, path);
+  fsyncFd(fd, path);
 }
 
 std::optional<std::string> readFileIfExists(const std::string& path) {

@@ -50,8 +50,16 @@ void writeFileDurable(const std::string& path, std::string_view bytes);
 ipc::Fd openAppend(const std::string& path);
 
 /// Appends `bytes` to `fd` and fsyncs before returning (the WAL rule:
-/// nothing is acknowledged until it is on disk).
-void appendDurable(int fd, std::string_view bytes);
+/// nothing is acknowledged until it is on disk).  `path` names the file in
+/// error messages, which carry the append offset alongside errno.
+///
+/// A failed fsync is permanent for the descriptor: the fd is latched dirty
+/// and every later append/fsync on it throws immediately, because the
+/// kernel may have dropped the unwritten pages — retrying fsync and
+/// assuming a clean result would acknowledge data that never hit the disk.
+/// Recovery is to reopen the file (openAppend returns a clean descriptor)
+/// and rewrite from trusted state.
+void appendDurable(int fd, const std::string& path, std::string_view bytes);
 
 /// Whole-file read; nullopt when the file does not exist, FsError on any
 /// other failure.

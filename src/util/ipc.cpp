@@ -1,8 +1,11 @@
 #include "util/ipc.hpp"
 
+#include <array>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
+#include <thread>
 
 #include <arpa/inet.h>
 #include <fcntl.h>
@@ -14,6 +17,9 @@
 #include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
+
+#include "util/chaos.hpp"
+#include "util/metrics.hpp"
 
 namespace rfsm::ipc {
 namespace {
@@ -79,6 +85,25 @@ void writeExact(int fd, const void* buffer, std::size_t count) {
 
 void setCloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
 
+/// Injected stalls are a fixed, bounded delay: long enough to exercise the
+/// poll-sliced deadline machinery, short enough that every caller's
+/// timeout budget absorbs it.
+constexpr int kChaosStallMs = 120;
+
+std::uint32_t loadLe32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+void storeLe32(unsigned char* p, std::uint32_t value) {
+  p[0] = static_cast<unsigned char>(value);
+  p[1] = static_cast<unsigned char>(value >> 8);
+  p[2] = static_cast<unsigned char>(value >> 16);
+  p[3] = static_cast<unsigned char>(value >> 24);
+}
+
 }  // namespace
 
 Fd& Fd::operator=(Fd&& other) noexcept {
@@ -103,39 +128,123 @@ void Fd::reset() {
 
 void ignoreSigpipe() { ::signal(SIGPIPE, SIG_IGN); }
 
+std::uint32_t crc32c(std::string_view bytes) {
+  // Software CRC32C (Castagnoli, reflected polynomial 0x82f63b78) with a
+  // lazily built 256-entry table; frames are small and rare relative to
+  // planning work, so a table-per-byte loop is plenty.
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit)
+        crc = (crc >> 1) ^ (0x82f63b78u & (~(crc & 1u) + 1u));
+      t[i] = crc;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xffffffffu;
+  for (const char c : bytes)
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<unsigned char>(c)) & 0xffu];
+  return crc ^ 0xffffffffu;
+}
+
 void writeFrame(int fd, std::string_view payload) {
   RFSM_CHECK(payload.size() <= kMaxFrameBytes, "frame too large");
-  unsigned char header[4];
-  const auto length = static_cast<std::uint32_t>(payload.size());
-  header[0] = static_cast<unsigned char>(length);
-  header[1] = static_cast<unsigned char>(length >> 8);
-  header[2] = static_cast<unsigned char>(length >> 16);
-  header[3] = static_cast<unsigned char>(length >> 24);
-  writeExact(fd, header, sizeof header);
-  writeExact(fd, payload.data(), payload.size());
+  // The frame is assembled contiguously (header | payload | crc) so chaos
+  // can corrupt or duplicate the exact bytes that would hit the wire.
+  std::string frame;
+  frame.resize(payload.size() + 8);
+  auto* bytes = reinterpret_cast<unsigned char*>(frame.data());
+  storeLe32(bytes, static_cast<std::uint32_t>(payload.size()));
+  std::memcpy(bytes + 4, payload.data(), payload.size());
+  storeLe32(bytes + 4 + payload.size(), crc32c(payload));
+
+  if (chaos::plane().enabled()) {
+    chaos::FaultPlane& plane = chaos::plane();
+    switch (plane.onNetWrite()) {
+      case chaos::FaultPlane::NetWriteFault::kNone:
+        break;
+      case chaos::FaultPlane::NetWriteFault::kReset:
+        throw IpcError("write: injected connection reset (chaos)");
+      case chaos::FaultPlane::NetWriteFault::kPartial: {
+        // A prefix reaches the peer (torn frame on their side), then the
+        // sender dies.  Never the whole frame: at most all-but-one byte.
+        const std::uint64_t keep =
+            plane.drawBelow(chaos::Site::kNetWrite, frame.size());
+        writeExact(fd, frame.data(), static_cast<std::size_t>(keep));
+        throw IpcError("write: injected partial write of " +
+                       std::to_string(keep) + "/" +
+                       std::to_string(frame.size()) + " bytes (chaos)");
+      }
+      case chaos::FaultPlane::NetWriteFault::kStall:
+        std::this_thread::sleep_for(std::chrono::milliseconds(kChaosStallMs));
+        break;
+      case chaos::FaultPlane::NetWriteFault::kDuplicate:
+        writeExact(fd, frame.data(), frame.size());
+        break;  // falls through to the normal write: the frame ships twice
+      case chaos::FaultPlane::NetWriteFault::kCorrupt: {
+        // Flip one bit anywhere past the length header (payload or CRC
+        // trailer).  Corrupting the length would desynchronize the stream
+        // into a hang; the fuzzer covers that case off-wire instead.
+        const std::uint64_t offset =
+            4 + plane.drawBelow(chaos::Site::kNetWrite, frame.size() - 4);
+        const std::uint64_t bit = plane.drawBelow(chaos::Site::kNetWrite, 8);
+        frame[static_cast<std::size_t>(offset)] ^=
+            static_cast<char>(1u << bit);
+        break;
+      }
+    }
+  }
+  writeExact(fd, frame.data(), frame.size());
 }
 
 ReadStatus readFrame(int fd, std::string& payload,
                      const CancelToken* cancel) {
+  if (chaos::plane().enabled()) {
+    switch (chaos::plane().onNetRead()) {
+      case chaos::FaultPlane::NetReadFault::kNone:
+        break;
+      case chaos::FaultPlane::NetReadFault::kStall:
+        std::this_thread::sleep_for(std::chrono::milliseconds(kChaosStallMs));
+        break;
+      case chaos::FaultPlane::NetReadFault::kReset:
+        throw IpcError("read: injected connection reset (chaos)");
+    }
+  }
   try {
     unsigned char header[4];
     if (!readExact(fd, header, sizeof header, cancel)) return ReadStatus::kEof;
-    const std::uint32_t length =
-        static_cast<std::uint32_t>(header[0]) |
-        static_cast<std::uint32_t>(header[1]) << 8 |
-        static_cast<std::uint32_t>(header[2]) << 16 |
-        static_cast<std::uint32_t>(header[3]) << 24;
-    if (length > kMaxFrameBytes)
-      throw IpcError("frame length " + std::to_string(length) +
-                     " exceeds the " + std::to_string(kMaxFrameBytes) +
-                     "-byte cap (corrupt stream?)");
+    const std::uint32_t length = loadLe32(header);
+    if (length > kMaxFrameBytes) {
+      metrics::counter(metrics::kServiceFramesRejected).add();
+      throw FrameError("frame length " + std::to_string(length) +
+                       " exceeds the " + std::to_string(kMaxFrameBytes) +
+                       "-byte cap (corrupt stream?)");
+    }
     payload.resize(length);
     if (length > 0 && !readExact(fd, payload.data(), length, cancel))
       return ReadStatus::kEof;  // torn frame: the peer died mid-write
+    unsigned char trailer[4];
+    if (!readExact(fd, trailer, sizeof trailer, cancel))
+      return ReadStatus::kEof;  // torn trailer: likewise
+    const std::uint32_t expected = loadLe32(trailer);
+    const std::uint32_t actual = crc32c(payload);
+    if (expected != actual) {
+      metrics::counter(metrics::kServiceFramesRejected).add();
+      throw FrameError("frame CRC mismatch (wire " + std::to_string(expected) +
+                       ", computed " + std::to_string(actual) + " over " +
+                       std::to_string(length) + " bytes)");
+    }
     return ReadStatus::kOk;
   } catch (TimeoutTag) {
     return ReadStatus::kTimeout;
   }
+}
+
+bool pendingInput(int fd) {
+  struct pollfd pfd = {fd, POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, 0);
+  return rc > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
 }
 
 void MessageWriter::u32(std::uint32_t value) {
@@ -424,6 +533,9 @@ std::vector<Endpoint> parseEndpointList(const std::string& text) {
 }
 
 Fd connectEndpoint(const Endpoint& endpoint, std::int64_t timeoutMs) {
+  if (chaos::plane().enabled() && chaos::plane().onConnect())
+    throw IpcError("connect " + endpoint.describe() +
+                   ": injected connection reset (chaos)");
   if (endpoint.kind == Endpoint::Kind::kUnix)
     return connectUnix(endpoint.path);
   return connectTcp(endpoint.host, endpoint.port, timeoutMs);

@@ -29,6 +29,16 @@ class IpcError : public Error {
   explicit IpcError(const std::string& what) : Error(what) {}
 };
 
+/// A frame that is malformed on the wire: CRC32C mismatch or an absurd
+/// length prefix.  Distinguished from the base IpcError so callers can
+/// report "malformed response" (the peer is alive but the bytes are bad)
+/// instead of "unreachable", while every existing catch of IpcError still
+/// contains it.  Each rejection bumps metrics::kServiceFramesRejected.
+class FrameError : public IpcError {
+ public:
+  explicit FrameError(const std::string& what) : IpcError(what) {}
+};
+
 /// Frames larger than this are rejected as corrupt (a garbage length prefix
 /// must not turn into a multi-gigabyte allocation).
 inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
@@ -66,7 +76,13 @@ void ignoreSigpipe();
 
 // --- Framing -------------------------------------------------------------
 //
-// A frame is a little-endian u32 payload length followed by the payload.
+// A frame is a little-endian u32 payload length, the payload, and a
+// little-endian u32 CRC32C of the payload.  The trailer turns wire
+// corruption from silent misparse (or a hang on a mangled length) into a
+// typed FrameError the retry/degradation ladder can absorb.
+
+/// CRC32C (Castagnoli) of `bytes` — the per-frame trailer checksum.
+std::uint32_t crc32c(std::string_view bytes);
 
 /// Writes one frame, retrying on EINTR and short writes.  Throws IpcError
 /// on any write failure (including EPIPE — the peer died).
@@ -82,9 +98,17 @@ enum class ReadStatus {
 /// Reads one frame.  Blocks in bounded poll slices, so a `cancel` token
 /// with a deadline (or an asynchronous cancel()) turns a hung peer into
 /// kTimeout instead of a wedged caller; cancel == nullptr blocks
-/// indefinitely.  Throws IpcError on transport errors and oversized frames.
+/// indefinitely.  Throws IpcError on transport errors and FrameError on
+/// malformed frames (oversized length prefix, CRC32C mismatch).
 ReadStatus readFrame(int fd, std::string& payload,
                      const CancelToken* cancel = nullptr);
+
+/// True when `fd` has bytes (or an EOF) ready to read right now.  On a
+/// request/response channel a true result *before writing a request* means
+/// the stream is desynchronized — a duplicated or unsolicited frame is
+/// queued, and the next read would pair the wrong reply with this request.
+/// Callers tear the connection down instead of exchanging on it.
+bool pendingInput(int fd);
 
 // --- Message encoding ----------------------------------------------------
 //

@@ -445,6 +445,9 @@ std::vector<std::string> canonicalNames() {
       kSessionSchedulerDepth,
       kServiceRequestWindow,
       kSessionMutateWindow,
+      kServiceChaosDiskFaults,
+      kServiceChaosNetFaults,
+      kServiceFramesRejected,
   };
 }
 

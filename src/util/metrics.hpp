@@ -281,6 +281,15 @@ inline constexpr const char* kSessionSchedulerDepth =
 // Rolling-window twins of the cumulative request/mutate histograms.
 inline constexpr const char* kServiceRequestWindow = "service.request_window";
 inline constexpr const char* kSessionMutateWindow = "session.mutate_window";
+// Chaos-injection evidence (util/chaos): one bump per injected fault, so
+// invariant sweeps can assert every scheduled fault was actually seen, plus
+// the transport's count of frames rejected for bad CRC/length (util/ipc).
+inline constexpr const char* kServiceChaosDiskFaults =
+    "service.chaos_disk_faults";
+inline constexpr const char* kServiceChaosNetFaults =
+    "service.chaos_net_faults";
+inline constexpr const char* kServiceFramesRejected =
+    "service.frames_rejected";
 
 /// Every canonical metric name above, in one list — the single source of
 /// truth the naming-drift regression test diffs sink output against

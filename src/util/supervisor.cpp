@@ -284,6 +284,18 @@ struct Supervisor::Impl {
     }
     ++item.attempts;
 
+    if (ipc::pendingInput(children[slot].channel.get())) {
+      // Bytes queued before we even sent the request: the channel is
+      // desynchronized (a duplicated or late frame from a previous
+      // exchange, or an EOF).  Reading now would pair a stale reply with
+      // this request, so destroy the worker and retry on a fresh one.
+      destroyChild(slot);
+      recordCrash();
+      retryOrFail(std::move(item),
+                  "worker channel desynchronized (unexpected pending frame)");
+      return;
+    }
+
     try {
       ipc::writeFrame(children[slot].channel.get(), item.payload);
     } catch (const Error& error) {

@@ -201,6 +201,80 @@ TEST(Frames, OversizedLengthPrefixIsRejected) {
   EXPECT_THROW(ipc::readFrame(pair.b.get(), payload), ipc::IpcError);
 }
 
+TEST(Frames, OversizedLengthPrefixIsATypedFrameError) {
+  // The malformed-frame error is its own type so callers can report
+  // "malformed response" instead of "unreachable".
+  SocketPair pair;
+  const std::uint32_t huge = 0xffffffffu;  // also: "negative" as a signed read
+  ASSERT_EQ(write(pair.a.get(), &huge, 4), 4);
+  std::string payload;
+  EXPECT_THROW(ipc::readFrame(pair.b.get(), payload), ipc::FrameError);
+}
+
+TEST(Frames, Crc32cMatchesTheKnownCheckValue) {
+  // The canonical CRC-32C check vector (RFC 3720 appendix B / Castagnoli).
+  EXPECT_EQ(ipc::crc32c("123456789"), 0xe3069283u);
+  EXPECT_EQ(ipc::crc32c(""), 0u);
+}
+
+/// A wire-correct frame for `payload`: length | payload | crc32c(payload).
+std::string rawFrame(const std::string& payload) {
+  std::string frame;
+  const auto le32 = [&frame](std::uint32_t value) {
+    for (int k = 0; k < 4; ++k)
+      frame.push_back(static_cast<char>(value >> (8 * k)));
+  };
+  le32(static_cast<std::uint32_t>(payload.size()));
+  frame += payload;
+  le32(ipc::crc32c(payload));
+  return frame;
+}
+
+TEST(Frames, SingleBitPayloadCorruptionIsRejectedByTheCrcTrailer) {
+  for (std::size_t bit = 0; bit < 8; ++bit) {
+    SocketPair pair;
+    std::string frame = rawFrame("corrupt-me");
+    frame[6] ^= static_cast<char>(1u << bit);  // a payload byte
+    ASSERT_EQ(write(pair.a.get(), frame.data(), frame.size()),
+              static_cast<ssize_t>(frame.size()));
+    std::string payload;
+    EXPECT_THROW(ipc::readFrame(pair.b.get(), payload), ipc::FrameError);
+  }
+}
+
+TEST(Frames, CorruptedTrailerItselfIsRejected) {
+  SocketPair pair;
+  std::string frame = rawFrame("payload");
+  frame[frame.size() - 1] ^= 0x40;  // flip a CRC bit
+  ASSERT_EQ(write(pair.a.get(), frame.data(), frame.size()),
+            static_cast<ssize_t>(frame.size()));
+  std::string payload;
+  EXPECT_THROW(ipc::readFrame(pair.b.get(), payload), ipc::FrameError);
+}
+
+TEST(Frames, EofMidTrailerReadsAsEofNotError) {
+  SocketPair pair;
+  std::string frame = rawFrame("torn");
+  frame.resize(frame.size() - 2);  // payload complete, trailer torn
+  ASSERT_EQ(write(pair.a.get(), frame.data(), frame.size()),
+            static_cast<ssize_t>(frame.size()));
+  pair.a.reset();
+  std::string payload;
+  EXPECT_EQ(ipc::readFrame(pair.b.get(), payload), ipc::ReadStatus::kEof);
+}
+
+TEST(Frames, PendingInputSeesQueuedFramesAndEof) {
+  SocketPair pair;
+  EXPECT_FALSE(ipc::pendingInput(pair.b.get()));
+  ipc::writeFrame(pair.a.get(), "queued");
+  EXPECT_TRUE(ipc::pendingInput(pair.b.get()));
+  std::string payload;
+  ASSERT_EQ(ipc::readFrame(pair.b.get(), payload), ipc::ReadStatus::kOk);
+  EXPECT_FALSE(ipc::pendingInput(pair.b.get()));
+  pair.a.reset();  // an EOF is also "pending": the stream is unusable
+  EXPECT_TRUE(ipc::pendingInput(pair.b.get()));
+}
+
 TEST(Frames, WriteToClosedPeerThrowsInsteadOfSigpipe) {
   ipc::ignoreSigpipe();
   SocketPair pair;
@@ -443,6 +517,53 @@ TEST(Protocol, StatusNamesMatchContract) {
                "DEADLINE_EXCEEDED");
   EXPECT_STREQ(toString(WorkResult::Status::kShed), "RESOURCE_EXHAUSTED");
   EXPECT_STREQ(toString(WorkResult::Status::kUnavailable), "UNAVAILABLE");
+}
+
+TEST(Handshake, RequestRoundTrip) {
+  service::HandshakeRequest request;
+  request.version = 7;
+  request.features = 0x5u;
+  const std::string wire = service::encodeHandshakeRequest(request);
+  EXPECT_EQ(service::peekType(wire),
+            service::MessageType::kHandshakeRequest);
+  const auto back = service::decodeHandshakeRequest(wire);
+  EXPECT_EQ(back.version, 7u);
+  EXPECT_EQ(back.features, 0x5u);
+}
+
+TEST(Handshake, ResponseRoundTrip) {
+  service::HandshakeResponse response;
+  response.accepted = true;
+  response.version = service::kProtocolVersion;
+  response.features = service::kFeatureCrc32c;
+  response.error = "";
+  const std::string wire = service::encodeHandshakeResponse(response);
+  EXPECT_EQ(service::peekType(wire),
+            service::MessageType::kHandshakeResponse);
+  const auto back = service::decodeHandshakeResponse(wire);
+  EXPECT_TRUE(back.accepted);
+  EXPECT_EQ(back.version, service::kProtocolVersion);
+  EXPECT_EQ(back.features, service::kFeatureCrc32c);
+  EXPECT_TRUE(back.error.empty());
+}
+
+TEST(Handshake, MatchingVersionIsAcceptedWithFeaturesMasked) {
+  service::HandshakeRequest request;
+  request.features = 0xffffffffu;  // peer claims features we never heard of
+  const auto response = service::answerHandshake(request);
+  EXPECT_TRUE(response.accepted);
+  EXPECT_EQ(response.version, service::kProtocolVersion);
+  EXPECT_EQ(response.features, service::kFeatureCrc32c);
+}
+
+TEST(Handshake, VersionMismatchIsRefusedNotDowngraded) {
+  service::HandshakeRequest request;
+  request.version = service::kProtocolVersion + 1;
+  const auto response = service::answerHandshake(request);
+  EXPECT_FALSE(response.accepted);
+  EXPECT_EQ(response.features, 0u);
+  EXPECT_NE(response.error.find("protocol version mismatch"),
+            std::string::npos);
 }
 
 }  // namespace

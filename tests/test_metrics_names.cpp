@@ -70,7 +70,9 @@ TEST(TelemetryNames, KnownVocabularyIsPresent) {
         metrics::kServiceWorkersAlive, metrics::kServiceQueueDepth,
         metrics::kServicePlanCacheSize, metrics::kSessionsOpenGauge,
         metrics::kSessionSchedulerDepth, metrics::kServiceRequestWindow,
-        metrics::kSessionMutateWindow, metrics::kTraceDropped})
+        metrics::kSessionMutateWindow, metrics::kTraceDropped,
+        metrics::kServiceChaosDiskFaults, metrics::kServiceChaosNetFaults,
+        metrics::kServiceFramesRejected})
     EXPECT_TRUE(set.count(required)) << required;
 }
 

@@ -168,12 +168,12 @@ TEST(Fsio, AppendDurableAccumulates) {
   const std::string path = dir.path + "/wal";
   {
     ipc::Fd fd = fsio::openAppend(path);
-    fsio::appendDurable(fd.get(), "one\n");
-    fsio::appendDurable(fd.get(), "two\n");
+    fsio::appendDurable(fd.get(), path, "one\n");
+    fsio::appendDurable(fd.get(), path, "two\n");
   }
   {
     ipc::Fd fd = fsio::openAppend(path);  // reopen appends, not truncates
-    fsio::appendDurable(fd.get(), "three\n");
+    fsio::appendDurable(fd.get(), path, "three\n");
   }
   EXPECT_EQ(fsio::readFileIfExists(path).value_or(""), "one\ntwo\nthree\n");
 }
