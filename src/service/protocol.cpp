@@ -586,6 +586,8 @@ std::string encodeStatsResponse(const StatsResponse& response) {
     writer.u64(session.applied);
     writer.i64(session.walAgeMs);
     writer.i64(session.snapshotAgeMs);
+    writer.str(session.role);
+    writer.u64(session.epoch);
   }
   writer.u64(response.openSessions);
   writer.u64(response.schedulerDepth);
@@ -634,6 +636,8 @@ StatsResponse decodeStatsResponse(const std::string& payload) {
     session.applied = reader.u64();
     session.walAgeMs = reader.i64();
     session.snapshotAgeMs = reader.i64();
+    session.role = reader.str();
+    session.epoch = reader.u64();
     response.sessions.push_back(std::move(session));
   }
   response.openSessions = reader.u64();
@@ -693,6 +697,7 @@ const char* toString(SessionStatus status) {
     case SessionStatus::kNotFound: return "NOT_FOUND";
     case SessionStatus::kBadSequence: return "BAD_SEQUENCE";
     case SessionStatus::kFailed: return "FAILED";
+    case SessionStatus::kStaleEpoch: return "STALE_EPOCH";
   }
   return "FAILED";
 }
@@ -700,7 +705,7 @@ const char* toString(SessionStatus status) {
 namespace {
 
 SessionStatus sessionStatusFromWire(std::uint32_t value) {
-  if (value > static_cast<std::uint32_t>(SessionStatus::kFailed))
+  if (value > static_cast<std::uint32_t>(SessionStatus::kStaleEpoch))
     throw ipc::IpcError("unknown session status code " +
                         std::to_string(value));
   return static_cast<SessionStatus>(value);
@@ -923,6 +928,176 @@ SessionCloseResponse decodeSessionCloseResponse(const std::string& payload) {
   return response;
 }
 
+// --- Session replication --------------------------------------------------
+
+std::string encodeSessionReplAppendRequest(
+    const SessionReplAppendRequest& request) {
+  ipc::MessageWriter writer;
+  writer.u32(
+      static_cast<std::uint32_t>(MessageType::kSessionReplAppendRequest));
+  writer.str(request.tenant);
+  writer.str(request.name);
+  writer.u32(request.priority);
+  writer.u32(request.weight);
+  writer.str(request.planner);
+  writer.u32(static_cast<std::uint32_t>(request.stateCount));
+  writer.u32(static_cast<std::uint32_t>(request.inputCount));
+  writer.u32(static_cast<std::uint32_t>(request.outputCount));
+  writer.u64(request.seed);
+  writer.u64(request.epoch);
+  writer.u64(request.seq);
+  writer.u32(request.deltaCount);
+  writer.u32(request.newStateCount);
+  writer.u64(request.mutationSeed);
+  writer.u32(request.defer ? 1 : 0);
+  return writer.take();
+}
+
+SessionReplAppendRequest decodeSessionReplAppendRequest(
+    const std::string& payload) {
+  ipc::MessageReader reader(payload);
+  expectType(reader, MessageType::kSessionReplAppendRequest);
+  SessionReplAppendRequest request;
+  request.tenant = reader.str();
+  request.name = reader.str();
+  request.priority = reader.u32();
+  request.weight = reader.u32();
+  request.planner = reader.str();
+  request.stateCount = static_cast<int>(reader.u32());
+  request.inputCount = static_cast<int>(reader.u32());
+  request.outputCount = static_cast<int>(reader.u32());
+  request.seed = reader.u64();
+  request.epoch = reader.u64();
+  request.seq = reader.u64();
+  request.deltaCount = reader.u32();
+  request.newStateCount = reader.u32();
+  request.mutationSeed = reader.u64();
+  request.defer = reader.u32() != 0;
+  reader.expectEnd();
+  return request;
+}
+
+std::string encodeSessionReplAppendResponse(
+    const SessionReplAppendResponse& response) {
+  ipc::MessageWriter writer;
+  writer.u32(
+      static_cast<std::uint32_t>(MessageType::kSessionReplAppendResponse));
+  writer.u32(static_cast<std::uint32_t>(response.status));
+  writer.str(response.error);
+  writer.u64(response.epoch);
+  writer.u64(response.lastAccepted);
+  return writer.take();
+}
+
+SessionReplAppendResponse decodeSessionReplAppendResponse(
+    const std::string& payload) {
+  ipc::MessageReader reader(payload);
+  expectType(reader, MessageType::kSessionReplAppendResponse);
+  SessionReplAppendResponse response;
+  response.status = sessionStatusFromWire(reader.u32());
+  response.error = reader.str();
+  response.epoch = reader.u64();
+  response.lastAccepted = reader.u64();
+  reader.expectEnd();
+  return response;
+}
+
+std::string encodeSessionReplSnapshotRequest(
+    const SessionReplSnapshotRequest& request) {
+  ipc::MessageWriter writer;
+  writer.u32(
+      static_cast<std::uint32_t>(MessageType::kSessionReplSnapshotRequest));
+  writer.str(request.tenant);
+  writer.str(request.name);
+  writer.u64(request.epoch);
+  writer.str(request.snapshot);
+  return writer.take();
+}
+
+SessionReplSnapshotRequest decodeSessionReplSnapshotRequest(
+    const std::string& payload) {
+  ipc::MessageReader reader(payload);
+  expectType(reader, MessageType::kSessionReplSnapshotRequest);
+  SessionReplSnapshotRequest request;
+  request.tenant = reader.str();
+  request.name = reader.str();
+  request.epoch = reader.u64();
+  request.snapshot = reader.str();
+  reader.expectEnd();
+  return request;
+}
+
+std::string encodeSessionReplSnapshotResponse(
+    const SessionReplSnapshotResponse& response) {
+  ipc::MessageWriter writer;
+  writer.u32(
+      static_cast<std::uint32_t>(MessageType::kSessionReplSnapshotResponse));
+  writer.u32(static_cast<std::uint32_t>(response.status));
+  writer.str(response.error);
+  writer.u64(response.epoch);
+  writer.u64(response.lastAccepted);
+  return writer.take();
+}
+
+SessionReplSnapshotResponse decodeSessionReplSnapshotResponse(
+    const std::string& payload) {
+  ipc::MessageReader reader(payload);
+  expectType(reader, MessageType::kSessionReplSnapshotResponse);
+  SessionReplSnapshotResponse response;
+  response.status = sessionStatusFromWire(reader.u32());
+  response.error = reader.str();
+  response.epoch = reader.u64();
+  response.lastAccepted = reader.u64();
+  reader.expectEnd();
+  return response;
+}
+
+std::string encodeSessionStatusRequest(const SessionStatusRequest& request) {
+  ipc::MessageWriter writer;
+  writer.u32(static_cast<std::uint32_t>(MessageType::kSessionStatusRequest));
+  writer.str(request.tenant);
+  writer.str(request.name);
+  return writer.take();
+}
+
+SessionStatusRequest decodeSessionStatusRequest(const std::string& payload) {
+  ipc::MessageReader reader(payload);
+  expectType(reader, MessageType::kSessionStatusRequest);
+  SessionStatusRequest request;
+  request.tenant = reader.str();
+  request.name = reader.str();
+  reader.expectEnd();
+  return request;
+}
+
+std::string encodeSessionStatusResponse(
+    const SessionStatusResponse& response) {
+  ipc::MessageWriter writer;
+  writer.u32(static_cast<std::uint32_t>(MessageType::kSessionStatusResponse));
+  writer.u32(static_cast<std::uint32_t>(response.status));
+  writer.str(response.error);
+  writer.str(response.role);
+  writer.u64(response.epoch);
+  writer.u64(response.lastAccepted);
+  writer.u64(response.applied);
+  return writer.take();
+}
+
+SessionStatusResponse decodeSessionStatusResponse(
+    const std::string& payload) {
+  ipc::MessageReader reader(payload);
+  expectType(reader, MessageType::kSessionStatusResponse);
+  SessionStatusResponse response;
+  response.status = sessionStatusFromWire(reader.u32());
+  response.error = reader.str();
+  response.role = reader.str();
+  response.epoch = reader.u64();
+  response.lastAccepted = reader.u64();
+  response.applied = reader.u64();
+  reader.expectEnd();
+  return response;
+}
+
 MessageType peekType(const std::string& payload) {
   ipc::MessageReader reader(payload);
   const std::uint32_t tag = reader.u32();
@@ -949,6 +1124,12 @@ MessageType peekType(const std::string& payload) {
     case 20: return MessageType::kTraceDumpResponse;
     case 21: return MessageType::kHandshakeRequest;
     case 22: return MessageType::kHandshakeResponse;
+    case 23: return MessageType::kSessionReplAppendRequest;
+    case 24: return MessageType::kSessionReplAppendResponse;
+    case 25: return MessageType::kSessionReplSnapshotRequest;
+    case 26: return MessageType::kSessionReplSnapshotResponse;
+    case 27: return MessageType::kSessionStatusRequest;
+    case 28: return MessageType::kSessionStatusResponse;
   }
   throw ipc::IpcError("unknown message type " + std::to_string(tag));
 }

@@ -57,6 +57,15 @@ enum class MessageType : std::uint32_t {
   // misparse.
   kHandshakeRequest = 21,  ///< client -> server: version + feature bits
   kHandshakeResponse = 22, ///< server -> client
+  // Session replication plane (primary -> standby WAL shipping, epoch
+  // fenced; service/repl.hpp).  A standby that sees a lower epoch than its
+  // own refuses the write — that refusal is what fences a deposed primary.
+  kSessionReplAppendRequest = 23,   ///< primary -> standby: one WAL record
+  kSessionReplAppendResponse = 24,  ///< standby -> primary
+  kSessionReplSnapshotRequest = 25, ///< primary -> standby: snapshot install
+  kSessionReplSnapshotResponse = 26,///< standby -> primary
+  kSessionStatusRequest = 27,  ///< client -> server: role/epoch of a session
+  kSessionStatusResponse = 28, ///< server -> client
 };
 
 /// A batch of seeded random migration instances (the Table 2 axis): for
@@ -279,6 +288,9 @@ struct StatsResponse {
     /// Milliseconds since the last WAL append / snapshot; -1 = never.
     std::int64_t walAgeMs = -1;
     std::int64_t snapshotAgeMs = -1;
+    /// Replication role ("primary" | "standby") and fencing epoch.
+    std::string role = "primary";
+    std::uint64_t epoch = 1;
   };
   std::vector<SessionStats> sessions;
   std::uint64_t openSessions = 0;
@@ -344,6 +356,11 @@ enum class SessionStatus : std::uint32_t {
   kNotFound = 4,
   kBadSequence = 5,
   kFailed = 6,
+  /// Replication fence: the frame's epoch is older than the session's.  A
+  /// deposed primary that keeps shipping after a standby was promoted gets
+  /// this verdict and must stop acking clients (service.stale_epoch_rejected
+  /// counts the refusals).
+  kStaleEpoch = 7,
 };
 
 const char* toString(SessionStatus status);
@@ -463,6 +480,103 @@ std::string encodeSessionCloseRequest(const SessionCloseRequest& request);
 SessionCloseRequest decodeSessionCloseRequest(const std::string& payload);
 std::string encodeSessionCloseResponse(const SessionCloseResponse& response);
 SessionCloseResponse decodeSessionCloseResponse(const std::string& payload);
+
+// --- Session replication --------------------------------------------------
+//
+// The primary ships each durably journaled mutation record to every standby
+// before (quorum) or after (async) acking the client.  Frames carry the full
+// open config so a standby can lazily create the session on first contact,
+// and every frame carries the primary's session epoch: a standby whose own
+// epoch is higher answers kStaleEpoch, which is the fence that stops a
+// deposed primary from acking writes nobody replicates.
+
+struct SessionReplAppendRequest {
+  /// Open config (mirrors SessionOpenRequest): lets the standby create or
+  /// config-check the session without a separate open exchange.
+  std::string tenant;
+  std::string name;
+  std::uint32_t priority = 1;
+  std::uint32_t weight = 1;
+  std::string planner = "jsr";
+  int stateCount = 8;
+  int inputCount = 2;
+  int outputCount = 2;
+  std::uint64_t seed = 1;
+  /// The shipping primary's session epoch (monotone; bumped on promotion).
+  std::uint64_t epoch = 1;
+  /// The journaled MutationRecord, field for field.
+  std::uint64_t seq = 0;
+  std::uint32_t deltaCount = 4;
+  std::uint32_t newStateCount = 0;
+  std::uint64_t mutationSeed = 0;
+  bool defer = false;
+};
+
+struct SessionReplAppendResponse {
+  SessionStatus status = SessionStatus::kFailed;
+  std::string error;
+  /// The standby's current epoch — on kStaleEpoch this tells the deposed
+  /// primary how far behind it is (and that it must stop acking).
+  std::uint64_t epoch = 0;
+  /// The standby's accepted high-water mark after this frame; a gap
+  /// (lastAccepted < seq - 1) tells the primary to resync via snapshot.
+  std::uint64_t lastAccepted = 0;
+};
+
+struct SessionReplSnapshotRequest {
+  std::string tenant;
+  std::string name;
+  std::uint64_t epoch = 1;
+  /// Exact bytes of the primary's on-disk snapshot (magic + body + fnv64
+  /// trailer); the standby verifies the trailer before installing, so a
+  /// corrupted link can never seed a standby with junk.
+  std::string snapshot;
+};
+
+struct SessionReplSnapshotResponse {
+  SessionStatus status = SessionStatus::kFailed;
+  std::string error;
+  std::uint64_t epoch = 0;
+  std::uint64_t lastAccepted = 0;
+};
+
+/// Role/epoch probe (`rfsmc session status`): which side of the replication
+/// plane a session is on, and how far its replay has progressed.
+struct SessionStatusRequest {
+  std::string tenant;
+  std::string name;
+};
+
+struct SessionStatusResponse {
+  SessionStatus status = SessionStatus::kFailed;
+  std::string error;
+  std::string role;  ///< "primary" | "standby"
+  std::uint64_t epoch = 0;
+  std::uint64_t lastAccepted = 0;  ///< journaled high-water mark
+  std::uint64_t applied = 0;       ///< warm-replay progress (== lastAccepted
+                                   ///< when the standby is fully caught up)
+};
+
+std::string encodeSessionReplAppendRequest(
+    const SessionReplAppendRequest& request);
+SessionReplAppendRequest decodeSessionReplAppendRequest(
+    const std::string& payload);
+std::string encodeSessionReplAppendResponse(
+    const SessionReplAppendResponse& response);
+SessionReplAppendResponse decodeSessionReplAppendResponse(
+    const std::string& payload);
+std::string encodeSessionReplSnapshotRequest(
+    const SessionReplSnapshotRequest& request);
+SessionReplSnapshotRequest decodeSessionReplSnapshotRequest(
+    const std::string& payload);
+std::string encodeSessionReplSnapshotResponse(
+    const SessionReplSnapshotResponse& response);
+SessionReplSnapshotResponse decodeSessionReplSnapshotResponse(
+    const std::string& payload);
+std::string encodeSessionStatusRequest(const SessionStatusRequest& request);
+SessionStatusRequest decodeSessionStatusRequest(const std::string& payload);
+std::string encodeSessionStatusResponse(const SessionStatusResponse& response);
+SessionStatusResponse decodeSessionStatusResponse(const std::string& payload);
 
 // --- Version/feature handshake -------------------------------------------
 

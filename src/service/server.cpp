@@ -377,6 +377,15 @@ std::string Server::dispatch(const std::string& payload) {
     case MessageType::kSessionCloseRequest:
       return encodeSessionCloseResponse(
           sessions_->close(decodeSessionCloseRequest(payload)));
+    case MessageType::kSessionReplAppendRequest:
+      return encodeSessionReplAppendResponse(
+          sessions_->replAppend(decodeSessionReplAppendRequest(payload)));
+    case MessageType::kSessionReplSnapshotRequest:
+      return encodeSessionReplSnapshotResponse(
+          sessions_->replInstall(decodeSessionReplSnapshotRequest(payload)));
+    case MessageType::kSessionStatusRequest:
+      return encodeSessionStatusResponse(
+          sessions_->status(decodeSessionStatusRequest(payload)));
     default:
       throw ipc::IpcError("unexpected client message");
   }

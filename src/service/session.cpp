@@ -36,18 +36,25 @@ std::uint64_t fnv64(std::string_view text) {
   return h;
 }
 
-std::string openPayload(const SessionConfig& config) {
+std::string openPayload(const SessionConfig& config, std::uint64_t epoch = 1,
+                        bool standby = false) {
   std::ostringstream os;
   os << "open " << config.tenant << " " << config.name << " "
      << config.priority << " " << static_cast<int>(config.weight) << " "
      << config.planner << " " << config.stateCount << " "
-     << config.inputCount << " " << config.outputCount << " " << config.seed;
+     << config.inputCount << " " << config.outputCount << " " << config.seed
+     << " " << epoch << " " << (standby ? 1 : 0);
   return os.str();
 }
 
-bool parseOpenPayload(const std::string& payload, SessionConfig& config) {
+bool parseOpenPayload(const std::string& payload, SessionConfig& config,
+                      std::uint64_t* epoch = nullptr,
+                      bool* standby = nullptr) {
   const auto tokens = splitWhitespace(payload);
-  if (tokens.size() != 10 || tokens[0] != "open") return false;
+  // 10 tokens = the pre-replication journal format (epoch 1, primary);
+  // 12 tokens append the fencing epoch and the standby role.
+  if ((tokens.size() != 10 && tokens.size() != 12) || tokens[0] != "open")
+    return false;
   try {
     config.tenant = tokens[1];
     config.name = tokens[2];
@@ -58,6 +65,12 @@ bool parseOpenPayload(const std::string& payload, SessionConfig& config) {
     config.inputCount = std::stoi(tokens[7]);
     config.outputCount = std::stoi(tokens[8]);
     config.seed = std::stoull(tokens[9]);
+    if (epoch != nullptr) *epoch = 1;
+    if (standby != nullptr) *standby = false;
+    if (tokens.size() == 12) {
+      if (epoch != nullptr) *epoch = std::max<std::uint64_t>(1, std::stoull(tokens[10]));
+      if (standby != nullptr) *standby = tokens[11] == "1";
+    }
   } catch (const std::exception&) {
     return false;
   }
@@ -85,6 +98,32 @@ bool parseMutPayload(const std::string& payload, MutationRecord& rec) {
     return false;
   }
   return rec.seq > 0;
+}
+
+/// The wire form of one journaled record for the replication plane:
+/// config (so the standby can self-create), fencing epoch, and the
+/// MutationRecord field for field.
+SessionReplAppendRequest replRequestFor(const SessionConfig& config,
+                                        std::uint64_t epoch,
+                                        const MutationRecord& rec) {
+  SessionReplAppendRequest request;
+  request.tenant = config.tenant;
+  request.name = config.name;
+  request.priority = static_cast<std::uint32_t>(config.priority);
+  request.weight =
+      static_cast<std::uint32_t>(std::max(1, static_cast<int>(config.weight)));
+  request.planner = config.planner;
+  request.stateCount = config.stateCount;
+  request.inputCount = config.inputCount;
+  request.outputCount = config.outputCount;
+  request.seed = config.seed;
+  request.epoch = epoch;
+  request.seq = rec.seq;
+  request.deltaCount = rec.deltaCount;
+  request.newStateCount = rec.newStateCount;
+  request.mutationSeed = rec.mutationSeed;
+  request.defer = rec.defer;
+  return request;
 }
 
 }  // namespace
@@ -258,6 +297,14 @@ struct SessionService::Session {
   ipc::Fd walFd;
   std::string walPath;   ///< "" = volatile session
   std::string snapPath;
+  /// Fencing epoch: bumped on promotion, shipped with every replicated
+  /// record, persisted in the journal's open record and the snapshot.
+  std::uint64_t epoch = 1;
+  /// Standby replica (fed by replAppend, promoted on first client write).
+  bool standby = false;
+  /// A standby reported a newer epoch: this primary is deposed and must
+  /// refuse client mutations (kStaleEpoch) instead of acking them.
+  bool fenced = false;
   /// Live-telemetry freshness stamps ({} = never): last durable WAL
   /// append and last snapshot replace, reported as ages by fillStats().
   std::chrono::steady_clock::time_point lastWalAppend{};
@@ -290,6 +337,20 @@ SessionService::SessionService(SessionServiceOptions options)
   executors_.reserve(static_cast<std::size_t>(executors));
   for (int k = 0; k < executors; ++k)
     executors_.emplace_back([this] { executorLoop(); });
+  if (!options_.replicas.empty()) {
+    ReplicatorOptions repl;
+    repl.replicas = options_.replicas;
+    repl.ack = options_.replAck;
+    replicator_ = std::make_unique<Replicator>(
+        std::move(repl),
+        [this](const std::string& tenant, const std::string& name) {
+          return resyncBundle(tenant, name);
+        },
+        [this](const std::string& tenant, const std::string& name,
+               std::uint64_t standbyEpoch) {
+          fenceSession(tenant, name, standbyEpoch);
+        });
+  }
 }
 
 SessionService::~SessionService() {
@@ -374,7 +435,8 @@ void SessionService::rewriteWalLocked(Session& session) {
   // torn tail was dropped from.
   RecordLog fresh(kWalHeader);
   std::string walBytes = fresh.headerLine();
-  walBytes += fresh.appendLine(openPayload(session.engine.config()));
+  walBytes += fresh.appendLine(
+      openPayload(session.engine.config(), session.epoch, session.standby));
   for (const auto& [seq, rec] : session.tail)
     walBytes += fresh.appendLine(mutPayload(rec));
   session.walFd.reset();
@@ -428,6 +490,10 @@ void SessionService::persistLocked(Session& session) {
     writer.u32(static_cast<std::uint32_t>(outcome.deltasPlanned));
     writer.u32(static_cast<std::uint32_t>(outcome.deltasRaw));
   }
+  // Replication metadata, appended so pre-replication snapshots (which
+  // simply end here) still decode: epoch 1, primary.
+  writer.u64(session.epoch);
+  writer.u32(session.standby ? 1 : 0);
   std::string body = writer.take();
   ipc::MessageWriter checksum;
   checksum.u64(fnv64(body));
@@ -468,6 +534,8 @@ bool SessionService::recoverOne(const std::string& base) {
   // Snapshot (if any): full engine state + unacked outcomes.
   std::optional<SessionEngine> engine;
   std::uint64_t ackSeq = 0;
+  std::uint64_t snapEpoch = 1;
+  bool snapStandby = false;
   std::map<std::uint64_t, PlanOutcome> outcomes;
   if (const auto bytes = fsio::readFileIfExists(snapPath)) {
     try {
@@ -493,6 +561,12 @@ bool SessionService::recoverOne(const std::string& base) {
         outcome.deltasRaw = static_cast<int>(reader.u32());
         outcomes.emplace(seq, std::move(outcome));
       }
+      // Pre-replication snapshots end here; newer ones append the fencing
+      // epoch and the standby role.
+      if (!reader.atEnd()) {
+        snapEpoch = std::max<std::uint64_t>(1, reader.u64());
+        snapStandby = reader.u32() != 0;
+      }
       reader.expectEnd();
     } catch (const Error& error) {
       log(LogLevel::kWarn) << "corrupt session snapshot '" << snapPath
@@ -500,6 +574,8 @@ bool SessionService::recoverOne(const std::string& base) {
       quarantine(snapPath);
       engine.reset();
       ackSeq = 0;
+      snapEpoch = 1;
+      snapStandby = false;
       outcomes.clear();
     }
   }
@@ -519,8 +595,11 @@ bool SessionService::recoverOne(const std::string& base) {
     }
   }
   SessionConfig walConfig;
+  std::uint64_t walEpoch = 1;
+  bool walStandby = false;
   if (walValid &&
-      (records.empty() || !parseOpenPayload(records[0], walConfig))) {
+      (records.empty() ||
+       !parseOpenPayload(records[0], walConfig, &walEpoch, &walStandby))) {
     log(LogLevel::kWarn) << "session journal '" << walPath
                          << "' has no valid open record";
     quarantine(walPath);
@@ -537,13 +616,23 @@ bool SessionService::recoverOne(const std::string& base) {
     quarantine(snapPath);
     engine.reset();
     ackSeq = 0;
+    snapEpoch = 1;
+    snapStandby = false;
     outcomes.clear();
   }
+  const bool snapValid = engine.has_value();
   if (!engine.has_value()) engine.emplace(SessionEngine(walConfig));
 
   auto session = std::make_shared<Session>(std::move(*engine));
   session->ackSeq = ackSeq;
   session->outcomes = std::move(outcomes);
+  // The journal's open record is rewritten on every epoch change, the
+  // snapshot only every snapshotEvery records — take the newer of the two
+  // (max is safe: epochs only ever grow) and the role that came with it.
+  session->epoch = std::max(walValid ? walEpoch : 1, snapValid ? snapEpoch : 1);
+  session->standby = walValid && walEpoch >= snapEpoch ? walStandby
+                     : snapValid                       ? snapStandby
+                                                       : walStandby;
   for (std::size_t k = walValid ? 1 : records.size(); k < records.size();
        ++k) {
     MutationRecord rec;
@@ -573,7 +662,8 @@ bool SessionService::recoverOne(const std::string& base) {
   session->snapPath = snapPath;
   RecordLog fresh(kWalHeader);
   std::string walBytes = fresh.headerLine();
-  walBytes += fresh.appendLine(openPayload(session->engine.config()));
+  walBytes += fresh.appendLine(openPayload(session->engine.config(),
+                                           session->epoch, session->standby));
   for (const auto& [seq, rec] : session->tail)
     walBytes += fresh.appendLine(mutPayload(rec));
   try {
@@ -614,7 +704,7 @@ SessionOpenResponse SessionService::open(const SessionOpenRequest& request) {
   config.outputCount = request.outputCount;
   config.seed = request.seed;
 
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
   const std::string k = key(request.tenant, request.name);
   const auto it = sessions_.find(k);
   if (it != sessions_.end()) {
@@ -625,9 +715,14 @@ SessionOpenResponse SessionService::open(const SessionOpenRequest& request) {
       response.status = SessionStatus::kFailed;
       response.error = "session config mismatch on resume";
     } else {
+      SessionPtr session = it->second;
+      // A client resuming against a standby IS the failover signal: the
+      // primary is gone and the stream re-resolved here.  Promote before
+      // reporting the high-water mark the client will resume from.
+      if (session->standby) promoteLocked(lock, *session, it->first);
       resumed.add();
       response.status = SessionStatus::kOk;
-      response.lastApplied = it->second->lastAccepted;
+      response.lastApplied = session->lastAccepted;
     }
     return response;
   }
@@ -730,6 +825,15 @@ SessionMutateResponse SessionService::mutate(
     return response;
   }
   SessionPtr session = it->second;
+  // A client write reaching a standby is client-transparent failover in
+  // action: the stream re-resolved here because the primary died.
+  if (session->standby) promoteLocked(lock, *session, it->first);
+  if (session->fenced) {
+    response.status = SessionStatus::kStaleEpoch;
+    response.error =
+        "session fenced: a standby holds a newer epoch (deposed primary)";
+    return response;
+  }
   if (request.ackSeq > session->ackSeq) {
     session->ackSeq = std::min(request.ackSeq, session->applied);
     session->outcomes.erase(
@@ -779,6 +883,53 @@ SessionMutateResponse SessionService::mutate(
   rec.newStateCount = request.newStateCount;
   rec.mutationSeed = request.mutationSeed;
   rec.defer = request.defer;
+  if (replicator_ && replicator_->ackMode() == ReplAck::kQuorum) {
+    // Quorum rule: every standby journals the record durably BEFORE the
+    // local append and long before the client ack.  A refusal here leaves
+    // nothing local — the client retries and no acked mutation can exist
+    // that the standbys lack.  Ship without the store mutex (the ship
+    // blocks on standby fsyncs) and re-validate after relocking.
+    const SessionReplAppendRequest ship =
+        replRequestFor(session->engine.config(), session->epoch, rec);
+    lock.unlock();
+    const ShipResult shipped = replicator_->shipSync(ship);
+    lock.lock();
+    if (sessions_.find(key(request.tenant, request.name)) ==
+        sessions_.end()) {
+      response.status = SessionStatus::kNotFound;
+      response.error = "session closed during replication";
+      return response;
+    }
+    if (shipped.staleEpoch || session->fenced) {
+      session->fenced = true;
+      rejected.add();
+      response.status = SessionStatus::kStaleEpoch;
+      response.error =
+          "session fenced: a standby holds a newer epoch (deposed primary)";
+      return response;
+    }
+    if (!shipped.ok) {
+      rejected.add();
+      response.status = SessionStatus::kFailed;
+      response.error = "replication failed: " + shipped.error;
+      return response;
+    }
+    if (request.seq <= session->lastAccepted) {
+      // A retry raced us through the unlocked window; its journaled copy
+      // wins and this one answers from the transcript like any duplicate.
+      applied_.wait(lock, [&] {
+        return session->applied >= request.seq || stopped_;
+      });
+      return answerFromHistory(*session, request.seq);
+    }
+    if (request.seq != session->lastAccepted + 1) {
+      response.status = SessionStatus::kBadSequence;
+      response.error = "expected seq " +
+                       std::to_string(session->lastAccepted + 1) + ", got " +
+                       std::to_string(request.seq);
+      return response;
+    }
+  }
   try {
     appendWalLocked(*session, rec);
   } catch (const Error& error) {
@@ -789,6 +940,13 @@ SessionMutateResponse SessionService::mutate(
   session->lastAccepted = rec.seq;
   session->tail.emplace(rec.seq, rec);
   accepted.add();
+  if (replicator_ && replicator_->ackMode() == ReplAck::kAsync) {
+    // Async rule: local durability first, ack immediately, ship from the
+    // bounded per-replica queue.  A refused enqueue (queue full) becomes a
+    // standby-side sequence gap the next successful ship resyncs.
+    replicator_->shipAsync(
+        replRequestFor(session->engine.config(), session->epoch, rec));
+  }
   const SessionConfig& config = session->engine.config();
   // Hand the mutate span's context to the executor thread so the apply
   // span parents under it (and, transitively, under the remote caller).
@@ -871,6 +1029,361 @@ SessionCloseResponse SessionService::close(const SessionCloseRequest& request) {
   return response;
 }
 
+// --- Replication plane ----------------------------------------------------
+
+SessionReplAppendResponse SessionService::replAppend(
+    const SessionReplAppendRequest& request) {
+  static metrics::Counter& staleRejected =
+      metrics::counter(metrics::kServiceStaleEpochRejected);
+  SessionReplAppendResponse response;
+  SessionConfig config;
+  config.tenant = request.tenant;
+  config.name = request.name;
+  config.priority = static_cast<int>(request.priority);
+  config.weight =
+      static_cast<double>(std::max<std::uint32_t>(1, request.weight));
+  config.planner = request.planner;
+  config.stateCount = request.stateCount;
+  config.inputCount = request.inputCount;
+  config.outputCount = request.outputCount;
+  config.seed = request.seed;
+  if (!validSessionName(config.tenant) || !validSessionName(config.name)) {
+    response.status = SessionStatus::kFailed;
+    response.error = "tenant/session names must be 1-64 chars of "
+                     "[A-Za-z0-9._-]";
+    return response;
+  }
+  std::unique_lock lock(mutex_);
+  const std::string k = key(request.tenant, request.name);
+  auto it = sessions_.find(k);
+  if (it == sessions_.end()) {
+    // First contact from a primary: materialize the standby session from
+    // the config the frame carries (no separate open exchange).
+    if (draining_) {
+      response.status = SessionStatus::kDraining;
+      response.error = "daemon is draining";
+      return response;
+    }
+    if (sessions_.size() >= options_.maxSessions) {
+      response.status = SessionStatus::kResourceExhausted;
+      response.error = "session limit (" +
+                       std::to_string(options_.maxSessions) + ") reached";
+      return response;
+    }
+    try {
+      plannerFn(config.planner);
+      auto session = std::make_shared<Session>(SessionEngine(config));
+      session->standby = true;
+      session->epoch = std::max<std::uint64_t>(1, request.epoch);
+      if (!options_.stateDir.empty()) {
+        session->walPath = options_.stateDir + "/" + k + ".wal";
+        session->snapPath = options_.stateDir + "/" + k + ".snap";
+        fsio::removeFileDurable(session->snapPath);
+        const std::string walBytes =
+            session->wal.headerLine() +
+            session->wal.appendLine(
+                openPayload(config, session->epoch, true));
+        fsio::writeFileDurable(session->walPath, walBytes);
+        session->walFd = fsio::openAppend(session->walPath);
+      }
+      it = sessions_.emplace(k, std::move(session)).first;
+    } catch (const Error& error) {
+      response.status = SessionStatus::kFailed;
+      response.error = error.what();
+      return response;
+    }
+  }
+  SessionPtr session = it->second;
+  response.epoch = session->epoch;
+  response.lastAccepted = session->lastAccepted;
+  // The fence: a frame from an older epoch — or from a twin primary at our
+  // own epoch — is a deposed primary still streaming.  Refuse and count.
+  if (request.epoch < session->epoch ||
+      (request.epoch == session->epoch && !session->standby)) {
+    staleRejected.add();
+    response.status = SessionStatus::kStaleEpoch;
+    response.error = "stale epoch " + std::to_string(request.epoch) +
+                     " (current " + std::to_string(session->epoch) + ")";
+    log(LogLevel::kWarn) << "session " << k
+                         << " refused stale-epoch append (epoch "
+                         << request.epoch << ", current " << session->epoch
+                         << ")";
+    return response;
+  }
+  if (session->engine.config() != config) {
+    response.status = SessionStatus::kFailed;
+    response.error = "replication config mismatch";
+    return response;
+  }
+  if (request.epoch > session->epoch) {
+    // A newer primary exists.  Adopt its epoch; a session that thought it
+    // was primary is demoted back to standby (the old-primary-rejoins-as-
+    // standby leg of the failover matrix).
+    if (!session->standby)
+      log(LogLevel::kWarn) << "session " << k << " demoted to standby (epoch "
+                           << session->epoch << " -> " << request.epoch
+                           << ")";
+    session->epoch = request.epoch;
+    session->standby = true;
+    session->fenced = false;
+    response.epoch = session->epoch;
+    try {
+      if (!session->walPath.empty()) rewriteWalLocked(*session);
+    } catch (const Error& error) {
+      log(LogLevel::kWarn) << "cannot persist epoch adoption for " << k
+                           << ": " << error.what();
+    }
+  }
+  if (request.seq <= session->lastAccepted) {
+    response.status = SessionStatus::kOk;  // duplicate ship: idempotent
+    return response;
+  }
+  if (request.seq != session->lastAccepted + 1) {
+    response.status = SessionStatus::kBadSequence;  // gap: primary resyncs
+    response.error = "expected seq " +
+                     std::to_string(session->lastAccepted + 1) + ", got " +
+                     std::to_string(request.seq);
+    return response;
+  }
+  MutationRecord rec;
+  rec.seq = request.seq;
+  rec.deltaCount = request.deltaCount;
+  rec.newStateCount = request.newStateCount;
+  rec.mutationSeed = request.mutationSeed;
+  rec.defer = request.defer;
+  try {
+    appendWalLocked(*session, rec);
+  } catch (const Error& error) {
+    response.status = SessionStatus::kFailed;
+    response.error = std::string("journal append failed: ") + error.what();
+    return response;
+  }
+  session->lastAccepted = rec.seq;
+  session->tail.emplace(rec.seq, rec);
+  // Warm replay: schedule the apply like a client mutation but do NOT wait
+  // for it — the primary's quorum needs the fsync, not the plan.  The
+  // continuously-applied engine is what makes promotion O(tail).
+  const SessionConfig& cfg = session->engine.config();
+  scheduler_.enqueue(it->first, cfg.priority, cfg.weight,
+                     {[this, session, rec] { applyOne(session, rec); },
+                      1.0 + static_cast<double>(rec.deltaCount)});
+  work_.notify_all();
+  response.lastAccepted = session->lastAccepted;
+  response.status = SessionStatus::kOk;
+  return response;
+}
+
+SessionReplSnapshotResponse SessionService::replInstall(
+    const SessionReplSnapshotRequest& request) {
+  static metrics::Counter& staleRejected =
+      metrics::counter(metrics::kServiceStaleEpochRejected);
+  SessionReplSnapshotResponse response;
+  // Verify and decode before touching the store: the bytes are the
+  // primary's .snap file verbatim, checksum trailer included.
+  std::optional<SessionEngine> engine;
+  std::uint64_t ackSeq = 0;
+  std::map<std::uint64_t, PlanOutcome> outcomes;
+  try {
+    const std::string& bytes = request.snapshot;
+    if (bytes.size() < 8) throw ipc::IpcError("snapshot too short");
+    const std::string_view body(bytes.data(), bytes.size() - 8);
+    ipc::MessageReader sumReader(
+        std::string_view(bytes.data() + body.size(), 8));
+    if (sumReader.u64() != fnv64(body))
+      throw ipc::IpcError("snapshot checksum mismatch");
+    ipc::MessageReader reader(body);
+    engine.emplace(SessionEngine::decodeSnapshot(reader));
+    ackSeq = reader.u64();
+    const std::uint32_t count = reader.u32();
+    for (std::uint32_t n = 0; n < count; ++n) {
+      const std::uint64_t seq = reader.u64();
+      PlanOutcome outcome;
+      outcome.planned = reader.u32() != 0;
+      outcome.failed = reader.u32() != 0;
+      outcome.error = reader.str();
+      outcome.program = reader.str();
+      outcome.compactedFrom = reader.u64();
+      outcome.deltasPlanned = static_cast<int>(reader.u32());
+      outcome.deltasRaw = static_cast<int>(reader.u32());
+      outcomes.emplace(seq, std::move(outcome));
+    }
+    if (!reader.atEnd()) {
+      reader.u64();  // the primary's epoch at snapshot time; the frame's
+      reader.u32();  // epoch governs, and our role stays standby
+    }
+    reader.expectEnd();
+  } catch (const Error& error) {
+    response.status = SessionStatus::kFailed;
+    response.error = std::string("bad snapshot: ") + error.what();
+    return response;
+  }
+  std::unique_lock lock(mutex_);
+  const std::string k = key(request.tenant, request.name);
+  auto it = sessions_.find(k);
+  if (it != sessions_.end()) {
+    SessionPtr session = it->second;
+    if (request.epoch < session->epoch ||
+        (request.epoch == session->epoch && !session->standby)) {
+      staleRejected.add();
+      response.status = SessionStatus::kStaleEpoch;
+      response.error = "stale epoch " + std::to_string(request.epoch) +
+                       " (current " + std::to_string(session->epoch) + ")";
+      response.epoch = session->epoch;
+      response.lastAccepted = session->lastAccepted;
+      return response;
+    }
+    if (engine->lastApplied() <= session->lastAccepted &&
+        request.epoch == session->epoch) {
+      // We already hold everything this snapshot covers: no-op.
+      response.status = SessionStatus::kOk;
+      response.epoch = session->epoch;
+      response.lastAccepted = session->lastAccepted;
+      return response;
+    }
+    // Quiesce: no executor may hold the engine while we swap it out.
+    applied_.wait(lock, [&] {
+      return session->applied >= session->lastAccepted || stopped_;
+    });
+    session->engine = std::move(*engine);
+    session->outcomes = std::move(outcomes);
+    session->ackSeq = ackSeq;
+    session->applied = session->lastAccepted = session->engine.lastApplied();
+    session->tail.clear();
+    session->sinceSnapshot = 0;
+    session->epoch = std::max(session->epoch, request.epoch);
+    session->standby = true;
+    session->fenced = false;
+    try {
+      if (!session->snapPath.empty()) {
+        fsio::writeFileDurable(session->snapPath, request.snapshot);
+        session->lastSnapshot = std::chrono::steady_clock::now();
+      }
+      if (!session->walPath.empty()) rewriteWalLocked(*session);
+    } catch (const Error& error) {
+      log(LogLevel::kWarn) << "cannot persist installed snapshot for " << k
+                           << ": " << error.what();
+      session->walFd.reset();
+    }
+    applied_.notify_all();
+    response.status = SessionStatus::kOk;
+    response.epoch = session->epoch;
+    response.lastAccepted = session->lastAccepted;
+    return response;
+  }
+  if (draining_) {
+    response.status = SessionStatus::kDraining;
+    response.error = "daemon is draining";
+    return response;
+  }
+  if (sessions_.size() >= options_.maxSessions) {
+    response.status = SessionStatus::kResourceExhausted;
+    response.error = "session limit (" +
+                     std::to_string(options_.maxSessions) + ") reached";
+    return response;
+  }
+  auto session = std::make_shared<Session>(std::move(*engine));
+  session->outcomes = std::move(outcomes);
+  session->ackSeq = ackSeq;
+  session->applied = session->lastAccepted = session->engine.lastApplied();
+  session->standby = true;
+  session->epoch = std::max<std::uint64_t>(1, request.epoch);
+  if (!options_.stateDir.empty()) {
+    session->walPath = options_.stateDir + "/" + k + ".wal";
+    session->snapPath = options_.stateDir + "/" + k + ".snap";
+    try {
+      fsio::writeFileDurable(session->snapPath, request.snapshot);
+      session->lastSnapshot = std::chrono::steady_clock::now();
+      rewriteWalLocked(*session);
+    } catch (const Error& error) {
+      log(LogLevel::kWarn) << "cannot persist installed snapshot for " << k
+                           << ": " << error.what();
+      session->walFd.reset();
+    }
+  }
+  response.epoch = session->epoch;
+  response.lastAccepted = session->lastAccepted;
+  sessions_.emplace(k, std::move(session));
+  response.status = SessionStatus::kOk;
+  return response;
+}
+
+SessionStatusResponse SessionService::status(
+    const SessionStatusRequest& request) {
+  SessionStatusResponse response;
+  std::lock_guard lock(mutex_);
+  const auto it = sessions_.find(key(request.tenant, request.name));
+  if (it == sessions_.end()) {
+    response.status = SessionStatus::kNotFound;
+    response.error = "unknown session " + request.tenant + "/" + request.name;
+    return response;
+  }
+  const Session& session = *it->second;
+  response.status = SessionStatus::kOk;
+  response.role = session.standby ? "standby" : "primary";
+  response.epoch = session.epoch;
+  response.lastAccepted = session.lastAccepted;
+  response.applied = session.applied;
+  return response;
+}
+
+void SessionService::promoteLocked(std::unique_lock<std::mutex>& lock,
+                                   Session& session,
+                                   const std::string& sessionKey) {
+  // O(tail) by construction: the standby has been warm-replaying every
+  // shipped record continuously, so only the records still queued behind
+  // the executors remain to apply.  (Callers hold a SessionPtr, so the
+  // session outlives the unlocked wait.)
+  applied_.wait(lock, [&] {
+    return session.applied >= session.lastAccepted || stopped_;
+  });
+  session.standby = false;
+  session.fenced = false;
+  session.epoch += 1;
+  metrics::counter(metrics::kServiceFailovers).add();
+  log(LogLevel::kWarn) << "session " << sessionKey
+                       << " promoted to primary (epoch " << session.epoch
+                       << ")";
+  // Persist the new epoch immediately: a crash right after promotion must
+  // not recover into the deposed epoch and un-fence the old primary.
+  try {
+    if (!session.walPath.empty()) rewriteWalLocked(session);
+  } catch (const Error& error) {
+    log(LogLevel::kWarn) << "cannot persist promotion of " << sessionKey
+                         << ": " << error.what();
+  }
+}
+
+std::optional<Replicator::ResyncBundle> SessionService::resyncBundle(
+    const std::string& tenant, const std::string& name) {
+  std::lock_guard lock(mutex_);
+  const auto it = sessions_.find(key(tenant, name));
+  if (it == sessions_.end()) return std::nullopt;
+  Session& session = *it->second;
+  Replicator::ResyncBundle bundle;
+  bundle.snapshot.tenant = tenant;
+  bundle.snapshot.name = name;
+  bundle.snapshot.epoch = session.epoch;
+  if (!session.snapPath.empty())
+    if (const auto bytes = fsio::readFileIfExists(session.snapPath))
+      bundle.snapshot.snapshot = *bytes;
+  for (const auto& [seq, rec] : session.tail)
+    bundle.tail.push_back(
+        replRequestFor(session.engine.config(), session.epoch, rec));
+  return bundle;
+}
+
+void SessionService::fenceSession(const std::string& tenant,
+                                  const std::string& name,
+                                  std::uint64_t standbyEpoch) {
+  std::lock_guard lock(mutex_);
+  const auto it = sessions_.find(key(tenant, name));
+  if (it == sessions_.end()) return;
+  it->second->fenced = true;
+  log(LogLevel::kWarn) << "session " << key(tenant, name)
+                       << " fenced: a standby holds epoch " << standbyEpoch
+                       << " (local epoch " << it->second->epoch << ")";
+}
+
 void SessionService::beginDrain() {
   std::lock_guard lock(mutex_);
   draining_ = true;
@@ -913,6 +1426,9 @@ std::size_t SessionService::sessionCount() const {
 }
 
 void SessionService::fillStats(StatsResponse& stats) const {
+  // Publish replication lag before the metrics snapshot the caller takes
+  // right after this (the gauges are only as fresh as the last scrape).
+  if (replicator_) replicator_->refreshGauges();
   std::lock_guard lock(mutex_);
   std::map<std::string, double> vtimes;
   for (const FairScheduler::FlowStats& flow : scheduler_.flowStats())
@@ -945,6 +1461,8 @@ void SessionService::fillStats(StatsResponse& stats) const {
     row.applied = session->applied;
     row.walAgeMs = ageMs(session->lastWalAppend);
     row.snapshotAgeMs = ageMs(session->lastSnapshot);
+    row.role = session->standby ? "standby" : "primary";
+    row.epoch = session->epoch;
     stats.sessions.push_back(std::move(row));
   }
   stats.openSessions = sessions_.size();
@@ -956,30 +1474,62 @@ void SessionService::fillStats(StatsResponse& stats) const {
 
 SessionStream::SessionStream(Options options) : options_(std::move(options)) {
   ipc::ignoreSigpipe();
+  endpoints_ = options_.endpoints.empty()
+                   ? std::vector<ipc::Endpoint>{options_.endpoint}
+                   : options_.endpoints;
+  breakers_.reserve(endpoints_.size());
+  for (std::size_t k = 0; k < endpoints_.size(); ++k)
+    breakers_.push_back(std::make_unique<CircuitBreaker>());
+}
+
+void SessionStream::rotate() {
+  if (endpoints_.size() < 2) return;
+  // Prefer the next endpoint whose breaker is not OPEN — an endpoint that
+  // just timed out repeatedly should not be the first thing re-tried mid-
+  // failover.  With every breaker open, plain round-robin (something has
+  // to be probed).
+  const std::size_t start = current_;
+  std::size_t candidate = (start + 1) % endpoints_.size();
+  for (std::size_t step = 1; step <= endpoints_.size(); ++step) {
+    const std::size_t probe = (start + step) % endpoints_.size();
+    if (breakers_[probe]->state() != CircuitBreaker::State::kOpen) {
+      candidate = probe;
+      break;
+    }
+  }
+  if (candidate == start) return;
+  current_ = candidate;
+  ++failovers_;
+  conn_.reset();
 }
 
 std::string SessionStream::exchange(const std::string& payload) {
   const auto deadline = std::chrono::steady_clock::now() + options_.retryFor;
-  std::chrono::milliseconds backoff{20};
+  std::uint32_t attempt = 0;
   std::string lastError = "not connected";
   for (;;) {
+    const ipc::Endpoint& endpoint = endpoints_[current_];
+    CircuitBreaker& breaker = *breakers_[current_];
     try {
       if (!conn_.valid()) {
-        conn_ = ipc::connectEndpoint(options_.endpoint, 1000);
+        conn_ = ipc::connectEndpoint(endpoint, 1000);
       } else if (ipc::pendingInput(conn_.get())) {
         // A reused connection with bytes already queued is desynchronized
         // (a duplicated or late frame): a read now would pair the stale
         // frame with this request.  Reconnect and resend instead.
         lastError = "stream desynchronized (unexpected pending frame)";
         conn_.reset();
-        conn_ = ipc::connectEndpoint(options_.endpoint, 1000);
+        conn_ = ipc::connectEndpoint(endpoint, 1000);
       }
       ipc::writeFrame(conn_.get(), payload);
       CancelToken token(options_.readTimeout);
       std::string reply;
       const ipc::ReadStatus status =
           ipc::readFrame(conn_.get(), reply, &token);
-      if (status == ipc::ReadStatus::kOk) return reply;
+      if (status == ipc::ReadStatus::kOk) {
+        breaker.recordSuccess();
+        return reply;
+      }
       lastError = status == ipc::ReadStatus::kEof ? "connection closed"
                                                   : "reply timeout";
       conn_.reset();
@@ -989,13 +1539,17 @@ std::string SessionStream::exchange(const std::string& payload) {
     }
     // Resending after a reconnect is always safe: the server answers
     // duplicate sequence numbers from its (possibly journal-recovered)
-    // transcript instead of re-applying them.
+    // transcript instead of re-applying them.  With a failover set, a
+    // transport failure also rotates to the next endpoint — which is how a
+    // killed primary is transparently replaced by its promoted standby.
+    breaker.recordFailure();
     ++reconnects_;
-    if (std::chrono::steady_clock::now() + backoff >= deadline)
-      throw ipc::IpcError("session endpoint " + options_.endpoint.describe() +
+    rotate();
+    const auto delay = backoffDelay(attempt++, endpoint.describe());
+    if (std::chrono::steady_clock::now() + delay >= deadline)
+      throw ipc::IpcError("session endpoint " + endpoint.describe() +
                           " unreachable: " + lastError);
-    std::this_thread::sleep_for(backoff);
-    backoff = std::min(backoff * 2, std::chrono::milliseconds(500));
+    std::this_thread::sleep_for(delay);
   }
 }
 
@@ -1019,6 +1573,12 @@ SessionReplayResponse SessionStream::replay(
 SessionCloseResponse SessionStream::close(const SessionCloseRequest& request) {
   return decodeSessionCloseResponse(
       exchange(encodeSessionCloseRequest(request)));
+}
+
+SessionStatusResponse SessionStream::status(
+    const SessionStatusRequest& request) {
+  return decodeSessionStatusResponse(
+      exchange(encodeSessionStatusRequest(request)));
 }
 
 }  // namespace rfsm::service

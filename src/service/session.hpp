@@ -44,6 +44,8 @@
 
 #include "fsm/machine.hpp"
 #include "service/protocol.hpp"
+#include "service/repl.hpp"
+#include "util/breaker.hpp"
 #include "util/fair.hpp"
 #include "util/ipc.hpp"
 
@@ -144,6 +146,11 @@ struct SessionServiceOptions {
   double tenantRate = 0.0;
   double tenantBurst = 16.0;
   std::size_t maxSessions = 256;
+  /// Standby endpoints to replicate every accepted mutation to (rfsmd
+  /// --replica, repeatable).  Empty = replication off.
+  std::vector<ipc::Endpoint> replicas;
+  /// Ack durability when replicas is non-empty (rfsmd --repl-ack).
+  ReplAck replAck = ReplAck::kQuorum;
 };
 
 /// The robust session store.  Thread-safe; every public call may be made
@@ -165,6 +172,18 @@ class SessionService {
   SessionMutateResponse mutate(const SessionMutateRequest& request);
   SessionReplayResponse replay(const SessionReplayRequest& request);
   SessionCloseResponse close(const SessionCloseRequest& request);
+
+  /// Standby side of the replication plane: journals a record shipped by a
+  /// primary (creating the session on first contact) and schedules a warm
+  /// replay, without waiting for the apply.  Fenced by epoch: a request
+  /// older than the local epoch answers kStaleEpoch and is counted.
+  SessionReplAppendResponse replAppend(const SessionReplAppendRequest& request);
+  /// Standby side of resync: installs a whole snapshot (exact primary
+  /// .snap bytes), replacing local state when it is ahead of ours.
+  SessionReplSnapshotResponse replInstall(
+      const SessionReplSnapshotRequest& request);
+  /// Role/epoch/progress probe (rfsmc session status, failover smoke).
+  SessionStatusResponse status(const SessionStatusRequest& request);
 
   /// Stops admitting new sessions and mutations (kDraining replies).
   void beginDrain();
@@ -198,6 +217,18 @@ class SessionService {
   bool recoverOne(const std::string& base);
   SessionMutateResponse answerFromHistory(Session& session,
                                           std::uint64_t seq) const;
+  /// Turns a standby session into the primary: waits out the un-applied
+  /// tail (O(tail) by the standby's continuous warm replay), bumps the
+  /// epoch (fencing the deposed primary), rewrites the journal header.
+  /// Caller holds `lock`.
+  void promoteLocked(std::unique_lock<std::mutex>& lock, Session& session,
+                     const std::string& sessionKey);
+  /// Builds the resync bundle the Replicator ships to a gapped standby.
+  std::optional<Replicator::ResyncBundle> resyncBundle(
+      const std::string& tenant, const std::string& name);
+  /// Marks a session fenced after a standby reported a newer epoch.
+  void fenceSession(const std::string& tenant, const std::string& name,
+                    std::uint64_t standbyEpoch);
 
   SessionServiceOptions options_;
   mutable std::mutex mutex_;
@@ -212,6 +243,9 @@ class SessionService {
   std::uint64_t recovered_ = 0;
   std::uint64_t quarantined_ = 0;
   std::vector<std::thread> executors_;
+  /// Declared last: its async workers call back into the store (resync,
+  /// fencing), so it must be destroyed before the mutex and maps above.
+  std::unique_ptr<Replicator> replicator_;
 };
 
 /// Client side of a streaming session: one connection, many frames, with
@@ -219,10 +253,20 @@ class SessionService {
 /// restarted daemon answers resent duplicates from its recovered
 /// transcript, so retrying is always safe).  Admission rejections are NOT
 /// retried here — they surface to the caller, which owns the backoff.
+///
+/// Failover: when `endpoints` lists more than one daemon (primary first,
+/// standbys after), a transport failure rotates to the next endpoint — so
+/// a killed primary is transparently replaced by its promoted standby.
+/// Per-endpoint circuit breakers keep rotation away from endpoints that
+/// just failed; reconnect delays follow backoffDelay (capped ladder +
+/// deterministic per-client jitter, no thundering herd).
 class SessionStream {
  public:
   struct Options {
     ipc::Endpoint endpoint;
+    /// Failover set; when non-empty it *replaces* `endpoint` (which is
+    /// kept for single-daemon callers).  Order = preference.
+    std::vector<ipc::Endpoint> endpoints;
     /// Transport retry budget per call (reconnect + resend until this
     /// elapses, then the last IpcError propagates).
     std::chrono::milliseconds retryFor{15000};
@@ -236,17 +280,29 @@ class SessionStream {
   SessionMutateResponse mutate(const SessionMutateRequest& request);
   SessionReplayResponse replay(const SessionReplayRequest& request);
   SessionCloseResponse close(const SessionCloseRequest& request);
+  SessionStatusResponse status(const SessionStatusRequest& request);
 
   /// Transport-level reconnects performed so far (visible retry evidence
   /// for the CI smoke and the kill/restart bench cell).
   std::uint64_t reconnects() const { return reconnects_; }
+  /// Endpoint rotations performed so far (0 while the first choice holds).
+  std::uint64_t failovers() const { return failovers_; }
+  /// The endpoint the next frame will be sent to.
+  const ipc::Endpoint& currentEndpoint() const { return endpoints_[current_]; }
 
  private:
   std::string exchange(const std::string& payload);
+  /// Rotates to the next endpoint whose breaker admits a request (falls
+  /// back to plain round-robin when every breaker is open).
+  void rotate();
 
   Options options_;
+  std::vector<ipc::Endpoint> endpoints_;
+  std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
+  std::size_t current_ = 0;
   ipc::Fd conn_;
   std::uint64_t reconnects_ = 0;
+  std::uint64_t failovers_ = 0;
 };
 
 }  // namespace rfsm::service

@@ -624,16 +624,48 @@ service::MutationRecord scheduleRecord(std::uint64_t k, std::uint64_t total,
   return rec;
 }
 
+int cmdSessionStatus(const std::vector<std::string>& rest, std::ostream& out,
+                     std::ostream& err) {
+  const auto servers = optionAll(rest, "--server");
+  if (servers.empty())
+    throw CliError(
+        "usage: rfsmc session status --server ENDPOINT [--server ...]\n"
+        "         --tenant T --name N");
+  service::SessionStream::Options streamOptions;
+  streamOptions.endpoint = ipc::parseEndpoint(servers.front());
+  for (const std::string& endpoint : servers)
+    streamOptions.endpoints.push_back(ipc::parseEndpoint(endpoint));
+  service::SessionStream stream(streamOptions);
+  service::SessionStatusRequest request;
+  request.tenant = option(rest, "--tenant").value_or("default");
+  request.name = option(rest, "--name").value_or("session");
+  const service::SessionStatusResponse status = stream.status(request);
+  if (status.status != service::SessionStatus::kOk) {
+    err << "rfsmc: session status failed: " << toString(status.status)
+        << (status.error.empty() ? "" : " - " + status.error) << "\n";
+    return 1;
+  }
+  out << "session " << request.tenant << "/" << request.name << ": role "
+      << status.role << ", epoch " << status.epoch << ", accepted "
+      << status.lastAccepted << ", applied " << status.applied << "\n";
+  return 0;
+}
+
 int cmdSession(const std::vector<std::string>& args, std::ostream& out,
                std::ostream& err) {
-  if (args.empty() || args[0] != "stream")
+  if (args.empty() || (args[0] != "stream" && args[0] != "status"))
     throw CliError(
-        "usage: rfsmc session stream (--server ENDPOINT | --local)\n"
+        "usage: rfsmc session stream (--server ENDPOINT ... | --local)\n"
         "         --tenant T --name N --mutations M [--random S,I,O]\n"
         "         [--seed N] [--planner jsr|greedy|ea] [--priority P]\n"
         "         [--weight W] [--deltas D] [--new-states K]\n"
         "         [--defer-every E] [--mutation-seed B] [--resume]\n"
-        "         [--close] [--retry-for-ms MS]");
+        "         [--close] [--retry-for-ms MS]\n"
+        "       rfsmc session status --server ENDPOINT --tenant T --name N\n"
+        "(repeat --server to add failover endpoints, primary first)");
+  if (args[0] == "status")
+    return cmdSessionStatus(
+        std::vector<std::string>(args.begin() + 1, args.end()), out, err);
   const std::vector<std::string> rest(args.begin() + 1, args.end());
   service::SessionConfig config;
   config.tenant = option(rest, "--tenant").value_or("default");
@@ -690,11 +722,16 @@ int cmdSession(const std::vector<std::string>& args, std::ostream& out,
     return 0;
   }
 
-  const auto server = option(rest, "--server");
-  if (!server.has_value())
+  const auto servers = optionAll(rest, "--server");
+  if (servers.empty())
     throw CliError("session stream needs --server ENDPOINT or --local");
   service::SessionStream::Options streamOptions;
-  streamOptions.endpoint = ipc::parseEndpoint(*server);
+  streamOptions.endpoint = ipc::parseEndpoint(servers.front());
+  // Every --server after the first is a failover endpoint (a standby that
+  // promotes itself when the primary dies); the stream rotates on
+  // transport failure.
+  for (const std::string& endpoint : servers)
+    streamOptions.endpoints.push_back(ipc::parseEndpoint(endpoint));
   streamOptions.retryFor = retryFor;
   service::SessionStream stream(streamOptions);
 
@@ -735,7 +772,12 @@ int cmdSession(const std::vector<std::string>& args, std::ostream& out,
       out << "# mutation " << entry.seq << "\n" << entry.program;
   }
 
-  std::uint64_t plans = 0, rejections = 0;
+  std::uint64_t plans = 0, rejections = 0, rewinds = 0;
+  // Output high-water mark: after a failover rewind the deterministic
+  // schedule is re-sent from the promoted standby's frontier, and already-
+  // printed sequence numbers must not print twice (the resumed stdout has
+  // to stay byte-identical to an uninterrupted run).
+  std::uint64_t processedUpTo = start - 1;
   for (std::uint64_t k = start; k <= mutations; ++k) {
     const service::MutationRecord rec = scheduleRecord(
         k, mutations, deltas, newStates, seedBase, deferEvery);
@@ -768,13 +810,38 @@ int cmdSession(const std::vector<std::string>& args, std::ostream& out,
                                           : 100)));
         continue;
       }
+      if (response.status == service::SessionStatus::kBadSequence) {
+        // Failover rewind: a promoted standby can trail the acked
+        // frontier under --repl-ack async.  Re-learn its high-water mark
+        // and resend the (deterministic, so byte-identical) schedule from
+        // there; processedUpTo suppresses the duplicate output.
+        if (++rewinds > 8) {
+          err << "rfsmc: mutation " << k
+              << " rejected after repeated rewinds: " << response.error
+              << "\n";
+          return 1;
+        }
+        const service::SessionOpenResponse reopened = stream.open(openRequest);
+        if (reopened.status != service::SessionStatus::kOk) {
+          err << "rfsmc: session re-open after failover failed: "
+              << toString(reopened.status)
+              << (reopened.error.empty() ? "" : " - " + reopened.error)
+              << "\n";
+          return 1;
+        }
+        k = reopened.lastApplied;  // the outer ++k resumes right after it
+        break;
+      }
       if (response.status == service::SessionStatus::kOk) {
-        out << "# mutation " << k << "\n" << response.program;
-        ++plans;
+        if (k > processedUpTo) {
+          out << "# mutation " << k << "\n" << response.program;
+          ++plans;
+        }
       } else if (response.status == service::SessionStatus::kFailed &&
                  !response.error.empty()) {
-        err << "rfsmc: mutation " << k << " failed: " << response.error
-            << "\n";
+        if (k > processedUpTo)
+          err << "rfsmc: mutation " << k << " failed: " << response.error
+              << "\n";
       } else if (response.status != service::SessionStatus::kAccepted) {
         err << "rfsmc: mutation " << k << " rejected: "
             << toString(response.status)
@@ -782,6 +849,7 @@ int cmdSession(const std::vector<std::string>& args, std::ostream& out,
             << "\n";
         return 1;
       }
+      if (k > processedUpTo) processedUpTo = k;
       break;
     }
   }
@@ -802,7 +870,8 @@ int cmdSession(const std::vector<std::string>& args, std::ostream& out,
   err << "session " << config.tenant << "/" << config.name << ": streamed "
       << mutations << " mutation(s), " << closedPlans << " plan(s), "
       << rejections << " admission rejection(s), " << stream.reconnects()
-      << " reconnect(s)\n";
+      << " reconnect(s), " << stream.failovers() << " failover(s), "
+      << rewinds << " rewind(s)\n";
   return 0;
 }
 
@@ -852,17 +921,18 @@ void renderStatsTable(const service::StatsResponse& stats,
     out << "\n" << table.toMarkdown();
   }
   if (!stats.sessions.empty()) {
-    Table table({"tenant", "session", "prio", "weight", "vtime", "tokens",
-                 "queued", "applied", "wal age ms", "snap age ms"});
+    Table table({"tenant", "session", "role", "epoch", "prio", "weight",
+                 "vtime", "tokens", "queued", "applied", "wal age ms",
+                 "snap age ms"});
     for (const auto& s : stats.sessions) {
       std::ostringstream weight, vtime, tokens;
       weight << s.weight;
       vtime << s.vtime;
       tokens << s.tokensRemaining;
-      table.addRow({s.tenant, s.name, std::to_string(s.priority),
-                    weight.str(), vtime.str(), tokens.str(),
-                    std::to_string(s.queued), std::to_string(s.applied),
-                    std::to_string(s.walAgeMs),
+      table.addRow({s.tenant, s.name, s.role, std::to_string(s.epoch),
+                    std::to_string(s.priority), weight.str(), vtime.str(),
+                    tokens.str(), std::to_string(s.queued),
+                    std::to_string(s.applied), std::to_string(s.walAgeMs),
                     std::to_string(s.snapshotAgeMs)});
     }
     out << "\n" << table.toMarkdown();
@@ -901,7 +971,9 @@ void renderStatsJson(const service::StatsResponse& stats, std::ostream& out) {
     const auto& s = stats.sessions[k];
     out << (k == 0 ? "" : ", ") << "{\"tenant\": \"" << escapeValue(s.tenant)
         << "\", \"name\": \"" << escapeValue(s.name)
-        << "\", \"priority\": " << s.priority << ", \"weight\": " << s.weight
+        << "\", \"role\": \"" << escapeValue(s.role)
+        << "\", \"epoch\": " << s.epoch
+        << ", \"priority\": " << s.priority << ", \"weight\": " << s.weight
         << ", \"vtime\": " << s.vtime
         << ", \"tokens_remaining\": " << s.tokensRemaining
         << ", \"queued\": " << s.queued << ", \"applied\": " << s.applied
@@ -967,6 +1039,11 @@ void renderStatsPrometheus(const service::StatsResponse& stats,
       out << "rfsm_session_wal_age_ms{tenant=\"" << escapeValue(s.tenant)
           << "\",session=\"" << escapeValue(s.name) << "\"} " << s.walAgeMs
           << "\n";
+    out << "# TYPE rfsm_session_epoch gauge\n";
+    for (const auto& s : stats.sessions)
+      out << "rfsm_session_epoch{tenant=\"" << escapeValue(s.tenant)
+          << "\",session=\"" << escapeValue(s.name) << "\",role=\""
+          << escapeValue(s.role) << "\"} " << s.epoch << "\n";
   }
   for (const auto& counter : stats.metrics.counters)
     gauge(promName(counter.name) + "_total", "",
@@ -1131,6 +1208,11 @@ int cmdHelp(std::ostream& out) {
          "          [--new-states K] [--defer-every E] [--mutation-seed B]\n"
          "          [--resume] [--close] [--retry-for-ms MS]\n"
          "          exit 0 = streamed, 2 = not admitted in time\n"
+         "          (repeat --server for failover endpoints: the stream\n"
+         "          rotates to a promoted standby when the primary dies)\n"
+         "  session status                role (primary|standby), fencing\n"
+         "          --server E --tenant T   epoch, and applied frontier of\n"
+         "          --name N                one session\n"
          "  stats --server ENDPOINT       live daemon telemetry (workers,\n"
          "          [--watch]             breakers, plan cache, per-tenant\n"
          "          [--interval-ms MS]    session gauges, scheduler vtimes)\n"
@@ -1151,7 +1233,8 @@ int cmdHelp(std::ostream& out) {
          "          --chaos SEED:PROFILE  arm deterministic disk/network\n"
          "                                fault injection (off|disk-light|\n"
          "                                disk-storm|net-light|net-storm|\n"
-         "                                full; RFSM_CHAOS=SEED:PROFILE does\n"
+         "                                repl-light|repl-storm|full;\n"
+         "                                RFSM_CHAOS=SEED:PROFILE does\n"
          "                                the same via the environment)\n";
   return 0;
 }

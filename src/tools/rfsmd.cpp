@@ -58,7 +58,7 @@ int usage(std::ostream& out, int code) {
          "  --chaos SEED:PROFILE  arm deterministic disk/network fault\n"
          "                        injection (also honours RFSM_CHAOS):\n"
          "                        off|disk-light|disk-storm|net-light|\n"
-         "                        net-storm|full\n"
+         "                        net-storm|repl-light|repl-storm|full\n"
          "  --plan-cache N        memoize plan results, N entries (0 = off,\n"
          "                        the default; overrides RFSM_PLAN_CACHE)\n"
          "  --worker-binary PATH  binary for workers (default: this one)\n"
@@ -74,6 +74,12 @@ int usage(std::ostream& out, int code) {
          "                        (default 0 = unlimited)\n"
          "  --tenant-burst B      per-tenant burst capacity (default 16)\n"
          "  --max-sessions N      resident session limit (default 256)\n"
+         "  --replica ENDPOINT    ship every accepted session mutation to\n"
+         "                        this standby daemon (repeatable; each\n"
+         "                        record is epoch-fenced)\n"
+         "  --repl-ack MODE       quorum = every standby journals before\n"
+         "                        the client ack (default); async = ack\n"
+         "                        locally, ship from a bounded queue\n"
          "  --max-connections N   concurrent connections (default 32)\n";
   return code;
 }
@@ -89,6 +95,15 @@ bool flag(const std::vector<std::string>& args, const std::string& name) {
   for (const auto& a : args)
     if (a == name) return true;
   return false;
+}
+
+/// Every value of a repeatable option (`--replica A --replica B`).
+std::vector<std::string> options(const std::vector<std::string>& args,
+                                 const std::string& name) {
+  std::vector<std::string> values;
+  for (std::size_t k = 0; k + 1 < args.size(); ++k)
+    if (args[k] == name) values.push_back(args[k + 1]);
+  return values;
 }
 
 }  // namespace
@@ -146,6 +161,10 @@ int main(int argc, char** argv) {
         std::stod(option(args, "--tenant-burst").value_or("16"));
     options.sessions.maxSessions = static_cast<std::size_t>(
         std::stoull(option(args, "--max-sessions").value_or("256")));
+    for (const std::string& replica : ::options(args, "--replica"))
+      options.sessions.replicas.push_back(rfsm::ipc::parseEndpoint(replica));
+    options.sessions.replAck = rfsm::service::replAckFromString(
+        option(args, "--repl-ack").value_or("quorum"));
     options.maxConnections = static_cast<std::size_t>(
         std::stoull(option(args, "--max-connections").value_or("32")));
     const std::string faultName = option(args, "--fault").value_or("none");
@@ -191,6 +210,11 @@ int main(int argc, char** argv) {
     // Hot-restart evidence, greppable by the session-smoke CI job.
     std::cerr << "rfsmd: service.sessions_recovered "
               << server.sessions().recoveredSessions() << "\n";
+    // Replication evidence, greppable by the failover-smoke CI job.
+    if (!options.sessions.replicas.empty())
+      std::cerr << "rfsmd: replicating to " << options.sessions.replicas.size()
+                << " standby endpoint(s) (ack="
+                << rfsm::service::toString(options.sessions.replAck) << ")\n";
     if (server.sessions().quarantined() > 0)
       std::cerr << "rfsmd: service.sessions_quarantined "
                 << server.sessions().quarantined() << "\n";

@@ -17,10 +17,16 @@ bool isDiskSite(Site site) {
     case Site::kNetConnect:
     case Site::kNetWrite:
     case Site::kNetRead:
+    case Site::kReplConnect:
+    case Site::kReplWrite:
+    case Site::kReplRead:
       return false;
   }
   return false;
 }
+
+/// Depth, not a flag: the replicator may nest scopes across retry layers.
+thread_local int replLinkDepth = 0;
 
 Profile diskLight() {
   Profile p;
@@ -68,9 +74,34 @@ Profile netStorm() {
   return p;
 }
 
+Profile replLight() {
+  Profile p;
+  p.name = "repl-light";
+  p.replConnectResetProbability = 0.03;
+  p.replResetProbability = 0.03;
+  p.replPartialWriteProbability = 0.03;
+  p.replStallProbability = 0.02;
+  p.replDuplicateProbability = 0.03;
+  p.replCorruptProbability = 0.03;
+  return p;
+}
+
+Profile replStorm() {
+  Profile p;
+  p.name = "repl-storm";
+  p.replConnectResetProbability = 0.10;
+  p.replResetProbability = 0.10;
+  p.replPartialWriteProbability = 0.10;
+  p.replStallProbability = 0.05;
+  p.replDuplicateProbability = 0.10;
+  p.replCorruptProbability = 0.10;
+  return p;
+}
+
 Profile fullProfile() {
   Profile disk = diskLight();
   Profile net = netLight();
+  Profile repl = replLight();
   Profile p = disk;
   p.name = "full";
   p.connectResetProbability = net.connectResetProbability;
@@ -79,6 +110,12 @@ Profile fullProfile() {
   p.stallProbability = net.stallProbability;
   p.duplicateProbability = net.duplicateProbability;
   p.corruptProbability = net.corruptProbability;
+  p.replConnectResetProbability = repl.replConnectResetProbability;
+  p.replResetProbability = repl.replResetProbability;
+  p.replPartialWriteProbability = repl.replPartialWriteProbability;
+  p.replStallProbability = repl.replStallProbability;
+  p.replDuplicateProbability = repl.replDuplicateProbability;
+  p.replCorruptProbability = repl.replCorruptProbability;
   return p;
 }
 
@@ -90,15 +127,23 @@ std::optional<Profile> profileByName(const std::string& name) {
   if (name == "disk-storm") return diskStorm();
   if (name == "net-light") return netLight();
   if (name == "net-storm") return netStorm();
+  if (name == "repl-light") return replLight();
+  if (name == "repl-storm") return replStorm();
   if (name == "full") return fullProfile();
   return std::nullopt;
 }
 
 const std::vector<std::string>& profileNames() {
   static const std::vector<std::string> names = {
-      "off", "disk-light", "disk-storm", "net-light", "net-storm", "full"};
+      "off",       "disk-light", "disk-storm", "net-light",
+      "net-storm", "repl-light", "repl-storm", "full"};
   return names;
 }
+
+ScopedReplLink::ScopedReplLink() { ++replLinkDepth; }
+ScopedReplLink::~ScopedReplLink() { --replLinkDepth; }
+
+bool onReplLink() { return replLinkDepth > 0; }
 
 void FaultPlane::arm(std::uint64_t seed, const Profile& profile) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -244,28 +289,35 @@ std::optional<double> FaultPlane::onAppend() {
 FaultPlane::NetWriteFault FaultPlane::onNetWrite() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (streams_.empty()) return NetWriteFault::kNone;
-  const std::size_t index = static_cast<std::size_t>(Site::kNetWrite);
+  const bool repl = onReplLink();
+  const Site site = repl ? Site::kReplWrite : Site::kNetWrite;
+  const std::size_t index = static_cast<std::size_t>(site);
   const double roll = streams_[index].uniform();
   ++draws_[index];
   const Profile& p = profile_;
   NetWriteFault fault = NetWriteFault::kNone;
-  double edge = p.resetProbability;
+  double edge = repl ? p.replResetProbability : p.resetProbability;
   if (roll < edge) {
     fault = NetWriteFault::kReset;
-  } else if (roll < (edge += p.partialWriteProbability)) {
+  } else if (roll < (edge += repl ? p.replPartialWriteProbability
+                                  : p.partialWriteProbability)) {
     fault = NetWriteFault::kPartial;
-  } else if (roll < (edge += p.stallProbability)) {
+  } else if (roll <
+             (edge += repl ? p.replStallProbability : p.stallProbability)) {
     fault = NetWriteFault::kStall;
-  } else if (roll < (edge += p.duplicateProbability)) {
+  } else if (roll < (edge += repl ? p.replDuplicateProbability
+                                  : p.duplicateProbability)) {
     fault = NetWriteFault::kDuplicate;
-  } else if (roll < (edge += p.corruptProbability)) {
+  } else if (roll <
+             (edge += repl ? p.replCorruptProbability
+                           : p.corruptProbability)) {
     fault = NetWriteFault::kCorrupt;
   }
   if (fault == NetWriteFault::kNone) return fault;
   if (injectedDisk_ + injectedNet_ >= p.maxFaults) return NetWriteFault::kNone;
   ++injectedNet_;
   metrics::counter(metrics::kServiceChaosNetFaults).add();
-  journal_.push_back(Event{Site::kNetWrite,
+  journal_.push_back(Event{site,
                            static_cast<std::uint32_t>(fault),
                            draws_[index] - 1});
   return fault;
@@ -274,21 +326,25 @@ FaultPlane::NetWriteFault FaultPlane::onNetWrite() {
 FaultPlane::NetReadFault FaultPlane::onNetRead() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (streams_.empty()) return NetReadFault::kNone;
-  const std::size_t index = static_cast<std::size_t>(Site::kNetRead);
+  const bool repl = onReplLink();
+  const Site site = repl ? Site::kReplRead : Site::kNetRead;
+  const std::size_t index = static_cast<std::size_t>(site);
   const double roll = streams_[index].uniform();
   ++draws_[index];
   const Profile& p = profile_;
+  const double stall = repl ? p.replStallProbability : p.stallProbability;
+  const double reset = repl ? p.replResetProbability : p.resetProbability;
   NetReadFault fault = NetReadFault::kNone;
-  if (roll < p.stallProbability) {
+  if (roll < stall) {
     fault = NetReadFault::kStall;
-  } else if (roll < p.stallProbability + p.resetProbability) {
+  } else if (roll < stall + reset) {
     fault = NetReadFault::kReset;
   }
   if (fault == NetReadFault::kNone) return fault;
   if (injectedDisk_ + injectedNet_ >= p.maxFaults) return NetReadFault::kNone;
   ++injectedNet_;
   metrics::counter(metrics::kServiceChaosNetFaults).add();
-  journal_.push_back(Event{Site::kNetRead,
+  journal_.push_back(Event{site,
                            static_cast<std::uint32_t>(fault),
                            draws_[index] - 1});
   return fault;
@@ -297,14 +353,25 @@ FaultPlane::NetReadFault FaultPlane::onNetRead() {
 bool FaultPlane::onConnect() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (streams_.empty()) return false;
-  const bool hit =
-      fire(Site::kNetConnect, profile_.connectResetProbability, 1);
-  ++draws_[static_cast<std::size_t>(Site::kNetConnect)];
+  const bool repl = onReplLink();
+  const Site site = repl ? Site::kReplConnect : Site::kNetConnect;
+  const bool hit = fire(site,
+                        repl ? profile_.replConnectResetProbability
+                             : profile_.connectResetProbability,
+                        1);
+  ++draws_[static_cast<std::size_t>(site)];
   return hit;
 }
 
 std::uint64_t FaultPlane::drawBelow(Site site, std::uint64_t bound) {
   RFSM_CHECK(bound > 0, "chaos drawBelow bound must be positive");
+  // Positioning draws follow the decision draw onto the repl twin, so the
+  // client-facing streams never advance for replication-link traffic.
+  if (onReplLink()) {
+    if (site == Site::kNetWrite) site = Site::kReplWrite;
+    if (site == Site::kNetRead) site = Site::kReplRead;
+    if (site == Site::kNetConnect) site = Site::kReplConnect;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   if (streams_.empty()) return 0;
   const std::size_t index = static_cast<std::size_t>(site);

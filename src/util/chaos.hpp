@@ -47,8 +47,16 @@ enum class Site : std::uint32_t {
   kNetConnect = 4,  ///< ipc::connectEndpoint — connection reset
   kNetWrite = 5,    ///< ipc::writeFrame — reset/partial/stall/dup/corrupt
   kNetRead = 6,     ///< ipc::readFrame — stalled socket, reset
+  // Replication-link twins of the net sites: consulted instead of kNet*
+  // while the calling thread is inside a ScopedReplLink scope, so WAL
+  // shipping (service/repl.hpp) can be disturbed independently of the
+  // client-facing wire.  Appended after the original sites so arming with
+  // an old seed reproduces the old schedules bit-for-bit.
+  kReplConnect = 7,
+  kReplWrite = 8,
+  kReplRead = 9,
 };
-inline constexpr std::size_t kSiteCount = 7;
+inline constexpr std::size_t kSiteCount = 10;
 
 /// Injection rates of one named chaos profile.  All probabilities are
 /// per-consultation; `maxFaults` bounds the total injections of a run so
@@ -69,6 +77,14 @@ struct Profile {
   double stallProbability = 0.0;       ///< bounded delay before the syscall
   double duplicateProbability = 0.0;   ///< the frame is sent twice
   double corruptProbability = 0.0;     ///< one payload/trailer bit flips
+  // Replication-link faults (same kinds, consulted only under
+  // ScopedReplLink — primary->standby WAL shipping).
+  double replConnectResetProbability = 0.0;
+  double replResetProbability = 0.0;
+  double replPartialWriteProbability = 0.0;
+  double replStallProbability = 0.0;
+  double replDuplicateProbability = 0.0;
+  double replCorruptProbability = 0.0;
   /// Total injections before the plane goes quiet (draws continue).
   std::uint64_t maxFaults = 1u << 20;
 };
@@ -80,7 +96,9 @@ struct Profile {
 ///   disk-storm   dense disk faults for soak runs
 ///   net-light    sparse wire faults
 ///   net-storm    dense wire faults (every kind, most exchanges disturbed)
-///   full         disk-light + net-light combined
+///   repl-light   sparse faults on the replication link only
+///   repl-storm   dense faults on the replication link only
+///   full         disk-light + net-light + repl-light combined
 /// Returns nullopt for unknown names.
 std::optional<Profile> profileByName(const std::string& name);
 const std::vector<std::string>& profileNames();
@@ -160,6 +178,23 @@ class FaultPlane {
   std::uint64_t injectedNet_ = 0;
   std::vector<Event> journal_;
 };
+
+/// Marks the current thread's ipc traffic as replication-link traffic:
+/// while a ScopedReplLink is alive, the plane's net decision points
+/// (onNetWrite/onNetRead/onConnect and kNetWrite/kNetRead drawBelow calls)
+/// consult the kRepl* streams and the profile's repl* probabilities
+/// instead, so `repl-light`/`repl-storm` disturb WAL shipping without the
+/// client-facing wire ever noticing.  Nests; thread-local.
+class ScopedReplLink {
+ public:
+  ScopedReplLink();
+  ~ScopedReplLink();
+  ScopedReplLink(const ScopedReplLink&) = delete;
+  ScopedReplLink& operator=(const ScopedReplLink&) = delete;
+};
+
+/// True while the calling thread is inside a ScopedReplLink scope.
+bool onReplLink();
 
 /// The process-global plane (one per process; worker subprocesses arm
 /// their own from the inherited RFSM_CHAOS environment).

@@ -448,6 +448,13 @@ std::vector<std::string> canonicalNames() {
       kServiceChaosDiskFaults,
       kServiceChaosNetFaults,
       kServiceFramesRejected,
+      kServiceReplRecordsShipped,
+      kServiceReplSnapshotsShipped,
+      kServiceReplShipErrors,
+      kServiceReplLagRecords,
+      kServiceReplLagMs,
+      kServiceFailovers,
+      kServiceStaleEpochRejected,
   };
 }
 

@@ -290,6 +290,22 @@ inline constexpr const char* kServiceChaosNetFaults =
     "service.chaos_net_faults";
 inline constexpr const char* kServiceFramesRejected =
     "service.frames_rejected";
+// Session replication plane (service/repl.hpp): shipping volume, standby
+// lag (gauges, refreshed at stats scrape), promotions after a primary
+// loss, and the epoch fence firing against a deposed primary.  The
+// failover-smoke CI job greps kServiceFailovers / kServiceStaleEpochRejected.
+inline constexpr const char* kServiceReplRecordsShipped =
+    "service.repl_records_shipped";
+inline constexpr const char* kServiceReplSnapshotsShipped =
+    "service.repl_snapshots_shipped";
+inline constexpr const char* kServiceReplShipErrors =
+    "service.repl_ship_errors";
+inline constexpr const char* kServiceReplLagRecords =
+    "service.repl_lag_records";
+inline constexpr const char* kServiceReplLagMs = "service.repl_lag_ms";
+inline constexpr const char* kServiceFailovers = "service.failovers";
+inline constexpr const char* kServiceStaleEpochRejected =
+    "service.stale_epoch_rejected";
 
 /// Every canonical metric name above, in one list — the single source of
 /// truth the naming-drift regression test diffs sink output against

@@ -353,6 +353,48 @@ std::vector<std::pair<std::string, std::string>> protocolCorpus() {
   handshakeReply.error = "protocol version mismatch (peer 2, server 1)";
   corpus.emplace_back("HandshakeResponse",
                       svc::encodeHandshakeResponse(handshakeReply));
+  svc::SessionReplAppendRequest replAppend;
+  replAppend.tenant = "acme";
+  replAppend.name = "line-7";
+  replAppend.epoch = 4;
+  replAppend.seq = 11;
+  replAppend.mutationSeed = 0xabcdu;
+  replAppend.defer = true;
+  corpus.emplace_back("SessionReplAppendRequest",
+                      svc::encodeSessionReplAppendRequest(replAppend));
+  svc::SessionReplAppendResponse replAppendReply;
+  replAppendReply.status = svc::SessionStatus::kStaleEpoch;
+  replAppendReply.error = "stale epoch";
+  replAppendReply.epoch = 5;
+  replAppendReply.lastAccepted = 10;
+  corpus.emplace_back("SessionReplAppendResponse",
+                      svc::encodeSessionReplAppendResponse(replAppendReply));
+  svc::SessionReplSnapshotRequest replSnapshot;
+  replSnapshot.tenant = "acme";
+  replSnapshot.name = "line-7";
+  replSnapshot.epoch = 4;
+  replSnapshot.snapshot = std::string("rfsm-session-snap v1\x00\x7f", 22);
+  corpus.emplace_back("SessionReplSnapshotRequest",
+                      svc::encodeSessionReplSnapshotRequest(replSnapshot));
+  svc::SessionReplSnapshotResponse replSnapshotReply;
+  replSnapshotReply.status = svc::SessionStatus::kOk;
+  replSnapshotReply.epoch = 4;
+  replSnapshotReply.lastAccepted = 8;
+  corpus.emplace_back("SessionReplSnapshotResponse",
+                      svc::encodeSessionReplSnapshotResponse(replSnapshotReply));
+  svc::SessionStatusRequest sessionStatus;
+  sessionStatus.tenant = "acme";
+  sessionStatus.name = "line-7";
+  corpus.emplace_back("SessionStatusRequest",
+                      svc::encodeSessionStatusRequest(sessionStatus));
+  svc::SessionStatusResponse sessionStatusReply;
+  sessionStatusReply.status = svc::SessionStatus::kOk;
+  sessionStatusReply.role = "standby";
+  sessionStatusReply.epoch = 4;
+  sessionStatusReply.lastAccepted = 11;
+  sessionStatusReply.applied = 10;
+  corpus.emplace_back("SessionStatusResponse",
+                      svc::encodeSessionStatusResponse(sessionStatusReply));
   return corpus;
 }
 
@@ -422,6 +464,24 @@ const std::vector<std::function<void(const std::string&)>>& allDecoders() {
           [](const std::string& p) { (void)svc::decodeHandshakeRequest(p); },
           [](const std::string& p) {
             (void)svc::decodeHandshakeResponse(p);
+          },
+          [](const std::string& p) {
+            (void)svc::decodeSessionReplAppendRequest(p);
+          },
+          [](const std::string& p) {
+            (void)svc::decodeSessionReplAppendResponse(p);
+          },
+          [](const std::string& p) {
+            (void)svc::decodeSessionReplSnapshotRequest(p);
+          },
+          [](const std::string& p) {
+            (void)svc::decodeSessionReplSnapshotResponse(p);
+          },
+          [](const std::string& p) {
+            (void)svc::decodeSessionStatusRequest(p);
+          },
+          [](const std::string& p) {
+            (void)svc::decodeSessionStatusResponse(p);
           },
       };
   return decoders;

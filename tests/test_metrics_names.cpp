@@ -72,7 +72,10 @@ TEST(TelemetryNames, KnownVocabularyIsPresent) {
         metrics::kSessionSchedulerDepth, metrics::kServiceRequestWindow,
         metrics::kSessionMutateWindow, metrics::kTraceDropped,
         metrics::kServiceChaosDiskFaults, metrics::kServiceChaosNetFaults,
-        metrics::kServiceFramesRejected})
+        metrics::kServiceFramesRejected, metrics::kServiceReplRecordsShipped,
+        metrics::kServiceReplSnapshotsShipped, metrics::kServiceReplShipErrors,
+        metrics::kServiceReplLagRecords, metrics::kServiceReplLagMs,
+        metrics::kServiceFailovers, metrics::kServiceStaleEpochRejected})
     EXPECT_TRUE(set.count(required)) << required;
 }
 
