@@ -581,8 +581,11 @@ SessionStatusResponse decodeSessionStatusResponse(const std::string& payload);
 // --- Version/feature handshake -------------------------------------------
 
 /// The protocol generation this build speaks.  Bumped on any frame-layout
-/// change that older peers cannot parse (the CRC32C trailer is generation 1).
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// change that older peers cannot parse (the CRC32C trailer is generation
+/// 1; generation 2 added the replication plane: SessionRepl*/SessionStatus
+/// frames, the STALE_EPOCH verdict, and role/epoch fields on the stats
+/// session rows — a generation-1 peer would misparse all three).
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 /// Feature bits advertised in the handshake.
 inline constexpr std::uint32_t kFeatureCrc32c = 1u << 0;

@@ -121,6 +121,13 @@ std::string Replicator::exchange(Link& link, const std::string& payload) {
   std::uint32_t attempt = 0;
   std::string lastError = "not connected";
   for (;;) {
+    {
+      // Shutdown must interrupt the retry ladder: ~Replicator joins the
+      // async workers, and a worker mid-retryFor against a dead standby
+      // would otherwise stall the join for the whole budget.
+      std::lock_guard stop(link.queueMutex);
+      if (link.stopping) throw ipc::IpcError("replicator stopping");
+    }
     try {
       if (!link.conn.valid())
         link.conn = ipc::connectEndpoint(link.endpoint, 1000);
@@ -150,7 +157,11 @@ std::string Replicator::exchange(Link& link, const std::string& payload) {
     if (std::chrono::steady_clock::now() + delay >= deadline)
       throw ipc::IpcError("standby " + link.endpoint.describe() +
                           " unreachable: " + lastError);
-    std::this_thread::sleep_for(delay);
+    // Interruptible backoff: the destructor's stop flag cuts the sleep
+    // short instead of serving it out against a standby that is gone.
+    std::unique_lock stop(link.queueMutex);
+    if (link.queueCv.wait_for(stop, delay, [&] { return link.stopping; }))
+      throw ipc::IpcError("replicator stopping");
   }
 }
 

@@ -309,6 +309,10 @@ struct SessionService::Session {
   /// append and last snapshot replace, reported as ages by fillStats().
   std::chrono::steady_clock::time_point lastWalAppend{};
   std::chrono::steady_clock::time_point lastSnapshot{};
+  /// Last accepted replication frame from the current-or-newer epoch
+  /// primary ({} = never) — the liveness evidence the --standby-grace
+  /// promotion gate checks before a client contact may depose it.
+  std::chrono::steady_clock::time_point lastReplContact{};
 };
 
 std::string SessionService::key(const std::string& tenant,
@@ -718,8 +722,26 @@ SessionOpenResponse SessionService::open(const SessionOpenRequest& request) {
       SessionPtr session = it->second;
       // A client resuming against a standby IS the failover signal: the
       // primary is gone and the stream re-resolved here.  Promote before
-      // reporting the high-water mark the client will resume from.
-      if (session->standby) promoteLocked(lock, *session, it->first);
+      // reporting the high-water mark the client will resume from —
+      // unless the standby heard from its primary inside the grace window
+      // (a healthy primary must not be deposed by a client-side blip).
+      if (session->standby) {
+        if (!promotionDueLocked(*session)) {
+          response.status = SessionStatus::kFailed;
+          response.error =
+              "session is a standby still replicating from a live primary "
+              "(within --standby-grace); resume against the primary";
+          return response;
+        }
+        promoteLocked(lock, *session, k);
+        // The promotion wait released mutex_: the entry may have been
+        // closed (or closed and reopened) meanwhile.
+        if (!stillOpenLocked(k, session)) {
+          response.status = SessionStatus::kNotFound;
+          response.error = "session closed during promotion";
+          return response;
+        }
+      }
       resumed.add();
       response.status = SessionStatus::kOk;
       response.lastApplied = session->lastAccepted;
@@ -818,7 +840,8 @@ SessionMutateResponse SessionService::mutate(
   SessionMutateResponse response;
   response.seq = request.seq;
   std::unique_lock lock(mutex_);
-  const auto it = sessions_.find(key(request.tenant, request.name));
+  const std::string k = key(request.tenant, request.name);
+  const auto it = sessions_.find(k);
   if (it == sessions_.end()) {
     response.status = SessionStatus::kNotFound;
     response.error = "unknown session " + request.tenant + "/" + request.name;
@@ -826,8 +849,25 @@ SessionMutateResponse SessionService::mutate(
   }
   SessionPtr session = it->second;
   // A client write reaching a standby is client-transparent failover in
-  // action: the stream re-resolved here because the primary died.
-  if (session->standby) promoteLocked(lock, *session, it->first);
+  // action: the stream re-resolved here because the primary died — unless
+  // the standby heard from its primary inside the grace window.
+  if (session->standby) {
+    if (!promotionDueLocked(*session)) {
+      response.status = SessionStatus::kFailed;
+      response.error =
+          "session is a standby still replicating from a live primary "
+          "(within --standby-grace); mutate against the primary";
+      return response;
+    }
+    promoteLocked(lock, *session, k);
+    // The promotion wait released mutex_: `it` may now dangle and the key
+    // may map to nothing (close) or to a different session (close+reopen).
+    if (!stillOpenLocked(k, session)) {
+      response.status = SessionStatus::kNotFound;
+      response.error = "session closed during promotion";
+      return response;
+    }
+  }
   if (session->fenced) {
     response.status = SessionStatus::kStaleEpoch;
     response.error =
@@ -894,8 +934,10 @@ SessionMutateResponse SessionService::mutate(
     lock.unlock();
     const ShipResult shipped = replicator_->shipSync(ship);
     lock.lock();
-    if (sessions_.find(key(request.tenant, request.name)) ==
-        sessions_.end()) {
+    // Identity check, not just presence: a close+reopen race through the
+    // unlocked window leaves the key mapping to a *different* session —
+    // this record must not be journaled into the namesake's transcript.
+    if (!stillOpenLocked(k, session)) {
       response.status = SessionStatus::kNotFound;
       response.error = "session closed during replication";
       return response;
@@ -950,7 +992,7 @@ SessionMutateResponse SessionService::mutate(
   const SessionConfig& config = session->engine.config();
   // Hand the mutate span's context to the executor thread so the apply
   // span parents under it (and, transitively, under the remote caller).
-  scheduler_.enqueue(it->first, config.priority, config.weight,
+  scheduler_.enqueue(k, config.priority, config.weight,
                      {[this, session, rec,
                        context = trace::currentContext()] {
                         trace::ContextScope scope(context);
@@ -1118,22 +1160,54 @@ SessionReplAppendResponse SessionService::replAppend(
   if (request.epoch > session->epoch) {
     // A newer primary exists.  Adopt its epoch; a session that thought it
     // was primary is demoted back to standby (the old-primary-rejoins-as-
-    // standby leg of the failover matrix).
+    // standby leg of the failover matrix).  The accepted suffix is NOT
+    // kept: records past the new primary's promotion point share sequence
+    // numbers with genuinely different records (a deposed primary's
+    // async-acked-but-unshipped run, or a quorum ship that reached us for
+    // a mutation the lost primary never acked), and nothing on the wire
+    // proves record identity by seq alone — absorbing the new primary's
+    // ships as "duplicates" would let phantom records survive into a
+    // later promotion.  Discard the replay state and report a gap so the
+    // new primary resyncs us from its snapshot + tail.
     if (!session->standby)
       log(LogLevel::kWarn) << "session " << k << " demoted to standby (epoch "
                            << session->epoch << " -> " << request.epoch
                            << ")";
+    // Quiesce before discarding: executors touch the engine without the
+    // store mutex.  The wait releases mutex_, so re-validate the entry.
+    applied_.wait(lock, [&] {
+      return session->applied >= session->lastAccepted || stopped_;
+    });
+    if (!stillOpenLocked(k, session)) {
+      response.status = SessionStatus::kNotFound;
+      response.error = "session closed during epoch adoption";
+      return response;
+    }
+    const SessionConfig keep = session->engine.config();
+    session->engine = SessionEngine(keep);
+    session->outcomes.clear();
+    session->tail.clear();
+    session->lastAccepted = 0;
+    session->applied = 0;
+    session->ackSeq = 0;
+    session->sinceSnapshot = 0;
     session->epoch = request.epoch;
     session->standby = true;
     session->fenced = false;
     response.epoch = session->epoch;
+    response.lastAccepted = 0;
     try {
+      // The on-disk snapshot still holds the discarded suffix; a crash
+      // before the resync install must not resurrect it on recovery.
+      if (!session->snapPath.empty())
+        fsio::removeFileDurable(session->snapPath);
       if (!session->walPath.empty()) rewriteWalLocked(*session);
     } catch (const Error& error) {
       log(LogLevel::kWarn) << "cannot persist epoch adoption for " << k
                            << ": " << error.what();
     }
   }
+  session->lastReplContact = std::chrono::steady_clock::now();
   if (request.seq <= session->lastAccepted) {
     response.status = SessionStatus::kOk;  // duplicate ship: idempotent
     return response;
@@ -1162,9 +1236,10 @@ SessionReplAppendResponse SessionService::replAppend(
   session->tail.emplace(rec.seq, rec);
   // Warm replay: schedule the apply like a client mutation but do NOT wait
   // for it — the primary's quorum needs the fsync, not the plan.  The
-  // continuously-applied engine is what makes promotion O(tail).
+  // continuously-applied engine is what makes promotion O(tail).  (`k`,
+  // not `it->first`: the epoch-adoption quiesce may have invalidated it.)
   const SessionConfig& cfg = session->engine.config();
-  scheduler_.enqueue(it->first, cfg.priority, cfg.weight,
+  scheduler_.enqueue(k, cfg.priority, cfg.weight,
                      {[this, session, rec] { applyOne(session, rec); },
                       1.0 + static_cast<double>(rec.deltaCount)});
   work_.notify_all();
@@ -1240,10 +1315,18 @@ SessionReplSnapshotResponse SessionService::replInstall(
       response.lastAccepted = session->lastAccepted;
       return response;
     }
-    // Quiesce: no executor may hold the engine while we swap it out.
+    // Quiesce: no executor may hold the engine while we swap it out.  The
+    // wait releases mutex_, so re-validate the entry before writing into
+    // it (a concurrent close() may have erased — or close+reopen
+    // replaced — the session meanwhile).
     applied_.wait(lock, [&] {
       return session->applied >= session->lastAccepted || stopped_;
     });
+    if (!stillOpenLocked(k, session)) {
+      response.status = SessionStatus::kNotFound;
+      response.error = "session closed during snapshot install";
+      return response;
+    }
     session->engine = std::move(*engine);
     session->outcomes = std::move(outcomes);
     session->ackSeq = ackSeq;
@@ -1253,6 +1336,7 @@ SessionReplSnapshotResponse SessionService::replInstall(
     session->epoch = std::max(session->epoch, request.epoch);
     session->standby = true;
     session->fenced = false;
+    session->lastReplContact = std::chrono::steady_clock::now();
     try {
       if (!session->snapPath.empty()) {
         fsio::writeFileDurable(session->snapPath, request.snapshot);
@@ -1287,6 +1371,7 @@ SessionReplSnapshotResponse SessionService::replInstall(
   session->applied = session->lastAccepted = session->engine.lastApplied();
   session->standby = true;
   session->epoch = std::max<std::uint64_t>(1, request.epoch);
+  session->lastReplContact = std::chrono::steady_clock::now();
   if (!options_.stateDir.empty()) {
     session->walPath = options_.stateDir + "/" + k + ".wal";
     session->snapPath = options_.stateDir + "/" + k + ".snap";
@@ -1328,11 +1413,13 @@ SessionStatusResponse SessionService::status(
 
 void SessionService::promoteLocked(std::unique_lock<std::mutex>& lock,
                                    Session& session,
-                                   const std::string& sessionKey) {
+                                   std::string sessionKey) {
   // O(tail) by construction: the standby has been warm-replaying every
   // shipped record continuously, so only the records still queued behind
   // the executors remain to apply.  (Callers hold a SessionPtr, so the
-  // session outlives the unlocked wait.)
+  // session outlives the unlocked wait; sessionKey is a by-value copy
+  // because a map-node reference would dangle if a concurrent close()
+  // erased the entry while the lock was dropped.)
   applied_.wait(lock, [&] {
     return session.applied >= session.lastAccepted || stopped_;
   });
@@ -1351,6 +1438,20 @@ void SessionService::promoteLocked(std::unique_lock<std::mutex>& lock,
     log(LogLevel::kWarn) << "cannot persist promotion of " << sessionKey
                          << ": " << error.what();
   }
+}
+
+bool SessionService::stillOpenLocked(const std::string& sessionKey,
+                                     const SessionPtr& session) const {
+  const auto it = sessions_.find(sessionKey);
+  return it != sessions_.end() && it->second == session;
+}
+
+bool SessionService::promotionDueLocked(const Session& session) const {
+  if (options_.standbyGrace.count() <= 0) return true;   // gate disabled
+  if (session.lastReplContact == std::chrono::steady_clock::time_point{})
+    return true;  // never replicated to: nothing to protect
+  return std::chrono::steady_clock::now() - session.lastReplContact >=
+         options_.standbyGrace;
 }
 
 std::optional<Replicator::ResyncBundle> SessionService::resyncBundle(

@@ -151,6 +151,13 @@ struct SessionServiceOptions {
   std::vector<ipc::Endpoint> replicas;
   /// Ack durability when replicas is non-empty (rfsmd --repl-ack).
   ReplAck replAck = ReplAck::kQuorum;
+  /// Promotion gate (rfsmd --standby-grace): a standby refuses
+  /// client-triggered promotion while it heard from its primary within
+  /// this window, so a transient transport blip between client and primary
+  /// cannot depose a healthy primary mid-ship.  0 (default) = promote on
+  /// first client contact — the client's arrival is the election, which is
+  /// correct when standby endpoints are listed after the primary.
+  std::chrono::milliseconds standbyGrace{0};
 };
 
 /// The robust session store.  Thread-safe; every public call may be made
@@ -220,9 +227,21 @@ class SessionService {
   /// Turns a standby session into the primary: waits out the un-applied
   /// tail (O(tail) by the standby's continuous warm replay), bumps the
   /// epoch (fencing the deposed primary), rewrites the journal header.
-  /// Caller holds `lock`.
+  /// Caller holds `lock`; the wait releases it, so `sessionKey` is taken
+  /// by value (a map-node reference would dangle if a concurrent close()
+  /// erased the entry) and the caller must re-validate its iterator with
+  /// stillOpenLocked() afterwards.
   void promoteLocked(std::unique_lock<std::mutex>& lock, Session& session,
-                     const std::string& sessionKey);
+                     std::string sessionKey);
+  /// Whether `sessionKey` still maps to exactly `session`.  Must be
+  /// re-checked after ANY window where mutex_ was released (condition
+  /// waits, quorum ships): a concurrent close() invalidates iterators, and
+  /// a close+reopen race leaves the key mapping to a different object.
+  bool stillOpenLocked(const std::string& sessionKey,
+                       const SessionPtr& session) const;
+  /// Whether a client-triggered promotion of this standby is admissible
+  /// under options_.standbyGrace (see SessionServiceOptions).
+  bool promotionDueLocked(const Session& session) const;
   /// Builds the resync bundle the Replicator ships to a gapped standby.
   std::optional<Replicator::ResyncBundle> resyncBundle(
       const std::string& tenant, const std::string& name);

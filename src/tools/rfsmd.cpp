@@ -80,6 +80,10 @@ int usage(std::ostream& out, int code) {
          "  --repl-ack MODE       quorum = every standby journals before\n"
          "                        the client ack (default); async = ack\n"
          "                        locally, ship from a bounded queue\n"
+         "  --standby-grace MS    a standby refuses client-triggered\n"
+         "                        promotion while it heard from its primary\n"
+         "                        within MS ms (default 0 = promote on\n"
+         "                        first client contact)\n"
          "  --max-connections N   concurrent connections (default 32)\n";
   return code;
 }
@@ -165,6 +169,8 @@ int main(int argc, char** argv) {
       options.sessions.replicas.push_back(rfsm::ipc::parseEndpoint(replica));
     options.sessions.replAck = rfsm::service::replAckFromString(
         option(args, "--repl-ack").value_or("quorum"));
+    options.sessions.standbyGrace = std::chrono::milliseconds(
+        std::stoll(option(args, "--standby-grace").value_or("0")));
     options.maxConnections = static_cast<std::size_t>(
         std::stoull(option(args, "--max-connections").value_or("32")));
     const std::string faultName = option(args, "--fault").value_or("none");

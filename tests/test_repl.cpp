@@ -420,7 +420,7 @@ TEST(ReplStandby, EqualEpochAgainstAPrimaryIsRefused) {
   EXPECT_EQ(refused.status, SessionStatus::kStaleEpoch);
 }
 
-TEST(ReplStandby, HigherEpochDemotesAPrimary) {
+TEST(ReplStandby, HigherEpochDemotesAPrimaryAndForcesResync) {
   SessionService store(SessionServiceOptions{});
   const SessionConfig config = smallConfig();
   ASSERT_EQ(store.open(openRequestFor(config)).status, SessionStatus::kOk);
@@ -428,13 +428,93 @@ TEST(ReplStandby, HigherEpochDemotesAPrimary) {
     ASSERT_EQ(store.mutate(mutateRequestFor(config, mut(k))).status,
               SessionStatus::kOk);
   // A newer primary (epoch 3) starts shipping: this replica adopts the
-  // epoch and demotes itself to standby.
+  // epoch and demotes itself to standby — and because its own accepted
+  // suffix may contain records the new primary never saw (seq equality
+  // proves nothing across epochs), it discards its replay state and
+  // reports a gap so the new primary resyncs it from scratch.
   const auto shipped = store.replAppend(replRequestFor(config, 3, mut(3)));
-  ASSERT_EQ(shipped.status, SessionStatus::kOk) << shipped.error;
+  ASSERT_EQ(shipped.status, SessionStatus::kBadSequence) << shipped.error;
+  EXPECT_EQ(shipped.epoch, 3u);        // the epoch was adopted...
+  EXPECT_EQ(shipped.lastAccepted, 0u); // ...and the suffix discarded
+  // The shipper heals the gap the usual way: snapshot (none here — the
+  // primary never rotated, its whole history is the tail) + tail replay.
+  for (std::uint64_t k = 1; k <= 3; ++k)
+    ASSERT_EQ(store.replAppend(replRequestFor(config, 3, mut(k))).status,
+              SessionStatus::kOk);
   const auto status = awaitCaughtUp(store, config);
   EXPECT_EQ(status.role, "standby");
   EXPECT_EQ(status.epoch, 3u);
   EXPECT_EQ(status.lastAccepted, 3u);
+}
+
+TEST(ReplStandby, EpochAdoptionDiscardsDivergentSuffix) {
+  // The async-failover divergence leg: a deposed primary (or a standby it
+  // reached that the promotion winner did not) holds records at seqs the
+  // new primary assigned to *different* mutations.  Those phantoms must
+  // not survive demotion as "duplicates" — after resync the transcript
+  // must match the new primary's history, byte for byte.
+  SessionService store(SessionServiceOptions{});
+  const SessionConfig config = smallConfig();
+  for (std::uint64_t k = 1; k <= 2; ++k)
+    ASSERT_EQ(store.replAppend(replRequestFor(config, 1, mut(k))).status,
+              SessionStatus::kOk);
+  MutationRecord phantom = mut(3);
+  phantom.mutationSeed = 424242;  // the record the new primary never saw
+  ASSERT_EQ(store.replAppend(replRequestFor(config, 1, phantom)).status,
+            SessionStatus::kOk);
+  awaitCaughtUp(store, config);
+
+  // The new primary (epoch 2) ships ITS seq-3 record: same seq, different
+  // content.  Before the fix this answered kOk as an idempotent duplicate
+  // and the phantom survived; now the standby discards and gap-reports.
+  ASSERT_EQ(store.replAppend(replRequestFor(config, 2, mut(3))).status,
+            SessionStatus::kBadSequence);
+  for (std::uint64_t k = 1; k <= 3; ++k)
+    ASSERT_EQ(store.replAppend(replRequestFor(config, 2, mut(k))).status,
+              SessionStatus::kOk);
+  awaitCaughtUp(store, config);
+
+  // Promote and continue: the transcript must equal a reference that only
+  // ever saw the new primary's records.
+  ASSERT_EQ(store.open(openRequestFor(config)).status, SessionStatus::kOk);
+  SessionEngine reference(config);
+  for (std::uint64_t k = 1; k <= 3; ++k) reference.apply(mut(k));
+  const PlanOutcome expected = reference.apply(mut(4));
+  const auto response = store.mutate(mutateRequestFor(config, mut(4)));
+  ASSERT_EQ(response.status, SessionStatus::kOk) << response.error;
+  EXPECT_EQ(response.program, expected.program);
+}
+
+TEST(ReplStandby, StandbyGraceGatesPromotionWhilePrimaryIsLive) {
+  // With --standby-grace set, a standby that heard from its primary inside
+  // the window refuses client-triggered promotion: a transport blip
+  // between client and primary must not depose a healthy primary.
+  SessionServiceOptions gated;
+  gated.standbyGrace = std::chrono::milliseconds(60000);
+  SessionService standby(gated);
+  const SessionConfig config = smallConfig();
+  ASSERT_EQ(standby.replAppend(replRequestFor(config, 1, mut(1))).status,
+            SessionStatus::kOk);
+  awaitCaughtUp(standby, config);
+  const auto refusedOpen = standby.open(openRequestFor(config));
+  EXPECT_EQ(refusedOpen.status, SessionStatus::kFailed);
+  EXPECT_NE(refusedOpen.error.find("standby"), std::string::npos)
+      << refusedOpen.error;
+  EXPECT_EQ(standby.mutate(mutateRequestFor(config, mut(2))).status,
+            SessionStatus::kFailed);
+  EXPECT_EQ(standby.status({config.tenant, config.name}).role, "standby");
+
+  // Once the primary has been silent past the grace window, the same
+  // client contact IS the failover signal and promotion proceeds.
+  SessionServiceOptions brief;
+  brief.standbyGrace = std::chrono::milliseconds(50);
+  SessionService patient(brief);
+  ASSERT_EQ(patient.replAppend(replRequestFor(config, 1, mut(1))).status,
+            SessionStatus::kOk);
+  awaitCaughtUp(patient, config);
+  std::this_thread::sleep_for(150ms);
+  ASSERT_EQ(patient.open(openRequestFor(config)).status, SessionStatus::kOk);
+  EXPECT_EQ(patient.status({config.tenant, config.name}).role, "primary");
 }
 
 TEST(ReplStandby, DuplicatesAreIdempotentAndGapsRejected) {
@@ -567,6 +647,30 @@ TEST(ReplicatorTransport, AsyncLagIsVisibleAndQueuesAreBounded) {
   EXPECT_GT(replicator.lagMs(), 0);
   replicator.refreshGauges();
   EXPECT_GE(metrics::gauge(metrics::kServiceReplLagRecords).value(), 1);
+}
+
+TEST(ReplicatorTransport, ShutdownInterruptsTheRetryLadder) {
+  // An async worker stuck in the retry ladder against a dead standby must
+  // not hold ~Replicator for the whole retryFor budget: the stop flag
+  // interrupts both the backoff sleep and the next loop iteration.
+  ReplicatorOptions options = unreachableOptions(ReplAck::kAsync);
+  options.retryFor = 5000ms;
+  const auto started = std::chrono::steady_clock::now();
+  {
+    Replicator replicator(
+        options,
+        [](const std::string&, const std::string&) {
+          return std::optional<Replicator::ResyncBundle>{};
+        },
+        [](const std::string&, const std::string&, std::uint64_t) {});
+    ASSERT_TRUE(replicator.shipAsync(replRequestFor(smallConfig(), 1, mut(1))));
+    std::this_thread::sleep_for(50ms);  // let the worker enter the ladder
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  EXPECT_LT(elapsed, 2000ms)
+      << "destructor stalled "
+      << std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count()
+      << "ms against a 5000ms retry budget";
 }
 
 // --- Failover against a real standby daemon -------------------------------
